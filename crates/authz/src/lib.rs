@@ -1,0 +1,39 @@
+//! # xmlsec-authz — access authorizations (paper §5)
+//!
+//! The authorization side of the model: the 5-tuple
+//! `(subject, object, action, sign, type)` of Definition 3
+//! ([`Authorization`]), objects as `URI:path-expression`
+//! ([`ObjectSpec`]), the XML-native **XACL** markup the paper's processor
+//! consumes ([`xacl`]), the server-wide authorization base indexed by URI
+//! ([`AuthorizationBase`]), and the pluggable conflict-resolution and
+//! completeness policies of §5/§6.2 ([`policy`]).
+//!
+//! ```
+//! use xmlsec_authz::{parse_xacl, serialize_xacl, Authorization, ObjectSpec, Sign, AuthType};
+//! use xmlsec_subjects::Subject;
+//!
+//! let auth = Authorization::new(
+//!     Subject::new("Foreign", "*", "*").unwrap(),
+//!     ObjectSpec::parse(r#"laboratory.xml:/laboratory//paper[./@category="private"]"#).unwrap(),
+//!     Sign::Minus,
+//!     AuthType::Recursive,
+//! );
+//! let xml = serialize_xacl(&[auth]);
+//! assert_eq!(parse_xacl(&xml).unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod model;
+pub mod policy;
+pub mod store;
+pub mod temporal;
+pub mod xacl;
+
+pub use model::{Action, AuthType, Authorization, ObjectSpec, Sign};
+pub use policy::{resolve_sign, CompletenessPolicy, ConflictResolution, PolicyConfig};
+pub use lint::{lint, LintFinding};
+pub use store::AuthorizationBase;
+pub use temporal::{in_force_at, TimedAuthorization, Validity};
+pub use xacl::{parse_xacl, parse_xacl_doc, serialize_xacl, XaclError};

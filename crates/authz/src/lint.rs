@@ -1,0 +1,244 @@
+//! Administrative consistency checks ("lint") for authorization bases.
+//!
+//! The paper's model is permissive about what an administrator may
+//! write down; experience with ACL systems says most incidents are
+//! mis-specifications rather than engine bugs. This module flags the
+//! classic ones *before* they silently change views:
+//!
+//! - subjects naming users/groups the directory does not know (the
+//!   authorization can never apply);
+//! - groups with no members (applies to nobody today);
+//! - exact duplicates;
+//! - *shadowed* authorizations: same object/action/type/sign as another
+//!   authorization with a more general subject — the specific one is
+//!   redundant under every policy;
+//! - *contradicted pairs*: identical object/action/type and comparable
+//!   subjects with opposite signs — legal (that is how exceptions are
+//!   written) but worth surfacing, since the outcome then hinges on the
+//!   conflict-resolution policy when the subjects are *equal*.
+
+use crate::model::Authorization;
+use std::fmt;
+use xmlsec_subjects::Directory;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintFinding {
+    /// The subject's user/group is not in the directory.
+    UnknownSubject {
+        /// Index into the linted slice.
+        index: usize,
+        /// The unknown identifier.
+        user_group: String,
+    },
+    /// The subject's group exists but has no (transitive) members.
+    EmptyGroup {
+        /// Index into the linted slice.
+        index: usize,
+        /// The empty group.
+        group: String,
+    },
+    /// Authorizations `first` and `second` are byte-for-byte identical.
+    Duplicate {
+        /// Earlier index.
+        first: usize,
+        /// Later index.
+        second: usize,
+    },
+    /// `shadowed` adds nothing: `by` has the same object/action/type/sign
+    /// and a subject at least as general.
+    Shadowed {
+        /// Index of the redundant authorization.
+        shadowed: usize,
+        /// Index of the authorization that subsumes it.
+        by: usize,
+    },
+    /// Same object/action/type, comparable subjects, opposite signs.
+    Contradiction {
+        /// Index of the permission.
+        plus: usize,
+        /// Index of the denial.
+        minus: usize,
+        /// `true` when the subjects are exactly equal (the outcome then
+        /// depends only on the conflict-resolution policy).
+        same_subject: bool,
+    },
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintFinding::UnknownSubject { index, user_group } => {
+                write!(f, "#{index}: subject {user_group:?} is not in the directory")
+            }
+            LintFinding::EmptyGroup { index, group } => {
+                write!(f, "#{index}: group {group:?} has no members")
+            }
+            LintFinding::Duplicate { first, second } => {
+                write!(f, "#{second} duplicates #{first}")
+            }
+            LintFinding::Shadowed { shadowed, by } => {
+                write!(f, "#{shadowed} is shadowed by the more general #{by}")
+            }
+            LintFinding::Contradiction { plus, minus, same_subject } => write!(
+                f,
+                "#{plus} (+) and #{minus} (-) contradict on the same object{}",
+                if *same_subject { " with the same subject" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Lints `auths` against `dir`, returning all findings.
+pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+
+    for (i, a) in auths.iter().enumerate() {
+        let ug = &a.subject.user_group;
+        match dir.kind(ug) {
+            None => out.push(LintFinding::UnknownSubject { index: i, user_group: ug.clone() }),
+            Some(xmlsec_subjects::PrincipalKind::Group) => {
+                let has_member =
+                    dir.principals().any(|(p, _)| p != ug.as_str() && dir.is_member(p, ug));
+                if !has_member {
+                    out.push(LintFinding::EmptyGroup { index: i, group: ug.clone() });
+                }
+            }
+            Some(xmlsec_subjects::PrincipalKind::User) => {}
+        }
+    }
+
+    for i in 0..auths.len() {
+        for j in (i + 1)..auths.len() {
+            let (a, b) = (&auths[i], &auths[j]);
+            if a == b {
+                out.push(LintFinding::Duplicate { first: i, second: j });
+                continue;
+            }
+            let same_object = a.object.uri == b.object.uri
+                && a.object.path_text == b.object.path_text
+                && a.action == b.action
+                && a.ty == b.ty;
+            if !same_object {
+                continue;
+            }
+            if a.sign == b.sign {
+                // Same effect: the more specific subject is redundant.
+                if a.subject.strictly_leq(&b.subject, dir) {
+                    out.push(LintFinding::Shadowed { shadowed: i, by: j });
+                } else if b.subject.strictly_leq(&a.subject, dir) {
+                    out.push(LintFinding::Shadowed { shadowed: j, by: i });
+                }
+            } else {
+                let comparable = a.subject.leq(&b.subject, dir)
+                    || b.subject.leq(&a.subject, dir);
+                if comparable {
+                    let (plus, minus) = if a.sign == crate::model::Sign::Plus {
+                        (i, j)
+                    } else {
+                        (j, i)
+                    };
+                    let same_subject = a.subject == b.subject;
+                    out.push(LintFinding::Contradiction { plus, minus, same_subject });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        d.add_user("tom").unwrap();
+        d.add_group("Staff").unwrap();
+        d.add_group("Ghost").unwrap();
+        d.add_member("tom", "Staff").unwrap();
+        d
+    }
+
+    fn auth(ug: &str, path: &str, sign: Sign) -> Authorization {
+        Authorization::new(
+            Subject::new(ug, "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", path).unwrap(),
+            sign,
+            AuthType::Recursive,
+        )
+    }
+
+    #[test]
+    fn unknown_subject_flagged() {
+        let a = [auth("nobody", "/a", Sign::Plus)];
+        let f = lint(&a, &dir());
+        assert!(matches!(&f[0], LintFinding::UnknownSubject { user_group, .. } if user_group == "nobody"));
+    }
+
+    #[test]
+    fn empty_group_flagged() {
+        let a = [auth("Ghost", "/a", Sign::Plus)];
+        let f = lint(&a, &dir());
+        assert!(f.iter().any(|x| matches!(x, LintFinding::EmptyGroup { group, .. } if group == "Ghost")));
+        // Staff has a member: not flagged.
+        let b = [auth("Staff", "/a", Sign::Plus)];
+        assert!(lint(&b, &dir()).is_empty());
+    }
+
+    #[test]
+    fn duplicates_flagged() {
+        let a = [auth("Staff", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
+        let f = lint(&a, &dir());
+        assert!(f.iter().any(|x| matches!(x, LintFinding::Duplicate { first: 0, second: 1 })));
+    }
+
+    #[test]
+    fn shadowed_specific_subject_flagged() {
+        // tom ≤ Staff, same object/sign: the tom-specific one is redundant.
+        let a = [auth("tom", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
+        let f = lint(&a, &dir());
+        assert!(f.iter().any(|x| matches!(x, LintFinding::Shadowed { shadowed: 0, by: 1 })));
+        // Different objects: no shadowing.
+        let b = [auth("tom", "/a", Sign::Plus), auth("Staff", "/b", Sign::Plus)];
+        assert!(lint(&b, &dir()).is_empty());
+    }
+
+    #[test]
+    fn contradictions_flagged_with_subject_equality() {
+        let a = [auth("tom", "/a", Sign::Plus), auth("Staff", "/a", Sign::Minus)];
+        let f = lint(&a, &dir());
+        assert!(f.iter().any(|x| matches!(
+            x,
+            LintFinding::Contradiction { plus: 0, minus: 1, same_subject: false }
+        )));
+        let b = [auth("Staff", "/a", Sign::Minus), auth("Staff", "/a", Sign::Plus)];
+        let f2 = lint(&b, &dir());
+        assert!(f2.iter().any(|x| matches!(
+            x,
+            LintFinding::Contradiction { plus: 1, minus: 0, same_subject: true }
+        )));
+    }
+
+    #[test]
+    fn incomparable_subjects_do_not_contradict_here() {
+        let mut d = dir();
+        d.add_group("Other").unwrap();
+        d.add_user("eve").unwrap();
+        d.add_member("eve", "Other").unwrap();
+        let a = [auth("Staff", "/a", Sign::Plus), auth("Other", "/a", Sign::Minus)];
+        // Incomparable subjects: the engine resolves per requester; lint
+        // stays quiet (both can coexist meaningfully).
+        let f = lint(&a, &d);
+        assert!(!f.iter().any(|x| matches!(x, LintFinding::Contradiction { .. })), "{f:?}");
+    }
+
+    #[test]
+    fn display_forms_mention_indices() {
+        let a = [auth("Staff", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
+        let f = lint(&a, &dir());
+        assert!(f.iter().any(|x| x.to_string().contains("#1 duplicates #0")));
+    }
+}

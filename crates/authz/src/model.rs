@@ -1,0 +1,326 @@
+//! Access authorizations (paper §5, Definition 3): 5-tuples
+//! `(subject, object, action, sign, type)`.
+
+use std::fmt;
+use xmlsec_subjects::Subject;
+use xmlsec_xpath::{parse_path, PathExpr, XPathError};
+
+/// The sign of an authorization: permission or denial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// `+` — permission.
+    Plus,
+    /// `-` — denial.
+    Minus,
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Plus => "+",
+            Sign::Minus => "-",
+        })
+    }
+}
+
+/// The authorization type (Definition 3): Local, Recursive, Local Weak,
+/// Recursive Weak.
+///
+/// - **Local** authorizations on an element apply to the element and its
+///   direct attributes, not to sub-elements.
+/// - **Recursive** authorizations propagate to the whole subtree until
+///   overridden by a conflicting authorization on a more specific object.
+/// - **Weak** variants obey the most-specific principle within the
+///   document but are overridden by schema (DTD) level authorizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuthType {
+    /// `L`
+    Local,
+    /// `R`
+    Recursive,
+    /// `LW`
+    LocalWeak,
+    /// `RW`
+    RecursiveWeak,
+}
+
+impl AuthType {
+    /// The short code used in XACLs and the paper (`L`, `R`, `LW`, `RW`).
+    pub fn code(self) -> &'static str {
+        match self {
+            AuthType::Local => "L",
+            AuthType::Recursive => "R",
+            AuthType::LocalWeak => "LW",
+            AuthType::RecursiveWeak => "RW",
+        }
+    }
+
+    /// Parses a short code.
+    pub fn from_code(s: &str) -> Option<AuthType> {
+        Some(match s {
+            "L" => AuthType::Local,
+            "R" => AuthType::Recursive,
+            "LW" => AuthType::LocalWeak,
+            "RW" => AuthType::RecursiveWeak,
+            _ => return None,
+        })
+    }
+
+    /// `true` for `R` and `RW`.
+    pub fn is_recursive(self) -> bool {
+        matches!(self, AuthType::Recursive | AuthType::RecursiveWeak)
+    }
+
+    /// `true` for `LW` and `RW`.
+    pub fn is_weak(self) -> bool {
+        matches!(self, AuthType::LocalWeak | AuthType::RecursiveWeak)
+    }
+}
+
+impl fmt::Display for AuthType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The action an authorization covers.
+///
+/// The paper limits its presentation to `read` (its footnote 2) and lists
+/// "support for write and update operations" as further work (§8); this
+/// implementation provides both. Read labeling drives view computation;
+/// write labeling gates the update operations in `xmlsec-core::update`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Action {
+    /// Read access (the paper's model).
+    #[default]
+    Read,
+    /// Write/update access (the paper's §8 extension).
+    Write,
+}
+
+impl Action {
+    /// Parses the lowercase action name.
+    pub fn from_name(s: &str) -> Option<Action> {
+        match s {
+            "read" => Some(Action::Read),
+            "write" => Some(Action::Write),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Action::Read => "read",
+            Action::Write => "write",
+        })
+    }
+}
+
+/// An authorization object: a URI, optionally extended with a path
+/// expression (`URI:PE`, Definition 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSpec {
+    /// The protected resource's URI.
+    pub uri: String,
+    /// Original text of the path expression, kept for serialization.
+    pub path_text: Option<String>,
+    /// The parsed path expression.
+    pub path: Option<PathExpr>,
+}
+
+impl ObjectSpec {
+    /// The whole document at `uri`.
+    pub fn whole(uri: &str) -> ObjectSpec {
+        ObjectSpec { uri: uri.to_string(), path_text: None, path: None }
+    }
+
+    /// `uri:path` with a parsed path expression.
+    pub fn with_path(uri: &str, path: &str) -> Result<ObjectSpec, XPathError> {
+        Ok(ObjectSpec {
+            uri: uri.to_string(),
+            path_text: Some(path.to_string()),
+            path: Some(parse_path(path)?),
+        })
+    }
+
+    /// Parses the `URI:PE` form used by the paper ("laboratory.xml:/laboratory//paper").
+    ///
+    /// The separator is the first `:` followed by `/`, `.`, `@` or a name
+    /// start — URIs with schemes (`http://...`) are handled by looking for
+    /// the *last* `:` that starts a path expression.
+    pub fn parse(spec: &str) -> Result<ObjectSpec, XPathError> {
+        // Find a ':' such that everything after it parses as a path.
+        // Scan left-to-right, skipping scheme separators (`://`) — the
+        // first candidate that parses wins, which keeps `::` axis
+        // separators inside the path intact.
+        let mut split_at = None;
+        for (i, c) in spec.char_indices() {
+            if c == ':' {
+                let candidate = &spec[i + 1..];
+                // `http://host/x` — a ':' followed by '//' is a scheme
+                // separator when what precedes it is a scheme token
+                // (letters/digits/+/-/. starting with a letter, no '/' or
+                // '.'); `doc.xml://paper` is a URI with a descendant path.
+                if candidate.starts_with("//") && is_scheme(&spec[..i]) {
+                    continue;
+                }
+                if !candidate.is_empty() && parse_path(candidate).is_ok() {
+                    split_at = Some(i);
+                    break;
+                }
+            }
+        }
+        match split_at {
+            Some(i) => ObjectSpec::with_path(&spec[..i], &spec[i + 1..]),
+            None => Ok(ObjectSpec::whole(spec)),
+        }
+    }
+}
+
+/// `true` when `s` is a URI scheme token (RFC 2396: letter followed by
+/// letters, digits, `+`, `-`, `.` — but we exclude `.` so file names like
+/// `doc.xml` never read as schemes).
+fn is_scheme(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic())
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+}
+
+impl fmt::Display for ObjectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path_text {
+            Some(p) => write!(f, "{}:{}", self.uri, p),
+            None => write!(f, "{}", self.uri),
+        }
+    }
+}
+
+/// An access authorization: the 5-tuple of Definition 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Authorization {
+    /// To whom it is granted.
+    pub subject: Subject,
+    /// What it protects.
+    pub object: ObjectSpec,
+    /// The action (always `read` in the paper's model).
+    pub action: Action,
+    /// Permission or denial.
+    pub sign: Sign,
+    /// Local/Recursive × strong/Weak.
+    pub ty: AuthType,
+}
+
+impl Authorization {
+    /// Convenience constructor for `read` authorizations (the common case).
+    pub fn new(subject: Subject, object: ObjectSpec, sign: Sign, ty: AuthType) -> Authorization {
+        Authorization { subject, object, action: Action::Read, sign, ty }
+    }
+
+    /// The same authorization for a different action.
+    pub fn with_action(mut self, action: Action) -> Authorization {
+        self.action = action;
+        self
+    }
+}
+
+impl fmt::Display for Authorization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{}, {}, {}, {}, {}⟩",
+            self.subject, self.object, self.action, self.sign, self.ty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_subjects::Subject;
+
+    #[test]
+    fn auth_type_codes() {
+        for t in [AuthType::Local, AuthType::Recursive, AuthType::LocalWeak, AuthType::RecursiveWeak]
+        {
+            assert_eq!(AuthType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(AuthType::from_code("X"), None);
+        assert!(AuthType::Recursive.is_recursive());
+        assert!(!AuthType::Local.is_recursive());
+        assert!(AuthType::LocalWeak.is_weak());
+        assert!(!AuthType::Recursive.is_weak());
+    }
+
+    #[test]
+    fn object_spec_plain_uri() {
+        let o = ObjectSpec::parse("laboratory.xml").unwrap();
+        assert_eq!(o.uri, "laboratory.xml");
+        assert!(o.path.is_none());
+        assert_eq!(o.to_string(), "laboratory.xml");
+    }
+
+    #[test]
+    fn object_spec_with_path() {
+        // the paper's Example 1 object
+        let o =
+            ObjectSpec::parse(r#"laboratory.xml:/laboratory//paper[./@category="private"]"#).unwrap();
+        assert_eq!(o.uri, "laboratory.xml");
+        assert!(o.path.is_some());
+        assert!(o.path_text.as_deref().unwrap().starts_with("/laboratory"));
+    }
+
+    #[test]
+    fn object_spec_with_scheme_uri() {
+        let o = ObjectSpec::parse("http://www.lab.com/CSlab.xml:/laboratory/project").unwrap();
+        assert_eq!(o.uri, "http://www.lab.com/CSlab.xml");
+        assert!(o.path.is_some());
+        // No path at all:
+        let o2 = ObjectSpec::parse("http://www.lab.com/CSlab.xml").unwrap();
+        assert_eq!(o2.uri, "http://www.lab.com/CSlab.xml");
+        assert!(o2.path.is_none());
+    }
+
+    #[test]
+    fn object_spec_relative_path() {
+        let o = ObjectSpec::parse(r#"CSlab.xml:project[./@type="internal"]"#).unwrap();
+        assert_eq!(o.uri, "CSlab.xml");
+        assert!(!o.path.as_ref().unwrap().absolute);
+    }
+
+    #[test]
+    fn object_spec_descendant_path_not_a_scheme() {
+        // `doc.xml://paper` is URI + descendant path, not a scheme.
+        let o = ObjectSpec::parse("doc.xml://paper").unwrap();
+        assert_eq!(o.uri, "doc.xml");
+        assert_eq!(o.path_text.as_deref(), Some("//paper"));
+        // but `http://...` keeps its scheme.
+        let o2 = ObjectSpec::parse("http://lab.com/CSlab.xml://paper").unwrap();
+        assert_eq!(o2.uri, "http://lab.com/CSlab.xml");
+        assert_eq!(o2.path_text.as_deref(), Some("//paper"));
+    }
+
+    #[test]
+    fn object_spec_with_axis_double_colon() {
+        // '::' inside the path must not be mistaken for the URI separator.
+        let o = ObjectSpec::parse("lab.xml:fund/ancestor::project").unwrap();
+        assert_eq!(o.uri, "lab.xml");
+        assert_eq!(o.path_text.as_deref(), Some("fund/ancestor::project"));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = Authorization::new(
+            Subject::new("Foreign", "*", "*").unwrap(),
+            ObjectSpec::parse("laboratory.xml:/laboratory//paper").unwrap(),
+            Sign::Minus,
+            AuthType::Recursive,
+        );
+        let s = a.to_string();
+        assert!(s.contains("⟨Foreign, *, *⟩"), "{s}");
+        assert!(s.contains("read"), "{s}");
+        assert!(s.contains("-"), "{s}");
+        assert!(s.ends_with("R⟩"), "{s}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Conflict-resolution and completeness policies (paper §5 and §6.2).
+//!
+//! The paper's reference policy is: *most specific subject takes
+//! precedence*, and where conflicts remain (incomparable subjects),
+//! *denials take precedence*. It stresses that "this specific choice does
+//! not restrict in any way our model, which can support any of the
+//! policies discussed" — so the resolution step is pluggable here, with
+//! the constraint the paper imposes: one policy per document.
+
+use crate::model::{Authorization, Sign};
+use xmlsec_subjects::Directory;
+
+/// How conflicting authorizations (same node, same type) combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictResolution {
+    /// The paper's reference policy: discard authorizations whose subject
+    /// is strictly dominated by another applicable authorization's
+    /// subject, then let denials win among the survivors.
+    #[default]
+    MostSpecificThenDenials,
+    /// Same most-specific filtering, then permissions win.
+    MostSpecificThenPermissions,
+    /// Any applicable denial wins, regardless of specificity.
+    DenialsTakePrecedence,
+    /// Any applicable permission wins, regardless of specificity.
+    PermissionsTakePrecedence,
+    /// Unresolved conflicts yield *no* authorization (`ε`), deferring to
+    /// propagation/completeness.
+    NothingTakesPrecedence,
+    /// The paper's §5 aside: "considering the sign of the authorizations
+    /// that are in larger number". Ties yield `ε`.
+    MajoritySign,
+}
+
+/// What an undefined label means at the end of labeling (paper §6.2:
+/// "Value ε can be interpreted either as a negation or as a permission,
+/// corresponding to the enforcement of the closed and the open policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletenessPolicy {
+    /// Undefined ⇒ access denied (the paper's assumption).
+    #[default]
+    Closed,
+    /// Undefined ⇒ access granted.
+    Open,
+}
+
+/// The per-document policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyConfig {
+    /// Conflict resolution among same-type authorizations on one node.
+    pub conflict: ConflictResolution,
+    /// Interpretation of unlabeled nodes.
+    pub completeness: CompletenessPolicy,
+}
+
+impl PolicyConfig {
+    /// The paper's reference configuration (most-specific + denials,
+    /// closed).
+    pub fn paper_default() -> PolicyConfig {
+        PolicyConfig::default()
+    }
+}
+
+/// Resolves the sign for one node/type group of applicable authorizations.
+///
+/// `auths` are the authorizations of one type whose object contains the
+/// node and whose subject covers the requester. Returns `None` for "no
+/// authorization" (`ε`).
+pub fn resolve_sign(
+    auths: &[&Authorization],
+    dir: &Directory,
+    policy: ConflictResolution,
+) -> Option<Sign> {
+    if auths.is_empty() {
+        return None;
+    }
+    match policy {
+        ConflictResolution::MostSpecificThenDenials
+        | ConflictResolution::MostSpecificThenPermissions => {
+            // Step 1b of the paper's initial_label: discard a if some a'
+            // has a strictly more specific subject.
+            let survivors: Vec<&Authorization> = auths
+                .iter()
+                .copied()
+                .filter(|a| {
+                    !auths
+                        .iter()
+                        .any(|a2| a2.subject.strictly_leq(&a.subject, dir))
+                })
+                .collect();
+            let has_minus = survivors.iter().any(|a| a.sign == Sign::Minus);
+            let has_plus = survivors.iter().any(|a| a.sign == Sign::Plus);
+            match (has_minus, has_plus, policy) {
+                (false, false, _) => None,
+                (true, false, _) => Some(Sign::Minus),
+                (false, true, _) => Some(Sign::Plus),
+                (true, true, ConflictResolution::MostSpecificThenDenials) => Some(Sign::Minus),
+                (true, true, _) => Some(Sign::Plus),
+            }
+        }
+        ConflictResolution::DenialsTakePrecedence => {
+            if auths.iter().any(|a| a.sign == Sign::Minus) {
+                Some(Sign::Minus)
+            } else {
+                Some(Sign::Plus)
+            }
+        }
+        ConflictResolution::PermissionsTakePrecedence => {
+            if auths.iter().any(|a| a.sign == Sign::Plus) {
+                Some(Sign::Plus)
+            } else {
+                Some(Sign::Minus)
+            }
+        }
+        ConflictResolution::NothingTakesPrecedence => {
+            let has_minus = auths.iter().any(|a| a.sign == Sign::Minus);
+            let has_plus = auths.iter().any(|a| a.sign == Sign::Plus);
+            match (has_minus, has_plus) {
+                (true, true) => None,
+                (true, false) => Some(Sign::Minus),
+                (false, true) => Some(Sign::Plus),
+                (false, false) => None,
+            }
+        }
+        ConflictResolution::MajoritySign => {
+            let minus = auths.iter().filter(|a| a.sign == Sign::Minus).count();
+            let plus = auths.len() - minus;
+            match plus.cmp(&minus) {
+                std::cmp::Ordering::Greater => Some(Sign::Plus),
+                std::cmp::Ordering::Less => Some(Sign::Minus),
+                std::cmp::Ordering::Equal => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AuthType, ObjectSpec};
+    use xmlsec_subjects::Subject;
+
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        d.add_user("Tom").unwrap();
+        d.add_group("Foreign").unwrap();
+        d.add_group("Public").unwrap();
+        d.add_member("Tom", "Foreign").unwrap();
+        d.add_member("Tom", "Public").unwrap();
+        d
+    }
+
+    fn auth(subj: &str, sign: Sign) -> Authorization {
+        Authorization::new(
+            Subject::new(subj, "*", "*").unwrap(),
+            ObjectSpec::whole("d.xml"),
+            sign,
+            AuthType::Recursive,
+        )
+    }
+
+    #[test]
+    fn most_specific_subject_wins() {
+        let d = dir();
+        // Tom (specific) permitted, Foreign (general) denied → permitted.
+        let a1 = auth("Tom", Sign::Plus);
+        let a2 = auth("Foreign", Sign::Minus);
+        let r = resolve_sign(&[&a1, &a2], &d, ConflictResolution::MostSpecificThenDenials);
+        assert_eq!(r, Some(Sign::Plus));
+    }
+
+    #[test]
+    fn incomparable_subjects_fall_to_denials() {
+        let d = dir();
+        // Foreign vs Public are incomparable: denial wins.
+        let a1 = auth("Foreign", Sign::Plus);
+        let a2 = auth("Public", Sign::Minus);
+        let r = resolve_sign(&[&a1, &a2], &d, ConflictResolution::MostSpecificThenDenials);
+        assert_eq!(r, Some(Sign::Minus));
+        // ... unless the policy prefers permissions.
+        let r2 = resolve_sign(&[&a1, &a2], &d, ConflictResolution::MostSpecificThenPermissions);
+        assert_eq!(r2, Some(Sign::Plus));
+    }
+
+    #[test]
+    fn flat_denials_and_permissions_policies_ignore_specificity() {
+        let d = dir();
+        let a1 = auth("Tom", Sign::Plus);
+        let a2 = auth("Foreign", Sign::Minus);
+        assert_eq!(
+            resolve_sign(&[&a1, &a2], &d, ConflictResolution::DenialsTakePrecedence),
+            Some(Sign::Minus)
+        );
+        let a3 = auth("Tom", Sign::Minus);
+        let a4 = auth("Foreign", Sign::Plus);
+        assert_eq!(
+            resolve_sign(&[&a3, &a4], &d, ConflictResolution::PermissionsTakePrecedence),
+            Some(Sign::Plus)
+        );
+    }
+
+    #[test]
+    fn nothing_takes_precedence_cancels_conflicts() {
+        let d = dir();
+        let a1 = auth("Foreign", Sign::Plus);
+        let a2 = auth("Public", Sign::Minus);
+        assert_eq!(resolve_sign(&[&a1, &a2], &d, ConflictResolution::NothingTakesPrecedence), None);
+        assert_eq!(
+            resolve_sign(&[&a1], &d, ConflictResolution::NothingTakesPrecedence),
+            Some(Sign::Plus)
+        );
+    }
+
+    #[test]
+    fn empty_set_is_epsilon() {
+        let d = dir();
+        for p in [
+            ConflictResolution::MostSpecificThenDenials,
+            ConflictResolution::DenialsTakePrecedence,
+            ConflictResolution::PermissionsTakePrecedence,
+            ConflictResolution::NothingTakesPrecedence,
+            ConflictResolution::MajoritySign,
+        ] {
+            assert_eq!(resolve_sign(&[], &d, p), None);
+        }
+    }
+
+    #[test]
+    fn majority_sign_counts_votes() {
+        let d = dir();
+        let plus1 = auth("Tom", Sign::Plus);
+        let plus2 = auth("Foreign", Sign::Plus);
+        let minus = auth("Public", Sign::Minus);
+        assert_eq!(
+            resolve_sign(&[&plus1, &plus2, &minus], &d, ConflictResolution::MajoritySign),
+            Some(Sign::Plus)
+        );
+        assert_eq!(
+            resolve_sign(&[&plus1, &minus], &d, ConflictResolution::MajoritySign),
+            None,
+            "ties cancel"
+        );
+        assert_eq!(
+            resolve_sign(&[&minus], &d, ConflictResolution::MajoritySign),
+            Some(Sign::Minus)
+        );
+    }
+
+    #[test]
+    fn equal_subjects_conflict_falls_to_denials() {
+        let d = dir();
+        let a1 = auth("Tom", Sign::Plus);
+        let a2 = auth("Tom", Sign::Minus);
+        assert_eq!(
+            resolve_sign(&[&a1, &a2], &d, ConflictResolution::MostSpecificThenDenials),
+            Some(Sign::Minus)
+        );
+    }
+
+    #[test]
+    fn location_refinement_counts_as_more_specific() {
+        let d = dir();
+        let coarse = Authorization::new(
+            Subject::new("Tom", "*", "*").unwrap(),
+            ObjectSpec::whole("d.xml"),
+            Sign::Minus,
+            AuthType::Recursive,
+        );
+        let fine = Authorization::new(
+            Subject::new("Tom", "150.100.*", "*").unwrap(),
+            ObjectSpec::whole("d.xml"),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        assert_eq!(
+            resolve_sign(&[&coarse, &fine], &d, ConflictResolution::MostSpecificThenDenials),
+            Some(Sign::Plus)
+        );
+    }
+
+    #[test]
+    fn default_is_paper_policy() {
+        let p = PolicyConfig::paper_default();
+        assert_eq!(p.conflict, ConflictResolution::MostSpecificThenDenials);
+        assert_eq!(p.completeness, CompletenessPolicy::Closed);
+    }
+}

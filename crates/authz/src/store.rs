@@ -1,0 +1,209 @@
+//! The authorization base: the server-wide set `Auth` of access
+//! authorizations, indexed by protected URI (paper §5: "at each server, a
+//! set Auth of access authorizations...").
+
+use crate::model::{Action, Authorization};
+use std::collections::HashMap;
+use xmlsec_subjects::{Directory, Requester};
+
+/// Holds all authorizations at a server, keyed by object URI.
+///
+/// Both instance-level sets (keyed by document URI) and schema-level sets
+/// (keyed by DTD URI) live here; the processor queries each with the
+/// appropriate URI (steps 1–2 of the compute-view algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct AuthorizationBase {
+    by_uri: HashMap<String, Vec<Authorization>>,
+}
+
+impl AuthorizationBase {
+    /// An empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one authorization.
+    pub fn add(&mut self, auth: Authorization) {
+        self.by_uri.entry(auth.object.uri.clone()).or_default().push(auth);
+    }
+
+    /// Adds many authorizations.
+    pub fn extend(&mut self, auths: impl IntoIterator<Item = Authorization>) {
+        for a in auths {
+            self.add(a);
+        }
+    }
+
+    /// All authorizations protecting `uri` (any subject).
+    pub fn for_uri(&self, uri: &str) -> &[Authorization] {
+        self.by_uri.get(uri).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The authorizations protecting `uri` that are applicable to
+    /// `requester` — the sets `Axml` / `Adtd` of the compute-view
+    /// algorithm (steps 1 and 2), computed with the given directory.
+    pub fn applicable<'a>(
+        &'a self,
+        uri: &str,
+        requester: &Requester,
+        dir: &Directory,
+    ) -> Vec<&'a Authorization> {
+        self.for_uri(uri)
+            .iter()
+            .filter(|a| requester.is_covered_by(&a.subject, dir))
+            .collect()
+    }
+
+    /// Removes every authorization equal to `auth`; returns how many
+    /// were removed. (Revocation in this model is deletion — signs
+    /// already encode denial.)
+    pub fn remove(&mut self, auth: &Authorization) -> usize {
+        let Some(list) = self.by_uri.get_mut(&auth.object.uri) else { return 0 };
+        let before = list.len();
+        list.retain(|a| a != auth);
+        let removed = before - list.len();
+        if list.is_empty() {
+            self.by_uri.remove(&auth.object.uri);
+        }
+        removed
+    }
+
+    /// Like [`AuthorizationBase::applicable`], restricted to one action
+    /// (the processor labels reads and writes separately).
+    pub fn applicable_for_action<'a>(
+        &'a self,
+        uri: &str,
+        requester: &Requester,
+        dir: &Directory,
+        action: Action,
+    ) -> Vec<&'a Authorization> {
+        self.for_uri(uri)
+            .iter()
+            .filter(|a| a.action == action && requester.is_covered_by(&a.subject, dir))
+            .collect()
+    }
+
+    /// Number of authorizations across all URIs.
+    pub fn len(&self) -> usize {
+        self.by_uri.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the base holds no authorizations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The URIs with at least one authorization.
+    pub fn uris(&self) -> impl Iterator<Item = &str> {
+        self.by_uri.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    fn base() -> (AuthorizationBase, Directory) {
+        let mut d = Directory::new();
+        d.add_user("Tom").unwrap();
+        d.add_user("Alice").unwrap();
+        d.add_group("Foreign").unwrap();
+        d.add_group("Admin").unwrap();
+        d.add_member("Tom", "Foreign").unwrap();
+        d.add_member("Alice", "Admin").unwrap();
+
+        let mut b = AuthorizationBase::new();
+        b.add(Authorization::new(
+            Subject::new("Foreign", "*", "*").unwrap(),
+            ObjectSpec::whole("doc.xml"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ));
+        b.add(Authorization::new(
+            Subject::new("Admin", "130.89.56.8", "*").unwrap(),
+            ObjectSpec::whole("doc.xml"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        b.add(Authorization::new(
+            Subject::new("Admin", "*", "*").unwrap(),
+            ObjectSpec::whole("schema.dtd"),
+            Sign::Plus,
+            AuthType::LocalWeak,
+        ));
+        (b, d)
+    }
+
+    #[test]
+    fn indexing_by_uri() {
+        let (b, _) = base();
+        assert_eq!(b.for_uri("doc.xml").len(), 2);
+        assert_eq!(b.for_uri("schema.dtd").len(), 1);
+        assert_eq!(b.for_uri("other.xml").len(), 0);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let mut uris: Vec<_> = b.uris().collect();
+        uris.sort_unstable();
+        assert_eq!(uris, vec!["doc.xml", "schema.dtd"]);
+    }
+
+    #[test]
+    fn applicable_filters_by_subject_coverage() {
+        let (b, d) = base();
+        let tom = Requester::new("Tom", "1.2.3.4", "x.example.it").unwrap();
+        let tom_auths = b.applicable("doc.xml", &tom, &d);
+        assert_eq!(tom_auths.len(), 1); // only the Foreign denial
+        assert_eq!(tom_auths[0].sign, Sign::Minus);
+
+        // Alice from the right host gets the Admin permission.
+        let alice = Requester::new("Alice", "130.89.56.8", "h.lab.com").unwrap();
+        assert_eq!(b.applicable("doc.xml", &alice, &d).len(), 1);
+        // ...but not from another host.
+        let alice_far = Requester::new("Alice", "130.89.56.9", "h.lab.com").unwrap();
+        assert_eq!(b.applicable("doc.xml", &alice_far, &d).len(), 0);
+    }
+
+    #[test]
+    fn schema_level_lookup_uses_dtd_uri() {
+        let (b, d) = base();
+        let alice = Requester::new("Alice", "9.9.9.9", "a.b.c").unwrap();
+        assert_eq!(b.applicable("schema.dtd", &alice, &d).len(), 1);
+        let tom = Requester::new("Tom", "9.9.9.9", "a.b.c").unwrap();
+        assert_eq!(b.applicable("schema.dtd", &tom, &d).len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod remove_tests {
+    use super::*;
+    use crate::model::{AuthType, Authorization, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    #[test]
+    fn remove_deletes_exact_matches_only() {
+        let mut b = AuthorizationBase::new();
+        let a1 = Authorization::new(
+            Subject::new("g", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/a").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        let a2 = Authorization::new(
+            Subject::new("g", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/b").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        b.add(a1.clone());
+        b.add(a1.clone());
+        b.add(a2.clone());
+        assert_eq!(b.remove(&a1), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.remove(&a1), 0);
+        assert_eq!(b.remove(&a2), 1);
+        assert!(b.is_empty());
+        assert_eq!(b.uris().count(), 0, "empty URI buckets are dropped");
+    }
+}

@@ -1,0 +1,220 @@
+//! Time-based restrictions on access — the paper's §8 extension
+//! ("the enforcement of credentials and history- and time-based
+//! restrictions on access").
+//!
+//! An authorization may carry a [`Validity`] constraint built from two
+//! orthogonal pieces:
+//!
+//! - an absolute window (`not_before ≤ t < not_after`, in seconds since
+//!   the epoch — the unit is opaque to the library);
+//! - a recurring daily window in minutes-of-day (`09:00–17:00`
+//!   office-hours style, possibly wrapping midnight).
+//!
+//! The server evaluates each request at a timestamp; authorizations whose
+//! validity excludes that instant are simply not applicable — the rest of
+//! the model (propagation, conflicts, policies) is untouched. This keeps
+//! the extension orthogonal, exactly as the paper's modular design
+//! suggests.
+
+use crate::model::Authorization;
+use std::fmt;
+
+/// Minutes in one day.
+const DAY_MINUTES: u32 = 24 * 60;
+
+/// When an authorization is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Validity {
+    /// Earliest instant (inclusive), if bounded below.
+    pub not_before: Option<u64>,
+    /// Latest instant (exclusive), if bounded above.
+    pub not_after: Option<u64>,
+    /// Recurring daily window `(from_minute, to_minute)`; `from > to`
+    /// wraps midnight (e.g. `(22*60, 6*60)` = nights).
+    pub daily: Option<(u32, u32)>,
+}
+
+impl Validity {
+    /// Always valid (the default).
+    pub fn always() -> Validity {
+        Validity::default()
+    }
+
+    /// Valid in `[from, to)`.
+    pub fn window(from: u64, to: u64) -> Validity {
+        Validity { not_before: Some(from), not_after: Some(to), daily: None }
+    }
+
+    /// Valid daily between `from_minute` and `to_minute` (minutes of day,
+    /// `to` exclusive; wraps midnight when `from > to`).
+    pub fn daily(from_minute: u32, to_minute: u32) -> Validity {
+        Validity {
+            not_before: None,
+            not_after: None,
+            daily: Some((from_minute % DAY_MINUTES, to_minute % DAY_MINUTES)),
+        }
+    }
+
+    /// Whether instant `t` (seconds) falls inside the validity.
+    pub fn contains(&self, t: u64) -> bool {
+        if let Some(nb) = self.not_before {
+            if t < nb {
+                return false;
+            }
+        }
+        if let Some(na) = self.not_after {
+            if t >= na {
+                return false;
+            }
+        }
+        if let Some((from, to)) = self.daily {
+            let minute_of_day = ((t / 60) % u64::from(DAY_MINUTES)) as u32;
+            let inside = if from <= to {
+                (from..to).contains(&minute_of_day)
+            } else {
+                minute_of_day >= from || minute_of_day < to
+            };
+            if !inside {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Validity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.not_before, self.not_after, self.daily) {
+            (None, None, None) => write!(f, "always"),
+            _ => {
+                if let (Some(a), Some(b)) = (self.not_before, self.not_after) {
+                    write!(f, "[{a},{b})")?;
+                } else if let Some(a) = self.not_before {
+                    write!(f, "[{a},∞)")?;
+                } else if let Some(b) = self.not_after {
+                    write!(f, "(-∞,{b})")?;
+                }
+                if let Some((from, to)) = self.daily {
+                    write!(f, " daily {:02}:{:02}-{:02}:{:02}", from / 60, from % 60, to / 60, to % 60)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An authorization with a validity constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedAuthorization {
+    /// The underlying authorization.
+    pub auth: Authorization,
+    /// When it is in force.
+    pub validity: Validity,
+}
+
+impl TimedAuthorization {
+    /// A permanently valid authorization.
+    pub fn permanent(auth: Authorization) -> TimedAuthorization {
+        TimedAuthorization { auth, validity: Validity::always() }
+    }
+
+    /// Restricts `auth` to `validity`.
+    pub fn new(auth: Authorization, validity: Validity) -> TimedAuthorization {
+        TimedAuthorization { auth, validity }
+    }
+}
+
+/// Filters a timed set down to the authorizations in force at `t`
+/// (feed the result to the ordinary labeling machinery).
+pub fn in_force_at(timed: &[TimedAuthorization], t: u64) -> Vec<&Authorization> {
+    timed.iter().filter(|ta| ta.validity.contains(t)).map(|ta| &ta.auth).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    fn auth() -> Authorization {
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::whole("d.xml"),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+    }
+
+    #[test]
+    fn absolute_window() {
+        let v = Validity::window(100, 200);
+        assert!(!v.contains(99));
+        assert!(v.contains(100));
+        assert!(v.contains(199));
+        assert!(!v.contains(200));
+    }
+
+    #[test]
+    fn half_open_bounds() {
+        let from_only = Validity { not_before: Some(50), ..Default::default() };
+        assert!(!from_only.contains(49));
+        assert!(from_only.contains(1_000_000));
+        let to_only = Validity { not_after: Some(50), ..Default::default() };
+        assert!(to_only.contains(0));
+        assert!(!to_only.contains(50));
+    }
+
+    #[test]
+    fn daily_window() {
+        // 09:00–17:00
+        let v = Validity::daily(9 * 60, 17 * 60);
+        let at = |h: u64, m: u64| h * 3600 + m * 60;
+        assert!(v.contains(at(9, 0)));
+        assert!(v.contains(at(12, 30)));
+        assert!(!v.contains(at(17, 0)));
+        assert!(!v.contains(at(3, 0)));
+        // The window recurs the next day (t + 86400).
+        assert!(v.contains(86_400 + at(10, 0)));
+    }
+
+    #[test]
+    fn daily_window_wrapping_midnight() {
+        // 22:00–06:00
+        let v = Validity::daily(22 * 60, 6 * 60);
+        let at = |h: u64| h * 3600;
+        assert!(v.contains(at(23)));
+        assert!(v.contains(at(2)));
+        assert!(!v.contains(at(12)));
+    }
+
+    #[test]
+    fn combined_window_and_daily() {
+        let v = Validity {
+            not_before: Some(0),
+            not_after: Some(7 * 86_400), // one week
+            daily: Some((9 * 60, 17 * 60)),
+        };
+        assert!(v.contains(2 * 86_400 + 10 * 3600)); // day 3, 10:00
+        assert!(!v.contains(2 * 86_400 + 20 * 3600)); // day 3, 20:00
+        assert!(!v.contains(8 * 86_400 + 10 * 3600)); // after the week
+    }
+
+    #[test]
+    fn in_force_filtering() {
+        let timed = vec![
+            TimedAuthorization::permanent(auth()),
+            TimedAuthorization::new(auth(), Validity::window(100, 200)),
+            TimedAuthorization::new(auth(), Validity::daily(9 * 60, 17 * 60)),
+        ];
+        assert_eq!(in_force_at(&timed, 150).len(), 2); // permanent + window (00:02 — outside office hours)
+        assert_eq!(in_force_at(&timed, 10 * 3600).len(), 2); // permanent + daily (window expired)
+        assert_eq!(in_force_at(&timed, 300).len(), 1); // permanent only
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Validity::always().to_string(), "always");
+        assert_eq!(Validity::window(1, 2).to_string(), "[1,2)");
+        assert!(Validity::daily(9 * 60, 17 * 60).to_string().contains("09:00-17:00"));
+    }
+}

@@ -1,0 +1,247 @@
+//! XACL — the XML Access Control List format (paper §7: "our processor
+//! takes as input a valid XML document requested by the user, together
+//! with its XML Access Control List (XACL) listing the associated access
+//! authorizations").
+//!
+//! The paper's rationale is to "exploit XML's own capabilities, defining
+//! an XML markup for a set of security elements": authorizations are
+//! themselves stored as XML. The markup:
+//!
+//! ```xml
+//! <xacl>
+//!   <authorization sign="-" type="R">
+//!     <subject user-group="Foreign" ip="*" sym="*"/>
+//!     <object uri="laboratory.xml"
+//!             path="/laboratory//paper[./@category=&quot;private&quot;]"/>
+//!     <action>read</action>
+//!   </authorization>
+//! </xacl>
+//! ```
+
+use crate::model::{Action, AuthType, Authorization, ObjectSpec, Sign};
+use std::fmt;
+use xmlsec_subjects::Subject;
+use xmlsec_xml::{escape::escape_attr, Document, NodeId};
+
+/// Error raised when parsing an XACL document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XaclError(pub String);
+
+impl fmt::Display for XaclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XACL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XaclError {}
+
+/// Parses an XACL document into its authorization list.
+pub fn parse_xacl(text: &str) -> Result<Vec<Authorization>, XaclError> {
+    let doc = xmlsec_xml::parse(text).map_err(|e| XaclError(e.to_string()))?;
+    parse_xacl_doc(&doc)
+}
+
+/// Parses an already-parsed XACL DOM.
+pub fn parse_xacl_doc(doc: &Document) -> Result<Vec<Authorization>, XaclError> {
+    if doc.element_name(doc.root()) != Some("xacl") {
+        return Err(XaclError("root element must be <xacl>".into()));
+    }
+    let mut out = Vec::new();
+    for auth_el in doc.child_elements(doc.root()) {
+        if doc.element_name(auth_el) != Some("authorization") {
+            return Err(XaclError(format!(
+                "unexpected element <{}> in <xacl>",
+                doc.element_name(auth_el).unwrap_or("?")
+            )));
+        }
+        out.push(parse_authorization(doc, auth_el)?);
+    }
+    Ok(out)
+}
+
+fn parse_authorization(doc: &Document, el: NodeId) -> Result<Authorization, XaclError> {
+    let sign = match doc.attribute(el, "sign") {
+        Some("+") => Sign::Plus,
+        Some("-") => Sign::Minus,
+        other => return Err(XaclError(format!("bad or missing sign attribute: {other:?}"))),
+    };
+    let ty = doc
+        .attribute(el, "type")
+        .and_then(AuthType::from_code)
+        .ok_or_else(|| XaclError("bad or missing type attribute".into()))?;
+
+    let mut subject = None;
+    let mut object = None;
+    let mut action = Action::Read;
+    for child in doc.child_elements(el) {
+        match doc.element_name(child) {
+            Some("subject") => {
+                let ug = doc
+                    .attribute(child, "user-group")
+                    .ok_or_else(|| XaclError("subject missing user-group".into()))?;
+                let ip = doc.attribute(child, "ip").unwrap_or("*");
+                let sym = doc.attribute(child, "sym").unwrap_or("*");
+                subject =
+                    Some(Subject::new(ug, ip, sym).map_err(|e| XaclError(e.to_string()))?);
+            }
+            Some("object") => {
+                let uri = doc
+                    .attribute(child, "uri")
+                    .ok_or_else(|| XaclError("object missing uri".into()))?;
+                object = Some(match doc.attribute(child, "path") {
+                    Some(p) => {
+                        ObjectSpec::with_path(uri, p).map_err(|e| XaclError(e.to_string()))?
+                    }
+                    None => ObjectSpec::whole(uri),
+                });
+            }
+            Some("action") => {
+                let a = doc.text_value(child);
+                action = Action::from_name(a.trim())
+                    .ok_or_else(|| XaclError(format!("unsupported action {a:?}")))?;
+            }
+            Some(other) => {
+                return Err(XaclError(format!("unexpected element <{other}> in <authorization>")))
+            }
+            None => {}
+        }
+    }
+    Ok(Authorization {
+        subject: subject.ok_or_else(|| XaclError("authorization missing <subject>".into()))?,
+        object: object.ok_or_else(|| XaclError("authorization missing <object>".into()))?,
+        action,
+        sign,
+        ty,
+    })
+}
+
+/// Serializes authorizations as an XACL document.
+pub fn serialize_xacl(auths: &[Authorization]) -> String {
+    let mut out = String::from("<xacl>\n");
+    for a in auths {
+        out.push_str(&format!(
+            "  <authorization sign=\"{}\" type=\"{}\">\n",
+            a.sign,
+            a.ty.code()
+        ));
+        out.push_str(&format!(
+            "    <subject user-group=\"{}\" ip=\"{}\" sym=\"{}\"/>\n",
+            escape_attr(&a.subject.user_group),
+            a.subject.ip,
+            a.subject.sym
+        ));
+        match &a.object.path_text {
+            Some(p) => out.push_str(&format!(
+                "    <object uri=\"{}\" path=\"{}\"/>\n",
+                escape_attr(&a.object.uri),
+                escape_attr(p)
+            )),
+            None => {
+                out.push_str(&format!("    <object uri=\"{}\"/>\n", escape_attr(&a.object.uri)))
+            }
+        }
+        out.push_str(&format!("    <action>{}</action>\n", a.action));
+        out.push_str("  </authorization>\n");
+    }
+    out.push_str("</xacl>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_auths() -> Vec<Authorization> {
+        vec![
+            Authorization::new(
+                Subject::new("Foreign", "*", "*").unwrap(),
+                ObjectSpec::with_path(
+                    "laboratory.xml",
+                    r#"/laboratory//paper[./@category="private"]"#,
+                )
+                .unwrap(),
+                Sign::Minus,
+                AuthType::Recursive,
+            ),
+            Authorization::new(
+                Subject::new("Admin", "130.89.56.8", "*").unwrap(),
+                ObjectSpec::with_path("CSlab.xml", r#"project[./@type="internal"]"#).unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+            Authorization::new(
+                Subject::new("Public", "*", "*.it").unwrap(),
+                ObjectSpec::whole("CSlab.xml"),
+                Sign::Plus,
+                AuthType::LocalWeak,
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let auths = sample_auths();
+        let text = serialize_xacl(&auths);
+        let parsed = parse_xacl(&text).unwrap();
+        assert_eq!(parsed.len(), auths.len());
+        for (a, b) in auths.iter().zip(&parsed) {
+            assert_eq!(a.subject, b.subject);
+            assert_eq!(a.object.uri, b.object.uri);
+            assert_eq!(a.object.path_text, b.object.path_text);
+            assert_eq!(a.sign, b.sign);
+            assert_eq!(a.ty, b.ty);
+        }
+    }
+
+    #[test]
+    fn parse_handwritten_xacl() {
+        let text = r#"<xacl>
+            <authorization sign="-" type="RW">
+                <subject user-group="Foreign"/>
+                <object uri="doc.xml" path="//paper"/>
+                <action>read</action>
+            </authorization>
+        </xacl>"#;
+        let auths = parse_xacl(text).unwrap();
+        assert_eq!(auths.len(), 1);
+        assert_eq!(auths[0].ty, AuthType::RecursiveWeak);
+        assert_eq!(auths[0].subject.ip.to_string(), "*"); // ip defaults to *
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_xacl("<notxacl/>").unwrap_err().0.contains("xacl"));
+        let bad_sign = r#"<xacl><authorization sign="?" type="R">
+            <subject user-group="X"/><object uri="d"/></authorization></xacl>"#;
+        assert!(parse_xacl(bad_sign).unwrap_err().0.contains("sign"));
+        let bad_type = r#"<xacl><authorization sign="+" type="Q">
+            <subject user-group="X"/><object uri="d"/></authorization></xacl>"#;
+        assert!(parse_xacl(bad_type).unwrap_err().0.contains("type"));
+        let no_subject = r#"<xacl><authorization sign="+" type="R">
+            <object uri="d"/></authorization></xacl>"#;
+        assert!(parse_xacl(no_subject).unwrap_err().0.contains("subject"));
+        let bad_action = r#"<xacl><authorization sign="+" type="R">
+            <subject user-group="X"/><object uri="d"/>
+            <action>delete</action></authorization></xacl>"#;
+        assert!(parse_xacl(bad_action).unwrap_err().0.contains("action"));
+        // `write` is a supported action (the §8 extension).
+        let write_action = r#"<xacl><authorization sign="+" type="R">
+            <subject user-group="X"/><object uri="d"/>
+            <action>write</action></authorization></xacl>"#;
+        assert_eq!(parse_xacl(write_action).unwrap()[0].action, Action::Write);
+    }
+
+    #[test]
+    fn quotes_in_paths_survive_round_trip() {
+        let a = Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", r#"//paper[./@category="public"]"#).unwrap(),
+            Sign::Plus,
+            AuthType::RecursiveWeak,
+        );
+        let text = serialize_xacl(std::slice::from_ref(&a));
+        assert!(text.contains("&quot;"), "{text}");
+        let parsed = parse_xacl(&text).unwrap();
+        assert_eq!(parsed[0].object.path_text, a.object.path_text);
+    }
+}

@@ -1,0 +1,40 @@
+//! Robustness: XACL and object-spec parsing never panic.
+
+use proptest::prelude::*;
+use xmlsec_authz::{parse_xacl, ObjectSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parse_xacl_never_panics(s in ".{0,300}") {
+        let _ = parse_xacl(&s);
+    }
+
+    #[test]
+    fn parse_xacl_never_panics_on_xmlish(s in "[<>/=a-z\" ]{0,300}") {
+        let _ = parse_xacl(&s);
+    }
+
+    #[test]
+    fn object_spec_parse_never_panics(s in "[a-z0-9:/@.\\[\\]='\"*]{0,120}") {
+        let _ = ObjectSpec::parse(&s);
+    }
+
+    /// Mutated well-formed XACLs either parse or error, never panic, and
+    /// whatever parses re-serializes.
+    #[test]
+    fn mutated_xacl_graceful(pos in 0usize..200, noise in "[<>a-z\"=]{1,6}") {
+        let src = r#"<xacl><authorization sign="+" type="R">
+            <subject user-group="G" ip="1.2.*" sym="*.org"/>
+            <object uri="d.xml" path="/a/b"/>
+            <action>read</action></authorization></xacl>"#;
+        let pos = pos.min(src.len());
+        if src.is_char_boundary(pos) {
+            let mutated = format!("{}{}{}", &src[..pos], noise, &src[pos..]);
+            if let Ok(auths) = parse_xacl(&mutated) {
+                let _ = xmlsec_authz::serialize_xacl(&auths);
+            }
+        }
+    }
+}

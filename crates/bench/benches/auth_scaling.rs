@@ -1,0 +1,26 @@
+//! B2 — labeling time vs number of authorizations.
+//!
+//! Fixed document (64 projects ≈ 1.4e3 nodes), authorization count swept
+//! 1–1024. Cost has two parts: one XPath evaluation per authorization
+//! (linear) and per-node class bucketing (linear in auths per node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmlsec_bench::{auth_scaling_scenario, run_view};
+
+fn auth_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auth_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for count in [1usize, 8, 32, 128, 512, 1024] {
+        let s = auth_scaling_scenario(64, count);
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::new("compute_view", count), &s, |b, s| {
+            b.iter(|| black_box(run_view(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, auth_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! B5 — the paper's efficiency claim: recursive-propagation labeling
+//! (Figure 2) vs the naive per-node declarative evaluation, over
+//! document size. Expectation: the engine wins by a widening factor
+//! (naive rescans authorizations along every ancestor chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_bench::{lab_scenario, run_view, run_view_naive};
+
+fn baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for projects in [8usize, 32, 128] {
+        let s = lab_scenario(projects);
+        group.bench_with_input(BenchmarkId::new("engine", projects), &s, |b, s| {
+            b.iter(|| black_box(run_view(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", projects), &s, |b, s| {
+            b.iter(|| black_box(run_view_naive(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baseline);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! B8 — server request throughput with the view cache on vs off, for a
+//! request mix of three requester classes over one document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_server::{ClientRequest, SecureServer};
+use xmlsec_workload::laboratory::*;
+use xmlsec_xml::{serialize, SerializeOptions};
+
+fn build_server(cached: bool) -> SecureServer {
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    if !cached {
+        s = s.without_cache();
+    }
+    s.register_credentials("Tom", "pw");
+    s.register_credentials("Alice", "pw");
+    let doc = xmlsec_workload::laboratory_scaled(64, 5);
+    let xml = serialize(&doc, &SerializeOptions::canonical());
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, &xml, Some(LAB_DTD_URI));
+    s
+}
+
+fn requests() -> Vec<ClientRequest> {
+    let mk = |user: Option<(&str, &str)>, ip: &str, sym: &str| ClientRequest {
+        user: user.map(|(u, p)| (u.to_string(), p.to_string())),
+        ip: ip.to_string(),
+        sym: sym.to_string(),
+        uri: CSLAB_URI.to_string(),
+    };
+    vec![
+        mk(Some(("Tom", "pw")), "130.100.50.8", "infosys.bld1.it"),
+        mk(None, "1.2.3.4", "a.example.com"),
+        mk(Some(("Alice", "pw")), "130.89.56.8", "admin.lab.com"),
+    ]
+}
+
+fn server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, cached) in [("cache_on", true), ("cache_off", false)] {
+        let s = build_server(cached);
+        let reqs = requests();
+        // Warm the cache so the cached configuration measures hits.
+        for r in &reqs {
+            let _ = s.handle(r);
+        }
+        group.bench_with_input(BenchmarkId::new("request_mix", name), &s, |b, s| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for r in &reqs {
+                    total += s.handle(r).expect("request succeeds").xml.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, server);
+criterion_main!(benches);

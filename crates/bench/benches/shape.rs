@@ -1,0 +1,61 @@
+//! B3 — tree-shape sensitivity: deep chains vs flat fans vs the bushy
+//! laboratory shape, at comparable node counts.
+//!
+//! The propagation pass is a single preorder walk, so shape should not
+//! matter much; the naive baseline degrades with depth (it rescans the
+//! ancestor chain per node).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_authz::{AuthType, Authorization, ObjectSpec, PolicyConfig, Sign};
+use xmlsec_bench::{run_view, run_view_naive, BenchScenario};
+use xmlsec_subjects::{Directory, Subject};
+
+fn shaped(doc: xmlsec_xml::Document) -> BenchScenario {
+    let auths = vec![
+        Authorization::new(
+            Subject::new("u", "*", "*").expect("subject"),
+            ObjectSpec::with_path("d.xml", "/root").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("u", "*", "*").expect("subject"),
+            ObjectSpec::with_path("d.xml", "//t2").expect("path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+    ];
+    BenchScenario {
+        doc,
+        dir: Directory::new(),
+        axml: auths,
+        adtd: Vec::new(),
+        policy: PolicyConfig::paper_default(),
+    }
+}
+
+fn shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape");
+    const N: usize = 1000;
+    let scenarios = [
+        ("deep_chain", shaped(xmlsec_workload::deep_chain(N))),
+        ("flat_fan", shaped(xmlsec_workload::flat(N / 2))),
+        ("bushy_lab", shaped(xmlsec_workload::random_tree(
+            &xmlsec_workload::TreeConfig { elements: N, ..Default::default() },
+            11,
+        ))),
+    ];
+    for (name, s) in &scenarios {
+        group.bench_with_input(BenchmarkId::new("engine", name), s, |b, s| {
+            b.iter(|| black_box(run_view(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), s, |b, s| {
+            b.iter(|| black_box(run_view_naive(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shape);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! B6 — subject/ASH matching cost vs group-nesting depth: requester
+//! coverage checks walk the membership DAG; chains of 1–64 nested
+//! groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_subjects::{Directory, Requester, Subject};
+
+fn nested_dir(depth: usize) -> Directory {
+    let mut d = Directory::new();
+    d.add_user("u").expect("user");
+    for i in 0..depth {
+        d.add_group(&format!("g{i}")).expect("group");
+        if i > 0 {
+            d.add_member(&format!("g{}", i - 1), &format!("g{i}")).expect("edge");
+        }
+    }
+    d.add_member("u", "g0").expect("edge");
+    d
+}
+
+fn subjects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subjects");
+    for depth in [1usize, 4, 16, 64] {
+        let dir = nested_dir(depth);
+        let rq = Requester::new("u", "10.1.2.3", "h.a.b.org").expect("requester");
+        let top = Subject::new(&format!("g{}", depth - 1), "10.*", "*.org").expect("subject");
+        group.bench_with_input(BenchmarkId::new("coverage_hit", depth), &depth, |b, _| {
+            b.iter(|| black_box(rq.is_covered_by(&top, &dir)))
+        });
+        let miss = Subject::new("g_unrelated", "10.*", "*.org");
+        if let Ok(miss) = miss {
+            group.bench_with_input(BenchmarkId::new("coverage_miss", depth), &depth, |b, _| {
+                b.iter(|| black_box(rq.is_covered_by(&miss, &dir)))
+            });
+        }
+    }
+    // Pattern parsing + order checks.
+    group.bench_function("pattern_leq", |b| {
+        let specific: xmlsec_subjects::SymPattern = "a.b.c.dom.org".parse().expect("parses");
+        let general: xmlsec_subjects::SymPattern = "*.dom.org".parse().expect("parses");
+        b.iter(|| black_box(specific.leq(&general)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, subjects);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! B9 — the §8 write/update extension: write-labeling plus atomic batch
+//! application, against view computation on the same document (updates
+//! reuse the labeling machinery, so their cost should track it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_authz::{Action, Authorization, ObjectSpec, PolicyConfig, Sign};
+use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
+use xmlsec_subjects::{Directory, Subject};
+
+fn write_auths() -> Vec<Authorization> {
+    vec![
+        Authorization::new(
+            Subject::new("ed", "*", "*").expect("subject"),
+            ObjectSpec::with_path("lab.xml", "/laboratory").expect("path"),
+            Sign::Plus,
+            xmlsec_authz::AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+        Authorization::new(
+            Subject::new("ed", "*", "*").expect("subject"),
+            ObjectSpec::with_path("lab.xml", "//fund").expect("path"),
+            Sign::Minus,
+            xmlsec_authz::AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    ]
+}
+
+fn update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let dir = Directory::new();
+    let auths = write_auths();
+    let refs: Vec<&Authorization> = auths.iter().collect();
+
+    for projects in [16usize, 128] {
+        let doc = xmlsec_workload::laboratory_scaled(projects, 9);
+        group.bench_with_input(BenchmarkId::new("write_labeling", projects), &doc, |b, doc| {
+            b.iter(|| {
+                black_box(label_for_write(doc, &refs, &[], &dir, PolicyConfig::paper_default()))
+            })
+        });
+        let labels = label_for_write(&doc, &refs, &[], &dir, PolicyConfig::paper_default());
+        let ops = vec![
+            UpdateOp::SetText { target: "/laboratory/project[1]/manager/flname".into(), text: "New Manager".into() },
+            UpdateOp::SetAttribute {
+                target: "/laboratory/project[2]".into(),
+                name: "name".into(),
+                value: "Renamed".into(),
+            },
+            UpdateOp::InsertElement { parent: "/laboratory/project[1]".into(), name: "member".into() },
+        ];
+        group.bench_with_input(BenchmarkId::new("apply_batch", projects), &doc, |b, doc| {
+            b.iter(|| {
+                let mut copy = doc.clone();
+                black_box(apply_updates(&mut copy, &ops, &labels).expect("authorized batch"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, update);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! B1 — labeling + pruning time vs document size.
+//!
+//! The paper claims "fast on-line computation" of requester views; this
+//! bench establishes the scaling of `compute_view` with document size
+//! (laboratory documents of 8–1024 projects ≈ 1.4e2–2.2e4 nodes) under
+//! the fixed Example 1 authorization set. Expectation: near-linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmlsec_bench::{lab_scenario, run_view};
+
+fn view_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_scaling");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for projects in [8usize, 32, 128, 512, 1024] {
+        let s = lab_scenario(projects);
+        let nodes = s.doc.count_reachable();
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("compute_view", format!("{projects}proj_{nodes}nodes")),
+            &s,
+            |b, s| b.iter(|| black_box(run_view(s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, view_scaling);
+criterion_main!(benches);

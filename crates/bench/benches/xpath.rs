@@ -1,0 +1,43 @@
+//! B4 — XPath evaluation cost by expression class, on a 256-project
+//! laboratory document: child navigation, `//` descendant scans,
+//! attribute conditions, positional predicates, ancestor axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xmlsec_xpath::{parse_path, select};
+
+fn xpath(c: &mut Criterion) {
+    let doc = xmlsec_workload::laboratory_scaled(256, 3);
+    let exprs = [
+        ("child_path", "/laboratory/project"),
+        ("deep_child_path", "/laboratory/project/paper/title"),
+        ("descendant", "//flname"),
+        ("attr_select", "/laboratory/project/@name"),
+        ("condition", r#"//paper[./@category="private"]"#),
+        ("double_condition", r#"/laboratory/project[./@type="public"]/paper[./@category="public"]"#),
+        ("positional", "/laboratory/project[17]"),
+        ("ancestor", "//fund/ancestor::project"),
+        ("text_cond", r#"//fund[sponsor = "MURST"]"#),
+        ("count_fn", "//project[count(paper) >= 2]"),
+    ];
+    let mut group = c.benchmark_group("xpath");
+    for (name, expr) in exprs {
+        let path = parse_path(expr).expect("expression parses");
+        group.bench_with_input(BenchmarkId::new("select", name), &path, |b, p| {
+            b.iter(|| black_box(select(&doc, p).len()))
+        });
+    }
+    // Parsing cost, separately.
+    group.bench_function("parse_condition_expr", |b| {
+        b.iter(|| {
+            black_box(
+                parse_path(r#"/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]"#)
+                    .expect("parses"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, xpath);
+criterion_main!(benches);

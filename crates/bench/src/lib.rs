@@ -1,0 +1,135 @@
+//! # xmlsec-bench — experiment harness
+//!
+//! Shared setup for the Criterion benches (one per experiment row in
+//! `DESIGN.md` §4) and for the `figures` binary that regenerates the
+//! paper's figures and worked examples as text.
+
+#![warn(missing_docs)]
+
+use xmlsec_authz::{AuthType, Authorization, ObjectSpec, PolicyConfig, Sign};
+use xmlsec_subjects::{Directory, Requester, Subject};
+use xmlsec_workload::laboratory::{
+    example1_authorizations, lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD_URI,
+};
+use xmlsec_xml::Document;
+
+/// A ready-to-measure scenario: document, directory, and the applicable
+/// authorization sets for a requester.
+pub struct BenchScenario {
+    /// The document under access control.
+    pub doc: Document,
+    /// The server directory.
+    pub dir: Directory,
+    /// Applicable instance-level authorizations.
+    pub axml: Vec<Authorization>,
+    /// Applicable schema-level authorizations.
+    pub adtd: Vec<Authorization>,
+    /// The policy in force.
+    pub policy: PolicyConfig,
+}
+
+/// A scaled laboratory document guarded by the Example 1 authorizations,
+/// with Tom as the requester — the paper's own scenario, bigger.
+pub fn lab_scenario(projects: usize) -> BenchScenario {
+    let doc = xmlsec_workload::laboratory_scaled(projects, 0xC5_1AB);
+    let dir = lab_directory();
+    let base = lab_authorization_base();
+    let requester = tom();
+    let axml = base.applicable(CSLAB_URI, &requester, &dir).into_iter().cloned().collect();
+    let adtd = base.applicable(LAB_DTD_URI, &requester, &dir).into_iter().cloned().collect();
+    BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() }
+}
+
+/// A scenario with `count` synthetic authorizations over a fixed
+/// laboratory document (`projects` projects). Roughly half the
+/// authorizations match some node.
+pub fn auth_scaling_scenario(projects: usize, count: usize) -> BenchScenario {
+    let doc = xmlsec_workload::laboratory_scaled(projects, 7);
+    let dir = lab_directory();
+    let mut axml = Vec::with_capacity(count);
+    let paths = [
+        "/laboratory/project",
+        r#"//paper[./@category="private"]"#,
+        r#"//paper[./@category="public"]"#,
+        "//manager",
+        "//fund",
+        "//member/flname",
+        r#"project[./@type="internal"]"#,
+        "/laboratory/project/@name",
+    ];
+    for i in 0..count {
+        let subject = match i % 3 {
+            0 => Subject::new("Public", "*", "*").expect("subject"),
+            1 => Subject::new("Foreign", "*", "*").expect("subject"),
+            _ => Subject::new("Tom", "*", "*.it").expect("subject"),
+        };
+        let sign = if i % 4 == 0 { Sign::Minus } else { Sign::Plus };
+        let ty = match i % 4 {
+            0 => AuthType::Recursive,
+            1 => AuthType::Local,
+            2 => AuthType::RecursiveWeak,
+            _ => AuthType::LocalWeak,
+        };
+        let path = paths[i % paths.len()];
+        axml.push(Authorization::new(
+            subject,
+            ObjectSpec::with_path(CSLAB_URI, path).expect("path"),
+            sign,
+            ty,
+        ));
+    }
+    BenchScenario { doc, dir, axml, adtd: Vec::new(), policy: PolicyConfig::paper_default() }
+}
+
+/// The Example 2 requester.
+pub fn bench_requester() -> Requester {
+    tom()
+}
+
+/// The Example 1 authorizations (owned).
+pub fn bench_auths() -> Vec<Authorization> {
+    example1_authorizations()
+}
+
+/// Runs `compute_view` on a scenario, returning the visible-node count
+/// (a value Criterion can black-box).
+pub fn run_view(s: &BenchScenario) -> usize {
+    let ax: Vec<&Authorization> = s.axml.iter().collect();
+    let ad: Vec<&Authorization> = s.adtd.iter().collect();
+    let (_, stats) = xmlsec_core::compute_view(&s.doc, &ax, &ad, &s.dir, s.policy);
+    stats.granted_nodes
+}
+
+/// Runs the naive baseline on a scenario.
+pub fn run_view_naive(s: &BenchScenario) -> usize {
+    let ax: Vec<&Authorization> = s.axml.iter().collect();
+    let ad: Vec<&Authorization> = s.adtd.iter().collect();
+    let (_, stats) = xmlsec_core::compute_view_naive(&s.doc, &ax, &ad, &s.dir, s.policy);
+    stats.granted_nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_runnable() {
+        let s = lab_scenario(10);
+        assert!(s.doc.count_reachable() > 100);
+        // Tom is covered by the Public grants but not the Admin one.
+        assert_eq!(s.axml.len(), 2);
+        assert_eq!(s.adtd.len(), 1);
+        let fast = run_view(&s);
+        let slow = run_view_naive(&s);
+        assert_eq!(fast, slow);
+        assert!(fast > 0);
+    }
+
+    #[test]
+    fn auth_scaling_scenario_scales() {
+        let s = auth_scaling_scenario(20, 64);
+        assert_eq!(s.axml.len(), 64);
+        // engine and baseline agree here too
+        assert_eq!(run_view(&s), run_view_naive(&s));
+    }
+}

@@ -1,0 +1,409 @@
+//! Static analysis of authorizations against a DTD.
+//!
+//! The paper's objects are path expressions; at the schema level they are
+//! meant to range over *every instance* of a DTD. Administrators
+//! therefore want to know, before any instance exists: *which element and
+//! attribute declarations can this authorization ever cover?* This module
+//! evaluates a path expression over the DTD graph (the tree of Figure
+//! 1(b), with recursion folded into a graph):
+//!
+//! - predicates are ignored — they can only *shrink* instance-level
+//!   selection, so the result is a sound over-approximation;
+//! - `//`, `ancestor::`, sibling axes etc. are interpreted over the
+//!   element-containment relation induced by content models;
+//! - an authorization whose coverage is empty is *dead*: no instance of
+//!   the DTD has a node it could ever select (usually a typo in the
+//!   path).
+
+use std::collections::{BTreeMap, BTreeSet};
+use xmlsec_authz::Authorization;
+use xmlsec_dtd::{ContentSpec, Dtd};
+use xmlsec_xpath::{Axis, NodeTest, PathExpr};
+
+/// A schema-level node a path can select.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemaNode {
+    /// An element declaration.
+    Element(String),
+    /// An attribute declaration, qualified by its element.
+    Attribute {
+        /// Owning element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+impl std::fmt::Display for SchemaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaNode::Element(e) => write!(f, "<{e}>"),
+            SchemaNode::Attribute { element, attribute } => write!(f, "<{element}>/@{attribute}"),
+        }
+    }
+}
+
+/// The element-containment graph of a DTD.
+struct SchemaGraph<'d> {
+    dtd: &'d Dtd,
+    /// element → child element names (from its content model).
+    children: BTreeMap<&'d str, BTreeSet<&'d str>>,
+    /// element → parent element names.
+    parents: BTreeMap<&'d str, BTreeSet<&'d str>>,
+    root: &'d str,
+}
+
+impl<'d> SchemaGraph<'d> {
+    fn new(dtd: &'d Dtd, root: &'d str) -> Self {
+        let mut children: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        let mut parents: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for (name, decl) in &dtd.elements {
+            let kids: BTreeSet<&str> = match &decl.content {
+                ContentSpec::Children(p) => p.names().into_iter().collect(),
+                ContentSpec::Mixed(ns) => ns.iter().map(String::as_str).collect(),
+                _ => BTreeSet::new(),
+            };
+            for k in &kids {
+                parents.entry(k).or_default().insert(name.as_str());
+            }
+            children.insert(name.as_str(), kids);
+        }
+        SchemaGraph { dtd, children, parents, root }
+    }
+
+    fn kids(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
+        self.children.get(e).into_iter().flatten().copied()
+    }
+
+    fn pars(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
+        self.parents.get(e).into_iter().flatten().copied()
+    }
+
+    fn descendants(&self, e: &str) -> BTreeSet<&'d str> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<&str> = self.kids(e).collect();
+        while let Some(x) = stack.pop() {
+            if out.insert(x) {
+                stack.extend(self.kids(x));
+            }
+        }
+        out
+    }
+
+    fn ancestors(&self, e: &str) -> BTreeSet<&'d str> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<&str> = self.pars(e).collect();
+        while let Some(x) = stack.pop() {
+            if out.insert(x) {
+                stack.extend(self.pars(x));
+            }
+        }
+        out
+    }
+}
+
+/// Context of schema evaluation: the virtual root or an element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ctx<'d> {
+    Root,
+    El(&'d str),
+}
+
+/// Computes the set of schema nodes `path` can select on instances of
+/// `dtd` rooted at `root_element`. Sound over-approximation (predicates
+/// ignored).
+pub fn schema_coverage(
+    dtd: &Dtd,
+    root_element: &str,
+    path: &PathExpr,
+) -> BTreeSet<SchemaNode> {
+    let Some(root) = dtd.elements.get_key_value(root_element).map(|(k, _)| k.as_str()) else {
+        return BTreeSet::new();
+    };
+    let g = SchemaGraph::new(dtd, root);
+    let mut current: BTreeSet<Ctx<'_>> =
+        if path.absolute { [Ctx::Root].into() } else { [Ctx::El(g.root)].into() };
+    let mut attrs: BTreeSet<SchemaNode> = BTreeSet::new();
+
+    for step in &path.steps {
+        let mut next: BTreeSet<Ctx<'_>> = BTreeSet::new();
+        attrs.clear(); // attributes are terminal; only the last step's survive
+        for &ctx in &current {
+            match step.axis {
+                Axis::Child => match ctx {
+                    Ctx::Root => {
+                        if name_matches(&step.test, g.root) {
+                            next.insert(Ctx::El(g.root));
+                        }
+                    }
+                    Ctx::El(e) => {
+                        for k in g.kids(e) {
+                            if name_matches(&step.test, k) {
+                                next.insert(Ctx::El(k));
+                            }
+                        }
+                    }
+                },
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let mut set: BTreeSet<&str> = match ctx {
+                        Ctx::Root => {
+                            let mut s = g.descendants(g.root);
+                            s.insert(g.root);
+                            s
+                        }
+                        Ctx::El(e) => g.descendants(e),
+                    };
+                    if step.axis == Axis::DescendantOrSelf {
+                        if let Ctx::El(e) = ctx {
+                            set.insert(e);
+                        }
+                    }
+                    for d in set {
+                        if name_matches(&step.test, d) {
+                            next.insert(Ctx::El(d));
+                        }
+                    }
+                    if matches!(step.test, NodeTest::AnyNode) && ctx == Ctx::Root {
+                        next.insert(Ctx::Root);
+                    }
+                }
+                Axis::Parent => {
+                    if let Ctx::El(e) = ctx {
+                        if e == g.root && matches!(step.test, NodeTest::AnyNode) {
+                            next.insert(Ctx::Root);
+                        }
+                        for p in g.pars(e) {
+                            if name_matches(&step.test, p) {
+                                next.insert(Ctx::El(p));
+                            }
+                        }
+                    }
+                }
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    if let Ctx::El(e) = ctx {
+                        let mut set = g.ancestors(e);
+                        if step.axis == Axis::AncestorOrSelf {
+                            set.insert(e);
+                        }
+                        for a in set {
+                            if name_matches(&step.test, a) {
+                                next.insert(Ctx::El(a));
+                            }
+                        }
+                    }
+                }
+                Axis::SelfAxis => match ctx {
+                    Ctx::Root => {
+                        if matches!(step.test, NodeTest::AnyNode) {
+                            next.insert(Ctx::Root);
+                        }
+                    }
+                    Ctx::El(e) => {
+                        if name_matches(&step.test, e) {
+                            next.insert(Ctx::El(e));
+                        }
+                    }
+                },
+                Axis::FollowingSibling | Axis::PrecedingSibling => {
+                    if let Ctx::El(e) = ctx {
+                        // Approximation: siblings = other children of any
+                        // of e's parents.
+                        for p in g.pars(e) {
+                            for s in g.kids(p) {
+                                if name_matches(&step.test, s) {
+                                    next.insert(Ctx::El(s));
+                                }
+                            }
+                        }
+                    }
+                }
+                Axis::Attribute => {
+                    if let Ctx::El(e) = ctx {
+                        for def in g.dtd.attributes(e) {
+                            let matches = match &step.test {
+                                NodeTest::Name(n) => n == &def.name,
+                                NodeTest::Wildcard | NodeTest::AnyNode => true,
+                                NodeTest::Text => false,
+                            };
+                            if matches {
+                                attrs.insert(SchemaNode::Attribute {
+                                    element: e.to_string(),
+                                    attribute: def.name.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() && attrs.is_empty() {
+            break;
+        }
+    }
+
+    let mut out = attrs;
+    for ctx in current {
+        if let Ctx::El(e) = ctx {
+            out.insert(SchemaNode::Element(e.to_string()));
+        }
+    }
+    out
+}
+
+fn name_matches(test: &NodeTest, name: &str) -> bool {
+    match test {
+        NodeTest::Name(n) => n == name,
+        NodeTest::Wildcard | NodeTest::AnyNode => true,
+        NodeTest::Text => false,
+    }
+}
+
+/// One authorization's analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthCoverage {
+    /// Display form of the authorization.
+    pub authorization: String,
+    /// Declarations the object path can select (empty = dead path).
+    pub covers: BTreeSet<SchemaNode>,
+}
+
+/// Analyzes a set of (typically schema-level) authorizations against a
+/// DTD: which declarations each can cover, flagging dead paths.
+pub fn analyze_against_schema(
+    dtd: &Dtd,
+    root_element: &str,
+    auths: &[Authorization],
+) -> Vec<AuthCoverage> {
+    auths
+        .iter()
+        .map(|a| {
+            let covers = match &a.object.path {
+                Some(p) => schema_coverage(dtd, root_element, p),
+                None => {
+                    // Whole-document object = the root element.
+                    let mut s = BTreeSet::new();
+                    if dtd.element(root_element).is_some() {
+                        s.insert(SchemaNode::Element(root_element.to_string()));
+                    }
+                    s
+                }
+            };
+            AuthCoverage { authorization: a.to_string(), covers }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_dtd::parse_dtd;
+    use xmlsec_xpath::parse_path;
+
+    const LAB: &str = r#"
+        <!ELEMENT laboratory (project+)>
+        <!ATTLIST laboratory name CDATA #REQUIRED>
+        <!ELEMENT project (manager, member*, fund*, paper*)>
+        <!ATTLIST project name CDATA #REQUIRED type (internal|public) #REQUIRED>
+        <!ELEMENT manager (flname, email?)>
+        <!ELEMENT member (flname, email?)>
+        <!ELEMENT flname (#PCDATA)>
+        <!ELEMENT email (#PCDATA)>
+        <!ELEMENT fund (sponsor, amount?)>
+        <!ELEMENT sponsor (#PCDATA)>
+        <!ELEMENT amount (#PCDATA)>
+        <!ELEMENT paper (title, authors?)>
+        <!ATTLIST paper category (private|public) #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT authors (#PCDATA)>
+    "#;
+
+    fn cover(path: &str) -> Vec<String> {
+        let dtd = parse_dtd(LAB).unwrap();
+        let p = parse_path(path).unwrap();
+        schema_coverage(&dtd, "laboratory", &p).into_iter().map(|n| n.to_string()).collect()
+    }
+
+    #[test]
+    fn rooted_paths() {
+        assert_eq!(cover("/laboratory/project"), vec!["<project>"]);
+        assert_eq!(cover("/laboratory/project/manager"), vec!["<manager>"]);
+        assert_eq!(cover("/wrongroot/project"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn descendant_paths() {
+        assert_eq!(cover("//flname"), vec!["<flname>"]);
+        // predicates are ignored: coverage is the paper element
+        assert_eq!(cover(r#"//paper[./@category="private"]"#), vec!["<paper>"]);
+    }
+
+    #[test]
+    fn attribute_paths() {
+        assert_eq!(cover("/laboratory/project/@name"), vec!["<project>/@name"]);
+        let all = cover("//@*");
+        assert!(all.contains(&"<project>/@type".to_string()), "{all:?}");
+        assert!(all.contains(&"<laboratory>/@name".to_string()), "{all:?}");
+        assert!(all.contains(&"<paper>/@category".to_string()), "{all:?}");
+    }
+
+    #[test]
+    fn relative_paths_start_at_root_element() {
+        assert_eq!(cover(r#"project"#), vec!["<project>"]);
+        assert_eq!(cover("project/manager"), vec!["<manager>"]);
+    }
+
+    #[test]
+    fn ancestor_and_parent() {
+        assert_eq!(cover("//fund/ancestor::project"), vec!["<project>"]);
+        assert_eq!(cover("//flname/.."), vec!["<manager>", "<member>"]);
+    }
+
+    #[test]
+    fn wildcard_and_multi_coverage() {
+        let c = cover("/laboratory/project/*");
+        assert_eq!(c, vec!["<fund>", "<manager>", "<member>", "<paper>"]);
+    }
+
+    #[test]
+    fn dead_paths_detected() {
+        assert_eq!(cover("//budget"), Vec::<String>::new());
+        assert_eq!(cover("/laboratory/manager"), Vec::<String>::new()); // manager is not a child of laboratory
+        assert_eq!(cover("//paper/@nosuch"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn recursive_dtds_terminate() {
+        let dtd = parse_dtd("<!ELEMENT part (part*, label?)><!ELEMENT label (#PCDATA)>").unwrap();
+        let p = parse_path("//label").unwrap();
+        let c = schema_coverage(&dtd, "part", &p);
+        assert_eq!(c.len(), 1);
+        let p2 = parse_path("//part/part/part").unwrap();
+        assert_eq!(schema_coverage(&dtd, "part", &p2).len(), 1);
+    }
+
+    #[test]
+    fn analyze_example1_against_laboratory() {
+        use xmlsec_authz::{AuthType, ObjectSpec, Sign};
+        use xmlsec_subjects::Subject;
+        let dtd = parse_dtd(LAB).unwrap();
+        let auths = vec![
+            Authorization::new(
+                Subject::new("Foreign", "*", "*").unwrap(),
+                ObjectSpec::with_path("lab.dtd", r#"/laboratory//paper[./@category="private"]"#)
+                    .unwrap(),
+                Sign::Minus,
+                AuthType::Recursive,
+            ),
+            Authorization::new(
+                Subject::new("Public", "*", "*").unwrap(),
+                ObjectSpec::with_path("lab.dtd", "//typo-element").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+        ];
+        let report = analyze_against_schema(&dtd, "laboratory", &auths);
+        assert_eq!(report[0].covers.len(), 1);
+        assert!(report[1].covers.is_empty(), "dead path must be flagged");
+    }
+}

@@ -1,0 +1,140 @@
+//! Node labels for the compute-view algorithm (paper §6.1).
+//!
+//! Each node carries a 6-tuple `⟨L, R, LD, RD, LW, RW⟩` over
+//! `{+, −, ε}`: the signs of the Local, Recursive, Local-DTD,
+//! Recursive-DTD, Local-Weak and Recursive-Weak authorizations holding
+//! for it. Unlike the paper's in-place trick (which overwrites `L_n` with
+//! the winning sign), we keep the components intact and store the final
+//! sign separately — attribute labeling needs the parent's original
+//! components, and the explicit field makes the invariants testable.
+
+use xmlsec_authz::Sign;
+
+/// Three-valued sign: `+`, `−`, or `ε` (no authorization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sign3 {
+    /// Permission.
+    Plus,
+    /// Denial.
+    Minus,
+    /// No authorization.
+    #[default]
+    Eps,
+}
+
+impl Sign3 {
+    /// `true` for `+` or `−`.
+    #[inline]
+    pub fn is_def(self) -> bool {
+        !matches!(self, Sign3::Eps)
+    }
+
+    /// The character used in diagnostics.
+    pub fn symbol(self) -> char {
+        match self {
+            Sign3::Plus => '+',
+            Sign3::Minus => '-',
+            Sign3::Eps => 'ε',
+        }
+    }
+}
+
+impl From<Sign> for Sign3 {
+    fn from(s: Sign) -> Sign3 {
+        match s {
+            Sign::Plus => Sign3::Plus,
+            Sign::Minus => Sign3::Minus,
+        }
+    }
+}
+
+impl From<Option<Sign>> for Sign3 {
+    fn from(s: Option<Sign>) -> Sign3 {
+        match s {
+            Some(s) => s.into(),
+            None => Sign3::Eps,
+        }
+    }
+}
+
+/// The paper's `first_def`: the first value in the sequence different
+/// from `ε` (or `ε` if none is).
+#[inline]
+pub fn first_def<const N: usize>(seq: [Sign3; N]) -> Sign3 {
+    for s in seq {
+        if s.is_def() {
+            return s;
+        }
+    }
+    Sign3::Eps
+}
+
+/// The 6-tuple label of one node, plus its computed final sign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Label {
+    /// Local instance sign (`L_n`).
+    pub l: Sign3,
+    /// Recursive instance sign (`R_n`), after propagation.
+    pub r: Sign3,
+    /// Local schema (DTD) sign (`LD_n`).
+    pub ld: Sign3,
+    /// Recursive schema sign (`RD_n`), after propagation.
+    pub rd: Sign3,
+    /// Local weak sign (`LW_n`).
+    pub lw: Sign3,
+    /// Recursive weak sign (`RW_n`), after propagation.
+    pub rw: Sign3,
+    /// The winning sign for the node (the paper stores this back into
+    /// `L_n`; we keep it separate).
+    pub final_sign: Sign3,
+}
+
+impl Label {
+    /// The final sign an element derives from its own components
+    /// (priority: `L, R, LD, RD, LW, RW` — strong instance, then schema,
+    /// then weak instance).
+    pub fn collapse(&self) -> Sign3 {
+        first_def([self.l, self.r, self.ld, self.rd, self.lw, self.rw])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_def_picks_first_non_eps() {
+        use Sign3::*;
+        assert_eq!(first_def([Eps, Minus, Plus]), Minus);
+        assert_eq!(first_def([Plus, Minus]), Plus);
+        assert_eq!(first_def([Eps, Eps]), Eps);
+        assert_eq!(first_def([] as [Sign3; 0]), Eps);
+    }
+
+    #[test]
+    fn sign_conversions() {
+        assert_eq!(Sign3::from(Sign::Plus), Sign3::Plus);
+        assert_eq!(Sign3::from(Sign::Minus), Sign3::Minus);
+        assert_eq!(Sign3::from(None), Sign3::Eps);
+        assert_eq!(Sign3::from(Some(Sign::Minus)), Sign3::Minus);
+    }
+
+    #[test]
+    fn collapse_priority_order() {
+        use Sign3::*;
+        // weak loses to schema, schema loses to strong instance
+        let lab = Label { l: Eps, r: Eps, ld: Eps, rd: Plus, lw: Minus, rw: Eps, final_sign: Eps };
+        assert_eq!(lab.collapse(), Plus);
+        let lab2 = Label { l: Eps, r: Minus, ld: Plus, ..Default::default() };
+        assert_eq!(lab2.collapse(), Minus);
+        let lab3 = Label::default();
+        assert_eq!(lab3.collapse(), Eps);
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(Sign3::Plus.symbol(), '+');
+        assert_eq!(Sign3::Minus.symbol(), '-');
+        assert_eq!(Sign3::Eps.symbol(), 'ε');
+    }
+}

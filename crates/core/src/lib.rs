@@ -1,0 +1,55 @@
+//! # xmlsec-core — the *Securing XML Documents* access-control engine
+//!
+//! The paper's primary contribution, built on the substrate crates:
+//!
+//! - [`label`] — per-node 6-tuples `⟨L, R, LD, RD, LW, RW⟩` over
+//!   `{+, −, ε}` and the `first_def` priority rule (§6.1);
+//! - [`view`] — the **compute-view** algorithm (Figure 2): initial
+//!   labeling from applicable authorizations, preorder propagation with
+//!   most-specific-object overriding, postorder pruning with structure
+//!   preservation (§6.2);
+//! - [`naive`] — an independent declarative evaluator used as a
+//!   differential-testing oracle and benchmark baseline;
+//! - [`processor`] — the four-step server-side security processor
+//!   (parse → label → prune → unparse) with DTD loosening (§7).
+//!
+//! ```
+//! use xmlsec_core::{compute_view, PolicyConfig};
+//! use xmlsec_authz::{Authorization, ObjectSpec, Sign, AuthType};
+//! use xmlsec_subjects::{Directory, Subject};
+//!
+//! let doc = xmlsec_xml::parse("<lab><pub>yes</pub><priv>no</priv></lab>").unwrap();
+//! let grant = Authorization::new(
+//!     Subject::new("Public", "*", "*").unwrap(),
+//!     ObjectSpec::parse("lab.xml:/lab/pub").unwrap(),
+//!     Sign::Plus,
+//!     AuthType::Recursive,
+//! );
+//! let (view, _stats) = compute_view(
+//!     &doc, &[&grant], &[], &Directory::new(), PolicyConfig::paper_default());
+//! assert_eq!(
+//!     xmlsec_xml::serialize(&view, &xmlsec_xml::SerializeOptions::canonical()),
+//!     "<lab><pub>yes</pub></lab>");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod label;
+pub mod naive;
+pub mod processor;
+pub mod update;
+pub mod view;
+
+pub use analysis::{analyze_against_schema, schema_coverage, AuthCoverage, SchemaNode};
+pub use label::{first_def, Label, Sign3};
+pub use naive::{compute_view_naive, naive_final_sign};
+pub use processor::{
+    AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions,
+    SecurityProcessor,
+};
+pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
+pub use view::{compute_view, label_document, prune_document, render_labeled, Labeling, ViewStats};
+
+// Re-export the policy types users need at this level.
+pub use xmlsec_authz::{CompletenessPolicy, ConflictResolution, PolicyConfig};

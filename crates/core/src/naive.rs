@@ -1,0 +1,354 @@
+//! A naive reference evaluator: the declarative semantics of §6 restated
+//! without the recursive propagation pass.
+//!
+//! For each node *independently*, it determines the final sign by scanning
+//! the node's ancestor chain for the nearest applicable authorization of
+//! each priority class. It is quadratic in tree depth and re-filters
+//! authorizations per node — obviously correct, deliberately unoptimized.
+//! It serves two purposes:
+//!
+//! 1. **differential-testing oracle** — property tests assert
+//!    `compute_view ≡ naive` on random documents/authorizations;
+//! 2. **benchmark baseline** — the paper claims its recursive propagation
+//!    gives "fast on-line computation" of views; the `baseline` bench
+//!    quantifies the claim against this per-node evaluation.
+
+use crate::label::{first_def, Sign3};
+use crate::view::ViewStats;
+use xmlsec_authz::{policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig};
+use xmlsec_subjects::Directory;
+use xmlsec_xml::{Document, NodeData, NodeId};
+use xmlsec_xpath::eval_path;
+
+/// Computes the view document exactly like [`crate::view::compute_view`],
+/// using the naive per-node semantics.
+pub fn compute_view_naive(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> (Document, ViewStats) {
+    let n = NaiveEval::new(doc, axml, adtd, dir, policy);
+    let mut signs: Vec<Sign3> = vec![Sign3::Eps; doc.arena_len()];
+    let mut granted = 0usize;
+    let mut labeled = 0usize;
+    for node in doc.preorder(doc.root()) {
+        let s = n.final_sign(node);
+        signs[node.index()] = s;
+        labeled += 1;
+        if s == Sign3::Plus {
+            granted += 1;
+        }
+    }
+    let mut view = doc.clone();
+    let open = policy.completeness == CompletenessPolicy::Open;
+    let allowed = |s: Sign3| s == Sign3::Plus || (open && s == Sign3::Eps);
+    let mut removed = 0usize;
+    let root = view.root();
+    prune_by_signs(&mut view, root, &signs, allowed, &mut removed);
+    (
+        view,
+        ViewStats {
+            instance_auths: axml.len(),
+            schema_auths: adtd.len(),
+            labeled_nodes: labeled,
+            granted_nodes: granted,
+            pruned_nodes: removed,
+        },
+    )
+}
+
+/// The final sign of a single node under the naive semantics
+/// (exposed so differential tests can compare label-by-label).
+pub fn naive_final_sign(
+    doc: &Document,
+    node: NodeId,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> Sign3 {
+    NaiveEval::new(doc, axml, adtd, dir, policy).final_sign(node)
+}
+
+struct NaiveEval<'a> {
+    doc: &'a Document,
+    /// Per instance-authorization selected node lists.
+    xml_sel: Vec<(&'a Authorization, Vec<NodeId>)>,
+    dtd_sel: Vec<(&'a Authorization, Vec<NodeId>)>,
+    dir: &'a Directory,
+    policy: PolicyConfig,
+}
+
+impl<'a> NaiveEval<'a> {
+    fn new(
+        doc: &'a Document,
+        axml: &[&'a Authorization],
+        adtd: &[&'a Authorization],
+        dir: &'a Directory,
+        policy: PolicyConfig,
+    ) -> Self {
+        let sel = |auths: &[&'a Authorization]| {
+            auths
+                .iter()
+                .map(|a| {
+                    let nodes = match &a.object.path {
+                        Some(p) => eval_path(doc, doc.root(), p),
+                        None => vec![doc.root()],
+                    };
+                    (*a, nodes)
+                })
+                .collect()
+        };
+        NaiveEval { doc, xml_sel: sel(axml), dtd_sel: sel(adtd), dir, policy }
+    }
+
+    /// Sign of one type class at one node (instance level).
+    fn class_sign(&self, node: NodeId, class: AuthType) -> Sign3 {
+        let is_attr = self.doc.is_attribute(node);
+        let bucket: Vec<&Authorization> = self
+            .xml_sel
+            .iter()
+            .filter(|(a, nodes)| {
+                let eff = if is_attr {
+                    match a.ty {
+                        AuthType::Recursive => AuthType::Local,
+                        AuthType::RecursiveWeak => AuthType::LocalWeak,
+                        t => t,
+                    }
+                } else {
+                    a.ty
+                };
+                eff == class && nodes.contains(&node)
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        resolve_sign(&bucket, self.dir, self.policy.conflict).into()
+    }
+
+    /// Sign of the schema-level local or recursive class at one node.
+    fn schema_sign(&self, node: NodeId, local: bool) -> Sign3 {
+        let is_attr = self.doc.is_attribute(node);
+        let bucket: Vec<&Authorization> = self
+            .dtd_sel
+            .iter()
+            .filter(|(a, nodes)| {
+                let recursive = a.ty.is_recursive() && !is_attr;
+                local != recursive && nodes.contains(&node)
+            })
+            .map(|(a, _)| *a)
+            .collect();
+        resolve_sign(&bucket, self.dir, self.policy.conflict).into()
+    }
+
+    /// The instance-recursive pair (`R`, `RW`) in force at an element:
+    /// the values at the nearest ancestor-or-self where either is defined.
+    fn recursive_pair(&self, element: NodeId) -> (Sign3, Sign3) {
+        let mut cur = Some(element);
+        while let Some(m) = cur {
+            let r = self.class_sign(m, AuthType::Recursive);
+            let rw = self.class_sign(m, AuthType::RecursiveWeak);
+            if r.is_def() || rw.is_def() {
+                return (r, rw);
+            }
+            cur = self.doc.parent(m);
+        }
+        (Sign3::Eps, Sign3::Eps)
+    }
+
+    /// The schema-recursive sign in force at an element: the value at the
+    /// nearest ancestor-or-self where it is defined.
+    fn schema_recursive(&self, element: NodeId) -> Sign3 {
+        let mut cur = Some(element);
+        while let Some(m) = cur {
+            let rd = self.schema_sign(m, false);
+            if rd.is_def() {
+                return rd;
+            }
+            cur = self.doc.parent(m);
+        }
+        Sign3::Eps
+    }
+
+    fn final_sign(&self, node: NodeId) -> Sign3 {
+        match &self.doc.node(node).data {
+            NodeData::Element { .. } => {
+                let l = self.class_sign(node, AuthType::Local);
+                let (r, rw) = self.recursive_pair(node);
+                let ld = self.schema_sign(node, true);
+                let rd = self.schema_recursive(node);
+                let lw = self.class_sign(node, AuthType::LocalWeak);
+                first_def([l, r, ld, rd, lw, rw])
+            }
+            NodeData::Attr { .. } => {
+                let p = self.doc.parent(node).expect("attributes have a parent element");
+                let l = self.class_sign(node, AuthType::Local);
+                let strong_p =
+                    first_def([self.class_sign(p, AuthType::Local), self.recursive_pair(p).0]);
+                let ld = self.schema_sign(node, true);
+                let schema_p = first_def([self.schema_sign(p, true), self.schema_recursive(p)]);
+                let lw = self.class_sign(node, AuthType::LocalWeak);
+                let weak_p =
+                    first_def([self.class_sign(p, AuthType::LocalWeak), self.recursive_pair(p).1]);
+                first_def([l, strong_p, ld, schema_p, lw, weak_p])
+            }
+            _ => Sign3::Eps,
+        }
+    }
+}
+
+fn prune_by_signs(
+    doc: &mut Document,
+    n: NodeId,
+    signs: &[Sign3],
+    allowed: impl Fn(Sign3) -> bool + Copy,
+    removed: &mut usize,
+) -> bool {
+    let self_allowed = allowed(signs[n.index()]);
+    let attrs: Vec<NodeId> = doc.attributes(n).to_vec();
+    let mut kept_any = false;
+    for a in attrs {
+        if allowed(signs[a.index()]) {
+            kept_any = true;
+        } else {
+            doc.detach(a);
+            *removed += 1;
+        }
+    }
+    let children: Vec<NodeId> = doc.children(n).to_vec();
+    for c in children {
+        let keep = match &doc.node(c).data {
+            NodeData::Element { .. } => prune_by_signs(doc, c, signs, allowed, removed),
+            _ => self_allowed,
+        };
+        if keep {
+            kept_any = true;
+        } else if !doc.is_element(c) {
+            doc.detach(c);
+            *removed += 1;
+        }
+    }
+    let keep = self_allowed || kept_any;
+    let is_root = doc.parent(n).is_none();
+    if !keep && !is_root {
+        doc.detach(n);
+        *removed += 1;
+    }
+    // The root element always survives; report it as kept.
+    keep || is_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::compute_view;
+    use xmlsec_authz::{ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    fn dir() -> Directory {
+        Directory::new()
+    }
+
+    fn auth(spec: &str, sign: Sign, ty: AuthType) -> Authorization {
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::parse(spec).unwrap(),
+            sign,
+            ty,
+        )
+    }
+
+    /// Both engines must produce identical views on a hand-picked set of
+    /// tricky cases (the property test in `tests/` covers random ones).
+    #[test]
+    fn agrees_with_propagation_engine() {
+        let cases: Vec<(&str, Vec<Authorization>, Vec<Authorization>)> = vec![
+            ("<a><b>t</b></a>", vec![], vec![]),
+            (
+                "<a><b>t</b><c><d/></c></a>",
+                vec![auth("d:/a", Sign::Plus, AuthType::Recursive)],
+                vec![],
+            ),
+            (
+                "<a><b>t</b><c><d/></c></a>",
+                vec![
+                    auth("d:/a", Sign::Plus, AuthType::Recursive),
+                    auth("d:/a/c", Sign::Minus, AuthType::RecursiveWeak),
+                ],
+                vec![auth("s://d", Sign::Plus, AuthType::Recursive)],
+            ),
+            (
+                r#"<a x="1"><b y="2">t</b></a>"#,
+                vec![
+                    auth("d:/a", Sign::Plus, AuthType::Local),
+                    auth("d:/a/b/@y", Sign::Minus, AuthType::Local),
+                ],
+                vec![auth("s:/a/b", Sign::Plus, AuthType::Local)],
+            ),
+            (
+                "<a><b><c><d>deep</d></c></b></a>",
+                vec![
+                    auth("d:/a", Sign::Minus, AuthType::Recursive),
+                    auth("d://c", Sign::Plus, AuthType::RecursiveWeak),
+                ],
+                vec![auth("s://b", Sign::Plus, AuthType::Recursive)],
+            ),
+        ];
+        let d = dir();
+        for (text, axml, adtd) in cases {
+            let doc = parse(text).unwrap();
+            let ax: Vec<&Authorization> = axml.iter().collect();
+            let ad: Vec<&Authorization> = adtd.iter().collect();
+            let (fast, _) = compute_view(&doc, &ax, &ad, &d, PolicyConfig::paper_default());
+            let (slow, _) = compute_view_naive(&doc, &ax, &ad, &d, PolicyConfig::paper_default());
+            assert_eq!(
+                serialize(&fast, &SerializeOptions::canonical()),
+                serialize(&slow, &SerializeOptions::canonical()),
+                "divergence on {text} with {axml:?} / {adtd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_node_signs_match_engine_labels() {
+        let doc = parse(r#"<a x="1"><b><c y="2">t</c></b><e/></a>"#).unwrap();
+        let axml = [
+            auth("d:/a", Sign::Plus, AuthType::Recursive),
+            auth("d:/a/b", Sign::Minus, AuthType::RecursiveWeak),
+            auth("d://c/@y", Sign::Plus, AuthType::Local),
+        ];
+        let adtd = [auth("s://c", Sign::Plus, AuthType::Local)];
+        let ax: Vec<&Authorization> = axml.iter().collect();
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let d = dir();
+        let labeling =
+            crate::view::label_document(&doc, &ax, &ad, &d, PolicyConfig::paper_default());
+        for n in doc.preorder(doc.root()) {
+            let naive = naive_final_sign(&doc, n, &ax, &ad, &d, PolicyConfig::paper_default());
+            assert_eq!(
+                labeling.final_sign(n),
+                naive,
+                "node {n} ({})",
+                xmlsec_xpath::describe_node(&doc, n)
+            );
+        }
+    }
+
+    #[test]
+    fn open_policy_agreement() {
+        let doc = parse("<a><b/><c>t</c></a>").unwrap();
+        let axml = [auth("d:/a/b", Sign::Minus, AuthType::Recursive)];
+        let ax: Vec<&Authorization> = axml.iter().collect();
+        let policy = PolicyConfig {
+            completeness: CompletenessPolicy::Open,
+            ..PolicyConfig::paper_default()
+        };
+        let d = dir();
+        let (fast, _) = compute_view(&doc, &ax, &[], &d, policy);
+        let (slow, _) = compute_view_naive(&doc, &ax, &[], &d, policy);
+        assert!(fast.structurally_equal(&slow));
+        assert_eq!(serialize(&fast, &SerializeOptions::canonical()), "<a><c>t</c></a>");
+    }
+}

@@ -1,0 +1,434 @@
+//! Write and update operations — the paper's §8 extension ("the support
+//! for write and update operations on the documents").
+//!
+//! The read model carries over wholesale: write authorizations are the
+//! same 5-tuples with `action = write`, labeled by the same compute-view
+//! machinery. What is new is the *enforcement rule* for each update
+//! operation, which the paper leaves open; we adopt the strict reading:
+//!
+//! - **SetText / SetAttribute** on a node require a positive write label
+//!   on that node (for attributes: on the attribute node itself, which
+//!   inherits from parent-local grants as in the read model);
+//! - **InsertElement** under a parent requires a positive write label on
+//!   the parent (you may add to what you can write);
+//! - **Delete** requires a positive write label on *every* node of the
+//!   deleted subtree — deleting content you could not even write to is
+//!   never allowed, no matter how permissive the root of the subtree is.
+//!
+//! Updates are transactional: the operation list is checked first and
+//! applied only if every operation is authorized, so a failed batch
+//! leaves the document untouched.
+
+use crate::label::Sign3;
+use crate::view::{label_document, Labeling};
+use std::fmt;
+use xmlsec_authz::{Action, Authorization, PolicyConfig};
+use xmlsec_subjects::Directory;
+use xmlsec_xml::{Document, NodeId};
+use xmlsec_xpath::{parse_path, select, XPathError};
+
+/// One update operation, with targets given as path expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Replace the text content of the selected element(s).
+    SetText {
+        /// Path selecting the target element(s).
+        target: String,
+        /// The new text.
+        text: String,
+    },
+    /// Set (or add) an attribute on the selected element(s).
+    SetAttribute {
+        /// Path selecting the target element(s).
+        target: String,
+        /// Attribute name.
+        name: String,
+        /// Attribute value.
+        value: String,
+    },
+    /// Append a new empty element under the selected parent(s).
+    InsertElement {
+        /// Path selecting the parent element(s).
+        parent: String,
+        /// Name of the new element.
+        name: String,
+    },
+    /// Delete the selected node(s) (elements or attributes).
+    Delete {
+        /// Path selecting the nodes to remove.
+        target: String,
+    },
+}
+
+/// Why an update was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    /// The target path does not parse.
+    BadPath(XPathError),
+    /// The path selected no nodes.
+    NoSuchNode(String),
+    /// A selected node (described) lacks write permission.
+    NotAuthorized(String),
+    /// The operation does not apply to the selected node kind.
+    WrongNodeKind(String),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::BadPath(e) => write!(f, "bad update path: {e}"),
+            UpdateError::NoSuchNode(p) => write!(f, "no node matches {p:?}"),
+            UpdateError::NotAuthorized(n) => write!(f, "write access denied on {n}"),
+            UpdateError::WrongNodeKind(n) => write!(f, "operation not applicable to {n}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<XPathError> for UpdateError {
+    fn from(e: XPathError) -> Self {
+        UpdateError::BadPath(e)
+    }
+}
+
+/// Computes the **write labeling** of `doc`: identical to read labeling
+/// but fed only `action = write` authorizations.
+pub fn label_for_write(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> Labeling {
+    let wx: Vec<&Authorization> =
+        axml.iter().copied().filter(|a| a.action == Action::Write).collect();
+    let wd: Vec<&Authorization> =
+        adtd.iter().copied().filter(|a| a.action == Action::Write).collect();
+    label_document(doc, &wx, &wd, dir, policy)
+}
+
+/// Checks and applies a batch of updates atomically. On success, returns
+/// the number of nodes touched; on failure the document is unchanged.
+pub fn apply_updates(
+    doc: &mut Document,
+    ops: &[UpdateOp],
+    write_labels: &Labeling,
+) -> Result<usize, UpdateError> {
+    // Phase 1: resolve and authorize everything against the *current*
+    // document, collecting concrete actions.
+    enum Planned {
+        SetText(NodeId, String),
+        SetAttr(NodeId, String, String),
+        Insert(NodeId, String),
+        Delete(NodeId),
+    }
+    let granted = |n: NodeId| write_labels.final_sign(n) == Sign3::Plus;
+    let describe = |doc: &Document, n: NodeId| xmlsec_xpath::describe_node(doc, n);
+
+    let mut plan: Vec<Planned> = Vec::new();
+    for op in ops {
+        match op {
+            UpdateOp::SetText { target, text } => {
+                let nodes = resolve(doc, target)?;
+                for n in nodes {
+                    if !doc.is_element(n) {
+                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
+                    }
+                    if !granted(n) {
+                        return Err(UpdateError::NotAuthorized(describe(doc, n)));
+                    }
+                    plan.push(Planned::SetText(n, text.clone()));
+                }
+            }
+            UpdateOp::SetAttribute { target, name, value } => {
+                let nodes = resolve(doc, target)?;
+                for n in nodes {
+                    if !doc.is_element(n) {
+                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
+                    }
+                    // Authorization point: the existing attribute node if
+                    // present (it has its own label), else the element.
+                    let auth_node = doc.attribute_node(n, name).unwrap_or(n);
+                    if !granted(auth_node) {
+                        return Err(UpdateError::NotAuthorized(describe(doc, auth_node)));
+                    }
+                    plan.push(Planned::SetAttr(n, name.clone(), value.clone()));
+                }
+            }
+            UpdateOp::InsertElement { parent, name } => {
+                let nodes = resolve(doc, parent)?;
+                for n in nodes {
+                    if !doc.is_element(n) {
+                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
+                    }
+                    if !granted(n) {
+                        return Err(UpdateError::NotAuthorized(describe(doc, n)));
+                    }
+                    plan.push(Planned::Insert(n, name.clone()));
+                }
+            }
+            UpdateOp::Delete { target } => {
+                let nodes = resolve(doc, target)?;
+                for n in nodes {
+                    // Strict rule: the whole subtree must be writable.
+                    let mut stack = vec![n];
+                    while let Some(m) = stack.pop() {
+                        if (doc.is_element(m) || doc.is_attribute(m)) && !granted(m) {
+                            return Err(UpdateError::NotAuthorized(describe(doc, m)));
+                        }
+                        for &a in doc.attributes(m) {
+                            stack.push(a);
+                        }
+                        for &c in doc.children(m) {
+                            if doc.is_element(c) {
+                                stack.push(c);
+                            }
+                        }
+                    }
+                    if doc.parent(n).is_none() {
+                        return Err(UpdateError::WrongNodeKind("the document element".into()));
+                    }
+                    plan.push(Planned::Delete(n));
+                }
+            }
+        }
+    }
+
+    // Phase 2: apply.
+    let touched = plan.len();
+    for p in plan {
+        match p {
+            Planned::SetText(n, text) => {
+                for c in doc.children(n).to_vec() {
+                    if doc.is_text(c) {
+                        doc.detach(c);
+                    }
+                }
+                doc.append_text(n, &text);
+            }
+            Planned::SetAttr(n, name, value) => {
+                doc.set_attribute(n, &name, &value).expect("target checked to be an element");
+            }
+            Planned::Insert(n, name) => {
+                doc.append_element(n, &name);
+            }
+            Planned::Delete(n) => {
+                doc.detach(n);
+            }
+        }
+    }
+    Ok(touched)
+}
+
+fn resolve(doc: &Document, path: &str) -> Result<Vec<NodeId>, UpdateError> {
+    let p = parse_path(path)?;
+    let nodes = select(doc, &p);
+    if nodes.is_empty() {
+        return Err(UpdateError::NoSuchNode(path.to_string()));
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    const DOC: &str = r#"<doc><notes author="kim">old</notes><locked>keep</locked></doc>"#;
+
+    fn write_auth(path: &str, sign: Sign) -> Authorization {
+        Authorization::new(
+            Subject::new("kim", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", path).unwrap(),
+            sign,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write)
+    }
+
+    fn labeled(doc: &Document, auths: &[Authorization]) -> Labeling {
+        let refs: Vec<&Authorization> = auths.iter().collect();
+        label_for_write(doc, &refs, &[], &Directory::new(), PolicyConfig::paper_default())
+    }
+
+    #[test]
+    fn set_text_with_grant() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let labels = labeled(&doc, &auths);
+        let n = apply_updates(
+            &mut doc,
+            &[UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() }],
+            &labels,
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        let out = serialize(&doc, &SerializeOptions::canonical());
+        assert!(out.contains("<notes author=\"kim\">new</notes>"), "{out}");
+    }
+
+    #[test]
+    fn set_text_without_grant_denied() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let labels = labeled(&doc, &auths);
+        let e = apply_updates(
+            &mut doc,
+            &[UpdateOp::SetText { target: "/doc/locked".into(), text: "hack".into() }],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        // untouched
+        assert!(serialize(&doc, &SerializeOptions::canonical()).contains("keep"));
+    }
+
+    #[test]
+    fn read_grants_do_not_authorize_writes() {
+        let mut doc = parse(DOC).unwrap();
+        // Same path, but a *read* authorization.
+        let read_only = [Authorization::new(
+            Subject::new("kim", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/doc/notes").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )];
+        let labels = labeled(&doc, &read_only);
+        let e = apply_updates(
+            &mut doc,
+            &[UpdateOp::SetText { target: "/doc/notes".into(), text: "x".into() }],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+    }
+
+    #[test]
+    fn attribute_update_uses_attribute_label() {
+        let mut doc = parse(DOC).unwrap();
+        // Grant on the element: local write also covers its attributes.
+        let auths = [write_auth("/doc/notes", Sign::Plus),
+                     write_auth("/doc/notes/@author", Sign::Minus)];
+        let labels = labeled(&doc, &auths);
+        // @author explicitly denied
+        let e = apply_updates(
+            &mut doc,
+            &[UpdateOp::SetAttribute {
+                target: "/doc/notes".into(),
+                name: "author".into(),
+                value: "eve".into(),
+            }],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        // a *new* attribute falls back to the element's grant
+        apply_updates(
+            &mut doc,
+            &[UpdateOp::SetAttribute {
+                target: "/doc/notes".into(),
+                name: "reviewed".into(),
+                value: "yes".into(),
+            }],
+            &labels,
+        )
+        .unwrap();
+        assert_eq!(doc.attribute(doc.child_elements(doc.root()).next().unwrap(), "reviewed"), Some("yes"));
+    }
+
+    #[test]
+    fn insert_requires_parent_grant() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let labels = labeled(&doc, &auths);
+        apply_updates(
+            &mut doc,
+            &[UpdateOp::InsertElement { parent: "/doc/notes".into(), name: "draft".into() }],
+            &labels,
+        )
+        .unwrap();
+        assert!(serialize(&doc, &SerializeOptions::canonical()).contains("<draft/>"));
+        let e = apply_updates(
+            &mut doc,
+            &[UpdateOp::InsertElement { parent: "/doc".into(), name: "evil".into() }],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+    }
+
+    #[test]
+    fn delete_requires_whole_subtree_writable() {
+        let mut doc =
+            parse(r#"<doc><folder><a>1</a><b locked="x">2</b></folder></doc>"#).unwrap();
+        // folder and <a> writable; <b> carved out.
+        let auths = [
+            write_auth("/doc/folder", Sign::Plus),
+            write_auth("/doc/folder/b", Sign::Minus),
+        ];
+        let labels = labeled(&doc, &auths);
+        let e = apply_updates(
+            &mut doc,
+            &[UpdateOp::Delete { target: "/doc/folder".into() }],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        // Deleting just <a> is fine.
+        apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/folder/a".into() }], &labels)
+            .unwrap();
+        let out = serialize(&doc, &SerializeOptions::canonical());
+        assert!(!out.contains("<a>"), "{out}");
+        assert!(out.contains("<b"), "{out}");
+    }
+
+    #[test]
+    fn batch_is_atomic() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let labels = labeled(&doc, &auths);
+        let before = serialize(&doc, &SerializeOptions::canonical());
+        let e = apply_updates(
+            &mut doc,
+            &[
+                UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() },
+                UpdateOp::SetText { target: "/doc/locked".into(), text: "hack".into() },
+            ],
+            &labels,
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        assert_eq!(serialize(&doc, &SerializeOptions::canonical()), before);
+    }
+
+    #[test]
+    fn missing_target_and_bad_path() {
+        let mut doc = parse(DOC).unwrap();
+        let labels = labeled(&doc, &[]);
+        assert!(matches!(
+            apply_updates(
+                &mut doc,
+                &[UpdateOp::Delete { target: "/doc/ghost".into() }],
+                &labels
+            ),
+            Err(UpdateError::NoSuchNode(_))
+        ));
+        assert!(matches!(
+            apply_updates(&mut doc, &[UpdateOp::Delete { target: "///".into() }], &labels),
+            Err(UpdateError::BadPath(_))
+        ));
+    }
+
+    #[test]
+    fn cannot_delete_document_element() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc", Sign::Plus)];
+        let labels = labeled(&doc, &auths);
+        let e = apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc".into() }], &labels)
+            .unwrap_err();
+        assert!(matches!(e, UpdateError::WrongNodeKind(_)));
+    }
+}

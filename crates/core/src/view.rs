@@ -1,0 +1,648 @@
+//! The **compute-view** algorithm (paper §6, Figure 2): document tree
+//! labeling followed by pruning.
+//!
+//! Semantics implemented (from the paper's §6.1 prose):
+//!
+//! - Each node gets an initial 6-tuple from the authorizations whose
+//!   object contains it, one sign per type class, with the "most specific
+//!   subject takes precedence, then denials" resolution (pluggable).
+//! - Preorder propagation: for an element `n` with parent `p`,
+//!   `R_n`/`RW_n` keep their values if *either* is non-null (an instance
+//!   authorization on the node, of either strength, overrides the whole
+//!   instance-recursive propagation), otherwise both are inherited from
+//!   `p`; `RD_n` is inherited when null. The final sign is
+//!   `first_def(L, R, LD, RD, LW, RW)`.
+//! - Attributes (always leaves): `R/RW/RD` are structurally null;
+//!   authorizations *Local on the parent* propagate to the attribute. The
+//!   final sign is `first_def(L_a, strong_p, LD_a, schema_p, LW_a,
+//!   weak_p)` where `strong_p = first_def(L_p, R_p)`,
+//!   `schema_p = first_def(LD_p, RD_p)`, `weak_p = first_def(LW_p, RW_p)`
+//!   over the parent's *component* signs.
+//! - Pruning (postorder): remove every subtree containing no node with a
+//!   positive final sign; start/end tags of elements with a negative or
+//!   undefined label survive when a descendant is visible (structure
+//!   preservation, §6.2). Text/comment/PI content is visible only when
+//!   its parent element's final sign grants access.
+//!
+//! DTD-level (`Adtd`) authorizations of weak type are folded into their
+//! strong counterparts: the paper notes weak/strong is meaningless at the
+//! schema level ("both Local Weak and Recursive Weak for the DTD is
+//! missing").
+
+use crate::label::{first_def, Label, Sign3};
+use xmlsec_authz::{policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig};
+use xmlsec_subjects::Directory;
+use xmlsec_xml::{Document, NodeData, NodeId};
+use xmlsec_xpath::eval_path;
+
+/// Counters the processor reports alongside a computed view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Instance-level authorizations applicable to the requester.
+    pub instance_auths: usize,
+    /// Schema-level authorizations applicable to the requester.
+    pub schema_auths: usize,
+    /// Nodes (elements + attributes) labeled.
+    pub labeled_nodes: usize,
+    /// Nodes with a positive final sign.
+    pub granted_nodes: usize,
+    /// Nodes removed by pruning (elements, attributes, text, other).
+    pub pruned_nodes: usize,
+}
+
+/// The outcome of the labeling pass: one [`Label`] per arena slot.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    labels: Vec<Label>,
+    /// Statistics accumulated during labeling.
+    pub stats: ViewStats,
+}
+
+impl Labeling {
+    /// The label of `n`.
+    pub fn label(&self, n: NodeId) -> &Label {
+        &self.labels[n.index()]
+    }
+
+    /// The final sign of `n`.
+    pub fn final_sign(&self, n: NodeId) -> Sign3 {
+        self.labels[n.index()].final_sign
+    }
+}
+
+/// One matching authorization, pre-evaluated: which nodes its object
+/// selects, and which type class it contributes to.
+struct MatchedAuth<'a> {
+    auth: &'a Authorization,
+    /// Bitset over arena slots: nodes selected by the object's path
+    /// expression (the root element for whole-document objects).
+    selected: Vec<u64>,
+}
+
+impl MatchedAuth<'_> {
+    #[inline]
+    fn contains(&self, n: NodeId) -> bool {
+        let i = n.index();
+        (self.selected[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+fn evaluate_auths<'a>(doc: &Document, auths: &[&'a Authorization]) -> Vec<MatchedAuth<'a>> {
+    let words = doc.arena_len().div_ceil(64);
+    auths
+        .iter()
+        .map(|a| {
+            let mut selected = vec![0u64; words];
+            match &a.object.path {
+                Some(p) => {
+                    for n in eval_path(doc, doc.root(), p) {
+                        selected[n.index() / 64] |= 1 << (n.index() % 64);
+                    }
+                }
+                None => {
+                    // A whole-document object is an authorization on the
+                    // document element.
+                    let r = doc.root().index();
+                    selected[r / 64] |= 1 << (r % 64);
+                }
+            }
+            MatchedAuth { auth: a, selected }
+        })
+        .collect()
+}
+
+/// The four instance type classes, in the tuple's order.
+const INSTANCE_CLASSES: [AuthType; 4] =
+    [AuthType::Local, AuthType::Recursive, AuthType::LocalWeak, AuthType::RecursiveWeak];
+
+/// Computes the labeling of `doc` for the given applicable authorization
+/// sets (`axml` = instance level, `adtd` = schema level — steps 1–2 of
+/// the algorithm happen in the caller, which owns the authorization base).
+pub fn label_document(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> Labeling {
+    let mut labeling = Labeling {
+        labels: vec![Label::default(); doc.arena_len()],
+        stats: ViewStats {
+            instance_auths: axml.len(),
+            schema_auths: adtd.len(),
+            ..Default::default()
+        },
+    };
+    let xml_matched = evaluate_auths(doc, axml);
+    let dtd_matched = evaluate_auths(doc, adtd);
+
+    let ctx = LabelCtx { doc, xml: &xml_matched, dtd: &dtd_matched, dir, policy };
+
+    // Root: initial label, final sign straight from its own components.
+    let root = doc.root();
+    let mut root_label = ctx.initial_label(root, false);
+    root_label.final_sign = root_label.collapse();
+    labeling.labels[root.index()] = root_label;
+
+    // Attributes of the root, then recursive descent.
+    for &a in doc.attributes(root) {
+        let lab = ctx.label_attribute(a, &labeling.labels[root.index()]);
+        labeling.labels[a.index()] = lab;
+    }
+    let children: Vec<NodeId> = doc.child_elements(root).collect();
+    for c in children {
+        label_rec(&ctx, c, root, &mut labeling.labels);
+    }
+
+    // Statistics.
+    let mut labeled = 0usize;
+    let mut granted = 0usize;
+    for n in doc.preorder(doc.root()) {
+        labeled += 1;
+        if labeling.labels[n.index()].final_sign == Sign3::Plus {
+            granted += 1;
+        }
+    }
+    labeling.stats.labeled_nodes = labeled;
+    labeling.stats.granted_nodes = granted;
+    labeling
+}
+
+struct LabelCtx<'a> {
+    doc: &'a Document,
+    xml: &'a [MatchedAuth<'a>],
+    dtd: &'a [MatchedAuth<'a>],
+    dir: &'a Directory,
+    policy: PolicyConfig,
+}
+
+impl LabelCtx<'_> {
+    /// The paper's `initial_label(n)`: per-class sign from the matching
+    /// authorizations, with most-specific-subject filtering (steps 1–2).
+    ///
+    /// For attribute nodes, recursive-type authorizations selecting the
+    /// attribute fold into the corresponding local class (`R → L`,
+    /// `RW → LW`): recursion is meaningless on a leaf.
+    fn initial_label(&self, n: NodeId, is_attribute: bool) -> Label {
+        let mut lab = Label::default();
+        let mut bucket: Vec<&Authorization> = Vec::new();
+
+        for class in INSTANCE_CLASSES {
+            bucket.clear();
+            for m in self.xml {
+                if !m.contains(n) {
+                    continue;
+                }
+                let ty = m.auth.ty;
+                let effective = if is_attribute {
+                    match ty {
+                        AuthType::Recursive => AuthType::Local,
+                        AuthType::RecursiveWeak => AuthType::LocalWeak,
+                        t => t,
+                    }
+                } else {
+                    ty
+                };
+                if effective == class {
+                    bucket.push(m.auth);
+                }
+            }
+            let sign: Sign3 = resolve_sign(&bucket, self.dir, self.policy.conflict).into();
+            match class {
+                AuthType::Local => lab.l = sign,
+                AuthType::Recursive => lab.r = sign,
+                AuthType::LocalWeak => lab.lw = sign,
+                AuthType::RecursiveWeak => lab.rw = sign,
+            }
+        }
+
+        // Schema level: weak folds into strong, recursive folds into
+        // local for attributes.
+        for local in [true, false] {
+            bucket.clear();
+            for m in self.dtd {
+                if !m.contains(n) {
+                    continue;
+                }
+                let recursive = m.auth.ty.is_recursive() && !is_attribute;
+                if local != recursive {
+                    bucket.push(m.auth);
+                }
+            }
+            let sign: Sign3 = resolve_sign(&bucket, self.dir, self.policy.conflict).into();
+            if local {
+                lab.ld = sign;
+            } else {
+                lab.rd = sign;
+            }
+        }
+        lab
+    }
+
+    /// Labels an attribute from its own initial label and the parent
+    /// element's component signs.
+    fn label_attribute(&self, a: NodeId, parent: &Label) -> Label {
+        let mut lab = self.initial_label(a, true);
+        // Structural nulls for leaves.
+        lab.r = Sign3::Eps;
+        lab.rw = Sign3::Eps;
+        lab.rd = Sign3::Eps;
+        let strong_p = first_def([parent.l, parent.r]);
+        let schema_p = first_def([parent.ld, parent.rd]);
+        let weak_p = first_def([parent.lw, parent.rw]);
+        lab.final_sign = first_def([lab.l, strong_p, lab.ld, schema_p, lab.lw, weak_p]);
+        lab
+    }
+
+    /// Propagation step for an element with parent label `parent`.
+    fn label_element(&self, n: NodeId, parent: &Label) -> Label {
+        let mut lab = self.initial_label(n, false);
+        // Most specific overrides: an instance recursive authorization on
+        // the node (strong or weak) stops the parent's instance
+        // propagation entirely; otherwise both propagate.
+        if !lab.r.is_def() && !lab.rw.is_def() {
+            lab.r = parent.r;
+            lab.rw = parent.rw;
+        }
+        lab.rd = first_def([lab.rd, parent.rd]);
+        lab.final_sign = lab.collapse();
+        lab
+    }
+}
+
+fn label_rec(ctx: &LabelCtx<'_>, n: NodeId, parent: NodeId, labels: &mut Vec<Label>) {
+    let parent_label = labels[parent.index()];
+    let lab = ctx.label_element(n, &parent_label);
+    labels[n.index()] = lab;
+    for &a in ctx.doc.attributes(n) {
+        labels[a.index()] = ctx.label_attribute(a, &lab);
+    }
+    let children: Vec<NodeId> = ctx.doc.child_elements(n).collect();
+    for c in children {
+        label_rec(ctx, c, n, labels);
+    }
+}
+
+/// The paper's `prune(T, n)` (postorder): removes from `doc` every node
+/// whose subtree contains no granted node. Returns the number of nodes
+/// removed. The root element always survives (its start/end tags frame
+/// the view).
+pub fn prune_document(doc: &mut Document, labeling: &Labeling, policy: PolicyConfig) -> usize {
+    let open = policy.completeness == CompletenessPolicy::Open;
+    let allowed = |s: Sign3| s == Sign3::Plus || (open && s == Sign3::Eps);
+    let mut removed = 0usize;
+    let root = doc.root();
+    prune_rec(doc, root, labeling, allowed, &mut removed);
+    removed
+}
+
+/// Returns `true` when the subtree rooted at `n` survived.
+fn prune_rec(
+    doc: &mut Document,
+    n: NodeId,
+    labeling: &Labeling,
+    allowed: impl Fn(Sign3) -> bool + Copy,
+    removed: &mut usize,
+) -> bool {
+    let self_allowed = allowed(labeling.final_sign(n));
+
+    // Attributes: kept iff their own final sign grants access.
+    let attrs: Vec<NodeId> = doc.attributes(n).to_vec();
+    let mut kept_any_attr = false;
+    for a in attrs {
+        if allowed(labeling.final_sign(a)) {
+            kept_any_attr = true;
+        } else {
+            doc.detach(a);
+            *removed += 1;
+        }
+    }
+
+    // Children: elements recurse; text/comments/PIs follow the element's
+    // own sign (content of a structure-only element is hidden).
+    let children: Vec<NodeId> = doc.children(n).to_vec();
+    let mut kept_any_child = false;
+    for c in children {
+        let keep = match &doc.node(c).data {
+            NodeData::Element { .. } => prune_rec(doc, c, labeling, allowed, removed),
+            _ => self_allowed,
+        };
+        if keep {
+            kept_any_child = true;
+        } else if !doc.is_element(c) {
+            doc.detach(c);
+            *removed += 1;
+        }
+    }
+
+    let keep = self_allowed || kept_any_attr || kept_any_child;
+    let is_root = doc.parent(n).is_none();
+    if !keep && !is_root {
+        doc.detach(n);
+        *removed += 1;
+    }
+    // The root element always survives; report it as kept.
+    keep || is_root
+}
+
+/// Convenience: label `doc` and prune a *copy*, leaving the original
+/// untouched. Returns the view document and the statistics.
+pub fn compute_view(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> (Document, ViewStats) {
+    let labeling = label_document(doc, axml, adtd, dir, policy);
+    let mut view = doc.clone();
+    let removed = prune_document(&mut view, &labeling, policy);
+    let mut stats = labeling.stats;
+    stats.pruned_nodes = removed;
+    (view, stats)
+}
+
+/// Renders the labeled tree with per-node signs (diagnostics, and the
+/// basis for the Figure 3 reproduction).
+pub fn render_labeled(doc: &Document, labeling: &Labeling) -> String {
+    let mut out = String::new();
+    render_rec(doc, doc.root(), labeling, 0, &mut out);
+    out
+}
+
+fn render_rec(doc: &Document, n: NodeId, labeling: &Labeling, depth: usize, out: &mut String) {
+    let lab = labeling.label(n);
+    let pad = "  ".repeat(depth);
+    match &doc.node(n).data {
+        NodeData::Element { name, .. } => {
+            out.push_str(&format!("{pad}({name}) [{}]\n", lab.final_sign.symbol()));
+            for &a in doc.attributes(n) {
+                render_rec(doc, a, labeling, depth + 1, out);
+            }
+            for &c in doc.children(n) {
+                render_rec(doc, c, labeling, depth + 1, out);
+            }
+        }
+        NodeData::Attr { name, value } => {
+            out.push_str(&format!("{pad}[{name}={value:?}] [{}]\n", lab.final_sign.symbol()));
+        }
+        NodeData::Text(t) => {
+            out.push_str(&format!("{pad}{:?}\n", t));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::{AuthType, Authorization, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        d.add_user("u").unwrap();
+        d.add_group("G").unwrap();
+        d.add_member("u", "G").unwrap();
+        d
+    }
+
+    fn auth(spec: &str, sign: Sign, ty: AuthType) -> Authorization {
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::parse(spec).unwrap(),
+            sign,
+            ty,
+        )
+    }
+
+    fn view_str(doc_text: &str, axml: &[Authorization], adtd: &[Authorization]) -> String {
+        let doc = parse(doc_text).unwrap();
+        let ax: Vec<&Authorization> = axml.iter().collect();
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let (view, _) = compute_view(&doc, &ax, &ad, &dir(), PolicyConfig::paper_default());
+        serialize(&view, &SerializeOptions::canonical())
+    }
+
+    #[test]
+    fn closed_policy_hides_everything_without_authorizations() {
+        let v = view_str("<a><b>t</b></a>", &[], &[]);
+        assert_eq!(v, "<a/>");
+    }
+
+    #[test]
+    fn recursive_permission_reveals_subtree() {
+        let v = view_str(
+            r#"<a><b x="1">t</b><c/></a>"#,
+            &[auth("d.xml:/a", Sign::Plus, AuthType::Recursive)],
+            &[],
+        );
+        assert_eq!(v, r#"<a><b x="1">t</b><c/></a>"#);
+    }
+
+    #[test]
+    fn local_permission_covers_element_and_attributes_only() {
+        let v = view_str(
+            r#"<a x="1"><b y="2">t</b></a>"#,
+            &[auth("d.xml:/a", Sign::Plus, AuthType::Local)],
+            &[],
+        );
+        // a and @x visible; b (no auth, closed) pruned. a's text would be
+        // visible but a has none.
+        assert_eq!(v, r#"<a x="1"/>"#);
+    }
+
+    #[test]
+    fn exception_overrides_recursive_grant() {
+        // "the whole content but a specific element can be read"
+        let v = view_str(
+            r#"<a><b>keep</b><secret>no</secret></a>"#,
+            &[
+                auth("d.xml:/a", Sign::Plus, AuthType::Recursive),
+                auth("d.xml:/a/secret", Sign::Minus, AuthType::Recursive),
+            ],
+            &[],
+        );
+        assert_eq!(v, "<a><b>keep</b></a>");
+    }
+
+    #[test]
+    fn structure_preserved_for_visible_descendants() {
+        // grant only on the deep node: ancestors' tags survive, their
+        // text/attrs don't.
+        let v = view_str(
+            r#"<a x="1">atext<b y="2">btext<c z="3">ctext</c></b></a>"#,
+            &[auth("d.xml:/a/b/c", Sign::Plus, AuthType::Recursive)],
+            &[],
+        );
+        assert_eq!(v, r#"<a><b><c z="3">ctext</c></b></a>"#);
+    }
+
+    #[test]
+    fn most_specific_object_wins_on_path_overlap() {
+        // deny all papers recursively, but allow the public one locally
+        let v = view_str(
+            r#"<lab><paper category="private">p1</paper><paper category="public">p2</paper></lab>"#,
+            &[
+                auth("d.xml:/lab", Sign::Plus, AuthType::Recursive),
+                auth("d.xml:/lab/paper", Sign::Minus, AuthType::Recursive),
+                auth(
+                    r#"d.xml:/lab/paper[./@category="public"]"#,
+                    Sign::Plus,
+                    AuthType::Local,
+                ),
+            ],
+            &[],
+        );
+        assert_eq!(v, r#"<lab><paper category="public">p2</paper></lab>"#);
+    }
+
+    #[test]
+    fn schema_beats_weak_instance() {
+        let axml = [auth("d.xml:/a/b", Sign::Plus, AuthType::RecursiveWeak)];
+        let adtd = [auth("s.dtd://b", Sign::Minus, AuthType::Recursive)];
+        let v = view_str("<a><b>t</b></a>", &axml, &adtd);
+        assert_eq!(v, "<a/>");
+        // flip: strong instance beats schema
+        let axml2 = [auth("d.xml:/a/b", Sign::Plus, AuthType::Recursive)];
+        let v2 = view_str("<a><b>t</b></a>", &axml2, &adtd);
+        assert_eq!(v2, "<a><b>t</b></a>");
+    }
+
+    #[test]
+    fn schema_recursive_propagates_through_instances() {
+        let adtd = [auth("s.dtd:/a", Sign::Plus, AuthType::Recursive)];
+        let v = view_str(r#"<a><b><c x="1">deep</c></b></a>"#, &[], &adtd);
+        assert_eq!(v, r#"<a><b><c x="1">deep</c></b></a>"#);
+    }
+
+    #[test]
+    fn weak_recursive_yields_to_schema_deep_down() {
+        // weak + on root, schema - on deep node: schema wins there.
+        let axml = [auth("d.xml:/a", Sign::Plus, AuthType::RecursiveWeak)];
+        let adtd = [auth("s.dtd://c", Sign::Minus, AuthType::Local)];
+        let v = view_str("<a><b>keep</b><c>drop</c></a>", &axml, &adtd);
+        assert_eq!(v, "<a><b>keep</b></a>");
+    }
+
+    #[test]
+    fn attribute_denial_is_honored() {
+        let v = view_str(
+            r#"<a x="1" y="2">t</a>"#,
+            &[
+                auth("d.xml:/a", Sign::Plus, AuthType::Recursive),
+                auth("d.xml:/a/@y", Sign::Minus, AuthType::Local),
+            ],
+            &[],
+        );
+        assert_eq!(v, r#"<a x="1">t</a>"#);
+    }
+
+    #[test]
+    fn attribute_grant_alone_keeps_element_shell() {
+        let v = view_str(
+            r#"<a x="1">t</a>"#,
+            &[auth("d.xml:/a/@x", Sign::Plus, AuthType::Local)],
+            &[],
+        );
+        // @x visible, element text not (element itself unlabeled).
+        assert_eq!(v, r#"<a x="1"/>"#);
+    }
+
+    #[test]
+    fn local_on_parent_propagates_to_attributes_not_subelements() {
+        let v = view_str(
+            r#"<a x="1"><b y="2"/></a>"#,
+            &[auth("d.xml:/a", Sign::Plus, AuthType::Local)],
+            &[],
+        );
+        assert_eq!(v, r#"<a x="1"/>"#);
+    }
+
+    #[test]
+    fn open_policy_reveals_unlabeled_nodes() {
+        let doc = parse("<a><b>t</b></a>").unwrap();
+        let policy = PolicyConfig {
+            completeness: CompletenessPolicy::Open,
+            ..PolicyConfig::paper_default()
+        };
+        let (view, _) = compute_view(&doc, &[], &[], &dir(), policy);
+        assert_eq!(serialize(&view, &SerializeOptions::canonical()), "<a><b>t</b></a>");
+        // explicit denial still hides under open policy
+        let a = auth("d.xml:/a/b", Sign::Minus, AuthType::Recursive);
+        let (view2, _) = compute_view(&doc, &[&a], &[], &dir(), policy);
+        assert_eq!(serialize(&view2, &SerializeOptions::canonical()), "<a/>");
+    }
+
+    #[test]
+    fn group_authorization_applies_through_membership() {
+        let d = dir();
+        let doc = parse("<a>t</a>").unwrap();
+        let g = Authorization::new(
+            Subject::new("G", "*", "*").unwrap(),
+            ObjectSpec::parse("d.xml:/a").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        // The caller (store) filters by requester coverage; here the auth
+        // is already applicable, so labeling just uses it.
+        let (view, stats) =
+            compute_view(&doc, &[&g], &[], &d, PolicyConfig::paper_default());
+        assert_eq!(serialize(&view, &SerializeOptions::canonical()), "<a>t</a>");
+        assert_eq!(stats.instance_auths, 1);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let doc = parse(r#"<a x="1"><b/><c/></a>"#).unwrap();
+        let a = auth("d.xml:/a/b", Sign::Plus, AuthType::Recursive);
+        let (_, stats) = compute_view(&doc, &[&a], &[], &dir(), PolicyConfig::paper_default());
+        assert_eq!(stats.labeled_nodes, 4); // a, @x, b, c
+        assert_eq!(stats.granted_nodes, 1); // b
+        assert!(stats.pruned_nodes >= 2); // @x and c at least
+    }
+
+    #[test]
+    fn conditional_authorization_follows_content() {
+        let v = view_str(
+            r#"<lab><p t="x"><s>1</s></p><p t="y"><s>2</s></p></lab>"#,
+            &[auth(r#"d.xml:/lab/p[./@t="x"]"#, Sign::Plus, AuthType::Recursive)],
+            &[],
+        );
+        assert_eq!(v, r#"<lab><p t="x"><s>1</s></p></lab>"#);
+    }
+
+    #[test]
+    fn labeled_render_shows_signs() {
+        let doc = parse("<a><b/></a>").unwrap();
+        let a = auth("d.xml:/a/b", Sign::Plus, AuthType::Recursive);
+        let labeling =
+            label_document(&doc, &[&a], &[], &dir(), PolicyConfig::paper_default());
+        let s = render_labeled(&doc, &labeling);
+        assert!(s.contains("(a) [ε]"), "{s}");
+        assert!(s.contains("(b) [+]"), "{s}");
+    }
+
+    #[test]
+    fn weak_local_overridden_by_dtd_local_on_same_node() {
+        let axml = [auth("d.xml:/a", Sign::Minus, AuthType::LocalWeak)];
+        let adtd = [auth("s.dtd:/a", Sign::Plus, AuthType::Local)];
+        let v = view_str("<a>t</a>", &axml, &adtd);
+        assert_eq!(v, "<a>t</a>");
+    }
+
+    #[test]
+    fn instance_recursive_on_node_stops_parent_propagation_even_if_weak() {
+        // Parent grants recursively (strong); node has weak recursive
+        // denial. Per the propagation rule, the node's weak recursive stops
+        // the parent's strong propagation, so at the node the sequence is
+        // [L=ε, R=ε, LD=ε, RD=ε, LW=ε, RW=-] → '-'.
+        let axml = [
+            auth("d.xml:/a", Sign::Plus, AuthType::Recursive),
+            auth("d.xml:/a/b", Sign::Minus, AuthType::RecursiveWeak),
+        ];
+        let v = view_str("<a><b>t</b>sibling</a>", &axml, &[]);
+        assert_eq!(v, "<a>sibling</a>");
+    }
+}

@@ -1,0 +1,459 @@
+//! DTD abstract syntax: element declarations with content models,
+//! attribute-list declarations, and (captured but uninterpreted) entity and
+//! notation declarations.
+//!
+//! The paper's §2 restricts the model to the logical structure — elements
+//! and attributes — and notes that entities/notations "are not considered
+//! in this paper"; we capture their declarations so DTDs round-trip, but we
+//! do not expand general entities.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Occurrence indicator on a content particle (the paper's §2: `*`, `+`,
+/// `?`, or no label for exactly one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// Exactly one (no label).
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// Zero or more (`*`).
+    ZeroOrMore,
+    /// One or more (`+`).
+    OneOrMore,
+}
+
+impl Cardinality {
+    /// The suffix character, empty for [`Cardinality::One`].
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cardinality::One => "",
+            Cardinality::Optional => "?",
+            Cardinality::ZeroOrMore => "*",
+            Cardinality::OneOrMore => "+",
+        }
+    }
+
+    /// `true` if the particle may be absent.
+    pub fn allows_zero(self) -> bool {
+        matches!(self, Cardinality::Optional | Cardinality::ZeroOrMore)
+    }
+
+    /// `true` if the particle may repeat.
+    pub fn allows_many(self) -> bool {
+        matches!(self, Cardinality::ZeroOrMore | Cardinality::OneOrMore)
+    }
+
+    /// The loosened form: anything required becomes optional
+    /// (1 → ?, + → *). Used by the paper's §6.2 DTD loosening.
+    pub fn loosened(self) -> Cardinality {
+        match self {
+            Cardinality::One => Cardinality::Optional,
+            Cardinality::OneOrMore => Cardinality::ZeroOrMore,
+            c => c,
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// A content particle: a name, a sequence, or a choice, with a cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Particle {
+    /// The particle body.
+    pub kind: ParticleKind,
+    /// Occurrence indicator.
+    pub card: Cardinality,
+}
+
+/// The body of a [`Particle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticleKind {
+    /// An element name.
+    Name(String),
+    /// `(a, b, c)` — ordered sequence.
+    Seq(Vec<Particle>),
+    /// `(a | b | c)` — exclusive choice.
+    Choice(Vec<Particle>),
+}
+
+impl Particle {
+    /// A bare element-name particle with cardinality one.
+    pub fn name(n: &str) -> Particle {
+        Particle { kind: ParticleKind::Name(n.to_string()), card: Cardinality::One }
+    }
+
+    /// Returns this particle with a different cardinality.
+    pub fn with_card(mut self, card: Cardinality) -> Particle {
+        self.card = card;
+        self
+    }
+
+    /// All element names mentioned, in order of appearance (with repeats).
+    pub fn names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ParticleKind::Name(n) => out.push(n),
+            ParticleKind::Seq(ps) | ParticleKind::Choice(ps) => {
+                for p in ps {
+                    p.collect_names(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Particle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParticleKind::Name(n) => write!(f, "{n}{}", self.card)?,
+            ParticleKind::Seq(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){}", self.card)?;
+            }
+            ParticleKind::Choice(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){}", self.card)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The content specification of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentSpec {
+    /// `EMPTY` — no content at all.
+    Empty,
+    /// `ANY` — any mixture of declared elements and text.
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA | a | b)*` — text optionally interleaved
+    /// with the listed elements.
+    Mixed(Vec<String>),
+    /// An element-content model.
+    Children(Particle),
+}
+
+impl fmt::Display for ContentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentSpec::Empty => write!(f, "EMPTY"),
+            ContentSpec::Any => write!(f, "ANY"),
+            ContentSpec::Mixed(names) if names.is_empty() => write!(f, "(#PCDATA)"),
+            ContentSpec::Mixed(names) => {
+                write!(f, "(#PCDATA")?;
+                for n in names {
+                    write!(f, "|{n}")?;
+                }
+                write!(f, ")*")
+            }
+            // Element content must be parenthesized (XML 1.0 prod. 47):
+            // a bare name particle prints as `(name)` with its
+            // cardinality inside, which the parser collapses back.
+            ContentSpec::Children(p) if matches!(p.kind, ParticleKind::Name(_)) => {
+                write!(f, "({p})")
+            }
+            ContentSpec::Children(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// `<!ELEMENT name contentspec>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Its content model.
+    pub content: ContentSpec,
+}
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA` — any string.
+    Cdata,
+    /// `ID` — unique per document.
+    Id,
+    /// `IDREF` — must match some ID.
+    IdRef,
+    /// `IDREFS` — whitespace-separated IDREFs.
+    IdRefs,
+    /// `NMTOKEN`.
+    NmToken,
+    /// `NMTOKENS`.
+    NmTokens,
+    /// `ENTITY` (captured; unexpanded).
+    Entity,
+    /// `ENTITIES` (captured; unexpanded).
+    Entities,
+    /// `(a|b|c)` enumeration.
+    Enumeration(Vec<String>),
+    /// `NOTATION (a|b)`.
+    Notation(Vec<String>),
+}
+
+impl fmt::Display for AttType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttType::Cdata => write!(f, "CDATA"),
+            AttType::Id => write!(f, "ID"),
+            AttType::IdRef => write!(f, "IDREF"),
+            AttType::IdRefs => write!(f, "IDREFS"),
+            AttType::NmToken => write!(f, "NMTOKEN"),
+            AttType::NmTokens => write!(f, "NMTOKENS"),
+            AttType::Entity => write!(f, "ENTITY"),
+            AttType::Entities => write!(f, "ENTITIES"),
+            AttType::Enumeration(vs) => write!(f, "({})", vs.join("|")),
+            AttType::Notation(vs) => write!(f, "NOTATION ({})", vs.join("|")),
+        }
+    }
+}
+
+/// Default declaration of an attribute (the paper's §2: *required*,
+/// *implied*, or *fixed*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefaultDecl {
+    /// `#REQUIRED` — must appear on every occurrence.
+    Required,
+    /// `#IMPLIED` — optional, no default.
+    Implied,
+    /// `#FIXED "v"` — if present must equal `v`; defaults to `v`.
+    Fixed(String),
+    /// `"v"` — optional with default `v`.
+    Default(String),
+}
+
+impl fmt::Display for DefaultDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefaultDecl::Required => write!(f, "#REQUIRED"),
+            DefaultDecl::Implied => write!(f, "#IMPLIED"),
+            DefaultDecl::Fixed(v) => write!(f, "#FIXED \"{v}\""),
+            DefaultDecl::Default(v) => write!(f, "\"{v}\""),
+        }
+    }
+}
+
+/// One attribute definition within an `<!ATTLIST>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttType,
+    /// Default declaration.
+    pub default: DefaultDecl,
+}
+
+/// A captured `<!ENTITY ...>` declaration (kept verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityDecl {
+    /// Entity name (with `%` prefix for parameter entities).
+    pub name: String,
+    /// Raw replacement/definition text.
+    pub definition: String,
+}
+
+/// A captured `<!NOTATION ...>` declaration (kept verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotationDecl {
+    /// Notation name.
+    pub name: String,
+    /// Raw definition text.
+    pub definition: String,
+}
+
+/// A parsed DTD: the schema against which instances validate.
+///
+/// `BTreeMap` keeps declarations ordered by name so serialization and
+/// tree-rendering are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dtd {
+    /// Element declarations by name.
+    pub elements: BTreeMap<String, ElementDecl>,
+    /// Attribute definitions by element name (merged across ATTLISTs).
+    pub attlists: BTreeMap<String, Vec<AttDef>>,
+    /// Captured entity declarations.
+    pub entities: Vec<EntityDecl>,
+    /// Captured notation declarations.
+    pub notations: Vec<NotationDecl>,
+    /// Declaration order of elements (for faithful serialization).
+    pub element_order: Vec<String>,
+}
+
+impl Dtd {
+    /// The declaration for `element`, if any.
+    pub fn element(&self, element: &str) -> Option<&ElementDecl> {
+        self.elements.get(element)
+    }
+
+    /// The attribute definitions for `element` (empty slice if none).
+    pub fn attributes(&self, element: &str) -> &[AttDef] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The definition of attribute `attr` on `element`.
+    pub fn attribute(&self, element: &str, attr: &str) -> Option<&AttDef> {
+        self.attributes(element).iter().find(|a| a.name == attr)
+    }
+
+    /// Adds an element declaration (first declaration wins, per XML 1.0).
+    pub fn add_element(&mut self, decl: ElementDecl) -> bool {
+        if self.elements.contains_key(&decl.name) {
+            return false;
+        }
+        self.element_order.push(decl.name.clone());
+        self.elements.insert(decl.name.clone(), decl);
+        true
+    }
+
+    /// Adds attribute definitions for `element` (first def per name wins).
+    pub fn add_attlist(&mut self, element: &str, defs: Vec<AttDef>) {
+        let list = self.attlists.entry(element.to_string()).or_default();
+        for d in defs {
+            if !list.iter().any(|e| e.name == d.name) {
+                list.push(d);
+            }
+        }
+    }
+
+    /// The root element candidates: declared elements that appear in no
+    /// other element's content model. Useful when no DOCTYPE names a root.
+    pub fn root_candidates(&self) -> Vec<&str> {
+        let mut referenced: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for decl in self.elements.values() {
+            match &decl.content {
+                ContentSpec::Children(p) => referenced.extend(p.names()),
+                ContentSpec::Mixed(ns) => referenced.extend(ns.iter().map(String::as_str)),
+                _ => {}
+            }
+        }
+        self.element_order
+            .iter()
+            .map(String::as_str)
+            .filter(|n| !referenced.contains(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_suffix_and_loosening() {
+        assert_eq!(Cardinality::One.suffix(), "");
+        assert_eq!(Cardinality::OneOrMore.suffix(), "+");
+        assert_eq!(Cardinality::One.loosened(), Cardinality::Optional);
+        assert_eq!(Cardinality::OneOrMore.loosened(), Cardinality::ZeroOrMore);
+        assert_eq!(Cardinality::Optional.loosened(), Cardinality::Optional);
+        assert_eq!(Cardinality::ZeroOrMore.loosened(), Cardinality::ZeroOrMore);
+    }
+
+    #[test]
+    fn particle_display() {
+        let p = Particle {
+            kind: ParticleKind::Seq(vec![
+                Particle::name("manager"),
+                Particle::name("paper").with_card(Cardinality::ZeroOrMore),
+            ]),
+            card: Cardinality::One,
+        };
+        assert_eq!(p.to_string(), "(manager,paper*)");
+    }
+
+    #[test]
+    fn choice_display() {
+        let p = Particle {
+            kind: ParticleKind::Choice(vec![Particle::name("a"), Particle::name("b")]),
+            card: Cardinality::Optional,
+        };
+        assert_eq!(p.to_string(), "(a|b)?");
+    }
+
+    #[test]
+    fn content_spec_display() {
+        assert_eq!(ContentSpec::Empty.to_string(), "EMPTY");
+        assert_eq!(ContentSpec::Any.to_string(), "ANY");
+        assert_eq!(ContentSpec::Mixed(vec![]).to_string(), "(#PCDATA)");
+        assert_eq!(
+            ContentSpec::Mixed(vec!["b".into(), "i".into()]).to_string(),
+            "(#PCDATA|b|i)*"
+        );
+    }
+
+    #[test]
+    fn first_element_declaration_wins() {
+        let mut d = Dtd::default();
+        assert!(d.add_element(ElementDecl { name: "a".into(), content: ContentSpec::Empty }));
+        assert!(!d.add_element(ElementDecl { name: "a".into(), content: ContentSpec::Any }));
+        assert_eq!(d.element("a").unwrap().content, ContentSpec::Empty);
+    }
+
+    #[test]
+    fn attlist_merging() {
+        let mut d = Dtd::default();
+        d.add_attlist(
+            "p",
+            vec![AttDef { name: "x".into(), ty: AttType::Cdata, default: DefaultDecl::Implied }],
+        );
+        d.add_attlist(
+            "p",
+            vec![
+                AttDef { name: "x".into(), ty: AttType::Id, default: DefaultDecl::Required },
+                AttDef { name: "y".into(), ty: AttType::Cdata, default: DefaultDecl::Implied },
+            ],
+        );
+        assert_eq!(d.attributes("p").len(), 2);
+        // first definition of x wins
+        assert_eq!(d.attribute("p", "x").unwrap().ty, AttType::Cdata);
+    }
+
+    #[test]
+    fn root_candidates() {
+        let mut d = Dtd::default();
+        d.add_element(ElementDecl {
+            name: "lab".into(),
+            content: ContentSpec::Children(Particle::name("project").with_card(Cardinality::OneOrMore)),
+        });
+        d.add_element(ElementDecl { name: "project".into(), content: ContentSpec::Mixed(vec![]) });
+        assert_eq!(d.root_candidates(), vec!["lab"]);
+    }
+
+    #[test]
+    fn particle_names_in_order() {
+        let p = Particle {
+            kind: ParticleKind::Seq(vec![
+                Particle::name("a"),
+                Particle {
+                    kind: ParticleKind::Choice(vec![Particle::name("b"), Particle::name("a")]),
+                    card: Cardinality::One,
+                },
+            ]),
+            card: Cardinality::One,
+        };
+        assert_eq!(p.names(), vec!["a", "b", "a"]);
+    }
+}

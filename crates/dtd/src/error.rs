@@ -1,0 +1,173 @@
+//! DTD parsing and validation errors.
+
+use std::fmt;
+
+/// An error raised while parsing a DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the DTD text where the error was detected.
+    pub offset: usize,
+}
+
+impl DtdError {
+    /// Builds an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        DtdError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DTD error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+/// Result alias for DTD parsing.
+pub type Result<T> = std::result::Result<T, DtdError>;
+
+/// A single validity violation found when checking a document against a DTD.
+///
+/// Validation collects all violations rather than stopping at the first,
+/// so a server can log a complete diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// The document element does not match the DOCTYPE name.
+    RootMismatch {
+        /// Name in the DOCTYPE.
+        declared: String,
+        /// Actual document element.
+        found: String,
+    },
+    /// An element with no `<!ELEMENT>` declaration.
+    UndeclaredElement(String),
+    /// An attribute with no `<!ATTLIST>` definition.
+    UndeclaredAttribute {
+        /// Owning element.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A `#REQUIRED` attribute is missing.
+    MissingRequiredAttribute {
+        /// Owning element.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A `#FIXED` attribute has the wrong value.
+    FixedValueMismatch {
+        /// Owning element.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// Declared fixed value.
+        expected: String,
+        /// Value found in the instance.
+        found: String,
+    },
+    /// An enumerated attribute has a value outside the enumeration.
+    InvalidEnumValue {
+        /// Owning element.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+    },
+    /// An attribute value is not a valid token for its declared type.
+    InvalidTokenValue {
+        /// Owning element.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+    },
+    /// Two elements carry the same ID.
+    DuplicateId(String),
+    /// An IDREF points at no ID in the document.
+    DanglingIdRef(String),
+    /// An element's children do not match its content model.
+    ContentModelMismatch {
+        /// Owning element.
+        element: String,
+        /// The child-name sequence that failed.
+        found: Vec<String>,
+        /// Display form of the content model.
+        model: String,
+    },
+    /// Text found inside an element declared with element-only content.
+    UnexpectedText(String),
+    /// Content found inside an element declared `EMPTY`.
+    NonEmptyContent(String),
+    /// A content model is not deterministic (XML 1.0 compatibility rule).
+    NondeterministicModel {
+        /// Owning element.
+        element: String,
+        /// The name that can be reached ambiguously.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ValidityError::*;
+        match self {
+            RootMismatch { declared, found } => {
+                write!(f, "root element is <{found}> but DOCTYPE declares {declared}")
+            }
+            UndeclaredElement(e) => write!(f, "element <{e}> is not declared"),
+            UndeclaredAttribute { element, attribute } => {
+                write!(f, "attribute {attribute:?} on <{element}> is not declared")
+            }
+            MissingRequiredAttribute { element, attribute } => {
+                write!(f, "required attribute {attribute:?} missing on <{element}>")
+            }
+            FixedValueMismatch { element, attribute, expected, found } => write!(
+                f,
+                "fixed attribute {attribute:?} on <{element}> must be {expected:?}, found {found:?}"
+            ),
+            InvalidEnumValue { element, attribute, value } => {
+                write!(f, "value {value:?} of {attribute:?} on <{element}> not in enumeration")
+            }
+            InvalidTokenValue { element, attribute, value } => {
+                write!(f, "value {value:?} of {attribute:?} on <{element}> is not a valid token")
+            }
+            DuplicateId(id) => write!(f, "duplicate ID {id:?}"),
+            DanglingIdRef(id) => write!(f, "IDREF {id:?} matches no ID"),
+            ContentModelMismatch { element, found, model } => write!(
+                f,
+                "children of <{element}> ({}) do not match content model {model}",
+                found.join(",")
+            ),
+            UnexpectedText(e) => write!(f, "text content not allowed in <{e}>"),
+            NonEmptyContent(e) => write!(f, "element <{e}> is declared EMPTY but has content"),
+            NondeterministicModel { element, symbol } => write!(
+                f,
+                "content model of <{element}> is nondeterministic on {symbol:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ValidityError::MissingRequiredAttribute {
+            element: "project".into(),
+            attribute: "name".into(),
+        };
+        assert!(e.to_string().contains("project"));
+        assert!(e.to_string().contains("name"));
+
+        let d = DtdError::new("bad content model", 42);
+        assert!(d.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Glushkov position automata for DTD content models.
+//!
+//! XML 1.0 element-content models are regular expressions over element
+//! names. We compile each model into its Glushkov automaton (one state per
+//! name *position*), which gives us:
+//!
+//! - membership testing of a child-name sequence by subset simulation
+//!   (works even for nondeterministic models, which matters after the
+//!   loosening transformation can introduce ambiguity);
+//! - the XML 1.0 determinism ("1-unambiguity") check: a model is
+//!   deterministic iff no two distinct positions with the same name are
+//!   simultaneously reachable as successors.
+
+use crate::ast::{Cardinality, Particle, ParticleKind};
+
+/// Compiled automaton for one content model.
+#[derive(Debug, Clone)]
+pub struct ContentAutomaton {
+    /// Name of each position, indexed by position id.
+    names: Vec<String>,
+    /// Positions that can start a match.
+    first: Vec<usize>,
+    /// Positions that can end a match.
+    last: Vec<bool>,
+    /// follow[p] = positions that may come right after position p.
+    follow: Vec<Vec<usize>>,
+    /// Whether the empty sequence matches.
+    nullable: bool,
+}
+
+/// Intermediate result of the recursive Glushkov construction.
+struct Frag {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+impl ContentAutomaton {
+    /// Compiles `particle` (the body of a `Children` content spec).
+    pub fn compile(particle: &Particle) -> ContentAutomaton {
+        let mut a = ContentAutomaton {
+            names: Vec::new(),
+            first: Vec::new(),
+            last: Vec::new(),
+            follow: Vec::new(),
+            nullable: false,
+        };
+        let frag = a.build(particle);
+        a.nullable = frag.nullable;
+        a.first = frag.first;
+        let mut last_flags = vec![false; a.names.len()];
+        for &p in &frag.last {
+            last_flags[p] = true;
+        }
+        a.last = last_flags;
+        a
+    }
+
+    fn build(&mut self, particle: &Particle) -> Frag {
+        let base = match &particle.kind {
+            ParticleKind::Name(n) => {
+                let p = self.names.len();
+                self.names.push(n.clone());
+                self.follow.push(Vec::new());
+                Frag { nullable: false, first: vec![p], last: vec![p] }
+            }
+            ParticleKind::Seq(items) => {
+                let mut frag = Frag { nullable: true, first: Vec::new(), last: Vec::new() };
+                for item in items {
+                    let f = self.build(item);
+                    // Every last of the prefix connects to every first of f.
+                    for &l in &frag.last {
+                        for &r in &f.first {
+                            if !self.follow[l].contains(&r) {
+                                self.follow[l].push(r);
+                            }
+                        }
+                    }
+                    if frag.nullable {
+                        frag.first.extend_from_slice(&f.first);
+                    }
+                    if f.nullable {
+                        frag.last.extend_from_slice(&f.last);
+                    } else {
+                        frag.last = f.last;
+                    }
+                    frag.nullable &= f.nullable;
+                }
+                frag
+            }
+            ParticleKind::Choice(items) => {
+                let mut frag = Frag { nullable: false, first: Vec::new(), last: Vec::new() };
+                for item in items {
+                    let f = self.build(item);
+                    frag.nullable |= f.nullable;
+                    frag.first.extend(f.first);
+                    frag.last.extend(f.last);
+                }
+                frag
+            }
+        };
+        self.apply_cardinality(base, particle.card)
+    }
+
+    fn apply_cardinality(&mut self, mut frag: Frag, card: Cardinality) -> Frag {
+        if card.allows_many() {
+            // last → first loops.
+            for &l in &frag.last {
+                for &r in &frag.first {
+                    if !self.follow[l].contains(&r) {
+                        self.follow[l].push(r);
+                    }
+                }
+            }
+        }
+        if card.allows_zero() {
+            frag.nullable = true;
+        }
+        frag
+    }
+
+    /// Tests whether the name sequence `children` matches the model.
+    pub fn matches(&self, children: &[&str]) -> bool {
+        if children.is_empty() {
+            return self.nullable;
+        }
+        // Subset simulation over positions. `current` holds positions
+        // matched by the symbol just consumed.
+        let mut current: Vec<usize> = Vec::new();
+        let mut scratch: Vec<usize> = Vec::new();
+        for (i, &sym) in children.iter().enumerate() {
+            scratch.clear();
+            if i == 0 {
+                for &p in &self.first {
+                    if self.names[p] == sym && !scratch.contains(&p) {
+                        scratch.push(p);
+                    }
+                }
+            } else {
+                for &p in &current {
+                    for &q in &self.follow[p] {
+                        if self.names[q] == sym && !scratch.contains(&q) {
+                            scratch.push(q);
+                        }
+                    }
+                }
+            }
+            if scratch.is_empty() {
+                return false;
+            }
+            std::mem::swap(&mut current, &mut scratch);
+        }
+        current.iter().any(|&p| self.last[p])
+    }
+
+    /// Checks the XML 1.0 determinism rule. Returns the offending element
+    /// name if two distinct positions with the same name are reachable
+    /// from the same point.
+    pub fn nondeterminism(&self) -> Option<String> {
+        if let Some(n) = duplicate_name(&self.first, &self.names) {
+            return Some(n);
+        }
+        for f in &self.follow {
+            if let Some(n) = duplicate_name(f, &self.names) {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    /// Number of positions (diagnostics/benchmarks).
+    pub fn positions(&self) -> usize {
+        self.names.len()
+    }
+}
+
+fn duplicate_name(positions: &[usize], names: &[String]) -> Option<String> {
+    for (i, &p) in positions.iter().enumerate() {
+        for &q in &positions[i + 1..] {
+            if p != q && names[p] == names[q] {
+                return Some(names[p].clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ContentSpec;
+    use crate::parser::parse_dtd;
+
+    fn automaton(model: &str) -> ContentAutomaton {
+        let dtd = parse_dtd(&format!("<!ELEMENT a {model}>")).unwrap();
+        match &dtd.element("a").unwrap().content {
+            ContentSpec::Children(p) => ContentAutomaton::compile(p),
+            other => panic!("expected children model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let a = automaton("(b, c)");
+        assert!(a.matches(&["b", "c"]));
+        assert!(!a.matches(&["b"]));
+        assert!(!a.matches(&["c", "b"]));
+        assert!(!a.matches(&[]));
+        assert!(!a.matches(&["b", "c", "c"]));
+    }
+
+    #[test]
+    fn optional_and_star() {
+        let a = automaton("(b?, c*)");
+        assert!(a.matches(&[]));
+        assert!(a.matches(&["b"]));
+        assert!(a.matches(&["c", "c", "c"]));
+        assert!(a.matches(&["b", "c"]));
+        assert!(!a.matches(&["c", "b"]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let a = automaton("(b+)");
+        assert!(!a.matches(&[]));
+        assert!(a.matches(&["b"]));
+        assert!(a.matches(&["b", "b", "b"]));
+    }
+
+    #[test]
+    fn choice() {
+        let a = automaton("(b | c)");
+        assert!(a.matches(&["b"]));
+        assert!(a.matches(&["c"]));
+        assert!(!a.matches(&["b", "c"]));
+        assert!(!a.matches(&[]));
+    }
+
+    #[test]
+    fn nested_model() {
+        // the laboratory project model
+        let a = automaton("(manager, member*, fund*, paper*)");
+        assert!(a.matches(&["manager"]));
+        assert!(a.matches(&["manager", "member", "member", "fund", "paper"]));
+        assert!(!a.matches(&["member", "manager"]));
+        assert!(!a.matches(&["manager", "paper", "fund"]));
+    }
+
+    #[test]
+    fn group_repetition() {
+        let a = automaton("((b, c)+)");
+        assert!(a.matches(&["b", "c"]));
+        assert!(a.matches(&["b", "c", "b", "c"]));
+        assert!(!a.matches(&["b", "c", "b"]));
+    }
+
+    #[test]
+    fn deterministic_model_passes_check() {
+        assert!(automaton("(b?, c*, d)").nondeterminism().is_none());
+    }
+
+    #[test]
+    fn classic_nondeterministic_model_detected() {
+        // (b, b?) is fine; ((b, c) | (b, d)) is the classic 1-ambiguous model.
+        let a = automaton("((b, c) | (b, d))");
+        assert_eq!(a.nondeterminism().as_deref(), Some("b"));
+        // Still matchable by subset simulation.
+        assert!(a.matches(&["b", "c"]));
+        assert!(a.matches(&["b", "d"]));
+        assert!(!a.matches(&["b"]));
+    }
+
+    #[test]
+    fn loosened_style_ambiguity_still_matches() {
+        // (b?, b?) arises from loosening (b, b); ambiguous but matchable.
+        let a = automaton("(b?, b?)");
+        assert!(a.matches(&[]));
+        assert!(a.matches(&["b"]));
+        assert!(a.matches(&["b", "b"]));
+        assert!(!a.matches(&["b", "b", "b"]));
+        assert!(a.nondeterminism().is_some());
+    }
+
+    #[test]
+    fn empty_sequence_of_optionals_is_nullable() {
+        let a = automaton("(b*, c?)");
+        assert!(a.matches(&[]));
+    }
+}

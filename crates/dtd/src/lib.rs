@@ -1,0 +1,53 @@
+//! # xmlsec-dtd — DTD substrate for the *Securing XML Documents* system
+//!
+//! Document Type Definitions are the paper's *schemas*: schema-level
+//! authorizations attach to them, instances validate against them, and the
+//! §6.2 *loosening* transformation rewrites them so pruned views stay
+//! valid without revealing what was hidden.
+//!
+//! - [`parser::parse_dtd`] — `<!ELEMENT>`/`<!ATTLIST>`/`<!ENTITY>`/
+//!   `<!NOTATION>` declarations, parameter-entity expansion;
+//! - [`glushkov::ContentAutomaton`] — content models compiled to Glushkov
+//!   position automata (subset simulation, determinism check);
+//! - [`validate::Validator`] — full validity: content models, attribute
+//!   types, ID/IDREF consistency;
+//! - [`loosen::loosen`] — the paper's loosening transformation;
+//! - [`tree`] — the labeled-tree rendering of a DTD (paper Figure 1(b));
+//! - [`serialize::serialize_dtd`] — write a DTD back to text.
+//!
+//! ```
+//! use xmlsec_dtd::{parse_dtd, loosen, validate};
+//!
+//! let dtd = parse_dtd(r#"
+//!     <!ELEMENT laboratory (project+)>
+//!     <!ELEMENT project (#PCDATA)>
+//!     <!ATTLIST project name CDATA #REQUIRED>
+//! "#).unwrap();
+//! let doc = xmlsec_xml::parse("<laboratory><project/></laboratory>").unwrap();
+//! assert!(!validate(&dtd, &doc).is_empty());         // @name missing
+//! assert!(validate(&loosen(&dtd), &doc).is_empty()); // fine once loosened
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod glushkov;
+pub mod loosen;
+pub mod normalize;
+pub mod parser;
+pub mod serialize;
+pub mod tree;
+pub mod validate;
+
+pub use ast::{
+    AttDef, AttType, Cardinality, ContentSpec, DefaultDecl, Dtd, ElementDecl, Particle,
+    ParticleKind,
+};
+pub use error::{DtdError, ValidityError};
+pub use loosen::loosen;
+pub use normalize::normalize;
+pub use parser::parse_dtd;
+pub use serialize::serialize_dtd;
+pub use tree::{dtd_tree, render_dtd_tree, DtdNodeKind, DtdTreeNode};
+pub use validate::{validate, ValidateOptions, Validator};

@@ -1,0 +1,142 @@
+//! The DTD *loosening* transformation (paper §6.2).
+//!
+//! > "Loosening a DTD simply means to define as *optional* all the
+//! > elements and attributes marked as *required* in the original DTD.
+//! > The DTD loosening prevents users from detecting whether information
+//! > was hidden by the security enforcement or simply missing in the
+//! > original document."
+//!
+//! Concretely: every `#REQUIRED` attribute becomes `#IMPLIED`, and every
+//! content particle that must occur (`1` or `+`) becomes optional
+//! (`?` or `*` respectively), recursively through groups. Loosened models
+//! may be 1-ambiguous; our validator tolerates that (subset simulation).
+
+use crate::ast::{AttDef, ContentSpec, DefaultDecl, Dtd, ElementDecl, Particle, ParticleKind};
+
+/// Returns the loosened version of `dtd`.
+pub fn loosen(dtd: &Dtd) -> Dtd {
+    let mut out = Dtd {
+        elements: Default::default(),
+        attlists: Default::default(),
+        entities: dtd.entities.clone(),
+        notations: dtd.notations.clone(),
+        element_order: dtd.element_order.clone(),
+    };
+    for (name, decl) in &dtd.elements {
+        out.elements.insert(
+            name.clone(),
+            ElementDecl { name: decl.name.clone(), content: loosen_content(&decl.content) },
+        );
+    }
+    for (el, defs) in &dtd.attlists {
+        out.attlists.insert(el.clone(), defs.iter().map(loosen_attdef).collect());
+    }
+    out
+}
+
+fn loosen_content(c: &ContentSpec) -> ContentSpec {
+    match c {
+        ContentSpec::Children(p) => ContentSpec::Children(loosen_particle(p)),
+        other => other.clone(),
+    }
+}
+
+fn loosen_particle(p: &Particle) -> Particle {
+    let kind = match &p.kind {
+        ParticleKind::Name(n) => ParticleKind::Name(n.clone()),
+        ParticleKind::Seq(items) => ParticleKind::Seq(items.iter().map(loosen_particle).collect()),
+        ParticleKind::Choice(items) => {
+            ParticleKind::Choice(items.iter().map(loosen_particle).collect())
+        }
+    };
+    Particle { kind, card: p.card.loosened() }
+}
+
+fn loosen_attdef(d: &AttDef) -> AttDef {
+    let default = match &d.default {
+        DefaultDecl::Required => DefaultDecl::Implied,
+        // A fixed attribute has a default value, so its absence never
+        // invalidates an instance; keep the constraint.
+        other => other.clone(),
+    };
+    AttDef { name: d.name.clone(), ty: d.ty.clone(), default }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+    use crate::validate::validate;
+    use xmlsec_xml::parse;
+
+    #[test]
+    fn required_attributes_become_implied() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT a EMPTY>
+               <!ATTLIST a x CDATA #REQUIRED y CDATA #IMPLIED z CDATA "d" w CDATA #FIXED "f">"#,
+        )
+        .unwrap();
+        let l = loosen(&dtd);
+        let atts = l.attributes("a");
+        assert_eq!(atts[0].default, DefaultDecl::Implied);
+        assert_eq!(atts[1].default, DefaultDecl::Implied);
+        assert_eq!(atts[2].default, DefaultDecl::Default("d".into()));
+        assert_eq!(atts[3].default, DefaultDecl::Fixed("f".into()));
+    }
+
+    #[test]
+    fn content_cardinalities_loosened_recursively() {
+        let dtd = parse_dtd("<!ELEMENT a (b, (c | d)+, e*)>").unwrap();
+        let l = loosen(&dtd);
+        assert_eq!(l.element("a").unwrap().content.to_string(), "(b?,(c?|d?)*,e*)?");
+    }
+
+    #[test]
+    fn mixed_and_empty_unchanged() {
+        let dtd = parse_dtd("<!ELEMENT p (#PCDATA|b)*><!ELEMENT e EMPTY><!ELEMENT x ANY><!ELEMENT b (#PCDATA)>").unwrap();
+        let l = loosen(&dtd);
+        assert_eq!(l.element("p").unwrap().content, dtd.element("p").unwrap().content);
+        assert_eq!(l.element("e").unwrap().content, ContentSpec::Empty);
+        assert_eq!(l.element("x").unwrap().content, ContentSpec::Any);
+    }
+
+    #[test]
+    fn pruned_documents_validate_against_loosened_dtd() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT lab (project+)>
+               <!ELEMENT project (manager, paper*)>
+               <!ATTLIST project name CDATA #REQUIRED>
+               <!ELEMENT manager (#PCDATA)>
+               <!ELEMENT paper (#PCDATA)>"#,
+        )
+        .unwrap();
+        // A "view" where manager and @name were pruned away.
+        let view = parse(r#"<lab><project><paper>X</paper></project></lab>"#).unwrap();
+        assert!(!validate(&dtd, &view).is_empty(), "invalid against original");
+        assert!(validate(&loosen(&dtd), &view).is_empty(), "valid against loosened");
+        // Even an entirely empty lab is fine after loosening.
+        let empty = parse("<lab/>").unwrap();
+        assert!(validate(&loosen(&dtd), &empty).is_empty());
+    }
+
+    #[test]
+    fn valid_documents_stay_valid_after_loosening() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT lab (project+)>
+               <!ELEMENT project EMPTY>
+               <!ATTLIST project name CDATA #REQUIRED>"#,
+        )
+        .unwrap();
+        let doc = parse(r#"<lab><project name="p"/></lab>"#).unwrap();
+        assert!(validate(&dtd, &doc).is_empty());
+        assert!(validate(&loosen(&dtd), &doc).is_empty());
+    }
+
+    #[test]
+    fn loosening_is_idempotent() {
+        let dtd = parse_dtd("<!ELEMENT a (b+, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        let once = loosen(&dtd);
+        let twice = loosen(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,648 @@
+//! DTD parser: `<!ELEMENT>`, `<!ATTLIST>`, `<!ENTITY>`, `<!NOTATION>`
+//! declarations, comments, and one-level parameter-entity expansion.
+//!
+//! Parses both standalone DTD files and internal subsets captured by the
+//! XML parser's DOCTYPE handling.
+
+use crate::ast::*;
+use crate::error::{DtdError, Result};
+
+/// Parses a DTD from its textual form.
+pub fn parse_dtd(input: &str) -> Result<Dtd> {
+    // Parameter entities are textually expanded first (bounded depth) so
+    // that common DTD idioms like `<!ENTITY % person "(flname,email?)">`
+    // work; anything deeper than 16 levels is almost certainly a cycle.
+    let expanded = expand_parameter_entities(input)?;
+    let mut p = DtdParser { input: &expanded, pos: 0, dtd: Dtd::default() };
+    p.run()?;
+    Ok(p.dtd)
+}
+
+fn expand_parameter_entities(input: &str) -> Result<String> {
+    let mut text = input.to_string();
+    for _round in 0..16 {
+        let defs = collect_pe_defs(&text);
+        if defs.is_empty() {
+            return Ok(text);
+        }
+        let mut replaced = false;
+        let mut out = String::with_capacity(text.len());
+        let mut rest = text.as_str();
+        while let Some(i) = rest.find('%') {
+            let (head, tail) = rest.split_at(i);
+            out.push_str(head);
+            // A PE reference is %name; — anything else (e.g. '%' inside an
+            // entity definition string) is copied through.
+            if let Some(semi) = tail[1..].find(';') {
+                let name = &tail[1..1 + semi];
+                if !name.is_empty()
+                    && name.chars().all(|c| c.is_alphanumeric() || c == '-' || c == '_' || c == '.')
+                {
+                    if let Some(rep) = defs.get(name) {
+                        out.push_str(rep);
+                        rest = &tail[1 + semi + 1..];
+                        replaced = true;
+                        continue;
+                    }
+                }
+            }
+            out.push('%');
+            rest = &tail[1..];
+        }
+        out.push_str(rest);
+        text = out;
+        if !replaced {
+            return Ok(text);
+        }
+    }
+    Err(DtdError::new("parameter entity expansion exceeded depth 16 (cycle?)", 0))
+}
+
+/// Extracts `<!ENTITY % name "replacement">` definitions.
+fn collect_pe_defs(text: &str) -> std::collections::HashMap<String, String> {
+    let mut defs = std::collections::HashMap::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("<!ENTITY") {
+        rest = &rest[i + 8..];
+        let t = rest.trim_start();
+        if let Some(t) = t.strip_prefix('%') {
+            let t = t.trim_start();
+            let name_end = t.find(|c: char| c.is_whitespace()).unwrap_or(t.len());
+            let name = &t[..name_end];
+            let t2 = t[name_end..].trim_start();
+            if let Some(q) = t2.chars().next() {
+                if q == '"' || q == '\'' {
+                    if let Some(end) = t2[1..].find(q) {
+                        defs.insert(name.to_string(), t2[1..1 + end].to_string());
+                    }
+                }
+            }
+        }
+    }
+    defs
+}
+
+struct DtdParser<'a> {
+    input: &'a str,
+    pos: usize,
+    dtd: Dtd,
+}
+
+impl<'a> DtdParser<'a> {
+    fn run(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws_and_comments();
+            if self.pos >= self.input.len() {
+                return Ok(());
+            }
+            if self.starts_with("<!ELEMENT") {
+                self.advance(9);
+                self.parse_element_decl()?;
+            } else if self.starts_with("<!ATTLIST") {
+                self.advance(9);
+                self.parse_attlist_decl()?;
+            } else if self.starts_with("<!ENTITY") {
+                self.advance(8);
+                self.parse_entity_decl()?;
+            } else if self.starts_with("<!NOTATION") {
+                self.advance(10);
+                self.parse_notation_decl()?;
+            } else if self.starts_with("<?") {
+                // Processing instruction in the subset: skip to '?>'.
+                match self.input[self.pos..].find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Err(self.err("expected a declaration"));
+            }
+        }
+    }
+
+    // -- lexing helpers --------------------------------------------------
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.input[self.pos + 4..].find("-->") {
+                    Some(i) => self.pos += 4 + i + 3,
+                    None => {
+                        // Unterminated comment: consume to end; run() will
+                        // finish at EOF.
+                        self.pos = self.input.len();
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DtdError {
+        DtdError::new(msg, self.pos)
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if xmlsec_xml::name::is_name_start_char(c) => {
+                self.bump();
+            }
+            other => return Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+        while matches!(self.peek(), Some(c) if xmlsec_xml::name::is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn read_quoted(&mut self) -> Result<String> {
+        let q = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            other => return Err(self.err(format!("expected a quoted string, found {other:?}"))),
+        };
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(c) if c == q => {
+                    return Ok(self.input[start..self.pos - c.len_utf8()].to_string())
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // -- declarations ----------------------------------------------------
+
+    fn parse_element_decl(&mut self) -> Result<()> {
+        self.skip_ws();
+        let name = self.read_name()?;
+        self.skip_ws();
+        let content = self.parse_content_spec()?;
+        self.skip_ws();
+        self.expect('>')?;
+        self.dtd.add_element(ElementDecl { name, content });
+        Ok(())
+    }
+
+    fn parse_content_spec(&mut self) -> Result<ContentSpec> {
+        if self.starts_with("EMPTY") {
+            self.advance(5);
+            return Ok(ContentSpec::Empty);
+        }
+        if self.starts_with("ANY") {
+            self.advance(3);
+            return Ok(ContentSpec::Any);
+        }
+        // Both Mixed and children start with '('.
+        let save = self.pos;
+        self.expect('(')?;
+        self.skip_ws();
+        if self.starts_with("#PCDATA") {
+            self.advance(7);
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some('|') => {
+                        self.bump();
+                        self.skip_ws();
+                        names.push(self.read_name()?);
+                    }
+                    Some(')') => {
+                        self.bump();
+                        // '(#PCDATA|a)*' requires the trailing '*';
+                        // '(#PCDATA)' allows omitting it.
+                        if self.peek() == Some('*') {
+                            self.bump();
+                        } else if !names.is_empty() {
+                            return Err(self.err("mixed content with elements requires ')*'"));
+                        }
+                        return Ok(ContentSpec::Mixed(names));
+                    }
+                    other => return Err(self.err(format!("unexpected {other:?} in mixed content"))),
+                }
+            }
+        }
+        // Element content: rewind and parse a particle.
+        self.pos = save;
+        let particle = self.parse_particle()?;
+        Ok(ContentSpec::Children(particle))
+    }
+
+    fn parse_particle(&mut self) -> Result<Particle> {
+        self.skip_ws();
+        let kind = if self.peek() == Some('(') {
+            self.bump();
+            let first = self.parse_particle()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    let mut items = vec![first];
+                    while self.peek() == Some(',') {
+                        self.bump();
+                        items.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    self.expect(')')?;
+                    ParticleKind::Seq(items)
+                }
+                Some('|') => {
+                    let mut items = vec![first];
+                    while self.peek() == Some('|') {
+                        self.bump();
+                        items.push(self.parse_particle()?);
+                        self.skip_ws();
+                    }
+                    self.expect(')')?;
+                    ParticleKind::Choice(items)
+                }
+                Some(')') => {
+                    self.bump();
+                    // A parenthesized single particle: a 1-ary seq so the
+                    // outer cardinality applies to the group (collapsed
+                    // below when the group adds no cardinality).
+                    ParticleKind::Seq(vec![first])
+                }
+                other => return Err(self.err(format!("unexpected {other:?} in content model"))),
+            }
+        } else {
+            ParticleKind::Name(self.read_name()?)
+        };
+        let card = match self.peek() {
+            Some('?') => {
+                self.bump();
+                Cardinality::Optional
+            }
+            Some('*') => {
+                self.bump();
+                Cardinality::ZeroOrMore
+            }
+            Some('+') => {
+                self.bump();
+                Cardinality::OneOrMore
+            }
+            _ => Cardinality::One,
+        };
+        // `(p)` with no outer cardinality is just `p`.
+        if card == Cardinality::One {
+            if let ParticleKind::Seq(items) = &kind {
+                if items.len() == 1 {
+                    return Ok(items[0].clone());
+                }
+            }
+        }
+        Ok(Particle { kind, card })
+    }
+
+    fn parse_attlist_decl(&mut self) -> Result<()> {
+        self.skip_ws();
+        let element = self.read_name()?;
+        let mut defs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('>') {
+                self.bump();
+                break;
+            }
+            let name = self.read_name()?;
+            self.skip_ws();
+            let ty = self.parse_att_type()?;
+            self.skip_ws();
+            let default = self.parse_default_decl()?;
+            defs.push(AttDef { name, ty, default });
+        }
+        self.dtd.add_attlist(&element, defs);
+        Ok(())
+    }
+
+    fn parse_att_type(&mut self) -> Result<AttType> {
+        // Keyword types. Order matters (IDREFS before IDREF before ID).
+        const KEYWORDS: &[(&str, AttType)] = &[
+            ("CDATA", AttType::Cdata),
+            ("IDREFS", AttType::IdRefs),
+            ("IDREF", AttType::IdRef),
+            ("ID", AttType::Id),
+            ("ENTITIES", AttType::Entities),
+            ("ENTITY", AttType::Entity),
+            ("NMTOKENS", AttType::NmTokens),
+            ("NMTOKEN", AttType::NmToken),
+        ];
+        for (kw, ty) in KEYWORDS {
+            if self.starts_with(kw) {
+                // Ensure the keyword is not a prefix of a longer name.
+                let after = self.input[self.pos + kw.len()..].chars().next();
+                if !matches!(after, Some(c) if xmlsec_xml::name::is_name_char(c)) {
+                    self.advance(kw.len());
+                    return Ok(ty.clone());
+                }
+            }
+        }
+        if self.starts_with("NOTATION") {
+            self.advance(8);
+            self.skip_ws();
+            let names = self.parse_enumeration()?;
+            return Ok(AttType::Notation(names));
+        }
+        if self.peek() == Some('(') {
+            let names = self.parse_enumeration()?;
+            return Ok(AttType::Enumeration(names));
+        }
+        Err(self.err("expected an attribute type"))
+    }
+
+    fn parse_enumeration(&mut self) -> Result<Vec<String>> {
+        self.expect('(')?;
+        let mut names = Vec::new();
+        loop {
+            self.skip_ws();
+            // Enumeration tokens are Nmtokens (may start with a digit).
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if xmlsec_xml::name::is_name_char(c)) {
+                self.bump();
+            }
+            if start == self.pos {
+                return Err(self.err("expected an enumeration token"));
+            }
+            names.push(self.input[start..self.pos].to_string());
+            self.skip_ws();
+            match self.bump() {
+                Some('|') => continue,
+                Some(')') => return Ok(names),
+                other => return Err(self.err(format!("unexpected {other:?} in enumeration"))),
+            }
+        }
+    }
+
+    fn parse_default_decl(&mut self) -> Result<DefaultDecl> {
+        if self.starts_with("#REQUIRED") {
+            self.advance(9);
+            return Ok(DefaultDecl::Required);
+        }
+        if self.starts_with("#IMPLIED") {
+            self.advance(8);
+            return Ok(DefaultDecl::Implied);
+        }
+        if self.starts_with("#FIXED") {
+            self.advance(6);
+            self.skip_ws();
+            let v = self.read_quoted()?;
+            return Ok(DefaultDecl::Fixed(v));
+        }
+        let v = self.read_quoted()?;
+        Ok(DefaultDecl::Default(v))
+    }
+
+    fn parse_entity_decl(&mut self) -> Result<()> {
+        self.skip_ws();
+        let mut name = String::new();
+        if self.peek() == Some('%') {
+            self.bump();
+            self.skip_ws();
+            name.push('%');
+        }
+        name.push_str(&self.read_name()?);
+        self.skip_ws();
+        // Definition: either a quoted value or SYSTEM/PUBLIC external id;
+        // captured verbatim to '>'.
+        let start = self.pos;
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated entity declaration")),
+                Some(q @ ('"' | '\'')) => {
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated entity value")),
+                            Some(c) if c == q => break,
+                            Some(_) => {}
+                        }
+                    }
+                }
+                Some('>') if depth == 0 => {
+                    let definition = self.input[start..self.pos].trim().to_string();
+                    self.bump();
+                    self.dtd.entities.push(EntityDecl { name, definition });
+                    return Ok(());
+                }
+                Some('(') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(')') => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_notation_decl(&mut self) -> Result<()> {
+        self.skip_ws();
+        let name = self.read_name()?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated notation declaration")),
+                Some('>') => {
+                    let definition = self.input[start..self.pos].trim().to_string();
+                    self.bump();
+                    self.dtd.notations.push(NotationDecl { name, definition });
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_elements() {
+        let dtd = parse_dtd(
+            r#"
+            <!ELEMENT laboratory (project+)>
+            <!ELEMENT project (manager, paper*)>
+            <!ELEMENT manager (#PCDATA)>
+            <!ELEMENT paper EMPTY>
+            "#,
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 4);
+        assert_eq!(dtd.element("laboratory").unwrap().content.to_string(), "(project+)");
+        assert_eq!(dtd.element("project").unwrap().content.to_string(), "(manager,paper*)");
+        assert_eq!(dtd.element("manager").unwrap().content, ContentSpec::Mixed(vec![]));
+        assert_eq!(dtd.element("paper").unwrap().content, ContentSpec::Empty);
+    }
+
+    #[test]
+    fn parse_attlist() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT project EMPTY>
+               <!ATTLIST project
+                   name CDATA #REQUIRED
+                   type (internal|public) #REQUIRED
+                   status CDATA "active"
+                   version CDATA #FIXED "1">"#,
+        )
+        .unwrap();
+        let atts = dtd.attributes("project");
+        assert_eq!(atts.len(), 4);
+        assert_eq!(atts[0].default, DefaultDecl::Required);
+        assert_eq!(atts[1].ty, AttType::Enumeration(vec!["internal".into(), "public".into()]));
+        assert_eq!(atts[2].default, DefaultDecl::Default("active".into()));
+        assert_eq!(atts[3].default, DefaultDecl::Fixed("1".into()));
+    }
+
+    #[test]
+    fn parse_mixed_with_elements() {
+        let dtd = parse_dtd("<!ELEMENT p (#PCDATA | b | i)*>").unwrap();
+        assert_eq!(
+            dtd.element("p").unwrap().content,
+            ContentSpec::Mixed(vec!["b".into(), "i".into()])
+        );
+    }
+
+    #[test]
+    fn mixed_requires_star_with_elements() {
+        assert!(parse_dtd("<!ELEMENT p (#PCDATA | b)>").is_err());
+    }
+
+    #[test]
+    fn nested_groups_and_choice() {
+        let dtd = parse_dtd("<!ELEMENT a ((b | c)+, d?)>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content.to_string(), "((b|c)+,d?)");
+    }
+
+    #[test]
+    fn any_content() {
+        let dtd = parse_dtd("<!ELEMENT a ANY>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content, ContentSpec::Any);
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let dtd = parse_dtd(
+            "<!-- schema --><?build keep?><!ELEMENT a EMPTY><!-- done -->",
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 1);
+    }
+
+    #[test]
+    fn entity_and_notation_captured() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY copyright "(c) 2000 CSlab">
+               <!NOTATION gif SYSTEM "image/gif">
+               <!ELEMENT a EMPTY>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.entities.len(), 1);
+        assert_eq!(dtd.entities[0].name, "copyright");
+        assert_eq!(dtd.notations.len(), 1);
+        assert_eq!(dtd.notations[0].name, "gif");
+    }
+
+    #[test]
+    fn parameter_entity_expansion() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY % person "(flname, email?)">
+               <!ELEMENT manager %person;>
+               <!ELEMENT member %person;>
+               <!ELEMENT flname (#PCDATA)>
+               <!ELEMENT email (#PCDATA)>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.element("manager").unwrap().content.to_string(), "(flname,email?)");
+        assert_eq!(dtd.element("member").unwrap().content.to_string(), "(flname,email?)");
+    }
+
+    #[test]
+    fn cyclic_parameter_entities_rejected() {
+        let e = parse_dtd(r#"<!ENTITY % a "%b;"><!ENTITY % b "%a;"><!ELEMENT x %a;>"#);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn duplicate_element_first_wins() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content, ContentSpec::Empty);
+    }
+
+    #[test]
+    fn garbage_rejected_with_offset() {
+        let e = parse_dtd("<!ELEMENT a EMPTY> junk").unwrap_err();
+        assert!(e.offset > 0);
+    }
+
+    #[test]
+    fn parenthesized_single_child_keeps_group_cardinality() {
+        let dtd = parse_dtd("<!ELEMENT a (b)*>").unwrap();
+        match &dtd.element("a").unwrap().content {
+            ContentSpec::Children(p) => {
+                assert_eq!(p.card, Cardinality::ZeroOrMore);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idrefs_vs_idref_vs_id() {
+        let dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a x ID #REQUIRED y IDREF #IMPLIED z IDREFS #IMPLIED>",
+        )
+        .unwrap();
+        let atts = dtd.attributes("a");
+        assert_eq!(atts[0].ty, AttType::Id);
+        assert_eq!(atts[1].ty, AttType::IdRef);
+        assert_eq!(atts[2].ty, AttType::IdRefs);
+    }
+}

@@ -1,0 +1,106 @@
+//! DTD serialization: writes a [`Dtd`] back to declaration text, so the
+//! security processor can ship the loosened DTD to the requester alongside
+//! the computed view (paper §7: "the resulting XML document, together with
+//! the loosened DTD, can then be transmitted to the user").
+
+use crate::ast::{AttDef, Dtd};
+
+/// Serializes `dtd` as declaration text, one declaration per line,
+/// elements in original declaration order.
+pub fn serialize_dtd(dtd: &Dtd) -> String {
+    let mut out = String::new();
+    for name in &dtd.element_order {
+        let Some(decl) = dtd.element(name) else { continue };
+        out.push_str(&format!("<!ELEMENT {} {}>\n", decl.name, decl.content));
+        if let Some(defs) = dtd.attlists.get(name) {
+            if !defs.is_empty() {
+                out.push_str(&format!("<!ATTLIST {}", decl.name));
+                for d in defs {
+                    out.push_str(&format!("\n    {}", attdef(d)));
+                }
+                out.push_str(">\n");
+            }
+        }
+    }
+    // Attlists for elements without a (parsed) element declaration.
+    for (el, defs) in &dtd.attlists {
+        if dtd.element(el).is_none() && !defs.is_empty() {
+            out.push_str(&format!("<!ATTLIST {el}"));
+            for d in defs {
+                out.push_str(&format!("\n    {}", attdef(d)));
+            }
+            out.push_str(">\n");
+        }
+    }
+    for e in &dtd.entities {
+        if let Some(pe) = e.name.strip_prefix('%') {
+            out.push_str(&format!("<!ENTITY % {} {}>\n", pe, e.definition));
+        } else {
+            out.push_str(&format!("<!ENTITY {} {}>\n", e.name, e.definition));
+        }
+    }
+    for n in &dtd.notations {
+        out.push_str(&format!("<!NOTATION {} {}>\n", n.name, n.definition));
+    }
+    out
+}
+
+fn attdef(d: &AttDef) -> String {
+    format!("{} {} {}", d.name, d.ty, d.default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let src = r#"
+            <!ELEMENT laboratory (project+)>
+            <!ELEMENT project (manager, (member | guest)*, paper?)>
+            <!ATTLIST project name CDATA #REQUIRED type (internal|public) #REQUIRED>
+            <!ELEMENT manager (#PCDATA)>
+            <!ELEMENT member (#PCDATA)>
+            <!ELEMENT guest (#PCDATA)>
+            <!ELEMENT paper (#PCDATA | emph)*>
+            <!ELEMENT emph (#PCDATA)>
+        "#;
+        let d1 = parse_dtd(src).unwrap();
+        let text = serialize_dtd(&d1);
+        let d2 = parse_dtd(&text).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn declaration_order_preserved() {
+        let d = parse_dtd("<!ELEMENT z EMPTY><!ELEMENT a EMPTY>").unwrap();
+        let text = serialize_dtd(&d);
+        let zi = text.find("<!ELEMENT z").unwrap();
+        let ai = text.find("<!ELEMENT a").unwrap();
+        assert!(zi < ai, "{text}");
+    }
+
+    #[test]
+    fn entities_and_notations_serialized() {
+        let d = parse_dtd(
+            r#"<!ENTITY lab "CSlab"><!NOTATION gif SYSTEM "gif"><!ELEMENT a EMPTY>"#,
+        )
+        .unwrap();
+        let text = serialize_dtd(&d);
+        assert!(text.contains("<!ENTITY lab \"CSlab\">"), "{text}");
+        assert!(text.contains("<!NOTATION gif SYSTEM \"gif\">"), "{text}");
+        // And it parses back.
+        parse_dtd(&text).unwrap();
+    }
+
+    #[test]
+    fn fixed_and_default_attribute_values() {
+        let d = parse_dtd(r#"<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1" w CDATA "x">"#)
+            .unwrap();
+        let text = serialize_dtd(&d);
+        assert!(text.contains("#FIXED \"1\""), "{text}");
+        assert!(text.contains("w CDATA \"x\""), "{text}");
+        assert_eq!(parse_dtd(&text).unwrap(), d);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tree representation of a DTD (the paper's Figure 1(b)).
+//!
+//! "A DTD is represented as a labeled tree containing a node for each
+//! attribute and element in the DTD. There is an arc between elements and
+//! each element/attribute belonging to them, labeled with the cardinality
+//! of the relationship. Elements are represented as circles and attributes
+//! as squares."
+//!
+//! Recursive element declarations are cut at the repeated element (the
+//! node is rendered with a `^` back-reference marker) so the tree is
+//! finite.
+
+use crate::ast::{Cardinality, ContentSpec, DefaultDecl, Dtd, Particle, ParticleKind};
+
+/// A node of the DTD tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdTreeNode {
+    /// What the node is.
+    pub kind: DtdNodeKind,
+    /// Cardinality label on the arc from the parent (`One` for the root
+    /// and for attributes, whose optionality is in `kind`).
+    pub arc: Cardinality,
+    /// Child nodes.
+    pub children: Vec<DtdTreeNode>,
+}
+
+/// Node kinds in a DTD tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdNodeKind {
+    /// An element (a "circle" in the paper's drawing).
+    Element {
+        /// Element name.
+        name: String,
+        /// Set when this element is an ancestor of itself (recursion cut).
+        back_reference: bool,
+    },
+    /// An attribute (a "square"), with its optionality.
+    Attribute {
+        /// Attribute name.
+        name: String,
+        /// `true` for `#REQUIRED`/`#FIXED` (must be present/defaulted).
+        required: bool,
+    },
+    /// `#PCDATA` content marker.
+    Text,
+}
+
+/// Builds the tree rooted at `root_element`.
+///
+/// Returns `None` if `root_element` is not declared.
+pub fn dtd_tree(dtd: &Dtd, root_element: &str) -> Option<DtdTreeNode> {
+    dtd.element(root_element)?;
+    let mut path = Vec::new();
+    Some(build(dtd, root_element, Cardinality::One, &mut path))
+}
+
+fn build(dtd: &Dtd, name: &str, arc: Cardinality, path: &mut Vec<String>) -> DtdTreeNode {
+    if path.iter().any(|p| p == name) {
+        return DtdTreeNode {
+            kind: DtdNodeKind::Element { name: name.to_string(), back_reference: true },
+            arc,
+            children: Vec::new(),
+        };
+    }
+    path.push(name.to_string());
+    let mut children = Vec::new();
+    for def in dtd.attributes(name) {
+        children.push(DtdTreeNode {
+            kind: DtdNodeKind::Attribute {
+                name: def.name.clone(),
+                required: matches!(def.default, DefaultDecl::Required | DefaultDecl::Fixed(_)),
+            },
+            arc: Cardinality::One,
+            children: Vec::new(),
+        });
+    }
+    if let Some(decl) = dtd.element(name) {
+        match &decl.content {
+            ContentSpec::Empty | ContentSpec::Any => {}
+            ContentSpec::Mixed(names) => {
+                children.push(DtdTreeNode {
+                    kind: DtdNodeKind::Text,
+                    arc: Cardinality::One,
+                    children: Vec::new(),
+                });
+                for n in names {
+                    children.push(build(dtd, n, Cardinality::ZeroOrMore, path));
+                }
+            }
+            ContentSpec::Children(p) => {
+                collect_particle(dtd, p, Cardinality::One, path, &mut children);
+            }
+        }
+    }
+    path.pop();
+    DtdTreeNode {
+        kind: DtdNodeKind::Element { name: name.to_string(), back_reference: false },
+        arc,
+        children,
+    }
+}
+
+/// Flattens a content particle into child arcs; group cardinalities
+/// combine with inner ones (the stronger repetition / weaker requirement
+/// wins so the arc label reflects effective occurrence).
+fn collect_particle(
+    dtd: &Dtd,
+    p: &Particle,
+    outer: Cardinality,
+    path: &mut Vec<String>,
+    out: &mut Vec<DtdTreeNode>,
+) {
+    let eff = combine(outer, p.card);
+    match &p.kind {
+        ParticleKind::Name(n) => out.push(build(dtd, n, eff, path)),
+        ParticleKind::Seq(items) => {
+            for i in items {
+                collect_particle(dtd, i, eff, path, out);
+            }
+        }
+        ParticleKind::Choice(items) => {
+            // Members of a choice are individually optional.
+            let inner = combine(eff, Cardinality::Optional);
+            for i in items {
+                collect_particle(dtd, i, inner, path, out);
+            }
+        }
+    }
+}
+
+fn combine(a: Cardinality, b: Cardinality) -> Cardinality {
+    use Cardinality::*;
+    let zero = a.allows_zero() || b.allows_zero();
+    let many = a.allows_many() || b.allows_many();
+    match (zero, many) {
+        (false, false) => One,
+        (true, false) => Optional,
+        (false, true) => OneOrMore,
+        (true, true) => ZeroOrMore,
+    }
+}
+
+/// Renders the tree as ASCII art in the style of the paper's figures.
+pub fn render_dtd_tree(root: &DtdTreeNode) -> String {
+    let mut out = String::new();
+    render(root, "", true, true, &mut out);
+    out
+}
+
+fn render(n: &DtdTreeNode, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "`-- "
+    } else {
+        "|-- "
+    };
+    let label = match &n.kind {
+        DtdNodeKind::Element { name, back_reference: false } => format!("({name}){}", n.arc),
+        DtdNodeKind::Element { name, back_reference: true } => format!("({name})^{}", n.arc),
+        DtdNodeKind::Attribute { name, required } => {
+            format!("[{name}]{}", if *required { "" } else { "?" })
+        }
+        DtdNodeKind::Text => "#PCDATA".to_string(),
+    };
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&label);
+    out.push('\n');
+    let child_prefix = if is_root {
+        "  ".to_string()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}|   ")
+    };
+    for (i, c) in n.children.iter().enumerate() {
+        render(c, &child_prefix, i + 1 == n.children.len(), false, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_dtd;
+
+    fn lab() -> Dtd {
+        parse_dtd(
+            r#"
+            <!ELEMENT laboratory (project+)>
+            <!ELEMENT project (manager, paper*)>
+            <!ATTLIST project name CDATA #REQUIRED type CDATA #IMPLIED>
+            <!ELEMENT manager (#PCDATA)>
+            <!ELEMENT paper (#PCDATA)>
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = dtd_tree(&lab(), "laboratory").unwrap();
+        assert!(matches!(&t.kind, DtdNodeKind::Element { name, .. } if name == "laboratory"));
+        assert_eq!(t.children.len(), 1); // project
+        let project = &t.children[0];
+        assert_eq!(project.arc, Cardinality::OneOrMore);
+        // attrs first: name, type; then manager, paper
+        assert_eq!(project.children.len(), 4);
+        assert!(matches!(&project.children[0].kind,
+            DtdNodeKind::Attribute { name, required: true } if name == "name"));
+        assert!(matches!(&project.children[1].kind,
+            DtdNodeKind::Attribute { name, required: false } if name == "type"));
+        assert_eq!(project.children[3].arc, Cardinality::ZeroOrMore);
+    }
+
+    #[test]
+    fn unknown_root_is_none() {
+        assert!(dtd_tree(&lab(), "nothere").is_none());
+    }
+
+    #[test]
+    fn recursion_is_cut_with_back_reference() {
+        let dtd = parse_dtd("<!ELEMENT part (part*)>").unwrap();
+        let t = dtd_tree(&dtd, "part").unwrap();
+        let child = &t.children[0];
+        assert!(matches!(&child.kind, DtdNodeKind::Element { back_reference: true, .. }));
+        assert!(child.children.is_empty());
+    }
+
+    #[test]
+    fn choice_members_are_optional() {
+        let dtd = parse_dtd("<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        let t = dtd_tree(&dtd, "a").unwrap();
+        assert_eq!(t.children[0].arc, Cardinality::Optional);
+        assert_eq!(t.children[1].arc, Cardinality::Optional);
+    }
+
+    #[test]
+    fn mixed_content_adds_text_node() {
+        let dtd = parse_dtd("<!ELEMENT p (#PCDATA|b)*><!ELEMENT b EMPTY>").unwrap();
+        let t = dtd_tree(&dtd, "p").unwrap();
+        assert!(matches!(t.children[0].kind, DtdNodeKind::Text));
+        assert_eq!(t.children[1].arc, Cardinality::ZeroOrMore);
+    }
+
+    #[test]
+    fn render_contains_figure_style_markers() {
+        let t = dtd_tree(&lab(), "laboratory").unwrap();
+        let s = render_dtd_tree(&t);
+        assert!(s.contains("(laboratory)"), "{s}");
+        assert!(s.contains("(project)+"), "{s}");
+        assert!(s.contains("[name]"), "{s}");
+        assert!(s.contains("[type]?"), "{s}");
+        assert!(s.contains("(paper)*"), "{s}");
+    }
+
+    #[test]
+    fn cardinality_combination() {
+        use Cardinality::*;
+        assert_eq!(combine(One, One), One);
+        assert_eq!(combine(One, Optional), Optional);
+        assert_eq!(combine(OneOrMore, Optional), ZeroOrMore);
+        assert_eq!(combine(ZeroOrMore, One), ZeroOrMore);
+        assert_eq!(combine(OneOrMore, OneOrMore), OneOrMore);
+    }
+}

@@ -1,0 +1,74 @@
+//! Robustness: the DTD parser never panics, and validator/loosener
+//! behave on adversarial schemas.
+
+use proptest::prelude::*;
+use xmlsec_dtd::{loosen, parse_dtd, serialize_dtd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the DTD parser.
+    #[test]
+    fn parse_dtd_never_panics(s in ".{0,300}") {
+        let _ = parse_dtd(&s);
+    }
+
+    /// DTD-ish soup never panics.
+    #[test]
+    fn parse_dtd_never_panics_on_decl_soup(
+        s in "[<>!A-Z a-z()\\[\\]|,?*+#\"%;-]{0,300}"
+    ) {
+        let _ = parse_dtd(&s);
+    }
+
+    /// Anything that parses can be loosened and re-serialized, and the
+    /// result re-parses to the same loosened schema.
+    #[test]
+    fn loosen_serialize_reparse(s in "[<>!A-Za-z ()|,?*+#\"]{0,200}") {
+        if let Ok(dtd) = parse_dtd(&s) {
+            let l = loosen(&dtd);
+            let text = serialize_dtd(&l);
+            if let Ok(re) = parse_dtd(&text) {
+                prop_assert_eq!(l, re);
+            } else {
+                prop_assert!(false, "loosened DTD did not re-parse:\n{}", text);
+            }
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_content_model() {
+    // 200 nested groups: parser must not blow the stack or mangle it.
+    let mut model = String::from("x");
+    for _ in 0..200 {
+        model = format!("({model})?");
+    }
+    let dtd = parse_dtd(&format!("<!ELEMENT a {model}><!ELEMENT x EMPTY>")).unwrap();
+    assert!(dtd.element("a").is_some());
+    let _ = loosen(&dtd);
+}
+
+#[test]
+fn huge_choice_compiles_and_matches() {
+    let names: Vec<String> = (0..500).map(|i| format!("e{i}")).collect();
+    let model = format!("({})*", names.join("|"));
+    let mut text = format!("<!ELEMENT a {model}>");
+    for n in &names {
+        text.push_str(&format!("<!ELEMENT {n} EMPTY>"));
+    }
+    let dtd = parse_dtd(&text).unwrap();
+    let doc = xmlsec_xml::parse("<a><e0/><e499/><e250/></a>").unwrap();
+    assert!(xmlsec_dtd::validate(&dtd, &doc).is_empty());
+}
+
+#[test]
+fn pathological_ambiguity_still_terminates() {
+    // (a?, a?, ..., a?) — exponential derivations, linear subset states.
+    let model = format!("({})", vec!["a?"; 64].join(","));
+    let dtd = parse_dtd(&format!("<!ELEMENT r {model}><!ELEMENT a EMPTY>")).unwrap();
+    let doc = xmlsec_xml::parse(&format!("<r>{}</r>", "<a/>".repeat(64))).unwrap();
+    assert!(xmlsec_dtd::validate(&dtd, &doc).is_empty());
+    let over = xmlsec_xml::parse(&format!("<r>{}</r>", "<a/>".repeat(65))).unwrap();
+    assert!(!xmlsec_dtd::validate(&dtd, &over).is_empty());
+}

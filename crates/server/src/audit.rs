@@ -1,0 +1,107 @@
+//! Audit log: a record of every access decision the server takes.
+
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Outcome of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// A view was computed and returned (with how many of the labeled
+    /// nodes were granted).
+    Served {
+        /// Nodes the requester could see.
+        granted_nodes: usize,
+        /// Nodes in the source document.
+        total_nodes: usize,
+        /// Whether the view came from the cache.
+        cached: bool,
+    },
+    /// Authentication failed.
+    AuthenticationFailed,
+    /// The URI is not in the repository.
+    NotFound,
+    /// The processor raised an error.
+    ProcessingError(String),
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The requester, rendered (`user@host(ip)`).
+    pub requester: String,
+    /// Requested URI.
+    pub uri: String,
+    /// What happened.
+    pub outcome: AuditOutcome,
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} -> {}: {:?}", self.seq, self.requester, self.uri, self.outcome)
+    }
+}
+
+/// Thread-safe, append-only audit log.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    inner: Mutex<Vec<AuditRecord>>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, assigning its sequence number.
+    pub fn record(&self, requester: &str, uri: &str, outcome: AuditOutcome) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.len() as u64;
+        inner.push(AuditRecord {
+            seq,
+            requester: requester.to_string(),
+            uri: uri.to_string(),
+            outcome,
+        });
+        seq
+    }
+
+    /// A snapshot of all records.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.inner.lock().clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequencing_and_snapshot() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        let s0 = log.record("Tom@h(1.2.3.4)", "a.xml", AuditOutcome::NotFound);
+        let s1 = log.record(
+            "Tom@h(1.2.3.4)",
+            "b.xml",
+            AuditOutcome::Served { granted_nodes: 3, total_nodes: 9, cached: false },
+        );
+        assert_eq!((s0, s1), (0, 1));
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].uri, "b.xml");
+        assert!(records[0].to_string().contains("NotFound"));
+    }
+}

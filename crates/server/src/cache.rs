@@ -1,0 +1,156 @@
+//! View cache.
+//!
+//! The processor's output depends only on `(document, DTD, policy,
+//! applicable authorization sets)` — not on the requester identity
+//! itself. Requesters covered by the same authorizations therefore share
+//! a view, and caching by *authorization fingerprint* collapses, e.g.,
+//! every anonymous `Public` reader of a popular document into one entry.
+//! This is the server-side optimization the paper's on-line scenario
+//! invites; the `server` bench measures its effect.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Key ingredients for one cached view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    /// Document URI.
+    pub uri: String,
+    /// Fingerprint of the applicable instance + schema authorization
+    /// sets (indices into the per-URI lists) and the policy.
+    pub fingerprint: u64,
+}
+
+/// Builds the fingerprint from applicable authorization indices.
+pub fn fingerprint(instance_idx: &[usize], schema_idx: &[usize], policy_tag: u8) -> u64 {
+    let mut h = DefaultHasher::new();
+    policy_tag.hash(&mut h);
+    instance_idx.hash(&mut h);
+    0xffff_usize.hash(&mut h); // separator
+    schema_idx.hash(&mut h);
+    h.finish()
+}
+
+/// A cached processor output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedView {
+    /// The unparsed view.
+    pub xml: String,
+    /// The loosened DTD, when the document has one.
+    pub loosened_dtd: Option<String>,
+}
+
+/// Thread-safe view cache with hit/miss counters.
+#[derive(Debug, Default)]
+pub struct ViewCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<ViewKey, CachedView>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ViewCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a view, counting the hit/miss.
+    pub fn get(&self, key: &ViewKey) -> Option<CachedView> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a view.
+    pub fn put(&self, key: ViewKey, view: CachedView) {
+        self.inner.lock().map.insert(key, view);
+    }
+
+    /// Drops every entry for `uri` (call when a document or its XACL
+    /// changes).
+    pub fn invalidate_uri(&self, uri: &str) {
+        self.inner.lock().map.retain(|k, _| k.uri != uri);
+    }
+
+    /// Clears the cache entirely.
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(uri: &str, fp: u64) -> ViewKey {
+        ViewKey { uri: uri.to_string(), fingerprint: fp }
+    }
+
+    fn view(x: &str) -> CachedView {
+        CachedView { xml: x.to_string(), loosened_dtd: None }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = ViewCache::new();
+        assert!(c.get(&key("a", 1)).is_none());
+        c.put(key("a", 1), view("<a/>"));
+        assert_eq!(c.get(&key("a", 1)).unwrap().xml, "<a/>");
+        assert!(c.get(&key("a", 2)).is_none());
+        assert_eq!(c.stats(), (1, 2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_sensitivity() {
+        let base = fingerprint(&[0, 2], &[1], 0);
+        assert_eq!(base, fingerprint(&[0, 2], &[1], 0));
+        assert_ne!(base, fingerprint(&[0, 1], &[2], 0)); // split matters
+        assert_ne!(base, fingerprint(&[0, 2], &[1], 1)); // policy matters
+        assert_ne!(base, fingerprint(&[2, 0], &[1], 0)); // order = identity here
+    }
+
+    #[test]
+    fn invalidation() {
+        let c = ViewCache::new();
+        c.put(key("a", 1), view("<a/>"));
+        c.put(key("a", 2), view("<a2/>"));
+        c.put(key("b", 1), view("<b/>"));
+        c.invalidate_uri("a");
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("b", 1)).is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

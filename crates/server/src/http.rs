@@ -1,0 +1,343 @@
+//! A minimal HTTP front end for the secure server — the demonstrator the
+//! paper's conclusion promises ("we intend to prepare in a short time a
+//! Web site to demonstrate the characteristics of our proposal").
+//!
+//! Protocol: `GET /<document-uri>?user=U&pass=P&ip=A&host=H[&q=PATH]`
+//! over HTTP/1.0. Without `user`, the request is anonymous. With `q`,
+//! the response is the secure query result instead of the whole view.
+//! When the document has a DTD, its loosened form follows the view in
+//! the body behind a `<!-- loosened DTD -->` marker.
+//!
+//! This is a demonstrator, not a production HTTP stack: HTTP/1.0, one
+//! thread per connection, no TLS (the paper likewise defers transport
+//! security to the era's channel mechanisms).
+
+use crate::server::{ClientRequest, SecureServer, ServerError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Handle to a running demo server.
+pub struct HttpDemo {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpDemo {
+    /// Starts serving `server` on `addr` (use port 0 for an ephemeral
+    /// port). Runs until [`HttpDemo::shutdown`] or drop.
+    pub fn start(server: SecureServer, addr: &str) -> std::io::Result<HttpDemo> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let server = Arc::new(server);
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let server = Arc::clone(&server);
+                // One thread per connection keeps the demo simple.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&server, conn);
+                });
+            }
+        });
+        Ok(HttpDemo { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// Where the demo is listening.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop (in-flight connections finish).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpDemo {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(server: &SecureServer, conn: TcpStream) -> std::io::Result<()> {
+    let peer_ip = conn
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "127.0.0.1".to_string());
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // Drain headers (ignored).
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 || h == "\r\n" || h == "\n" {
+            break;
+        }
+    }
+    let mut out = conn;
+
+    let Some(request) = parse_request_line(&line, &peer_ip) else {
+        return respond(&mut out, 400, "Bad Request", "text/plain", "malformed request line\n");
+    };
+    let (client, query) = request;
+
+    if let Some(path) = query {
+        return match server.query(&client, &path) {
+            Ok(resp) => {
+                let mut body = String::new();
+                for m in &resp.matches {
+                    body.push_str(m);
+                    body.push('\n');
+                }
+                respond(&mut out, 200, "OK", "text/xml", &body)
+            }
+            Err(e) => respond_err(&mut out, &e),
+        };
+    }
+    match server.handle(&client) {
+        Ok(resp) => {
+            let mut body = resp.xml;
+            body.push('\n');
+            if let Some(dtd) = resp.loosened_dtd {
+                body.push_str("<!-- loosened DTD -->\n");
+                body.push_str(&dtd);
+            }
+            respond(&mut out, 200, "OK", "text/xml", &body)
+        }
+        Err(e) => respond_err(&mut out, &e),
+    }
+}
+
+/// Parses `GET /uri?user=..&pass=..&ip=..&host=..&q=.. HTTP/1.x`.
+fn parse_request_line(line: &str, peer_ip: &str) -> Option<(ClientRequest, Option<String>)> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let uri = percent_decode(path.strip_prefix('/')?);
+    if uri.is_empty() {
+        return None;
+    }
+    let mut user = None;
+    let mut pass = String::new();
+    let mut ip = None;
+    let mut host = None;
+    let mut query = None;
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let v = percent_decode(v);
+        match k {
+            "user" => user = Some(v),
+            "pass" => pass = v,
+            "ip" => ip = Some(v),
+            "host" => host = Some(v),
+            "q" => query = Some(v),
+            _ => {}
+        }
+    }
+    let client = ClientRequest {
+        user: user.map(|u| (u, pass)),
+        // The demo trusts declared locations (the paper's model assumes
+        // the server can establish them); default to the TCP peer.
+        ip: ip.unwrap_or_else(|| peer_ip.to_string()),
+        sym: host.unwrap_or_else(|| "localhost.localdomain".to_string()),
+        uri,
+    };
+    Some((client, query))
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
+    let (code, text) = match e {
+        ServerError::AuthenticationFailed => (401, "Unauthorized"),
+        ServerError::NotFound(_) => (404, "Not Found"),
+        ServerError::BadRequest(_) | ServerError::BadQuery(_) => (400, "Bad Request"),
+        ServerError::UpdateDenied(_) => (403, "Forbidden"),
+        ServerError::Processing(_) => (500, "Internal Server Error"),
+    };
+    respond(out, code, text, "text/plain", &format!("{e}\n"))
+}
+
+fn respond(
+    out: &mut TcpStream,
+    code: u16,
+    text: &str,
+    ctype: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.0 {code} {text}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SecureServer;
+    use std::io::Read;
+    use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+    use xmlsec_subjects::{Directory, Subject};
+
+    fn demo() -> HttpDemo {
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("tom", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/d/pub").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("tom", "pw");
+        s.repository_mut().put_document("doc.xml", "<d><pub>hello</pub><priv>no</priv></d>", None);
+        HttpDemo::start(s, "127.0.0.1:0").expect("bind ephemeral port")
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {target} HTTP/1.0\r\nHost: test\r\n\r\n").expect("write");
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).expect("read");
+        let code: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_views_over_http() {
+        let demo = demo();
+        let (code, body) =
+            get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert_eq!(code, 200);
+        assert!(body.contains("hello"), "{body}");
+        assert!(!body.contains("no"), "{body}");
+    }
+
+    #[test]
+    fn wrong_password_is_401() {
+        let demo = demo();
+        let (code, _) =
+            get(demo.addr(), "/doc.xml?user=tom&pass=oops&ip=1.2.3.4&host=h.x.org");
+        assert_eq!(code, 401);
+    }
+
+    #[test]
+    fn missing_document_is_404() {
+        let demo = demo();
+        let (code, _) = get(demo.addr(), "/nope.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn queries_over_http() {
+        let demo = demo();
+        let (code, body) = get(
+            demo.addr(),
+            "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%2Fd%2Fpub",
+        );
+        assert_eq!(code, 200);
+        assert_eq!(body.trim(), "<pub>hello</pub>");
+        // A malformed query is a 400.
+        let (code2, _) = get(
+            demo.addr(),
+            "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%5B%5B",
+        );
+        assert_eq!(code2, 400);
+    }
+
+    #[test]
+    fn anonymous_requests_use_peer_address() {
+        let demo = demo();
+        // No user, no declared ip/host: defaults kick in; with no grants
+        // for anonymous, the view is the bare shell.
+        let (code, body) = get(demo.addr(), "/doc.xml");
+        assert_eq!(code, 200);
+        assert!(body.contains("<d/>"), "{body}");
+    }
+
+    #[test]
+    fn bad_request_line_is_400() {
+        let demo = demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "POST / HTTP/1.0\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 400"), "{buf}");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%2Fd%2Fpub"), "/d/pub");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut demo = demo();
+        demo.shutdown();
+        demo.shutdown();
+    }
+}

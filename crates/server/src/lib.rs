@@ -1,0 +1,28 @@
+//! # xmlsec-server — the secure document server (paper §7)
+//!
+//! The paper's usage scenario as a library: documents and DTDs in a
+//! [`Repository`], server-local authentication, the security processor
+//! run per request, a [`ViewCache`] keyed by applicable-authorization
+//! fingerprint (requesters covered by the same authorizations share a
+//! view), and an append-only [`AuditLog`].
+//!
+//! Access control is enforced **server side**: the client receives only
+//! the computed view and the loosened DTD, so "the accidental transfer to
+//! the client of information it is not allowed to see" cannot happen and
+//! security checking stays transparent to remote clients.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod cache;
+pub mod http;
+pub mod repo;
+pub mod server;
+pub mod site;
+
+pub use audit::{AuditLog, AuditOutcome, AuditRecord};
+pub use cache::{CachedView, ViewCache, ViewKey};
+pub use http::HttpDemo;
+pub use repo::{Repository, StoredDocument};
+pub use site::{load_site, SiteError, SiteSummary};
+pub use server::{ClientRequest, QueryResponse, SecureServer, ServerError, ServerResponse};

@@ -1,0 +1,105 @@
+//! In-memory document repository: the server-side store of XML documents,
+//! their DTDs, and the URI association between them (paper §7's usage
+//! scenario: "a user requesting a set of XML documents from a remote
+//! site").
+
+use std::collections::HashMap;
+
+/// A stored XML document.
+#[derive(Debug, Clone)]
+pub struct StoredDocument {
+    /// The document text as served.
+    pub xml: String,
+    /// URI of the DTD this document is an instance of, if any.
+    pub dtd_uri: Option<String>,
+}
+
+/// The repository: documents and DTD texts, keyed by URI.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    documents: HashMap<String, StoredDocument>,
+    dtds: HashMap<String, String>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a document.
+    pub fn put_document(&mut self, uri: &str, xml: &str, dtd_uri: Option<&str>) {
+        self.documents.insert(
+            uri.to_string(),
+            StoredDocument { xml: xml.to_string(), dtd_uri: dtd_uri.map(str::to_string) },
+        );
+    }
+
+    /// Stores (or replaces) a DTD text.
+    pub fn put_dtd(&mut self, uri: &str, dtd: &str) {
+        self.dtds.insert(uri.to_string(), dtd.to_string());
+    }
+
+    /// Fetches a document.
+    pub fn document(&self, uri: &str) -> Option<&StoredDocument> {
+        self.documents.get(uri)
+    }
+
+    /// Fetches a DTD text.
+    pub fn dtd(&self, uri: &str) -> Option<&str> {
+        self.dtds.get(uri).map(String::as_str)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// `true` when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// All document URIs.
+    pub fn document_uris(&self) -> impl Iterator<Item = &str> {
+        self.documents.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get() {
+        let mut r = Repository::new();
+        r.put_dtd("lab.dtd", "<!ELEMENT lab EMPTY>");
+        r.put_document("lab.xml", "<lab/>", Some("lab.dtd"));
+        assert_eq!(r.len(), 1);
+        let d = r.document("lab.xml").unwrap();
+        assert_eq!(d.xml, "<lab/>");
+        assert_eq!(d.dtd_uri.as_deref(), Some("lab.dtd"));
+        assert_eq!(r.dtd("lab.dtd"), Some("<!ELEMENT lab EMPTY>"));
+        assert!(r.document("other.xml").is_none());
+        assert!(r.dtd("other.dtd").is_none());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut r = Repository::new();
+        r.put_document("a.xml", "<a/>", None);
+        r.put_document("a.xml", "<a>v2</a>", None);
+        assert_eq!(r.document("a.xml").unwrap().xml, "<a>v2</a>");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn uris_enumerable() {
+        let mut r = Repository::new();
+        r.put_document("a.xml", "<a/>", None);
+        r.put_document("b.xml", "<b/>", None);
+        let mut uris: Vec<_> = r.document_uris().collect();
+        uris.sort_unstable();
+        assert_eq!(uris, vec!["a.xml", "b.xml"]);
+    }
+}

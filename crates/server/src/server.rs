@@ -1,0 +1,595 @@
+//! The secure document server: ties together authentication, the
+//! user/group directory, the repository, the security processor, the view
+//! cache and the audit log — the paper's §7 architecture with the
+//! security processor as a server-side *service component*.
+
+use crate::audit::{AuditLog, AuditOutcome};
+use crate::cache::{fingerprint, CachedView, ViewCache, ViewKey};
+use crate::repo::Repository;
+use std::collections::HashMap;
+use std::fmt;
+use xmlsec_authz::{Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig};
+use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
+use xmlsec_core::{AccessRequest, DocumentSource, SecurityProcessor};
+use xmlsec_subjects::{Directory, Requester};
+
+/// Errors returned to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Wrong user/secret pair.
+    AuthenticationFailed,
+    /// No such document.
+    NotFound(String),
+    /// The stored document failed processing (server-side fault).
+    Processing(String),
+    /// Malformed requester locations.
+    BadRequest(String),
+    /// A query path that does not parse.
+    BadQuery(String),
+    /// An update was refused (unauthorized target, missing node, …).
+    UpdateDenied(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::AuthenticationFailed => write!(f, "authentication failed"),
+            ServerError::NotFound(u) => write!(f, "document {u:?} not found"),
+            ServerError::Processing(e) => write!(f, "processing error: {e}"),
+            ServerError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ServerError::BadQuery(e) => write!(f, "bad query: {e}"),
+            ServerError::UpdateDenied(e) => write!(f, "update denied: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A client request: credentials plus connection endpoints.
+#[derive(Debug, Clone)]
+pub struct ClientRequest {
+    /// User identity; `None` connects as `anonymous`.
+    pub user: Option<(String, String)>,
+    /// Numeric address of the connecting host.
+    pub ip: String,
+    /// Symbolic name of the connecting host.
+    pub sym: String,
+    /// Requested document URI.
+    pub uri: String,
+}
+
+/// Result of a secure query: the matching fragments, serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResponse {
+    /// Serialized fragments (elements/text) or attribute values.
+    pub matches: Vec<String>,
+    /// Whether the underlying view came from the cache.
+    pub from_cached_view: bool,
+}
+
+/// The server's answer: the view and its loosened DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerResponse {
+    /// The view XML text.
+    pub xml: String,
+    /// The loosened DTD, when the document declares one.
+    pub loosened_dtd: Option<String>,
+    /// Whether the response came from the view cache.
+    pub cached: bool,
+}
+
+/// The secure server.
+pub struct SecureServer {
+    directory: Directory,
+    authorizations: AuthorizationBase,
+    repository: Repository,
+    credentials: HashMap<String, String>,
+    policy: PolicyConfig,
+    cache: Option<ViewCache>,
+    /// The audit log (public so operators can inspect it).
+    pub audit: AuditLog,
+}
+
+impl SecureServer {
+    /// Builds a server with the paper's default policy and caching on.
+    pub fn new(directory: Directory, authorizations: AuthorizationBase) -> Self {
+        SecureServer {
+            directory,
+            authorizations,
+            repository: Repository::new(),
+            credentials: HashMap::new(),
+            policy: PolicyConfig::paper_default(),
+            cache: Some(ViewCache::new()),
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// Disables the view cache (used by the cache-ablation bench).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Sets the per-server policy (one policy per document holds — the
+    /// server applies this to all the documents it stores).
+    pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Registers a user with a shared secret (the paper assumes local
+    /// identities "established and authenticated by the server").
+    pub fn register_credentials(&mut self, user: &str, secret: &str) {
+        self.credentials.insert(user.to_string(), secret.to_string());
+    }
+
+    /// Mutable access to the repository for setup.
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repository
+    }
+
+    /// Read access to the repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Read access to the directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Adds an authorization at runtime, invalidating affected views.
+    pub fn grant(&mut self, auth: Authorization) {
+        if let Some(c) = &self.cache {
+            c.invalidate_uri(&auth.object.uri);
+            // Schema-level authorizations affect every instance; a simple
+            // full clear keeps the cache correct.
+            c.clear();
+        }
+        self.authorizations.add(auth);
+    }
+
+    /// Revokes an authorization (exact match), invalidating affected
+    /// views. Returns how many copies were removed.
+    pub fn revoke(&mut self, auth: &Authorization) -> usize {
+        let removed = self.authorizations.remove(auth);
+        if removed > 0 {
+            if let Some(c) = &self.cache {
+                c.clear();
+            }
+        }
+        removed
+    }
+
+    /// Cache statistics `(hits, misses)`; zeros when caching is off.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.as_ref().map(ViewCache::stats).unwrap_or((0, 0))
+    }
+
+    fn authenticate(&self, req: &ClientRequest) -> Result<String, ServerError> {
+        match &req.user {
+            None => Ok("anonymous".to_string()),
+            Some((user, secret)) => {
+                // Constant-time-ish comparison; secrets are a stand-in for
+                // the paper's server-local authentication, not production
+                // credential storage.
+                match self.credentials.get(user) {
+                    Some(expected)
+                        if expected.len() == secret.len()
+                            && expected
+                                .bytes()
+                                .zip(secret.bytes())
+                                .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+                                == 0 =>
+                    {
+                        Ok(user.clone())
+                    }
+                    _ => Err(ServerError::AuthenticationFailed),
+                }
+            }
+        }
+    }
+
+    /// Handles one request end to end.
+    pub fn handle(&self, req: &ClientRequest) -> Result<ServerResponse, ServerError> {
+        let user = match self.authenticate(req) {
+            Ok(u) => u,
+            Err(e) => {
+                self.audit.record(
+                    &format!("{}@{}({})", req.user.as_ref().map(|(u, _)| u.as_str()).unwrap_or("?"), req.sym, req.ip),
+                    &req.uri,
+                    AuditOutcome::AuthenticationFailed,
+                );
+                return Err(e);
+            }
+        };
+        let requester = Requester::new(&user, &req.ip, &req.sym)
+            .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+        let requester_str = requester.to_string();
+
+        let Some(stored) = self.repository.document(&req.uri) else {
+            self.audit.record(&requester_str, &req.uri, AuditOutcome::NotFound);
+            return Err(ServerError::NotFound(req.uri.clone()));
+        };
+
+        // Applicable authorization indices, for the cache fingerprint.
+        let instance_idx = self.applicable_indices(&req.uri, &requester);
+        let schema_idx = stored
+            .dtd_uri
+            .as_deref()
+            .map(|u| self.applicable_indices(u, &requester))
+            .unwrap_or_default();
+        let key = ViewKey {
+            uri: req.uri.clone(),
+            fingerprint: fingerprint(&instance_idx, &schema_idx, policy_tag(self.policy)),
+        };
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                self.audit.record(
+                    &requester_str,
+                    &req.uri,
+                    AuditOutcome::Served { granted_nodes: 0, total_nodes: 0, cached: true },
+                );
+                return Ok(ServerResponse {
+                    xml: hit.xml,
+                    loosened_dtd: hit.loosened_dtd,
+                    cached: true,
+                });
+            }
+        }
+
+        // Full processor pipeline.
+        let processor = SecurityProcessor {
+            directory: self.directory.clone(),
+            authorizations: self.authorizations.clone(),
+            options: xmlsec_core::ProcessorOptions { policy: self.policy, ..Default::default() },
+        };
+        let source = DocumentSource {
+            xml: &stored.xml,
+            dtd: stored.dtd_uri.as_deref().and_then(|u| self.repository.dtd(u)),
+            dtd_uri: stored.dtd_uri.as_deref(),
+        };
+        let request = AccessRequest { requester, uri: req.uri.clone() };
+        let out = processor.process(&request, &source).map_err(|e| {
+            self.audit.record(
+                &requester_str,
+                &req.uri,
+                AuditOutcome::ProcessingError(e.to_string()),
+            );
+            ServerError::Processing(e.to_string())
+        })?;
+
+        if let Some(cache) = &self.cache {
+            cache.put(
+                key,
+                CachedView { xml: out.xml.clone(), loosened_dtd: out.loosened_dtd.clone() },
+            );
+        }
+        self.audit.record(
+            &requester_str,
+            &req.uri,
+            AuditOutcome::Served {
+                granted_nodes: out.stats.granted_nodes,
+                total_nodes: out.stats.labeled_nodes,
+                cached: false,
+            },
+        );
+        Ok(ServerResponse { xml: out.xml, loosened_dtd: out.loosened_dtd, cached: false })
+    }
+
+    /// Answers a query against the requester's **view** of a document
+    /// (the paper's §8 "requests in form of generic queries"): the query
+    /// is evaluated on the computed view, so it can never select — or
+    /// leak through conditions on — content the requester cannot read.
+    pub fn query(&self, req: &ClientRequest, path: &str) -> Result<QueryResponse, ServerError> {
+        let parsed =
+            xmlsec_xpath::parse_path(path).map_err(|e| ServerError::BadQuery(e.to_string()))?;
+        let resp = self.handle(req)?;
+        let view = xmlsec_xml::parse(&resp.xml)
+            .map_err(|e| ServerError::Processing(e.to_string()))?;
+        let hits = xmlsec_xpath::select(&view, &parsed);
+        let matches = hits
+            .iter()
+            .map(|&n| {
+                if view.is_attribute(n) {
+                    view.attr_value(n).unwrap_or_default().to_string()
+                } else {
+                    xmlsec_xml::serialize_node(&view, n)
+                }
+            })
+            .collect();
+        Ok(QueryResponse { matches, from_cached_view: resp.cached })
+    }
+
+    /// Applies update operations on behalf of a requester (the paper's §8
+    /// "support for write and update operations"), gated by the
+    /// requester's **write** labeling. The updated document must remain
+    /// valid against its DTD; affected cache entries are dropped.
+    pub fn update(&mut self, req: &ClientRequest, ops: &[UpdateOp]) -> Result<usize, ServerError> {
+        let user = self.authenticate(req)?;
+        let requester = Requester::new(&user, &req.ip, &req.sym)
+            .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+        let Some(stored) = self.repository.document(&req.uri) else {
+            return Err(ServerError::NotFound(req.uri.clone()));
+        };
+        let mut doc = xmlsec_xml::parse(&stored.xml)
+            .map_err(|e| ServerError::Processing(e.to_string()))?;
+        // Normalize defaulted attributes first, exactly as the read path
+        // does, so write authorizations conditioned on them match; the
+        // stored document materializes the defaults on the next write.
+        let dtd_parsed = stored
+            .dtd_uri
+            .as_deref()
+            .and_then(|u| self.repository.dtd(u))
+            .map(xmlsec_dtd::parse_dtd)
+            .transpose()
+            .map_err(|e| ServerError::Processing(e.to_string()))?;
+        if let Some(d) = &dtd_parsed {
+            xmlsec_dtd::normalize(d, &mut doc);
+        }
+
+        let wxml = self.authorizations.applicable_for_action(
+            &req.uri,
+            &requester,
+            &self.directory,
+            xmlsec_authz::Action::Write,
+        );
+        let wdtd = stored
+            .dtd_uri
+            .as_deref()
+            .map(|u| {
+                self.authorizations.applicable_for_action(
+                    u,
+                    &requester,
+                    &self.directory,
+                    xmlsec_authz::Action::Write,
+                )
+            })
+            .unwrap_or_default();
+        let labels = label_for_write(&doc, &wxml, &wdtd, &self.directory, self.policy);
+        let touched = apply_updates(&mut doc, ops, &labels)
+            .map_err(|e| ServerError::UpdateDenied(e.to_string()))?;
+
+        // The stored document must stay valid against its DTD.
+        let dtd_uri = stored.dtd_uri.clone();
+        if let Some(dtd) = &dtd_parsed {
+            let errs = xmlsec_dtd::validate(dtd, &doc);
+            if !errs.is_empty() {
+                return Err(ServerError::UpdateDenied(format!(
+                    "update would invalidate the document against its DTD: {}",
+                    errs[0]
+                )));
+            }
+        }
+
+        let xml = xmlsec_xml::serialize(&doc, &xmlsec_xml::SerializeOptions::canonical());
+        self.repository.put_document(&req.uri, &xml, dtd_uri.as_deref());
+        if let Some(c) = &self.cache {
+            c.invalidate_uri(&req.uri);
+        }
+        self.audit.record(
+            &requester.to_string(),
+            &req.uri,
+            AuditOutcome::Served { granted_nodes: touched, total_nodes: 0, cached: false },
+        );
+        Ok(touched)
+    }
+
+    fn applicable_indices(&self, uri: &str, requester: &Requester) -> Vec<usize> {
+        self.authorizations
+            .for_uri(uri)
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| requester.is_covered_by(&a.subject, &self.directory))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Stable small tag distinguishing policies in cache keys.
+fn policy_tag(p: PolicyConfig) -> u8 {
+    let c = match p.conflict {
+        ConflictResolution::MostSpecificThenDenials => 0u8,
+        ConflictResolution::MostSpecificThenPermissions => 1,
+        ConflictResolution::DenialsTakePrecedence => 2,
+        ConflictResolution::PermissionsTakePrecedence => 3,
+        ConflictResolution::NothingTakesPrecedence => 4,
+        ConflictResolution::MajoritySign => 5,
+    };
+    let o = match p.completeness {
+        CompletenessPolicy::Closed => 0u8,
+        CompletenessPolicy::Open => 8,
+    };
+    c | o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    fn server() -> SecureServer {
+        let mut dir = Directory::new();
+        dir.add_user("Tom").unwrap();
+        dir.add_user("Sam").unwrap();
+        dir.add_group("Public").unwrap();
+        dir.add_group("Staff").unwrap();
+        dir.add_user("anonymous").unwrap();
+        dir.add_member("Tom", "Public").unwrap();
+        dir.add_member("Sam", "Public").unwrap();
+        dir.add_member("Sam", "Staff").unwrap();
+        dir.add_member("anonymous", "Public").unwrap();
+
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.xml:/lab/news").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        base.add(Authorization::new(
+            Subject::new("Staff", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.xml:/lab").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("Tom", "tom-secret");
+        s.register_credentials("Sam", "sam-secret");
+        s.repository_mut().put_document(
+            "lab.xml",
+            "<lab><news>hello</news><internal>budget</internal></lab>",
+            None,
+        );
+        s
+    }
+
+    fn req(user: Option<(&str, &str)>, uri: &str) -> ClientRequest {
+        ClientRequest {
+            user: user.map(|(u, s)| (u.to_string(), s.to_string())),
+            ip: "150.100.30.8".into(),
+            sym: "tweety.lab.com".into(),
+            uri: uri.into(),
+        }
+    }
+
+    #[test]
+    fn public_member_sees_only_news() {
+        let s = server();
+        let r = s.handle(&req(Some(("Tom", "tom-secret")), "lab.xml")).unwrap();
+        assert_eq!(r.xml, "<lab><news>hello</news></lab>");
+        assert!(!r.cached);
+    }
+
+    #[test]
+    fn staff_member_sees_everything() {
+        let s = server();
+        let r = s.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
+        assert_eq!(r.xml, "<lab><news>hello</news><internal>budget</internal></lab>");
+    }
+
+    #[test]
+    fn anonymous_is_public() {
+        let s = server();
+        let r = s.handle(&req(None, "lab.xml")).unwrap();
+        assert_eq!(r.xml, "<lab><news>hello</news></lab>");
+    }
+
+    #[test]
+    fn wrong_secret_rejected_and_audited() {
+        let s = server();
+        let e = s.handle(&req(Some(("Tom", "wrong")), "lab.xml")).unwrap_err();
+        assert_eq!(e, ServerError::AuthenticationFailed);
+        assert!(matches!(s.audit.records()[0].outcome, AuditOutcome::AuthenticationFailed));
+    }
+
+    #[test]
+    fn unknown_document_not_found() {
+        let s = server();
+        assert!(matches!(
+            s.handle(&req(None, "missing.xml")),
+            Err(ServerError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cache_shares_views_across_equivalent_requesters() {
+        let s = server();
+        // Tom and anonymous have the same applicable set (Public grant).
+        let r1 = s.handle(&req(Some(("Tom", "tom-secret")), "lab.xml")).unwrap();
+        let r2 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r1.cached);
+        assert!(r2.cached);
+        assert_eq!(r1.xml, r2.xml);
+        // Sam's applicable set differs — no cross-contamination.
+        let r3 = s.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
+        assert!(!r3.cached);
+        assert_ne!(r3.xml, r1.xml);
+        let (hits, misses) = s.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn grant_invalidates_cache() {
+        let mut s = server();
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        s.grant(Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.xml:/lab/internal").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        let r = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r.cached);
+        assert!(r.xml.contains("budget"), "{}", r.xml);
+    }
+
+    #[test]
+    fn without_cache_recomputes() {
+        let s = server().without_cache();
+        let r1 = s.handle(&req(None, "lab.xml")).unwrap();
+        let r2 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r1.cached && !r2.cached);
+        assert_eq!(s.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn audit_records_serving() {
+        let s = server();
+        let _ = s.handle(&req(None, "lab.xml"));
+        let records = s.audit.records();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            records[0].outcome,
+            AuditOutcome::Served { cached: false, granted_nodes: g, .. } if g > 0
+        ));
+        assert!(records[0].requester.starts_with("anonymous@"));
+    }
+
+    #[test]
+    fn bad_locations_rejected() {
+        let s = server();
+        let mut r = req(None, "lab.xml");
+        r.ip = "not-an-ip".into();
+        assert!(matches!(s.handle(&r), Err(ServerError::BadRequest(_))));
+    }
+}
+
+#[cfg(test)]
+mod revoke_tests {
+    use super::*;
+    use xmlsec_authz::{AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    #[test]
+    fn revoking_shrinks_views_and_drops_cache() {
+        let mut dir = Directory::new();
+        dir.add_user("u").unwrap();
+        let grant = Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        let mut base = AuthorizationBase::new();
+        base.add(grant.clone());
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("u", "pw");
+        s.repository_mut().put_document("d.xml", "<d>secret</d>", None);
+        let req = ClientRequest {
+            user: Some(("u".into(), "pw".into())),
+            ip: "1.2.3.4".into(),
+            sym: "h.x.org".into(),
+            uri: "d.xml".into(),
+        };
+        assert!(s.handle(&req).unwrap().xml.contains("secret"));
+        assert_eq!(s.revoke(&grant), 1);
+        let after = s.handle(&req).unwrap();
+        assert!(!after.cached, "revocation must invalidate the cache");
+        assert_eq!(after.xml, "<d/>");
+        assert_eq!(s.revoke(&grant), 0);
+    }
+}

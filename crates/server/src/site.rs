@@ -1,0 +1,289 @@
+//! Site loading: populate a [`SecureServer`] from a directory on disk.
+//!
+//! Layout convention (one flat directory):
+//!
+//! ```text
+//! site/
+//!   _directory.txt      # users/groups/members (line-oriented)
+//!   _credentials.txt    # "user secret" per line (demo authentication)
+//!   laboratory.dtd      # DTDs, by extension
+//!   CSlab.xml           # documents, by extension
+//!   CSlab.xacl          # instance-level XACL for CSlab.xml
+//!   laboratory.dtd.xacl # schema-level XACL for laboratory.dtd
+//! ```
+//!
+//! A document references its DTD through its DOCTYPE `SYSTEM` identifier
+//! (resolved against the site directory's file names); XACLs attach to
+//! the artifact they are named after. This is the shape the paper's
+//! closing "Web site to demonstrate" needs: drop files in a folder,
+//! `xmlsec-cli serve --site folder`.
+
+use crate::server::SecureServer;
+use std::fmt;
+use std::path::Path;
+use xmlsec_authz::AuthorizationBase;
+use xmlsec_subjects::Directory;
+
+/// Errors raised while loading a site directory.
+#[derive(Debug)]
+pub enum SiteError {
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// A file failed to parse; carries the file name and the message.
+    Parse {
+        /// Offending file name.
+        file: String,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteError::Io(e) => write!(f, "site I/O error: {e}"),
+            SiteError::Parse { file, message } => write!(f, "{file}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SiteError {}
+
+impl From<std::io::Error> for SiteError {
+    fn from(e: std::io::Error) -> Self {
+        SiteError::Io(e)
+    }
+}
+
+/// What was loaded, for operator feedback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteSummary {
+    /// Document URIs served.
+    pub documents: Vec<String>,
+    /// DTD URIs registered.
+    pub dtds: Vec<String>,
+    /// Total authorizations loaded from XACL files.
+    pub authorizations: usize,
+    /// Users with credentials.
+    pub credentialed_users: usize,
+}
+
+/// Loads a site directory into a ready [`SecureServer`].
+pub fn load_site(dir: &Path) -> Result<(SecureServer, SiteSummary), SiteError> {
+    let parse_err = |file: &Path, message: String| SiteError::Parse {
+        file: file.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+        message,
+    };
+
+    let mut directory = Directory::new();
+    let mut base = AuthorizationBase::new();
+    let mut summary = SiteSummary::default();
+
+    // Pass 1: the principal directory, so later passes can resolve
+    // subjects.
+    let dir_file = dir.join("_directory.txt");
+    if dir_file.exists() {
+        let text = std::fs::read_to_string(&dir_file)?;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let res = match parts.as_slice() {
+                ["user", name] => directory.add_user(name),
+                ["group", name] => directory.add_group(name),
+                ["member", m, g] => directory.add_member(m, g),
+                _ => {
+                    return Err(parse_err(
+                        &dir_file,
+                        format!("line {}: unrecognized {line:?}", i + 1),
+                    ))
+                }
+            };
+            res.map_err(|e| parse_err(&dir_file, format!("line {}: {e}", i + 1)))?;
+        }
+    }
+
+    // Pass 2: artifacts by extension.
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    let mut credentials: Vec<(String, String)> = Vec::new();
+    let mut documents: Vec<(String, String)> = Vec::new(); // (uri, text)
+    for entry in &entries {
+        let path = entry.path();
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if name == "_credentials.txt" {
+            let text = std::fs::read_to_string(&path)?;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if let Some((u, p)) = line.split_once(char::is_whitespace) {
+                    credentials.push((u.to_string(), p.trim().to_string()));
+                }
+            }
+        } else if name.ends_with(".xacl") {
+            let text = std::fs::read_to_string(&path)?;
+            let auths =
+                xmlsec_authz::parse_xacl(&text).map_err(|e| parse_err(&path, e.to_string()))?;
+            // Subjects not in the directory get registered as groups so
+            // coverage checks resolve; unknown-subject mistakes are the
+            // lint tool's job.
+            for a in &auths {
+                if directory.kind(&a.subject.user_group).is_none() {
+                    let _ = directory.add_group(&a.subject.user_group);
+                }
+            }
+            summary.authorizations += auths.len();
+            base.extend(auths);
+        } else if name.ends_with(".dtd") {
+            // Validate that it parses before serving it.
+            let text = std::fs::read_to_string(&path)?;
+            xmlsec_dtd::parse_dtd(&text).map_err(|e| parse_err(&path, e.to_string()))?;
+            summary.dtds.push(name);
+        } else if name.ends_with(".xml") {
+            let text = std::fs::read_to_string(&path)?;
+            xmlsec_xml::parse(&text).map_err(|e| parse_err(&path, e.to_string()))?;
+            documents.push((name, text));
+        }
+    }
+
+    let mut server = SecureServer::new(directory, base);
+    for (u, p) in &credentials {
+        server.register_credentials(u, p);
+        summary.credentialed_users += 1;
+    }
+    for dtd_name in &summary.dtds {
+        let text = std::fs::read_to_string(dir.join(dtd_name))?;
+        server.repository_mut().put_dtd(dtd_name, &text);
+    }
+    for (uri, text) in &documents {
+        // The DOCTYPE SYSTEM id names the DTD within the site.
+        let doc = xmlsec_xml::parse(text).expect("validated in pass 2");
+        let dtd_uri = doc
+            .doctype
+            .as_ref()
+            .and_then(|dt| dt.system_id.clone())
+            .filter(|sid| summary.dtds.iter().any(|d| d == sid));
+        server.repository_mut().put_document(uri, text, dtd_uri.as_deref());
+        summary.documents.push(uri.clone());
+    }
+    Ok((server, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ClientRequest;
+    use std::path::PathBuf;
+
+    struct TempSite {
+        dir: PathBuf,
+    }
+
+    impl TempSite {
+        fn new(tag: &str) -> TempSite {
+            let dir =
+                std::env::temp_dir().join(format!("xmlsec-site-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("site dir");
+            TempSite { dir }
+        }
+
+        fn write(&self, name: &str, content: &str) {
+            std::fs::write(self.dir.join(name), content).expect("write");
+        }
+    }
+
+    impl Drop for TempSite {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    fn laboratory_site(tag: &str) -> TempSite {
+        use xmlsec_workload::laboratory::*;
+        let site = TempSite::new(tag);
+        site.write("_directory.txt", "user Tom\ngroup Public\ngroup Foreign\nmember Tom Public\nmember Tom Foreign\n");
+        site.write("_credentials.txt", "Tom pw\n");
+        site.write("laboratory.xml.dtd", LAB_DTD);
+        // Rewrite the DOCTYPE so the SYSTEM id matches the site file name.
+        let xml = CSLAB_XML.replace("SYSTEM \"laboratory.xml\"", "SYSTEM \"laboratory.xml.dtd\"");
+        site.write("CSlab.xml", &xml);
+        let auths = example1_authorizations()
+            .into_iter()
+            .map(|mut a| {
+                if a.object.uri == LAB_DTD_URI {
+                    a.object.uri = "laboratory.xml.dtd".to_string();
+                }
+                a
+            })
+            .collect::<Vec<_>>();
+        site.write("site.xacl", &xmlsec_authz::serialize_xacl(&auths));
+        site
+    }
+
+    #[test]
+    fn loads_and_serves_the_laboratory_site() {
+        let site = laboratory_site("lab");
+        let (server, summary) = load_site(&site.dir).expect("site loads");
+        assert_eq!(summary.documents, vec!["CSlab.xml"]);
+        assert_eq!(summary.dtds, vec!["laboratory.xml.dtd"]);
+        assert_eq!(summary.authorizations, 4);
+        assert_eq!(summary.credentialed_users, 1);
+
+        let resp = server
+            .handle(&ClientRequest {
+                user: Some(("Tom".into(), "pw".into())),
+                ip: "130.100.50.8".into(),
+                sym: "infosys.bld1.it".into(),
+                uri: "CSlab.xml".into(),
+            })
+            .expect("request served");
+        // The site-served view matches the paper reproduction.
+        let got = xmlsec_xml::parse(&resp.xml).unwrap();
+        let want = xmlsec_xml::parse(xmlsec_workload::laboratory::TOM_VIEW_XML).unwrap();
+        assert!(got.structurally_equal(&want), "{}", resp.xml);
+        assert!(resp.loosened_dtd.is_some(), "DTD resolved via DOCTYPE");
+    }
+
+    #[test]
+    fn empty_site_is_fine() {
+        let site = TempSite::new("empty");
+        let (server, summary) = load_site(&site.dir).unwrap();
+        assert_eq!(summary, SiteSummary::default());
+        assert!(server.repository().is_empty());
+    }
+
+    #[test]
+    fn malformed_artifacts_are_reported_with_file_names() {
+        let site = TempSite::new("bad");
+        site.write("broken.xml", "<a><b>");
+        let Err(e) = load_site(&site.dir) else { panic!("must fail") };
+        assert!(matches!(&e, SiteError::Parse { file, .. } if file == "broken.xml"), "{e}");
+
+        let site2 = TempSite::new("baddtd");
+        site2.write("broken.dtd", "<!ELEMENT");
+        assert!(load_site(&site2.dir).is_err());
+
+        let site3 = TempSite::new("baddir");
+        site3.write("_directory.txt", "frobnicate X Y\n");
+        let Err(e3) = load_site(&site3.dir) else { panic!("must fail") };
+        assert!(e3.to_string().contains("_directory.txt"), "{e3}");
+    }
+
+    #[test]
+    fn documents_without_matching_dtd_have_no_schema() {
+        let site = TempSite::new("nodtd");
+        site.write("doc.xml", r#"<!DOCTYPE a SYSTEM "missing.dtd"><a>t</a>"#);
+        let (server, summary) = load_site(&site.dir).unwrap();
+        assert_eq!(summary.documents, vec!["doc.xml"]);
+        assert!(summary.dtds.is_empty());
+        let stored = server.repository().document("doc.xml").unwrap();
+        assert_eq!(stored.dtd_uri, None);
+    }
+}

@@ -1,0 +1,30 @@
+//! # xmlsec-subjects — authorization subjects (paper §3)
+//!
+//! Implements the subject side of the model: user identities, nested and
+//! overlapping groups ([`Directory`]), numeric and symbolic location
+//! patterns with the paper's wildcard placement rules ([`IpPattern`],
+//! [`SymPattern`]), and the *authorization subject hierarchy*
+//! ASH = (UG × IP × SN, ≤) of Definition 1 ([`Subject::leq`]).
+//!
+//! ```
+//! use xmlsec_subjects::{Directory, Requester, Subject};
+//!
+//! let mut dir = Directory::new();
+//! dir.add_user("Tom").unwrap();
+//! dir.add_group("Foreign").unwrap();
+//! dir.add_member("Tom", "Foreign").unwrap();
+//!
+//! let tom = Requester::new("Tom", "130.100.50.8", "infosys.bld1.it").unwrap();
+//! let foreign_anywhere = Subject::new("Foreign", "*", "*").unwrap();
+//! assert!(tom.is_covered_by(&foreign_anywhere, &dir));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod location;
+pub mod subject;
+
+pub use directory::{Directory, DirectoryError, PrincipalKind};
+pub use location::{IpPattern, PatternError, SymPattern};
+pub use subject::{Requester, Subject};

@@ -1,0 +1,360 @@
+//! Location patterns (paper §3): numeric IP patterns and symbolic name
+//! patterns with wildcard components.
+//!
+//! Rules from the paper:
+//! - wildcards replace whole components and must be *contiguous*;
+//! - specificity runs left-to-right in IP addresses and right-to-left in
+//!   symbolic names, so wildcards appear only as **right-most** components
+//!   of IP patterns and **left-most** components of symbolic patterns;
+//! - `151.100.*.*` and `151.100.*` are equivalent.
+//!
+//! The partial orders `≤ip`/`≤sn` are oriented so that *more specific ≤
+//! more general* — matching the hierarchy's use in Definition 1, where
+//! concrete requests are minimal elements and authorizations given to a
+//! pattern apply to everything below it. (The paper's prose inverts the
+//! roles of `p1`/`p2` in its component-wise phrasing; the surrounding
+//! semantics — "authorizations specified for subject s_j are applicable
+//! to all subjects s_i such that s_i ≤ s_j" — requires the orientation
+//! implemented here.)
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error raised by pattern parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError(pub String);
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid location pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A numeric IP pattern: a fixed prefix of octets, with the remaining
+/// (right-most) components wildcarded.
+///
+/// Canonical form: `151.100.*` ≡ `151.100.*.*` both store prefix
+/// `[151, 100]`. The full wildcard `*` stores an empty prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpPattern {
+    prefix: Vec<u8>,
+}
+
+impl IpPattern {
+    /// The pattern matching every address.
+    pub fn any() -> Self {
+        IpPattern { prefix: Vec::new() }
+    }
+
+    /// A fully specified address.
+    pub fn exact(a: u8, b: u8, c: u8, d: u8) -> Self {
+        IpPattern { prefix: vec![a, b, c, d] }
+    }
+
+    /// The fixed octets of the pattern.
+    pub fn prefix(&self) -> &[u8] {
+        &self.prefix
+    }
+
+    /// `true` if the pattern names one concrete address.
+    pub fn is_concrete(&self) -> bool {
+        self.prefix.len() == 4
+    }
+
+    /// `self ≤ip other`: `self` is at least as specific as `other`
+    /// (everything `self` matches, `other` matches too).
+    pub fn leq(&self, other: &IpPattern) -> bool {
+        self.prefix.len() >= other.prefix.len()
+            && self.prefix[..other.prefix.len()] == other.prefix[..]
+    }
+
+    /// Whether a concrete address matches this pattern.
+    pub fn matches(&self, addr: &IpPattern) -> bool {
+        addr.is_concrete() && addr.leq(self)
+    }
+}
+
+impl FromStr for IpPattern {
+    type Err = PatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(PatternError("empty IP pattern".into()));
+        }
+        if s == "*" {
+            return Ok(IpPattern::any());
+        }
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() > 4 {
+            return Err(PatternError(format!("too many components in {s:?}")));
+        }
+        let mut prefix = Vec::new();
+        let mut in_wildcards = false;
+        for p in &parts {
+            if *p == "*" {
+                in_wildcards = true;
+            } else {
+                if in_wildcards {
+                    return Err(PatternError(format!(
+                        "wildcards must be right-most in IP pattern {s:?}"
+                    )));
+                }
+                let octet: u8 = p
+                    .parse()
+                    .map_err(|_| PatternError(format!("bad octet {p:?} in {s:?}")))?;
+                prefix.push(octet);
+            }
+        }
+        // "151.100" (fewer than four components, no trailing '*') is read
+        // as a prefix pattern too — the paper treats 151.100.* and
+        // 151.100.*.* as equivalent, and a bare prefix unambiguously means
+        // the same thing.
+        Ok(IpPattern { prefix })
+    }
+}
+
+impl fmt::Display for IpPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix.is_empty() {
+            return write!(f, "*");
+        }
+        let mut parts: Vec<String> = self.prefix.iter().map(u8::to_string).collect();
+        if !self.is_concrete() {
+            parts.push("*".to_string());
+        }
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+/// A symbolic name pattern: a fixed suffix of labels (stored right-to-
+/// left), with the remaining (left-most) components wildcarded.
+///
+/// `*.lab.com` stores suffix `["com", "lab"]`; `*` stores an empty suffix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymPattern {
+    /// Labels right-to-left (`com`, `lab` for `*.lab.com`).
+    suffix_rtl: Vec<String>,
+    /// `true` when the pattern had a leading `*` (or is the full wildcard);
+    /// `false` means the name is concrete.
+    wildcard: bool,
+}
+
+impl SymPattern {
+    /// The pattern matching every symbolic name.
+    pub fn any() -> Self {
+        SymPattern { suffix_rtl: Vec::new(), wildcard: true }
+    }
+
+    /// A concrete host name.
+    pub fn exact(name: &str) -> Result<Self, PatternError> {
+        let p: SymPattern = name.parse()?;
+        if !p.is_concrete() {
+            return Err(PatternError(format!("{name:?} contains wildcards")));
+        }
+        Ok(p)
+    }
+
+    /// The fixed labels, right-to-left.
+    pub fn suffix_rtl(&self) -> &[String] {
+        &self.suffix_rtl
+    }
+
+    /// `true` if the pattern names one concrete host.
+    pub fn is_concrete(&self) -> bool {
+        !self.wildcard
+    }
+
+    /// `self ≤sn other`: `self` is at least as specific as `other`.
+    ///
+    /// A wildcard stands for *at least one* label, so the concrete name
+    /// `lab.com` is **not** below `*.lab.com` (it is below `*.com`).
+    pub fn leq(&self, other: &SymPattern) -> bool {
+        if other.is_concrete() {
+            return self == other;
+        }
+        let min_len = if self.is_concrete() {
+            other.suffix_rtl.len() + 1
+        } else {
+            other.suffix_rtl.len()
+        };
+        self.suffix_rtl.len() >= min_len
+            && self.suffix_rtl[..other.suffix_rtl.len()] == other.suffix_rtl[..]
+    }
+
+    /// Whether a concrete host name matches this pattern.
+    pub fn matches(&self, host: &SymPattern) -> bool {
+        host.is_concrete() && host.leq(self)
+    }
+}
+
+impl FromStr for SymPattern {
+    type Err = PatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(PatternError("empty symbolic pattern".into()));
+        }
+        if s == "*" {
+            return Ok(SymPattern::any());
+        }
+        let parts: Vec<&str> = s.split('.').collect();
+        let mut suffix_rtl = Vec::new();
+        let mut wildcard = false;
+        // Scan right-to-left: fixed labels first, then only wildcards.
+        let mut in_wildcards = false;
+        for p in parts.iter().rev() {
+            if *p == "*" {
+                in_wildcards = true;
+                wildcard = true;
+            } else {
+                if in_wildcards {
+                    return Err(PatternError(format!(
+                        "wildcards must be left-most in symbolic pattern {s:?}"
+                    )));
+                }
+                if p.is_empty()
+                    || !p.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(PatternError(format!("bad label {p:?} in {s:?}")));
+                }
+                suffix_rtl.push(p.to_string());
+            }
+        }
+        Ok(SymPattern { suffix_rtl, wildcard })
+    }
+}
+
+impl fmt::Display for SymPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.wildcard {
+            parts.push("*");
+        }
+        for l in self.suffix_rtl.iter().rev() {
+            parts.push(l);
+        }
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_parse_and_display() {
+        assert_eq!("*".parse::<IpPattern>().unwrap(), IpPattern::any());
+        assert_eq!("151.100.*".parse::<IpPattern>().unwrap().to_string(), "151.100.*");
+        // equivalence from the paper
+        assert_eq!(
+            "151.100.*.*".parse::<IpPattern>().unwrap(),
+            "151.100.*".parse::<IpPattern>().unwrap()
+        );
+        assert_eq!("150.100.30.8".parse::<IpPattern>().unwrap().to_string(), "150.100.30.8");
+        assert!("150.100.30.8".parse::<IpPattern>().unwrap().is_concrete());
+    }
+
+    #[test]
+    fn ip_rejects_interleaved_wildcards() {
+        assert!("150.*.30".parse::<IpPattern>().is_err());
+        assert!("*.100".parse::<IpPattern>().is_err());
+        assert!("1.2.3.4.5".parse::<IpPattern>().is_err());
+        assert!("300.1.1.1".parse::<IpPattern>().is_err());
+        assert!("a.b.c.d".parse::<IpPattern>().is_err());
+        assert!("".parse::<IpPattern>().is_err());
+    }
+
+    #[test]
+    fn ip_partial_order() {
+        let exact: IpPattern = "150.100.30.8".parse().unwrap();
+        let net: IpPattern = "150.100.*".parse().unwrap();
+        let wide: IpPattern = "150.*".parse().unwrap();
+        let any = IpPattern::any();
+        assert!(exact.leq(&net));
+        assert!(net.leq(&wide));
+        assert!(wide.leq(&any));
+        assert!(exact.leq(&any));
+        assert!(!net.leq(&exact));
+        assert!(!wide.leq(&net));
+        // reflexive
+        assert!(net.leq(&net));
+        // incomparable
+        let other: IpPattern = "151.100.*".parse().unwrap();
+        assert!(!net.leq(&other) && !other.leq(&net));
+    }
+
+    #[test]
+    fn ip_matching() {
+        let net: IpPattern = "150.100.*".parse().unwrap();
+        assert!(net.matches(&"150.100.30.8".parse().unwrap()));
+        assert!(!net.matches(&"150.101.30.8".parse().unwrap()));
+        // patterns don't "match" patterns
+        assert!(!net.matches(&"150.100.*".parse().unwrap()));
+    }
+
+    #[test]
+    fn sym_parse_and_display() {
+        assert_eq!("*".parse::<SymPattern>().unwrap(), SymPattern::any());
+        let p: SymPattern = "*.lab.com".parse().unwrap();
+        assert_eq!(p.to_string(), "*.lab.com");
+        assert!(!p.is_concrete());
+        let h: SymPattern = "tweety.lab.com".parse().unwrap();
+        assert!(h.is_concrete());
+        assert_eq!(h.to_string(), "tweety.lab.com");
+    }
+
+    #[test]
+    fn sym_rejects_misplaced_wildcards() {
+        assert!("lab.*".parse::<SymPattern>().is_err());
+        assert!("a.*.com".parse::<SymPattern>().is_err());
+        assert!("".parse::<SymPattern>().is_err());
+        assert!("a..b".parse::<SymPattern>().is_err());
+    }
+
+    #[test]
+    fn sym_partial_order() {
+        let host: SymPattern = "tweety.lab.com".parse().unwrap();
+        let dom: SymPattern = "*.lab.com".parse().unwrap();
+        let tld: SymPattern = "*.com".parse().unwrap();
+        let any = SymPattern::any();
+        assert!(host.leq(&dom));
+        assert!(dom.leq(&tld));
+        assert!(tld.leq(&any));
+        assert!(!dom.leq(&host));
+        assert!(dom.leq(&dom));
+        let it: SymPattern = "*.it".parse().unwrap();
+        assert!(!tld.leq(&it) && !it.leq(&tld));
+    }
+
+    #[test]
+    fn sym_concrete_names_with_same_suffix_are_incomparable() {
+        let a: SymPattern = "a.lab.com".parse().unwrap();
+        let b: SymPattern = "b.lab.com".parse().unwrap();
+        assert!(!a.leq(&b) && !b.leq(&a));
+        // but both are under *.lab.com
+        let dom: SymPattern = "*.lab.com".parse().unwrap();
+        assert!(a.leq(&dom) && b.leq(&dom));
+    }
+
+    #[test]
+    fn sym_matching_paper_examples() {
+        // *.mil, *.com, *.it denote machines in those domains
+        let it: SymPattern = "*.it".parse().unwrap();
+        assert!(it.matches(&"infosys.bld1.it".parse().unwrap()));
+        assert!(!it.matches(&"tweety.lab.com".parse().unwrap()));
+        let lab: SymPattern = "*.lab.com".parse().unwrap();
+        assert!(lab.matches(&"tweety.lab.com".parse().unwrap()));
+        assert!(!lab.matches(&"lab.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn concrete_sym_pattern_only_matches_itself() {
+        let h: SymPattern = "tweety.lab.com".parse().unwrap();
+        assert!(h.matches(&"tweety.lab.com".parse().unwrap()));
+        assert!(!h.matches(&"other.lab.com".parse().unwrap()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Authorization subjects and the ASH partial order (paper Definition 1).
+//!
+//! A subject is a triple `⟨user-or-group, ip-pattern, sym-pattern⟩`.
+//! Requests arrive from *requesters* — fully specified triples (a user, a
+//! concrete IP, a concrete host name) — which are minimal elements of the
+//! hierarchy. An authorization granted to subject `s_j` applies to every
+//! subject `s_i ≤ s_j`.
+
+use crate::directory::Directory;
+use crate::location::{IpPattern, PatternError, SymPattern};
+use std::fmt;
+
+/// An element of the authorization subject hierarchy:
+/// `AS = UG × IP × SN`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Subject {
+    /// User or group identifier.
+    pub user_group: String,
+    /// IP location pattern.
+    pub ip: IpPattern,
+    /// Symbolic-name location pattern.
+    pub sym: SymPattern,
+}
+
+impl Subject {
+    /// Builds a subject from its three components, parsing the patterns.
+    pub fn new(user_group: &str, ip: &str, sym: &str) -> Result<Subject, PatternError> {
+        Ok(Subject { user_group: user_group.to_string(), ip: ip.parse()?, sym: sym.parse()? })
+    }
+
+    /// A subject constraining only the user/group (`⟨ug, *, *⟩`).
+    pub fn of_user_group(user_group: &str) -> Subject {
+        Subject {
+            user_group: user_group.to_string(),
+            ip: IpPattern::any(),
+            sym: SymPattern::any(),
+        }
+    }
+
+    /// The ASH partial order: `self ≤ other` iff the user/group is a
+    /// member of (or equal to) `other`'s, and both location patterns are
+    /// at least as specific (Definition 1).
+    pub fn leq(&self, other: &Subject, dir: &Directory) -> bool {
+        dir.dominates(&self.user_group, &other.user_group)
+            && self.ip.leq(&other.ip)
+            && self.sym.leq(&other.sym)
+    }
+
+    /// Strictly more specific: `self ≤ other` and `self ≠ other` in the
+    /// order (used by the "most specific subject takes precedence" rule).
+    pub fn strictly_leq(&self, other: &Subject, dir: &Directory) -> bool {
+        self.leq(other, dir) && !other.leq(self, dir)
+    }
+}
+
+impl std::str::FromStr for Subject {
+    type Err = PatternError;
+
+    /// Parses the paper's display notation `⟨ug, ip, sn⟩` (ASCII angle
+    /// brackets and bare `ug,ip,sn` accepted too).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s
+            .trim()
+            .trim_start_matches(['⟨', '<'])
+            .trim_end_matches(['⟩', '>']);
+        let parts: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        match parts.as_slice() {
+            [ug, ip, sn] if !ug.is_empty() => Subject::new(ug, ip, sn),
+            _ => Err(PatternError(format!(
+                "subject must be ⟨user-group, ip, sym⟩, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}, {}⟩", self.user_group, self.ip, self.sym)
+    }
+}
+
+/// A requester: the fully specified subject a request arrives with
+/// (paper §3: "subjects requesting access are thus characterized by a
+/// triple ⟨user-id, IP-address, sym-address⟩").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Requester {
+    /// Authenticated user identity (`anonymous` counts as a user).
+    pub user: String,
+    /// Concrete numeric address.
+    pub ip: IpPattern,
+    /// Concrete symbolic address.
+    pub sym: SymPattern,
+}
+
+impl Requester {
+    /// Builds a requester, checking both locations are concrete.
+    pub fn new(user: &str, ip: &str, sym: &str) -> Result<Requester, PatternError> {
+        let ip: IpPattern = ip.parse()?;
+        if !ip.is_concrete() {
+            return Err(PatternError(format!("requester IP {ip} must be concrete")));
+        }
+        let sym: SymPattern = sym.parse()?;
+        if !sym.is_concrete() {
+            return Err(PatternError(format!("requester host {sym} must be concrete")));
+        }
+        Ok(Requester { user: user.to_string(), ip, sym })
+    }
+
+    /// The requester as a (minimal) subject of the hierarchy.
+    pub fn as_subject(&self) -> Subject {
+        Subject { user_group: self.user.clone(), ip: self.ip.clone(), sym: self.sym.clone() }
+    }
+
+    /// Does an authorization granted to `subject` apply to this requester?
+    /// (`requester ≤ subject` in ASH.)
+    pub fn is_covered_by(&self, subject: &Subject, dir: &Directory) -> bool {
+        self.as_subject().leq(subject, dir)
+    }
+}
+
+impl fmt::Display for Requester {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}({})", self.user, self.sym, self.ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        let mut d = Directory::new();
+        d.add_user("Tom").unwrap();
+        d.add_user("Alice").unwrap();
+        d.add_user("Sam").unwrap();
+        d.add_group("Public").unwrap();
+        d.add_group("Foreign").unwrap();
+        d.add_group("Admin").unwrap();
+        d.add_member("Tom", "Foreign").unwrap();
+        d.add_member("Tom", "Public").unwrap();
+        d.add_member("Alice", "Admin").unwrap();
+        d.add_member("Alice", "Public").unwrap();
+        d.add_member("Sam", "Public").unwrap();
+        d
+    }
+
+    #[test]
+    fn paper_subject_examples_parse() {
+        // ⟨Alice, *, *⟩, ⟨Public, 150.100.30.8, *⟩, ⟨Sam, *, *.lab.com⟩
+        Subject::new("Alice", "*", "*").unwrap();
+        Subject::new("Public", "150.100.30.8", "*").unwrap();
+        Subject::new("Sam", "*", "*.lab.com").unwrap();
+    }
+
+    #[test]
+    fn ash_order_definition() {
+        let d = dir();
+        let tom_here = Subject::new("Tom", "130.100.50.8", "infosys.bld1.it").unwrap();
+        let foreign_any = Subject::new("Foreign", "*", "*").unwrap();
+        let public_it = Subject::new("Public", "*", "*.it").unwrap();
+        let admin_host = Subject::new("Admin", "130.89.56.8", "*").unwrap();
+
+        assert!(tom_here.leq(&foreign_any, &d));
+        assert!(tom_here.leq(&public_it, &d));
+        assert!(!tom_here.leq(&admin_host, &d)); // Tom not in Admin
+        // all three components must agree
+        let tom_elsewhere = Subject::new("Tom", "130.100.50.8", "x.lab.com").unwrap();
+        assert!(!tom_elsewhere.leq(&public_it, &d));
+    }
+
+    #[test]
+    fn requester_coverage() {
+        let d = dir();
+        // the paper's Example 2 requester
+        let tom = Requester::new("Tom", "130.100.50.8", "infosys.bld1.it").unwrap();
+        assert!(tom.is_covered_by(&Subject::new("Foreign", "*", "*").unwrap(), &d));
+        assert!(tom.is_covered_by(&Subject::new("Public", "*", "*").unwrap(), &d));
+        assert!(tom.is_covered_by(&Subject::new("Public", "*", "*.it").unwrap(), &d));
+        assert!(tom.is_covered_by(&Subject::new("Tom", "130.100.*", "*").unwrap(), &d));
+        assert!(!tom.is_covered_by(&Subject::new("Admin", "*", "*").unwrap(), &d));
+        assert!(!tom.is_covered_by(&Subject::new("Public", "*", "*.com").unwrap(), &d));
+        assert!(!tom.is_covered_by(&Subject::new("Public", "131.*", "*").unwrap(), &d));
+    }
+
+    #[test]
+    fn requesters_must_be_concrete() {
+        assert!(Requester::new("Tom", "130.100.*", "a.it").is_err());
+        assert!(Requester::new("Tom", "1.2.3.4", "*.it").is_err());
+        Requester::new("anonymous", "1.2.3.4", "a.b.it").unwrap();
+    }
+
+    #[test]
+    fn strict_specificity() {
+        let d = dir();
+        let tom = Subject::new("Tom", "*", "*").unwrap();
+        let foreign = Subject::new("Foreign", "*", "*").unwrap();
+        assert!(tom.strictly_leq(&foreign, &d));
+        assert!(!foreign.strictly_leq(&tom, &d));
+        assert!(!tom.strictly_leq(&tom, &d));
+        // refinement on location only
+        let tom_net = Subject::new("Tom", "150.100.*", "*").unwrap();
+        assert!(tom_net.strictly_leq(&tom, &d));
+    }
+
+    #[test]
+    fn incomparable_subjects() {
+        let d = dir();
+        let foreign = Subject::new("Foreign", "*", "*").unwrap();
+        let admin = Subject::new("Admin", "*", "*").unwrap();
+        assert!(!foreign.leq(&admin, &d));
+        assert!(!admin.leq(&foreign, &d));
+        // crossed specificity: ⟨Tom, net, *⟩ vs ⟨Foreign, *, *.it⟩
+        let a = Subject::new("Tom", "150.100.*", "*").unwrap();
+        let b = Subject::new("Foreign", "*", "*.it").unwrap();
+        assert!(!a.leq(&b, &d) && !b.leq(&a, &d));
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = Subject::new("Public", "150.100.*", "*.it").unwrap();
+        assert_eq!(s.to_string(), "⟨Public, 150.100.*, *.it⟩");
+        let r = Requester::new("Tom", "130.100.50.8", "infosys.bld1.it").unwrap();
+        assert_eq!(r.to_string(), "Tom@infosys.bld1.it(130.100.50.8)");
+    }
+}
+
+#[cfg(test)]
+mod from_str_tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_notation() {
+        let s: Subject = "⟨Public, 150.100.*, *.it⟩".parse().unwrap();
+        assert_eq!(s.user_group, "Public");
+        assert_eq!(s.ip.to_string(), "150.100.*");
+        assert_eq!(s.sym.to_string(), "*.it");
+        // round trip
+        let again: Subject = s.to_string().parse().unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn parses_ascii_variants() {
+        let s: Subject = "<Tom, *, *>".parse().unwrap();
+        assert_eq!(s.user_group, "Tom");
+        let bare: Subject = "Tom, *, *.lab.com".parse().unwrap();
+        assert_eq!(bare.sym.to_string(), "*.lab.com");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<Subject>().is_err());
+        assert!("⟨Tom⟩".parse::<Subject>().is_err());
+        assert!("⟨Tom, *, *, extra⟩".parse::<Subject>().is_err());
+        assert!("⟨Tom, not-an-ip, *⟩".parse::<Subject>().is_err());
+        assert!("⟨, *, *⟩".parse::<Subject>().is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for location patterns: parse/display round-trips and
+//! partial-order laws over the whole generated pattern space.
+
+use proptest::prelude::*;
+use xmlsec_subjects::{IpPattern, SymPattern};
+
+/// Strategy: an arbitrary valid IP pattern (prefix of 0..=4 octets).
+fn ip_pattern() -> impl Strategy<Value = IpPattern> {
+    prop::collection::vec(any::<u8>(), 0..=4).prop_map(|octets| {
+        let s = if octets.is_empty() {
+            "*".to_string()
+        } else {
+            let mut parts: Vec<String> = octets.iter().map(u8::to_string).collect();
+            if parts.len() < 4 {
+                parts.push("*".to_string());
+            }
+            parts.join(".")
+        };
+        s.parse().expect("constructed pattern is valid")
+    })
+}
+
+/// Strategy: an arbitrary valid symbolic pattern (suffix of 0..=4 labels,
+/// wildcard or concrete).
+fn sym_pattern() -> impl Strategy<Value = SymPattern> {
+    (prop::collection::vec("[a-z][a-z0-9]{0,5}", 0..=4), any::<bool>()).prop_map(
+        |(labels, wildcard)| {
+            let s = if labels.is_empty() {
+                "*".to_string()
+            } else if wildcard {
+                format!("*.{}", labels.join("."))
+            } else {
+                labels.join(".")
+            };
+            s.parse().expect("constructed pattern is valid")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ip_display_parse_round_trip(p in ip_pattern()) {
+        let again: IpPattern = p.to_string().parse().expect("display form re-parses");
+        prop_assert_eq!(p, again);
+    }
+
+    #[test]
+    fn sym_display_parse_round_trip(p in sym_pattern()) {
+        let again: SymPattern = p.to_string().parse().expect("display form re-parses");
+        prop_assert_eq!(p, again);
+    }
+
+    #[test]
+    fn ip_order_laws(a in ip_pattern(), b in ip_pattern(), c in ip_pattern()) {
+        prop_assert!(a.leq(&a), "reflexive");
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c), "transitive");
+        }
+    }
+
+    #[test]
+    fn sym_order_laws(a in sym_pattern(), b in sym_pattern(), c in sym_pattern()) {
+        prop_assert!(a.leq(&a), "reflexive");
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c), "transitive");
+        }
+    }
+
+    #[test]
+    fn matches_is_leq_for_concrete(p in ip_pattern(), a in ip_pattern()) {
+        // matches() agrees with ≤ restricted to concrete addresses.
+        prop_assert_eq!(p.matches(&a), a.is_concrete() && a.leq(&p));
+    }
+
+    #[test]
+    fn sym_matches_is_leq_for_concrete(p in sym_pattern(), h in sym_pattern()) {
+        prop_assert_eq!(p.matches(&h), h.is_concrete() && h.leq(&p));
+    }
+
+    #[test]
+    fn the_full_wildcards_are_tops(p in ip_pattern(), s in sym_pattern()) {
+        prop_assert!(p.leq(&IpPattern::any()));
+        prop_assert!(s.leq(&SymPattern::any()));
+    }
+}

@@ -1,0 +1,160 @@
+//! Push-channel corpus, modeled on CDF (Channel Definition Format) —
+//! another XML application the paper's introduction names. A content
+//! provider pushes one channel document; free and premium subscribers
+//! receive different views of it, and the provider's own editors see
+//! scheduling metadata nobody else does.
+
+use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+use xmlsec_subjects::{Directory, Subject};
+
+/// URI of the channel DTD.
+pub const CHANNEL_DTD_URI: &str = "channel.dtd";
+
+/// URI of the channel document.
+pub const CHANNEL_URI: &str = "technews.xml";
+
+/// The channel DTD.
+pub const CHANNEL_DTD: &str = r#"<!ELEMENT channel (title, item+)>
+<!ATTLIST channel self CDATA #REQUIRED lastmod CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT item (title, abstract, body?, schedule?)>
+<!ATTLIST item href CDATA #REQUIRED tier (free|premium) "free">
+<!ELEMENT abstract (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+<!ELEMENT schedule EMPTY>
+<!ATTLIST schedule startdate CDATA #REQUIRED enddate CDATA #REQUIRED>
+"#;
+
+/// The channel document.
+pub const CHANNEL_XML: &str = r#"<!DOCTYPE channel SYSTEM "channel.dtd"><channel self="http://technews.example/cdf" lastmod="2000-03-01"><title>Tech News</title><item href="/a1" tier="free"><title>XML 1.0 ships</title><abstract>The W3C finalizes XML.</abstract><body>Full story text A.</body><schedule startdate="2000-03-01" enddate="2000-03-08"/></item><item href="/a2" tier="premium"><title>Inside the security processor</title><abstract>A look at server-side view computation.</abstract><body>Full story text B.</body><schedule startdate="2000-03-02" enddate="2000-03-09"/></item></channel>"#;
+
+/// Directory: free subscribers, premium subscribers (⊆ subscribers),
+/// channel editors.
+pub fn channel_directory() -> Directory {
+    let mut d = Directory::new();
+    for u in ["fred", "petra", "edna"] {
+        d.add_user(u).expect("fresh user");
+    }
+    for g in ["Subscribers", "Premium", "Editors"] {
+        d.add_group(g).expect("fresh group");
+    }
+    d.add_member("Premium", "Subscribers").expect("edge");
+    d.add_member("fred", "Subscribers").expect("edge");
+    d.add_member("petra", "Premium").expect("edge");
+    d.add_member("edna", "Editors").expect("edge");
+    d
+}
+
+/// Protection requirements (all schema level — they govern every channel
+/// document the provider pushes):
+///
+/// - subscribers see the channel, but premium item bodies are withheld;
+/// - premium subscribers get the bodies back (most specific subject);
+/// - nobody but editors sees `<schedule>` metadata;
+/// - editors see everything.
+pub fn channel_authorizations() -> Vec<Authorization> {
+    vec![
+        Authorization::new(
+            Subject::new("Subscribers", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CHANNEL_DTD_URI, "/channel").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Subscribers", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CHANNEL_DTD_URI, r#"//item[./@tier="premium"]/body"#)
+                .expect("path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Premium", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CHANNEL_DTD_URI, r#"//item[./@tier="premium"]/body"#)
+                .expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Subscribers", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CHANNEL_DTD_URI, "//schedule").expect("path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Editors", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CHANNEL_DTD_URI, "/channel").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+    ]
+}
+
+/// Authorization base for the channel scenario.
+pub fn channel_authorization_base() -> AuthorizationBase {
+    let mut b = AuthorizationBase::new();
+    b.extend(channel_authorizations());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::PolicyConfig;
+    use xmlsec_core::compute_view;
+    use xmlsec_dtd::{parse_dtd, validate};
+    use xmlsec_subjects::Requester;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    fn view_for(user: &str) -> String {
+        let dir = channel_directory();
+        let base = channel_authorization_base();
+        let rq = Requester::new(user, "10.2.3.4", "reader.example.net").expect("requester");
+        let doc = parse(CHANNEL_XML).expect("parses");
+        let adtd = base.applicable(CHANNEL_DTD_URI, &rq, &dir);
+        let (view, _) = compute_view(&doc, &[], &adtd, &dir, PolicyConfig::paper_default());
+        serialize(&view, &SerializeOptions::canonical())
+    }
+
+    #[test]
+    fn corpus_valid() {
+        let dtd = parse_dtd(CHANNEL_DTD).unwrap();
+        let doc = parse(CHANNEL_XML).unwrap();
+        assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn free_subscriber_sees_abstracts_but_no_premium_body() {
+        let v = view_for("fred");
+        assert!(v.contains("Full story text A"), "{v}");
+        assert!(v.contains("A look at server-side view computation"), "{v}");
+        assert!(!v.contains("Full story text B"), "{v}");
+        assert!(!v.contains("schedule"), "{v}");
+    }
+
+    #[test]
+    fn premium_subscriber_gets_premium_bodies() {
+        let v = view_for("petra");
+        assert!(v.contains("Full story text B"), "{v}");
+        assert!(!v.contains("schedule"), "{v}");
+    }
+
+    #[test]
+    fn editor_sees_schedules() {
+        let v = view_for("edna");
+        assert!(v.contains("schedule"), "{v}");
+        assert!(v.contains("Full story text B"), "{v}");
+    }
+
+    #[test]
+    fn outsider_sees_nothing() {
+        let dir = channel_directory();
+        let mut dir = dir;
+        dir.add_user("randy").unwrap();
+        let base = channel_authorization_base();
+        let rq = Requester::new("randy", "10.2.3.4", "x.example.net").unwrap();
+        let doc = parse(CHANNEL_XML).unwrap();
+        let adtd = base.applicable(CHANNEL_DTD_URI, &rq, &dir);
+        let (view, _) = compute_view(&doc, &[], &adtd, &dir, PolicyConfig::paper_default());
+        assert_eq!(serialize(&view, &SerializeOptions::canonical()), "<channel/>");
+    }
+}

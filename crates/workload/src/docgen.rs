@@ -1,0 +1,196 @@
+//! Seeded synthetic document generation.
+//!
+//! Two families:
+//!
+//! - [`random_tree`] — arbitrary trees over a small tag vocabulary, with
+//!   knobs for size, fanout, attribute density and text density; used by
+//!   the differential property tests (a seed is a reproducible document);
+//! - [`laboratory_scaled`] — CSlab-shaped documents with `n` projects,
+//!   valid against the paper's DTD; used by the scaling benchmarks so
+//!   that measured documents look like the paper's.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlsec_xml::{Document, NodeId};
+
+/// Knobs for [`random_tree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Target number of elements (the generator stops adding once
+    /// reached; actual count is exact).
+    pub elements: usize,
+    /// Maximum children per element.
+    pub max_fanout: usize,
+    /// Distinct tag names (`t0`..`t{n-1}`).
+    pub tag_vocab: usize,
+    /// Probability an element gets each of up to 2 attributes.
+    pub attr_prob: f64,
+    /// Probability a leaf element gets a text child.
+    pub text_prob: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { elements: 50, max_fanout: 5, tag_vocab: 8, attr_prob: 0.4, text_prob: 0.5 }
+    }
+}
+
+/// Attribute vocabulary used by the generator (and by
+/// [`crate::authgen`] when it fabricates conditions).
+pub const ATTR_NAMES: [&str; 3] = ["kind", "level", "owner"];
+
+/// Attribute values used by the generator.
+pub const ATTR_VALUES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Generates a random document from a seed. Same seed, same document.
+pub fn random_tree(cfg: &TreeConfig, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut doc = Document::new("root");
+    let mut open: Vec<NodeId> = vec![doc.root()];
+    let mut created = 1usize;
+    while created < cfg.elements {
+        // Pick a random open element to extend; retire it when full.
+        let slot = rng.gen_range(0..open.len());
+        let parent = open[slot];
+        let tag = format!("t{}", rng.gen_range(0..cfg.tag_vocab));
+        let el = doc.append_element(parent, &tag);
+        created += 1;
+        for attr in ATTR_NAMES.iter().take(2) {
+            if rng.gen_bool(cfg.attr_prob) {
+                let val = ATTR_VALUES[rng.gen_range(0..ATTR_VALUES.len())];
+                doc.set_attribute(el, attr, val).expect("element accepts attributes");
+            }
+        }
+        if rng.gen_bool(cfg.text_prob) {
+            doc.append_text(el, &format!("text{}", rng.gen_range(0..100)));
+        }
+        open.push(el);
+        if doc.children(parent).len() >= cfg.max_fanout {
+            open.swap_remove(slot);
+            if open.is_empty() {
+                open.push(el);
+            }
+        }
+    }
+    doc
+}
+
+/// Generates a CSlab-shaped laboratory with `projects` projects
+/// (alternating internal/public), each with a manager, members, funds,
+/// and a private + a public paper. Node count grows linearly:
+/// ~17 elements/attributes per project.
+pub fn laboratory_scaled(projects: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut doc = Document::new("laboratory");
+    let root = doc.root();
+    doc.set_attribute(root, "name", "CSlab").expect("root accepts attributes");
+    for i in 0..projects {
+        let p = doc.append_element(root, "project");
+        doc.set_attribute(p, "name", &format!("Project {i}")).expect("attrs");
+        let ptype = if i % 2 == 0 { "internal" } else { "public" };
+        doc.set_attribute(p, "type", ptype).expect("attrs");
+
+        let mgr = doc.append_element(p, "manager");
+        let fl = doc.append_element(mgr, "flname");
+        doc.append_text(fl, &format!("Manager {i}"));
+
+        for m in 0..rng.gen_range(1..3usize) {
+            let mem = doc.append_element(p, "member");
+            let fl = doc.append_element(mem, "flname");
+            doc.append_text(fl, &format!("Member {i}.{m}"));
+        }
+
+        let fund = doc.append_element(p, "fund");
+        doc.set_attribute(fund, "type", if rng.gen_bool(0.5) { "private" } else { "public" })
+            .expect("attrs");
+        let sp = doc.append_element(fund, "sponsor");
+        doc.append_text(sp, "MURST");
+        let am = doc.append_element(fund, "amount");
+        doc.append_text(am, &format!("{}", rng.gen_range(10_000..200_000)));
+
+        for (cat, ty) in [("private", "internal"), ("public", "conference")] {
+            let paper = doc.append_element(p, "paper");
+            doc.set_attribute(paper, "category", cat).expect("attrs");
+            doc.set_attribute(paper, "type", ty).expect("attrs");
+            let t = doc.append_element(paper, "title");
+            doc.append_text(t, &format!("Paper {i} ({cat})"));
+        }
+    }
+    doc
+}
+
+/// Deep chain documents (`depth` nested elements), for shape-sensitivity
+/// benchmarks.
+pub fn deep_chain(depth: usize) -> Document {
+    let mut doc = Document::new("root");
+    let mut cur = doc.root();
+    for i in 0..depth {
+        cur = doc.append_element(cur, &format!("t{}", i % 4));
+    }
+    doc.append_text(cur, "leaf");
+    doc
+}
+
+/// Flat documents (`width` children under the root), for
+/// shape-sensitivity benchmarks.
+pub fn flat(width: usize) -> Document {
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    for i in 0..width {
+        let c = doc.append_element(root, &format!("t{}", i % 4));
+        doc.append_text(c, "leaf");
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_dtd::{parse_dtd, validate};
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    #[test]
+    fn random_tree_is_deterministic_and_sized() {
+        let cfg = TreeConfig { elements: 40, ..Default::default() };
+        let a = random_tree(&cfg, 7);
+        let b = random_tree(&cfg, 7);
+        assert!(a.structurally_equal(&b));
+        let c = random_tree(&cfg, 8);
+        assert!(!a.structurally_equal(&c));
+        assert_eq!(a.descendant_elements(a.root()).len() + 1, 40);
+    }
+
+    #[test]
+    fn random_tree_round_trips_through_text() {
+        let doc = random_tree(&TreeConfig::default(), 42);
+        let text = serialize(&doc, &SerializeOptions::canonical());
+        let re = parse(&text).unwrap();
+        assert!(doc.structurally_equal(&re));
+    }
+
+    #[test]
+    fn scaled_laboratory_is_valid() {
+        let dtd = parse_dtd(crate::laboratory::LAB_DTD).unwrap();
+        let doc = laboratory_scaled(10, 1);
+        assert_eq!(validate(&dtd, &doc), vec![]);
+        assert_eq!(
+            xmlsec_xpath::select_str(&doc, "/laboratory/project").unwrap().len(),
+            10
+        );
+    }
+
+    #[test]
+    fn scaled_laboratory_grows_linearly() {
+        let d10 = laboratory_scaled(10, 3).count_reachable();
+        let d100 = laboratory_scaled(100, 3).count_reachable();
+        assert!(d100 > 8 * d10, "{d10} vs {d100}");
+    }
+
+    #[test]
+    fn shapes() {
+        let d = deep_chain(100);
+        assert_eq!(d.count_reachable(), 102); // root + 100 + text
+        let f = flat(100);
+        assert_eq!(f.count_reachable(), 201); // root + 100 els + 100 texts
+    }
+}

@@ -1,0 +1,297 @@
+//! Random DTD generation and conforming-instance generation.
+//!
+//! Used by the property test of the paper's §6.2 guarantee: for *any*
+//! DTD, any valid instance, and any authorization set, the pruned view
+//! validates against the loosened DTD. The schemas generated here are
+//! tree-shaped (element `e{i}` may only reference higher-numbered
+//! elements, so content graphs are acyclic and instance generation
+//! terminates) with random sequence/choice models, cardinalities, mixed
+//! content, and attribute declarations of every default kind.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlsec_dtd::{
+    AttDef, AttType, Cardinality, ContentSpec, DefaultDecl, Dtd, ElementDecl, Particle,
+    ParticleKind,
+};
+use xmlsec_xml::Document;
+
+/// Knobs for [`random_dtd`].
+#[derive(Debug, Clone, Copy)]
+pub struct DtdConfig {
+    /// Number of element declarations (≥ 1).
+    pub elements: usize,
+    /// Maximum particles per sequence/choice.
+    pub max_group: usize,
+    /// Maximum attribute definitions per element.
+    pub max_attrs: usize,
+}
+
+impl Default for DtdConfig {
+    fn default() -> Self {
+        DtdConfig { elements: 8, max_group: 3, max_attrs: 2 }
+    }
+}
+
+/// Name of the root element every generated DTD declares first.
+pub const GEN_ROOT: &str = "e0";
+
+/// Generates a random, acyclic DTD. `e0` is the root; element `e{i}`
+/// references only `e{j}` with `j > i`.
+pub fn random_dtd(cfg: &DtdConfig, seed: u64) -> Dtd {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd7d);
+    let n = cfg.elements.max(1);
+    let mut dtd = Dtd::default();
+    for i in 0..n {
+        let name = format!("e{i}");
+        let content = if i + 1 >= n {
+            // Leaves: text or empty.
+            if rng.gen_bool(0.6) {
+                ContentSpec::Mixed(vec![])
+            } else {
+                ContentSpec::Empty
+            }
+        } else {
+            match rng.gen_range(0..5) {
+                0 => ContentSpec::Mixed(vec![]),
+                1 => {
+                    // Mixed with references.
+                    let k = rng.gen_range(1..=cfg.max_group.min(n - i - 1));
+                    let mut names: Vec<String> = (0..k)
+                        .map(|_| format!("e{}", rng.gen_range(i + 1..n)))
+                        .collect();
+                    names.sort_unstable();
+                    names.dedup();
+                    ContentSpec::Mixed(names)
+                }
+                2 => ContentSpec::Empty,
+                _ => ContentSpec::Children(random_particle(&mut rng, cfg, i + 1, n, 0)),
+            }
+        };
+        dtd.add_element(ElementDecl { name: name.clone(), content });
+        let attr_count = rng.gen_range(0..=cfg.max_attrs);
+        if attr_count > 0 {
+            let defs: Vec<AttDef> = (0..attr_count)
+                .map(|a| {
+                    let ty = match rng.gen_range(0..3) {
+                        0 => AttType::Cdata,
+                        1 => AttType::NmToken,
+                        _ => AttType::Enumeration(vec!["one".into(), "two".into()]),
+                    };
+                    let default = match rng.gen_range(0..4) {
+                        0 => DefaultDecl::Required,
+                        1 => DefaultDecl::Implied,
+                        2 => DefaultDecl::Default("one".into()),
+                        _ => DefaultDecl::Fixed("one".into()),
+                    };
+                    AttDef { name: format!("a{a}"), ty, default }
+                })
+                .collect();
+            dtd.add_attlist(&name, defs);
+        }
+    }
+    dtd
+}
+
+fn random_particle(
+    rng: &mut SmallRng,
+    cfg: &DtdConfig,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+) -> Particle {
+    let card = match rng.gen_range(0..4) {
+        0 => Cardinality::One,
+        1 => Cardinality::Optional,
+        2 => Cardinality::ZeroOrMore,
+        _ => Cardinality::OneOrMore,
+    };
+    let kind = if depth >= 2 || rng.gen_bool(0.5) {
+        ParticleKind::Name(format!("e{}", rng.gen_range(lo..hi)))
+    } else {
+        // 1-ary groups are avoided: `(x)+` prints the same for Seq and
+        // Choice, which would break round-trip equality checks.
+        let k = rng.gen_range(2..=cfg.max_group.max(2));
+        let items: Vec<Particle> =
+            (0..k).map(|_| random_particle(rng, cfg, lo, hi, depth + 1)).collect();
+        if rng.gen_bool(0.5) {
+            ParticleKind::Seq(items)
+        } else {
+            ParticleKind::Choice(items)
+        }
+    };
+    Particle { kind, card }
+}
+
+/// Generates a random document valid against `dtd`, rooted at `e0`.
+///
+/// Repetition counts are kept small (`*`/`+` expand to ≤ 2) so documents
+/// stay bounded even for adversarial schemas.
+pub fn conforming_doc(dtd: &Dtd, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd0c);
+    let mut doc = Document::new(GEN_ROOT);
+    let root = doc.root();
+    fill_element(dtd, &mut doc, root, GEN_ROOT, &mut rng, 0);
+    doc
+}
+
+fn fill_element(
+    dtd: &Dtd,
+    doc: &mut Document,
+    el: xmlsec_xml::NodeId,
+    name: &str,
+    rng: &mut SmallRng,
+    depth: usize,
+) {
+    // Attributes: required and fixed must appear; others sometimes.
+    for def in dtd.attributes(name) {
+        let value = match &def.ty {
+            AttType::Enumeration(vs) | AttType::Notation(vs) => {
+                vs[rng.gen_range(0..vs.len())].clone()
+            }
+            AttType::NmToken => format!("tok{}", rng.gen_range(0..9)),
+            _ => format!("v{}", rng.gen_range(0..9)),
+        };
+        match &def.default {
+            DefaultDecl::Required => {
+                doc.set_attribute(el, &def.name, &value).expect("element");
+            }
+            DefaultDecl::Fixed(v) => {
+                if rng.gen_bool(0.5) {
+                    doc.set_attribute(el, &def.name, v).expect("element");
+                }
+            }
+            DefaultDecl::Implied | DefaultDecl::Default(_) => {
+                if rng.gen_bool(0.4) {
+                    doc.set_attribute(el, &def.name, &value).expect("element");
+                }
+            }
+        }
+    }
+    let Some(decl) = dtd.element(name) else { return };
+    match &decl.content {
+        ContentSpec::Empty => {}
+        ContentSpec::Any => {
+            if rng.gen_bool(0.5) {
+                doc.append_text(el, "any");
+            }
+        }
+        ContentSpec::Mixed(names) => {
+            doc.append_text(el, &format!("txt{}", rng.gen_range(0..9)));
+            if depth < 12 {
+                for n in names {
+                    if rng.gen_bool(0.5) {
+                        let c = doc.append_element(el, n);
+                        fill_element(dtd, doc, c, n, rng, depth + 1);
+                    }
+                }
+            }
+        }
+        ContentSpec::Children(p) => {
+            let p = p.clone();
+            expand_particle(dtd, doc, el, &p, rng, depth);
+        }
+    }
+}
+
+fn expand_particle(
+    dtd: &Dtd,
+    doc: &mut Document,
+    el: xmlsec_xml::NodeId,
+    p: &Particle,
+    rng: &mut SmallRng,
+    depth: usize,
+) {
+    let reps = match p.card {
+        Cardinality::One => 1,
+        Cardinality::Optional => {
+            // Deep in the tree, prefer omission to bound document size.
+            usize::from(depth < 10 && rng.gen_bool(0.5))
+        }
+        Cardinality::ZeroOrMore => {
+            if depth >= 10 {
+                0
+            } else {
+                rng.gen_range(0..=2)
+            }
+        }
+        Cardinality::OneOrMore => {
+            if depth >= 10 {
+                1
+            } else {
+                rng.gen_range(1..=2)
+            }
+        }
+    };
+    for _ in 0..reps {
+        match &p.kind {
+            ParticleKind::Name(n) => {
+                let c = doc.append_element(el, n);
+                fill_element(dtd, doc, c, n, rng, depth + 1);
+            }
+            ParticleKind::Seq(items) => {
+                for item in items {
+                    expand_particle(dtd, doc, el, item, rng, depth + 1);
+                }
+            }
+            ParticleKind::Choice(items) => {
+                let pick = rng.gen_range(0..items.len());
+                expand_particle(dtd, doc, el, &items[pick], rng, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_dtd::{normalize, validate};
+
+    #[test]
+    fn generated_dtds_parse_back() {
+        for seed in 0..20 {
+            let dtd = random_dtd(&DtdConfig::default(), seed);
+            let text = xmlsec_dtd::serialize_dtd(&dtd);
+            let re = xmlsec_dtd::parse_dtd(&text).expect("generated DTD re-parses");
+            assert_eq!(dtd, re, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn conforming_docs_validate() {
+        for seed in 0..50 {
+            let dtd = random_dtd(&DtdConfig::default(), seed);
+            let mut doc = conforming_doc(&dtd, seed);
+            // Inject defaults (fixed attributes may be omitted by the
+            // generator); then the document must be fully valid.
+            normalize(&dtd, &mut doc);
+            let errs = validate(&dtd, &doc);
+            assert!(
+                errs.is_empty(),
+                "seed {seed}: {errs:?}\ndtd:\n{}\ndoc:\n{}",
+                xmlsec_dtd::serialize_dtd(&dtd),
+                xmlsec_xml::serialize(&doc, &xmlsec_xml::SerializeOptions::canonical())
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d1 = random_dtd(&DtdConfig::default(), 9);
+        let d2 = random_dtd(&DtdConfig::default(), 9);
+        assert_eq!(d1, d2);
+        let a = conforming_doc(&d1, 3);
+        let b = conforming_doc(&d2, 3);
+        assert!(a.structurally_equal(&b));
+    }
+
+    #[test]
+    fn bigger_configs_stay_bounded() {
+        let cfg = DtdConfig { elements: 20, max_group: 4, max_attrs: 3 };
+        for seed in 0..10 {
+            let dtd = random_dtd(&cfg, seed);
+            let doc = conforming_doc(&dtd, seed);
+            assert!(doc.count_reachable() < 100_000, "seed {seed} exploded");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Financial-statements corpus, modeled on OFX (Open Financial Exchange)
+//! — one of the XML applications the paper's introduction names. A bank
+//! serves one statement document per customer set; location patterns
+//! matter here: tellers may read balances only from branch hosts.
+
+use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+use xmlsec_subjects::{Directory, Subject};
+
+/// URI of the statements DTD.
+pub const BANK_DTD_URI: &str = "statements.dtd";
+
+/// URI of the statements document.
+pub const STATEMENTS_URI: &str = "statements.xml";
+
+/// The statements DTD.
+pub const BANK_DTD: &str = r#"<!ELEMENT statements (account+)>
+<!ELEMENT account (owner, balance, transaction*)>
+<!ATTLIST account number CDATA #REQUIRED kind (checking|savings) #REQUIRED>
+<!ELEMENT owner (#PCDATA)>
+<!ELEMENT balance (#PCDATA)>
+<!ATTLIST balance currency CDATA "EUR">
+<!ELEMENT transaction (payee, memo?)>
+<!ATTLIST transaction amount CDATA #REQUIRED flagged (yes|no) "no">
+<!ELEMENT payee (#PCDATA)>
+<!ELEMENT memo (#PCDATA)>
+"#;
+
+/// The statements document.
+pub const STATEMENTS_XML: &str = r#"<!DOCTYPE statements SYSTEM "statements.dtd"><statements><account number="1001" kind="checking"><owner>Dana Reef</owner><balance currency="EUR">2450.10</balance><transaction amount="-80.00" flagged="no"><payee>Grid Energy</payee></transaction><transaction amount="-9500.00" flagged="yes"><payee>Offshore Holdings</payee><memo>Wire transfer under review</memo></transaction></account><account number="1002" kind="savings"><owner>Lee Marsh</owner><balance currency="EUR">18000.00</balance><transaction amount="+500.00" flagged="no"><payee>Payroll Inc</payee></transaction></account></statements>"#;
+
+/// Directory: tellers, auditors, and the fraud desk.
+pub fn bank_directory() -> Directory {
+    let mut d = Directory::new();
+    for u in ["tina", "axel", "fred"] {
+        d.add_user(u).expect("fresh user");
+    }
+    for g in ["Tellers", "Auditors", "FraudDesk", "BankStaff"] {
+        d.add_group(g).expect("fresh group");
+    }
+    d.add_member("tina", "Tellers").expect("edge");
+    d.add_member("axel", "Auditors").expect("edge");
+    d.add_member("fred", "FraudDesk").expect("edge");
+    d.add_member("Tellers", "BankStaff").expect("edge");
+    d.add_member("Auditors", "BankStaff").expect("edge");
+    d.add_member("FraudDesk", "BankStaff").expect("edge");
+    d
+}
+
+/// Protection requirements.
+///
+/// - Tellers see owners and balances, **only from branch hosts**
+///   (`10.1.*` / `*.branch.bank.com`).
+/// - Auditors see every account but not flagged-transaction memos
+///   (weak: the fraud desk's schema-level grant overrides it).
+/// - The fraud desk sees flagged transactions from anywhere.
+pub fn bank_authorizations() -> Vec<Authorization> {
+    vec![
+        Authorization::new(
+            Subject::new("Tellers", "10.1.*", "*.branch.bank.com").expect("subject"),
+            ObjectSpec::with_path(STATEMENTS_URI, "/statements/account/owner").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Tellers", "10.1.*", "*.branch.bank.com").expect("subject"),
+            ObjectSpec::with_path(STATEMENTS_URI, "/statements/account/balance").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Auditors", "*", "*").expect("subject"),
+            ObjectSpec::with_path(STATEMENTS_URI, "/statements").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Auditors", "*", "*").expect("subject"),
+            ObjectSpec::with_path(STATEMENTS_URI, r#"//transaction[./@flagged="yes"]/memo"#)
+                .expect("path"),
+            Sign::Minus,
+            AuthType::RecursiveWeak,
+        ),
+        Authorization::new(
+            Subject::new("FraudDesk", "*", "*").expect("subject"),
+            ObjectSpec::with_path(BANK_DTD_URI, r#"//transaction[./@flagged="yes"]"#)
+                .expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+    ]
+}
+
+/// Authorization base for the bank scenario.
+pub fn bank_authorization_base() -> AuthorizationBase {
+    let mut b = AuthorizationBase::new();
+    b.extend(bank_authorizations());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::PolicyConfig;
+    use xmlsec_core::compute_view;
+    use xmlsec_dtd::{parse_dtd, validate};
+    use xmlsec_subjects::Requester;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    fn view_for(user: &str, ip: &str, host: &str) -> String {
+        let dir = bank_directory();
+        let base = bank_authorization_base();
+        let rq = Requester::new(user, ip, host).expect("requester");
+        let doc = parse(STATEMENTS_XML).expect("parses");
+        let axml = base.applicable(STATEMENTS_URI, &rq, &dir);
+        let adtd = base.applicable(BANK_DTD_URI, &rq, &dir);
+        let (view, _) = compute_view(&doc, &axml, &adtd, &dir, PolicyConfig::paper_default());
+        serialize(&view, &SerializeOptions::canonical())
+    }
+
+    #[test]
+    fn corpus_valid() {
+        let dtd = parse_dtd(BANK_DTD).unwrap();
+        let doc = parse(STATEMENTS_XML).unwrap();
+        assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn teller_from_branch_sees_balances() {
+        let v = view_for("tina", "10.1.4.20", "t1.branch.bank.com");
+        assert!(v.contains("2450.10"), "{v}");
+        assert!(v.contains("Dana Reef"), "{v}");
+        assert!(!v.contains("Offshore"), "{v}");
+    }
+
+    #[test]
+    fn teller_from_home_sees_nothing() {
+        let v = view_for("tina", "89.12.3.4", "home.example.net");
+        assert_eq!(v, "<statements/>");
+    }
+
+    #[test]
+    fn auditor_sees_accounts_but_not_flagged_memo() {
+        let v = view_for("axel", "10.9.9.9", "hq.bank.com");
+        assert!(v.contains("Offshore Holdings"), "{v}");
+        assert!(!v.contains("under review"), "{v}");
+        assert!(v.contains("Payroll Inc"), "{v}");
+    }
+
+    #[test]
+    fn fraud_desk_sees_flagged_transactions_with_memos() {
+        let v = view_for("fred", "172.16.0.3", "desk.bank.com");
+        assert!(v.contains("Offshore Holdings"), "{v}");
+        assert!(v.contains("under review"), "{v}");
+        assert!(!v.contains("Payroll Inc"), "{v}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Hospital-records corpus: a second domain scenario exercising
+//! element-level protection with content-dependent conditions — the kind
+//! of selective sharing the paper's introduction motivates (records
+//! readable by ward staff, psychiatric notes restricted, billing visible
+//! to administration only).
+
+use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+use xmlsec_subjects::{Directory, Subject};
+
+/// URI of the hospital DTD.
+pub const HOSPITAL_DTD_URI: &str = "hospital.dtd";
+
+/// URI of the ward document.
+pub const WARD_URI: &str = "ward3.xml";
+
+/// The hospital DTD.
+pub const HOSPITAL_DTD: &str = r#"<!ELEMENT ward (patient+)>
+<!ATTLIST ward id CDATA #REQUIRED>
+<!ELEMENT patient (name, history, billing?)>
+<!ATTLIST patient id ID #REQUIRED status (admitted|discharged) #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT history (entry*)>
+<!ELEMENT entry (physician, note)>
+<!ATTLIST entry kind (general|psychiatric) #REQUIRED date CDATA #REQUIRED>
+<!ELEMENT physician (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT billing (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item amount CDATA #REQUIRED>
+"#;
+
+/// The ward document.
+pub const WARD_XML: &str = r#"<!DOCTYPE ward SYSTEM "hospital.dtd"><ward id="W3"><patient id="p1" status="admitted"><name>Ada Brown</name><history><entry kind="general" date="2000-02-01"><physician>Dr. Hale</physician><note>Fracture healing normally.</note></entry><entry kind="psychiatric" date="2000-02-10"><physician>Dr. Weiss</physician><note>Anxiety episode; follow-up in two weeks.</note></entry></history><billing><item amount="120">X-ray</item><item amount="80">Consultation</item></billing></patient><patient id="p2" status="discharged"><name>Ed Stone</name><history><entry kind="general" date="2000-01-20"><physician>Dr. Hale</physician><note>Discharged in good condition.</note></entry></history></patient></ward>"#;
+
+/// Users and groups: nurses, physicians (nested into `Clinical`),
+/// psychiatrists (nested into `Physicians`), administration.
+pub fn hospital_directory() -> Directory {
+    let mut d = Directory::new();
+    for u in ["nina", "hale", "weiss", "omar"] {
+        d.add_user(u).expect("fresh user");
+    }
+    for g in ["Nurses", "Physicians", "Psychiatrists", "Clinical", "Administration"] {
+        d.add_group(g).expect("fresh group");
+    }
+    d.add_member("nina", "Nurses").expect("edge");
+    d.add_member("hale", "Physicians").expect("edge");
+    d.add_member("weiss", "Psychiatrists").expect("edge");
+    d.add_member("Psychiatrists", "Physicians").expect("edge");
+    d.add_member("Nurses", "Clinical").expect("edge");
+    d.add_member("Physicians", "Clinical").expect("edge");
+    d.add_member("omar", "Administration").expect("edge");
+    d
+}
+
+/// The ward's protection requirements.
+///
+/// - Clinical staff read patient records (schema level, so every ward
+///   document inherits it) …
+/// - … but psychiatric entries are denied to everyone below
+///   `Physicians`; nurses lose them through the most-specific-object
+///   override.
+/// - Psychiatric entries are explicitly granted to `Psychiatrists`.
+/// - Billing is visible to `Administration` only (and administration
+///   sees nothing else: their grant is on billing subtrees).
+pub fn hospital_authorizations() -> Vec<Authorization> {
+    vec![
+        Authorization::new(
+            Subject::new("Clinical", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, "/ward").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Clinical", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, r#"//entry[./@kind="psychiatric"]"#)
+                .expect("path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Psychiatrists", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, r#"//entry[./@kind="psychiatric"]"#)
+                .expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Clinical", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, "//billing").expect("path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Administration", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, "//billing").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("Administration", "*", "*").expect("subject"),
+            ObjectSpec::with_path(HOSPITAL_DTD_URI, "//patient/name").expect("path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+    ]
+}
+
+/// Authorization base for the hospital scenario.
+pub fn hospital_authorization_base() -> AuthorizationBase {
+    let mut b = AuthorizationBase::new();
+    b.extend(hospital_authorizations());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_authz::PolicyConfig;
+    use xmlsec_core::compute_view;
+    use xmlsec_dtd::{parse_dtd, validate};
+    use xmlsec_subjects::Requester;
+    use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+    fn view_for(user: &str) -> String {
+        let dir = hospital_directory();
+        let base = hospital_authorization_base();
+        let rq = Requester::new(user, "10.0.0.7", "ward3.hospital.org").expect("requester");
+        let doc = parse(WARD_XML).expect("parses");
+        let adtd = base.applicable(HOSPITAL_DTD_URI, &rq, &dir);
+        let (view, _) = compute_view(&doc, &[], &adtd, &dir, PolicyConfig::paper_default());
+        serialize(&view, &SerializeOptions::canonical())
+    }
+
+    #[test]
+    fn corpus_valid() {
+        let dtd = parse_dtd(HOSPITAL_DTD).unwrap();
+        let doc = parse(WARD_XML).unwrap();
+        assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn nurse_sees_general_entries_only() {
+        let v = view_for("nina");
+        assert!(v.contains("Fracture healing"), "{v}");
+        assert!(!v.contains("Anxiety"), "{v}");
+        assert!(!v.contains("X-ray"), "{v}");
+    }
+
+    #[test]
+    fn psychiatrist_sees_psychiatric_entries() {
+        let v = view_for("weiss");
+        assert!(v.contains("Anxiety"), "{v}");
+        assert!(v.contains("Fracture healing"), "{v}");
+        assert!(!v.contains("X-ray"), "{v}");
+    }
+
+    #[test]
+    fn general_physician_loses_psychiatric_notes() {
+        let v = view_for("hale");
+        assert!(!v.contains("Anxiety"), "{v}");
+        assert!(v.contains("Fracture healing"), "{v}");
+    }
+
+    #[test]
+    fn administration_sees_billing_and_names_only() {
+        let v = view_for("omar");
+        assert!(v.contains("X-ray"), "{v}");
+        assert!(v.contains("Ada Brown"), "{v}");
+        assert!(!v.contains("Fracture"), "{v}");
+        assert!(!v.contains("Anxiety"), "{v}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's running example: the *laboratory* DTD (Figure 1(a)), the
+//! CSlab document (Figure 3(a)), the Example 1 authorization set, and the
+//! Example 2 requester (Tom).
+//!
+//! Figures 1 and 3 are images in the published paper; the DTD and
+//! document here are reconstructed from every element, attribute, and
+//! path expression the text mentions (`laboratory`, `project[@name,
+//! @type∈{internal,public}]`, `manager`, `flname`, `fund`,
+//! `paper[@category∈{private,public}, @type]`, the paths
+//! `/laboratory/project`, `/laboratory//flname`,
+//! `fund/ancestor::project`, …). Example 1's fourth authorization is
+//! printed with type "`W`" in the paper; we read it as `RW` (the
+//! requirement is "access **information about** managers", which a Local
+//! Weak grant — bare `<manager/>` shells — would not satisfy). Both
+//! readings are exercised in tests.
+
+use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+use xmlsec_subjects::{Directory, Requester, Subject};
+
+/// URI of the laboratory DTD (the paper uses
+/// `http://www.lab.com/laboratory.xml`; we keep the relative form it uses
+/// in Example 1).
+pub const LAB_DTD_URI: &str = "laboratory.xml";
+
+/// URI of the CSlab instance document.
+pub const CSLAB_URI: &str = "CSlab.xml";
+
+/// The laboratory DTD (reconstruction of Figure 1(a)).
+pub const LAB_DTD: &str = r#"<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, member*, fund*, paper*)>
+<!ATTLIST project name CDATA #REQUIRED type (internal|public) #REQUIRED>
+<!ELEMENT manager (flname, email?)>
+<!ELEMENT member (flname, email?)>
+<!ELEMENT flname (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT fund (sponsor, amount?)>
+<!ATTLIST fund type CDATA #IMPLIED>
+<!ELEMENT sponsor (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT paper (title, authors?)>
+<!ATTLIST paper category (private|public) #REQUIRED type CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authors (#PCDATA)>
+"#;
+
+/// The CSlab document (reconstruction of Figure 3(a)).
+pub const CSLAB_XML: &str = r#"<!DOCTYPE laboratory SYSTEM "laboratory.xml"><laboratory name="CSlab"><project name="Access Models" type="internal"><manager><flname>Sam Marlow</flname><email>sam@lab.com</email></manager><member><flname>Ann Eager</flname></member><fund type="private"><sponsor>MURST</sponsor><amount>40000</amount></fund><paper category="private" type="internal"><title>Security Processor Design</title></paper><paper category="public" type="conference"><title>An Access Control Model for XML</title><authors>Damiani et al.</authors></paper></project><project name="Query Engines" type="public"><manager><flname>Bob Keen</flname></manager><member><flname>Carol Swift</flname><email>carol@lab.com</email></member><fund type="public"><sponsor>EC-FASTER</sponsor><amount>150000</amount></fund><paper category="public" type="journal"><title>Querying XML</title></paper><paper category="private" type="internal"><title>Engine Internals</title></paper></project></laboratory>"#;
+
+/// The user/group directory of the examples: Tom ∈ Foreign ∩ Public,
+/// Alice ∈ Admin ∩ Public, Sam ∈ Public; `anonymous` ∈ Public.
+pub fn lab_directory() -> Directory {
+    let mut d = Directory::new();
+    for u in ["Tom", "Alice", "Sam", "anonymous"] {
+        d.add_user(u).expect("fresh user");
+    }
+    for g in ["Public", "Foreign", "Admin"] {
+        d.add_group(g).expect("fresh group");
+    }
+    d.add_member("Tom", "Foreign").expect("valid edge");
+    d.add_member("Alice", "Admin").expect("valid edge");
+    for u in ["Tom", "Alice", "Sam", "anonymous"] {
+        d.add_member(u, "Public").expect("valid edge");
+    }
+    d
+}
+
+/// The four authorizations of Example 1, verbatim (with `W` read as
+/// `RW`; see the module docs).
+pub fn example1_authorizations() -> Vec<Authorization> {
+    vec![
+        // Access to private papers is explicitly forbidden to members of
+        // the group Foreign (schema level).
+        Authorization::new(
+            Subject::new("Foreign", "*", "*").expect("valid subject"),
+            ObjectSpec::with_path(
+                LAB_DTD_URI,
+                r#"/laboratory//paper[./@category="private"]"#,
+            )
+            .expect("valid path"),
+            Sign::Minus,
+            AuthType::Recursive,
+        ),
+        // Information about public papers of CSlab is publicly
+        // accessible, unless otherwise specified at the DTD level.
+        Authorization::new(
+            Subject::new("Public", "*", "*").expect("valid subject"),
+            ObjectSpec::with_path(CSLAB_URI, r#"/laboratory//paper[./@category="public"]"#)
+                .expect("valid path"),
+            Sign::Plus,
+            AuthType::RecursiveWeak,
+        ),
+        // Internal projects accessible to Admin members connected from
+        // host 130.89.56.8.
+        Authorization::new(
+            Subject::new("Admin", "130.89.56.8", "*").expect("valid subject"),
+            ObjectSpec::with_path(CSLAB_URI, r#"project[./@type="internal"]"#)
+                .expect("valid path"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        // Users connected from the it domain can access information about
+        // managers of public projects.
+        Authorization::new(
+            Subject::new("Public", "*", "*.it").expect("valid subject"),
+            ObjectSpec::with_path(CSLAB_URI, r#"project[./@type="public"]/manager"#)
+                .expect("valid path"),
+            Sign::Plus,
+            AuthType::RecursiveWeak,
+        ),
+    ]
+}
+
+/// The Example 1 authorizations loaded into a base.
+pub fn lab_authorization_base() -> AuthorizationBase {
+    let mut base = AuthorizationBase::new();
+    base.extend(example1_authorizations());
+    base
+}
+
+/// Example 2's requester: "user Tom, member of group Foreign, when
+/// connected from infosys.bld1.it (130.100.50.8)".
+pub fn tom() -> Requester {
+    Requester::new("Tom", "130.100.50.8", "infosys.bld1.it").expect("valid requester")
+}
+
+/// Tom's expected view of CSlab.xml (our reconstruction of Figure 3(b)):
+/// public papers everywhere (weak grant, not overridden for public
+/// papers by the schema denial, which only matches private ones), the
+/// manager of the public project, everything else pruned.
+pub const TOM_VIEW_XML: &str = r#"<laboratory><project><paper category="public" type="conference"><title>An Access Control Model for XML</title><authors>Damiani et al.</authors></paper></project><project><manager><flname>Bob Keen</flname></manager><paper category="public" type="journal"><title>Querying XML</title></paper></project></laboratory>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_dtd::{parse_dtd, validate};
+    use xmlsec_xml::parse;
+
+    #[test]
+    fn corpus_is_well_formed_and_valid() {
+        let dtd = parse_dtd(LAB_DTD).expect("DTD parses");
+        let doc = parse(CSLAB_XML).expect("document parses");
+        assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn corpus_matches_paper_paths() {
+        let doc = parse(CSLAB_XML).unwrap();
+        // /laboratory//flname → 4 (2 managers + 2 members)
+        assert_eq!(xmlsec_xpath::select_str(&doc, "/laboratory//flname").unwrap().len(), 4);
+        // fund under project (ancestor example)
+        assert_eq!(xmlsec_xpath::select_str(&doc, "//fund/ancestor::project").unwrap().len(), 2);
+        // private papers
+        assert_eq!(
+            xmlsec_xpath::select_str(&doc, r#"/laboratory//paper[./@category="private"]"#)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn directory_memberships() {
+        let d = lab_directory();
+        assert!(d.is_member("Tom", "Foreign"));
+        assert!(d.is_member("Tom", "Public"));
+        assert!(!d.is_member("Tom", "Admin"));
+        assert!(d.is_member("Alice", "Admin"));
+    }
+
+    #[test]
+    fn authorizations_split_by_level() {
+        let base = lab_authorization_base();
+        assert_eq!(base.for_uri(LAB_DTD_URI).len(), 1); // schema level
+        assert_eq!(base.for_uri(CSLAB_URI).len(), 3); // instance level
+    }
+
+    #[test]
+    fn tom_covered_by_expected_subjects() {
+        let d = lab_directory();
+        let auths = example1_authorizations();
+        let t = tom();
+        assert!(t.is_covered_by(&auths[0].subject, &d)); // Foreign
+        assert!(t.is_covered_by(&auths[1].subject, &d)); // Public
+        assert!(!t.is_covered_by(&auths[2].subject, &d)); // Admin host
+        assert!(t.is_covered_by(&auths[3].subject, &d)); // Public + *.it
+    }
+
+    #[test]
+    fn expected_view_is_well_formed() {
+        parse(TOM_VIEW_XML).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! # xmlsec-workload — corpora and generators
+//!
+//! Everything the tests, examples and benchmarks feed into the system:
+//!
+//! - [`laboratory`] — the paper's running example (Figure 1 DTD, Figure 3
+//!   CSlab document, Example 1 authorizations, Example 2 requester);
+//! - [`hospital`] — ward records with role- and content-dependent
+//!   protection;
+//! - [`financial`] — OFX-style bank statements with location-restricted
+//!   subjects;
+//! - [`channel`] — CDF-style push channels with tiered subscriptions;
+//! - [`docgen`] / [`authgen`] — seeded synthetic documents, directories,
+//!   requesters and authorization sets (same seed ⇒ same output), used by
+//!   the differential property tests and the Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod authgen;
+pub mod channel;
+pub mod docgen;
+pub mod dtdgen;
+pub mod financial;
+pub mod hospital;
+pub mod laboratory;
+
+pub use authgen::{random_auths, random_directory, random_requester, AuthConfig};
+pub use docgen::{deep_chain, flat, laboratory_scaled, random_tree, TreeConfig};
+pub use dtdgen::{conforming_doc, random_dtd, DtdConfig, GEN_ROOT};

@@ -1,0 +1,158 @@
+//! Error types for XML lexing and parsing.
+//!
+//! Every error carries a [`Pos`] (line/column, 1-based) pointing at the
+//! offending input so that callers can produce actionable diagnostics.
+
+use std::fmt;
+
+/// A position in the source text, tracked by the tokenizer.
+///
+/// Lines and columns are 1-based; `offset` is the 0-based byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line).
+    pub col: u32,
+    /// 0-based byte offset from the start of the input.
+    pub offset: usize,
+}
+
+impl Pos {
+    /// The start-of-input position.
+    pub const START: Pos = Pos { line: 1, col: 1, offset: 0 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kinds of well-formedness violation the parser reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// A tag, attribute, PI target, or entity name that is not a valid XML Name.
+    InvalidName(String),
+    /// `</b>` closing `<a>`.
+    MismatchedTag {
+        /// The open element's name.
+        expected: String,
+        /// The end tag actually found.
+        found: String,
+    },
+    /// An end tag with no corresponding open element.
+    UnbalancedEndTag(String),
+    /// An element left open at end of input.
+    UnclosedElement(String),
+    /// The same attribute appears twice on one start tag.
+    DuplicateAttribute(String),
+    /// A reference to an entity the processor does not know.
+    UnknownEntity(String),
+    /// A numeric character reference that is not a legal XML character.
+    InvalidCharRef(String),
+    /// Text or markup outside the single document element.
+    ContentOutsideRoot,
+    /// The document has no element at all.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRootElements,
+    /// `--` inside a comment, or a comment left unterminated.
+    MalformedComment,
+    /// A processing instruction that is unterminated or targets `xml`.
+    MalformedPi,
+    /// A malformed `<!DOCTYPE ...>` declaration.
+    MalformedDoctype,
+    /// A malformed CDATA section.
+    MalformedCdata,
+    /// A raw `<` in attribute value, or an unterminated attribute value.
+    MalformedAttribute(String),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use XmlErrorKind::*;
+        match self {
+            UnexpectedEof => write!(f, "unexpected end of input"),
+            UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            InvalidName(n) => write!(f, "invalid XML name {n:?}"),
+            MismatchedTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
+            UnbalancedEndTag(n) => write!(f, "end tag </{n}> with no open element"),
+            UnclosedElement(n) => write!(f, "element <{n}> is never closed"),
+            DuplicateAttribute(n) => write!(f, "duplicate attribute {n:?}"),
+            UnknownEntity(n) => write!(f, "reference to unknown entity &{n};"),
+            InvalidCharRef(s) => write!(f, "invalid character reference &#{s};"),
+            ContentOutsideRoot => write!(f, "content outside the document element"),
+            NoRootElement => write!(f, "document has no root element"),
+            MultipleRootElements => write!(f, "document has more than one root element"),
+            MalformedComment => write!(f, "malformed comment"),
+            MalformedPi => write!(f, "malformed processing instruction"),
+            MalformedDoctype => write!(f, "malformed DOCTYPE declaration"),
+            MalformedCdata => write!(f, "malformed CDATA section"),
+            MalformedAttribute(n) => write!(f, "malformed attribute {n:?}"),
+        }
+    }
+}
+
+/// A well-formedness error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Where it went wrong.
+    pub pos: Pos,
+}
+
+impl XmlError {
+    /// Builds an error at `pos`.
+    pub fn new(kind: XmlErrorKind, pos: Pos) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.pos, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        let p = Pos { line: 3, col: 17, offset: 40 };
+        assert_eq!(p.to_string(), "3:17");
+    }
+
+    #[test]
+    fn error_display_mentions_position_and_kind() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag { expected: "a".into(), found: "b".into() },
+            Pos { line: 2, col: 5, offset: 10 },
+        );
+        let s = e.to_string();
+        assert!(s.contains("2:5"), "{s}");
+        assert!(s.contains("</a>"), "{s}");
+        assert!(s.contains("</b>"), "{s}");
+    }
+
+    #[test]
+    fn start_pos_is_line1_col1() {
+        assert_eq!(Pos::START.line, 1);
+        assert_eq!(Pos::START.col, 1);
+        assert_eq!(Pos::START.offset, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # xmlsec-xml — XML substrate for the *Securing XML Documents* system
+//!
+//! A from-scratch XML 1.0 processor covering exactly what the paper's
+//! security processor needs (its §7 pipeline):
+//!
+//! - a [`tokenizer`] producing a lexical event stream with entity and
+//!   character-reference resolution;
+//! - a well-formedness [`parser`] building an arena [`dom::Document`]
+//!   (DOM Level 1-style object tree: elements, attributes-as-nodes, text,
+//!   comments, PIs, captured DOCTYPE);
+//! - a [`mod@serialize`] module ("unparsing") with canonical and pretty modes;
+//! - a [`render`] module drawing trees in the style of the paper's figures.
+//!
+//! DTD parsing/validation lives in `xmlsec-dtd`; path expressions in
+//! `xmlsec-xpath`.
+//!
+//! ```
+//! use xmlsec_xml::{parse, serialize, SerializeOptions};
+//!
+//! let doc = parse(r#"<laboratory><project name="Access Models"/></laboratory>"#).unwrap();
+//! let project = doc.child_elements(doc.root()).next().unwrap();
+//! assert_eq!(doc.attribute(project, "name"), Some("Access Models"));
+//! assert_eq!(
+//!     serialize(&doc, &SerializeOptions::canonical()),
+//!     r#"<laboratory><project name="Access Models"/></laboratory>"#
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod name;
+pub mod parser;
+pub mod render;
+pub mod serialize;
+pub mod tokenizer;
+
+pub use dom::{Doctype, Document, Node, NodeData, NodeId};
+pub use error::{Pos, XmlError, XmlErrorKind};
+pub use parser::{parse, parse_with, ParseOptions};
+pub use render::render_tree;
+pub use serialize::{serialize, serialize_node, SerializeOptions};

@@ -1,0 +1,92 @@
+//! XML Name validation (XML 1.0 production 5, simplified to the common case).
+//!
+//! The paper's documents use plain ASCII names; we additionally accept any
+//! non-ASCII alphabetic character so that realistic international documents
+//! parse, without dragging in the full Unicode tables of the REC.
+
+/// Returns `true` if `c` may start an XML Name.
+#[inline]
+pub fn is_name_start_char(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (!c.is_ascii() && c.is_alphabetic())
+}
+
+/// Returns `true` if `c` may continue an XML Name.
+#[inline]
+pub fn is_name_char(c: char) -> bool {
+    is_name_start_char(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// Returns `true` if `s` is a valid XML Name.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start_char(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+/// Returns `true` if `s` is a valid XML Nmtoken (every char a name char).
+pub fn is_valid_nmtoken(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(is_name_char)
+}
+
+/// Returns `true` if `c` is XML whitespace (production 3: `S`).
+#[inline]
+pub fn is_xml_whitespace(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n')
+}
+
+/// Returns `true` if `c` is a legal XML 1.0 character (production 2).
+#[inline]
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        for n in ["laboratory", "project", "_x", "a-b.c", "ns:tag", "f1name", "é"] {
+            assert!(is_valid_name(n), "{n} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_names() {
+        for n in ["", "1abc", "-a", ".a", "a b", "a<b", "a&b"] {
+            assert!(!is_valid_name(n), "{n} should be invalid");
+        }
+    }
+
+    #[test]
+    fn nmtoken_allows_leading_digit() {
+        assert!(is_valid_nmtoken("123"));
+        assert!(is_valid_nmtoken("1a-b"));
+        assert!(!is_valid_nmtoken(""));
+        assert!(!is_valid_nmtoken("a b"));
+    }
+
+    #[test]
+    fn whitespace_set() {
+        assert!(is_xml_whitespace(' '));
+        assert!(is_xml_whitespace('\t'));
+        assert!(is_xml_whitespace('\n'));
+        assert!(is_xml_whitespace('\r'));
+        assert!(!is_xml_whitespace('\u{A0}'));
+    }
+
+    #[test]
+    fn xml_char_excludes_controls() {
+        assert!(!is_xml_char('\u{0}'));
+        assert!(!is_xml_char('\u{B}'));
+        assert!(is_xml_char('\t'));
+        assert!(is_xml_char('A'));
+        assert!(is_xml_char('\u{10FFFF}'));
+    }
+}

@@ -1,0 +1,237 @@
+//! Tree-building parser (the "parsing" step of the paper's §7 pipeline).
+//!
+//! Consumes the token stream and enforces well-formedness: properly nested
+//! tags, a single document element, no content outside it. Whitespace-only
+//! text between elements is preserved or dropped according to
+//! [`ParseOptions::keep_whitespace_text`] — the security processor drops it
+//! so that pruned documents serialize cleanly, tests that need exact
+//! round-trips keep it.
+
+use crate::dom::{Document, NodeId};
+use crate::error::{Pos, Result, XmlError, XmlErrorKind};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Keep text nodes that consist only of whitespace. Default `false`.
+    pub keep_whitespace_text: bool,
+    /// Keep comment nodes. Default `true`.
+    pub keep_comments: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { keep_whitespace_text: false, keep_comments: true }
+    }
+}
+
+/// Parses `input` with default options.
+pub fn parse(input: &str) -> Result<Document> {
+    parse_with(input, ParseOptions::default())
+}
+
+/// Parses `input` with explicit options.
+pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
+    let mut tk = Tokenizer::new(input);
+    let mut doc: Option<Document> = None;
+    let mut doctype = None;
+    // Stack of open elements; empty both before the root opens and after
+    // it closes.
+    let mut stack: Vec<(NodeId, String, Pos)> = Vec::new();
+    let mut root_seen = false;
+
+    while let Some(tok) = tk.next_token()? {
+        match tok {
+            Token::XmlDecl { .. } => {}
+            Token::Doctype { decl, pos } => {
+                if root_seen || doc.is_some() {
+                    return Err(XmlError::new(XmlErrorKind::MalformedDoctype, pos));
+                }
+                doctype = Some(decl);
+            }
+            Token::StartTag { name, attrs, self_closing, pos } => {
+                let el = if let Some(d) = doc.as_mut() {
+                    match stack.last() {
+                        Some(&(parent, ..)) => d.append_element(parent, &name),
+                        None => return Err(XmlError::new(XmlErrorKind::MultipleRootElements, pos)),
+                    }
+                } else {
+                    if root_seen {
+                        return Err(XmlError::new(XmlErrorKind::MultipleRootElements, pos));
+                    }
+                    root_seen = true;
+                    let d = Document::new(&name);
+                    let r = d.root();
+                    doc = Some(d);
+                    r
+                };
+                let d = doc.as_mut().expect("document exists after root open");
+                for (an, av) in attrs {
+                    d.set_attribute(el, &an, &av)?;
+                }
+                if !self_closing {
+                    stack.push((el, name, pos));
+                }
+            }
+            Token::EndTag { name, pos } => match stack.pop() {
+                Some((_, open_name, _)) if open_name == name => {}
+                Some((_, open_name, _)) => {
+                    return Err(XmlError::new(
+                        XmlErrorKind::MismatchedTag { expected: open_name, found: name },
+                        pos,
+                    ));
+                }
+                None => return Err(XmlError::new(XmlErrorKind::UnbalancedEndTag(name), pos)),
+            },
+            Token::Text { value, pos } => {
+                let blank = value.chars().all(|c| c.is_whitespace());
+                match stack.last() {
+                    Some(&(parent, ..)) => {
+                        if !blank || opts.keep_whitespace_text {
+                            doc.as_mut().expect("open element implies document").append_text(parent, &value);
+                        }
+                    }
+                    None => {
+                        if !blank {
+                            return Err(XmlError::new(XmlErrorKind::ContentOutsideRoot, pos));
+                        }
+                    }
+                }
+            }
+            Token::Comment { value, .. } => {
+                if let Some(&(parent, ..)) = stack.last() {
+                    if opts.keep_comments {
+                        doc.as_mut().expect("open element implies document").append_comment(parent, &value);
+                    }
+                }
+                // Comments outside the root are legal and dropped.
+            }
+            Token::Pi { target, data, .. } => {
+                if let Some(&(parent, ..)) = stack.last() {
+                    doc.as_mut().expect("open element implies document").append_pi(parent, &target, &data);
+                }
+                // PIs outside the root are legal and dropped.
+            }
+        }
+    }
+
+    if let Some((_, name, pos)) = stack.pop() {
+        return Err(XmlError::new(XmlErrorKind::UnclosedElement(name), pos));
+    }
+    match doc {
+        Some(mut d) => {
+            d.doctype = doctype;
+            Ok(d)
+        }
+        None => Err(XmlError::new(XmlErrorKind::NoRootElement, Pos::START)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeData;
+
+    #[test]
+    fn parse_nested() {
+        let d = parse("<lab><project name=\"p\"><paper/>text</project></lab>").unwrap();
+        assert_eq!(d.element_name(d.root()), Some("lab"));
+        let p = d.child_elements(d.root()).next().unwrap();
+        assert_eq!(d.attribute(p, "name"), Some("p"));
+        assert_eq!(d.text_value(p), "text");
+    }
+
+    #[test]
+    fn mismatched_tags() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element() {
+        let e = parse("<a><b>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::UnclosedElement(ref n) if n == "b"));
+    }
+
+    #[test]
+    fn unbalanced_end_tag() {
+        let e = parse("<a/></a>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::UnbalancedEndTag(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::MultipleRootElements));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let e = parse("   ").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let e = parse("<a/>junk").unwrap_err();
+        assert!(matches!(e.kind, XmlErrorKind::ContentOutsideRoot));
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped_by_default() {
+        let d = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 1);
+        let d2 = parse_with(
+            "<a>\n  <b/>\n</a>",
+            ParseOptions { keep_whitespace_text: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(d2.children(d2.root()).len(), 3);
+    }
+
+    #[test]
+    fn doctype_captured() {
+        let d = parse("<!DOCTYPE lab SYSTEM \"lab.dtd\"><lab/>").unwrap();
+        let dt = d.doctype.as_ref().unwrap();
+        assert_eq!(dt.name, "lab");
+        assert_eq!(dt.system_id.as_deref(), Some("lab.dtd"));
+    }
+
+    #[test]
+    fn doctype_after_root_rejected() {
+        assert!(parse("<lab/><!DOCTYPE lab>").is_err());
+    }
+
+    #[test]
+    fn comments_kept_and_droppable() {
+        let d = parse("<a><!--x--></a>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 1);
+        assert!(matches!(d.node(d.children(d.root())[0]).data, NodeData::Comment(_)));
+        let d2 = parse_with(
+            "<a><!--x--></a>",
+            ParseOptions { keep_comments: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(d2.children(d2.root()).len(), 0);
+    }
+
+    #[test]
+    fn prolog_comment_and_pi_allowed() {
+        let d = parse("<?xml version=\"1.0\"?><!--hdr--><?style x?><a/>").unwrap();
+        assert_eq!(d.element_name(d.root()), Some("a"));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            s.push_str(&format!("</n{i}>"));
+        }
+        let d = parse(&s).unwrap();
+        assert_eq!(d.count_reachable(), 200);
+    }
+}

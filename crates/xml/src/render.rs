@@ -1,0 +1,94 @@
+//! ASCII tree rendering of documents, in the style of the paper's
+//! Figure 1(b) and Figure 3: elements as `(name)` circles, attributes as
+//! `[name]` squares, values as quoted leaves.
+
+use crate::dom::{Document, NodeData, NodeId};
+
+/// Renders the tree rooted at the document element.
+pub fn render_tree(doc: &Document) -> String {
+    let mut out = String::new();
+    render_node(doc, doc.root(), "", true, &mut out);
+    out
+}
+
+fn render_node(doc: &Document, id: NodeId, prefix: &str, is_last: bool, out: &mut String) {
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "`-- "
+    } else {
+        "|-- "
+    };
+    let label = match &doc.node(id).data {
+        NodeData::Element { name, .. } => format!("({name})"),
+        NodeData::Attr { name, value } => format!("[{name}] = {value:?}"),
+        NodeData::Text(t) => format!("{:?}", truncate(t, 40)),
+        NodeData::Comment(t) => format!("<!--{}-->", truncate(t, 30)),
+        NodeData::Pi { target, .. } => format!("<?{target}?>"),
+    };
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&label);
+    out.push('\n');
+
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}|   ")
+    };
+    let attrs = doc.attributes(id);
+    let children = doc.children(id);
+    let total = attrs.len() + children.len();
+    let mut i = 0usize;
+    for &a in attrs {
+        i += 1;
+        render_node(doc, a, &next_prefix(prefix, &child_prefix), i == total, out);
+    }
+    for &c in children {
+        i += 1;
+        render_node(doc, c, &next_prefix(prefix, &child_prefix), i == total, out);
+    }
+}
+
+fn next_prefix(prefix: &str, child_prefix: &str) -> String {
+    if prefix.is_empty() {
+        "  ".to_string()
+    } else {
+        child_prefix.to_string()
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn renders_elements_attrs_and_text() {
+        let d = parse(r#"<lab><project name="Access Models">text</project></lab>"#).unwrap();
+        let t = render_tree(&d);
+        assert!(t.contains("(lab)"), "{t}");
+        assert!(t.contains("(project)"), "{t}");
+        assert!(t.contains("[name] = \"Access Models\""), "{t}");
+        assert!(t.contains("\"text\""), "{t}");
+    }
+
+    #[test]
+    fn long_text_truncated() {
+        let long = "x".repeat(100);
+        let d = parse(&format!("<a>{long}</a>")).unwrap();
+        let t = render_tree(&d);
+        assert!(t.contains('…'), "{t}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Document-order comparison, including after mutations that break the
+//! arena-id ≈ document-order correspondence.
+
+use std::cmp::Ordering;
+use xmlsec_xml::{parse, Document};
+
+#[test]
+fn parsed_documents_follow_arena_order() {
+    let d = parse(r#"<a x="1"><b>t</b><c y="2"/></a>"#).unwrap();
+    let mut all: Vec<_> = d.preorder(d.root()).collect();
+    let sorted = {
+        let mut v = all.clone();
+        v.sort_by(|&p, &q| d.document_order(p, q));
+        v
+    };
+    assert_eq!(all, sorted);
+    all.reverse();
+    all.sort_by(|&p, &q| d.document_order(p, q));
+    assert_eq!(
+        all,
+        {
+            let mut v: Vec<_> = d.preorder(d.root()).collect();
+            v.sort_by(|&p, &q| d.document_order(p, q));
+            v
+        }
+    );
+}
+
+#[test]
+fn late_mutations_are_ordered_by_position_not_id() {
+    // Build <a><b/><c/></a>, then add an attribute to <b>: the attribute
+    // has the highest arena id but precedes <c> (and even <b>'s children)
+    // in document order.
+    let mut d = Document::new("a");
+    let b = d.append_element(d.root(), "b");
+    let c = d.append_element(d.root(), "c");
+    let battr = d.set_attribute(b, "late", "1").unwrap();
+    assert!(battr.0 > c.0, "arena id really is later");
+    assert_eq!(d.document_order(battr, c), Ordering::Less);
+    assert_eq!(d.document_order(c, battr), Ordering::Greater);
+    assert_eq!(d.document_order(b, battr), Ordering::Less, "element before its attribute");
+}
+
+#[test]
+fn ancestors_precede_descendants() {
+    let d = parse("<a><b><c/></b></a>").unwrap();
+    let b = d.child_elements(d.root()).next().unwrap();
+    let c = d.child_elements(b).next().unwrap();
+    assert_eq!(d.document_order(d.root(), c), Ordering::Less);
+    assert_eq!(d.document_order(b, c), Ordering::Less);
+    assert_eq!(d.document_order(c, d.root()), Ordering::Greater);
+    assert_eq!(d.document_order(b, b), Ordering::Equal);
+}

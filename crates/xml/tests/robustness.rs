@@ -1,0 +1,54 @@
+//! Robustness: the tokenizer and parser must never panic — arbitrary
+//! input yields `Ok` or a positioned error, and mutated valid documents
+//! are handled gracefully.
+
+use proptest::prelude::*;
+use xmlsec_xml::{parse, serialize, SerializeOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in ".{0,300}") {
+        let _ = parse(&s);
+    }
+
+    /// Strings biased toward XML-ish characters never panic the parser.
+    #[test]
+    fn parse_never_panics_on_markup_soup(s in "[<>/=&;'\"a-z0-9 \\-\\[\\]!?]{0,300}") {
+        let _ = parse(&s);
+    }
+
+    /// Truncating a valid document at any byte boundary never panics and,
+    /// if it parses, re-serializes.
+    #[test]
+    fn truncation_is_graceful(cut in 0usize..200) {
+        let src = r#"<?xml version="1.0"?><!DOCTYPE lab SYSTEM "l.dtd"><lab name="x"><p a="1">t &amp; u</p><!--c--><![CDATA[raw]]></lab>"#;
+        let cut = cut.min(src.len());
+        if src.is_char_boundary(cut) {
+            if let Ok(doc) = parse(&src[..cut]) {
+                let _ = serialize(&doc, &SerializeOptions::canonical());
+            }
+        }
+    }
+
+    /// Splicing random bytes into a valid document never panics.
+    #[test]
+    fn mutation_is_graceful(pos in 0usize..100, noise in "[\\x00-\\xff]{1,8}") {
+        let src = r#"<lab><p a="1">text</p><q/></lab>"#;
+        let pos = pos.min(src.len());
+        if src.is_char_boundary(pos) {
+            let mutated = format!("{}{}{}", &src[..pos], noise, &src[pos..]);
+            let _ = parse(&mutated);
+        }
+    }
+
+    /// Error positions always lie within the input.
+    #[test]
+    fn error_positions_in_bounds(s in "[<>/=a-z \"]{0,120}") {
+        if let Err(e) = parse(&s) {
+            prop_assert!(e.pos.offset <= s.len(), "{e}");
+        }
+    }
+}

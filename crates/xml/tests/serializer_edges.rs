@@ -1,0 +1,120 @@
+//! Serializer and tokenizer edge cases: unusual but legal documents must
+//! survive canonical round-trips byte-exactly where the format allows.
+
+use xmlsec_xml::{parse, parse_with, serialize, ParseOptions, SerializeOptions};
+
+fn round_trip(src: &str) -> String {
+    let doc = parse(src).expect("parses");
+    serialize(&doc, &SerializeOptions::canonical())
+}
+
+#[test]
+fn unicode_content_and_names() {
+    let src = "<données clé=\"valeur\">texte — αβγ — 日本語</données>";
+    assert_eq!(round_trip(src), src);
+}
+
+#[test]
+fn numeric_references_resolve_and_reescape_minimally() {
+    // &#65; is just 'A' after parsing; it serializes as the plain char.
+    let doc = parse("<a>&#65;&#x42;</a>").unwrap();
+    assert_eq!(serialize(&doc, &SerializeOptions::canonical()), "<a>AB</a>");
+}
+
+#[test]
+fn special_chars_in_text_reescape() {
+    let doc = parse("<a>&amp;&lt;&gt;</a>").unwrap();
+    assert_eq!(serialize(&doc, &SerializeOptions::canonical()), "<a>&amp;&lt;&gt;</a>");
+}
+
+#[test]
+fn cdata_becomes_escaped_text() {
+    let doc = parse("<a><![CDATA[<b>&</b>]]></a>").unwrap();
+    let out = serialize(&doc, &SerializeOptions::canonical());
+    assert_eq!(out, "<a>&lt;b&gt;&amp;&lt;/b&gt;</a>");
+    // and re-parses to the same string value
+    let re = parse(&out).unwrap();
+    assert_eq!(re.text_value(re.root()), "<b>&</b>");
+}
+
+#[test]
+fn attribute_order_is_preserved() {
+    let src = r#"<a zeta="1" alpha="2" mid="3"/>"#;
+    assert_eq!(round_trip(src), src);
+}
+
+#[test]
+fn deeply_mixed_content_inline() {
+    let src = "<p>a<b>b<i>c</i>d</b>e</p>";
+    assert_eq!(round_trip(src), src);
+    // Pretty-printing keeps mixed content inline too.
+    let doc = parse(src).unwrap();
+    let pretty = serialize(&doc, &SerializeOptions::pretty());
+    assert!(pretty.contains("a<b>b<i>c</i>d</b>e"), "{pretty}");
+}
+
+#[test]
+fn doctype_with_internal_subset_round_trips() {
+    let src = r#"<!DOCTYPE a SYSTEM "a.dtd" [<!ELEMENT a (#PCDATA)> <!ATTLIST a x CDATA "d">]><a>t</a>"#;
+    let doc = parse(src).unwrap();
+    let out = serialize(&doc, &SerializeOptions::default());
+    let re = parse(&out).unwrap();
+    assert_eq!(doc.doctype, re.doctype);
+    assert!(doc.structurally_equal(&re));
+}
+
+#[test]
+fn pi_with_question_marks_in_data() {
+    let src = "<a><?q is this ok? almost?></a>";
+    let doc = parse(src).unwrap();
+    let out = serialize(&doc, &SerializeOptions::canonical());
+    // The PI data must be preserved verbatim up to the final `?>`.
+    assert_eq!(out, "<a><?q is this ok? almost?></a>");
+}
+
+#[test]
+fn comment_with_single_hyphens() {
+    let src = "<a><!-- one - two - three --></a>";
+    assert_eq!(round_trip(src), src);
+}
+
+#[test]
+fn whitespace_only_text_preserved_when_asked() {
+    let src = "<a> <b/> </a>";
+    let doc = parse_with(src, ParseOptions { keep_whitespace_text: true, ..Default::default() })
+        .unwrap();
+    assert_eq!(serialize(&doc, &SerializeOptions::canonical()), src);
+}
+
+#[test]
+fn crlf_and_tab_in_attributes_survive() {
+    let mut doc = xmlsec_xml::Document::new("a");
+    doc.set_attribute(doc.root(), "v", "line1\nline2\tend\r").unwrap();
+    let out = serialize(&doc, &SerializeOptions::canonical());
+    assert_eq!(out, "<a v=\"line1&#10;line2&#9;end&#13;\"/>");
+    let re = parse(&out).unwrap();
+    assert_eq!(re.attribute(re.root(), "v"), Some("line1\nline2\tend\r"));
+}
+
+#[test]
+fn empty_attribute_values() {
+    let src = r#"<a empty=""/>"#;
+    assert_eq!(round_trip(src), src);
+}
+
+#[test]
+fn very_long_text_node() {
+    let body = "x".repeat(200_000);
+    let src = format!("<a>{body}</a>");
+    let doc = parse(&src).unwrap();
+    assert_eq!(doc.text_value(doc.root()).len(), 200_000);
+    assert_eq!(serialize(&doc, &SerializeOptions::canonical()), src);
+}
+
+#[test]
+fn surrogate_range_char_refs_rejected() {
+    assert!(parse("<a>&#xD800;</a>").is_err());
+    assert!(parse("<a>&#xDFFF;</a>").is_err());
+    assert!(parse("<a>&#xFFFE;</a>").is_err()); // Char stops at FFFD
+    assert!(parse("<a>&#xFFFD;</a>").is_ok());
+}

@@ -1,0 +1,760 @@
+//! Path-expression evaluation over document trees.
+//!
+//! The evaluator is the workhorse behind authorization objects: the
+//! security processor evaluates each authorization's path expression once
+//! per document into a node-set, then labels nodes by membership.
+//!
+//! Node-sets are kept sorted by [`NodeId`]; for parser-built documents
+//! arena order *is* document order, so this yields document-order
+//! semantics for first-node string conversion and stable output.
+
+use crate::ast::{ArithOp, Axis, Expr, Func, NodeTest, PathExpr, Step};
+use crate::value::{compare, Value};
+use xmlsec_xml::{Document, NodeData, NodeId};
+
+/// A context node: either a real node or the *virtual document root*
+/// (the conceptual parent of the document element, which absolute paths
+/// start from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CtxNode {
+    /// The virtual root node `/`.
+    Root,
+    /// A node in the arena.
+    Node(NodeId),
+}
+
+/// Evaluates `path` against a whole document: absolute paths start at the
+/// virtual root; relative paths start at the document element (the
+/// paper's "predefined starting point in the document").
+pub fn select(doc: &Document, path: &PathExpr) -> Vec<NodeId> {
+    if path.absolute {
+        eval_from(doc, CtxNode::Root, path)
+    } else {
+        eval_from(doc, CtxNode::Node(doc.root()), path)
+    }
+}
+
+/// Evaluates `path` from an explicit context node (predicates use this
+/// for inner relative paths).
+pub fn eval_path(doc: &Document, context: NodeId, path: &PathExpr) -> Vec<NodeId> {
+    if path.absolute {
+        eval_from(doc, CtxNode::Root, path)
+    } else {
+        eval_from(doc, CtxNode::Node(context), path)
+    }
+}
+
+fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
+    let mut current: Vec<CtxNode> = vec![start];
+    for step in &path.steps {
+        let mut next: Vec<CtxNode> = Vec::new();
+        for &ctx in &current {
+            let candidates = axis_nodes(doc, ctx, step);
+            let selected = apply_predicates(doc, candidates, &step.predicates);
+            next.extend(selected);
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    let mut result: Vec<NodeId> = current
+        .into_iter()
+        .filter_map(|c| match c {
+            CtxNode::Node(n) => Some(n),
+            CtxNode::Root => None,
+        })
+        .collect();
+    // Arena order equals document order for parsed documents, but not
+    // necessarily after mutation; the final node-set is re-sorted so
+    // first-node string conversion and consumers always see document
+    // order.
+    sort_document_order(doc, &mut result);
+    result
+}
+
+/// Sorts `nodes` into document order.
+///
+/// Equivalent to `nodes.sort_by(|a, b| doc.document_order(a, b))` but
+/// amortized: sibling positions are resolved once per parent (one scan
+/// filling a cache for all of that parent's attributes and children)
+/// instead of per comparison, and each node's root path is computed once.
+pub fn sort_document_order(doc: &Document, nodes: &mut [NodeId]) {
+    if nodes.len() < 2 {
+        return;
+    }
+    // Fast path: for parser-built (and order-preservingly mutated)
+    // documents, arena ids are document order.
+    if doc.ids_preordered() {
+        nodes.sort_unstable();
+        return;
+    }
+    use std::collections::HashMap;
+    let mut sibling_pos: HashMap<NodeId, (u8, u32)> = HashMap::new();
+    let fill_parent = |p: NodeId, cache: &mut HashMap<NodeId, (u8, u32)>| {
+        for (i, &a) in doc.attributes(p).iter().enumerate() {
+            cache.insert(a, (0, i as u32));
+        }
+        for (i, &c) in doc.children(p).iter().enumerate() {
+            cache.insert(c, (1, i as u32));
+        }
+    };
+    let mut path_of = |n: NodeId| -> Vec<(u8, u32)> {
+        let mut path = Vec::new();
+        let mut cur = n;
+        while let Some(p) = doc.parent(cur) {
+            if !sibling_pos.contains_key(&cur) {
+                fill_parent(p, &mut sibling_pos);
+            }
+            path.push(*sibling_pos.get(&cur).expect("parent scan covered the child"));
+            cur = p;
+        }
+        path.reverse();
+        path
+    };
+    let mut keyed: Vec<(Vec<(u8, u32)>, NodeId)> =
+        nodes.iter().map(|&n| (path_of(n), n)).collect();
+    // A strict path prefix is an ancestor and sorts first (Vec's
+    // lexicographic Ord already does this).
+    keyed.sort();
+    for (slot, (_, n)) in nodes.iter_mut().zip(keyed) {
+        *slot = n;
+    }
+}
+
+/// Nodes along `step.axis` from `ctx` that pass `step.test`, in axis order
+/// (document order for forward axes, nearest-first for reverse axes).
+fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
+    let mut out = Vec::new();
+    match step.axis {
+        Axis::Child => match ctx {
+            CtxNode::Root => push_if(doc, doc.root(), &step.test, &mut out),
+            CtxNode::Node(n) => {
+                for &c in doc.children(n) {
+                    push_if(doc, c, &step.test, &mut out);
+                }
+            }
+        },
+        Axis::Descendant => {
+            descend(doc, ctx, &step.test, false, &mut out);
+        }
+        Axis::DescendantOrSelf => {
+            descend(doc, ctx, &step.test, true, &mut out);
+        }
+        Axis::Parent => match ctx {
+            CtxNode::Root => {}
+            CtxNode::Node(n) => match doc.parent(n) {
+                Some(p) => push_if(doc, p, &step.test, &mut out),
+                None => {
+                    // Parent of the document element is the virtual root,
+                    // which only node() matches.
+                    if matches!(step.test, NodeTest::AnyNode) {
+                        out.push(CtxNode::Root);
+                    }
+                }
+            },
+        },
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            if step.axis == Axis::AncestorOrSelf {
+                if let CtxNode::Node(n) = ctx {
+                    push_if(doc, n, &step.test, &mut out);
+                }
+            }
+            if let CtxNode::Node(n) = ctx {
+                for a in doc.ancestors(n) {
+                    push_if(doc, a, &step.test, &mut out);
+                }
+                if matches!(step.test, NodeTest::AnyNode) {
+                    out.push(CtxNode::Root);
+                }
+            }
+        }
+        Axis::SelfAxis => match ctx {
+            CtxNode::Root => {
+                if matches!(step.test, NodeTest::AnyNode) {
+                    out.push(CtxNode::Root);
+                }
+            }
+            CtxNode::Node(n) => push_if(doc, n, &step.test, &mut out),
+        },
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            if let CtxNode::Node(n) = ctx {
+                if let Some(p) = doc.parent(n) {
+                    if !doc.is_attribute(n) {
+                        let siblings = doc.children(p);
+                        let pos = siblings.iter().position(|&c| c == n);
+                        if let Some(pos) = pos {
+                            if step.axis == Axis::FollowingSibling {
+                                for &c in &siblings[pos + 1..] {
+                                    push_if(doc, c, &step.test, &mut out);
+                                }
+                            } else {
+                                // Reverse axis: nearest sibling first.
+                                for &c in siblings[..pos].iter().rev() {
+                                    push_if(doc, c, &step.test, &mut out);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Axis::Attribute => {
+            if let CtxNode::Node(n) = ctx {
+                for &a in doc.attributes(n) {
+                    let matches = match (&step.test, &doc.node(a).data) {
+                        (NodeTest::Name(want), NodeData::Attr { name, .. }) => name == want,
+                        (NodeTest::Wildcard | NodeTest::AnyNode, NodeData::Attr { .. }) => true,
+                        _ => false,
+                    };
+                    if matches {
+                        out.push(CtxNode::Node(a));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects descendants (document order), optionally including self.
+/// Attributes are not on the descendant axis (XPath data model).
+fn descend(doc: &Document, ctx: CtxNode, test: &NodeTest, include_self: bool, out: &mut Vec<CtxNode>) {
+    match ctx {
+        CtxNode::Root => {
+            if include_self && matches!(test, NodeTest::AnyNode) {
+                out.push(CtxNode::Root);
+            }
+            descend(doc, CtxNode::Node(doc.root()), test, true, out);
+        }
+        CtxNode::Node(n) => {
+            if include_self {
+                push_if(doc, n, test, out);
+            }
+            for &c in doc.children(n) {
+                descend(doc, CtxNode::Node(c), test, true, out);
+            }
+        }
+    }
+}
+
+/// Applies the element/text name test to a non-attribute-axis candidate.
+fn push_if(doc: &Document, n: NodeId, test: &NodeTest, out: &mut Vec<CtxNode>) {
+    let ok = match (test, &doc.node(n).data) {
+        (NodeTest::Name(want), NodeData::Element { name, .. }) => name == want,
+        (NodeTest::Name(want), NodeData::Attr { name, .. }) => name == want,
+        (NodeTest::Wildcard, NodeData::Element { .. }) => true,
+        (NodeTest::Text, NodeData::Text(_)) => true,
+        (NodeTest::AnyNode, _) => true,
+        _ => false,
+    };
+    if ok {
+        out.push(CtxNode::Node(n));
+    }
+}
+
+/// Filters `candidates` through each predicate in turn, re-numbering
+/// positions between predicates (XPath 1.0 semantics).
+fn apply_predicates(doc: &Document, mut candidates: Vec<CtxNode>, preds: &[Expr]) -> Vec<CtxNode> {
+    for pred in preds {
+        let size = candidates.len();
+        let mut kept = Vec::with_capacity(size);
+        for (i, &c) in candidates.iter().enumerate() {
+            let CtxNode::Node(n) = c else { continue };
+            let ctx = EvalCtx { doc, node: n, position: i + 1, size };
+            let v = eval_expr(&ctx, pred);
+            let keep = match v {
+                // A bare number predicate selects by position.
+                Value::Num(want) => (i + 1) as f64 == want,
+                other => other.to_bool(),
+            };
+            if keep {
+                kept.push(c);
+            }
+        }
+        candidates = kept;
+    }
+    candidates
+}
+
+/// Evaluation context for condition expressions.
+struct EvalCtx<'d> {
+    doc: &'d Document,
+    node: NodeId,
+    position: usize,
+    size: usize,
+}
+
+fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr) -> Value {
+    match e {
+        Expr::Or(a, b) => {
+            Value::Bool(eval_expr(ctx, a).to_bool() || eval_expr(ctx, b).to_bool())
+        }
+        Expr::And(a, b) => {
+            Value::Bool(eval_expr(ctx, a).to_bool() && eval_expr(ctx, b).to_bool())
+        }
+        Expr::Compare(op, a, b) => {
+            let l = eval_expr(ctx, a);
+            let r = eval_expr(ctx, b);
+            Value::Bool(compare(ctx.doc, *op, &l, &r))
+        }
+        Expr::Path(p) => Value::NodeSet(eval_path(ctx.doc, ctx.node, p)),
+        Expr::Literal(s) => Value::Str(s.clone()),
+        Expr::Number(n) => Value::Num(*n),
+        Expr::Call(f, args) => eval_call(ctx, *f, args),
+        Expr::Union(a, b) => {
+            let mut out = match eval_expr(ctx, a) {
+                Value::NodeSet(ns) => ns,
+                _ => Vec::new(),
+            };
+            if let Value::NodeSet(more) = eval_expr(ctx, b) {
+                out.extend(more);
+            }
+            out.sort_unstable();
+            out.dedup();
+            Value::NodeSet(out)
+        }
+        Expr::Arith(op, a, b) => {
+            let l = eval_expr(ctx, a).to_number(ctx.doc);
+            let r = eval_expr(ctx, b).to_number(ctx.doc);
+            Value::Num(match op {
+                ArithOp::Add => l + r,
+                ArithOp::Sub => l - r,
+                ArithOp::Div => l / r,
+                ArithOp::Mod => l % r,
+            })
+        }
+        Expr::Neg(a) => Value::Num(-eval_expr(ctx, a).to_number(ctx.doc)),
+    }
+}
+
+fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
+    match f {
+        Func::Position => Value::Num(ctx.position as f64),
+        Func::Last => Value::Num(ctx.size as f64),
+        Func::Count => {
+            let v = args.first().map(|a| eval_expr(ctx, a));
+            match v {
+                Some(Value::NodeSet(ns)) => Value::Num(ns.len() as f64),
+                _ => Value::Num(f64::NAN),
+            }
+        }
+        Func::Contains => {
+            let a = arg_string(ctx, args, 0);
+            let b = arg_string(ctx, args, 1);
+            Value::Bool(a.contains(&b))
+        }
+        Func::StartsWith => {
+            let a = arg_string(ctx, args, 0);
+            let b = arg_string(ctx, args, 1);
+            Value::Bool(a.starts_with(&b))
+        }
+        Func::Name => {
+            Value::Str(ctx.doc.node_name(ctx.node).unwrap_or_default().to_string())
+        }
+        Func::StringFn => {
+            if args.is_empty() {
+                Value::Str(ctx.doc.text_value(ctx.node))
+            } else {
+                Value::Str(eval_expr(ctx, &args[0]).to_string_value(ctx.doc))
+            }
+        }
+        Func::NumberFn => {
+            if args.is_empty() {
+                Value::Num(crate::value::str_to_number(&ctx.doc.text_value(ctx.node)))
+            } else {
+                Value::Num(eval_expr(ctx, &args[0]).to_number(ctx.doc))
+            }
+        }
+        Func::Not => {
+            let v = args.first().map(|a| eval_expr(ctx, a).to_bool()).unwrap_or(false);
+            Value::Bool(!v)
+        }
+        Func::True => Value::Bool(true),
+        Func::False => Value::Bool(false),
+        Func::NormalizeSpace => {
+            let s = if args.is_empty() {
+                ctx.doc.text_value(ctx.node)
+            } else {
+                eval_expr(ctx, &args[0]).to_string_value(ctx.doc)
+            };
+            Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" "))
+        }
+        Func::Concat => {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(&eval_expr(ctx, a).to_string_value(ctx.doc));
+            }
+            Value::Str(out)
+        }
+        Func::Substring => {
+            let s = arg_string(ctx, args, 0);
+            let chars: Vec<char> = s.chars().collect();
+            let start = args
+                .get(1)
+                .map(|a| eval_expr(ctx, a).to_number(ctx.doc))
+                .unwrap_or(1.0);
+            let start_idx = if start.is_nan() {
+                return Value::Str(String::new());
+            } else {
+                (start.round().max(1.0) as usize).saturating_sub(1)
+            };
+            let end_idx = match args.get(2) {
+                Some(a) => {
+                    let len = eval_expr(ctx, a).to_number(ctx.doc);
+                    if len.is_nan() || len <= 0.0 {
+                        return Value::Str(String::new());
+                    }
+                    // XPath: positions p with start ≤ p < start + len.
+                    ((start.round() + len.round()).max(1.0) as usize).saturating_sub(1)
+                }
+                None => chars.len(),
+            };
+            let end_idx = end_idx.min(chars.len());
+            if start_idx >= end_idx {
+                Value::Str(String::new())
+            } else {
+                Value::Str(chars[start_idx..end_idx].iter().collect())
+            }
+        }
+        Func::SubstringBefore => {
+            let a = arg_string(ctx, args, 0);
+            let b = arg_string(ctx, args, 1);
+            Value::Str(a.split_once(&b).map(|(x, _)| x.to_string()).unwrap_or_default())
+        }
+        Func::SubstringAfter => {
+            let a = arg_string(ctx, args, 0);
+            let b = arg_string(ctx, args, 1);
+            Value::Str(a.split_once(&b).map(|(_, y)| y.to_string()).unwrap_or_default())
+        }
+        Func::StringLength => {
+            let s = if args.is_empty() {
+                ctx.doc.text_value(ctx.node)
+            } else {
+                arg_string(ctx, args, 0)
+            };
+            Value::Num(s.chars().count() as f64)
+        }
+        Func::Translate => {
+            let s = arg_string(ctx, args, 0);
+            let from: Vec<char> = arg_string(ctx, args, 1).chars().collect();
+            let to: Vec<char> = arg_string(ctx, args, 2).chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Value::Str(out)
+        }
+        Func::BooleanFn => {
+            Value::Bool(args.first().map(|a| eval_expr(ctx, a).to_bool()).unwrap_or(false))
+        }
+        Func::Floor => Value::Num(arg_number(ctx, args, 0).floor()),
+        Func::Ceiling => Value::Num(arg_number(ctx, args, 0).ceil()),
+        Func::Round => Value::Num(arg_number(ctx, args, 0).round()),
+        Func::Sum => match args.first().map(|a| eval_expr(ctx, a)) {
+            Some(Value::NodeSet(ns)) => Value::Num(
+                ns.iter()
+                    .map(|&n| crate::value::str_to_number(&ctx.doc.text_value(n)))
+                    .sum(),
+            ),
+            _ => Value::Num(f64::NAN),
+        },
+    }
+}
+
+fn arg_number(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> f64 {
+    args.get(i).map(|a| eval_expr(ctx, a).to_number(ctx.doc)).unwrap_or(f64::NAN)
+}
+
+fn arg_string(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> String {
+    args.get(i).map(|a| eval_expr(ctx, a).to_string_value(ctx.doc)).unwrap_or_default()
+}
+
+/// Evaluates a standalone boolean condition against a context node
+/// (used by tools and tests).
+pub fn eval_condition(doc: &Document, node: NodeId, e: &Expr) -> bool {
+    let ctx = EvalCtx { doc, node, position: 1, size: 1 };
+    eval_expr(&ctx, e).to_bool()
+}
+
+/// Convenience: parse then select.
+pub fn select_str(doc: &Document, path: &str) -> crate::lexer::Result<Vec<NodeId>> {
+    let p = crate::parser::parse_path(path)?;
+    Ok(select(doc, &p))
+}
+
+/// Pretty string for a selected node (diagnostics in tools/tests).
+pub fn describe_node(doc: &Document, n: NodeId) -> String {
+    match &doc.node(n).data {
+        NodeData::Element { name, .. } => format!("<{name}>"),
+        NodeData::Attr { name, value } => format!("@{name}={value:?}"),
+        NodeData::Text(t) => format!("text({t:?})"),
+        NodeData::Comment(_) => "comment".to_string(),
+        NodeData::Pi { target, .. } => format!("pi({target})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use xmlsec_xml::parse;
+
+    const LAB: &str = r#"<laboratory>
+        <project name="Access Models" type="internal">
+            <manager><flname>Sam Marlow</flname></manager>
+            <member><flname>Ann Eager</flname></member>
+            <fund><sponsor>MURST</sponsor><amount>40000</amount></fund>
+            <paper category="private" type="internal">P1</paper>
+            <paper category="public" type="conference">P2</paper>
+        </project>
+        <project name="Query Engines" type="public">
+            <manager><flname>Bob Keen</flname></manager>
+            <paper category="public" type="journal">P3</paper>
+        </project>
+    </laboratory>"#;
+
+    fn doc() -> xmlsec_xml::Document {
+        parse(LAB).unwrap()
+    }
+
+    fn names(d: &xmlsec_xml::Document, ns: &[NodeId]) -> Vec<String> {
+        ns.iter().map(|&n| describe_node(d, n)).collect()
+    }
+
+    fn sel(d: &xmlsec_xml::Document, p: &str) -> Vec<NodeId> {
+        select(d, &parse_path(p).unwrap())
+    }
+
+    #[test]
+    fn absolute_child_selection() {
+        let d = doc();
+        assert_eq!(sel(&d, "/laboratory/project").len(), 2);
+        assert_eq!(sel(&d, "/laboratory").len(), 1);
+        assert_eq!(sel(&d, "/wrong").len(), 0);
+    }
+
+    #[test]
+    fn descendant_selection() {
+        let d = doc();
+        // paper's example: /laboratory//flname
+        let fl = sel(&d, "/laboratory//flname");
+        assert_eq!(fl.len(), 3);
+        assert!(names(&d, &fl).iter().all(|n| n == "<flname>"));
+    }
+
+    #[test]
+    fn leading_double_slash() {
+        let d = doc();
+        assert_eq!(sel(&d, "//paper").len(), 3);
+        assert_eq!(sel(&d, "//project").len(), 2);
+        assert_eq!(sel(&d, "//laboratory").len(), 1);
+    }
+
+    #[test]
+    fn attribute_selection() {
+        let d = doc();
+        let attrs = sel(&d, "/laboratory/project/@name");
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(d.attr_value(attrs[0]), Some("Access Models"));
+        let all = sel(&d, "//@category");
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn relative_path_starts_at_document_element() {
+        let d = doc();
+        // the paper's object `project[./@type="internal"]`
+        let p = sel(&d, r#"project[./@type="internal"]"#);
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.attribute(p[0], "name"), Some("Access Models"));
+    }
+
+    #[test]
+    fn ancestor_axis() {
+        let d = doc();
+        // paper's example: fund/ancestor::project — "returns the project
+        // node which appears as an ancestor of the fund element". As a
+        // relative path it needs a starting point with a fund child: the
+        // first project.
+        let project = sel(&d, "/laboratory/project[1]")[0];
+        let path = parse_path("fund/ancestor::project").unwrap();
+        let p = eval_path(&d, project, &path);
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.attribute(p[0], "name"), Some("Access Models"));
+        // The same selection, anchored: //fund/ancestor::project.
+        let p2 = sel(&d, "//fund/ancestor::project");
+        assert_eq!(p2, p);
+        // ancestor from a deep node reaches the root element
+        let lab = sel(&d, "//flname/ancestor::laboratory");
+        assert_eq!(lab.len(), 1);
+    }
+
+    #[test]
+    fn parent_and_self_axes() {
+        let d = doc();
+        let p = sel(&d, "//flname/../..");
+        // parents-of-parents: manager/member's parents = projects
+        assert_eq!(p.len(), 2);
+        let s = sel(&d, "/laboratory/.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        // paper's example: /laboratory/project[1]
+        let p1 = sel(&d, "/laboratory/project[1]");
+        assert_eq!(p1.len(), 1);
+        assert_eq!(d.attribute(p1[0], "name"), Some("Access Models"));
+        let p2 = sel(&d, "/laboratory/project[2]");
+        assert_eq!(d.attribute(p2[0], "name"), Some("Query Engines"));
+        assert_eq!(sel(&d, "/laboratory/project[3]").len(), 0);
+        let last = sel(&d, "/laboratory/project[position() = last()]");
+        assert_eq!(d.attribute(last[0], "name"), Some("Query Engines"));
+    }
+
+    #[test]
+    fn paper_condition_chain() {
+        let d = doc();
+        let p = sel(
+            &d,
+            r#"/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]"#,
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.text_value(p[0]), "P1");
+    }
+
+    #[test]
+    fn private_papers_example() {
+        let d = doc();
+        // Example 1 authorization object
+        let p = sel(&d, r#"/laboratory//paper[./@category="private"]"#);
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.text_value(p[0]), "P1");
+    }
+
+    #[test]
+    fn and_or_in_conditions() {
+        let d = doc();
+        assert_eq!(
+            sel(&d, r#"//paper[@category="public" and @type="journal"]"#).len(),
+            1
+        );
+        assert_eq!(
+            sel(&d, r#"//paper[@category="private" or @type="journal"]"#).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn text_content_conditions() {
+        let d = doc();
+        let f = sel(&d, r#"//fund[sponsor = "MURST"]"#);
+        assert_eq!(f.len(), 1);
+        let f2 = sel(&d, r#"//fund[amount > 30000]"#);
+        assert_eq!(f2.len(), 1);
+        let f3 = sel(&d, r#"//fund[amount > 50000]"#);
+        assert_eq!(f3.len(), 0);
+    }
+
+    #[test]
+    fn text_node_test() {
+        let d = doc();
+        let t = sel(&d, "//paper/text()");
+        assert_eq!(t.len(), 3);
+        let cond = sel(&d, r#"//paper[text() = "P2"]"#);
+        assert_eq!(cond.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let k = sel(&d, "/laboratory/*");
+        assert_eq!(k.len(), 2);
+        let gk = sel(&d, "/laboratory/*/*");
+        // children of both projects: manager, member, fund, paper, paper | manager, paper
+        assert_eq!(gk.len(), 7);
+    }
+
+    #[test]
+    fn count_function() {
+        let d = doc();
+        let p = sel(&d, "//project[count(paper) >= 2]");
+        assert_eq!(p.len(), 1);
+        assert_eq!(d.attribute(p[0], "name"), Some("Access Models"));
+    }
+
+    #[test]
+    fn contains_and_starts_with() {
+        let d = doc();
+        assert_eq!(sel(&d, r#"//flname[contains(., "Marlow")]"#).len(), 1);
+        assert_eq!(sel(&d, r#"//flname[starts-with(., "Ann")]"#).len(), 1);
+    }
+
+    #[test]
+    fn not_function_and_ne() {
+        let d = doc();
+        assert_eq!(sel(&d, r#"//paper[not(@category="private")]"#).len(), 2);
+        // != on attribute
+        assert_eq!(sel(&d, r#"//paper[@category != "private"]"#).len(), 2);
+    }
+
+    #[test]
+    fn predicates_renumber_between_brackets() {
+        let d = doc();
+        // Positions renumber after each predicate, per parent: the first
+        // *public* paper of each project (P2 under project 1, P3 under
+        // project 2).
+        let p = sel(&d, r#"//paper[@category="public"][1]"#);
+        assert_eq!(p.len(), 2);
+        assert_eq!(d.text_value(p[0]), "P2");
+        assert_eq!(d.text_value(p[1]), "P3");
+    }
+
+    #[test]
+    fn descendant_or_self_node_matches_attributes_via_at() {
+        let d = doc();
+        let a = sel(&d, r#"//@type"#);
+        // project(x2) and paper(x3) types
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn bare_root_selects_nothing_but_children_do() {
+        let d = doc();
+        assert_eq!(sel(&d, "/").len(), 0); // virtual root is not a real node
+        assert_eq!(sel(&d, "/*").len(), 1);
+    }
+
+    #[test]
+    fn results_deduplicated() {
+        let d = doc();
+        // `//paper/ancestor::project | via multiple papers` — same project
+        // reached via two papers must appear once.
+        let p = sel(&d, "//paper/ancestor::project");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn eval_condition_helper() {
+        let d = doc();
+        let proj = sel(&d, "/laboratory/project[1]")[0];
+        let cond = crate::parser::parse_expr(r#"./@type = "internal""#).unwrap();
+        assert!(eval_condition(&d, proj, &cond));
+        let cond2 = crate::parser::parse_expr(r#"./@type = "public""#).unwrap();
+        assert!(!eval_condition(&d, proj, &cond2));
+    }
+
+    #[test]
+    fn normalize_space() {
+        let d = parse("<a><b>  hi   there </b></a>").unwrap();
+        let b = sel(&d, r#"//b[normalize-space(.) = "hi there"]"#);
+        assert_eq!(b.len(), 1);
+    }
+}

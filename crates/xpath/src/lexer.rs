@@ -1,0 +1,424 @@
+//! Lexer for path expressions.
+
+use std::fmt;
+
+/// A lexical token of the path-expression language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `::`
+    ColonColon,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|` — node-set union.
+    Pipe,
+    /// `+` — addition.
+    OpPlus,
+    /// `-` — subtraction / unary minus (only emitted where a name cannot
+    /// continue, i.e. as a standalone token).
+    OpMinus,
+    /// A name (element/attribute/axis/function identifier).
+    Name(String),
+    /// A quoted string literal.
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::At => write!(f, "@"),
+            Tok::Star => write!(f, "*"),
+            Tok::ColonColon => write!(f, "::"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Pipe => write!(f, "|"),
+            Tok::OpPlus => write!(f, "+"),
+            Tok::OpMinus => write!(f, "-"),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Literal(s) => write!(f, "{s:?}"),
+            Tok::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A lexing/parsing error with a byte offset into the expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Description of the problem.
+    pub message: String,
+    /// Byte offset of the offending character/token.
+    pub offset: usize,
+}
+
+impl XPathError {
+    /// Builds an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        XPathError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, XPathError>;
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    // '-' and '.' appear in names like `starts-with`; '.' is only
+    // consumed inside a name when followed by a name char (handled below).
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenizes an expression, returning tokens with their byte offsets.
+pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+    let mut out = Vec::new();
+    let bytes: Vec<(usize, char)> = input.char_indices().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let (off, c) = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' => {
+                if matches!(bytes.get(i + 1), Some(&(_, '/'))) {
+                    out.push((Tok::DoubleSlash, off));
+                    i += 2;
+                } else {
+                    out.push((Tok::Slash, off));
+                    i += 1;
+                }
+            }
+            '.' => {
+                if matches!(bytes.get(i + 1), Some(&(_, '.'))) {
+                    out.push((Tok::DotDot, off));
+                    i += 2;
+                } else if matches!(bytes.get(i + 1), Some(&(_, d)) if d.is_ascii_digit()) {
+                    // .5 style number
+                    let (n, len) = lex_number(input, off)?;
+                    out.push((Tok::Number(n), off));
+                    i += len;
+                } else {
+                    out.push((Tok::Dot, off));
+                    i += 1;
+                }
+            }
+            '@' => {
+                out.push((Tok::At, off));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Star, off));
+                i += 1;
+            }
+            ':' => {
+                if matches!(bytes.get(i + 1), Some(&(_, ':'))) {
+                    out.push((Tok::ColonColon, off));
+                    i += 2;
+                } else {
+                    return Err(XPathError::new("single ':' is not a token", off));
+                }
+            }
+            '[' => {
+                out.push((Tok::LBracket, off));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, off));
+                i += 1;
+            }
+            '(' => {
+                out.push((Tok::LParen, off));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, off));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, off));
+                i += 1;
+            }
+            '|' => {
+                out.push((Tok::Pipe, off));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::OpPlus, off));
+                i += 1;
+            }
+            '-' => {
+                out.push((Tok::OpMinus, off));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, off));
+                i += 1;
+            }
+            '!' => {
+                if matches!(bytes.get(i + 1), Some(&(_, '='))) {
+                    out.push((Tok::Ne, off));
+                    i += 2;
+                } else {
+                    return Err(XPathError::new("'!' must be followed by '='", off));
+                }
+            }
+            '<' => {
+                if matches!(bytes.get(i + 1), Some(&(_, '='))) {
+                    out.push((Tok::Le, off));
+                    i += 2;
+                } else {
+                    out.push((Tok::Lt, off));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if matches!(bytes.get(i + 1), Some(&(_, '='))) {
+                    out.push((Tok::Ge, off));
+                    i += 2;
+                } else {
+                    out.push((Tok::Gt, off));
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(XPathError::new("unterminated string literal", off)),
+                        Some(&(_, cj)) if cj == quote => break,
+                        Some(&(_, cj)) => {
+                            s.push(cj);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Literal(s), off));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, len) = lex_number(input, off)?;
+                out.push((Tok::Number(n), off));
+                i += len;
+            }
+            c if is_name_start(c) => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let (_, cj) = bytes[j];
+                    if is_name_char(cj) {
+                        j += 1;
+                    } else if cj == '.'
+                        && matches!(bytes.get(j + 1), Some(&(_, d)) if is_name_char(d))
+                    {
+                        // Dots inside names (rare); don't swallow a
+                        // trailing path dot.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name: String = bytes[i..j].iter().map(|&(_, c)| c).collect();
+                out.push((Tok::Name(name), off));
+                i = j;
+            }
+            other => return Err(XPathError::new(format!("unexpected character {other:?}"), off)),
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes a number starting at byte `off`; returns (value, chars consumed).
+fn lex_number(input: &str, off: usize) -> Result<(f64, usize)> {
+    let rest = &input[off..];
+    let mut len = 0usize;
+    let mut seen_dot = false;
+    for c in rest.chars() {
+        if c.is_ascii_digit() {
+            len += 1;
+        } else if c == '.' && !seen_dot {
+            seen_dot = true;
+            len += 1;
+        } else {
+            break;
+        }
+    }
+    let text = &rest[..len];
+    text.parse::<f64>()
+        .map(|n| (n, len))
+        .map_err(|_| XPathError::new(format!("invalid number {text:?}"), off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn paper_example_paths() {
+        // /laboratory/project
+        assert_eq!(
+            kinds("/laboratory/project"),
+            vec![
+                Tok::Slash,
+                Tok::Name("laboratory".into()),
+                Tok::Slash,
+                Tok::Name("project".into())
+            ]
+        );
+        // /laboratory//flname
+        assert_eq!(
+            kinds("/laboratory//flname"),
+            vec![
+                Tok::Slash,
+                Tok::Name("laboratory".into()),
+                Tok::DoubleSlash,
+                Tok::Name("flname".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_and_function_tokens() {
+        assert_eq!(
+            kinds("fund/ancestor::project"),
+            vec![
+                Tok::Name("fund".into()),
+                Tok::Slash,
+                Tok::Name("ancestor".into()),
+                Tok::ColonColon,
+                Tok::Name("project".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn predicate_with_attribute_condition() {
+        let t = kinds(r#"project[./@name = "Access Models"]"#);
+        assert!(t.contains(&Tok::LBracket));
+        assert!(t.contains(&Tok::Dot));
+        assert!(t.contains(&Tok::At));
+        assert!(t.contains(&Tok::Literal("Access Models".into())));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a != b <= c >= d < e > f"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Ne,
+                Tok::Name("b".into()),
+                Tok::Le,
+                Tok::Name("c".into()),
+                Tok::Ge,
+                Tok::Name("d".into()),
+                Tok::Lt,
+                Tok::Name("e".into()),
+                Tok::Gt,
+                Tok::Name("f".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("[1]"), vec![Tok::LBracket, Tok::Number(1.0), Tok::RBracket]);
+        assert_eq!(kinds("3.25"), vec![Tok::Number(3.25)]);
+        assert_eq!(kinds(".5"), vec![Tok::Number(0.5)]);
+    }
+
+    #[test]
+    fn dots_and_dotdots() {
+        assert_eq!(
+            kinds("./../x"),
+            vec![Tok::Dot, Tok::Slash, Tok::DotDot, Tok::Slash, Tok::Name("x".into())]
+        );
+    }
+
+    #[test]
+    fn hyphenated_function_names() {
+        assert_eq!(
+            kinds("starts-with(a, 'x')"),
+            vec![
+                Tok::Name("starts-with".into()),
+                Tok::LParen,
+                Tok::Name("a".into()),
+                Tok::Comma,
+                Tok::Literal("x".into()),
+                Tok::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a:b").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn both_quote_styles() {
+        assert_eq!(kinds("\"x\""), vec![Tok::Literal("x".into())]);
+        assert_eq!(kinds("'y'"), vec![Tok::Literal("y".into())]);
+    }
+}

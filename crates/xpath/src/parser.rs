@@ -1,0 +1,470 @@
+//! Recursive-descent parser for path expressions.
+//!
+//! Handles the full object syntax of the paper's §4: absolute and relative
+//! paths, the `.`/`..`/`//`/`@` abbreviations, explicit axes
+//! (`fund/ancestor::project`), wildcards, and bracketed conditions built
+//! from comparisons, `and`/`or`, functions, literals and numbers.
+//!
+//! `//` is desugared to a `descendant-or-self::node()` step followed by a
+//! `child::` step, matching XPath 1.0.
+
+use crate::ast::*;
+#[allow(unused_imports)]
+use crate::ast::ArithOp;
+use crate::lexer::{lex, Result, Tok, XPathError};
+
+/// Parses a path expression.
+pub fn parse_path(input: &str) -> Result<PathExpr> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, input_len: input.len() };
+    let path = p.parse_path_expr()?;
+    p.expect_eof()?;
+    Ok(path)
+}
+
+/// Parses a bare condition expression (used by tests and tools).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0, input_len: input.len() };
+    let e = p.parse_or()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|&(_, o)| o).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XPathError {
+        XPathError::new(msg, self.offset())
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing token {}", self.toks[self.pos].0)))
+        }
+    }
+
+    fn parse_path_expr(&mut self) -> Result<PathExpr> {
+        let mut steps = Vec::new();
+        let absolute;
+        if self.eat(&Tok::DoubleSlash) {
+            absolute = true;
+            steps.push(dos_step());
+        } else if self.eat(&Tok::Slash) {
+            absolute = true;
+            // A bare "/" selects the root; allow it.
+            if self.peek().is_none() {
+                return Ok(PathExpr::absolute(steps));
+            }
+        } else {
+            absolute = false;
+        }
+        steps.push(self.parse_step()?);
+        loop {
+            if self.eat(&Tok::DoubleSlash) {
+                steps.push(dos_step());
+                steps.push(self.parse_step()?);
+            } else if self.eat(&Tok::Slash) {
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(PathExpr { absolute, steps })
+    }
+
+    fn parse_step(&mut self) -> Result<Step> {
+        let mut step = match self.peek() {
+            Some(Tok::Dot) => {
+                self.bump();
+                Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, predicates: Vec::new() }
+            }
+            Some(Tok::DotDot) => {
+                self.bump();
+                Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: Vec::new() }
+            }
+            Some(Tok::At) => {
+                self.bump();
+                let test = self.parse_node_test(Axis::Attribute)?;
+                Step { axis: Axis::Attribute, test, predicates: Vec::new() }
+            }
+            Some(Tok::Star) => {
+                self.bump();
+                Step { axis: Axis::Child, test: NodeTest::Wildcard, predicates: Vec::new() }
+            }
+            Some(Tok::Name(_)) => {
+                // Either `axis::test` or a child-axis name test.
+                if self.peek2() == Some(&Tok::ColonColon) {
+                    let Some(Tok::Name(axis_name)) = self.bump() else { unreachable!() };
+                    let axis = Axis::from_keyword(&axis_name)
+                        .ok_or_else(|| self.err(format!("unknown axis {axis_name:?}")))?;
+                    self.bump(); // '::'
+                    let test = self.parse_node_test(axis)?;
+                    Step { axis, test, predicates: Vec::new() }
+                } else {
+                    let test = self.parse_node_test(Axis::Child)?;
+                    Step { axis: Axis::Child, test, predicates: Vec::new() }
+                }
+            }
+            other => return Err(self.err(format!("expected a step, found {other:?}"))),
+        };
+        while self.eat(&Tok::LBracket) {
+            let e = self.parse_or()?;
+            if !self.eat(&Tok::RBracket) {
+                return Err(self.err("expected ']'"));
+            }
+            step.predicates.push(e);
+        }
+        Ok(step)
+    }
+
+    fn parse_node_test(&mut self, _axis: Axis) -> Result<NodeTest> {
+        match self.bump() {
+            Some(Tok::Star) => Ok(NodeTest::Wildcard),
+            Some(Tok::Name(n)) => {
+                if (n == "text" || n == "node") && self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    if !self.eat(&Tok::RParen) {
+                        return Err(self.err("expected ')' in node test"));
+                    }
+                    Ok(if n == "text" { NodeTest::Text } else { NodeTest::AnyNode })
+                } else {
+                    Ok(NodeTest::Name(n))
+                }
+            }
+            other => Err(self.err(format!("expected a node test, found {other:?}"))),
+        }
+    }
+
+    // --- condition expressions -----------------------------------------
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Tok::Name("or".into())) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_cmp()?;
+        while self.peek() == Some(&Tok::Name("and".into())) {
+            self.bump();
+            let right = self.parse_cmp()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_additive()?;
+        Ok(Expr::Compare(op, Box::new(left), Box::new(right)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::OpPlus) => ArithOp::Add,
+                Some(Tok::OpMinus) => ArithOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Name(n)) if n == "div" => ArithOp::Div,
+                Some(Tok::Name(n)) if n == "mod" => ArithOp::Mod,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::OpMinus) {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.parse_union()
+    }
+
+    fn parse_union(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        while self.eat(&Tok::Pipe) {
+            let right = self.parse_primary()?;
+            left = Expr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Tok::Literal(_)) => {
+                let Some(Tok::Literal(s)) = self.bump() else { unreachable!() };
+                Ok(Expr::Literal(s))
+            }
+            Some(Tok::Number(_)) => {
+                let Some(Tok::Number(n)) = self.bump() else { unreachable!() };
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let e = self.parse_or()?;
+                if !self.eat(&Tok::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Tok::Name(n)) => {
+                // Function call? (but `text(`/`node(` start a path step,
+                // and `axis::` starts a path.)
+                let is_call = self.peek2() == Some(&Tok::LParen)
+                    && n != "text"
+                    && n != "node"
+                    && Func::from_name(n).is_some();
+                if is_call {
+                    let Some(Tok::Name(fname)) = self.bump() else { unreachable!() };
+                    let func = Func::from_name(&fname).expect("checked above");
+                    self.bump(); // '('
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        args.push(self.parse_or()?);
+                        while self.eat(&Tok::Comma) {
+                            args.push(self.parse_or()?);
+                        }
+                    }
+                    if !self.eat(&Tok::RParen) {
+                        return Err(self.err("expected ')' after function arguments"));
+                    }
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Path(self.parse_path_expr()?))
+                }
+            }
+            Some(Tok::Dot | Tok::DotDot | Tok::At | Tok::Slash | Tok::DoubleSlash | Tok::Star) => {
+                Ok(Expr::Path(self.parse_path_expr()?))
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+/// The `descendant-or-self::node()` step `//` desugars to.
+fn dos_step() -> Step {
+    Step { axis: Axis::DescendantOrSelf, test: NodeTest::AnyNode, predicates: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_child_path() {
+        let p = parse_path("/laboratory/project").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0], Step::child("laboratory"));
+        assert_eq!(p.steps[1], Step::child("project"));
+    }
+
+    #[test]
+    fn relative_path() {
+        let p = parse_path("project/manager").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn double_slash_desugars() {
+        let p = parse_path("/laboratory//flname").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[1].test, NodeTest::AnyNode);
+        assert_eq!(p.steps[2], Step::child("flname"));
+    }
+
+    #[test]
+    fn leading_double_slash() {
+        let p = parse_path("//paper").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn explicit_axis() {
+        let p = parse_path("fund/ancestor::project").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Ancestor);
+        assert_eq!(p.steps[1].test, NodeTest::Name("project".into()));
+    }
+
+    #[test]
+    fn attribute_step() {
+        let p = parse_path("/laboratory/project/@name").unwrap();
+        assert_eq!(p.steps[2].axis, Axis::Attribute);
+        assert_eq!(p.steps[2].test, NodeTest::Name("name".into()));
+    }
+
+    #[test]
+    fn positional_predicate() {
+        let p = parse_path("/laboratory/project[1]").unwrap();
+        assert_eq!(p.steps[1].predicates, vec![Expr::Number(1.0)]);
+    }
+
+    #[test]
+    fn paper_condition_example() {
+        // /laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]
+        let p = parse_path(
+            r#"/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]"#,
+        )
+        .unwrap();
+        assert_eq!(p.steps.len(), 3);
+        match &p.steps[1].predicates[0] {
+            Expr::Compare(CmpOp::Eq, l, r) => {
+                assert!(matches!(**l, Expr::Path(_)));
+                assert_eq!(**r, Expr::Literal("Access Models".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_conditions() {
+        let p = parse_path(r#"a[@x = "1" and @y = "2" or @z = "3"]"#).unwrap();
+        // 'and' binds tighter than 'or'
+        match &p.steps[0].predicates[0] {
+            Expr::Or(l, _) => assert!(matches!(**l, Expr::And(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_calls() {
+        let p = parse_path("a[position() = last()]").unwrap();
+        match &p.steps[0].predicates[0] {
+            Expr::Compare(CmpOp::Eq, l, r) => {
+                assert_eq!(**l, Expr::Call(Func::Position, vec![]));
+                assert_eq!(**r, Expr::Call(Func::Last, vec![]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p2 = parse_path("a[count(paper) > 2]").unwrap();
+        assert!(matches!(&p2.steps[0].predicates[0], Expr::Compare(CmpOp::Gt, _, _)));
+    }
+
+    #[test]
+    fn text_node_test_not_a_function() {
+        let p = parse_path("a[text() = 'x']").unwrap();
+        match &p.steps[0].predicates[0] {
+            Expr::Compare(_, l, _) => match &**l {
+                Expr::Path(pe) => assert_eq!(pe.steps[0].test, NodeTest::Text),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_and_dotdot() {
+        let p = parse_path("*/../paper").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::Wildcard);
+        assert_eq!(p.steps[1].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let p = parse_path("project[paper[@category = 'private']]").unwrap();
+        match &p.steps[0].predicates[0] {
+            Expr::Path(inner) => {
+                assert_eq!(inner.steps[0].predicates.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_root_path() {
+        let p = parse_path("/").unwrap();
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("/lab[").is_err());
+        assert!(parse_path("/lab[@x=]").is_err());
+        assert!(parse_path("a/following::b").is_err());
+        assert!(parse_path("a]").is_err());
+    }
+
+    #[test]
+    fn double_slash_in_middle_with_predicate() {
+        let p = parse_path(r#"/laboratory//paper[./@category = "private"]"#).unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[2].predicates.len(), 1);
+    }
+
+    #[test]
+    fn not_function() {
+        let p = parse_path("a[not(@x = '1')]").unwrap();
+        assert!(matches!(&p.steps[0].predicates[0], Expr::Call(Func::Not, args) if args.len() == 1));
+    }
+}

@@ -1,0 +1,33 @@
+//! XPath node-set ordering after DOM mutations (arena ids no longer in
+//! document order).
+
+use xmlsec_xml::Document;
+use xmlsec_xpath::{parse_path, select};
+
+#[test]
+fn xpath_results_are_document_ordered_after_mutation() {
+    let mut d = Document::new("r");
+    // Append in scrambled creation order: z first, then prepend-like by
+    // building a fresh sibling before it in a different subtree.
+    let later = d.append_element(d.root(), "wrap");
+    let z = d.append_element(later, "x");
+    d.append_text(z, "second");
+    let first_wrap = d.append_element(d.root(), "wrap");
+    let y = d.append_element(first_wrap, "x");
+    d.append_text(y, "third");
+    // Arena: z < y, and both wraps are in insertion order; select must
+    // return document order, which here equals insertion order — now
+    // mutate: move nothing, but add an earlier x directly under root via
+    // a fresh element inserted under the first child.
+    let early = d.append_element(later, "x");
+    d.append_text(early, "also-under-first-wrap");
+    let hits = select(&d, &parse_path("//x").unwrap());
+    // Document order: z (first wrap's first x), early (its second x), y.
+    assert_eq!(hits, vec![z, early, y]);
+    let ordered: Vec<_> = {
+        let mut v = hits.clone();
+        v.sort_by(|&p, &q| d.document_order(p, q));
+        v
+    };
+    assert_eq!(hits, ordered);
+}

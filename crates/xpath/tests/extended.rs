@@ -1,0 +1,127 @@
+//! Tests for the extended XPath surface: union, arithmetic, unary minus,
+//! sibling axes, and the string/number function library.
+
+use xmlsec_xml::parse;
+use xmlsec_xpath::{parse_path, select};
+
+const DOC: &str = r#"<shop>
+    <item price="10" name="pen">ink pen</item>
+    <item price="25" name="pad">note pad</item>
+    <item price="40" name="bag">tote bag</item>
+    <sale percent="50"/>
+</shop>"#;
+
+fn sel(doc: &xmlsec_xml::Document, p: &str) -> Vec<String> {
+    select(doc, &parse_path(p).expect("parses"))
+        .into_iter()
+        .map(|n| {
+            if doc.is_attribute(n) {
+                doc.attr_value(n).unwrap_or_default().to_string()
+            } else {
+                doc.node_name(n).unwrap_or("?").to_string()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn union_in_predicates() {
+    let d = parse(DOC).unwrap();
+    // items whose price=10 or that have a name of "bag" — via union of
+    // two attribute paths compared existentially
+    let hits = sel(&d, r#"/shop/item[(@price | @name) = "pen"]"#);
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn arithmetic_in_conditions() {
+    let d = parse(DOC).unwrap();
+    assert_eq!(sel(&d, "/shop/item[@price + 10 = 35]").len(), 1); // pad
+    assert_eq!(sel(&d, "/shop/item[@price - 5 > 30]").len(), 1); // bag
+    assert_eq!(sel(&d, "/shop/item[@price div 2 = 20]").len(), 1); // bag
+    assert_eq!(sel(&d, "/shop/item[@price mod 2 = 1]").len(), 1); // 25
+    assert_eq!(sel(&d, "/shop/item[@price mod 4 = 1]").len(), 1); // 25
+    assert_eq!(sel(&d, "/shop/item[@price mod 5 = 0]").len(), 3); // all
+}
+
+#[test]
+fn unary_minus() {
+    let d = parse(DOC).unwrap();
+    assert_eq!(sel(&d, "/shop/item[-@price < -30]").len(), 1); // bag
+}
+
+#[test]
+fn positional_arithmetic() {
+    let d = parse(DOC).unwrap();
+    let hits = sel(&d, "/shop/item[position() = last() - 1]");
+    assert_eq!(hits.len(), 1); // pad (items only: pen, pad, bag)
+}
+
+#[test]
+fn sibling_axes() {
+    let d = parse(DOC).unwrap();
+    let after_pad = select(
+        &d,
+        &parse_path(r#"/shop/item[@name="pad"]/following-sibling::item"#).unwrap(),
+    );
+    assert_eq!(after_pad.len(), 1);
+    assert_eq!(d.attribute(after_pad[0], "name"), Some("bag"));
+    let before_pad = select(
+        &d,
+        &parse_path(r#"/shop/item[@name="pad"]/preceding-sibling::item"#).unwrap(),
+    );
+    assert_eq!(before_pad.len(), 1);
+    assert_eq!(d.attribute(before_pad[0], "name"), Some("pen"));
+    // sale has item siblings before it only
+    assert_eq!(sel(&d, "/shop/sale/preceding-sibling::item").len(), 3);
+    assert_eq!(sel(&d, "/shop/sale/following-sibling::item").len(), 0);
+}
+
+#[test]
+fn preceding_sibling_positions_are_nearest_first() {
+    let d = parse(DOC).unwrap();
+    let nearest = select(&d, &parse_path("/shop/sale/preceding-sibling::item[1]").unwrap());
+    assert_eq!(nearest.len(), 1);
+    assert_eq!(d.attribute(nearest[0], "name"), Some("bag"));
+}
+
+#[test]
+fn string_functions() {
+    let d = parse(DOC).unwrap();
+    assert_eq!(sel(&d, r#"/shop/item[concat(@name, "!") = "pen!"]"#).len(), 1);
+    assert_eq!(sel(&d, r#"/shop/item[substring(@name, 1, 2) = "pa"]"#).len(), 1);
+    assert_eq!(sel(&d, r#"/shop/item[substring(., 5) = "pen"]"#).len(), 1); // "ink pen"
+    assert_eq!(sel(&d, r#"/shop/item[string-length(@name) = 3]"#).len(), 3);
+    assert_eq!(sel(&d, r#"/shop/item[substring-before(., " ") = "note"]"#).len(), 1);
+    assert_eq!(sel(&d, r#"/shop/item[substring-after(., " ") = "bag"]"#).len(), 1);
+    assert_eq!(sel(&d, r#"/shop/item[translate(@name, "p", "P") = "Pen"]"#).len(), 1);
+    // translate with shorter `to` deletes characters
+    assert_eq!(sel(&d, r#"/shop/item[translate(@name, "ae", "") = "pd"]"#).len(), 1);
+}
+
+#[test]
+fn number_functions() {
+    let d = parse(DOC).unwrap();
+    assert_eq!(sel(&d, "/shop/item[floor(@price div 10) = 2]").len(), 1); // 25
+    assert_eq!(sel(&d, "/shop/item[ceiling(@price div 10) = 3]").len(), 1); // 25
+    assert_eq!(sel(&d, "/shop/item[round(@price div 10) = 3]").len(), 1); // 25→2.5→round 3? No: 2.5 rounds to 3 in Rust (half away) — 25 matches
+    assert_eq!(sel(&d, "/shop[sum(item/@price) = 75]").len(), 1);
+    assert_eq!(sel(&d, "/shop[boolean(sale)]").len(), 1);
+    assert_eq!(sel(&d, "/shop[boolean(discount)]").len(), 0);
+}
+
+#[test]
+fn hyphen_in_names_vs_subtraction() {
+    // `a-b` is one name; `a - b` (spaced) is a subtraction.
+    let d = parse(r#"<r><a-b>5</a-b><x>7</x></r>"#).unwrap();
+    assert_eq!(sel(&d, "/r/a-b").len(), 1);
+    assert_eq!(sel(&d, "/r[x - a-b = 2]").len(), 1);
+}
+
+#[test]
+fn parse_errors_for_malformed_extensions() {
+    assert!(parse_path("a[| b]").is_err());
+    assert!(parse_path("a[1 +]").is_err());
+    assert!(parse_path("a[- ]").is_err());
+    assert!(parse_path("a[b div]").is_err());
+}

@@ -1,0 +1,67 @@
+//! Robustness: the path-expression parser and evaluator never panic on
+//! arbitrary input, and evaluation terminates on adversarial documents.
+
+use proptest::prelude::*;
+use xmlsec_xpath::{parse_path, select};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary strings never panic the expression parser.
+    #[test]
+    fn parse_path_never_panics(s in ".{0,200}") {
+        let _ = parse_path(&s);
+    }
+
+    /// Expression-ish soup never panics, and whatever parses also
+    /// evaluates without panicking.
+    #[test]
+    fn parse_and_eval_soup(s in "[/@\\.\\*\\[\\]()a-z0-9 ='\"<>!|+-]{0,120}") {
+        let doc = xmlsec_xml::parse(
+            r#"<r><a x="1">t</a><b><a x="2"/></b></r>"#
+        ).expect("fixture parses");
+        if let Ok(p) = parse_path(&s) {
+            let _ = select(&doc, &p);
+        }
+    }
+
+    /// Error offsets lie within the input.
+    #[test]
+    fn error_offsets_in_bounds(s in "[/@a-z\\[\\]=']{0,100}") {
+        if let Err(e) = parse_path(&s) {
+            prop_assert!(e.offset <= s.len(), "{e}");
+        }
+    }
+}
+
+#[test]
+fn deep_path_expression() {
+    let expr = vec!["a"; 500].join("/");
+    let p = parse_path(&expr).unwrap();
+    assert_eq!(p.steps.len(), 500);
+    let doc = xmlsec_xml::parse("<a><a><a/></a></a>").unwrap();
+    assert!(select(&doc, &p).is_empty());
+}
+
+#[test]
+fn deeply_nested_predicates() {
+    let mut expr = String::from("a");
+    for _ in 0..100 {
+        expr = format!("a[{expr}]");
+    }
+    // Must parse and evaluate without stack issues.
+    let p = parse_path(&expr).unwrap();
+    let doc = xmlsec_xml::parse("<a><a><a/></a></a>").unwrap();
+    let _ = select(&doc, &p);
+}
+
+#[test]
+fn descendant_on_wide_document_terminates_quickly() {
+    let mut doc = xmlsec_xml::Document::new("r");
+    let root = doc.root();
+    for _ in 0..10_000 {
+        doc.append_element(root, "x");
+    }
+    let p = parse_path("//x").unwrap();
+    assert_eq!(select(&doc, &p).len(), 10_000);
+}

@@ -1,0 +1,61 @@
+//! The secure document server (paper §7): repository, authentication,
+//! per-request view computation, the shared-view cache, and the audit
+//! log — serving the bank-statements corpus.
+//!
+//! Run with: `cargo run --example secure_server`
+
+use xmlsec::prelude::*;
+use xmlsec::workload::financial::*;
+
+fn main() {
+    // Stand the server up.
+    let mut server = SecureServer::new(bank_directory(), bank_authorization_base());
+    server.register_credentials("tina", "teller-pw");
+    server.register_credentials("axel", "auditor-pw");
+    server.register_credentials("fred", "fraud-pw");
+    server.repository_mut().put_dtd(BANK_DTD_URI, BANK_DTD);
+    server.repository_mut().put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
+
+    let req = |user: Option<(&str, &str)>, ip: &str, sym: &str| ClientRequest {
+        user: user.map(|(u, p)| (u.to_string(), p.to_string())),
+        ip: ip.to_string(),
+        sym: sym.to_string(),
+        uri: STATEMENTS_URI.to_string(),
+    };
+
+    // A teller at a branch, the same teller at home, an auditor, the
+    // fraud desk, a bad login, and a repeat request that hits the cache.
+    let calls: Vec<(&str, ClientRequest)> = vec![
+        ("tina@branch", req(Some(("tina", "teller-pw")), "10.1.4.20", "t1.branch.bank.com")),
+        ("tina@home", req(Some(("tina", "teller-pw")), "89.12.3.4", "dsl.example.net")),
+        ("axel (auditor)", req(Some(("axel", "auditor-pw")), "10.9.9.9", "hq.bank.com")),
+        ("fred (fraud desk)", req(Some(("fred", "fraud-pw")), "172.16.0.3", "desk.bank.com")),
+        ("tina, wrong password", req(Some(("tina", "oops")), "10.1.4.20", "t1.branch.bank.com")),
+        ("tina@branch again", req(Some(("tina", "teller-pw")), "10.1.4.21", "t2.branch.bank.com")),
+    ];
+
+    for (who, r) in calls {
+        match server.handle(&r) {
+            Ok(resp) => {
+                println!(
+                    "-- {who}{}:\n{}\n",
+                    if resp.cached { " [cache hit]" } else { "" },
+                    resp.xml
+                );
+            }
+            Err(e) => println!("-- {who}: DENIED ({e})\n"),
+        }
+    }
+
+    let (hits, misses) = server.cache_stats();
+    println!("cache: {hits} hits / {misses} misses");
+    println!("\naudit log:");
+    for r in server.audit.records() {
+        println!("  {r}");
+    }
+
+    // The second branch request (same applicable set, different host
+    // within the pattern) must have hit the cache.
+    assert_eq!(hits, 1);
+    assert!(server.audit.len() >= 6);
+}

@@ -1,0 +1,65 @@
+//! Static auditing of an authorization base before deployment: lint the
+//! XACL against the directory, then check every path's coverage against
+//! the DTD — dead paths and shadowed rules are caught without touching a
+//! single document.
+//!
+//! Run with: `cargo run --example static_audit`
+
+use xmlsec::authz::{lint, Authorization, LintFinding};
+use xmlsec::core::analyze_against_schema;
+use xmlsec::prelude::*;
+use xmlsec::workload::laboratory::{lab_directory, LAB_DTD};
+
+fn main() {
+    let dtd = parse_dtd(LAB_DTD).expect("laboratory DTD");
+    let dir = lab_directory();
+
+    // A deliberately messy XACL: one good rule, one duplicate, one rule
+    // for an unknown group, one dead path (typo), one shadowed rule, and
+    // one same-subject contradiction.
+    let mk = |ug: &str, path: &str, sign: Sign| {
+        Authorization::new(
+            Subject::new(ug, "*", "*").expect("subject"),
+            ObjectSpec::with_path("lab.dtd", path).expect("path"),
+            sign,
+            AuthType::Recursive,
+        )
+    };
+    let auths = vec![
+        mk("Public", r#"//paper[./@category="public"]"#, Sign::Plus),
+        mk("Public", r#"//paper[./@category="public"]"#, Sign::Plus), // duplicate
+        mk("Contractors", "//fund", Sign::Minus),                    // unknown group
+        mk("Public", "//papre", Sign::Plus),                         // dead path (typo)
+        mk("Tom", "//member", Sign::Plus),                           // shadowed by the next
+        mk("Public", "//member", Sign::Plus),
+        mk("Foreign", "//fund", Sign::Plus),                         // contradiction pair
+        mk("Foreign", "//fund", Sign::Minus),
+    ];
+
+    println!("== lint against the directory ==");
+    let findings = lint(&auths, &dir);
+    for f in &findings {
+        println!("  {f}");
+    }
+    assert!(findings.iter().any(|f| matches!(f, LintFinding::Duplicate { .. })));
+    assert!(findings.iter().any(|f| matches!(f, LintFinding::UnknownSubject { .. })));
+    assert!(findings.iter().any(|f| matches!(f, LintFinding::Shadowed { .. })));
+    assert!(findings
+        .iter()
+        .any(|f| matches!(f, LintFinding::Contradiction { same_subject: true, .. })));
+
+    println!("\n== schema coverage (dead-path analysis) ==");
+    let mut dead = 0;
+    for entry in analyze_against_schema(&dtd, "laboratory", &auths) {
+        if entry.covers.is_empty() {
+            println!("  DEAD  {}", entry.authorization);
+            dead += 1;
+        } else {
+            let covers: Vec<String> =
+                entry.covers.iter().map(|c| c.to_string()).collect();
+            println!("  ok    {} -> {}", entry.authorization, covers.join(", "));
+        }
+    }
+    assert_eq!(dead, 1, "exactly the typo path is dead");
+    println!("\naudit caught every seeded mistake ✓");
+}

@@ -1,0 +1,75 @@
+//! Time-based restrictions (the paper's §8 extension): the same
+//! requester gets different views at different instants — embargoed
+//! content opens at a release time, and contractor access is limited to
+//! office hours.
+//!
+//! Run with: `cargo run --example temporal_access`
+
+use xmlsec::authz::{in_force_at, TimedAuthorization, Validity};
+use xmlsec::prelude::*;
+
+const RELEASE: u64 = 1_000_000; // the embargo lifts at this instant
+
+fn main() {
+    let doc = parse(
+        r#"<newsroom>
+             <published><story id="s1">Old news</story></published>
+             <embargoed><story id="s2">Big scoop</story></embargoed>
+           </newsroom>"#,
+    )
+    .expect("well-formed");
+
+    let mut dir = Directory::new();
+    dir.add_user("casey").unwrap();
+    dir.add_group("Contractors").unwrap();
+    dir.add_member("casey", "Contractors").unwrap();
+
+    // Contractors read published stories — during office hours only —
+    // and the embargoed section opens to them at RELEASE.
+    let timed = vec![
+        TimedAuthorization::new(
+            Authorization::new(
+                Subject::new("Contractors", "*", "*").unwrap(),
+                ObjectSpec::with_path("news.xml", "/newsroom/published").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+            Validity::daily(9 * 60, 17 * 60),
+        ),
+        TimedAuthorization::new(
+            Authorization::new(
+                Subject::new("Contractors", "*", "*").unwrap(),
+                ObjectSpec::with_path("news.xml", "/newsroom/embargoed").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+            Validity { not_before: Some(RELEASE), not_after: None, daily: Some((9 * 60, 17 * 60)) },
+        ),
+    ];
+
+    let view_at = |t: u64| {
+        let in_force = in_force_at(&timed, t);
+        let (view, _) = compute_view(&doc, &in_force, &[], &dir, PolicyConfig::paper_default());
+        serialize(&view, &SerializeOptions::canonical())
+    };
+
+    let day = 86_400u64;
+    let at = |days: u64, hour: u64| days * day + hour * 3600;
+
+    let samples = [
+        ("day 3, 03:00 (outside office hours)", at(3, 3)),
+        ("day 3, 11:00 (office hours, before release)", at(3, 11)),
+        ("day 14, 11:00 (office hours, after release)", at(14, 11)),
+        ("day 14, 22:00 (after release, but off hours)", at(14, 22)),
+    ];
+    for (label, t) in samples {
+        println!("{label}:\n  {}\n", view_at(t));
+    }
+
+    assert_eq!(view_at(at(3, 3)), "<newsroom/>");
+    assert!(view_at(at(3, 11)).contains("Old news"));
+    assert!(!view_at(at(3, 11)).contains("Big scoop"));
+    assert!(view_at(at(14, 11)).contains("Big scoop"));
+    assert_eq!(view_at(at(14, 22)), "<newsroom/>");
+    println!("temporal gates behave as declared ✓");
+}

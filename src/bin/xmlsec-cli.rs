@@ -1,0 +1,417 @@
+//! `xmlsec-cli` — command-line front end to the security processor.
+//!
+//! ```text
+//! xmlsec-cli view     --doc F --uri U --user NAME --ip IP --host H
+//!                     [--dtd F --dtd-uri U] [--xacl F]... [--dir F]
+//!                     [--open] [--pretty]
+//! xmlsec-cli validate --doc F --dtd F
+//! xmlsec-cli loosen   --dtd F
+//! xmlsec-cli tree     --doc F | --dtd F [--root NAME]
+//! xmlsec-cli xpath    --doc F --expr PATH
+//! xmlsec-cli xacl     --xacl F            # check & echo an XACL
+//! xmlsec-cli serve    --addr 127.0.0.1:8080 --doc F --uri U [--dtd F --dtd-uri U]
+//!                     [--xacl F]... [--dir F] [--cred user:pass]...
+//! ```
+//!
+//! The directory file (`--dir`) is line-oriented:
+//!
+//! ```text
+//! user Tom
+//! group Foreign
+//! member Tom Foreign
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use xmlsec::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "view" => cmd_view(&opts),
+        "validate" => cmd_validate(&opts),
+        "loosen" => cmd_loosen(&opts),
+        "tree" => cmd_tree(&opts),
+        "xpath" => cmd_xpath(&opts),
+        "xacl" => cmd_xacl(&opts),
+        "serve" => cmd_serve(&opts),
+        "explain" => cmd_explain(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "lint" => cmd_lint(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [options]
+  view:     --doc F --uri U --user NAME --ip IP --host H [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--open] [--pretty]
+  validate: --doc F --dtd F [--strict]
+  loosen:   --dtd F
+  tree:     --doc F | --dtd F [--root NAME]
+  xpath:    --doc F --expr PATH
+  xacl:     --xacl F
+  serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
+  explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
+  analyze:  --dtd F --xacl F [--root NAME]
+  lint:     --xacl F [--dir F]";
+
+/// Parsed command-line options (flag → values; repeatable flags collect).
+struct Opts {
+    values: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            match name {
+                "open" | "pretty" | "strict" => flags.push(name.to_string()),
+                _ => {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    values.entry(name.to_string()).or_default().push(v.clone());
+                }
+            }
+        }
+        Ok(Opts { values, flags })
+    }
+
+    fn one(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(|v| v.first()).map(String::as_str)
+    }
+
+    fn many(&self, name: &str) -> &[String] {
+        self.values.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}
+
+/// Parses the line-oriented directory file.
+fn load_directory(path: Option<&str>) -> Result<Directory, String> {
+    let mut dir = Directory::new();
+    let Some(path) = path else { return Ok(dir) };
+    for (i, line) in read(path)?.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let err = |e: &dyn std::fmt::Display| format!("{path}:{}: {e}", i + 1);
+        match parts.as_slice() {
+            ["user", name] => dir.add_user(name).map_err(|e| err(&e))?,
+            ["group", name] => dir.add_group(name).map_err(|e| err(&e))?,
+            ["member", member, group] => dir.add_member(member, group).map_err(|e| err(&e))?,
+            _ => return Err(format!("{path}:{}: unrecognized line {line:?}", i + 1)),
+        }
+    }
+    Ok(dir)
+}
+
+fn cmd_view(o: &Opts) -> Result<(), String> {
+    let xml = read(o.one("doc")?)?;
+    let uri = o.one("uri")?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    // The requesting user always exists.
+    let user = o.one("user")?;
+    let _ = dir.add_user(user);
+
+    let mut base = AuthorizationBase::new();
+    for xacl_path in o.many("xacl") {
+        let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+        // Register every subject so coverage checks can resolve groups
+        // that the directory file did not mention.
+        for a in &auths {
+            if dir.kind(&a.subject.user_group).is_none() {
+                let _ = dir.add_group(&a.subject.user_group);
+            }
+        }
+        base.extend(auths);
+    }
+
+    let dtd_text = o.opt("dtd").map(read).transpose()?;
+    let policy = PolicyConfig {
+        completeness: if o.flag("open") {
+            CompletenessPolicy::Open
+        } else {
+            CompletenessPolicy::Closed
+        },
+        ..Default::default()
+    };
+    let processor = xmlsec::core::SecurityProcessor {
+        directory: dir,
+        authorizations: base,
+        options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
+    };
+    let requester = Requester::new(user, o.one("ip")?, o.one("host")?)
+        .map_err(|e| e.to_string())?;
+    let out = processor
+        .process(
+            &AccessRequest { requester, uri: uri.to_string() },
+            &DocumentSource {
+                xml: &xml,
+                dtd: dtd_text.as_deref(),
+                dtd_uri: o.opt("dtd-uri"),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    if o.flag("pretty") {
+        print!("{}", serialize(&out.view, &SerializeOptions::pretty()));
+    } else {
+        println!("{}", out.xml);
+    }
+    if let Some(l) = out.loosened_dtd {
+        eprintln!("-- loosened DTD --\n{l}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(o: &Opts) -> Result<(), String> {
+    let doc = parse(&read(o.one("doc")?)?).map_err(|e| e.to_string())?;
+    let dtd = parse_dtd(&read(o.one("dtd")?)?).map_err(|e| e.to_string())?;
+    // --strict additionally reports content models violating the XML 1.0
+    // determinism rule.
+    let validator = xmlsec::dtd::Validator::with_options(
+        &dtd,
+        xmlsec::dtd::ValidateOptions { check_determinism: o.flag("strict") },
+    );
+    let errs = validator.validate(&doc);
+    if errs.is_empty() {
+        println!("valid");
+        Ok(())
+    } else {
+        for e in &errs {
+            println!("{e}");
+        }
+        Err(format!("{} validity violations", errs.len()))
+    }
+}
+
+fn cmd_loosen(o: &Opts) -> Result<(), String> {
+    let dtd = parse_dtd(&read(o.one("dtd")?)?).map_err(|e| e.to_string())?;
+    print!("{}", serialize_dtd(&loosen(&dtd)));
+    Ok(())
+}
+
+fn cmd_tree(o: &Opts) -> Result<(), String> {
+    if let Some(doc_path) = o.opt("doc") {
+        let doc = parse(&read(doc_path)?).map_err(|e| e.to_string())?;
+        print!("{}", render_tree(&doc));
+        return Ok(());
+    }
+    let dtd = parse_dtd(&read(o.one("dtd")?)?).map_err(|e| e.to_string())?;
+    let root = match o.opt("root") {
+        Some(r) => r.to_string(),
+        None => dtd
+            .root_candidates()
+            .first()
+            .ok_or("cannot infer a root element; pass --root")?
+            .to_string(),
+    };
+    let tree = xmlsec::dtd::dtd_tree(&dtd, &root)
+        .ok_or_else(|| format!("element {root:?} is not declared"))?;
+    print!("{}", xmlsec::dtd::render_dtd_tree(&tree));
+    Ok(())
+}
+
+fn cmd_xpath(o: &Opts) -> Result<(), String> {
+    let doc = parse(&read(o.one("doc")?)?).map_err(|e| e.to_string())?;
+    let path = parse_path(o.one("expr")?).map_err(|e| e.to_string())?;
+    for n in select(&doc, &path) {
+        if doc.is_attribute(n) {
+            println!("{}", doc.attr_value(n).unwrap_or_default());
+        } else {
+            println!("{}", xmlsec::xml::serialize_node(&doc, n));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    // --site DIR loads a whole directory (documents, DTDs, XACLs,
+    // _directory.txt, _credentials.txt) in one go.
+    if let Some(site) = o.opt("site") {
+        let (server, summary) =
+            xmlsec::server::load_site(std::path::Path::new(site)).map_err(|e| e.to_string())?;
+        let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
+        let demo = xmlsec::server::HttpDemo::start(server, addr).map_err(|e| e.to_string())?;
+        eprintln!(
+            "serving {} document(s), {} DTD(s), {} authorization(s) on http://{}",
+            summary.documents.len(),
+            summary.dtds.len(),
+            summary.authorizations,
+            demo.addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
+    let mut dir = load_directory(o.opt("dir"))?;
+    let mut base = xmlsec::authz::AuthorizationBase::new();
+    for xacl_path in o.many("xacl") {
+        let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+        for a in &auths {
+            if dir.kind(&a.subject.user_group).is_none() {
+                let _ = dir.add_group(&a.subject.user_group);
+            }
+        }
+        base.extend(auths);
+    }
+    let mut server = SecureServer::new(dir, base);
+    for cred in o.many("cred") {
+        let (u, p) = cred
+            .split_once(':')
+            .ok_or_else(|| format!("--cred must be user:pass, got {cred:?}"))?;
+        server.register_credentials(u, p);
+    }
+    let xml = read(o.one("doc")?)?;
+    let dtd_uri = o.opt("dtd-uri");
+    if let Some(dtd_path) = o.opt("dtd") {
+        let uri = dtd_uri.ok_or("--dtd requires --dtd-uri")?;
+        server.repository_mut().put_dtd(uri, &read(dtd_path)?);
+    }
+    server.repository_mut().put_document(o.one("uri")?, &xml, dtd_uri);
+
+    let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
+    let demo = xmlsec::server::HttpDemo::start(server, addr).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving on http://{} — try GET /{}?user=U&pass=P&ip=A&host=H (Ctrl-C to stop)",
+        demo.addr(),
+        o.one("uri")?
+    );
+    // Park the main thread; the accept loop runs until the process dies.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Prints the labeled tree (per-node final signs) for a requester — the
+/// debugging view of the compute-view algorithm.
+fn cmd_explain(o: &Opts) -> Result<(), String> {
+    let xml = read(o.one("doc")?)?;
+    let uri = o.one("uri")?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    let user = o.one("user")?;
+    let _ = dir.add_user(user);
+    let mut base = AuthorizationBase::new();
+    for xacl_path in o.many("xacl") {
+        let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+        for a in &auths {
+            if dir.kind(&a.subject.user_group).is_none() {
+                let _ = dir.add_group(&a.subject.user_group);
+            }
+        }
+        base.extend(auths);
+    }
+    let requester =
+        Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
+    let doc = parse(&xml).map_err(|e| e.to_string())?;
+    let axml = base.applicable(uri, &requester, &dir);
+    println!("{} applicable instance-level authorizations:", axml.len());
+    for a in &axml {
+        println!("  {a}");
+    }
+    let labeling = xmlsec::core::label_document(
+        &doc,
+        &axml,
+        &[],
+        &dir,
+        PolicyConfig::paper_default(),
+    );
+    print!("{}", xmlsec::core::render_labeled(&doc, &labeling));
+    Ok(())
+}
+
+/// Static analysis: which declarations each authorization's path can
+/// cover on instances of the DTD; flags dead paths.
+fn cmd_analyze(o: &Opts) -> Result<(), String> {
+    let dtd = parse_dtd(&read(o.one("dtd")?)?).map_err(|e| e.to_string())?;
+    let auths = parse_xacl(&read(o.one("xacl")?)?).map_err(|e| e.to_string())?;
+    let root = match o.opt("root") {
+        Some(r) => r.to_string(),
+        None => dtd
+            .root_candidates()
+            .first()
+            .ok_or("cannot infer a root element; pass --root")?
+            .to_string(),
+    };
+    let report = xmlsec::core::analyze_against_schema(&dtd, &root, &auths);
+    let mut dead = 0usize;
+    for entry in &report {
+        println!("{}", entry.authorization);
+        if entry.covers.is_empty() {
+            println!("    !! DEAD PATH: selects nothing on any instance");
+            dead += 1;
+        } else {
+            for c in &entry.covers {
+                println!("    covers {c}");
+            }
+        }
+    }
+    if dead > 0 {
+        Err(format!("{dead} dead authorization path(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Administrative consistency checks on an XACL: unknown subjects,
+/// duplicates, shadowed authorizations, contradictions.
+fn cmd_lint(o: &Opts) -> Result<(), String> {
+    let auths = parse_xacl(&read(o.one("xacl")?)?).map_err(|e| e.to_string())?;
+    let dir = load_directory(o.opt("dir"))?;
+    let findings = xmlsec::authz::lint(&auths, &dir);
+    if findings.is_empty() {
+        println!("clean: {} authorizations, no findings", auths.len());
+        return Ok(());
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    Err(format!("{} finding(s)", findings.len()))
+}
+
+fn cmd_xacl(o: &Opts) -> Result<(), String> {
+    let auths = parse_xacl(&read(o.one("xacl")?)?).map_err(|e| e.to_string())?;
+    println!("{} authorizations:", auths.len());
+    for a in &auths {
+        println!("  {a}");
+    }
+    Ok(())
+}

@@ -1,0 +1,256 @@
+//! End-to-end tests of the `xmlsec-cli` binary: every subcommand driven
+//! through a real process with files on disk.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xmlsec-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli().args(args).output().expect("binary runs")
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("xmlsec-cli-test-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let f = Fixture { dir };
+        f.write(
+            "doc.xml",
+            r#"<laboratory name="CSlab"><project name="P1" type="public"><manager><flname>Bob</flname></manager><paper category="public"><title>T1</title></paper><paper category="private"><title>T2</title></paper></project></laboratory>"#,
+        );
+        f.write(
+            "lab.dtd",
+            r#"<!ELEMENT laboratory (project+)>
+<!ATTLIST laboratory name CDATA #REQUIRED>
+<!ELEMENT project (manager, paper*)>
+<!ATTLIST project name CDATA #REQUIRED type CDATA #REQUIRED>
+<!ELEMENT manager (flname)>
+<!ELEMENT flname (#PCDATA)>
+<!ELEMENT paper (title)>
+<!ATTLIST paper category CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>"#,
+        );
+        f.write(
+            "acl.xml",
+            r#"<xacl>
+  <authorization sign="+" type="RW">
+    <subject user-group="Public"/>
+    <object uri="doc.xml" path="//paper[./@category=&quot;public&quot;]"/>
+    <action>read</action>
+  </authorization>
+</xacl>"#,
+        );
+        f.write("dir.txt", "user Tom\ngroup Public\nmember Tom Public\n");
+        f
+    }
+
+    fn write(&self, name: &str, content: &str) {
+        std::fs::write(self.dir.join(name), content).expect("write fixture");
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn view_prunes_by_xacl() {
+    let f = Fixture::new("view");
+    let out = run(&[
+        "view", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
+        "1.2.3.4", "--host", "a.b.it", "--xacl", &f.path("acl.xml"), "--dir", &f.path("dir.txt"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("T1"), "{s}");
+    assert!(!s.contains("T2"), "{s}");
+}
+
+#[test]
+fn view_open_policy_flag() {
+    let f = Fixture::new("open");
+    let out = run(&[
+        "view", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
+        "1.2.3.4", "--host", "a.b.it", "--open",
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("T2"), "open policy reveals everything");
+}
+
+#[test]
+fn validate_reports_valid_and_violations() {
+    let f = Fixture::new("validate");
+    let ok = run(&["validate", "--doc", &f.path("doc.xml"), "--dtd", &f.path("lab.dtd")]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+    assert!(stdout(&ok).contains("valid"));
+
+    f.write("bad.xml", "<laboratory><project/></laboratory>");
+    let bad = run(&["validate", "--doc", &f.path("bad.xml"), "--dtd", &f.path("lab.dtd")]);
+    assert!(!bad.status.success());
+    assert!(stdout(&bad).contains("required attribute"), "{}", stdout(&bad));
+}
+
+#[test]
+fn validate_strict_reports_nondeterministic_models() {
+    let f = Fixture::new("strict");
+    f.write(
+        "ambi.dtd",
+        "<!ELEMENT a ((b, c) | (b, d))><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
+    );
+    f.write("ambi.xml", "<a><b/><c/></a>");
+    // Default: the document matches (subset simulation tolerates ambiguity).
+    let ok = run(&["validate", "--doc", &f.path("ambi.xml"), "--dtd", &f.path("ambi.dtd")]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+    // Strict: the 1-ambiguous model is reported.
+    let strict = run(&[
+        "validate", "--doc", &f.path("ambi.xml"), "--dtd", &f.path("ambi.dtd"), "--strict",
+    ]);
+    assert!(!strict.status.success());
+    assert!(stdout(&strict).contains("nondeterministic"), "{}", stdout(&strict));
+}
+
+#[test]
+fn loosen_emits_optionalized_dtd() {
+    let f = Fixture::new("loosen");
+    let out = run(&["loosen", "--dtd", &f.path("lab.dtd")]);
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("(project*)"), "{s}");
+    assert!(!s.contains("#REQUIRED"), "{s}");
+}
+
+#[test]
+fn tree_renders_doc_and_dtd() {
+    let f = Fixture::new("tree");
+    let doc_tree = run(&["tree", "--doc", &f.path("doc.xml")]);
+    assert!(doc_tree.status.success());
+    assert!(stdout(&doc_tree).contains("(laboratory)"));
+    let dtd_tree = run(&["tree", "--dtd", &f.path("lab.dtd")]);
+    assert!(dtd_tree.status.success());
+    assert!(stdout(&dtd_tree).contains("(project)+"), "{}", stdout(&dtd_tree));
+}
+
+#[test]
+fn xpath_prints_matches() {
+    let f = Fixture::new("xpath");
+    let out = run(&["xpath", "--doc", &f.path("doc.xml"), "--expr", "//paper/@category"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "public\nprivate\n");
+}
+
+#[test]
+fn xacl_checks_and_echoes() {
+    let f = Fixture::new("xacl");
+    let out = run(&["xacl", "--xacl", &f.path("acl.xml")]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("1 authorizations"));
+    assert!(stdout(&out).contains("⟨Public, *, *⟩"));
+}
+
+#[test]
+fn analyze_flags_dead_paths() {
+    let f = Fixture::new("analyze");
+    let live = run(&["analyze", "--dtd", &f.path("lab.dtd"), "--xacl", &f.path("acl.xml")]);
+    assert!(live.status.success(), "{}", stdout(&live));
+    assert!(stdout(&live).contains("covers <paper>"), "{}", stdout(&live));
+
+    f.write(
+        "dead.xml",
+        r#"<xacl><authorization sign="+" type="R">
+            <subject user-group="Public"/>
+            <object uri="doc.xml" path="//budget"/>
+            <action>read</action></authorization></xacl>"#,
+    );
+    let dead = run(&["analyze", "--dtd", &f.path("lab.dtd"), "--xacl", &f.path("dead.xml")]);
+    assert!(!dead.status.success());
+    assert!(stdout(&dead).contains("DEAD PATH"), "{}", stdout(&dead));
+}
+
+#[test]
+fn lint_reports_findings() {
+    let f = Fixture::new("lint");
+    let clean = run(&["lint", "--xacl", &f.path("acl.xml"), "--dir", &f.path("dir.txt")]);
+    assert!(clean.status.success(), "{}", stdout(&clean));
+    assert!(stdout(&clean).contains("clean"));
+
+    // A duplicated authorization plus an unknown subject.
+    f.write(
+        "messy.xml",
+        r#"<xacl>
+  <authorization sign="+" type="R">
+    <subject user-group="Public"/><object uri="d.xml" path="/a"/>
+    <action>read</action></authorization>
+  <authorization sign="+" type="R">
+    <subject user-group="Public"/><object uri="d.xml" path="/a"/>
+    <action>read</action></authorization>
+  <authorization sign="+" type="R">
+    <subject user-group="Nobody"/><object uri="d.xml" path="/a"/>
+    <action>read</action></authorization>
+</xacl>"#,
+    );
+    let messy = run(&["lint", "--xacl", &f.path("messy.xml"), "--dir", &f.path("dir.txt")]);
+    assert!(!messy.status.success());
+    let s = stdout(&messy);
+    assert!(s.contains("duplicates"), "{s}");
+    assert!(s.contains("Nobody"), "{s}");
+}
+
+#[test]
+fn explain_prints_labels() {
+    let f = Fixture::new("explain");
+    let out = run(&[
+        "explain", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
+        "1.2.3.4", "--host", "a.b.it", "--xacl", &f.path("acl.xml"), "--dir", &f.path("dir.txt"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("(paper) [+]"), "{s}");
+    assert!(s.contains("(laboratory) [ε]"), "{s}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let none = cli().output().expect("runs");
+    assert_eq!(none.status.code(), Some(2));
+    assert!(stderr(&none).contains("usage"));
+
+    let unknown = run(&["frobnicate"]);
+    assert!(!unknown.status.success());
+
+    let missing = run(&["view", "--doc"]);
+    assert_eq!(missing.status.code(), Some(2));
+    assert!(stderr(&missing).contains("--doc needs a value"));
+
+    let f = Fixture::new("badfile");
+    let nofile = run(&["validate", "--doc", &f.path("nope.xml"), "--dtd", &f.path("lab.dtd")]);
+    assert!(!nofile.status.success());
+    assert!(stderr(&nofile).contains("cannot read"));
+}
+
+#[test]
+fn fixture_paths_are_absolute() {
+    // Sanity: fixtures must not depend on the CWD of the test runner.
+    let f = Fixture::new("abs");
+    assert!(Path::new(&f.path("doc.xml")).is_absolute());
+}

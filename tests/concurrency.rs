@@ -1,0 +1,90 @@
+//! Concurrency: the server and its HTTP front end under parallel load —
+//! shared caches and audit logs must stay consistent, and every client
+//! must get exactly the view its requester is entitled to.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use xmlsec::prelude::*;
+use xmlsec::workload::laboratory::*;
+
+fn server() -> SecureServer {
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    s.register_credentials("Tom", "pw");
+    s.register_credentials("Alice", "pw");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    s
+}
+
+#[test]
+fn parallel_handles_share_cache_and_stay_isolated() {
+    let s = Arc::new(server());
+    let mk = |user: &str, sym: &str| ClientRequest {
+        user: Some((user.to_string(), "pw".to_string())),
+        ip: "130.100.50.8".into(),
+        sym: sym.into(),
+        uri: CSLAB_URI.into(),
+    };
+    let tom_req = mk("Tom", "infosys.bld1.it");
+    let alice_req = mk("Alice", "pc.lab.com");
+
+    // Expected views computed once, single-threaded.
+    let tom_expected = s.handle(&tom_req).unwrap().xml;
+    let alice_expected = s.handle(&alice_req).unwrap().xml;
+    assert_ne!(tom_expected, alice_expected);
+
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let s = Arc::clone(&s);
+        let (req, expected) = if i % 2 == 0 {
+            (tom_req.clone(), tom_expected.clone())
+        } else {
+            (alice_req.clone(), alice_expected.clone())
+        };
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                let resp = s.handle(&req).expect("request succeeds");
+                assert_eq!(resp.xml, expected, "cross-requester cache contamination");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    let (hits, misses) = s.cache_stats();
+    assert_eq!(hits + misses, 2 + 8 * 50);
+    assert!(hits >= 8 * 50 - 8, "almost everything after warmup should hit");
+    assert_eq!(s.audit.len() as u64, hits + misses);
+}
+
+#[test]
+fn http_demo_under_parallel_clients() {
+    let demo = xmlsec::server::HttpDemo::start(server(), "127.0.0.1:0").expect("bind");
+    let addr = demo.addr();
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                let target = if i % 2 == 0 {
+                    "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it"
+                } else {
+                    "/CSlab.xml?user=Alice&pass=pw&ip=1.2.3.4&host=pc.lab.com"
+                };
+                write!(conn, "GET {target} HTTP/1.0\r\n\r\n").expect("write");
+                let mut buf = String::new();
+                conn.read_to_string(&mut buf).expect("read");
+                assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
+                if i % 2 == 0 {
+                    assert!(buf.contains("Bob Keen"), "Tom's view");
+                } else {
+                    assert!(!buf.contains("Bob Keen"), "Alice from .com must not see managers");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}

@@ -1,0 +1,85 @@
+//! Non-element content (text, comments, processing instructions) in
+//! views: such nodes carry no label of their own — they follow their
+//! parent element's final sign, and never leak through structure-only
+//! shells.
+
+use xmlsec::authz::Authorization;
+use xmlsec::prelude::*;
+
+fn view(doc_text: &str, auths: &[Authorization]) -> String {
+    let doc = parse(doc_text).unwrap();
+    let refs: Vec<&Authorization> = auths.iter().collect();
+    let (v, _) = compute_view(&doc, &refs, &[], &Directory::new(), PolicyConfig::paper_default());
+    serialize(&v, &SerializeOptions::canonical())
+}
+
+fn grant(path: &str) -> Authorization {
+    Authorization::new(
+        Subject::new("u", "*", "*").unwrap(),
+        ObjectSpec::with_path("d.xml", path).unwrap(),
+        Sign::Plus,
+        AuthType::Recursive,
+    )
+}
+
+#[test]
+fn comments_follow_their_element() {
+    let doc = r#"<a><!--top--><b><!--inner-->text</b></a>"#;
+    // Only b granted: a is a shell, so a's comment goes; b's stays.
+    let v = view(doc, &[grant("/a/b")]);
+    assert_eq!(v, "<a><b><!--inner-->text</b></a>");
+    // Whole tree granted: both stay.
+    let v2 = view(doc, &[grant("/a")]);
+    assert_eq!(v2, doc);
+}
+
+#[test]
+fn processing_instructions_follow_their_element() {
+    let doc = "<a><?style sheet?><b><?render fast?>t</b></a>";
+    let v = view(doc, &[grant("/a/b")]);
+    assert_eq!(v, "<a><b><?render fast?>t</b></a>");
+}
+
+#[test]
+fn mixed_content_of_shells_is_hidden() {
+    // a has text around its children; a is only a shell, so its text
+    // (which could leak information) is pruned while the granted child
+    // survives.
+    let doc = "<a>confidential preamble<b>visible</b>confidential epilogue</a>";
+    let v = view(doc, &[grant("/a/b")]);
+    assert_eq!(v, "<a><b>visible</b></a>");
+}
+
+#[test]
+fn text_of_denied_child_under_granted_parent_is_gone() {
+    let doc = "<a>keep<b>drop</b></a>";
+    let deny = Authorization::new(
+        Subject::new("u", "*", "*").unwrap(),
+        ObjectSpec::with_path("d.xml", "/a/b").unwrap(),
+        Sign::Minus,
+        AuthType::Recursive,
+    );
+    let v = view(doc, &[grant("/a"), deny]);
+    assert_eq!(v, "<a>keep</a>");
+}
+
+#[test]
+fn whitespace_free_round_trip_of_partially_visible_mixed_content() {
+    // Multiple text nodes interleaved with elements; only some elements
+    // visible. The kept element order is preserved.
+    let doc = "<p>one<b>two</b>three<i>four</i>five</p>";
+    let v = view(doc, &[grant("/p/i")]);
+    assert_eq!(v, "<p><i>four</i></p>");
+    let v2 = view(doc, &[grant("/p")]);
+    assert_eq!(v2, doc);
+}
+
+#[test]
+fn processor_drops_prolog_but_keeps_doctype_linkage() {
+    // Comments/PIs outside the document element are legal and dropped by
+    // the parser; the DOCTYPE still drives schema lookup.
+    let doc = parse("<?xml version=\"1.0\"?><!--hdr--><!DOCTYPE a SYSTEM \"a.dtd\"><a>t</a>")
+        .unwrap();
+    assert_eq!(doc.doctype.as_ref().unwrap().system_id.as_deref(), Some("a.dtd"));
+    assert_eq!(doc.children(doc.root()).len(), 1);
+}

@@ -1,0 +1,121 @@
+//! The channel (CDF-style) corpus through the full server: tiered
+//! subscriptions, secure queries, and the §6.2 loosening guarantee on a
+//! third domain schema.
+
+use xmlsec::prelude::*;
+use xmlsec::workload::channel::*;
+
+fn server() -> SecureServer {
+    let mut s = SecureServer::new(channel_directory(), channel_authorization_base());
+    for u in ["fred", "petra", "edna"] {
+        s.register_credentials(u, "pw");
+    }
+    s.repository_mut().put_dtd(CHANNEL_DTD_URI, CHANNEL_DTD);
+    s.repository_mut().put_document(CHANNEL_URI, CHANNEL_XML, Some(CHANNEL_DTD_URI));
+    s
+}
+
+fn req(user: &str) -> ClientRequest {
+    ClientRequest {
+        user: Some((user.to_string(), "pw".to_string())),
+        ip: "10.2.3.4".into(),
+        sym: "reader.example.net".into(),
+        uri: CHANNEL_URI.into(),
+    }
+}
+
+#[test]
+fn tiers_get_tiered_views() {
+    let s = server();
+    let free = s.handle(&req("fred")).unwrap();
+    let premium = s.handle(&req("petra")).unwrap();
+    let editor = s.handle(&req("edna")).unwrap();
+
+    assert!(free.xml.contains("Full story text A"));
+    assert!(!free.xml.contains("Full story text B"));
+    assert!(premium.xml.contains("Full story text B"));
+    assert!(!free.xml.contains("schedule"));
+    assert!(!premium.xml.contains("schedule"));
+    assert!(editor.xml.contains("schedule"));
+
+    // Every tier's view validates against the loosened DTD that shipped
+    // with it.
+    for resp in [&free, &premium, &editor] {
+        let view = parse(&resp.xml).unwrap();
+        let loosened = parse_dtd(resp.loosened_dtd.as_deref().unwrap()).unwrap();
+        assert_eq!(xmlsec::dtd::validate(&loosened, &view), vec![]);
+    }
+}
+
+#[test]
+fn queries_respect_tiers() {
+    let s = server();
+    // Titles of items whose body is visible: existential predicate on
+    // the view.
+    let q = "//item[body]/title";
+    let free = s.query(&req("fred"), q).unwrap();
+    let premium = s.query(&req("petra"), q).unwrap();
+    assert_eq!(free.matches, vec!["<title>XML 1.0 ships</title>"]);
+    assert_eq!(premium.matches.len(), 2);
+
+    // Free subscribers can still see (and query) premium *abstracts*.
+    let abstracts = s.query(&req("fred"), r#"//item[@tier="premium"]/abstract"#).unwrap();
+    assert_eq!(abstracts.matches.len(), 1);
+}
+
+#[test]
+fn schema_level_rules_cover_every_pushed_document() {
+    // Push a second channel instance: the same DTD-level XACL governs it
+    // with no per-document configuration.
+    let mut s = server();
+    s.repository_mut().put_document(
+        "sports.xml",
+        r#"<!DOCTYPE channel SYSTEM "channel.dtd"><channel self="http://sports.example"><title>Sports</title><item href="/s1" tier="premium"><title>Finals recap</title><abstract>Who won.</abstract><body>Premium analysis.</body></item></channel>"#,
+        Some(CHANNEL_DTD_URI),
+    );
+    let mut r = req("fred");
+    r.uri = "sports.xml".into();
+    let free = s.handle(&r).unwrap();
+    assert!(free.xml.contains("Who won."));
+    assert!(!free.xml.contains("Premium analysis."));
+    let mut r2 = req("petra");
+    r2.uri = "sports.xml".into();
+    assert!(s.handle(&r2).unwrap().xml.contains("Premium analysis."));
+}
+
+#[test]
+fn majority_sign_policy_end_to_end() {
+    // The §5 "larger number" policy on a server: two grants vs one
+    // denial on the same node for the same requester.
+    let mut dir = Directory::new();
+    dir.add_user("kim").unwrap();
+    for g in ["A", "B", "C"] {
+        dir.add_group(g).unwrap();
+        dir.add_member("kim", g).unwrap();
+    }
+    let mut base = AuthorizationBase::new();
+    for (g, sign) in [("A", Sign::Plus), ("B", Sign::Plus), ("C", Sign::Minus)] {
+        base.add(Authorization::new(
+            Subject::new(g, "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/d").unwrap(),
+            sign,
+            AuthType::Recursive,
+        ));
+    }
+    let policy = PolicyConfig {
+        conflict: ConflictResolution::MajoritySign,
+        ..Default::default()
+    };
+    let mut s = SecureServer::new(dir, base).with_policy(policy);
+    s.register_credentials("kim", "pw");
+    s.repository_mut().put_document("d.xml", "<d>content</d>", None);
+    let resp = s
+        .handle(&ClientRequest {
+            user: Some(("kim".into(), "pw".into())),
+            ip: "1.2.3.4".into(),
+            sym: "h.x.org".into(),
+            uri: "d.xml".into(),
+        })
+        .unwrap();
+    assert_eq!(resp.xml, "<d>content</d>", "2 plus votes beat 1 minus");
+}

@@ -1,0 +1,284 @@
+//! The paper's §8 extensions, end to end: secure queries and
+//! write/update operations.
+
+use xmlsec::authz::Action;
+use xmlsec::core::update::UpdateOp;
+use xmlsec::prelude::*;
+
+fn server() -> SecureServer {
+    let mut dir = Directory::new();
+    dir.add_user("editor").unwrap();
+    dir.add_user("reader").unwrap();
+    dir.add_group("Team").unwrap();
+    dir.add_member("editor", "Team").unwrap();
+    dir.add_member("reader", "Team").unwrap();
+
+    let mut base = AuthorizationBase::new();
+    // Everyone on the team reads the wiki...
+    base.add(Authorization::new(
+        Subject::new("Team", "*", "*").unwrap(),
+        ObjectSpec::with_path("wiki.xml", "/wiki").unwrap(),
+        Sign::Plus,
+        AuthType::Recursive,
+    ));
+    // ...except the drafts section.
+    base.add(Authorization::new(
+        Subject::new("Team", "*", "*").unwrap(),
+        ObjectSpec::with_path("wiki.xml", "/wiki/drafts").unwrap(),
+        Sign::Minus,
+        AuthType::Recursive,
+    ));
+    // The editor also reads drafts and may write the pages section.
+    base.add(Authorization::new(
+        Subject::new("editor", "*", "*").unwrap(),
+        ObjectSpec::with_path("wiki.xml", "/wiki/drafts").unwrap(),
+        Sign::Plus,
+        AuthType::Recursive,
+    ));
+    base.add(
+        Authorization::new(
+            Subject::new("editor", "*", "*").unwrap(),
+            ObjectSpec::with_path("wiki.xml", "/wiki/pages").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("editor", "pw");
+    s.register_credentials("reader", "pw");
+    s.repository_mut().put_document(
+        "wiki.xml",
+        r#"<wiki><pages><page title="Home">welcome</page></pages><drafts><page title="Secret plan">shh</page></drafts></wiki>"#,
+        None,
+    );
+    s
+}
+
+fn req(user: &str) -> ClientRequest {
+    ClientRequest {
+        user: Some((user.to_string(), "pw".to_string())),
+        ip: "10.0.0.1".into(),
+        sym: "ws.team.org".into(),
+        uri: "wiki.xml".into(),
+    }
+}
+
+// --- queries ------------------------------------------------------------
+
+#[test]
+fn queries_run_against_the_view_not_the_document() {
+    let s = server();
+    // The reader queries all page titles: drafts are invisible, so only
+    // the public page comes back.
+    let resp = s.query(&req("reader"), "//page/@title").unwrap();
+    assert_eq!(resp.matches, vec!["Home"]);
+    // The editor sees both.
+    let resp2 = s.query(&req("editor"), "//page/@title").unwrap();
+    assert_eq!(resp2.matches, vec!["Home", "Secret plan"]);
+}
+
+#[test]
+fn query_conditions_cannot_probe_hidden_content() {
+    let s = server();
+    // Existence probing through a predicate: the draft's text is not in
+    // the reader's view, so the condition matches nothing.
+    let probe = s.query(&req("reader"), r#"//page[text() = "shh"]"#).unwrap();
+    assert!(probe.matches.is_empty());
+    let probe2 = s.query(&req("editor"), r#"//page[text() = "shh"]"#).unwrap();
+    assert_eq!(probe2.matches.len(), 1);
+}
+
+#[test]
+fn query_returns_serialized_fragments() {
+    let s = server();
+    let resp = s.query(&req("reader"), "//page").unwrap();
+    assert_eq!(resp.matches, vec![r#"<page title="Home">welcome</page>"#]);
+}
+
+#[test]
+fn bad_query_rejected() {
+    let s = server();
+    assert!(matches!(s.query(&req("reader"), "///["), Err(ServerError::BadQuery(_))));
+}
+
+// --- updates --------------------------------------------------------------
+
+#[test]
+fn editor_can_update_pages() {
+    let mut s = server();
+    let touched = s
+        .update(
+            &req("editor"),
+            &[
+                UpdateOp::SetText { target: r#"//pages/page[@title="Home"]"#.into(), text: "hello".into() },
+                UpdateOp::InsertElement { parent: "/wiki/pages".into(), name: "page".into() },
+            ],
+        )
+        .unwrap();
+    assert_eq!(touched, 2);
+    // Changes visible through subsequent reads.
+    let view = s.handle(&req("editor")).unwrap();
+    assert!(view.xml.contains("hello"), "{}", view.xml);
+    assert!(s.query(&req("editor"), "count(//pages/page)").is_err()); // count() alone is not a path
+    let pages = s.query(&req("editor"), "//pages/page").unwrap();
+    assert_eq!(pages.matches.len(), 2);
+}
+
+#[test]
+fn reader_cannot_update_anything() {
+    let mut s = server();
+    let e = s
+        .update(
+            &req("reader"),
+            &[UpdateOp::SetText { target: "//pages/page".into(), text: "defaced".into() }],
+        )
+        .unwrap_err();
+    assert!(matches!(e, ServerError::UpdateDenied(_)));
+    let view = s.handle(&req("reader")).unwrap();
+    assert!(view.xml.contains("welcome"), "unchanged: {}", view.xml);
+}
+
+#[test]
+fn editor_cannot_update_outside_grant() {
+    let mut s = server();
+    let e = s
+        .update(
+            &req("editor"),
+            &[UpdateOp::SetText { target: "/wiki/drafts/page".into(), text: "x".into() }],
+        )
+        .unwrap_err();
+    assert!(matches!(e, ServerError::UpdateDenied(_)));
+}
+
+#[test]
+fn updates_invalidate_cached_views() {
+    let mut s = server();
+    let r1 = s.handle(&req("reader")).unwrap();
+    assert!(!r1.cached);
+    let r2 = s.handle(&req("reader")).unwrap();
+    assert!(r2.cached);
+    s.update(
+        &req("editor"),
+        &[UpdateOp::SetText { target: r#"//pages/page[@title="Home"]"#.into(), text: "v2".into() }],
+    )
+    .unwrap();
+    let r3 = s.handle(&req("reader")).unwrap();
+    assert!(!r3.cached);
+    assert!(r3.xml.contains("v2"));
+}
+
+#[test]
+fn updates_preserve_dtd_validity() {
+    let mut dir = Directory::new();
+    dir.add_user("ed").unwrap();
+    let mut base = AuthorizationBase::new();
+    base.add(
+        Authorization::new(
+            Subject::new("ed", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/list").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("ed", "pw");
+    s.repository_mut().put_dtd("list.dtd", "<!ELEMENT list (item+)><!ELEMENT item (#PCDATA)>");
+    s.repository_mut().put_document("doc.xml", "<list><item>a</item></list>", Some("list.dtd"));
+    let rq = ClientRequest {
+        user: Some(("ed".into(), "pw".into())),
+        ip: "1.2.3.4".into(),
+        sym: "h.x.org".into(),
+        uri: "doc.xml".into(),
+    };
+    // Deleting the only item would leave <list/> — invalid (item+).
+    let e = s.update(&rq, &[UpdateOp::Delete { target: "/list/item".into() }]).unwrap_err();
+    assert!(matches!(e, ServerError::UpdateDenied(_)), "{e}");
+    // Inserting a new item first, then deleting one, is fine.
+    s.update(&rq, &[UpdateOp::InsertElement { parent: "/list".into(), name: "item".into() }])
+        .unwrap();
+    s.update(&rq, &[UpdateOp::Delete { target: "/list/item[1]".into() }]).unwrap();
+}
+
+#[test]
+fn write_conditions_on_defaulted_attributes_match() {
+    // The write grant is conditioned on @status, which only the DTD
+    // default supplies; normalization before write-labeling makes it
+    // match, mirroring the read path.
+    let mut dir = Directory::new();
+    dir.add_user("ed").unwrap();
+    let mut base = AuthorizationBase::new();
+    base.add(
+        Authorization::new(
+            Subject::new("ed", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", r#"/list/item[./@status="open"]"#).unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("ed", "pw");
+    s.repository_mut().put_dtd(
+        "list.dtd",
+        r#"<!ELEMENT list (item+)><!ELEMENT item (#PCDATA)>
+           <!ATTLIST item status CDATA "open">"#,
+    );
+    s.repository_mut().put_document(
+        "doc.xml",
+        r#"<!DOCTYPE list SYSTEM "list.dtd"><list><item>a</item><item status="closed">b</item></list>"#,
+        Some("list.dtd"),
+    );
+    let rq = ClientRequest {
+        user: Some(("ed".into(), "pw".into())),
+        ip: "1.2.3.4".into(),
+        sym: "h.x.org".into(),
+        uri: "doc.xml".into(),
+    };
+    // The defaulted-open first item is writable...
+    s.update(
+        &rq,
+        &[UpdateOp::SetText { target: "/list/item[1]".into(), text: "done".into() }],
+    )
+    .expect("defaulted @status=open grants the write");
+    // ...the explicitly closed one is not.
+    let e = s
+        .update(
+            &rq,
+            &[UpdateOp::SetText { target: "/list/item[2]".into(), text: "nope".into() }],
+        )
+        .unwrap_err();
+    assert!(matches!(e, ServerError::UpdateDenied(_)));
+}
+
+#[test]
+fn write_grants_do_not_leak_into_read_views() {
+    // A user with *only* a write grant still sees nothing when reading.
+    let mut dir = Directory::new();
+    dir.add_user("bot").unwrap();
+    let mut base = AuthorizationBase::new();
+    base.add(
+        Authorization::new(
+            Subject::new("bot", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("bot", "pw");
+    s.repository_mut().put_document("doc.xml", "<d><x>1</x></d>", None);
+    let rq = ClientRequest {
+        user: Some(("bot".into(), "pw".into())),
+        ip: "1.2.3.4".into(),
+        sym: "h.x.org".into(),
+        uri: "doc.xml".into(),
+    };
+    let view = s.handle(&rq).unwrap();
+    assert_eq!(view.xml, "<d/>", "write-only principals read nothing");
+    // Yet the update works.
+    s.update(&rq, &[UpdateOp::SetText { target: "/d/x".into(), text: "2".into() }]).unwrap();
+}

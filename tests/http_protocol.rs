@@ -1,0 +1,73 @@
+//! HTTP demonstrator protocol details: loosened-DTD delivery, encoded
+//! queries, and location parameters feeding the subject hierarchy.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use xmlsec::prelude::*;
+use xmlsec::workload::laboratory::*;
+
+fn demo() -> xmlsec::server::HttpDemo {
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    s.register_credentials("Tom", "pw");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    xmlsec::server::HttpDemo::start(s, "127.0.0.1:0").expect("bind")
+}
+
+fn get(demo: &xmlsec::server::HttpDemo, target: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(conn, "GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    let code = buf.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (code, body)
+}
+
+#[test]
+fn loosened_dtd_travels_with_the_view() {
+    let demo = demo();
+    let (code, body) =
+        get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it");
+    assert_eq!(code, 200);
+    let (view_part, dtd_part) =
+        body.split_once("<!-- loosened DTD -->").expect("DTD marker present");
+    let view = parse(view_part.trim()).expect("view is well-formed");
+    let loosened = parse_dtd(dtd_part).expect("loosened DTD parses");
+    assert_eq!(xmlsec::dtd::validate(&loosened, &view), vec![]);
+    assert!(!dtd_part.contains("#REQUIRED"));
+}
+
+#[test]
+fn location_parameters_drive_the_subject_hierarchy() {
+    let demo = demo();
+    // Same credentials, different declared host: the *.it grant flips.
+    let (_, from_it) =
+        get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it");
+    let (_, from_com) =
+        get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=pc.lab.com");
+    assert!(from_it.contains("Bob Keen"));
+    assert!(!from_com.contains("Bob Keen"));
+}
+
+#[test]
+fn percent_encoded_queries_with_conditions() {
+    let demo = demo();
+    // q = //paper[./@category="public"]/title
+    let q = "%2F%2Fpaper%5B.%2F%40category%3D%22public%22%5D%2Ftitle";
+    let (code, body) = get(
+        &demo,
+        &format!("/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it&q={q}"),
+    );
+    assert_eq!(code, 200);
+    assert!(body.contains("<title>An Access Control Model for XML</title>"), "{body}");
+    assert!(body.contains("<title>Querying XML</title>"), "{body}");
+    assert!(!body.contains("Engine Internals"), "{body}");
+}
+
+#[test]
+fn malformed_ip_parameter_is_bad_request() {
+    let demo = demo();
+    let (code, _) = get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=not-an-ip&host=a.b.it");
+    assert_eq!(code, 400);
+}

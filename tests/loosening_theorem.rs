@@ -1,0 +1,81 @@
+//! The §6.2 guarantee, as a property over *random schemas*:
+//!
+//! > for any DTD, any valid instance, any authorization set, and any
+//! > requester, the pruned view validates against the loosened DTD.
+//!
+//! This is the load-bearing claim behind shipping the loosened DTD with
+//! the view ("the DTD loosening prevents users from detecting whether
+//! information was hidden by the security enforcement or simply missing
+//! in the original document") — if it ever failed, the view would be
+//! rejected by a validating client and reveal that pruning happened.
+
+use proptest::prelude::*;
+use xmlsec::authz::Authorization;
+use xmlsec::prelude::*;
+use xmlsec::workload::{conforming_doc, random_auths, random_dtd, AuthConfig, DtdConfig, GEN_ROOT};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pruned_views_validate_against_loosened_random_dtds(
+        dtd_seed in 0u64..1_000_000,
+        doc_seed in 0u64..1_000_000,
+        auth_seed in 0u64..1_000_000,
+        elements in 2usize..12,
+        auth_count in 0usize..16,
+    ) {
+        let dtd = random_dtd(&DtdConfig { elements, ..Default::default() }, dtd_seed);
+        let mut doc = conforming_doc(&dtd, doc_seed);
+        xmlsec::dtd::normalize(&dtd, &mut doc);
+        prop_assert_eq!(xmlsec::dtd::validate(&dtd, &doc), vec![], "generator soundness");
+
+        // Random authorizations over the generated tag space (`e{i}`);
+        // reuse the generic generator with matching vocabulary by
+        // rewriting its `t{i}` paths to `e{i}` and `/root` to `/e0`.
+        let (inst, schema) = random_auths(
+            &AuthConfig { count: auth_count, ..Default::default() },
+            "d.xml", "d.dtd", auth_seed);
+        let rewrite = |a: &Authorization| -> Option<Authorization> {
+            let text = a.object.path_text.as_deref()?;
+            let rewritten = text.replace("/root", &format!("/{GEN_ROOT}")).replace('t', "e");
+            let object = ObjectSpec::with_path(&a.object.uri, &rewritten).ok()?;
+            Some(Authorization { object, ..a.clone() })
+        };
+        let inst: Vec<Authorization> = inst.iter().filter_map(rewrite).collect();
+        let schema: Vec<Authorization> = schema.iter().filter_map(rewrite).collect();
+        let ax: Vec<&Authorization> = inst.iter().collect();
+        let ad: Vec<&Authorization> = schema.iter().collect();
+
+        let dir = xmlsec::workload::random_directory(6, 4, auth_seed);
+        for policy in [
+            PolicyConfig::paper_default(),
+            PolicyConfig { completeness: CompletenessPolicy::Open, ..Default::default() },
+        ] {
+            let (view, _) = compute_view(&doc, &ax, &ad, &dir, policy);
+            let loosened = loosen(&dtd);
+            let errs = xmlsec::dtd::validate(&loosened, &view);
+            prop_assert!(
+                errs.is_empty(),
+                "loosening guarantee violated ({policy:?}): {errs:?}\nview: {}\nloosened:\n{}",
+                serialize(&view, &SerializeOptions::canonical()),
+                serialize_dtd(&loosened)
+            );
+        }
+    }
+
+    /// The loosened DTD also keeps accepting the *original* document —
+    /// loosening only ever widens the language.
+    #[test]
+    fn loosening_widens_the_language(
+        dtd_seed in 0u64..1_000_000,
+        doc_seed in 0u64..1_000_000,
+        elements in 2usize..12,
+    ) {
+        let dtd = random_dtd(&DtdConfig { elements, ..Default::default() }, dtd_seed);
+        let mut doc = conforming_doc(&dtd, doc_seed);
+        xmlsec::dtd::normalize(&dtd, &mut doc);
+        prop_assert_eq!(xmlsec::dtd::validate(&dtd, &doc), vec![]);
+        prop_assert_eq!(xmlsec::dtd::validate(&loosen(&dtd), &doc), vec![]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Monotonicity and security-order properties of view computation.
+
+use proptest::prelude::*;
+use xmlsec::authz::Authorization;
+use xmlsec::prelude::*;
+use xmlsec::workload::{random_auths, AuthConfig, TreeConfig};
+
+fn positive_only(auths: Vec<Authorization>) -> Vec<Authorization> {
+    auths.into_iter().filter(|a| a.sign == Sign::Plus).collect()
+}
+
+/// Set of reachable node ids of a view (prune preserves NodeIds).
+fn visible_ids(view: &Document) -> std::collections::BTreeSet<u32> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut stack = vec![view.root()];
+    while let Some(n) = stack.pop() {
+        out.insert(n.0);
+        for &a in view.attributes(n) {
+            out.insert(a.0);
+        }
+        for &c in view.children(n) {
+            if view.is_element(c) {
+                stack.push(c);
+            } else {
+                out.insert(c.0);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With only positive authorizations, adding one more grant never
+    /// shrinks the view (no denials means no overriding conflicts).
+    #[test]
+    fn adding_grants_grows_positive_views(
+        doc_seed in 0u64..1_000_000,
+        auth_seed in 0u64..1_000_000,
+        elements in 5usize..60,
+    ) {
+        let doc = xmlsec::workload::random_tree(
+            &TreeConfig { elements, ..Default::default() }, doc_seed);
+        let dir = Directory::new();
+        let (inst, _) = random_auths(
+            &AuthConfig { count: 12, ..Default::default() }, "d.xml", "d.dtd", auth_seed);
+        let grants = positive_only(inst);
+        let policy = PolicyConfig::paper_default();
+        let mut prev = std::collections::BTreeSet::new();
+        for k in 0..=grants.len() {
+            let subset: Vec<&Authorization> = grants[..k].iter().collect();
+            let (view, _) = compute_view(&doc, &subset, &[], &dir, policy);
+            let now = visible_ids(&view);
+            prop_assert!(
+                prev.is_subset(&now),
+                "view shrank when adding grant #{k}"
+            );
+            prev = now;
+        }
+    }
+
+    /// The closed-policy view is always a subset of the open-policy view
+    /// for the same authorizations.
+    #[test]
+    fn closed_view_subset_of_open_view(
+        doc_seed in 0u64..1_000_000,
+        auth_seed in 0u64..1_000_000,
+        elements in 5usize..60,
+        count in 0usize..16,
+    ) {
+        let doc = xmlsec::workload::random_tree(
+            &TreeConfig { elements, ..Default::default() }, doc_seed);
+        let dir = xmlsec::workload::random_directory(6, 4, auth_seed);
+        let (inst, schema) = random_auths(
+            &AuthConfig { count, ..Default::default() }, "d.xml", "d.dtd", auth_seed);
+        let ax: Vec<&Authorization> = inst.iter().collect();
+        let ad: Vec<&Authorization> = schema.iter().collect();
+        let closed = PolicyConfig::paper_default();
+        let open = PolicyConfig { completeness: CompletenessPolicy::Open, ..closed };
+        let (vc, _) = compute_view(&doc, &ax, &ad, &dir, closed);
+        let (vo, _) = compute_view(&doc, &ax, &ad, &dir, open);
+        prop_assert!(visible_ids(&vc).is_subset(&visible_ids(&vo)));
+    }
+
+    /// Denials-take-precedence never reveals more than
+    /// permissions-take-precedence.
+    #[test]
+    fn denial_policy_view_subset_of_permission_policy_view(
+        doc_seed in 0u64..1_000_000,
+        auth_seed in 0u64..1_000_000,
+        count in 0usize..16,
+    ) {
+        let doc = xmlsec::workload::random_tree(&TreeConfig::default(), doc_seed);
+        let dir = xmlsec::workload::random_directory(6, 4, auth_seed);
+        let (inst, schema) = random_auths(
+            &AuthConfig { count, ..Default::default() }, "d.xml", "d.dtd", auth_seed);
+        let ax: Vec<&Authorization> = inst.iter().collect();
+        let ad: Vec<&Authorization> = schema.iter().collect();
+        let deny = PolicyConfig {
+            conflict: ConflictResolution::DenialsTakePrecedence, ..Default::default() };
+        let allow = PolicyConfig {
+            conflict: ConflictResolution::PermissionsTakePrecedence, ..Default::default() };
+        let (vd, _) = compute_view(&doc, &ax, &ad, &dir, deny);
+        let (va, _) = compute_view(&doc, &ax, &ad, &dir, allow);
+        prop_assert!(visible_ids(&vd).is_subset(&visible_ids(&va)));
+    }
+
+    /// A view never contains text that the source document did not
+    /// contain (no fabrication), and the root element name is preserved.
+    #[test]
+    fn views_never_fabricate_content(
+        doc_seed in 0u64..1_000_000,
+        auth_seed in 0u64..1_000_000,
+        count in 0usize..16,
+    ) {
+        let doc = xmlsec::workload::random_tree(&TreeConfig::default(), doc_seed);
+        let dir = xmlsec::workload::random_directory(6, 4, auth_seed);
+        let (inst, schema) = random_auths(
+            &AuthConfig { count, ..Default::default() }, "d.xml", "d.dtd", auth_seed);
+        let ax: Vec<&Authorization> = inst.iter().collect();
+        let ad: Vec<&Authorization> = schema.iter().collect();
+        let (view, _) = compute_view(&doc, &ax, &ad, &dir, PolicyConfig::paper_default());
+        prop_assert_eq!(view.element_name(view.root()), doc.element_name(doc.root()));
+        // Every surviving arena id existed in the source with the same
+        // name/value content (child lists legitimately shrink in views).
+        use xmlsec::xml::NodeData;
+        for id in visible_ids(&view) {
+            let n = xmlsec::xml::NodeId(id);
+            match (&view.node(n).data, &doc.node(n).data) {
+                (
+                    NodeData::Element { name: a, .. },
+                    NodeData::Element { name: b, .. },
+                ) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}

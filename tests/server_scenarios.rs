@@ -1,0 +1,181 @@
+//! End-to-end server scenarios over the three corpora: the full request
+//! cycle — authenticate, resolve groups, compute the view, loosen the
+//! DTD, cache, audit.
+
+use xmlsec::prelude::*;
+use xmlsec::server::AuditOutcome;
+
+fn lab_server() -> SecureServer {
+    use xmlsec::workload::laboratory::*;
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    s.register_credentials("Tom", "pw-tom");
+    s.register_credentials("Alice", "pw-alice");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    s
+}
+
+fn request(user: Option<(&str, &str)>, ip: &str, sym: &str, uri: &str) -> ClientRequest {
+    ClientRequest {
+        user: user.map(|(u, p)| (u.to_string(), p.to_string())),
+        ip: ip.into(),
+        sym: sym.into(),
+        uri: uri.into(),
+    }
+}
+
+#[test]
+fn tom_gets_figure3_view_through_the_server() {
+    use xmlsec::workload::laboratory::*;
+    let s = lab_server();
+    let resp = s
+        .handle(&request(Some(("Tom", "pw-tom")), "130.100.50.8", "infosys.bld1.it", CSLAB_URI))
+        .unwrap();
+    let got = parse(&resp.xml).unwrap();
+    let want = parse(TOM_VIEW_XML).unwrap();
+    assert!(got.structurally_equal(&want), "got {}", resp.xml);
+    // The loosened DTD travels with the view.
+    let loosened = parse_dtd(resp.loosened_dtd.as_deref().unwrap()).unwrap();
+    assert_eq!(xmlsec::dtd::validate(&loosened, &got), vec![]);
+}
+
+#[test]
+fn views_differ_by_location_for_the_same_user() {
+    use xmlsec::workload::laboratory::*;
+    let s = lab_server();
+    // Tom from Italy sees managers of public projects (the *.it grant)…
+    let from_it = s
+        .handle(&request(Some(("Tom", "pw-tom")), "130.100.50.8", "infosys.bld1.it", CSLAB_URI))
+        .unwrap();
+    assert!(from_it.xml.contains("Bob Keen"));
+    // …Tom from a .com host does not.
+    let from_com = s
+        .handle(&request(Some(("Tom", "pw-tom")), "130.100.50.8", "pc.lab.com", CSLAB_URI))
+        .unwrap();
+    assert!(!from_com.xml.contains("Bob Keen"), "{}", from_com.xml);
+    // Both still see public papers.
+    assert!(from_it.xml.contains("Querying XML"));
+    assert!(from_com.xml.contains("Querying XML"));
+}
+
+#[test]
+fn hospital_scenario_through_the_server() {
+    use xmlsec::workload::hospital::*;
+    let mut s = SecureServer::new(hospital_directory(), hospital_authorization_base());
+    s.register_credentials("nina", "pw");
+    s.register_credentials("weiss", "pw");
+    s.register_credentials("omar", "pw");
+    s.repository_mut().put_dtd(HOSPITAL_DTD_URI, HOSPITAL_DTD);
+    s.repository_mut().put_document(WARD_URI, WARD_XML, Some(HOSPITAL_DTD_URI));
+
+    let nurse = s
+        .handle(&request(Some(("nina", "pw")), "10.0.0.7", "ws1.hospital.org", WARD_URI))
+        .unwrap();
+    assert!(nurse.xml.contains("Fracture healing"));
+    assert!(!nurse.xml.contains("Anxiety"));
+
+    let shrink = s
+        .handle(&request(Some(("weiss", "pw")), "10.0.0.9", "ws2.hospital.org", WARD_URI))
+        .unwrap();
+    assert!(shrink.xml.contains("Anxiety"));
+
+    let admin = s
+        .handle(&request(Some(("omar", "pw")), "10.0.1.1", "adm.hospital.org", WARD_URI))
+        .unwrap();
+    assert!(admin.xml.contains("X-ray"));
+    assert!(!admin.xml.contains("Anxiety"));
+
+    // Three distinct views, three audit records, no cache hits (all
+    // fingerprints differ).
+    assert_eq!(s.audit.len(), 3);
+    assert_eq!(s.cache_stats(), (0, 3));
+}
+
+#[test]
+fn bank_scenario_location_gates_through_the_server() {
+    use xmlsec::workload::financial::*;
+    let mut s = SecureServer::new(bank_directory(), bank_authorization_base());
+    s.register_credentials("tina", "pw");
+    s.repository_mut().put_dtd(BANK_DTD_URI, BANK_DTD);
+    s.repository_mut().put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
+
+    let at_branch = s
+        .handle(&request(Some(("tina", "pw")), "10.1.4.20", "t1.branch.bank.com", STATEMENTS_URI))
+        .unwrap();
+    assert!(at_branch.xml.contains("2450.10"));
+
+    let at_home = s
+        .handle(&request(Some(("tina", "pw")), "89.12.3.4", "home.example.net", STATEMENTS_URI))
+        .unwrap();
+    assert_eq!(at_home.xml, "<statements/>");
+}
+
+#[test]
+fn cache_hits_for_equivalent_requesters_and_misses_across() {
+    use xmlsec::workload::laboratory::*;
+    let s = lab_server();
+    // Two different Public-only users from .com hosts share a view.
+    let r1 = s.handle(&request(None, "1.2.3.4", "a.example.com", CSLAB_URI)).unwrap();
+    let r2 =
+        s.handle(&request(Some(("Alice", "pw-alice")), "5.6.7.8", "b.example.com", CSLAB_URI));
+    // Alice's applicable set from a non-Admin host == anonymous's
+    // (both just the Public weak grant).
+    let r2 = r2.unwrap();
+    assert!(!r1.cached);
+    assert!(r2.cached);
+    assert_eq!(r1.xml, r2.xml);
+    // Tom from .it has an extra applicable grant → miss.
+    let r3 = s
+        .handle(&request(Some(("Tom", "pw-tom")), "130.100.50.8", "infosys.bld1.it", CSLAB_URI))
+        .unwrap();
+    assert!(!r3.cached);
+}
+
+#[test]
+fn audit_trail_records_every_outcome_kind() {
+    use xmlsec::workload::laboratory::*;
+    let s = lab_server();
+    let _ = s.handle(&request(Some(("Tom", "wrong")), "1.2.3.4", "a.b.it", CSLAB_URI));
+    let _ = s.handle(&request(None, "1.2.3.4", "a.b.it", "missing.xml"));
+    let _ = s.handle(&request(None, "1.2.3.4", "a.b.it", CSLAB_URI));
+    let records = s.audit.records();
+    assert_eq!(records.len(), 3);
+    assert!(matches!(records[0].outcome, AuditOutcome::AuthenticationFailed));
+    assert!(matches!(records[1].outcome, AuditOutcome::NotFound));
+    assert!(matches!(records[2].outcome, AuditOutcome::Served { cached: false, .. }));
+}
+
+#[test]
+fn granting_at_runtime_changes_views() {
+    use xmlsec::workload::laboratory::*;
+    let mut s = lab_server();
+    let before = s.handle(&request(None, "1.2.3.4", "x.example.com", CSLAB_URI)).unwrap();
+    assert!(!before.xml.contains("MURST"));
+    s.grant(Authorization::new(
+        Subject::new("Public", "*", "*").unwrap(),
+        ObjectSpec::with_path(CSLAB_URI, "//fund").unwrap(),
+        Sign::Plus,
+        AuthType::Recursive,
+    ));
+    let after = s.handle(&request(None, "1.2.3.4", "x.example.com", CSLAB_URI)).unwrap();
+    assert!(!after.cached, "grant must invalidate the cache");
+    assert!(after.xml.contains("MURST"), "{}", after.xml);
+}
+
+#[test]
+fn xacl_driven_setup_matches_programmatic_setup() {
+    use xmlsec::workload::laboratory::*;
+    // Serialize Example 1 to XACL text, parse it back, and serve with it.
+    let text = serialize_xacl(&example1_authorizations());
+    let mut base = AuthorizationBase::new();
+    base.extend(parse_xacl(&text).unwrap());
+    let mut s = SecureServer::new(lab_directory(), base);
+    s.register_credentials("Tom", "pw");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    let resp = s
+        .handle(&request(Some(("Tom", "pw")), "130.100.50.8", "infosys.bld1.it", CSLAB_URI))
+        .unwrap();
+    let got = parse(&resp.xml).unwrap();
+    assert!(got.structurally_equal(&parse(TOM_VIEW_XML).unwrap()), "{}", resp.xml);
+}

@@ -1,0 +1,197 @@
+//! Systematic matrix of authorization-type interactions on a two-level
+//! document: an authorization of each type/level on the root (`/a`, sign
+//! varies) against an authorization of each type/level on the child
+//! (`/a/b`). Documents the §5/§6 override semantics exhaustively, with
+//! the final sign of `<b>` checked against hand-derived expectations.
+//!
+//! Legend: parent auth propagates only if recursive; the child's final
+//! sign is `first_def(L, R, LD, RD, LW, RW)` after propagation, where an
+//! instance recursive (strong *or* weak) on the child stops the parent's
+//! instance propagation, and `RD` propagates independently.
+
+use xmlsec::authz::Authorization;
+use xmlsec::prelude::*;
+
+const DOC: &str = "<a><b>t</b></a>";
+
+/// Where an authorization lives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Level {
+    Instance,
+    Schema,
+}
+
+fn auth(path: &str, sign: Sign, ty: AuthType, level: Level) -> (Level, Authorization) {
+    let uri = match level {
+        Level::Instance => "d.xml",
+        Level::Schema => "d.dtd",
+    };
+    (
+        level,
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::with_path(uri, path).unwrap(),
+            sign,
+            ty,
+        ),
+    )
+}
+
+/// Final sign of `<b>` under the given authorizations.
+fn sign_of_b(auths: &[(Level, Authorization)]) -> Sign3 {
+    let doc = parse(DOC).unwrap();
+    let dir = Directory::new();
+    let axml: Vec<&Authorization> =
+        auths.iter().filter(|(l, _)| *l == Level::Instance).map(|(_, a)| a).collect();
+    let adtd: Vec<&Authorization> =
+        auths.iter().filter(|(l, _)| *l == Level::Schema).map(|(_, a)| a).collect();
+    let labeling =
+        xmlsec::core::label_document(&doc, &axml, &adtd, &dir, PolicyConfig::paper_default());
+    let b = select(&doc, &parse_path("/a/b").unwrap())[0];
+    labeling.final_sign(b)
+}
+
+#[test]
+fn parent_only_matrix() {
+    use AuthType::*;
+    use Level::*;
+    // (type, level, expected sign of b when parent has a '+' auth)
+    let cases = [
+        (Local, Instance, Sign3::Eps),        // local does not reach sub-elements
+        (Recursive, Instance, Sign3::Plus),   // propagates
+        (LocalWeak, Instance, Sign3::Eps),    // local, weak or not
+        (RecursiveWeak, Instance, Sign3::Plus),
+        (Local, Schema, Sign3::Eps),          // LD on parent does not reach b
+        (Recursive, Schema, Sign3::Plus),     // RD propagates
+        (LocalWeak, Schema, Sign3::Eps),      // weak folds into strong at schema level
+        (RecursiveWeak, Schema, Sign3::Plus),
+    ];
+    for (ty, level, expected) in cases {
+        let auths = [auth("/a", Sign::Plus, ty, level)];
+        assert_eq!(
+            sign_of_b(&auths),
+            expected,
+            "parent-only: type {ty:?} at {level:?}"
+        );
+    }
+}
+
+#[test]
+fn child_vs_parent_within_instance_level() {
+    use AuthType::*;
+    // A conflicting authorization on b against a propagated recursive
+    // parent grant: L wins (first in first_def), R and RW win (they stop
+    // the propagation), but a *Local Weak* on the child does NOT — the
+    // parent's strong recursive propagates into the R slot, which sits
+    // before LW in the priority sequence.
+    let cases = [
+        (Local, Sign3::Minus),
+        (Recursive, Sign3::Minus),
+        (LocalWeak, Sign3::Plus),
+        (RecursiveWeak, Sign3::Minus),
+    ];
+    for (child_ty, expected) in cases {
+        let auths = [
+            auth("/a", Sign::Plus, Recursive, Level::Instance),
+            auth("/a/b", Sign::Minus, child_ty, Level::Instance),
+        ];
+        assert_eq!(sign_of_b(&auths), expected, "child {child_ty:?} vs parent R+");
+    }
+}
+
+#[test]
+fn instance_vs_schema_priority_on_the_same_node() {
+    use AuthType::*;
+    // Strong instance beats schema; weak instance loses to schema.
+    let strong = [
+        auth("/a/b", Sign::Plus, Recursive, Level::Instance),
+        auth("/a/b", Sign::Minus, Recursive, Level::Schema),
+    ];
+    assert_eq!(sign_of_b(&strong), Sign3::Plus, "strong instance beats schema");
+
+    let weak = [
+        auth("/a/b", Sign::Plus, RecursiveWeak, Level::Instance),
+        auth("/a/b", Sign::Minus, Recursive, Level::Schema),
+    ];
+    assert_eq!(sign_of_b(&weak), Sign3::Minus, "weak instance loses to schema");
+
+    let weak_alone = [auth("/a/b", Sign::Plus, RecursiveWeak, Level::Instance)];
+    assert_eq!(sign_of_b(&weak_alone), Sign3::Plus, "weak holds absent schema");
+}
+
+#[test]
+fn propagated_schema_beats_weak_on_child() {
+    // RD propagated from the parent outranks the child's own weak signs.
+    let auths = [
+        auth("/a", Sign::Minus, AuthType::Recursive, Level::Schema),
+        auth("/a/b", Sign::Plus, AuthType::LocalWeak, Level::Instance),
+    ];
+    assert_eq!(sign_of_b(&auths), Sign3::Minus);
+    // ...but the child's own *strong* local wins over propagated RD.
+    let auths2 = [
+        auth("/a", Sign::Minus, AuthType::Recursive, Level::Schema),
+        auth("/a/b", Sign::Plus, AuthType::Local, Level::Instance),
+    ];
+    assert_eq!(sign_of_b(&auths2), Sign3::Plus);
+}
+
+#[test]
+fn weak_recursive_on_child_stops_strong_propagation() {
+    // The propagation rule: an instance recursive authorization on the
+    // node — strong or weak — stops the parent's instance propagation
+    // entirely (both R and RW).
+    let auths = [
+        auth("/a", Sign::Plus, AuthType::Recursive, Level::Instance),
+        auth("/a/b", Sign::Minus, AuthType::RecursiveWeak, Level::Instance),
+    ];
+    assert_eq!(sign_of_b(&auths), Sign3::Minus);
+    // A *local* weak denial on b also beats the propagated R in the
+    // child's first_def? No: L_b=ε, R_b inherits '+' (local does not stop
+    // propagation), and R comes before LW. Plus wins.
+    let auths2 = [
+        auth("/a", Sign::Plus, AuthType::Recursive, Level::Instance),
+        auth("/a/b", Sign::Minus, AuthType::LocalWeak, Level::Instance),
+    ];
+    assert_eq!(sign_of_b(&auths2), Sign3::Plus);
+}
+
+#[test]
+fn local_on_child_beats_everything_else_there() {
+    use AuthType::*;
+    use Level::*;
+    let auths = [
+        auth("/a/b", Sign::Plus, Local, Instance),
+        auth("/a/b", Sign::Minus, Recursive, Instance),
+        auth("/a/b", Sign::Minus, Recursive, Schema),
+        auth("/a/b", Sign::Minus, RecursiveWeak, Instance),
+        auth("/a", Sign::Minus, Recursive, Instance),
+    ];
+    assert_eq!(sign_of_b(&auths), Sign3::Plus, "L is first in first_def");
+}
+
+#[test]
+fn grandchild_inheritance_depth() {
+    // Three levels: /a R+, /a/b RW-, check <c> under b inherits the weak
+    // minus (propagation carries RW down once it stopped R).
+    let doc = parse("<a><b><c>t</c></b></a>").unwrap();
+    let dir = Directory::new();
+    let auths = [
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/a").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ),
+        Authorization::new(
+            Subject::new("u", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/a/b").unwrap(),
+            Sign::Minus,
+            AuthType::RecursiveWeak,
+        ),
+    ];
+    let refs: Vec<&Authorization> = auths.iter().collect();
+    let labeling =
+        xmlsec::core::label_document(&doc, &refs, &[], &dir, PolicyConfig::paper_default());
+    let c = select(&doc, &parse_path("/a/b/c").unwrap())[0];
+    assert_eq!(labeling.final_sign(c), Sign3::Minus);
+}
