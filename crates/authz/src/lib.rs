@@ -31,9 +31,9 @@ pub mod store;
 pub mod temporal;
 pub mod xacl;
 
+pub use lint::{lint, LintFinding};
 pub use model::{Action, AuthType, Authorization, ObjectSpec, Sign};
 pub use policy::{resolve_sign, CompletenessPolicy, ConflictResolution, PolicyConfig};
-pub use lint::{lint, LintFinding};
 pub use store::AuthorizationBase;
 pub use temporal::{in_force_at, TimedAuthorization, Validity};
 pub use xacl::{parse_xacl, parse_xacl_doc, serialize_xacl, XaclError};

@@ -130,14 +130,10 @@ pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
                     out.push(LintFinding::Shadowed { shadowed: j, by: i });
                 }
             } else {
-                let comparable = a.subject.leq(&b.subject, dir)
-                    || b.subject.leq(&a.subject, dir);
+                let comparable = a.subject.leq(&b.subject, dir) || b.subject.leq(&a.subject, dir);
                 if comparable {
-                    let (plus, minus) = if a.sign == crate::model::Sign::Plus {
-                        (i, j)
-                    } else {
-                        (j, i)
-                    };
+                    let (plus, minus) =
+                        if a.sign == crate::model::Sign::Plus { (i, j) } else { (j, i) };
                     let same_subject = a.subject == b.subject;
                     out.push(LintFinding::Contradiction { plus, minus, same_subject });
                 }
@@ -175,14 +171,18 @@ mod tests {
     fn unknown_subject_flagged() {
         let a = [auth("nobody", "/a", Sign::Plus)];
         let f = lint(&a, &dir());
-        assert!(matches!(&f[0], LintFinding::UnknownSubject { user_group, .. } if user_group == "nobody"));
+        assert!(
+            matches!(&f[0], LintFinding::UnknownSubject { user_group, .. } if user_group == "nobody")
+        );
     }
 
     #[test]
     fn empty_group_flagged() {
         let a = [auth("Ghost", "/a", Sign::Plus)];
         let f = lint(&a, &dir());
-        assert!(f.iter().any(|x| matches!(x, LintFinding::EmptyGroup { group, .. } if group == "Ghost")));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, LintFinding::EmptyGroup { group, .. } if group == "Ghost")));
         // Staff has a member: not flagged.
         let b = [auth("Staff", "/a", Sign::Plus)];
         assert!(lint(&b, &dir()).is_empty());

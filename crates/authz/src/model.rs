@@ -242,7 +242,8 @@ mod tests {
 
     #[test]
     fn auth_type_codes() {
-        for t in [AuthType::Local, AuthType::Recursive, AuthType::LocalWeak, AuthType::RecursiveWeak]
+        for t in
+            [AuthType::Local, AuthType::Recursive, AuthType::LocalWeak, AuthType::RecursiveWeak]
         {
             assert_eq!(AuthType::from_code(t.code()), Some(t));
         }
@@ -264,8 +265,8 @@ mod tests {
     #[test]
     fn object_spec_with_path() {
         // the paper's Example 1 object
-        let o =
-            ObjectSpec::parse(r#"laboratory.xml:/laboratory//paper[./@category="private"]"#).unwrap();
+        let o = ObjectSpec::parse(r#"laboratory.xml:/laboratory//paper[./@category="private"]"#)
+            .unwrap();
         assert_eq!(o.uri, "laboratory.xml");
         assert!(o.path.is_some());
         assert!(o.path_text.as_deref().unwrap().starts_with("/laboratory"));

@@ -82,11 +82,7 @@ pub fn resolve_sign(
             let survivors: Vec<&Authorization> = auths
                 .iter()
                 .copied()
-                .filter(|a| {
-                    !auths
-                        .iter()
-                        .any(|a2| a2.subject.strictly_leq(&a.subject, dir))
-                })
+                .filter(|a| !auths.iter().any(|a2| a2.subject.strictly_leq(&a.subject, dir)))
                 .collect();
             let has_minus = survivors.iter().any(|a| a.sign == Sign::Minus);
             let has_plus = survivors.iter().any(|a| a.sign == Sign::Plus);

@@ -95,7 +95,14 @@ impl fmt::Display for Validity {
                     write!(f, "(-∞,{b})")?;
                 }
                 if let Some((from, to)) = self.daily {
-                    write!(f, " daily {:02}:{:02}-{:02}:{:02}", from / 60, from % 60, to / 60, to % 60)?;
+                    write!(
+                        f,
+                        " daily {:02}:{:02}-{:02}:{:02}",
+                        from / 60,
+                        from % 60,
+                        to / 60,
+                        to % 60
+                    )?;
                 }
                 Ok(())
             }

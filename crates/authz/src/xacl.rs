@@ -81,8 +81,7 @@ fn parse_authorization(doc: &Document, el: NodeId) -> Result<Authorization, Xacl
                     .ok_or_else(|| XaclError("subject missing user-group".into()))?;
                 let ip = doc.attribute(child, "ip").unwrap_or("*");
                 let sym = doc.attribute(child, "sym").unwrap_or("*");
-                subject =
-                    Some(Subject::new(ug, ip, sym).map_err(|e| XaclError(e.to_string()))?);
+                subject = Some(Subject::new(ug, ip, sym).map_err(|e| XaclError(e.to_string()))?);
             }
             Some("object") => {
                 let uri = doc
@@ -119,11 +118,7 @@ fn parse_authorization(doc: &Document, el: NodeId) -> Result<Authorization, Xacl
 pub fn serialize_xacl(auths: &[Authorization]) -> String {
     let mut out = String::from("<xacl>\n");
     for a in auths {
-        out.push_str(&format!(
-            "  <authorization sign=\"{}\" type=\"{}\">\n",
-            a.sign,
-            a.ty.code()
-        ));
+        out.push_str(&format!("  <authorization sign=\"{}\" type=\"{}\">\n", a.sign, a.ty.code()));
         out.push_str(&format!(
             "    <subject user-group=\"{}\" ip=\"{}\" sym=\"{}\"/>\n",
             escape_attr(&a.subject.user_group),

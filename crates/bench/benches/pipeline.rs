@@ -17,10 +17,9 @@ fn pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.throughput(Throughput::Bytes(xml.len() as u64));
 
-    group.bench_function("step1_parse_xml", |b| {
-        b.iter(|| black_box(parse(&xml).expect("parses")))
-    });
-    group.bench_function("dtd_parse", |b| b.iter(|| black_box(parse_dtd(LAB_DTD).expect("parses"))));
+    group.bench_function("step1_parse_xml", |b| b.iter(|| black_box(parse(&xml).expect("parses"))));
+    group
+        .bench_function("dtd_parse", |b| b.iter(|| black_box(parse_dtd(LAB_DTD).expect("parses"))));
     group.bench_function("dtd_validate", |b| {
         let v = Validator::new(&dtd);
         b.iter(|| black_box(v.validate(&doc).len()))

@@ -41,10 +41,13 @@ fn shape(c: &mut Criterion) {
     let scenarios = [
         ("deep_chain", shaped(xmlsec_workload::deep_chain(N))),
         ("flat_fan", shaped(xmlsec_workload::flat(N / 2))),
-        ("bushy_lab", shaped(xmlsec_workload::random_tree(
-            &xmlsec_workload::TreeConfig { elements: N, ..Default::default() },
-            11,
-        ))),
+        (
+            "bushy_lab",
+            shaped(xmlsec_workload::random_tree(
+                &xmlsec_workload::TreeConfig { elements: N, ..Default::default() },
+                11,
+            )),
+        ),
     ];
     for (name, s) in &scenarios {
         group.bench_with_input(BenchmarkId::new("engine", name), s, |b, s| {

@@ -44,13 +44,19 @@ fn update(c: &mut Criterion) {
         });
         let labels = label_for_write(&doc, &refs, &[], &dir, PolicyConfig::paper_default());
         let ops = vec![
-            UpdateOp::SetText { target: "/laboratory/project[1]/manager/flname".into(), text: "New Manager".into() },
+            UpdateOp::SetText {
+                target: "/laboratory/project[1]/manager/flname".into(),
+                text: "New Manager".into(),
+            },
             UpdateOp::SetAttribute {
                 target: "/laboratory/project[2]".into(),
                 name: "name".into(),
                 value: "Renamed".into(),
             },
-            UpdateOp::InsertElement { parent: "/laboratory/project[1]".into(), name: "member".into() },
+            UpdateOp::InsertElement {
+                parent: "/laboratory/project[1]".into(),
+                name: "member".into(),
+            },
         ];
         group.bench_with_input(BenchmarkId::new("apply_batch", projects), &doc, |b, doc| {
             b.iter(|| {

@@ -14,7 +14,10 @@ fn xpath(c: &mut Criterion) {
         ("descendant", "//flname"),
         ("attr_select", "/laboratory/project/@name"),
         ("condition", r#"//paper[./@category="private"]"#),
-        ("double_condition", r#"/laboratory/project[./@type="public"]/paper[./@category="public"]"#),
+        (
+            "double_condition",
+            r#"/laboratory/project[./@type="public"]/paper[./@category="public"]"#,
+        ),
         ("positional", "/laboratory/project[17]"),
         ("ancestor", "//fund/ancestor::project"),
         ("text_cond", r#"//fund[sponsor = "MURST"]"#),
@@ -31,8 +34,10 @@ fn xpath(c: &mut Criterion) {
     group.bench_function("parse_condition_expr", |b| {
         b.iter(|| {
             black_box(
-                parse_path(r#"/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]"#)
-                    .expect("parses"),
+                parse_path(
+                    r#"/laboratory/project[./@name = "Access Models"]/paper[./@type = "internal"]"#,
+                )
+                .expect("parses"),
             )
         })
     });

@@ -3,14 +3,13 @@
 //!
 //! Usage: `cargo run -p xmlsec-bench --bin figures -- [fig1|fig3|ash|loosen|all]`
 
-use serde::Serialize;
 use xmlsec_core::{AccessRequest, DocumentSource, SecurityProcessor};
 use xmlsec_dtd::{dtd_tree, loosen, parse_dtd, render_dtd_tree, serialize_dtd};
 use xmlsec_subjects::{IpPattern, Requester, Subject, SymPattern};
+use xmlsec_telemetry as telemetry;
 use xmlsec_workload::laboratory::*;
 use xmlsec_xml::{parse, render_tree};
 
-#[derive(Serialize)]
 struct Report {
     figure1_dtd_elements: usize,
     figure3_nodes_total: usize,
@@ -18,6 +17,24 @@ struct Report {
     figure3_view_matches_expected: bool,
     loosened_dtd_accepts_view: bool,
     example1_authorizations: usize,
+}
+
+impl Report {
+    /// Hand-rolled JSON: every field is a number or a bool, so no
+    /// escaping is needed.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"figure1_dtd_elements\": {},\n  \"figure3_nodes_total\": {},\n  \
+             \"figure3_nodes_visible_to_tom\": {},\n  \"figure3_view_matches_expected\": {},\n  \
+             \"loosened_dtd_accepts_view\": {},\n  \"example1_authorizations\": {}\n}}",
+            self.figure1_dtd_elements,
+            self.figure3_nodes_total,
+            self.figure3_nodes_visible_to_tom,
+            self.figure3_view_matches_expected,
+            self.loosened_dtd_accepts_view,
+            self.example1_authorizations,
+        )
+    }
 }
 
 fn main() {
@@ -43,10 +60,7 @@ fn main() {
         }
     }
     if let Some(r) = report {
-        println!(
-            "\n== machine-readable report ==\n{}",
-            serde_json::to_string_pretty(&r).expect("report serializes")
-        );
+        println!("\n== machine-readable report ==\n{}", r.to_json());
     }
 }
 
@@ -83,8 +97,8 @@ fn fig3() -> Report {
     let matches = out.view.structurally_equal(&expected);
     println!("matches reproduced Figure 3(b): {matches}");
 
-    let loosened = parse_dtd(out.loosened_dtd.as_deref().expect("DTD present"))
-        .expect("loosened DTD parses");
+    let loosened =
+        parse_dtd(out.loosened_dtd.as_deref().expect("DTD present")).expect("loosened DTD parses");
     let accepts = xmlsec_dtd::validate(&loosened, &out.view).is_empty();
 
     Report {
@@ -105,7 +119,9 @@ fn ash() {
         let a: IpPattern = addr.parse().expect("address parses");
         println!("  {net}  matches {addr}: {}", net.matches(&a));
     }
-    for (pat, host) in [("*.it", "infosys.bld1.it"), ("*.lab.com", "tweety.lab.com"), ("*.lab.com", "lab.com")] {
+    for (pat, host) in
+        [("*.it", "infosys.bld1.it"), ("*.lab.com", "tweety.lab.com"), ("*.lab.com", "lab.com")]
+    {
         let p: SymPattern = pat.parse().expect("pattern parses");
         let h: SymPattern = host.parse().expect("host parses");
         println!("  {pat:10} matches {host}: {}", p.matches(&h));
@@ -114,9 +130,12 @@ fn ash() {
     println!("== §3: ASH dominance for Tom ==");
     let dir = lab_directory();
     let t = Requester::new("Tom", "130.100.50.8", "infosys.bld1.it").expect("requester");
-    for (ug, ip, sym) in
-        [("Foreign", "*", "*"), ("Public", "*", "*.it"), ("Admin", "130.89.56.8", "*"), ("Tom", "130.100.*", "*")]
-    {
+    for (ug, ip, sym) in [
+        ("Foreign", "*", "*"),
+        ("Public", "*", "*.it"),
+        ("Admin", "130.89.56.8", "*"),
+        ("Tom", "130.100.*", "*"),
+    ] {
         let s = Subject::new(ug, ip, sym).expect("subject");
         println!("  {t} ≤ {s}: {}", t.is_covered_by(&s, &dir));
     }
@@ -124,7 +143,9 @@ fn ash() {
 
 /// One-shot timings of the B1/B5 experiments — a quick shape check
 /// without Criterion (absolute numbers are noisy; ratios and slopes are
-/// the point).
+/// the point). Timings are recorded into the global metrics registry and
+/// the table is rendered *from* the registry, so this binary and the
+/// server's `/metrics` endpoint share one source of truth.
 fn bench_smoke() {
     use std::time::Instant;
     let time = |f: &mut dyn FnMut() -> usize| {
@@ -139,18 +160,42 @@ fn bench_smoke() {
             .min_by_key(|(d, _)| *d)
             .expect("three samples")
     };
-    println!("== bench-smoke: B1 view scaling / B5 engine vs naive ==");
-    println!("{:>10} {:>8} {:>12} {:>12} {:>8}", "projects", "nodes", "engine", "naive", "ratio");
-    for projects in [8usize, 32, 128] {
+    const SIZES: [usize; 3] = [8, 32, 128];
+    const SIZE_LABELS: [&str; 3] = ["8", "32", "128"];
+    let reg = telemetry::global();
+    let series = |case: &'static str, projects: &'static str| {
+        reg.histogram(
+            "xmlsec_figures_view_duration_seconds",
+            "Best-of-three compute-view wall time in the figures smoke bench.",
+            &[("case", case), ("projects", projects)],
+            telemetry::Buckets::duration_default(),
+        )
+    };
+    let mut node_counts = Vec::new();
+    for (i, &projects) in SIZES.iter().enumerate() {
         let s = xmlsec_bench::lab_scenario(projects);
-        let nodes = s.doc.count_reachable();
+        node_counts.push(s.doc.count_reachable());
         let (engine, _) = time(&mut || xmlsec_bench::run_view(&s));
         let (naive, _) = time(&mut || xmlsec_bench::run_view_naive(&s));
+        series("engine", SIZE_LABELS[i]).observe_duration(engine);
+        series("naive", SIZE_LABELS[i]).observe_duration(naive);
+    }
+    // Render from the registry, not from locals.
+    let mean = |case: &'static str, projects: &'static str| {
+        let (count, sum) = series(case, projects).totals();
+        telemetry::Unit::Nanoseconds.scale(sum as f64) / (count as f64).max(1.0)
+    };
+    println!("== bench-smoke: B1 view scaling / B5 engine vs naive ==");
+    println!("{:>10} {:>8} {:>12} {:>12} {:>8}", "projects", "nodes", "engine", "naive", "ratio");
+    for (i, &projects) in SIZES.iter().enumerate() {
+        let engine = mean("engine", SIZE_LABELS[i]);
+        let naive = mean("naive", SIZE_LABELS[i]);
         println!(
-            "{projects:>10} {nodes:>8} {:>12} {:>12} {:>7.1}x",
-            format!("{engine:?}"),
-            format!("{naive:?}"),
-            naive.as_secs_f64() / engine.as_secs_f64().max(1e-12)
+            "{projects:>10} {:>8} {:>12} {:>12} {:>7.1}x",
+            node_counts[i],
+            format!("{:.3}ms", engine * 1e3),
+            format!("{:.3}ms", naive * 1e3),
+            naive / engine.max(1e-12)
         );
     }
     println!("(quick shape check; run `cargo bench -p xmlsec-bench` for real numbers)");

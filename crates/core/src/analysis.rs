@@ -112,11 +112,7 @@ enum Ctx<'d> {
 /// Computes the set of schema nodes `path` can select on instances of
 /// `dtd` rooted at `root_element`. Sound over-approximation (predicates
 /// ignored).
-pub fn schema_coverage(
-    dtd: &Dtd,
-    root_element: &str,
-    path: &PathExpr,
-) -> BTreeSet<SchemaNode> {
+pub fn schema_coverage(dtd: &Dtd, root_element: &str, path: &PathExpr) -> BTreeSet<SchemaNode> {
     let Some(root) = dtd.elements.get_key_value(root_element).map(|(k, _)| k.as_str()) else {
         return BTreeSet::new();
     };
@@ -321,7 +317,10 @@ mod tests {
     fn cover(path: &str) -> Vec<String> {
         let dtd = parse_dtd(LAB).unwrap();
         let p = parse_path(path).unwrap();
-        schema_coverage(&dtd, "laboratory", &p).into_iter().map(|n| n.to_string()).collect()
+        schema_coverage(&dtd, "laboratory", &p)
+            .into_iter()
+            .map(|n| n.to_string())
+            .collect()
     }
 
     #[test]

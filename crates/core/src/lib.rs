@@ -38,6 +38,7 @@ pub mod analysis;
 pub mod label;
 pub mod naive;
 pub mod processor;
+pub mod stages;
 pub mod update;
 pub mod view;
 
@@ -45,8 +46,7 @@ pub use analysis::{analyze_against_schema, schema_coverage, AuthCoverage, Schema
 pub use label::{first_def, Label, Sign3};
 pub use naive::{compute_view_naive, naive_final_sign};
 pub use processor::{
-    AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions,
-    SecurityProcessor,
+    AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions, SecurityProcessor,
 };
 pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
 pub use view::{compute_view, label_document, prune_document, render_labeled, Labeling, ViewStats};

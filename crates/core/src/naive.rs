@@ -15,7 +15,9 @@
 
 use crate::label::{first_def, Sign3};
 use crate::view::ViewStats;
-use xmlsec_authz::{policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig};
+use xmlsec_authz::{
+    policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig,
+};
 use xmlsec_subjects::Directory;
 use xmlsec_xml::{Document, NodeData, NodeId};
 use xmlsec_xpath::eval_path;

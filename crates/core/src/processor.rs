@@ -12,11 +12,13 @@
 //! The output carries the view document, its text, and the loosened DTD
 //! text, ready to be "transmitted to the user who requested access".
 
+use crate::stages;
 use crate::view::{compute_view, ViewStats};
 use std::fmt;
 use xmlsec_authz::{AuthorizationBase, PolicyConfig};
-use xmlsec_dtd::{loosen, normalize, parse_dtd, serialize_dtd, Dtd, ValidityError, Validator};
+use xmlsec_dtd::{loosen, normalize, parse_dtd, serialize_dtd, Dtd, Validator, ValidityError};
 use xmlsec_subjects::{Directory, Requester};
+use xmlsec_telemetry as telemetry;
 use xmlsec_xml::{parse, serialize, Document, SerializeOptions};
 
 /// Errors raised by the processor pipeline.
@@ -130,24 +132,36 @@ impl SecurityProcessor {
         request: &AccessRequest,
         source: &DocumentSource<'_>,
     ) -> Result<ProcessOutput, ProcessError> {
+        let _process_span = telemetry::trace::span("processor.process");
+
         // Step 1: parsing (document, then DTD). When no external DTD is
         // supplied, a DOCTYPE internal subset in the document serves as
         // the schema.
-        let mut doc = parse(source.xml)?;
-        let dtd: Option<Dtd> = match source.dtd {
-            Some(text) => Some(parse_dtd(text)?),
-            None => doc
-                .doctype
-                .as_ref()
-                .and_then(|dt| dt.internal_subset.clone())
-                .map(|subset| parse_dtd(&subset))
-                .transpose()?,
+        let mut doc = {
+            let _s = stages::parse();
+            parse(source.xml)?
+        };
+        let dtd: Option<Dtd> = {
+            let _s = stages::dtd_parse();
+            match source.dtd {
+                Some(text) => Some(parse_dtd(text)?),
+                None => doc
+                    .doctype
+                    .as_ref()
+                    .and_then(|dt| dt.internal_subset.clone())
+                    .map(|subset| parse_dtd(&subset))
+                    .transpose()?,
+            }
         };
         if let Some(d) = &dtd {
             // Normalize first so authorizations conditioned on defaulted
             // attributes behave uniformly; then (optionally) validate.
-            normalize(d, &mut doc);
+            {
+                let _s = stages::normalize();
+                normalize(d, &mut doc);
+            }
             if self.options.validate_input {
+                let _s = stages::validate();
                 let errs = Validator::new(d).validate(&doc);
                 if !errs.is_empty() {
                     return Err(ProcessError::Invalid(errs));
@@ -157,6 +171,7 @@ impl SecurityProcessor {
 
         // Steps 1–2 of compute-view: the applicable *read* authorization
         // sets (write authorizations drive `update`, not views).
+        let _authz_span = stages::authz();
         let axml = self.authorizations.applicable_for_action(
             &request.uri,
             &request.requester,
@@ -172,16 +187,21 @@ impl SecurityProcessor {
             ),
             None => Vec::new(),
         };
+        drop(_authz_span);
 
-        // Step 2–3: labeling and pruning.
-        let (view, stats) =
-            compute_view(&doc, &axml, &adtd, &self.directory, self.options.policy);
+        // Step 2–3: labeling and pruning (stage spans open inside
+        // compute_view, where the two halves are distinguishable).
+        let (view, stats) = compute_view(&doc, &axml, &adtd, &self.directory, self.options.policy);
 
         // Loosening, so the view stays valid without revealing what was
         // hidden.
-        let loosened = dtd.as_ref().map(loosen);
+        let loosened = {
+            let _s = stages::loosen();
+            dtd.as_ref().map(loosen)
+        };
         if self.options.verify_view {
             if let Some(l) = &loosened {
+                let _s = stages::verify();
                 let errs = Validator::new(l).validate(&view);
                 debug_assert!(
                     errs.is_empty(),
@@ -191,13 +211,11 @@ impl SecurityProcessor {
         }
 
         // Step 4: unparsing.
-        let xml = serialize(&view, &SerializeOptions::canonical());
-        Ok(ProcessOutput {
-            view,
-            xml,
-            loosened_dtd: loosened.as_ref().map(serialize_dtd),
-            stats,
-        })
+        let xml = {
+            let _s = stages::serialize();
+            serialize(&view, &SerializeOptions::canonical())
+        };
+        Ok(ProcessOutput { view, xml, loosened_dtd: loosened.as_ref().map(serialize_dtd), stats })
     }
 }
 
@@ -214,7 +232,8 @@ mod tests {
         <!ELEMENT manager (#PCDATA)>
         <!ELEMENT paper (#PCDATA)>
     "#;
-    const XML: &str = r#"<lab><project name="p1"><manager>Sam</manager><paper>P</paper></project></lab>"#;
+    const XML: &str =
+        r#"<lab><project name="p1"><manager>Sam</manager><paper>P</paper></project></lab>"#;
 
     fn processor() -> SecurityProcessor {
         let mut dir = Directory::new();
@@ -260,10 +279,7 @@ mod tests {
         p.options.validate_input = true;
         p.options.verify_view = true;
         let out = p.process(&request("Tom"), &source()).unwrap();
-        assert_eq!(
-            out.xml,
-            r#"<lab><project name="p1"><paper>P</paper></project></lab>"#
-        );
+        assert_eq!(out.xml, r#"<lab><project name="p1"><paper>P</paper></project></lab>"#);
         assert!(out.loosened_dtd.as_deref().unwrap().contains("(manager?,paper*)?"));
         assert_eq!(out.stats.instance_auths, 2);
         assert_eq!(out.stats.schema_auths, 1);

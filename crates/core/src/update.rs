@@ -310,8 +310,8 @@ mod tests {
     fn attribute_update_uses_attribute_label() {
         let mut doc = parse(DOC).unwrap();
         // Grant on the element: local write also covers its attributes.
-        let auths = [write_auth("/doc/notes", Sign::Plus),
-                     write_auth("/doc/notes/@author", Sign::Minus)];
+        let auths =
+            [write_auth("/doc/notes", Sign::Plus), write_auth("/doc/notes/@author", Sign::Minus)];
         let labels = labeled(&doc, &auths);
         // @author explicitly denied
         let e = apply_updates(
@@ -336,7 +336,10 @@ mod tests {
             &labels,
         )
         .unwrap();
-        assert_eq!(doc.attribute(doc.child_elements(doc.root()).next().unwrap(), "reviewed"), Some("yes"));
+        assert_eq!(
+            doc.attribute(doc.child_elements(doc.root()).next().unwrap(), "reviewed"),
+            Some("yes")
+        );
     }
 
     #[test]
@@ -362,20 +365,14 @@ mod tests {
 
     #[test]
     fn delete_requires_whole_subtree_writable() {
-        let mut doc =
-            parse(r#"<doc><folder><a>1</a><b locked="x">2</b></folder></doc>"#).unwrap();
+        let mut doc = parse(r#"<doc><folder><a>1</a><b locked="x">2</b></folder></doc>"#).unwrap();
         // folder and <a> writable; <b> carved out.
-        let auths = [
-            write_auth("/doc/folder", Sign::Plus),
-            write_auth("/doc/folder/b", Sign::Minus),
-        ];
+        let auths =
+            [write_auth("/doc/folder", Sign::Plus), write_auth("/doc/folder/b", Sign::Minus)];
         let labels = labeled(&doc, &auths);
-        let e = apply_updates(
-            &mut doc,
-            &[UpdateOp::Delete { target: "/doc/folder".into() }],
-            &labels,
-        )
-        .unwrap_err();
+        let e =
+            apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/folder".into() }], &labels)
+                .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
         // Deleting just <a> is fine.
         apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/folder/a".into() }], &labels)
@@ -409,11 +406,7 @@ mod tests {
         let mut doc = parse(DOC).unwrap();
         let labels = labeled(&doc, &[]);
         assert!(matches!(
-            apply_updates(
-                &mut doc,
-                &[UpdateOp::Delete { target: "/doc/ghost".into() }],
-                &labels
-            ),
+            apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/ghost".into() }], &labels),
             Err(UpdateError::NoSuchNode(_))
         ));
         assert!(matches!(

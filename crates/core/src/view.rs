@@ -30,7 +30,9 @@
 //! missing").
 
 use crate::label::{first_def, Label, Sign3};
-use xmlsec_authz::{policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig};
+use xmlsec_authz::{
+    policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig,
+};
 use xmlsec_subjects::Directory;
 use xmlsec_xml::{Document, NodeData, NodeId};
 use xmlsec_xpath::eval_path;
@@ -354,7 +356,11 @@ pub fn compute_view(
     dir: &Directory,
     policy: PolicyConfig,
 ) -> (Document, ViewStats) {
-    let labeling = label_document(doc, axml, adtd, dir, policy);
+    let labeling = {
+        let _s = crate::stages::label();
+        label_document(doc, axml, adtd, dir, policy)
+    };
+    let _s = crate::stages::prune();
     let mut view = doc.clone();
     let removed = prune_document(&mut view, &labeling, policy);
     let mut stats = labeling.stats;
@@ -487,11 +493,7 @@ mod tests {
             &[
                 auth("d.xml:/lab", Sign::Plus, AuthType::Recursive),
                 auth("d.xml:/lab/paper", Sign::Minus, AuthType::Recursive),
-                auth(
-                    r#"d.xml:/lab/paper[./@category="public"]"#,
-                    Sign::Plus,
-                    AuthType::Local,
-                ),
+                auth(r#"d.xml:/lab/paper[./@category="public"]"#, Sign::Plus, AuthType::Local),
             ],
             &[],
         );
@@ -541,11 +543,8 @@ mod tests {
 
     #[test]
     fn attribute_grant_alone_keeps_element_shell() {
-        let v = view_str(
-            r#"<a x="1">t</a>"#,
-            &[auth("d.xml:/a/@x", Sign::Plus, AuthType::Local)],
-            &[],
-        );
+        let v =
+            view_str(r#"<a x="1">t</a>"#, &[auth("d.xml:/a/@x", Sign::Plus, AuthType::Local)], &[]);
         // @x visible, element text not (element itself unlabeled).
         assert_eq!(v, r#"<a x="1"/>"#);
     }
@@ -587,8 +586,7 @@ mod tests {
         );
         // The caller (store) filters by requester coverage; here the auth
         // is already applicable, so labeling just uses it.
-        let (view, stats) =
-            compute_view(&doc, &[&g], &[], &d, PolicyConfig::paper_default());
+        let (view, stats) = compute_view(&doc, &[&g], &[], &d, PolicyConfig::paper_default());
         assert_eq!(serialize(&view, &SerializeOptions::canonical()), "<a>t</a>");
         assert_eq!(stats.instance_auths, 1);
     }
@@ -617,8 +615,7 @@ mod tests {
     fn labeled_render_shows_signs() {
         let doc = parse("<a><b/></a>").unwrap();
         let a = auth("d.xml:/a/b", Sign::Plus, AuthType::Recursive);
-        let labeling =
-            label_document(&doc, &[&a], &[], &dir(), PolicyConfig::paper_default());
+        let labeling = label_document(&doc, &[&a], &[], &dir(), PolicyConfig::paper_default());
         let s = render_labeled(&doc, &labeling);
         assert!(s.contains("(a) [ε]"), "{s}");
         assert!(s.contains("(b) [+]"), "{s}");

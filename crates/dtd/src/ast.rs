@@ -398,10 +398,7 @@ mod tests {
         assert_eq!(ContentSpec::Empty.to_string(), "EMPTY");
         assert_eq!(ContentSpec::Any.to_string(), "ANY");
         assert_eq!(ContentSpec::Mixed(vec![]).to_string(), "(#PCDATA)");
-        assert_eq!(
-            ContentSpec::Mixed(vec!["b".into(), "i".into()]).to_string(),
-            "(#PCDATA|b|i)*"
-        );
+        assert_eq!(ContentSpec::Mixed(vec!["b".into(), "i".into()]).to_string(), "(#PCDATA|b|i)*");
     }
 
     #[test]
@@ -436,7 +433,9 @@ mod tests {
         let mut d = Dtd::default();
         d.add_element(ElementDecl {
             name: "lab".into(),
-            content: ContentSpec::Children(Particle::name("project").with_card(Cardinality::OneOrMore)),
+            content: ContentSpec::Children(
+                Particle::name("project").with_card(Cardinality::OneOrMore),
+            ),
         });
         d.add_element(ElementDecl { name: "project".into(), content: ContentSpec::Mixed(vec![]) });
         assert_eq!(d.root_candidates(), vec!["lab"]);

@@ -146,10 +146,9 @@ impl fmt::Display for ValidityError {
             ),
             UnexpectedText(e) => write!(f, "text content not allowed in <{e}>"),
             NonEmptyContent(e) => write!(f, "element <{e}> is declared EMPTY but has content"),
-            NondeterministicModel { element, symbol } => write!(
-                f,
-                "content model of <{element}> is nondeterministic on {symbol:?}"
-            ),
+            NondeterministicModel { element, symbol } => {
+                write!(f, "content model of <{element}> is nondeterministic on {symbol:?}")
+            }
         }
     }
 }

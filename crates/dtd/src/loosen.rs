@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn mixed_and_empty_unchanged() {
-        let dtd = parse_dtd("<!ELEMENT p (#PCDATA|b)*><!ELEMENT e EMPTY><!ELEMENT x ANY><!ELEMENT b (#PCDATA)>").unwrap();
+        let dtd = parse_dtd(
+            "<!ELEMENT p (#PCDATA|b)*><!ELEMENT e EMPTY><!ELEMENT x ANY><!ELEMENT b (#PCDATA)>",
+        )
+        .unwrap();
         let l = loosen(&dtd);
         assert_eq!(l.element("p").unwrap().content, dtd.element("p").unwrap().content);
         assert_eq!(l.element("e").unwrap().content, ContentSpec::Empty);

@@ -98,8 +98,7 @@ mod tests {
     fn conditions_see_injected_defaults() {
         let mut doc = parse(r#"<lab><project name="p"/></lab>"#).unwrap();
         normalize(&dtd(), &mut doc);
-        let hits =
-            xmlsec_xpath_select(&doc, r#"/lab/project[./@status="active"]"#);
+        let hits = xmlsec_xpath_select(&doc, r#"/lab/project[./@status="active"]"#);
         assert_eq!(hits, 1);
     }
 

@@ -570,10 +570,8 @@ mod tests {
 
     #[test]
     fn comments_and_pis_skipped() {
-        let dtd = parse_dtd(
-            "<!-- schema --><?build keep?><!ELEMENT a EMPTY><!-- done -->",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!-- schema --><?build keep?><!ELEMENT a EMPTY><!-- done -->").unwrap();
         assert_eq!(dtd.elements.len(), 1);
     }
 

@@ -83,10 +83,8 @@ mod tests {
 
     #[test]
     fn entities_and_notations_serialized() {
-        let d = parse_dtd(
-            r#"<!ENTITY lab "CSlab"><!NOTATION gif SYSTEM "gif"><!ELEMENT a EMPTY>"#,
-        )
-        .unwrap();
+        let d = parse_dtd(r#"<!ENTITY lab "CSlab"><!NOTATION gif SYSTEM "gif"><!ELEMENT a EMPTY>"#)
+            .unwrap();
         let text = serialize_dtd(&d);
         assert!(text.contains("<!ENTITY lab \"CSlab\">"), "{text}");
         assert!(text.contains("<!NOTATION gif SYSTEM \"gif\">"), "{text}");
@@ -96,8 +94,8 @@ mod tests {
 
     #[test]
     fn fixed_and_default_attribute_values() {
-        let d = parse_dtd(r#"<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1" w CDATA "x">"#)
-            .unwrap();
+        let d =
+            parse_dtd(r#"<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1" w CDATA "x">"#).unwrap();
         let text = serialize_dtd(&d);
         assert!(text.contains("#FIXED \"1\""), "{text}");
         assert!(text.contains("w CDATA \"x\""), "{text}");

@@ -281,8 +281,10 @@ mod tests {
 
     #[test]
     fn missing_required_attribute() {
-        let doc = parse(r#"<laboratory><project type="internal"><manager>S</manager></project></laboratory>"#)
-            .unwrap();
+        let doc = parse(
+            r#"<laboratory><project type="internal"><manager>S</manager></project></laboratory>"#,
+        )
+        .unwrap();
         let errs = validate(&lab(), &doc);
         assert!(errs.iter().any(|e| matches!(e,
             ValidityError::MissingRequiredAttribute { element, attribute }
@@ -296,7 +298,9 @@ mod tests {
         )
         .unwrap();
         let errs = validate(&lab(), &doc);
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::InvalidEnumValue { value, .. } if value == "secret")));
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidityError::InvalidEnumValue { value, .. } if value == "secret")
+        ));
     }
 
     #[test]
@@ -319,7 +323,9 @@ mod tests {
         )
         .unwrap();
         let errs = validate(&lab(), &doc);
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::UndeclaredElement(n) if n == "budget")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::UndeclaredElement(n) if n == "budget")));
         assert!(errs.iter().any(|e| matches!(e,
             ValidityError::UndeclaredAttribute { attribute, .. } if attribute == "owner")));
     }
@@ -331,7 +337,9 @@ mod tests {
         )
         .unwrap();
         let errs = validate(&lab(), &doc);
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::UnexpectedText(n) if n == "laboratory")));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::UnexpectedText(n) if n == "laboratory")));
     }
 
     #[test]
@@ -349,8 +357,7 @@ mod tests {
 
     #[test]
     fn fixed_value_mismatch() {
-        let dtd =
-            parse_dtd(r#"<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1">"#).unwrap();
+        let dtd = parse_dtd(r#"<!ELEMENT a EMPTY><!ATTLIST a v CDATA #FIXED "1">"#).unwrap();
         let ok = parse(r#"<a v="1"/>"#).unwrap();
         assert!(validate(&dtd, &ok).is_empty());
         let bad = parse(r#"<a v="2"/>"#).unwrap();
@@ -377,7 +384,10 @@ mod tests {
 
     #[test]
     fn determinism_check_optional() {
-        let dtd = parse_dtd("<!ELEMENT a ((b,c)|(b,d))><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>").unwrap();
+        let dtd = parse_dtd(
+            "<!ELEMENT a ((b,c)|(b,d))><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>",
+        )
+        .unwrap();
         let doc = parse("<a><b/><c/></a>").unwrap();
         // Default: ambiguity tolerated, document matches.
         assert!(Validator::new(&dtd).validate(&doc).is_empty());

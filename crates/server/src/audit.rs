@@ -1,7 +1,11 @@
 //! Audit log: a record of every access decision the server takes.
+//!
+//! Appends are timed into the `xmlsec_audit_append_duration_seconds`
+//! histogram so `/metrics` exposes the cost of the audit trail itself.
 
-use parking_lot::Mutex;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+use xmlsec_telemetry as telemetry;
 
 /// Outcome of one request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +47,18 @@ impl fmt::Display for AuditRecord {
     }
 }
 
+fn append_histogram() -> &'static Arc<telemetry::Histogram> {
+    static HIST: OnceLock<Arc<telemetry::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| {
+        telemetry::global().histogram(
+            "xmlsec_audit_append_duration_seconds",
+            "Latency of appending one audit record.",
+            &[],
+            telemetry::Buckets::duration_default(),
+        )
+    })
+}
+
 /// Thread-safe, append-only audit log.
 #[derive(Debug, Default)]
 pub struct AuditLog {
@@ -55,27 +71,33 @@ impl AuditLog {
         Self::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<AuditRecord>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Appends a record, assigning its sequence number.
     pub fn record(&self, requester: &str, uri: &str, outcome: AuditOutcome) -> u64 {
-        let mut inner = self.inner.lock();
-        let seq = inner.len() as u64;
-        inner.push(AuditRecord {
-            seq,
-            requester: requester.to_string(),
-            uri: uri.to_string(),
-            outcome,
-        });
-        seq
+        append_histogram().time(|| {
+            let mut inner = self.lock();
+            let seq = inner.len() as u64;
+            inner.push(AuditRecord {
+                seq,
+                requester: requester.to_string(),
+                uri: uri.to_string(),
+                outcome,
+            });
+            seq
+        })
     }
 
     /// A snapshot of all records.
     pub fn records(&self) -> Vec<AuditRecord> {
-        self.inner.lock().clone()
+        self.lock().clone()
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.lock().len()
     }
 
     /// `true` when nothing has been recorded.
@@ -103,5 +125,13 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[1].uri, "b.xml");
         assert!(records[0].to_string().contains("NotFound"));
+    }
+
+    #[test]
+    fn append_latency_is_measured() {
+        let before = append_histogram().totals().0;
+        let log = AuditLog::new();
+        log.record("Public@*(*)", "a.xml", AuditOutcome::NotFound);
+        assert!(append_histogram().totals().0 > before);
     }
 }

@@ -7,11 +7,17 @@
 //! every anonymous `Public` reader of a popular document into one entry.
 //! This is the server-side optimization the paper's on-line scenario
 //! invites; the `server` bench measures its effect.
+//!
+//! Cache traffic is mirrored into the global telemetry registry
+//! (`xmlsec_view_cache_{hits,misses,evictions}_total` and the
+//! `xmlsec_view_cache_entries` gauge) so `/metrics` and the CLI `stats`
+//! command see it without asking the server for its internal counters.
 
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+use xmlsec_telemetry as telemetry;
 
 /// Key ingredients for one cached view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -42,65 +48,144 @@ pub struct CachedView {
     pub loosened_dtd: Option<String>,
 }
 
+struct CacheMetrics {
+    hits: Arc<telemetry::Counter>,
+    misses: Arc<telemetry::Counter>,
+    evictions: Arc<telemetry::Counter>,
+    entries: Arc<telemetry::Gauge>,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: OnceLock<CacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        CacheMetrics {
+            hits: reg.counter(
+                "xmlsec_view_cache_hits_total",
+                "View-cache lookups answered from a cached view.",
+                &[],
+            ),
+            misses: reg.counter(
+                "xmlsec_view_cache_misses_total",
+                "View-cache lookups that required a full pipeline run.",
+                &[],
+            ),
+            evictions: reg.counter(
+                "xmlsec_view_cache_evictions_total",
+                "Cached views dropped to stay within capacity.",
+                &[],
+            ),
+            entries: reg.gauge(
+                "xmlsec_view_cache_entries",
+                "Views currently held in the cache.",
+                &[],
+            ),
+        }
+    })
+}
+
 /// Thread-safe view cache with hit/miss counters.
 #[derive(Debug, Default)]
 pub struct ViewCache {
     inner: Mutex<CacheInner>,
+    /// Maximum entries before insertion evicts (None = unbounded).
+    capacity: Option<usize>,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
     map: HashMap<ViewKey, CachedView>,
+    /// Insertion order, oldest first, for FIFO eviction. May hold stale
+    /// keys after invalidation; eviction skips those.
+    order: Vec<ViewKey>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ViewCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache that evicts oldest-inserted views past `capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ViewCache { inner: Mutex::new(CacheInner::default()), capacity: Some(capacity) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Looks up a view, counting the hit/miss.
     pub fn get(&self, key: &ViewKey) -> Option<CachedView> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match inner.map.get(key).cloned() {
             Some(v) => {
                 inner.hits += 1;
+                cache_metrics().hits.inc();
                 Some(v)
             }
             None => {
                 inner.misses += 1;
+                cache_metrics().misses.inc();
                 None
             }
         }
     }
 
-    /// Stores a view.
+    /// Stores a view, evicting the oldest entries if over capacity.
     pub fn put(&self, key: ViewKey, view: CachedView) {
-        self.inner.lock().map.insert(key, view);
+        let mut inner = self.lock();
+        if inner.map.insert(key.clone(), view).is_none() {
+            inner.order.push(key);
+        }
+        if let Some(cap) = self.capacity {
+            let mut cursor = 0;
+            while inner.map.len() > cap && cursor < inner.order.len() {
+                let victim = inner.order[cursor].clone();
+                cursor += 1;
+                if inner.map.remove(&victim).is_some() {
+                    inner.evictions += 1;
+                    cache_metrics().evictions.inc();
+                }
+            }
+            inner.order.drain(..cursor);
+        }
+        cache_metrics().entries.set(inner.map.len() as i64);
     }
 
     /// Drops every entry for `uri` (call when a document or its XACL
     /// changes).
     pub fn invalidate_uri(&self, uri: &str) {
-        self.inner.lock().map.retain(|k, _| k.uri != uri);
+        let mut inner = self.lock();
+        inner.map.retain(|k, _| k.uri != uri);
+        cache_metrics().entries.set(inner.map.len() as i64);
     }
 
     /// Clears the cache entirely.
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        cache_metrics().entries.set(0);
     }
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         (inner.hits, inner.misses)
+    }
+
+    /// Views evicted for capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.lock().map.len()
     }
 
     /// `true` when the cache is empty.
@@ -152,5 +237,43 @@ mod tests {
         assert!(c.get(&key("b", 1)).is_some());
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let c = ViewCache::with_capacity(2);
+        c.put(key("a", 1), view("<a/>"));
+        c.put(key("b", 1), view("<b/>"));
+        c.put(key("c", 1), view("<c/>"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&key("a", 1)).is_none(), "oldest entry should be evicted");
+        assert!(c.get(&key("b", 1)).is_some());
+        assert!(c.get(&key("c", 1)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count_order() {
+        let c = ViewCache::with_capacity(2);
+        c.put(key("a", 1), view("<a/>"));
+        c.put(key("a", 1), view("<a v2/>"));
+        c.put(key("b", 1), view("<b/>"));
+        // Still within capacity: nothing evicted despite two puts of "a".
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&key("a", 1)).unwrap().xml, "<a v2/>");
+    }
+
+    #[test]
+    fn eviction_skips_invalidated_keys() {
+        let c = ViewCache::with_capacity(2);
+        c.put(key("a", 1), view("<a/>"));
+        c.put(key("b", 1), view("<b/>"));
+        c.invalidate_uri("a");
+        c.put(key("c", 1), view("<c/>"));
+        // "a" is already gone; capacity holds without a real eviction.
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert!(c.get(&key("b", 1)).is_some());
     }
 }

@@ -18,6 +18,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+use xmlsec_telemetry as telemetry;
+
+/// How often the accept loop re-checks the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// Handle to a running demo server.
 pub struct HttpDemo {
@@ -32,20 +37,32 @@ impl HttpDemo {
     pub fn start(server: SecureServer, addr: &str) -> std::io::Result<HttpDemo> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Nonblocking accept: a blocking accept would only notice the stop
+        // flag after one more connection arrived, so shutdown could hang
+        // (e.g. when the bind address is unspecified and no self-connect
+        // reaches the listener). Polling sidesteps the race entirely.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let server = Arc::new(server);
-            for conn in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        // The accepted socket must block; inheritance of
+                        // the nonblocking flag is platform-dependent.
+                        let _ = conn.set_nonblocking(false);
+                        let server = Arc::clone(&server);
+                        // One thread per connection keeps the demo simple.
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(&server, conn);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
-                let Ok(conn) = conn else { continue };
-                let server = Arc::clone(&server);
-                // One thread per connection keeps the demo simple.
-                std::thread::spawn(move || {
-                    let _ = handle_connection(&server, conn);
-                });
             }
         });
         Ok(HttpDemo { addr: local, stop, handle: Some(handle) })
@@ -59,8 +76,6 @@ impl HttpDemo {
     /// Stops the accept loop (in-flight connections finish).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -89,6 +104,15 @@ fn handle_connection(server: &SecureServer, conn: TcpStream) -> std::io::Result<
         }
     }
     let mut out = conn;
+
+    // Observability endpoint, before any document handling: the whole
+    // process shares one registry, so this surfaces pipeline, cache and
+    // request metrics in the Prometheus text exposition format.
+    let target = line.split_whitespace().nth(1).unwrap_or("");
+    if target == "/metrics" || target.starts_with("/metrics?") {
+        let body = telemetry::global().render_prometheus();
+        return respond(&mut out, 200, "OK", "text/plain; version=0.0.4", &body);
+    }
 
     let Some(request) = parse_request_line(&line, &peer_ip) else {
         return respond(&mut out, 400, "Bad Request", "text/plain", "malformed request line\n");
@@ -245,7 +269,8 @@ mod tests {
         ));
         let mut s = SecureServer::new(dir, base);
         s.register_credentials("tom", "pw");
-        s.repository_mut().put_document("doc.xml", "<d><pub>hello</pub><priv>no</priv></d>", None);
+        s.repository_mut()
+            .put_document("doc.xml", "<d><pub>hello</pub><priv>no</priv></d>", None);
         HttpDemo::start(s, "127.0.0.1:0").expect("bind ephemeral port")
     }
 
@@ -254,11 +279,7 @@ mod tests {
         write!(conn, "GET {target} HTTP/1.0\r\nHost: test\r\n\r\n").expect("write");
         let mut buf = String::new();
         conn.read_to_string(&mut buf).expect("read");
-        let code: u16 = buf
-            .split_whitespace()
-            .nth(1)
-            .and_then(|c| c.parse().ok())
-            .unwrap_or(0);
+        let code: u16 = buf.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
         let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
         (code, body)
     }
@@ -266,8 +287,7 @@ mod tests {
     #[test]
     fn serves_views_over_http() {
         let demo = demo();
-        let (code, body) =
-            get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        let (code, body) = get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
         assert_eq!(code, 200);
         assert!(body.contains("hello"), "{body}");
         assert!(!body.contains("no"), "{body}");
@@ -276,8 +296,7 @@ mod tests {
     #[test]
     fn wrong_password_is_401() {
         let demo = demo();
-        let (code, _) =
-            get(demo.addr(), "/doc.xml?user=tom&pass=oops&ip=1.2.3.4&host=h.x.org");
+        let (code, _) = get(demo.addr(), "/doc.xml?user=tom&pass=oops&ip=1.2.3.4&host=h.x.org");
         assert_eq!(code, 401);
     }
 
@@ -291,17 +310,13 @@ mod tests {
     #[test]
     fn queries_over_http() {
         let demo = demo();
-        let (code, body) = get(
-            demo.addr(),
-            "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%2Fd%2Fpub",
-        );
+        let (code, body) =
+            get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%2Fd%2Fpub");
         assert_eq!(code, 200);
         assert_eq!(body.trim(), "<pub>hello</pub>");
         // A malformed query is a 400.
-        let (code2, _) = get(
-            demo.addr(),
-            "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%5B%5B",
-        );
+        let (code2, _) =
+            get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%5B%5B");
         assert_eq!(code2, 400);
     }
 
@@ -339,5 +354,25 @@ mod tests {
         let mut demo = demo();
         demo.shutdown();
         demo.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_without_any_connection() {
+        // The old accept loop blocked until one more connection arrived;
+        // shutting down a server nobody ever talked to must still return.
+        let mut demo = demo();
+        let t = std::time::Instant::now();
+        demo.shutdown();
+        assert!(t.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_prometheus_text() {
+        let demo = demo();
+        let _ = get(demo.addr(), "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        let (code, body) = get(demo.addr(), "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("# TYPE xmlsec_requests_total counter"), "{body}");
+        assert!(body.contains("xmlsec_pipeline_stage_duration_seconds_bucket"), "{body}");
     }
 }

@@ -24,5 +24,5 @@ pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use cache::{CachedView, ViewCache, ViewKey};
 pub use http::HttpDemo;
 pub use repo::{Repository, StoredDocument};
-pub use site::{load_site, SiteError, SiteSummary};
 pub use server::{ClientRequest, QueryResponse, SecureServer, ServerError, ServerResponse};
+pub use site::{load_site, SiteError, SiteSummary};

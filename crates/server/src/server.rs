@@ -8,10 +8,14 @@ use crate::cache::{fingerprint, CachedView, ViewCache, ViewKey};
 use crate::repo::Repository;
 use std::collections::HashMap;
 use std::fmt;
-use xmlsec_authz::{Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig};
+use std::sync::{Arc, OnceLock};
+use xmlsec_authz::{
+    Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig,
+};
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
 use xmlsec_core::{AccessRequest, DocumentSource, SecurityProcessor};
 use xmlsec_subjects::{Directory, Requester};
+use xmlsec_telemetry as telemetry;
 
 /// Errors returned to a client.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +48,61 @@ impl fmt::Display for ServerError {
 }
 
 impl std::error::Error for ServerError {}
+
+struct ServerMetrics {
+    served: Arc<telemetry::Counter>,
+    served_cached: Arc<telemetry::Counter>,
+    auth_failed: Arc<telemetry::Counter>,
+    not_found: Arc<telemetry::Counter>,
+    bad_request: Arc<telemetry::Counter>,
+    processing_error: Arc<telemetry::Counter>,
+    duration: Arc<telemetry::Histogram>,
+}
+
+impl ServerMetrics {
+    fn for_result(&self, r: &Result<ServerResponse, ServerError>) -> &telemetry::Counter {
+        match r {
+            Ok(resp) if resp.cached => &self.served_cached,
+            Ok(_) => &self.served,
+            Err(ServerError::AuthenticationFailed) => &self.auth_failed,
+            Err(ServerError::NotFound(_)) => &self.not_found,
+            Err(ServerError::Processing(_)) => &self.processing_error,
+            Err(
+                ServerError::BadRequest(_)
+                | ServerError::BadQuery(_)
+                | ServerError::UpdateDenied(_),
+            ) => &self.bad_request,
+        }
+    }
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        let outcome = |o: &'static str| {
+            reg.counter(
+                "xmlsec_requests_total",
+                "Document requests handled, by outcome.",
+                &[("outcome", o)],
+            )
+        };
+        ServerMetrics {
+            served: outcome("served"),
+            served_cached: outcome("served_cached"),
+            auth_failed: outcome("auth_failed"),
+            not_found: outcome("not_found"),
+            bad_request: outcome("bad_request"),
+            processing_error: outcome("processing_error"),
+            duration: reg.histogram(
+                "xmlsec_request_duration_seconds",
+                "End-to-end latency of one document request.",
+                &[],
+                telemetry::Buckets::duration_default(),
+            ),
+        }
+    })
+}
 
 /// A client request: credentials plus connection endpoints.
 #[derive(Debug, Clone)]
@@ -192,11 +251,26 @@ impl SecureServer {
 
     /// Handles one request end to end.
     pub fn handle(&self, req: &ClientRequest) -> Result<ServerResponse, ServerError> {
+        let m = server_metrics();
+        let result = m.duration.time(|| {
+            let _span = telemetry::trace::span("server.handle");
+            self.handle_inner(req)
+        });
+        m.for_result(&result).inc();
+        result
+    }
+
+    fn handle_inner(&self, req: &ClientRequest) -> Result<ServerResponse, ServerError> {
         let user = match self.authenticate(req) {
             Ok(u) => u,
             Err(e) => {
                 self.audit.record(
-                    &format!("{}@{}({})", req.user.as_ref().map(|(u, _)| u.as_str()).unwrap_or("?"), req.sym, req.ip),
+                    &format!(
+                        "{}@{}({})",
+                        req.user.as_ref().map(|(u, _)| u.as_str()).unwrap_or("?"),
+                        req.sym,
+                        req.ip
+                    ),
                     &req.uri,
                     AuditOutcome::AuthenticationFailed,
                 );
@@ -285,8 +359,8 @@ impl SecureServer {
         let parsed =
             xmlsec_xpath::parse_path(path).map_err(|e| ServerError::BadQuery(e.to_string()))?;
         let resp = self.handle(req)?;
-        let view = xmlsec_xml::parse(&resp.xml)
-            .map_err(|e| ServerError::Processing(e.to_string()))?;
+        let view =
+            xmlsec_xml::parse(&resp.xml).map_err(|e| ServerError::Processing(e.to_string()))?;
         let hits = xmlsec_xpath::select(&view, &parsed);
         let matches = hits
             .iter()
@@ -312,8 +386,8 @@ impl SecureServer {
         let Some(stored) = self.repository.document(&req.uri) else {
             return Err(ServerError::NotFound(req.uri.clone()));
         };
-        let mut doc = xmlsec_xml::parse(&stored.xml)
-            .map_err(|e| ServerError::Processing(e.to_string()))?;
+        let mut doc =
+            xmlsec_xml::parse(&stored.xml).map_err(|e| ServerError::Processing(e.to_string()))?;
         // Normalize defaulted attributes first, exactly as the read path
         // does, so write authorizations conditioned on them match; the
         // stored document materializes the defaults on the next write.
@@ -488,10 +562,7 @@ mod tests {
     #[test]
     fn unknown_document_not_found() {
         let s = server();
-        assert!(matches!(
-            s.handle(&req(None, "missing.xml")),
-            Err(ServerError::NotFound(_))
-        ));
+        assert!(matches!(s.handle(&req(None, "missing.xml")), Err(ServerError::NotFound(_))));
     }
 
     #[test]
@@ -510,6 +581,77 @@ mod tests {
         let (hits, misses) = s.cache_stats();
         assert_eq!(hits, 1);
         assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn cache_hits_are_visible_in_global_metrics() {
+        // The cache mirrors its traffic into the global telemetry
+        // registry, where /metrics and the CLI read it.
+        let read = |text: &str, name: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(name) && !l.starts_with('#'))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let before = telemetry::global().render_prometheus();
+        let s = server();
+        let _ = s.handle(&req(Some(("Tom", "tom-secret")), "lab.xml")).unwrap();
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        let after = telemetry::global().render_prometheus();
+        assert!(
+            read(&after, "xmlsec_view_cache_hits_total")
+                >= read(&before, "xmlsec_view_cache_hits_total") + 1,
+            "the shared-fingerprint hit must show up in the hit counter"
+        );
+        assert!(
+            read(&after, "xmlsec_view_cache_misses_total")
+                >= read(&before, "xmlsec_view_cache_misses_total") + 1
+        );
+    }
+
+    #[test]
+    fn policy_change_changes_cache_key() {
+        // The fingerprint folds in the policy tag, so the same requester
+        // under a different policy cannot be served a stale view.
+        let s = server();
+        let r1 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r1.cached);
+        let r2 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(r2.cached);
+        let s = s.with_policy(PolicyConfig {
+            completeness: CompletenessPolicy::Open,
+            ..PolicyConfig::paper_default()
+        });
+        let r3 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r3.cached, "a policy change must miss the cache");
+        assert!(
+            r3.xml.contains("internal"),
+            "open policy exposes the unregulated element: {}",
+            r3.xml
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_requester_identity() {
+        // Different identities, same applicable authorizations → same
+        // fingerprint → shared view; an extra applicable authorization →
+        // different fingerprint.
+        let s = server();
+        let requester = |u: &str| Requester::new(u, "150.100.30.8", "tweety.lab.com").unwrap();
+        let tom_inst = s.applicable_indices("lab.xml", &requester("Tom"));
+        let anon_inst = s.applicable_indices("lab.xml", &requester("anonymous"));
+        let sam_inst = s.applicable_indices("lab.xml", &requester("Sam"));
+        assert_eq!(
+            fingerprint(&tom_inst, &[], 0),
+            fingerprint(&anon_inst, &[], 0),
+            "Tom and anonymous share the Public grant only"
+        );
+        assert_ne!(
+            fingerprint(&tom_inst, &[], 0),
+            fingerprint(&sam_inst, &[], 0),
+            "Sam's Staff grant changes the applicable set"
+        );
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
     fn laboratory_site(tag: &str) -> TempSite {
         use xmlsec_workload::laboratory::*;
         let site = TempSite::new(tag);
-        site.write("_directory.txt", "user Tom\ngroup Public\ngroup Foreign\nmember Tom Public\nmember Tom Foreign\n");
+        site.write(
+            "_directory.txt",
+            "user Tom\ngroup Public\ngroup Foreign\nmember Tom Public\nmember Tom Foreign\n",
+        );
         site.write("_credentials.txt", "Tom pw\n");
         site.write("laboratory.xml.dtd", LAB_DTD);
         // Rewrite the DOCTYPE so the SYSTEM id matches the site file name.

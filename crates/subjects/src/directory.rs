@@ -104,9 +104,7 @@ impl Directory {
         }
         match self.kinds.get(group) {
             None => return Err(DirectoryError::Unknown(group.to_string())),
-            Some(PrincipalKind::User) => {
-                return Err(DirectoryError::NotAGroup(group.to_string()))
-            }
+            Some(PrincipalKind::User) => return Err(DirectoryError::NotAGroup(group.to_string())),
             Some(PrincipalKind::Group) => {}
         }
         // Cycle check: a group cannot contain itself, directly or

@@ -102,9 +102,8 @@ impl FromStr for IpPattern {
                         "wildcards must be right-most in IP pattern {s:?}"
                     )));
                 }
-                let octet: u8 = p
-                    .parse()
-                    .map_err(|_| PatternError(format!("bad octet {p:?} in {s:?}")))?;
+                let octet: u8 =
+                    p.parse().map_err(|_| PatternError(format!("bad octet {p:?} in {s:?}")))?;
                 prefix.push(octet);
             }
         }
@@ -175,11 +174,8 @@ impl SymPattern {
         if other.is_concrete() {
             return self == other;
         }
-        let min_len = if self.is_concrete() {
-            other.suffix_rtl.len() + 1
-        } else {
-            other.suffix_rtl.len()
-        };
+        let min_len =
+            if self.is_concrete() { other.suffix_rtl.len() + 1 } else { other.suffix_rtl.len() };
         self.suffix_rtl.len() >= min_len
             && self.suffix_rtl[..other.suffix_rtl.len()] == other.suffix_rtl[..]
     }

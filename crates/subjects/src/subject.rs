@@ -30,11 +30,7 @@ impl Subject {
 
     /// A subject constraining only the user/group (`⟨ug, *, *⟩`).
     pub fn of_user_group(user_group: &str) -> Subject {
-        Subject {
-            user_group: user_group.to_string(),
-            ip: IpPattern::any(),
-            sym: SymPattern::any(),
-        }
+        Subject { user_group: user_group.to_string(), ip: IpPattern::any(), sym: SymPattern::any() }
     }
 
     /// The ASH partial order: `self ≤ other` iff the user/group is a
@@ -59,16 +55,11 @@ impl std::str::FromStr for Subject {
     /// Parses the paper's display notation `⟨ug, ip, sn⟩` (ASCII angle
     /// brackets and bare `ug,ip,sn` accepted too).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let trimmed = s
-            .trim()
-            .trim_start_matches(['⟨', '<'])
-            .trim_end_matches(['⟩', '>']);
+        let trimmed = s.trim().trim_start_matches(['⟨', '<']).trim_end_matches(['⟩', '>']);
         let parts: Vec<&str> = trimmed.split(',').map(str::trim).collect();
         match parts.as_slice() {
             [ug, ip, sn] if !ug.is_empty() => Subject::new(ug, ip, sn),
-            _ => Err(PatternError(format!(
-                "subject must be ⟨user-group, ip, sym⟩, got {s:?}"
-            ))),
+            _ => Err(PatternError(format!("subject must be ⟨user-group, ip, sym⟩, got {s:?}"))),
         }
     }
 }
@@ -163,7 +154,7 @@ mod tests {
         assert!(tom_here.leq(&foreign_any, &d));
         assert!(tom_here.leq(&public_it, &d));
         assert!(!tom_here.leq(&admin_host, &d)); // Tom not in Admin
-        // all three components must agree
+                                                 // all three components must agree
         let tom_elsewhere = Subject::new("Tom", "130.100.50.8", "x.lab.com").unwrap();
         assert!(!tom_elsewhere.leq(&public_it, &d));
     }

@@ -1,0 +1,91 @@
+//! # xmlsec-telemetry — observability for the security pipeline
+//!
+//! The paper's §7 architecture puts the security processor in front of
+//! every document request; before any of that can be made faster it has
+//! to be *measurable*. This crate is the measurement layer: a
+//! zero-dependency tracing + metrics subsystem matching the workspace's
+//! from-scratch style.
+//!
+//! Two facilities:
+//!
+//! - [`metrics`] — a registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s and fixed-bucket [`metrics::Histogram`]s, all
+//!   lock-free on the hot path (plain atomics; histograms shard their
+//!   buckets by thread to dodge contention), rendered in the Prometheus
+//!   text exposition format by [`metrics::Registry::render_prometheus`];
+//! - [`trace`] — lightweight hierarchical spans with monotonic timings, a
+//!   ring buffer of recently finished spans, and pluggable
+//!   [`trace::Subscriber`]s so tests can capture events.
+//!
+//! Everything reports into one process-wide registry ([`global`]) so the
+//! `GET /metrics` endpoint, the CLI `stats` command, and the bench
+//! harness read from the same source of truth. A single atomic switch
+//! ([`set_enabled`]) turns all recording off, which is how the overhead
+//! bench measures the cost of instrumentation itself (kept under 5% of
+//! pipeline time; see `EXPERIMENTS.md`).
+//!
+//! ```
+//! use xmlsec_telemetry as telemetry;
+//!
+//! let c = telemetry::global().counter(
+//!     "xmlsec_example_total", "Things that happened.", &[("kind", "demo")]);
+//! c.inc();
+//! {
+//!     let _span = telemetry::trace::span("example.stage");
+//!     // ... timed work ...
+//! }
+//! let text = telemetry::global().render_prometheus();
+//! assert!(text.contains("xmlsec_example_total{kind=\"demo\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub use metrics::{Buckets, Counter, Gauge, Histogram, Registry, Unit};
+pub use trace::{FinishedSpan, SpanGuard, Subscriber};
+
+/// Master switch for all recording (metrics and spans). On by default.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns every recording path on or off. With recording off, counters
+/// stop counting and spans become no-ops (no clock reads) — the knob the
+/// overhead bench flips to measure instrumentation cost.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide registry all instrumented crates report into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disable_stops_counting() {
+        let c = global().counter("xmsec_test_disable_total", "test", &[]);
+        c.inc();
+        let before = c.get();
+        set_enabled(false);
+        c.inc();
+        c.inc();
+        set_enabled(true);
+        assert_eq!(c.get(), before);
+        c.inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

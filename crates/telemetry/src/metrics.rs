@@ -1,0 +1,588 @@
+//! Counters, gauges, sharded histograms, and the metric registry.
+//!
+//! Hot-path operations are single atomic RMWs (plus one relaxed load of
+//! the global enable flag). Registration and rendering take a `Mutex`,
+//! which only the registration path and `/metrics` scrapes touch.
+//! Callers are expected to look a metric up once (an `Arc` handle) and
+//! hold it, not to re-resolve names per event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// How a histogram's raw `u64` observations translate for exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Raw values are nanoseconds; exposed as seconds (Prometheus
+    /// convention for `_seconds` histograms).
+    Nanoseconds,
+    /// Raw values exposed as-is (sizes, counts).
+    None,
+}
+
+impl Unit {
+    /// Converts a raw observation into exposition units.
+    pub fn scale(self, raw: f64) -> f64 {
+        match self {
+            Unit::Nanoseconds => raw / 1e9,
+            Unit::None => raw,
+        }
+    }
+}
+
+/// Bucket layout for a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buckets {
+    /// Upper bounds (inclusive), ascending, in raw units. An implicit
+    /// `+Inf` bucket follows the last bound.
+    pub bounds: Vec<u64>,
+    /// Raw-unit interpretation.
+    pub unit: Unit,
+}
+
+impl Buckets {
+    /// The default latency layout: 10 µs … 10 s, roughly 1-2.5-5 per
+    /// decade, in nanoseconds.
+    pub fn duration_default() -> Self {
+        const US: u64 = 1_000;
+        const MS: u64 = 1_000_000;
+        const S: u64 = 1_000_000_000;
+        Buckets {
+            bounds: vec![
+                10 * US,
+                25 * US,
+                50 * US,
+                100 * US,
+                250 * US,
+                500 * US,
+                MS,
+                2_500 * US,
+                5 * MS,
+                10 * MS,
+                25 * MS,
+                50 * MS,
+                100 * MS,
+                250 * MS,
+                500 * MS,
+                S,
+                2_500 * MS,
+                5 * S,
+                10 * S,
+            ],
+            unit: Unit::Nanoseconds,
+        }
+    }
+
+    /// An explicit layout over raw values.
+    pub fn custom(bounds: &[u64], unit: Unit) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must ascend");
+        Buckets { bounds: bounds.to_vec(), unit }
+    }
+}
+
+/// Number of independently updated shards per histogram. Spreads
+/// concurrent `observe` calls over distinct cache lines; merged at
+/// render time.
+const SHARDS: usize = 8;
+
+struct Shard {
+    /// One slot per bound, plus the overflow (`+Inf`) slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Padding to keep shards on separate cache lines.
+    _pad: [u64; 5],
+}
+
+/// A fixed-bucket histogram with thread-sharded counters.
+pub struct Histogram {
+    buckets: Buckets,
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (count, sum) = self.totals();
+        f.debug_struct("Histogram")
+            .field("bounds", &self.buckets.bounds.len())
+            .field("count", &count)
+            .field("sum", &sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    fn new(buckets: Buckets) -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| Shard {
+                buckets: (0..=buckets.bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                _pad: [0; 5],
+            })
+            .collect();
+        Histogram { buckets, shards }
+    }
+
+    #[inline]
+    fn shard(&self) -> &Shard {
+        // Cheap per-thread spread: hash the thread id. ThreadId::as_u64 is
+        // unstable, so hash the Debug-stable ThreadId value itself.
+        use std::hash::{Hash, Hasher};
+        thread_local! {
+            static SHARD_IDX: usize = {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::thread::current().id().hash(&mut h);
+                h.finish() as usize % SHARDS
+            };
+        }
+        &self.shards[SHARD_IDX.with(|i| *i)]
+    }
+
+    /// Records one raw observation.
+    #[inline]
+    pub fn observe(&self, raw: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.buckets.bounds.partition_point(|&b| b < raw);
+        let shard = self.shard();
+        shard.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(raw, Ordering::Relaxed);
+    }
+
+    /// Records a duration (histogram must use nanosecond raw units).
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        debug_assert_eq!(self.buckets.unit, Unit::Nanoseconds);
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Times `f` and records its wall duration.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !crate::enabled() {
+            return f();
+        }
+        let t = std::time::Instant::now();
+        let out = f();
+        self.observe_duration(t.elapsed());
+        out
+    }
+
+    /// `(count, sum)` over all shards, in raw units.
+    pub fn totals(&self) -> (u64, u64) {
+        let mut count = 0;
+        let mut sum = 0;
+        for s in &self.shards {
+            count += s.count.load(Ordering::Relaxed);
+            sum += s.sum.load(Ordering::Relaxed);
+        }
+        (count, sum)
+    }
+
+    /// Cumulative bucket counts, one per bound plus the final `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let n = self.buckets.bounds.len() + 1;
+        let mut merged = vec![0u64; n];
+        for s in &self.shards {
+            for (m, b) in merged.iter_mut().zip(&s.buckets) {
+                *m += b.load(Ordering::Relaxed);
+            }
+        }
+        let mut acc = 0;
+        for m in merged.iter_mut() {
+            acc += *m;
+            *m = acc;
+        }
+        merged
+    }
+}
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    by_labels: BTreeMap<Vec<(String, String)>, Handle>,
+}
+
+/// A snapshot of one metric series, for programmatic consumers (the
+/// figures harness, the CLI summary).
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Family name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: &'static str,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: f64,
+    /// Histogram only: sum of observations scaled to exposition units.
+    pub sum: Option<f64>,
+}
+
+/// A registry of named metrics.
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn key_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> =
+            labels.iter().map(|(k, val)| (k.to_string(), val.to_string())).collect();
+        v.sort();
+        v
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `name` already exists with a different metric type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let family = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), by_labels: BTreeMap::new() });
+        let handle = family
+            .by_labels
+            .entry(Self::key_labels(labels))
+            .or_insert_with(|| Handle::Counter(Arc::new(Counter::default())));
+        match handle {
+            Handle::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if `name` already exists with a different metric type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let family = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), by_labels: BTreeMap::new() });
+        let handle = family
+            .by_labels
+            .entry(Self::key_labels(labels))
+            .or_insert_with(|| Handle::Gauge(Arc::new(Gauge::default())));
+        match handle {
+            Handle::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}` with `buckets` (the
+    /// layout only applies on first creation).
+    ///
+    /// # Panics
+    /// Panics if `name` already exists with a different metric type.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: Buckets,
+    ) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let family = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), by_labels: BTreeMap::new() });
+        let handle = family
+            .by_labels
+            .entry(Self::key_labels(labels))
+            .or_insert_with(|| Handle::Histogram(Arc::new(Histogram::new(buckets))));
+        match handle {
+            Handle::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`).
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in inner.iter() {
+            let kind = match family.by_labels.values().next() {
+                Some(h) => h.type_name(),
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, handle) in &family.by_labels {
+                match handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, &[]),
+                            c.get()
+                        ));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, &[]),
+                            g.get()
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        let unit = h.buckets.unit;
+                        let cumulative = h.cumulative_buckets();
+                        for (i, &bound) in h.buckets.bounds.iter().enumerate() {
+                            out.push_str(&format!(
+                                "{name}_bucket{} {}\n",
+                                render_labels(
+                                    labels,
+                                    &[("le", &format_float(unit.scale(bound as f64)))]
+                                ),
+                                cumulative[i]
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            render_labels(labels, &[("le", "+Inf")]),
+                            cumulative[h.buckets.bounds.len()]
+                        ));
+                        let (count, sum) = h.totals();
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels, &[]),
+                            format_float(unit.scale(sum as f64))
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {count}\n",
+                            render_labels(labels, &[])
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A point-in-time view of every series, for programmatic consumers.
+    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, family) in inner.iter() {
+            for (labels, handle) in &family.by_labels {
+                let (kind, value, sum) = match handle {
+                    Handle::Counter(c) => ("counter", c.get() as f64, None),
+                    Handle::Gauge(g) => ("gauge", g.get() as f64, None),
+                    Handle::Histogram(h) => {
+                        let (count, raw_sum) = h.totals();
+                        ("histogram", count as f64, Some(h.buckets.unit.scale(raw_sum as f64)))
+                    }
+                };
+                out.push(SeriesSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind,
+                    value,
+                    sum,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn format_float(v: f64) -> String {
+    // Prometheus accepts any float syntax; trim trailing zeros for
+    // readability but keep at least one decimal for non-integers.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.9}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))));
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "help", &[("k", "v")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("t_gauge", "help", &[]);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        // Same (name, labels) → same underlying metric.
+        let c2 = r.counter("t_total", "help", &[("k", "v")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        // Different labels → distinct series.
+        let c3 = r.counter("t_total", "help", &[("k", "other")]);
+        assert_eq!(c3.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("t_hist", "help", &[], Buckets::custom(&[10, 100, 1000], Unit::None));
+        for v in [1, 5, 10, 11, 99, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative_buckets(), vec![3, 6, 6, 7]);
+        let (count, sum) = h.totals();
+        assert_eq!(count, 7);
+        assert_eq!(sum, 1 + 5 + 10 + 11 + 99 + 100 + 5000);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("x_req_total", "Requests.", &[("outcome", "ok")]).add(3);
+        r.gauge("x_entries", "Entries.", &[]).set(2);
+        let h = r.histogram(
+            "x_dur_seconds",
+            "Latency.",
+            &[("stage", "parse")],
+            Buckets::custom(&[1_000_000], Unit::Nanoseconds),
+        );
+        h.observe(500_000); // 0.5 ms
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE x_req_total counter"), "{text}");
+        assert!(text.contains("x_req_total{outcome=\"ok\"} 3"), "{text}");
+        assert!(text.contains("x_entries 2"), "{text}");
+        assert!(text.contains("x_dur_seconds_bucket{stage=\"parse\",le=\"0.001\"} 1"), "{text}");
+        assert!(text.contains("x_dur_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("x_dur_seconds_sum{stage=\"parse\"} 0.0005"), "{text}");
+        assert!(text.contains("x_dur_seconds_count{stage=\"parse\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_time_records() {
+        let r = Registry::new();
+        let h = r.histogram("t_time_seconds", "h", &[], Buckets::duration_default());
+        let out = h.time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert_eq!(h.totals().0, 1);
+    }
+
+    #[test]
+    fn snapshot_sees_all_series() {
+        let r = Registry::new();
+        r.counter("s_total", "h", &[("a", "1")]).add(9);
+        r.histogram("s_seconds", "h", &[], Buckets::duration_default()).observe(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        let c = snap.iter().find(|s| s.name == "s_total").unwrap();
+        assert_eq!(c.value, 9.0);
+        assert_eq!(c.kind, "counter");
+        let h = snap.iter().find(|s| s.name == "s_seconds").unwrap();
+        assert_eq!(h.kind, "histogram");
+        assert_eq!(h.value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("conflict_total", "h", &[]);
+        r.gauge("conflict_total", "h", &[]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Hierarchical spans with monotonic timings.
+//!
+//! A span is opened with [`span`] (or [`span_timed`] to also feed a
+//! histogram) and closed by dropping the guard. Nesting is tracked with a
+//! thread-local depth counter, so a trace of one request reads as an
+//! indented tree. Finished spans go to a fixed-capacity ring buffer
+//! ([`recent_spans`]) and to any registered [`Subscriber`]s — the
+//! pluggable hook tests use to capture events.
+
+use crate::metrics::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// A finished span: name, wall duration, nesting depth, and sequence.
+#[derive(Debug, Clone)]
+pub struct FinishedSpan {
+    /// Static span name (`crate.stage` convention, e.g.
+    /// `processor.label`).
+    pub name: &'static str,
+    /// Wall-clock duration, from a monotonic clock.
+    pub duration: Duration,
+    /// Nesting depth at open time (0 = top level on that thread).
+    pub depth: usize,
+    /// Global close sequence number (monotonic across threads).
+    pub seq: u64,
+}
+
+/// Receives every finished span. Implementations must be cheap: they run
+/// inline in the instrumented thread at span close.
+pub trait Subscriber: Send + Sync {
+    /// Called once per span, at close.
+    fn on_span_close(&self, span: &FinishedSpan);
+}
+
+/// Capacity of the recent-span ring buffer.
+pub const RING_CAPACITY: usize = 512;
+
+struct TraceState {
+    ring: Mutex<VecDeque<FinishedSpan>>,
+    subscribers: RwLock<Vec<(u64, Arc<dyn Subscriber>)>>,
+    next_subscriber: AtomicU64,
+    seq: AtomicU64,
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| TraceState {
+        ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        subscribers: RwLock::new(Vec::new()),
+        next_subscriber: AtomicU64::new(1),
+        seq: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    static DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Opens a span; drop the guard to close it.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard::open(name, None)
+}
+
+/// Opens a span that also records its duration into `histogram` on close.
+#[must_use = "the span closes when the guard drops"]
+pub fn span_timed(name: &'static str, histogram: Arc<Histogram>) -> SpanGuard {
+    SpanGuard::open(name, Some(histogram))
+}
+
+/// An open span. Closing (dropping) stamps the duration and publishes the
+/// span to the ring buffer, the subscribers, and the optional histogram.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    depth: usize,
+    histogram: Option<Arc<Histogram>>,
+}
+
+impl SpanGuard {
+    fn open(name: &'static str, histogram: Option<Arc<Histogram>>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { name, start: None, depth: 0, histogram: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard { name, start: Some(Instant::now()), depth, histogram }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let duration = start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if let Some(h) = &self.histogram {
+            h.observe_duration(duration);
+        }
+        let st = state();
+        let finished = FinishedSpan {
+            name: self.name,
+            duration,
+            depth: self.depth,
+            seq: st.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        {
+            let mut ring = st.ring.lock().unwrap_or_else(|e| e.into_inner());
+            if ring.len() == RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(finished.clone());
+        }
+        let subs = st.subscribers.read().unwrap_or_else(|e| e.into_inner());
+        for (_, s) in subs.iter() {
+            s.on_span_close(&finished);
+        }
+    }
+}
+
+/// Registers a subscriber; returns a token for [`unregister_subscriber`].
+pub fn register_subscriber(sub: Arc<dyn Subscriber>) -> u64 {
+    let st = state();
+    let id = st.next_subscriber.fetch_add(1, Ordering::Relaxed);
+    st.subscribers.write().unwrap_or_else(|e| e.into_inner()).push((id, sub));
+    id
+}
+
+/// Removes a previously registered subscriber.
+pub fn unregister_subscriber(id: u64) {
+    state()
+        .subscribers
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|(i, _)| *i != id);
+}
+
+/// A snapshot of the most recent finished spans (oldest first).
+pub fn recent_spans() -> Vec<FinishedSpan> {
+    state().ring.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+}
+
+/// Empties the ring buffer (tests and the CLI use this to scope a dump).
+pub fn clear_recent_spans() {
+    state().ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Renders recent spans as an indented tree, newest trace last.
+pub fn render_recent_spans() -> String {
+    let mut out = String::new();
+    for s in recent_spans() {
+        out.push_str(&format!("{:>10.3?}  {}{}\n", s.duration, "  ".repeat(s.depth), s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Capture(Mutex<Vec<(&'static str, usize)>>);
+
+    impl Subscriber for Capture {
+        fn on_span_close(&self, span: &FinishedSpan) {
+            self.0.lock().unwrap().push((span.name, span.depth));
+        }
+    }
+
+    #[test]
+    fn nesting_depths_and_subscriber_capture() {
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        let id = register_subscriber(cap.clone());
+        {
+            let _outer = span("test.outer");
+            {
+                let _inner = span("test.inner");
+            }
+        }
+        unregister_subscriber(id);
+        let seen = cap.0.lock().unwrap().clone();
+        // Inner closes first, at depth 1; outer closes second, at depth 0.
+        assert_eq!(seen, vec![("test.inner", 1), ("test.outer", 0)]);
+    }
+
+    #[test]
+    fn ring_keeps_recent_spans() {
+        clear_recent_spans();
+        {
+            let _s = span("test.ring");
+        }
+        let spans = recent_spans();
+        assert!(spans.iter().any(|s| s.name == "test.ring"));
+        // Sequence numbers increase.
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        for _ in 0..RING_CAPACITY + 10 {
+            let _s = span("test.flood");
+        }
+        assert!(recent_spans().len() <= RING_CAPACITY);
+    }
+
+    #[test]
+    fn span_timed_feeds_histogram() {
+        let h = crate::global().histogram(
+            "trace_test_seconds",
+            "test",
+            &[],
+            crate::Buckets::duration_default(),
+        );
+        {
+            let _s = span_timed("test.timed", h.clone());
+        }
+        assert!(h.totals().0 >= 1);
+    }
+}

@@ -173,10 +173,7 @@ mod tests {
         let dtd = parse_dtd(crate::laboratory::LAB_DTD).unwrap();
         let doc = laboratory_scaled(10, 1);
         assert_eq!(validate(&dtd, &doc), vec![]);
-        assert_eq!(
-            xmlsec_xpath::select_str(&doc, "/laboratory/project").unwrap().len(),
-            10
-        );
+        assert_eq!(xmlsec_xpath::select_str(&doc, "/laboratory/project").unwrap().len(), 10);
     }
 
     #[test]

@@ -57,9 +57,8 @@ pub fn random_dtd(cfg: &DtdConfig, seed: u64) -> Dtd {
                 1 => {
                     // Mixed with references.
                     let k = rng.gen_range(1..=cfg.max_group.min(n - i - 1));
-                    let mut names: Vec<String> = (0..k)
-                        .map(|_| format!("e{}", rng.gen_range(i + 1..n)))
-                        .collect();
+                    let mut names: Vec<String> =
+                        (0..k).map(|_| format!("e{}", rng.gen_range(i + 1..n))).collect();
                     names.sort_unstable();
                     names.dedup();
                     ContentSpec::Mixed(names)

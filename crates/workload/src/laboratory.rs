@@ -73,11 +73,8 @@ pub fn example1_authorizations() -> Vec<Authorization> {
         // the group Foreign (schema level).
         Authorization::new(
             Subject::new("Foreign", "*", "*").expect("valid subject"),
-            ObjectSpec::with_path(
-                LAB_DTD_URI,
-                r#"/laboratory//paper[./@category="private"]"#,
-            )
-            .expect("valid path"),
+            ObjectSpec::with_path(LAB_DTD_URI, r#"/laboratory//paper[./@category="private"]"#)
+                .expect("valid path"),
             Sign::Minus,
             AuthType::Recursive,
         ),
@@ -94,8 +91,7 @@ pub fn example1_authorizations() -> Vec<Authorization> {
         // host 130.89.56.8.
         Authorization::new(
             Subject::new("Admin", "130.89.56.8", "*").expect("valid subject"),
-            ObjectSpec::with_path(CSLAB_URI, r#"project[./@type="internal"]"#)
-                .expect("valid path"),
+            ObjectSpec::with_path(CSLAB_URI, r#"project[./@type="internal"]"#).expect("valid path"),
             Sign::Plus,
             AuthType::Recursive,
         ),

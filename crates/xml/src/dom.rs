@@ -11,7 +11,7 @@
 //! squares in the tree) because the labeling algorithm assigns them their
 //! own authorization 6-tuples and XPath can address them.
 
-use crate::error::{Result, XmlError, XmlErrorKind, Pos};
+use crate::error::{Pos, Result, XmlError, XmlErrorKind};
 use crate::name::is_valid_name;
 use std::fmt;
 
@@ -209,7 +209,11 @@ impl Document {
         self.ids_preordered &= self.append_keeps_preorder(parent);
         let id = self.alloc(Node {
             parent: Some(parent),
-            data: NodeData::Element { name: name.to_string(), attrs: Vec::new(), children: Vec::new() },
+            data: NodeData::Element {
+                name: name.to_string(),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            },
         });
         self.children_mut(parent).push(id);
         id
@@ -226,7 +230,8 @@ impl Document {
     /// Appends a comment node to `parent`.
     pub fn append_comment(&mut self, parent: NodeId, text: &str) -> NodeId {
         self.ids_preordered &= self.append_keeps_preorder(parent);
-        let id = self.alloc(Node { parent: Some(parent), data: NodeData::Comment(text.to_string()) });
+        let id =
+            self.alloc(Node { parent: Some(parent), data: NodeData::Comment(text.to_string()) });
         self.children_mut(parent).push(id);
         id
     }
@@ -272,10 +277,7 @@ impl Document {
                 attrs.push(id);
                 Ok(id)
             }
-            _ => Err(XmlError::new(
-                XmlErrorKind::MalformedAttribute(name.to_string()),
-                Pos::START,
-            )),
+            _ => Err(XmlError::new(XmlErrorKind::MalformedAttribute(name.to_string()), Pos::START)),
         }
     }
 

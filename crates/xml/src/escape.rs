@@ -55,15 +55,18 @@ pub fn resolve_reference(body: &str, pos: Pos) -> Result<char> {
         "quot" => Ok('"'),
         _ => {
             if let Some(num) = body.strip_prefix('#') {
-                let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
-                    u32::from_str_radix(hex, 16)
-                } else {
-                    num.parse::<u32>()
-                };
-                let code = code
-                    .map_err(|_| XmlError::new(XmlErrorKind::InvalidCharRef(num.to_string()), pos))?;
-                let c = char::from_u32(code)
-                    .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidCharRef(num.to_string()), pos))?;
+                let code =
+                    if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                        u32::from_str_radix(hex, 16)
+                    } else {
+                        num.parse::<u32>()
+                    };
+                let code = code.map_err(|_| {
+                    XmlError::new(XmlErrorKind::InvalidCharRef(num.to_string()), pos)
+                })?;
+                let c = char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(XmlErrorKind::InvalidCharRef(num.to_string()), pos)
+                })?;
                 if !is_xml_char(c) {
                     return Err(XmlError::new(XmlErrorKind::InvalidCharRef(num.to_string()), pos));
                 }

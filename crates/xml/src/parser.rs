@@ -10,6 +10,44 @@
 use crate::dom::{Document, NodeId};
 use crate::error::{Pos, Result, XmlError, XmlErrorKind};
 use crate::tokenizer::{Token, Tokenizer};
+use std::sync::{Arc, OnceLock};
+use xmlsec_telemetry as telemetry;
+
+struct ParserMetrics {
+    documents: Arc<telemetry::Counter>,
+    bytes: Arc<telemetry::Counter>,
+    nodes: Arc<telemetry::Counter>,
+    errors: Arc<telemetry::Counter>,
+}
+
+fn parser_metrics() -> &'static ParserMetrics {
+    static METRICS: OnceLock<ParserMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        ParserMetrics {
+            documents: reg.counter(
+                "xmlsec_xml_parse_documents_total",
+                "Documents parsed successfully.",
+                &[],
+            ),
+            bytes: reg.counter(
+                "xmlsec_xml_parse_bytes_total",
+                "Input bytes consumed by successful parses.",
+                &[],
+            ),
+            nodes: reg.counter(
+                "xmlsec_xml_parse_nodes_total",
+                "DOM nodes produced by successful parses.",
+                &[],
+            ),
+            errors: reg.counter(
+                "xmlsec_xml_parse_errors_total",
+                "Parses rejected as not well-formed.",
+                &[],
+            ),
+        }
+    })
+}
 
 /// Parser configuration.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +71,20 @@ pub fn parse(input: &str) -> Result<Document> {
 
 /// Parses `input` with explicit options.
 pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
+    let result = parse_inner(input, opts);
+    let m = parser_metrics();
+    match &result {
+        Ok(d) => {
+            m.documents.inc();
+            m.bytes.add(input.len() as u64);
+            m.nodes.add(d.arena_len() as u64);
+        }
+        Err(_) => m.errors.inc(),
+    }
+    result
+}
+
+fn parse_inner(input: &str, opts: ParseOptions) -> Result<Document> {
     let mut tk = Tokenizer::new(input);
     let mut doc: Option<Document> = None;
     let mut doctype = None;
@@ -89,7 +141,9 @@ pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
                 match stack.last() {
                     Some(&(parent, ..)) => {
                         if !blank || opts.keep_whitespace_text {
-                            doc.as_mut().expect("open element implies document").append_text(parent, &value);
+                            doc.as_mut()
+                                .expect("open element implies document")
+                                .append_text(parent, &value);
                         }
                     }
                     None => {
@@ -102,14 +156,18 @@ pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
             Token::Comment { value, .. } => {
                 if let Some(&(parent, ..)) = stack.last() {
                     if opts.keep_comments {
-                        doc.as_mut().expect("open element implies document").append_comment(parent, &value);
+                        doc.as_mut()
+                            .expect("open element implies document")
+                            .append_comment(parent, &value);
                     }
                 }
                 // Comments outside the root are legal and dropped.
             }
             Token::Pi { target, data, .. } => {
                 if let Some(&(parent, ..)) = stack.last() {
-                    doc.as_mut().expect("open element implies document").append_pi(parent, &target, &data);
+                    doc.as_mut()
+                        .expect("open element implies document")
+                        .append_pi(parent, &target, &data);
                 }
                 // PIs outside the root are legal and dropped.
             }

@@ -134,9 +134,7 @@ fn write_node(doc: &Document, id: NodeId, opts: &SerializeOptions, depth: usize,
 
 fn write_inline(doc: &Document, id: NodeId, out: &mut String) {
     match &doc.node(id).data {
-        NodeData::Element { .. } => {
-            write_node(doc, id, &SerializeOptions::canonical(), 0, out)
-        }
+        NodeData::Element { .. } => write_node(doc, id, &SerializeOptions::canonical(), 0, out),
         NodeData::Text(t) => out.push_str(&escape_text(t)),
         NodeData::Comment(t) => {
             out.push_str("<!--");

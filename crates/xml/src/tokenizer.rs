@@ -514,7 +514,9 @@ mod tests {
 
     #[test]
     fn doctype_system_and_subset() {
-        let t = toks(r#"<!DOCTYPE laboratory SYSTEM "laboratory.dtd" [<!ELEMENT x (#PCDATA)>]><laboratory/>"#);
+        let t = toks(
+            r#"<!DOCTYPE laboratory SYSTEM "laboratory.dtd" [<!ELEMENT x (#PCDATA)>]><laboratory/>"#,
+        );
         match &t[0] {
             Token::Doctype { decl, .. } => {
                 assert_eq!(decl.name, "laboratory");

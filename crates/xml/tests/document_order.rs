@@ -16,14 +16,11 @@ fn parsed_documents_follow_arena_order() {
     assert_eq!(all, sorted);
     all.reverse();
     all.sort_by(|&p, &q| d.document_order(p, q));
-    assert_eq!(
-        all,
-        {
-            let mut v: Vec<_> = d.preorder(d.root()).collect();
-            v.sort_by(|&p, &q| d.document_order(p, q));
-            v
-        }
-    );
+    assert_eq!(all, {
+        let mut v: Vec<_> = d.preorder(d.root()).collect();
+        v.sort_by(|&p, &q| d.document_order(p, q));
+        v
+    });
 }
 
 #[test]

@@ -55,7 +55,8 @@ fn deeply_mixed_content_inline() {
 
 #[test]
 fn doctype_with_internal_subset_round_trips() {
-    let src = r#"<!DOCTYPE a SYSTEM "a.dtd" [<!ELEMENT a (#PCDATA)> <!ATTLIST a x CDATA "d">]><a>t</a>"#;
+    let src =
+        r#"<!DOCTYPE a SYSTEM "a.dtd" [<!ELEMENT a (#PCDATA)> <!ATTLIST a x CDATA "d">]><a>t</a>"#;
     let doc = parse(src).unwrap();
     let out = serialize(&doc, &SerializeOptions::default());
     let re = parse(&out).unwrap();
@@ -81,8 +82,8 @@ fn comment_with_single_hyphens() {
 #[test]
 fn whitespace_only_text_preserved_when_asked() {
     let src = "<a> <b/> </a>";
-    let doc = parse_with(src, ParseOptions { keep_whitespace_text: true, ..Default::default() })
-        .unwrap();
+    let doc =
+        parse_with(src, ParseOptions { keep_whitespace_text: true, ..Default::default() }).unwrap();
     assert_eq!(serialize(&doc, &SerializeOptions::canonical()), src);
 }
 

@@ -10,7 +10,33 @@
 
 use crate::ast::{ArithOp, Axis, Expr, Func, NodeTest, PathExpr, Step};
 use crate::value::{compare, Value};
+use std::sync::{Arc, OnceLock};
+use xmlsec_telemetry as telemetry;
 use xmlsec_xml::{Document, NodeData, NodeId};
+
+struct EvalMetrics {
+    evaluations: Arc<telemetry::Counter>,
+    node_visits: Arc<telemetry::Counter>,
+}
+
+fn eval_metrics() -> &'static EvalMetrics {
+    static METRICS: OnceLock<EvalMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        EvalMetrics {
+            evaluations: reg.counter(
+                "xmlsec_xpath_evaluations_total",
+                "Path-expression evaluations (including inner predicate paths).",
+                &[],
+            ),
+            node_visits: reg.counter(
+                "xmlsec_xpath_node_visits_total",
+                "Context nodes expanded across all evaluation steps.",
+                &[],
+            ),
+        }
+    })
+}
 
 /// A context node: either a real node or the *virtual document root*
 /// (the conceptual parent of the document element, which absolute paths
@@ -45,9 +71,13 @@ pub fn eval_path(doc: &Document, context: NodeId, path: &PathExpr) -> Vec<NodeId
 }
 
 fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
+    // Visits accumulate in a local and flush once: one atomic op per
+    // evaluation instead of one per context node.
+    let mut visits: u64 = 0;
     let mut current: Vec<CtxNode> = vec![start];
     for step in &path.steps {
         let mut next: Vec<CtxNode> = Vec::new();
+        visits += current.len() as u64;
         for &ctx in &current {
             let candidates = axis_nodes(doc, ctx, step);
             let selected = apply_predicates(doc, candidates, &step.predicates);
@@ -60,6 +90,9 @@ fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
             break;
         }
     }
+    let m = eval_metrics();
+    m.evaluations.inc();
+    m.node_visits.add(visits);
     let mut result: Vec<NodeId> = current
         .into_iter()
         .filter_map(|c| match c {
@@ -114,8 +147,7 @@ pub fn sort_document_order(doc: &Document, nodes: &mut [NodeId]) {
         path.reverse();
         path
     };
-    let mut keyed: Vec<(Vec<(u8, u32)>, NodeId)> =
-        nodes.iter().map(|&n| (path_of(n), n)).collect();
+    let mut keyed: Vec<(Vec<(u8, u32)>, NodeId)> = nodes.iter().map(|&n| (path_of(n), n)).collect();
     // A strict path prefix is an ancestor and sorts first (Vec's
     // lexicographic Ord already does this).
     keyed.sort();
@@ -221,7 +253,13 @@ fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
 
 /// Collects descendants (document order), optionally including self.
 /// Attributes are not on the descendant axis (XPath data model).
-fn descend(doc: &Document, ctx: CtxNode, test: &NodeTest, include_self: bool, out: &mut Vec<CtxNode>) {
+fn descend(
+    doc: &Document,
+    ctx: CtxNode,
+    test: &NodeTest,
+    include_self: bool,
+    out: &mut Vec<CtxNode>,
+) {
     match ctx {
         CtxNode::Root => {
             if include_self && matches!(test, NodeTest::AnyNode) {
@@ -289,12 +327,8 @@ struct EvalCtx<'d> {
 
 fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr) -> Value {
     match e {
-        Expr::Or(a, b) => {
-            Value::Bool(eval_expr(ctx, a).to_bool() || eval_expr(ctx, b).to_bool())
-        }
-        Expr::And(a, b) => {
-            Value::Bool(eval_expr(ctx, a).to_bool() && eval_expr(ctx, b).to_bool())
-        }
+        Expr::Or(a, b) => Value::Bool(eval_expr(ctx, a).to_bool() || eval_expr(ctx, b).to_bool()),
+        Expr::And(a, b) => Value::Bool(eval_expr(ctx, a).to_bool() && eval_expr(ctx, b).to_bool()),
         Expr::Compare(op, a, b) => {
             let l = eval_expr(ctx, a);
             let r = eval_expr(ctx, b);
@@ -351,9 +385,7 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
             let b = arg_string(ctx, args, 1);
             Value::Bool(a.starts_with(&b))
         }
-        Func::Name => {
-            Value::Str(ctx.doc.node_name(ctx.node).unwrap_or_default().to_string())
-        }
+        Func::Name => Value::Str(ctx.doc.node_name(ctx.node).unwrap_or_default().to_string()),
         Func::StringFn => {
             if args.is_empty() {
                 Value::Str(ctx.doc.text_value(ctx.node))
@@ -392,10 +424,7 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
         Func::Substring => {
             let s = arg_string(ctx, args, 0);
             let chars: Vec<char> = s.chars().collect();
-            let start = args
-                .get(1)
-                .map(|a| eval_expr(ctx, a).to_number(ctx.doc))
-                .unwrap_or(1.0);
+            let start = args.get(1).map(|a| eval_expr(ctx, a).to_number(ctx.doc)).unwrap_or(1.0);
             let start_idx = if start.is_nan() {
                 return Value::Str(String::new());
             } else {
@@ -458,9 +487,7 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
         Func::Round => Value::Num(arg_number(ctx, args, 0).round()),
         Func::Sum => match args.first().map(|a| eval_expr(ctx, a)) {
             Some(Value::NodeSet(ns)) => Value::Num(
-                ns.iter()
-                    .map(|&n| crate::value::str_to_number(&ctx.doc.text_value(n)))
-                    .sum(),
+                ns.iter().map(|&n| crate::value::str_to_number(&ctx.doc.text_value(n))).sum(),
             ),
             _ => Value::Num(f64::NAN),
         },
@@ -472,7 +499,9 @@ fn arg_number(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> f64 {
 }
 
 fn arg_string(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> String {
-    args.get(i).map(|a| eval_expr(ctx, a).to_string_value(ctx.doc)).unwrap_or_default()
+    args.get(i)
+        .map(|a| eval_expr(ctx, a).to_string_value(ctx.doc))
+        .unwrap_or_default()
 }
 
 /// Evaluates a standalone boolean condition against a context node
@@ -642,14 +671,8 @@ mod tests {
     #[test]
     fn and_or_in_conditions() {
         let d = doc();
-        assert_eq!(
-            sel(&d, r#"//paper[@category="public" and @type="journal"]"#).len(),
-            1
-        );
-        assert_eq!(
-            sel(&d, r#"//paper[@category="private" or @type="journal"]"#).len(),
-            2
-        );
+        assert_eq!(sel(&d, r#"//paper[@category="public" and @type="journal"]"#).len(), 1);
+        assert_eq!(sel(&d, r#"//paper[@category="private" or @type="journal"]"#).len(), 2);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! `//` is desugared to a `descendant-or-self::node()` step followed by a
 //! `child::` step, matching XPath 1.0.
 
-use crate::ast::*;
 #[allow(unused_imports)]
 use crate::ast::ArithOp;
+use crate::ast::*;
 use crate::lexer::{lex, Result, Tok, XPathError};
 
 /// Parses a path expression.
@@ -465,6 +465,8 @@ mod tests {
     #[test]
     fn not_function() {
         let p = parse_path("a[not(@x = '1')]").unwrap();
-        assert!(matches!(&p.steps[0].predicates[0], Expr::Call(Func::Not, args) if args.len() == 1));
+        assert!(
+            matches!(&p.steps[0].predicates[0], Expr::Call(Func::Not, args) if args.len() == 1)
+        );
     }
 }

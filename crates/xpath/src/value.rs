@@ -47,9 +47,7 @@ impl Value {
     /// string-value of its first node in document order.
     pub fn to_string_value(&self, doc: &Document) -> String {
         match self {
-            Value::NodeSet(ns) => {
-                ns.first().map(|&n| doc.text_value(n)).unwrap_or_default()
-            }
+            Value::NodeSet(ns) => ns.first().map(|&n| doc.text_value(n)).unwrap_or_default(),
             Value::Str(s) => s.clone(),
             Value::Num(n) => number_to_string(*n),
             Value::Bool(b) => b.to_string(),
@@ -62,7 +60,11 @@ pub fn number_to_string(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -84,12 +86,7 @@ pub fn str_to_number(s: &str) -> f64 {
 /// Node-sets compare existentially: the result is `true` if *some* node
 /// makes the comparison true. Relational operators always compare numbers
 /// unless both operands are node-sets.
-pub fn compare(
-    doc: &Document,
-    op: crate::ast::CmpOp,
-    left: &Value,
-    right: &Value,
-) -> bool {
+pub fn compare(doc: &Document, op: crate::ast::CmpOp, left: &Value, right: &Value) -> bool {
     use Value::*;
     match (left, right) {
         (NodeSet(a), NodeSet(b)) => {
@@ -124,9 +121,7 @@ fn compare_scalars(doc: &Document, op: crate::ast::CmpOp, l: &Value, r: &Value) 
         Eq | Ne => {
             let eq = match (l, r) {
                 (Value::Bool(_), _) | (_, Value::Bool(_)) => l.to_bool() == r.to_bool(),
-                (Value::Num(_), _) | (_, Value::Num(_)) => {
-                    l.to_number(doc) == r.to_number(doc)
-                }
+                (Value::Num(_), _) | (_, Value::Num(_)) => l.to_number(doc) == r.to_number(doc),
                 _ => l.to_string_value(doc) == r.to_string_value(doc),
             };
             if matches!(op, Eq) {

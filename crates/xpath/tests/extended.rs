@@ -60,16 +60,12 @@ fn positional_arithmetic() {
 #[test]
 fn sibling_axes() {
     let d = parse(DOC).unwrap();
-    let after_pad = select(
-        &d,
-        &parse_path(r#"/shop/item[@name="pad"]/following-sibling::item"#).unwrap(),
-    );
+    let after_pad =
+        select(&d, &parse_path(r#"/shop/item[@name="pad"]/following-sibling::item"#).unwrap());
     assert_eq!(after_pad.len(), 1);
     assert_eq!(d.attribute(after_pad[0], "name"), Some("bag"));
-    let before_pad = select(
-        &d,
-        &parse_path(r#"/shop/item[@name="pad"]/preceding-sibling::item"#).unwrap(),
-    );
+    let before_pad =
+        select(&d, &parse_path(r#"/shop/item[@name="pad"]/preceding-sibling::item"#).unwrap());
     assert_eq!(before_pad.len(), 1);
     assert_eq!(d.attribute(before_pad[0], "name"), Some("pen"));
     // sale has item siblings before it only

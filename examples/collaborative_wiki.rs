@@ -107,7 +107,10 @@ fn main() {
                     name: "title".into(),
                     value: "Roadmap".into(),
                 },
-                UpdateOp::SetText { target: "/wiki/pages/page[2]".into(), text: "v2 plans…".into() },
+                UpdateOp::SetText {
+                    target: "/wiki/pages/page[2]".into(),
+                    text: "v2 plans…".into(),
+                },
                 UpdateOp::Delete { target: r#"/wiki/drafts/page[@title="Roadmap"]"#.into() },
             ],
         )

@@ -14,7 +14,10 @@ fn main() {
     let doc = parse(WARD_XML).expect("ward document");
 
     println!("== ward document ==\n{}", render_tree(&doc));
-    println!("== protection requirements (XACL) ==\n{}", serialize_xacl(&hospital_authorizations()));
+    println!(
+        "== protection requirements (XACL) ==\n{}",
+        serialize_xacl(&hospital_authorizations())
+    );
 
     for (user, role) in [
         ("nina", "nurse"),
@@ -24,8 +27,7 @@ fn main() {
     ] {
         let rq = Requester::new(user, "10.0.0.7", "ws.hospital.org").expect("requester");
         let adtd = base.applicable(HOSPITAL_DTD_URI, &rq, &dir);
-        let (view, stats) =
-            compute_view(&doc, &[], &adtd, &dir, PolicyConfig::paper_default());
+        let (view, stats) = compute_view(&doc, &[], &adtd, &dir, PolicyConfig::paper_default());
         println!(
             "---- {user} ({role}): {}/{} nodes visible ----",
             stats.granted_nodes, stats.labeled_nodes

@@ -32,16 +32,15 @@ fn main() {
     let base = lab_authorization_base();
     let axml = base.applicable(CSLAB_URI, &requester, &dir);
     let adtd = base.applicable(LAB_DTD_URI, &requester, &dir);
-    println!(
-        "applicable: {} instance-level, {} schema-level",
-        axml.len(),
-        adtd.len()
-    );
+    println!("applicable: {} instance-level, {} schema-level", axml.len(), adtd.len());
 
     // The labeling (the signs Figure 3(b) visualizes)…
     let labeling =
         xmlsec::core::label_document(&doc, &axml, &adtd, &dir, PolicyConfig::paper_default());
-    println!("\n== labeled tree (final signs) ==\n{}", xmlsec::core::render_labeled(&doc, &labeling));
+    println!(
+        "\n== labeled tree (final signs) ==\n{}",
+        xmlsec::core::render_labeled(&doc, &labeling)
+    );
 
     // …and the full processor pipeline.
     let processor = SecurityProcessor::new(dir, base);

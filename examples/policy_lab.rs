@@ -63,15 +63,17 @@ fn main() {
     println!();
 
     let conflicts = [
-        ("most-specific, then denials (paper default)", ConflictResolution::MostSpecificThenDenials),
+        (
+            "most-specific, then denials (paper default)",
+            ConflictResolution::MostSpecificThenDenials,
+        ),
         ("most-specific, then permissions", ConflictResolution::MostSpecificThenPermissions),
         ("denials take precedence", ConflictResolution::DenialsTakePrecedence),
         ("permissions take precedence", ConflictResolution::PermissionsTakePrecedence),
         ("nothing takes precedence", ConflictResolution::NothingTakesPrecedence),
         ("majority sign", ConflictResolution::MajoritySign),
     ];
-    let completions =
-        [("closed", CompletenessPolicy::Closed), ("open", CompletenessPolicy::Open)];
+    let completions = [("closed", CompletenessPolicy::Closed), ("open", CompletenessPolicy::Open)];
 
     for (cname, conflict) in conflicts {
         for (oname, completeness) in completions {

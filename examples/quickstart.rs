@@ -39,13 +39,8 @@ fn main() {
     );
 
     // 4. Compute the view.
-    let (view, stats) = compute_view(
-        &doc,
-        &[&grant, &carve_out],
-        &[],
-        &dir,
-        PolicyConfig::paper_default(),
-    );
+    let (view, stats) =
+        compute_view(&doc, &[&grant, &carve_out], &[], &dir, PolicyConfig::paper_default());
 
     println!("alice's view:\n{}", serialize(&view, &SerializeOptions::pretty()));
     println!(

@@ -14,7 +14,9 @@ fn main() {
     server.register_credentials("axel", "auditor-pw");
     server.register_credentials("fred", "fraud-pw");
     server.repository_mut().put_dtd(BANK_DTD_URI, BANK_DTD);
-    server.repository_mut().put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
+    server
+        .repository_mut()
+        .put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
 
     let req = |user: Option<(&str, &str)>, ip: &str, sym: &str| ClientRequest {
         user: user.map(|(u, p)| (u.to_string(), p.to_string())),

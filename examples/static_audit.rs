@@ -28,11 +28,11 @@ fn main() {
     let auths = vec![
         mk("Public", r#"//paper[./@category="public"]"#, Sign::Plus),
         mk("Public", r#"//paper[./@category="public"]"#, Sign::Plus), // duplicate
-        mk("Contractors", "//fund", Sign::Minus),                    // unknown group
-        mk("Public", "//papre", Sign::Plus),                         // dead path (typo)
-        mk("Tom", "//member", Sign::Plus),                           // shadowed by the next
+        mk("Contractors", "//fund", Sign::Minus),                     // unknown group
+        mk("Public", "//papre", Sign::Plus),                          // dead path (typo)
+        mk("Tom", "//member", Sign::Plus),                            // shadowed by the next
         mk("Public", "//member", Sign::Plus),
-        mk("Foreign", "//fund", Sign::Plus),                         // contradiction pair
+        mk("Foreign", "//fund", Sign::Plus), // contradiction pair
         mk("Foreign", "//fund", Sign::Minus),
     ];
 
@@ -55,8 +55,7 @@ fn main() {
             println!("  DEAD  {}", entry.authorization);
             dead += 1;
         } else {
-            let covers: Vec<String> =
-                entry.covers.iter().map(|c| c.to_string()).collect();
+            let covers: Vec<String> = entry.covers.iter().map(|c| c.to_string()).collect();
             println!("  ok    {} -> {}", entry.authorization, covers.join(", "));
         }
     }

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io. This shim keeps the
+//! workspace's benches compiling and *running*: each bench is timed with
+//! a calibrated loop (warm-up, then enough iterations to fill a
+//! measurement window) and reported as a plain `name ... time/iter` line.
+//! There are no statistical analyses, plots, or saved baselines.
+//!
+//! The measurement window defaults to 200 ms per bench so `cargo bench`
+//! stays quick; set `CRITERION_MEASUREMENT_MS` to raise it for steadier
+//! numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver, handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named bench.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(None, &BenchmarkId::from(id), None, f);
+        self
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            measurement: default_measurement(),
+        }
+    }
+}
+
+fn default_measurement() -> Duration {
+    let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// A group of related benches sharing throughput/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration does (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; sampling is iteration-count based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Caps the per-bench measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap: the real crate spends this per bench; the shim keeps runs
+        // short unless explicitly raised via CRITERION_MEASUREMENT_MS.
+        self.measurement = self.measurement.min(d);
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one bench within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench_in(self, id.into(), f);
+        self
+    }
+
+    /// Runs one parameterized bench within the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let measurement = self.measurement;
+        let throughput = self.throughput.clone();
+        run_bench(Some(&self.name), &id, throughput, |b| {
+            b.measurement = measurement;
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; reports stream as benches run).
+    pub fn finish(self) {}
+}
+
+fn run_bench_in<F: FnMut(&mut Bencher)>(group: &mut BenchmarkGroup<'_>, id: BenchmarkId, mut f: F) {
+    let measurement = group.measurement;
+    let throughput = group.throughput.clone();
+    run_bench(Some(&group.name), &id, throughput, |b| {
+        b.measurement = measurement;
+        f(b)
+    });
+}
+
+fn run_bench<F>(group: Option<&str>, id: &BenchmarkId, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { measurement: default_measurement(), mean_ns: 0.0, iters: 0 };
+    f(&mut b);
+    let full_name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                format!("  {:>10.1} MiB/s", n as f64 / (b.mean_ns / 1e9) / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / (b.mean_ns / 1e9))
+            }
+        })
+        .unwrap_or_default();
+    println!("bench: {full_name:<48} {:>14}/iter ({} iters){rate}", format_ns(b.mean_ns), b.iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures handed to it by the bench body.
+pub struct Bencher {
+    measurement: Duration,
+    /// Mean wall time per iteration, in nanoseconds (set by `iter`).
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count to the measurement window, then
+    /// times `routine` over it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: run until ~10% of the window is spent,
+        // doubling the batch each time.
+        let mut batch: u64 = 1;
+        let calibration_budget = self.measurement.as_secs_f64() * 0.1;
+        let mut per_iter;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let spent = t.elapsed().as_secs_f64();
+            per_iter = spent / batch as f64;
+            if spent >= calibration_budget || batch >= (1 << 30) {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: one timed run sized to fill the remaining window.
+        let want = ((self.measurement.as_secs_f64() * 0.9) / per_iter.max(1e-9)).ceil();
+        let iters = (want as u64).clamp(1, 1 << 32);
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = t.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A bench identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A bench called `name` with parameter `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: Some(param.to_string()) }
+    }
+
+    /// A bench identified only by its parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { name: String::new(), param: Some(param.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), param: None }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.param {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// How much work one iteration represents.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration (binary units in reports).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units in reports).
+    BytesDecimal(u64),
+    /// Logical items processed per iteration.
+    Elements(u64),
+}
+
+/// Declares a group of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

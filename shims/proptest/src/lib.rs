@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - strategies: integer ranges, regex-like string literals, tuples,
+//!   [`collection::vec`], [`arbitrary::any`], and `prop_map`,
+//! - a deterministic per-test RNG.
+//!
+//! Differences from the real crate: **no shrinking** (failures report the
+//! sampled inputs as-is) and no persistence of failing seeds
+//! (`proptest-regressions` files are ignored). The regex dialect covers
+//! what the tests use: `.`, character classes with ranges and `\xHH`
+//! escapes, and `{m,n}` / `*` / `+` / `?` quantifiers.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every test file starts from.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias of the crate root, so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Generates the body of one property test: sample each strategy
+/// `config.cases` times and run the block, panicking with the sampled
+/// inputs on the first failure.
+#[macro_export]
+macro_rules! __proptest_case {
+    ($cfg:expr; $($arg:ident in $strat:expr),+ ; $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+            module_path!(),
+            "::",
+            line!()
+        ));
+        for __case in 0..config.cases {
+            $(
+                let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+            )+
+            let __inputs = format!(
+                concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                $(&$arg,)+
+            );
+            let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            if let ::core::result::Result::Err(e) = __outcome {
+                panic!(
+                    "proptest case {}/{} failed: {}\ninputs:\n{}",
+                    __case + 1,
+                    config.cases,
+                    e,
+                    __inputs
+                );
+            }
+        }
+    }};
+}
+
+/// The `proptest!` macro: wraps each contained function in a sampling
+/// loop. Attributes (including `#[test]` and doc comments) pass through.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!($cfg; $($arg in $strat),+ ; $body);
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property-test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fails the case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

@@ -1,0 +1,277 @@
+//! String strategies from regex-like patterns.
+//!
+//! In proptest a `&str` literal is a strategy generating strings that
+//! match it as a regex. This shim supports the dialect the workspace's
+//! tests use: literal characters, `.`, character classes (`[a-z0-9\-]`,
+//! including `\xHH` escapes and ranges), and the quantifiers `{m,n}`,
+//! `{n}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed regex atom.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.` — any scalar value except newline.
+    AnyChar,
+    /// A character class, flattened into candidate ranges.
+    Class(Vec<(u32, u32)>),
+}
+
+/// An atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for p in &pieces {
+            let count = rng.in_range(p.min, p.max);
+            for _ in 0..count {
+                out.push(sample_atom(&p.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => {
+            // Mostly printable ASCII, sometimes any scalar value — enough
+            // variety to exercise parser robustness paths.
+            match rng.below(8) {
+                0 => {
+                    let v = rng.below(0x11_0000 as u64) as u32;
+                    char::from_u32(v).filter(|&c| c != '\n').unwrap_or('\u{fffd}')
+                }
+                1 => char::from_u32(rng.below(0x20) as u32).filter(|&c| c != '\n').unwrap_or('\t'),
+                _ => (0x20u8 + rng.below(0x5f) as u8) as char,
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = (hi - lo + 1) as u64;
+                if pick < span {
+                    return char::from_u32(lo + pick as u32).unwrap_or('\u{fffd}');
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Result<Vec<Piece>, String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                let (c, next) = parse_escape(&chars, i + 1)?;
+                i = next;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' => {
+                return Err(format!("unsupported regex construct {:?}", chars[i]));
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i)?;
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+fn parse_quantifier(chars: &[char], mut i: usize) -> Result<(usize, usize, usize), String> {
+    match chars.get(i) {
+        Some('*') => Ok((0, 8, i + 1)),
+        Some('+') => Ok((1, 8, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('{') => {
+            let start = i + 1;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '}' {
+                j += 1;
+            }
+            if j == chars.len() {
+                return Err("unterminated {..} quantifier".into());
+            }
+            let body: String = chars[start..j].iter().collect();
+            i = j + 1;
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                    hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+            };
+            if lo > hi {
+                return Err(format!("quantifier {{{body}}} has lo > hi"));
+            }
+            Ok((lo, hi, i))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+/// Parses a class body starting just past `[`; returns candidate ranges
+/// and the index past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<(u32, u32)>, usize), String> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut pending: Option<u32> = None; // left end of a possible a-b range
+    let mut first = true;
+    loop {
+        let Some(&c) = chars.get(i) else {
+            return Err("unterminated character class".into());
+        };
+        match c {
+            ']' if !first => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                return Ok((ranges, i + 1));
+            }
+            '-' if pending.is_some() && chars.get(i + 1).is_some_and(|&n| n != ']') => {
+                let lo = pending.take().expect("checked");
+                i += 1;
+                let hi = match chars[i] {
+                    '\\' => {
+                        let (c, next) = parse_escape(chars, i + 1)?;
+                        i = next - 1;
+                        c as u32
+                    }
+                    c => c as u32,
+                };
+                i += 1;
+                if lo > hi {
+                    return Err("class range has lo > hi".into());
+                }
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                let (c, next) = parse_escape(chars, i + 1)?;
+                i = next;
+                pending = Some(c as u32);
+            }
+            c => {
+                if let Some(p) = pending.take() {
+                    ranges.push((p, p));
+                }
+                pending = Some(c as u32);
+                i += 1;
+            }
+        }
+        first = false;
+    }
+}
+
+/// Parses an escape starting just past `\`; returns the character and the
+/// index past the escape.
+fn parse_escape(chars: &[char], i: usize) -> Result<(char, usize), String> {
+    match chars.get(i) {
+        None => Err("dangling backslash".into()),
+        Some('x') => {
+            let hex: String = chars.get(i + 1..i + 3).unwrap_or_default().iter().collect();
+            let v = u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\x escape: {e}"))?;
+            Ok((char::from_u32(v).unwrap_or('\u{fffd}'), i + 3))
+        }
+        Some('n') => Ok(('\n', i + 1)),
+        Some('t') => Ok(('\t', i + 1)),
+        Some('r') => Ok(('\r', i + 1)),
+        Some(&c) => Ok((c, i + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn literal_and_counted() {
+        let mut r = rng();
+        let s = "ab{3}c".sample(&mut r);
+        assert_eq!(s, "abbbc");
+    }
+
+    #[test]
+    fn class_ranges_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9\\-\\[\\]]{1,10}".sample(&mut r);
+            assert!((1..=10).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-[]".contains(c)));
+        }
+    }
+
+    #[test]
+    fn hex_escape_classes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[\\x00-\\xff]{1,8}".sample(&mut r);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| (c as u32) <= 0xff));
+        }
+    }
+
+    #[test]
+    fn dot_and_star() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = ".{0,300}".sample(&mut r);
+            assert!(s.chars().count() <= 300);
+            assert!(!s.contains('\n'));
+            let t = "x*".sample(&mut r);
+            assert!(t.chars().all(|c| c == 'x'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a;-]{1,4}".sample(&mut r);
+            assert!(s.chars().all(|c| c == 'a' || c == ';' || c == '-'));
+        }
+    }
+}

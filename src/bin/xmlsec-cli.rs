@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "xpath" => cmd_xpath(&opts),
         "xacl" => cmd_xacl(&opts),
         "serve" => cmd_serve(&opts),
+        "stats" => cmd_stats(&opts),
         "explain" => cmd_explain(&opts),
         "analyze" => cmd_analyze(&opts),
         "lint" => cmd_lint(&opts),
@@ -68,6 +69,7 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   xpath:    --doc F --expr PATH
   xacl:     --xacl F
   serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
+  stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
   explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
   analyze:  --dtd F --xacl F [--root NAME]
   lint:     --xacl F [--dir F]";
@@ -88,7 +90,7 @@ impl Opts {
                 return Err(format!("unexpected argument {a:?}"));
             };
             match name {
-                "open" | "pretty" | "strict" => flags.push(name.to_string()),
+                "open" | "pretty" | "strict" | "prometheus" => flags.push(name.to_string()),
                 _ => {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     values.entry(name.to_string()).or_default().push(v.clone());
@@ -179,16 +181,12 @@ fn cmd_view(o: &Opts) -> Result<(), String> {
         authorizations: base,
         options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
     };
-    let requester = Requester::new(user, o.one("ip")?, o.one("host")?)
-        .map_err(|e| e.to_string())?;
+    let requester =
+        Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
     let out = processor
         .process(
             &AccessRequest { requester, uri: uri.to_string() },
-            &DocumentSource {
-                xml: &xml,
-                dtd: dtd_text.as_deref(),
-                dtd_uri: o.opt("dtd-uri"),
-            },
+            &DocumentSource { xml: &xml, dtd: dtd_text.as_deref(), dtd_uri: o.opt("dtd-uri") },
         )
         .map_err(|e| e.to_string())?;
     if o.flag("pretty") {
@@ -321,6 +319,84 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
     }
 }
 
+/// Runs the pipeline (optionally `--repeat N` times) and dumps the
+/// telemetry it produced: the span trace of the runs and a summary of
+/// every metric series. `--prometheus` prints the raw exposition text
+/// instead of the summary — byte-identical to the server's `/metrics`.
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let xml = read(o.one("doc")?)?;
+    let uri = o.one("uri")?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    let user = o.one("user")?;
+    let _ = dir.add_user(user);
+    let mut base = AuthorizationBase::new();
+    for xacl_path in o.many("xacl") {
+        let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+        for a in &auths {
+            if dir.kind(&a.subject.user_group).is_none() {
+                let _ = dir.add_group(&a.subject.user_group);
+            }
+        }
+        base.extend(auths);
+    }
+    let dtd_text = o.opt("dtd").map(read).transpose()?;
+    let policy = PolicyConfig {
+        completeness: if o.flag("open") {
+            CompletenessPolicy::Open
+        } else {
+            CompletenessPolicy::Closed
+        },
+        ..Default::default()
+    };
+    let processor = xmlsec::core::SecurityProcessor {
+        directory: dir,
+        authorizations: base,
+        options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
+    };
+    let requester =
+        Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
+    let repeat: usize = match o.opt("repeat") {
+        Some(n) => n.parse().map_err(|_| format!("--repeat must be a number, got {n:?}"))?,
+        None => 1,
+    };
+
+    xmlsec::telemetry::trace::clear_recent_spans();
+    for _ in 0..repeat.max(1) {
+        processor
+            .process(
+                &AccessRequest { requester: requester.clone(), uri: uri.to_string() },
+                &DocumentSource { xml: &xml, dtd: dtd_text.as_deref(), dtd_uri: o.opt("dtd-uri") },
+            )
+            .map_err(|e| e.to_string())?;
+    }
+
+    if o.flag("prometheus") {
+        print!("{}", xmlsec::telemetry::global().render_prometheus());
+        return Ok(());
+    }
+    println!("-- spans ({} run(s)) --", repeat.max(1));
+    print!("{}", xmlsec::telemetry::trace::render_recent_spans());
+    println!("-- metrics --");
+    for s in xmlsec::telemetry::global().snapshot() {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match s.kind {
+            "histogram" => {
+                let count = s.value;
+                let sum = s.sum.unwrap_or(0.0);
+                let mean = if count > 0.0 { sum / count } else { 0.0 };
+                println!("{}{labels}: count={count} mean={:.9}s total={:.9}s", s.name, mean, sum);
+            }
+            _ => println!("{}{labels}: {}", s.name, s.value),
+        }
+    }
+    Ok(())
+}
+
 /// Prints the labeled tree (per-node final signs) for a requester — the
 /// debugging view of the compute-view algorithm.
 fn cmd_explain(o: &Opts) -> Result<(), String> {
@@ -347,13 +423,8 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
     for a in &axml {
         println!("  {a}");
     }
-    let labeling = xmlsec::core::label_document(
-        &doc,
-        &axml,
-        &[],
-        &dir,
-        PolicyConfig::paper_default(),
-    );
+    let labeling =
+        xmlsec::core::label_document(&doc, &axml, &[], &dir, PolicyConfig::paper_default());
     print!("{}", xmlsec::core::render_labeled(&doc, &labeling));
     Ok(())
 }

@@ -34,32 +34,32 @@
 //! assert!(!out.xml.contains("Engine Internals"));   // private paper: pruned
 //! ```
 
-/// XML 1.0 substrate: tokenizer, parser, DOM, serializer.
-pub use xmlsec_xml as xml;
-/// DTD substrate: parsing, validation, loosening, DTD trees.
-pub use xmlsec_dtd as dtd;
-/// XPath subset for authorization objects.
-pub use xmlsec_xpath as xpath;
-/// Subjects: users, groups, location patterns, the ASH hierarchy.
-pub use xmlsec_subjects as subjects;
 /// Authorizations: 5-tuples, XACL markup, policies, the base.
 pub use xmlsec_authz as authz;
 /// The compute-view algorithm and the security processor.
 pub use xmlsec_core as core;
+/// DTD substrate: parsing, validation, loosening, DTD trees.
+pub use xmlsec_dtd as dtd;
 /// The secure document server.
 pub use xmlsec_server as server;
+/// Subjects: users, groups, location patterns, the ASH hierarchy.
+pub use xmlsec_subjects as subjects;
+/// Tracing + metrics: spans, counters, histograms, /metrics exposition.
+pub use xmlsec_telemetry as telemetry;
 /// Corpora and generators for tests/benches.
 pub use xmlsec_workload as workload;
+/// XML 1.0 substrate: tokenizer, parser, DOM, serializer.
+pub use xmlsec_xml as xml;
+/// XPath subset for authorization objects.
+pub use xmlsec_xpath as xpath;
 
 /// The names most programs need.
 pub mod prelude {
     pub use xmlsec_authz::{
-        parse_xacl, serialize_xacl, AuthType, Authorization, AuthorizationBase,
-        CompletenessPolicy, ConflictResolution, ObjectSpec, PolicyConfig, Sign,
+        parse_xacl, serialize_xacl, AuthType, Authorization, AuthorizationBase, CompletenessPolicy,
+        ConflictResolution, ObjectSpec, PolicyConfig, Sign,
     };
-    pub use xmlsec_core::{
-        compute_view, AccessRequest, DocumentSource, SecurityProcessor, Sign3,
-    };
+    pub use xmlsec_core::{compute_view, AccessRequest, DocumentSource, SecurityProcessor, Sign3};
     pub use xmlsec_dtd::{loosen, parse_dtd, serialize_dtd, Dtd};
     pub use xmlsec_server::{ClientRequest, SecureServer, ServerError};
     pub use xmlsec_subjects::{Directory, Requester, Subject};

@@ -18,7 +18,8 @@ struct Fixture {
 
 impl Fixture {
     fn new(name: &str) -> Fixture {
-        let dir = std::env::temp_dir().join(format!("xmlsec-cli-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("xmlsec-cli-test-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("temp dir");
         let f = Fixture { dir };
         f.write(
@@ -78,8 +79,21 @@ fn stderr(o: &Output) -> String {
 fn view_prunes_by_xacl() {
     let f = Fixture::new("view");
     let out = run(&[
-        "view", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
-        "1.2.3.4", "--host", "a.b.it", "--xacl", &f.path("acl.xml"), "--dir", &f.path("dir.txt"),
+        "view",
+        "--doc",
+        &f.path("doc.xml"),
+        "--uri",
+        "doc.xml",
+        "--user",
+        "Tom",
+        "--ip",
+        "1.2.3.4",
+        "--host",
+        "a.b.it",
+        "--xacl",
+        &f.path("acl.xml"),
+        "--dir",
+        &f.path("dir.txt"),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
@@ -91,8 +105,18 @@ fn view_prunes_by_xacl() {
 fn view_open_policy_flag() {
     let f = Fixture::new("open");
     let out = run(&[
-        "view", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
-        "1.2.3.4", "--host", "a.b.it", "--open",
+        "view",
+        "--doc",
+        &f.path("doc.xml"),
+        "--uri",
+        "doc.xml",
+        "--user",
+        "Tom",
+        "--ip",
+        "1.2.3.4",
+        "--host",
+        "a.b.it",
+        "--open",
     ]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("T2"), "open policy reveals everything");
@@ -123,9 +147,8 @@ fn validate_strict_reports_nondeterministic_models() {
     let ok = run(&["validate", "--doc", &f.path("ambi.xml"), "--dtd", &f.path("ambi.dtd")]);
     assert!(ok.status.success(), "{}", stdout(&ok));
     // Strict: the 1-ambiguous model is reported.
-    let strict = run(&[
-        "validate", "--doc", &f.path("ambi.xml"), "--dtd", &f.path("ambi.dtd"), "--strict",
-    ]);
+    let strict =
+        run(&["validate", "--doc", &f.path("ambi.xml"), "--dtd", &f.path("ambi.dtd"), "--strict"]);
     assert!(!strict.status.success());
     assert!(stdout(&strict).contains("nondeterministic"), "{}", stdout(&strict));
 }
@@ -220,8 +243,21 @@ fn lint_reports_findings() {
 fn explain_prints_labels() {
     let f = Fixture::new("explain");
     let out = run(&[
-        "explain", "--doc", &f.path("doc.xml"), "--uri", "doc.xml", "--user", "Tom", "--ip",
-        "1.2.3.4", "--host", "a.b.it", "--xacl", &f.path("acl.xml"), "--dir", &f.path("dir.txt"),
+        "explain",
+        "--doc",
+        &f.path("doc.xml"),
+        "--uri",
+        "doc.xml",
+        "--user",
+        "Tom",
+        "--ip",
+        "1.2.3.4",
+        "--host",
+        "a.b.it",
+        "--xacl",
+        &f.path("acl.xml"),
+        "--dir",
+        &f.path("dir.txt"),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);

@@ -78,8 +78,8 @@ fn whitespace_free_round_trip_of_partially_visible_mixed_content() {
 fn processor_drops_prolog_but_keeps_doctype_linkage() {
     // Comments/PIs outside the document element are legal and dropped by
     // the parser; the DOCTYPE still drives schema lookup.
-    let doc = parse("<?xml version=\"1.0\"?><!--hdr--><!DOCTYPE a SYSTEM \"a.dtd\"><a>t</a>")
-        .unwrap();
+    let doc =
+        parse("<?xml version=\"1.0\"?><!--hdr--><!DOCTYPE a SYSTEM \"a.dtd\"><a>t</a>").unwrap();
     assert_eq!(doc.doctype.as_ref().unwrap().system_id.as_deref(), Some("a.dtd"));
     assert_eq!(doc.children(doc.root()).len(), 1);
 }

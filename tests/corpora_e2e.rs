@@ -102,10 +102,7 @@ fn majority_sign_policy_end_to_end() {
             AuthType::Recursive,
         ));
     }
-    let policy = PolicyConfig {
-        conflict: ConflictResolution::MajoritySign,
-        ..Default::default()
-    };
+    let policy = PolicyConfig { conflict: ConflictResolution::MajoritySign, ..Default::default() };
     let mut s = SecureServer::new(dir, base).with_policy(policy);
     s.register_credentials("kim", "pw");
     s.repository_mut().put_document("d.xml", "<d>content</d>", None);

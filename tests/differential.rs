@@ -21,10 +21,8 @@ struct Scenario {
 }
 
 fn scenario(doc_seed: u64, auth_seed: u64, elements: usize, auth_count: usize) -> Scenario {
-    let doc = xmlsec::workload::random_tree(
-        &TreeConfig { elements, ..Default::default() },
-        doc_seed,
-    );
+    let doc =
+        xmlsec::workload::random_tree(&TreeConfig { elements, ..Default::default() }, doc_seed);
     let dir = random_directory(6, 4, auth_seed);
     let requester = random_requester(6, auth_seed);
     let (axml_all, adtd_all) = random_auths(
@@ -49,7 +47,10 @@ fn policies() -> [PolicyConfig; 4] {
     [
         PolicyConfig::paper_default(),
         PolicyConfig { completeness: CompletenessPolicy::Open, ..Default::default() },
-        PolicyConfig { conflict: ConflictResolution::PermissionsTakePrecedence, ..Default::default() },
+        PolicyConfig {
+            conflict: ConflictResolution::PermissionsTakePrecedence,
+            ..Default::default()
+        },
         PolicyConfig { conflict: ConflictResolution::NothingTakesPrecedence, ..Default::default() },
     ]
 }

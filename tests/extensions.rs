@@ -112,7 +112,10 @@ fn editor_can_update_pages() {
         .update(
             &req("editor"),
             &[
-                UpdateOp::SetText { target: r#"//pages/page[@title="Home"]"#.into(), text: "hello".into() },
+                UpdateOp::SetText {
+                    target: r#"//pages/page[@title="Home"]"#.into(),
+                    text: "hello".into(),
+                },
                 UpdateOp::InsertElement { parent: "/wiki/pages".into(), name: "page".into() },
             ],
         )
@@ -185,8 +188,10 @@ fn updates_preserve_dtd_validity() {
     );
     let mut s = SecureServer::new(dir, base);
     s.register_credentials("ed", "pw");
-    s.repository_mut().put_dtd("list.dtd", "<!ELEMENT list (item+)><!ELEMENT item (#PCDATA)>");
-    s.repository_mut().put_document("doc.xml", "<list><item>a</item></list>", Some("list.dtd"));
+    s.repository_mut()
+        .put_dtd("list.dtd", "<!ELEMENT list (item+)><!ELEMENT item (#PCDATA)>");
+    s.repository_mut()
+        .put_document("doc.xml", "<list><item>a</item></list>", Some("list.dtd"));
     let rq = ClientRequest {
         user: Some(("ed".into(), "pw".into())),
         ip: "1.2.3.4".into(),
@@ -238,17 +243,11 @@ fn write_conditions_on_defaulted_attributes_match() {
         uri: "doc.xml".into(),
     };
     // The defaulted-open first item is writable...
-    s.update(
-        &rq,
-        &[UpdateOp::SetText { target: "/list/item[1]".into(), text: "done".into() }],
-    )
-    .expect("defaulted @status=open grants the write");
+    s.update(&rq, &[UpdateOp::SetText { target: "/list/item[1]".into(), text: "done".into() }])
+        .expect("defaulted @status=open grants the write");
     // ...the explicitly closed one is not.
     let e = s
-        .update(
-            &rq,
-            &[UpdateOp::SetText { target: "/list/item[2]".into(), text: "nope".into() }],
-        )
+        .update(&rq, &[UpdateOp::SetText { target: "/list/item[2]".into(), text: "nope".into() }])
         .unwrap_err();
     assert!(matches!(e, ServerError::UpdateDenied(_)));
 }
@@ -280,5 +279,6 @@ fn write_grants_do_not_leak_into_read_views() {
     let view = s.handle(&rq).unwrap();
     assert_eq!(view.xml, "<d/>", "write-only principals read nothing");
     // Yet the update works.
-    s.update(&rq, &[UpdateOp::SetText { target: "/d/x".into(), text: "2".into() }]).unwrap();
+    s.update(&rq, &[UpdateOp::SetText { target: "/d/x".into(), text: "2".into() }])
+        .unwrap();
 }

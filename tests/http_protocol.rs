@@ -44,8 +44,7 @@ fn location_parameters_drive_the_subject_hierarchy() {
     // Same credentials, different declared host: the *.it grant flips.
     let (_, from_it) =
         get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it");
-    let (_, from_com) =
-        get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=pc.lab.com");
+    let (_, from_com) = get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=pc.lab.com");
     assert!(from_it.contains("Bob Keen"));
     assert!(!from_com.contains("Bob Keen"));
 }
@@ -70,4 +69,57 @@ fn malformed_ip_parameter_is_bad_request() {
     let demo = demo();
     let (code, _) = get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=not-an-ip&host=a.b.it");
     assert_eq!(code, 400);
+}
+
+#[test]
+fn metrics_endpoint_exposes_pipeline_cache_and_request_series() {
+    let demo = demo();
+    // Two identical requests: the second is served from the view cache,
+    // so both the full pipeline and the cache-hit path have run.
+    let target = "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it";
+    let (code1, _) = get(&demo, target);
+    let (code2, _) = get(&demo, target);
+    assert_eq!((code1, code2), (200, 200));
+
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(conn, "GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
+    assert!(buf.contains("Content-Type: text/plain; version=0.0.4"), "{buf}");
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+
+    // Prometheus exposition structure.
+    assert!(body.contains("# HELP xmlsec_requests_total"), "{body}");
+    assert!(body.contains("# TYPE xmlsec_requests_total counter"), "{body}");
+    assert!(body.contains("# TYPE xmlsec_pipeline_stage_duration_seconds histogram"), "{body}");
+
+    let counter = |name: &str| -> u64 {
+        body.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    // Request counters by outcome: one full serve, one cached serve.
+    assert!(counter(r#"xmlsec_requests_total{outcome="served"}"#) >= 1, "{body}");
+    assert!(counter(r#"xmlsec_requests_total{outcome="served_cached"}"#) >= 1, "{body}");
+    // Per-stage pipeline histograms, with le-bucket series in seconds.
+    for stage in ["parse", "label", "prune", "loosen", "serialize"] {
+        assert!(
+            counter(&format!(r#"xmlsec_pipeline_stage_duration_seconds_count{{stage="{stage}"}}"#))
+                >= 1,
+            "stage {stage} missing from:\n{body}"
+        );
+    }
+    assert!(
+        body.contains(r#"xmlsec_pipeline_stage_duration_seconds_bucket{stage="parse",le="+Inf"}"#),
+        "{body}"
+    );
+    // Cache hit/miss counters.
+    assert!(counter("xmlsec_view_cache_hits_total") >= 1, "{body}");
+    assert!(counter("xmlsec_view_cache_misses_total") >= 1, "{body}");
+    // Parser and XPath substrate counters fed by the same requests.
+    assert!(counter("xmlsec_xml_parse_documents_total") >= 1, "{body}");
+    assert!(counter("xmlsec_xpath_evaluations_total") >= 1, "{body}");
 }

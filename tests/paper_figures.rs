@@ -33,8 +33,7 @@ fn f1_laboratory_dtd_parses_and_has_figure_shape() {
 fn f3_toms_view_matches_expected_document() {
     let processor = SecurityProcessor::new(lab_directory(), lab_authorization_base());
     let request = AccessRequest { requester: tom(), uri: CSLAB_URI.to_string() };
-    let source =
-        DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
+    let source = DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
     let out = processor.process(&request, &source).expect("pipeline runs");
 
     let expected = parse(TOM_VIEW_XML).unwrap();
@@ -64,8 +63,7 @@ fn f3_toms_view_matches_expected_document() {
 fn f3_view_is_valid_against_loosened_dtd_only() {
     let processor = SecurityProcessor::new(lab_directory(), lab_authorization_base());
     let request = AccessRequest { requester: tom(), uri: CSLAB_URI.to_string() };
-    let source =
-        DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
+    let source = DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
     let out = processor.process(&request, &source).unwrap();
 
     let original = parse_dtd(LAB_DTD).unwrap();
@@ -85,8 +83,7 @@ fn f3_admin_from_authorized_host_sees_internal_projects() {
         requester: Requester::new("Alice", "130.89.56.8", "admin.lab.com").unwrap(),
         uri: CSLAB_URI.to_string(),
     };
-    let source =
-        DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
+    let source = DocumentSource { xml: CSLAB_XML, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
     let out = processor.process(&request, &source).unwrap();
     // Internal project fully visible (including its private paper: Alice
     // is not in Foreign, so the schema denial does not apply).
@@ -117,7 +114,9 @@ fn e1_section3_location_pattern_examples() {
     assert!(a.matches(&"151.100.7.9".parse().unwrap()));
     // "*.mil, *.com, and *.it denote all the machines in the Military,
     // Company, and Italy domains"
-    for (pat, host) in [("*.mil", "x.army.mil"), ("*.com", "tweety.lab.com"), ("*.it", "infosys.bld1.it")] {
+    for (pat, host) in
+        [("*.mil", "x.army.mil"), ("*.com", "tweety.lab.com"), ("*.it", "infosys.bld1.it")]
+    {
         let p: SymPattern = pat.parse().unwrap();
         assert!(p.matches(&host.parse().unwrap()), "{pat} should match {host}");
     }
@@ -177,8 +176,7 @@ fn figure2_algorithm_signs_on_the_example() {
     let labeling =
         xmlsec::core::label_document(&doc, &axml, &adtd, &dir, PolicyConfig::paper_default());
 
-    let private_papers =
-        select(&doc, &parse_path(r#"//paper[./@category="private"]"#).unwrap());
+    let private_papers = select(&doc, &parse_path(r#"//paper[./@category="private"]"#).unwrap());
     for p in private_papers {
         assert_eq!(labeling.final_sign(p), Sign3::Minus);
     }

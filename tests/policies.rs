@@ -123,10 +123,8 @@ fn flat_permissions_policy() {
 fn open_policy_with_partial_denials() {
     // Open completeness: everything visible except what is denied.
     let auths = vec![auth("kim", "/report/detail", Sign::Minus, AuthType::Recursive)];
-    let v = view(
-        &auths,
-        PolicyConfig { completeness: CompletenessPolicy::Open, ..Default::default() },
-    );
+    let v =
+        view(&auths, PolicyConfig { completeness: CompletenessPolicy::Open, ..Default::default() });
     assert_eq!(v, "<report><summary>sum</summary></report>");
 }
 

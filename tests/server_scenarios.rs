@@ -97,7 +97,8 @@ fn bank_scenario_location_gates_through_the_server() {
     let mut s = SecureServer::new(bank_directory(), bank_authorization_base());
     s.register_credentials("tina", "pw");
     s.repository_mut().put_dtd(BANK_DTD_URI, BANK_DTD);
-    s.repository_mut().put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
+    s.repository_mut()
+        .put_document(STATEMENTS_URI, STATEMENTS_XML, Some(BANK_DTD_URI));
 
     let at_branch = s
         .handle(&request(Some(("tina", "pw")), "10.1.4.20", "t1.branch.bank.com", STATEMENTS_URI))
@@ -116,8 +117,7 @@ fn cache_hits_for_equivalent_requesters_and_misses_across() {
     let s = lab_server();
     // Two different Public-only users from .com hosts share a view.
     let r1 = s.handle(&request(None, "1.2.3.4", "a.example.com", CSLAB_URI)).unwrap();
-    let r2 =
-        s.handle(&request(Some(("Alice", "pw-alice")), "5.6.7.8", "b.example.com", CSLAB_URI));
+    let r2 = s.handle(&request(Some(("Alice", "pw-alice")), "5.6.7.8", "b.example.com", CSLAB_URI));
     // Alice's applicable set from a non-Admin host == anonymous's
     // (both just the Public weak grant).
     let r2 = r2.unwrap();

@@ -57,22 +57,18 @@ fn parent_only_matrix() {
     use Level::*;
     // (type, level, expected sign of b when parent has a '+' auth)
     let cases = [
-        (Local, Instance, Sign3::Eps),        // local does not reach sub-elements
-        (Recursive, Instance, Sign3::Plus),   // propagates
-        (LocalWeak, Instance, Sign3::Eps),    // local, weak or not
+        (Local, Instance, Sign3::Eps),      // local does not reach sub-elements
+        (Recursive, Instance, Sign3::Plus), // propagates
+        (LocalWeak, Instance, Sign3::Eps),  // local, weak or not
         (RecursiveWeak, Instance, Sign3::Plus),
-        (Local, Schema, Sign3::Eps),          // LD on parent does not reach b
-        (Recursive, Schema, Sign3::Plus),     // RD propagates
-        (LocalWeak, Schema, Sign3::Eps),      // weak folds into strong at schema level
+        (Local, Schema, Sign3::Eps),      // LD on parent does not reach b
+        (Recursive, Schema, Sign3::Plus), // RD propagates
+        (LocalWeak, Schema, Sign3::Eps),  // weak folds into strong at schema level
         (RecursiveWeak, Schema, Sign3::Plus),
     ];
     for (ty, level, expected) in cases {
         let auths = [auth("/a", Sign::Plus, ty, level)];
-        assert_eq!(
-            sign_of_b(&auths),
-            expected,
-            "parent-only: type {ty:?} at {level:?}"
-        );
+        assert_eq!(sign_of_b(&auths), expected, "parent-only: type {ty:?} at {level:?}");
     }
 }
 
