@@ -36,6 +36,7 @@
 
 pub mod analysis;
 pub mod label;
+pub mod limits;
 pub mod naive;
 pub mod processor;
 pub mod stages;
@@ -44,12 +45,16 @@ pub mod view;
 
 pub use analysis::{analyze_against_schema, schema_coverage, AuthCoverage, SchemaNode};
 pub use label::{first_def, Label, Sign3};
+pub use limits::ResourceLimits;
 pub use naive::{compute_view_naive, naive_final_sign};
 pub use processor::{
     AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions, SecurityProcessor,
 };
 pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
-pub use view::{compute_view, label_document, prune_document, render_labeled, Labeling, ViewStats};
+pub use view::{
+    compute_view, compute_view_limited, label_document, label_document_limited, prune_document,
+    render_labeled, Labeling, ViewStats,
+};
 
 // Re-export the policy types users need at this level.
 pub use xmlsec_authz::{CompletenessPolicy, ConflictResolution, PolicyConfig};

@@ -1,0 +1,50 @@
+//! Combined resource limits for the security-processor pipeline.
+//!
+//! One [`ResourceLimits`] bundles the caps of every layer the processor
+//! drives: XML parsing ([`xmlsec_xml::Limits`]) and path evaluation
+//! ([`xmlsec_xpath::EvalLimits`]). The server threads a single value from
+//! its configuration down through [`crate::ProcessorOptions`], so there is
+//! exactly one place to tune how much work one request may cost.
+
+use xmlsec_xml::Limits;
+use xmlsec_xpath::EvalLimits;
+
+/// Caps for one end-to-end request through the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Parsing caps (input size, depth, nodes, entity expansion).
+    pub xml: Limits,
+    /// Path-evaluation caps (node-visit budget, inner-path nesting).
+    pub xpath: EvalLimits,
+}
+
+impl ResourceLimits {
+    /// Both layers at their generous defaults.
+    pub const fn default_limits() -> ResourceLimits {
+        ResourceLimits { xml: Limits::default_limits(), xpath: EvalLimits::default_limits() }
+    }
+
+    /// No caps anywhere. For trusted, program-generated input only.
+    pub const fn unlimited() -> ResourceLimits {
+        ResourceLimits { xml: Limits::unlimited(), xpath: EvalLimits::unlimited() }
+    }
+}
+
+impl Default for ResourceLimits {
+    fn default() -> ResourceLimits {
+        ResourceLimits::default_limits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bundles_layer_defaults() {
+        let r = ResourceLimits::default();
+        assert_eq!(r.xml, Limits::default());
+        assert_eq!(r.xpath, EvalLimits::default());
+        assert_eq!(ResourceLimits::unlimited().xml.max_depth, usize::MAX);
+    }
+}

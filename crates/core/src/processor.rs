@@ -12,14 +12,15 @@
 //! The output carries the view document, its text, and the loosened DTD
 //! text, ready to be "transmitted to the user who requested access".
 
+use crate::limits::ResourceLimits;
 use crate::stages;
-use crate::view::{compute_view, ViewStats};
+use crate::view::{compute_view_limited, ViewStats};
 use std::fmt;
 use xmlsec_authz::{AuthorizationBase, PolicyConfig};
 use xmlsec_dtd::{loosen, normalize, parse_dtd, serialize_dtd, Dtd, Validator, ValidityError};
 use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
-use xmlsec_xml::{parse, serialize, Document, SerializeOptions};
+use xmlsec_xml::{parse_with_limits, serialize, Document, ParseOptions, SerializeOptions};
 
 /// Errors raised by the processor pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,24 @@ pub enum ProcessError {
     /// The document is not valid against its DTD (only when validation is
     /// requested); carries all violations.
     Invalid(Vec<ValidityError>),
+    /// An authorization path evaluation exceeded the configured budget
+    /// (see [`ResourceLimits::xpath`]).
+    XpathLimit(xmlsec_xpath::EvalError),
+}
+
+impl ProcessError {
+    /// Whether this failure is a resource-limit rejection (as opposed to
+    /// malformed/invalid input). Servers map these to "request too
+    /// expensive" responses rather than generic parse failures.
+    pub fn is_resource_limit(&self) -> bool {
+        match self {
+            ProcessError::XpathLimit(_) => true,
+            ProcessError::Xml(e) => {
+                matches!(e.kind, xmlsec_xml::XmlErrorKind::LimitExceeded(_))
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ProcessError {
@@ -41,11 +60,18 @@ impl fmt::Display for ProcessError {
             ProcessError::Invalid(errs) => {
                 write!(f, "document invalid against its DTD ({} violations)", errs.len())
             }
+            ProcessError::XpathLimit(e) => write!(f, "labeling step over budget: {e}"),
         }
     }
 }
 
 impl std::error::Error for ProcessError {}
+
+impl From<xmlsec_xpath::EvalError> for ProcessError {
+    fn from(e: xmlsec_xpath::EvalError) -> Self {
+        ProcessError::XpathLimit(e)
+    }
+}
 
 impl From<xmlsec_xml::XmlError> for ProcessError {
     fn from(e: xmlsec_xml::XmlError) -> Self {
@@ -71,6 +97,9 @@ pub struct ProcessorOptions {
     /// Double-check that the pruned view is valid against the loosened
     /// DTD (cheap insurance; on in debug-style deployments).
     pub verify_view: bool,
+    /// Resource caps for parsing and labeling; defaults are generous
+    /// enough that only pathological inputs are rejected.
+    pub limits: ResourceLimits,
 }
 
 /// A request: who wants which document.
@@ -139,7 +168,7 @@ impl SecurityProcessor {
         // the schema.
         let mut doc = {
             let _s = stages::parse();
-            parse(source.xml)?
+            parse_with_limits(source.xml, ParseOptions::default(), &self.options.limits.xml)?
         };
         let dtd: Option<Dtd> = {
             let _s = stages::dtd_parse();
@@ -191,7 +220,14 @@ impl SecurityProcessor {
 
         // Step 2–3: labeling and pruning (stage spans open inside
         // compute_view, where the two halves are distinguishable).
-        let (view, stats) = compute_view(&doc, &axml, &adtd, &self.directory, self.options.policy);
+        let (view, stats) = compute_view_limited(
+            &doc,
+            &axml,
+            &adtd,
+            &self.directory,
+            self.options.policy,
+            &self.options.limits.xpath,
+        )?;
 
         // Loosening, so the view stays valid without revealing what was
         // hidden.
@@ -331,6 +367,44 @@ mod tests {
         let out = p.process(&request("Tom"), &source()).unwrap();
         let loosened = parse_dtd(out.loosened_dtd.as_deref().unwrap()).unwrap();
         assert!(xmlsec_dtd::validate(&loosened, &out.view).is_empty());
+    }
+
+    #[test]
+    fn depth_bomb_is_a_typed_limit_error() {
+        let mut p = processor();
+        p.options.limits.xml.max_depth = 8;
+        let mut bomb = String::new();
+        for _ in 0..50 {
+            bomb.push_str("<lab>");
+        }
+        for _ in 0..50 {
+            bomb.push_str("</lab>");
+        }
+        let src = DocumentSource { xml: &bomb, dtd: None, dtd_uri: None };
+        let err = p.process(&request("Tom"), &src).unwrap_err();
+        assert!(err.is_resource_limit(), "{err}");
+        assert!(matches!(
+            err,
+            ProcessError::Xml(xmlsec_xml::XmlError {
+                kind: xmlsec_xml::XmlErrorKind::LimitExceeded(_),
+                ..
+            })
+        ));
+        // A malformed document is NOT a resource-limit failure.
+        let bad = DocumentSource { xml: "<lab><open>", dtd: None, dtd_uri: None };
+        assert!(!p.process(&request("Tom"), &bad).unwrap_err().is_resource_limit());
+    }
+
+    #[test]
+    fn xpath_budget_applies_to_authorization_objects() {
+        let mut p = processor();
+        p.options.limits.xpath.max_node_visits = 1;
+        let err = p.process(&request("Tom"), &source()).unwrap_err();
+        assert!(matches!(err, ProcessError::XpathLimit(_)), "{err:?}");
+        assert!(err.is_resource_limit());
+        // Defaults are generous enough for the same request.
+        p.options.limits = ResourceLimits::default();
+        assert!(p.process(&request("Tom"), &source()).is_ok());
     }
 
     #[test]

@@ -35,7 +35,7 @@ use xmlsec_authz::{
 };
 use xmlsec_subjects::Directory;
 use xmlsec_xml::{Document, NodeData, NodeId};
-use xmlsec_xpath::eval_path;
+use xmlsec_xpath::{eval_path_limited, EvalError, EvalLimits};
 
 /// Counters the processor reports alongside a computed view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,7 +89,11 @@ impl MatchedAuth<'_> {
     }
 }
 
-fn evaluate_auths<'a>(doc: &Document, auths: &[&'a Authorization]) -> Vec<MatchedAuth<'a>> {
+fn evaluate_auths<'a>(
+    doc: &Document,
+    auths: &[&'a Authorization],
+    limits: &EvalLimits,
+) -> Result<Vec<MatchedAuth<'a>>, EvalError> {
     let words = doc.arena_len().div_ceil(64);
     auths
         .iter()
@@ -97,7 +101,7 @@ fn evaluate_auths<'a>(doc: &Document, auths: &[&'a Authorization]) -> Vec<Matche
             let mut selected = vec![0u64; words];
             match &a.object.path {
                 Some(p) => {
-                    for n in eval_path(doc, doc.root(), p) {
+                    for n in eval_path_limited(doc, doc.root(), p, limits)? {
                         selected[n.index() / 64] |= 1 << (n.index() % 64);
                     }
                 }
@@ -108,7 +112,7 @@ fn evaluate_auths<'a>(doc: &Document, auths: &[&'a Authorization]) -> Vec<Matche
                     selected[r / 64] |= 1 << (r % 64);
                 }
             }
-            MatchedAuth { auth: a, selected }
+            Ok(MatchedAuth { auth: a, selected })
         })
         .collect()
 }
@@ -127,6 +131,21 @@ pub fn label_document(
     dir: &Directory,
     policy: PolicyConfig,
 ) -> Labeling {
+    label_document_limited(doc, axml, adtd, dir, policy, &EvalLimits::unlimited())
+        .expect("unlimited evaluation cannot exhaust a budget")
+}
+
+/// Like [`label_document`], but bounds the path evaluations of the
+/// authorization objects: a pathological object expression yields a typed
+/// [`EvalError`] instead of pinning the server.
+pub fn label_document_limited(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    limits: &EvalLimits,
+) -> Result<Labeling, EvalError> {
     let mut labeling = Labeling {
         labels: vec![Label::default(); doc.arena_len()],
         stats: ViewStats {
@@ -135,8 +154,8 @@ pub fn label_document(
             ..Default::default()
         },
     };
-    let xml_matched = evaluate_auths(doc, axml);
-    let dtd_matched = evaluate_auths(doc, adtd);
+    let xml_matched = evaluate_auths(doc, axml, limits)?;
+    let dtd_matched = evaluate_auths(doc, adtd, limits)?;
 
     let ctx = LabelCtx { doc, xml: &xml_matched, dtd: &dtd_matched, dir, policy };
 
@@ -167,7 +186,7 @@ pub fn label_document(
     }
     labeling.stats.labeled_nodes = labeled;
     labeling.stats.granted_nodes = granted;
-    labeling
+    Ok(labeling)
 }
 
 struct LabelCtx<'a> {
@@ -356,16 +375,30 @@ pub fn compute_view(
     dir: &Directory,
     policy: PolicyConfig,
 ) -> (Document, ViewStats) {
+    compute_view_limited(doc, axml, adtd, dir, policy, &EvalLimits::unlimited())
+        .expect("unlimited evaluation cannot exhaust a budget")
+}
+
+/// Like [`compute_view`], but bounds the authorization path evaluations
+/// with `limits` (see [`label_document_limited`]).
+pub fn compute_view_limited(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    limits: &EvalLimits,
+) -> Result<(Document, ViewStats), EvalError> {
     let labeling = {
         let _s = crate::stages::label();
-        label_document(doc, axml, adtd, dir, policy)
+        label_document_limited(doc, axml, adtd, dir, policy, limits)?
     };
     let _s = crate::stages::prune();
     let mut view = doc.clone();
     let removed = prune_document(&mut view, &labeling, policy);
     let mut stats = labeling.stats;
     stats.pruned_nodes = removed;
-    (view, stats)
+    Ok((view, stats))
 }
 
 /// Renders the labeled tree with per-node signs (diagnostics, and the

@@ -1,0 +1,117 @@
+//! Feature-gated fault injection for robustness testing.
+//!
+//! Compiled only with the `faults` feature (test builds enable it via a
+//! dev-dependency; release builds never carry the hooks). Tests arm a
+//! named injection point with an action and a shot count; the server's
+//! request path calls [`check`] at those points and suffers the armed
+//! fault. Points currently wired:
+//!
+//! - `"handle.start"` — start of per-connection handling (before the
+//!   request line is read);
+//! - `"process.request"` — immediately before the security processor is
+//!   invoked for a view or query request;
+//! - `"respond.write"` — immediately before the success response is
+//!   written back.
+//!
+//! Arming is process-global, so tests that use it must not run
+//! concurrently with each other (keep all fault scenarios in one `#[test]`
+//! or serialize them explicitly).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed injection point does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the point (exercises panic isolation).
+    Panic,
+    /// Sleep this many milliseconds (exercises timeouts/backpressure).
+    SleepMs(u64),
+    /// Abandon the connection without writing a response (exercises
+    /// client-side handling of mid-stream disconnects).
+    Disconnect,
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, (FaultAction, u32)>> {
+    static REG: OnceLock<Mutex<HashMap<&'static str, (FaultAction, u32)>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `point` to fire `action` the next `times` times it is reached.
+pub fn arm(point: &'static str, action: FaultAction, times: u32) {
+    if let Ok(mut reg) = registry().lock() {
+        reg.insert(point, (action, times));
+    }
+}
+
+/// Disarms one point.
+pub fn disarm(point: &str) {
+    if let Ok(mut reg) = registry().lock() {
+        reg.remove(point);
+    }
+}
+
+/// Disarms everything.
+pub fn clear() {
+    if let Ok(mut reg) = registry().lock() {
+        reg.clear();
+    }
+}
+
+/// Called by the server at an injection point. Executes Panic/Sleep
+/// inline; returns `true` when the caller should drop the connection.
+pub(crate) fn check(point: &str) -> bool {
+    let action = {
+        let Ok(mut reg) = registry().lock() else { return false };
+        match reg.get_mut(point) {
+            Some((action, times)) => {
+                let a = *action;
+                *times -= 1;
+                if *times == 0 {
+                    reg.remove(point);
+                }
+                Some(a)
+            }
+            None => None,
+        }
+    };
+    match action {
+        Some(FaultAction::Panic) => panic!("injected fault at {point}"),
+        Some(FaultAction::SleepMs(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            false
+        }
+        Some(FaultAction::Disconnect) => true,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_fire_then_expire() {
+        clear();
+        arm("t.sleep", FaultAction::SleepMs(1), 2);
+        assert!(!check("t.sleep"));
+        assert!(!check("t.sleep"));
+        // Exhausted after two shots.
+        assert!(!check("t.sleep"));
+        arm("t.disc", FaultAction::Disconnect, 1);
+        assert!(check("t.disc"));
+        assert!(!check("t.disc"));
+        arm("t.gone", FaultAction::Disconnect, 1);
+        disarm("t.gone");
+        assert!(!check("t.gone"));
+        clear();
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        arm("t.panic", FaultAction::Panic, 1);
+        let r = std::panic::catch_unwind(|| check("t.panic"));
+        assert!(r.is_err());
+    }
+}

@@ -8,33 +8,127 @@
 //! When the document has a DTD, its loosened form follows the view in
 //! the body behind a `<!-- loosened DTD -->` marker.
 //!
-//! This is a demonstrator, not a production HTTP stack: HTTP/1.0, one
-//! thread per connection, no TLS (the paper likewise defers transport
-//! security to the era's channel mechanisms).
+//! This is a demonstrator, not a production HTTP stack (HTTP/1.0, no
+//! TLS — the paper likewise defers transport security to the era's
+//! channel mechanisms), but it is a *robust* demonstrator: a bounded
+//! worker pool with a backlog queue and 503 load shedding, socket
+//! read/write timeouts, caps on the request line and header block
+//! (431), panic isolation around request handling, and a graceful
+//! shutdown that drains in-flight work up to a deadline. Everything is
+//! tunable through [`HttpConfig`].
 
 use crate::server::{ClientRequest, SecureServer, ServerError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xmlsec_telemetry as telemetry;
 
-/// How often the accept loop re-checks the stop flag while idle.
+#[cfg(feature = "faults")]
+use crate::faults;
+#[cfg(not(feature = "faults"))]
+mod faults {
+    // No-op shim: release builds carry no injection hooks.
+    pub(crate) fn check(_point: &str) -> bool {
+        false
+    }
+}
+
+/// How often the accept loop re-checks the stop flag while idle, and how
+/// often shutdown polls workers for completion.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Tunable resource bounds for [`HttpDemo`].
+///
+/// The defaults are generous enough that every legitimate demo workload
+/// passes untouched, while still bounding what a hostile or broken
+/// client can cost the server.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpConfig {
+    /// Worker threads handling requests (the concurrency bound).
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before new
+    /// arrivals are shed with 503.
+    pub backlog: usize,
+    /// Per-connection read timeout; a stalled client (slow loris) gets
+    /// a best-effort 408 and is dropped.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout; a client that stops draining its
+    /// response is dropped.
+    pub write_timeout: Duration,
+    /// Longest accepted request line in bytes (431 beyond this).
+    pub max_request_line: usize,
+    /// Longest accepted header block in bytes (431 beyond this).
+    pub max_header_bytes: usize,
+    /// How long shutdown waits for in-flight requests to finish before
+    /// detaching the remaining workers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            workers: 8,
+            backlog: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_line: 8 * 1024,
+            max_header_bytes: 32 * 1024,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Handle to a running demo server.
 pub struct HttpDemo {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    drain_timeout: Duration,
+}
+
+fn shed_total() -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_server_shed_total",
+        "Connections rejected with 503 because the request queue was full.",
+        &[],
+    )
+}
+
+fn panics_caught_total() -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_server_panics_caught_total",
+        "Panics caught during request handling and converted to errors.",
+        &[],
+    )
+}
+
+fn queue_depth() -> Arc<telemetry::Gauge> {
+    telemetry::global().gauge(
+        "xmlsec_server_queue_depth",
+        "Accepted connections waiting in the backlog queue for a worker.",
+        &[],
+    )
 }
 
 impl HttpDemo {
-    /// Starts serving `server` on `addr` (use port 0 for an ephemeral
-    /// port). Runs until [`HttpDemo::shutdown`] or drop.
+    /// Starts serving `server` on `addr` with default limits (use port 0
+    /// for an ephemeral port). Runs until [`HttpDemo::shutdown`] or drop.
     pub fn start(server: SecureServer, addr: &str) -> std::io::Result<HttpDemo> {
+        HttpDemo::start_with(server, addr, HttpConfig::default())
+    }
+
+    /// Starts serving with explicit resource bounds.
+    pub fn start_with(
+        server: SecureServer,
+        addr: &str,
+        cfg: HttpConfig,
+    ) -> std::io::Result<HttpDemo> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // Nonblocking accept: a blocking accept would only notice the stop
@@ -44,19 +138,49 @@ impl HttpDemo {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+
+        // Bounded handoff: accept → queue → worker. The channel capacity
+        // is the backlog; when it is full the accept loop sheds instead
+        // of queueing unbounded work.
+        let (tx, rx) = sync_channel::<TcpStream>(cfg.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let server = Arc::new(server);
+        let depth = queue_depth();
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let server = Arc::clone(&server);
+            let depth = Arc::clone(&depth);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&rx, &server, &cfg, &depth);
+            }));
+        }
+
         let handle = std::thread::spawn(move || {
-            let server = Arc::new(server);
             while !stop2.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((conn, _)) => {
                         // The accepted socket must block; inheritance of
                         // the nonblocking flag is platform-dependent.
                         let _ = conn.set_nonblocking(false);
-                        let server = Arc::clone(&server);
-                        // One thread per connection keeps the demo simple.
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(&server, conn);
-                        });
+                        let _ = conn.set_read_timeout(Some(cfg.read_timeout));
+                        let _ = conn.set_write_timeout(Some(cfg.write_timeout));
+                        // Count before enqueueing: a worker may dequeue
+                        // (and decrement) the instant try_send returns,
+                        // and the gauge must never read negative.
+                        depth.add(1);
+                        match tx.try_send(conn) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(conn)) => {
+                                depth.add(-1);
+                                shed(conn);
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                depth.add(-1);
+                                break;
+                            }
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -64,8 +188,15 @@ impl HttpDemo {
                     Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
             }
+            // `tx` drops here; workers drain the queue and then exit.
         });
-        Ok(HttpDemo { addr: local, stop, handle: Some(handle) })
+        Ok(HttpDemo {
+            addr: local,
+            stop,
+            handle: Some(handle),
+            workers,
+            drain_timeout: cfg.drain_timeout,
+        })
     }
 
     /// Where the demo is listening.
@@ -73,11 +204,26 @@ impl HttpDemo {
         self.addr
     }
 
-    /// Stops the accept loop (in-flight connections finish).
+    /// Stops accepting, then drains: queued and in-flight requests get
+    /// up to the configured drain deadline to finish; workers still busy
+    /// after that are detached so shutdown always returns.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        // The accept thread has exited and dropped the sender, so each
+        // worker finishes its backlog and returns. Join with a deadline:
+        // a request wedged past the drain window must not hang shutdown.
+        let deadline = Instant::now() + self.drain_timeout;
+        for h in std::mem::take(&mut self.workers) {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // else: detached by drop.
         }
     }
 }
@@ -88,22 +234,171 @@ impl Drop for HttpDemo {
     }
 }
 
-fn handle_connection(server: &SecureServer, conn: TcpStream) -> std::io::Result<()> {
+/// Rejects a connection the queue has no room for: 503 plus a hint to
+/// retry once the burst has passed.
+fn shed(mut conn: TcpStream) {
+    shed_total().inc();
+    let body = "server busy, try again shortly\n";
+    let _ = write!(
+        conn,
+        "HTTP/1.0 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    server: &SecureServer,
+    cfg: &HttpConfig,
+    depth: &telemetry::Gauge,
+) {
+    loop {
+        // A panicking sibling poisons the mutex; treat that as shutdown
+        // rather than unwrapping (the pool is already compromised).
+        let conn = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        let Ok(conn) = conn else { break };
+        depth.add(-1);
+        // Panic isolation: one bad request must not take the worker (and
+        // with it a slice of the pool's capacity) down. Handler-level
+        // panics around the processor are caught closer in and answered
+        // with 500; this is the backstop for everything else.
+        if catch_unwind(AssertUnwindSafe(|| handle_connection(server, conn, cfg))).is_err() {
+            panics_caught_total().inc();
+        }
+    }
+}
+
+/// Outcome of a bounded line read.
+enum LineRead {
+    /// A complete line (terminator included), or the remainder at EOF.
+    Line(String),
+    /// The line exceeded the byte cap.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than `max`
+/// bytes, so a hostile client cannot balloon memory by never sending the
+/// terminator.
+fn read_line_limited(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i + 1 > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..=i]);
+                reader.consume(i + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Bounded lingering close after an early rejection: if we close while
+/// the client's unread bytes sit in the socket, TCP answers them with a
+/// reset and the client may never see our status line. Discard what is
+/// already in flight (briefly, and at most a fixed amount) so the close
+/// is a clean FIN.
+fn drain_before_close(out: &TcpStream, reader: &mut impl std::io::Read) {
+    let _ = out.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 8192];
+    let mut total = 0usize;
+    while total < 256 * 1024 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+fn handle_connection(
+    server: &SecureServer,
+    conn: TcpStream,
+    cfg: &HttpConfig,
+) -> std::io::Result<()> {
+    if faults::check("handle.start") {
+        return Ok(()); // injected disconnect: drop without responding
+    }
     let peer_ip = conn
         .peer_addr()
         .map(|a| a.ip().to_string())
         .unwrap_or_else(|_| "127.0.0.1".to_string());
     let mut reader = BufReader::new(conn.try_clone()?);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    // Drain headers (ignored).
+    let mut out = conn;
+
+    let line = match read_line_limited(&mut reader, cfg.max_request_line) {
+        Ok(LineRead::Line(l)) => l,
+        Ok(LineRead::TooLong) => {
+            xmlsec_xml::limit_rejected("request_line");
+            respond(
+                &mut out,
+                431,
+                "Request Header Fields Too Large",
+                "text/plain",
+                "request line too long\n",
+            )?;
+            drain_before_close(&out, &mut reader);
+            return Ok(());
+        }
+        Err(e) if is_timeout(&e) => {
+            // Slow loris: the client held the socket without completing
+            // a request. Best-effort 408, then close.
+            let _ = respond(&mut out, 408, "Request Timeout", "text/plain", "request timeout\n");
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+
+    // Drain headers (ignored), under a total byte cap.
+    let mut header_budget = cfg.max_header_bytes;
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 || h == "\r\n" || h == "\n" {
-            break;
+        match read_line_limited(&mut reader, header_budget) {
+            Ok(LineRead::Line(h)) => {
+                if h.is_empty() || h == "\r\n" || h == "\n" {
+                    break;
+                }
+                header_budget -= h.len();
+            }
+            Ok(LineRead::TooLong) => {
+                xmlsec_xml::limit_rejected("header_bytes");
+                respond(
+                    &mut out,
+                    431,
+                    "Request Header Fields Too Large",
+                    "text/plain",
+                    "header block too large\n",
+                )?;
+                drain_before_close(&out, &mut reader);
+                return Ok(());
+            }
+            Err(e) if is_timeout(&e) => {
+                let _ =
+                    respond(&mut out, 408, "Request Timeout", "text/plain", "request timeout\n");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
     }
-    let mut out = conn;
 
     // Observability endpoint, before any document handling: the whole
     // process shares one registry, so this surfaces pipeline, cache and
@@ -120,29 +415,59 @@ fn handle_connection(server: &SecureServer, conn: TcpStream) -> std::io::Result<
     let (client, query) = request;
 
     if let Some(path) = query {
-        return match server.query(&client, &path) {
-            Ok(resp) => {
+        // The processor runs arbitrary policy evaluation over untrusted
+        // input; a panic in it answers 500 and leaves the worker alive.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = faults::check("process.request");
+            server.query(&client, &path)
+        }));
+        return match outcome {
+            Ok(Ok(resp)) => {
                 let mut body = String::new();
                 for m in &resp.matches {
                     body.push_str(m);
                     body.push('\n');
                 }
+                if faults::check("respond.write") {
+                    return Ok(());
+                }
                 respond(&mut out, 200, "OK", "text/xml", &body)
             }
-            Err(e) => respond_err(&mut out, &e),
+            Ok(Err(e)) => respond_err(&mut out, &e),
+            Err(_) => {
+                panics_caught_total().inc();
+                respond_err(
+                    &mut out,
+                    &ServerError::Processing("panic during query processing".to_string()),
+                )
+            }
         };
     }
-    match server.handle(&client) {
-        Ok(resp) => {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = faults::check("process.request");
+        server.handle(&client)
+    }));
+    match outcome {
+        Ok(Ok(resp)) => {
             let mut body = resp.xml;
             body.push('\n');
             if let Some(dtd) = resp.loosened_dtd {
                 body.push_str("<!-- loosened DTD -->\n");
                 body.push_str(&dtd);
             }
+            if faults::check("respond.write") {
+                return Ok(());
+            }
             respond(&mut out, 200, "OK", "text/xml", &body)
         }
-        Err(e) => respond_err(&mut out, &e),
+        Ok(Err(e)) => respond_err(&mut out, &e),
+        Err(_) => {
+            panics_caught_total().inc();
+            respond_err(
+                &mut out,
+                &ServerError::Processing("panic during request processing".to_string()),
+            )
+        }
     }
 }
 
@@ -230,6 +555,10 @@ fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
         ServerError::BadRequest(_) | ServerError::BadQuery(_) => (400, "Bad Request"),
         ServerError::UpdateDenied(_) => (403, "Forbidden"),
         ServerError::Processing(_) => (500, "Internal Server Error"),
+        // The request was well-formed but asked for more resources than
+        // the server allows — the client's document or query is at
+        // fault, not the server.
+        ServerError::LimitExceeded(_) => (422, "Unprocessable Entity"),
     };
     respond(out, code, text, "text/plain", &format!("{e}\n"))
 }
@@ -374,5 +703,70 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("# TYPE xmlsec_requests_total counter"), "{body}");
         assert!(body.contains("xmlsec_pipeline_stage_duration_seconds_bucket"), "{body}");
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let demo = demo();
+        let long = "a".repeat(10 * 1024);
+        let (code, _) = get(demo.addr(), &format!("/doc.xml?user={long}"));
+        assert_eq!(code, 431);
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let demo = demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "GET /doc.xml HTTP/1.0\r\n").unwrap();
+        let filler = "x".repeat(1000);
+        for i in 0..40 {
+            // The server may answer 431 and close before we finish
+            // writing; a failed write just means it already rejected us.
+            if write!(conn, "X-Pad-{i}: {filler}\r\n").is_err() {
+                break;
+            }
+        }
+        let _ = write!(conn, "\r\n");
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 431"), "{buf}");
+    }
+
+    #[test]
+    fn read_line_limited_bounds_memory() {
+        let data = b"short line\nrest";
+        let mut r = BufReader::new(&data[..]);
+        match read_line_limited(&mut r, 64).expect("read") {
+            LineRead::Line(l) => assert_eq!(l, "short line\n"),
+            LineRead::TooLong => panic!("within cap"),
+        }
+        let mut r2 = BufReader::new(&data[..]);
+        assert!(matches!(read_line_limited(&mut r2, 4).expect("read"), LineRead::TooLong));
+        // EOF without terminator yields the remainder.
+        let mut r3 = BufReader::new(&b"tail"[..]);
+        match read_line_limited(&mut r3, 64).expect("read") {
+            LineRead::Line(l) => assert_eq!(l, "tail"),
+            LineRead::TooLong => panic!("within cap"),
+        }
+    }
+
+    #[test]
+    fn slow_request_times_out_with_408() {
+        let cfg = HttpConfig { read_timeout: Duration::from_millis(200), ..Default::default() };
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let s = SecureServer::new(dir, AuthorizationBase::new());
+        let mut demo = HttpDemo::start_with(s, "127.0.0.1:0", cfg).expect("bind");
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        // Send half a request line and stall; the server should answer
+        // 408 (or at minimum close) instead of pinning a worker forever.
+        write!(conn, "GET /doc").unwrap();
+        conn.flush().unwrap();
+        let mut buf = String::new();
+        let t = Instant::now();
+        let _ = conn.read_to_string(&mut buf);
+        assert!(t.elapsed() < Duration::from_secs(3), "connection not reaped");
+        assert!(buf.is_empty() || buf.starts_with("HTTP/1.0 408"), "{buf}");
+        demo.shutdown();
     }
 }

@@ -12,9 +12,13 @@
 //! security checking stays transparent to remote clients.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod audit;
 pub mod cache;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod http;
 pub mod repo;
 pub mod server;
@@ -22,7 +26,7 @@ pub mod site;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use cache::{CachedView, ViewCache, ViewKey};
-pub use http::HttpDemo;
+pub use http::{HttpConfig, HttpDemo};
 pub use repo::{Repository, StoredDocument};
 pub use server::{ClientRequest, QueryResponse, SecureServer, ServerError, ServerResponse};
 pub use site::{load_site, SiteError, SiteSummary};

@@ -13,7 +13,7 @@ use xmlsec_authz::{
     Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig,
 };
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
-use xmlsec_core::{AccessRequest, DocumentSource, SecurityProcessor};
+use xmlsec_core::{AccessRequest, DocumentSource, ResourceLimits, SecurityProcessor};
 use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
 
@@ -32,6 +32,9 @@ pub enum ServerError {
     BadQuery(String),
     /// An update was refused (unauthorized target, missing node, …).
     UpdateDenied(String),
+    /// Serving the request would exceed a configured resource limit
+    /// (document too deep/large, path evaluation over budget, …).
+    LimitExceeded(String),
 }
 
 impl fmt::Display for ServerError {
@@ -43,6 +46,7 @@ impl fmt::Display for ServerError {
             ServerError::BadRequest(e) => write!(f, "bad request: {e}"),
             ServerError::BadQuery(e) => write!(f, "bad query: {e}"),
             ServerError::UpdateDenied(e) => write!(f, "update denied: {e}"),
+            ServerError::LimitExceeded(e) => write!(f, "resource limit exceeded: {e}"),
         }
     }
 }
@@ -56,6 +60,7 @@ struct ServerMetrics {
     not_found: Arc<telemetry::Counter>,
     bad_request: Arc<telemetry::Counter>,
     processing_error: Arc<telemetry::Counter>,
+    limit_exceeded: Arc<telemetry::Counter>,
     duration: Arc<telemetry::Histogram>,
 }
 
@@ -67,6 +72,7 @@ impl ServerMetrics {
             Err(ServerError::AuthenticationFailed) => &self.auth_failed,
             Err(ServerError::NotFound(_)) => &self.not_found,
             Err(ServerError::Processing(_)) => &self.processing_error,
+            Err(ServerError::LimitExceeded(_)) => &self.limit_exceeded,
             Err(
                 ServerError::BadRequest(_)
                 | ServerError::BadQuery(_)
@@ -94,6 +100,7 @@ fn server_metrics() -> &'static ServerMetrics {
             not_found: outcome("not_found"),
             bad_request: outcome("bad_request"),
             processing_error: outcome("processing_error"),
+            limit_exceeded: outcome("limit_exceeded"),
             duration: reg.histogram(
                 "xmlsec_request_duration_seconds",
                 "End-to-end latency of one document request.",
@@ -144,13 +151,15 @@ pub struct SecureServer {
     repository: Repository,
     credentials: HashMap<String, String>,
     policy: PolicyConfig,
+    limits: ResourceLimits,
     cache: Option<ViewCache>,
     /// The audit log (public so operators can inspect it).
     pub audit: AuditLog,
 }
 
 impl SecureServer {
-    /// Builds a server with the paper's default policy and caching on.
+    /// Builds a server with the paper's default policy, default resource
+    /// limits, and caching on.
     pub fn new(directory: Directory, authorizations: AuthorizationBase) -> Self {
         SecureServer {
             directory,
@@ -158,6 +167,7 @@ impl SecureServer {
             repository: Repository::new(),
             credentials: HashMap::new(),
             policy: PolicyConfig::paper_default(),
+            limits: ResourceLimits::default(),
             cache: Some(ViewCache::new()),
             audit: AuditLog::new(),
         }
@@ -174,6 +184,18 @@ impl SecureServer {
     pub fn with_policy(mut self, policy: PolicyConfig) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Sets the resource limits applied to parsing and path evaluation
+    /// for every request.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The server's configured resource limits.
+    pub fn limits(&self) -> ResourceLimits {
+        self.limits
     }
 
     /// Registers a user with a shared secret (the paper assumes local
@@ -316,7 +338,11 @@ impl SecureServer {
         let processor = SecurityProcessor {
             directory: self.directory.clone(),
             authorizations: self.authorizations.clone(),
-            options: xmlsec_core::ProcessorOptions { policy: self.policy, ..Default::default() },
+            options: xmlsec_core::ProcessorOptions {
+                policy: self.policy,
+                limits: self.limits,
+                ..Default::default()
+            },
         };
         let source = DocumentSource {
             xml: &stored.xml,
@@ -330,7 +356,11 @@ impl SecureServer {
                 &req.uri,
                 AuditOutcome::ProcessingError(e.to_string()),
             );
-            ServerError::Processing(e.to_string())
+            if e.is_resource_limit() {
+                ServerError::LimitExceeded(e.to_string())
+            } else {
+                ServerError::Processing(e.to_string())
+            }
         })?;
 
         if let Some(cache) = &self.cache {
@@ -361,7 +391,10 @@ impl SecureServer {
         let resp = self.handle(req)?;
         let view =
             xmlsec_xml::parse(&resp.xml).map_err(|e| ServerError::Processing(e.to_string()))?;
-        let hits = xmlsec_xpath::select(&view, &parsed);
+        // The query path is requester-supplied: budget its evaluation so a
+        // hostile expression cannot pin the worker.
+        let hits = xmlsec_xpath::select_limited(&view, &parsed, &self.limits.xpath)
+            .map_err(|e| ServerError::LimitExceeded(e.to_string()))?;
         let matches = hits
             .iter()
             .map(|&n| {
@@ -601,12 +634,12 @@ mod tests {
         let after = telemetry::global().render_prometheus();
         assert!(
             read(&after, "xmlsec_view_cache_hits_total")
-                >= read(&before, "xmlsec_view_cache_hits_total") + 1,
+                > read(&before, "xmlsec_view_cache_hits_total"),
             "the shared-fingerprint hit must show up in the hit counter"
         );
         assert!(
             read(&after, "xmlsec_view_cache_misses_total")
-                >= read(&before, "xmlsec_view_cache_misses_total") + 1
+                > read(&before, "xmlsec_view_cache_misses_total")
         );
     }
 
@@ -697,6 +730,39 @@ mod tests {
         let mut r = req(None, "lab.xml");
         r.ip = "not-an-ip".into();
         assert!(matches!(s.handle(&r), Err(ServerError::BadRequest(_))));
+    }
+
+    #[test]
+    fn depth_bomb_is_limit_exceeded_not_processing() {
+        let mut limits = ResourceLimits::default();
+        limits.xml.max_depth = 8;
+        let mut s = server().with_limits(limits);
+        let mut xml = String::new();
+        for _ in 0..50 {
+            xml.push_str("<d>");
+        }
+        for _ in 0..50 {
+            xml.push_str("</d>");
+        }
+        s.repository_mut().put_document("bomb.xml", &xml, None);
+        let e = s.handle(&req(None, "bomb.xml")).unwrap_err();
+        assert!(matches!(e, ServerError::LimitExceeded(_)), "{e:?}");
+        // A genuinely broken stored document is still Processing.
+        s.repository_mut().put_document("broken.xml", "<d><open>", None);
+        let e2 = s.handle(&req(None, "broken.xml")).unwrap_err();
+        assert!(matches!(e2, ServerError::Processing(_)), "{e2:?}");
+    }
+
+    #[test]
+    fn expensive_query_is_limit_exceeded() {
+        let mut limits = ResourceLimits::default();
+        limits.xpath.max_node_visits = 1;
+        let s = server().with_limits(limits);
+        let e = s.query(&req(None, "lab.xml"), "//*//*").unwrap_err();
+        assert!(matches!(e, ServerError::LimitExceeded(_)), "{e:?}");
+        // Under default limits the same query answers fine.
+        let s2 = server();
+        assert!(s2.query(&req(None, "lab.xml"), "//*//*").is_ok());
     }
 }
 

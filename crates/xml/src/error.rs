@@ -3,6 +3,7 @@
 //! Every error carries a [`Pos`] (line/column, 1-based) pointing at the
 //! offending input so that callers can produce actionable diagnostics.
 
+use crate::limits::LimitKind;
 use std::fmt;
 
 /// A position in the source text, tracked by the tokenizer.
@@ -71,6 +72,9 @@ pub enum XmlErrorKind {
     MalformedCdata,
     /// A raw `<` in attribute value, or an unterminated attribute value.
     MalformedAttribute(String),
+    /// A configured resource limit was exceeded (see
+    /// [`crate::limits::Limits`]); recoverable, never a panic.
+    LimitExceeded(LimitKind),
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -96,6 +100,7 @@ impl fmt::Display for XmlErrorKind {
             MalformedDoctype => write!(f, "malformed DOCTYPE declaration"),
             MalformedCdata => write!(f, "malformed CDATA section"),
             MalformedAttribute(n) => write!(f, "malformed attribute {n:?}"),
+            LimitExceeded(k) => write!(f, "resource limit exceeded: {k}"),
         }
     }
 }

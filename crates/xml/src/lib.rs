@@ -31,6 +31,7 @@
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod limits;
 pub mod name;
 pub mod parser;
 pub mod render;
@@ -39,6 +40,24 @@ pub mod tokenizer;
 
 pub use dom::{Doctype, Document, Node, NodeData, NodeId};
 pub use error::{Pos, XmlError, XmlErrorKind};
-pub use parser::{parse, parse_with, ParseOptions};
+pub use limits::{LimitKind, Limits};
+pub use parser::{parse, parse_with, parse_with_limits, ParseOptions};
 pub use render::render_tree;
 pub use serialize::{serialize, serialize_node, SerializeOptions};
+
+/// Bumps the shared `xmlsec_limits_rejected_total{kind=...}` counter.
+///
+/// One metric family spans every layer that enforces a resource cap (XML
+/// parsing here, path evaluation in `xmlsec-xpath`, request framing in
+/// `xmlsec-server`); each layer reports its violations under its own
+/// `kind` label. The registry deduplicates by name+labels, so calling
+/// this on the (cold) rejection path is fine.
+pub fn limit_rejected(kind: &'static str) {
+    xmlsec_telemetry::global()
+        .counter(
+            "xmlsec_limits_rejected_total",
+            "Inputs rejected because a resource limit was exceeded, by limit kind.",
+            &[("kind", kind)],
+        )
+        .inc();
+}

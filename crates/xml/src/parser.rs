@@ -9,6 +9,7 @@
 
 use crate::dom::{Document, NodeId};
 use crate::error::{Pos, Result, XmlError, XmlErrorKind};
+use crate::limits::{LimitKind, Limits};
 use crate::tokenizer::{Token, Tokenizer};
 use std::sync::{Arc, OnceLock};
 use xmlsec_telemetry as telemetry;
@@ -64,14 +65,21 @@ impl Default for ParseOptions {
     }
 }
 
-/// Parses `input` with default options.
+/// Parses `input` with default options and the default [`Limits`].
 pub fn parse(input: &str) -> Result<Document> {
     parse_with(input, ParseOptions::default())
 }
 
-/// Parses `input` with explicit options.
+/// Parses `input` with explicit options and the default [`Limits`].
 pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
-    let result = parse_inner(input, opts);
+    parse_with_limits(input, opts, &Limits::default())
+}
+
+/// Parses `input` with explicit options and resource limits. Limit
+/// violations surface as [`XmlErrorKind::LimitExceeded`] — typed and
+/// recoverable, never a panic or unbounded allocation.
+pub fn parse_with_limits(input: &str, opts: ParseOptions, limits: &Limits) -> Result<Document> {
+    let result = parse_inner(input, opts, limits);
     let m = parser_metrics();
     match &result {
         Ok(d) => {
@@ -79,13 +87,21 @@ pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
             m.bytes.add(input.len() as u64);
             m.nodes.add(d.arena_len() as u64);
         }
-        Err(_) => m.errors.inc(),
+        Err(e) => {
+            m.errors.inc();
+            if let XmlErrorKind::LimitExceeded(kind) = e.kind {
+                crate::limit_rejected(kind.as_str());
+            }
+        }
     }
     result
 }
 
-fn parse_inner(input: &str, opts: ParseOptions) -> Result<Document> {
-    let mut tk = Tokenizer::new(input);
+fn parse_inner(input: &str, opts: ParseOptions, limits: &Limits) -> Result<Document> {
+    if input.len() > limits.max_input_bytes {
+        return Err(XmlError::new(XmlErrorKind::LimitExceeded(LimitKind::InputBytes), Pos::START));
+    }
+    let mut tk = Tokenizer::with_limits(input, limits);
     let mut doc: Option<Document> = None;
     let mut doctype = None;
     // Stack of open elements; empty both before the root opens and after
@@ -122,7 +138,16 @@ fn parse_inner(input: &str, opts: ParseOptions) -> Result<Document> {
                 for (an, av) in attrs {
                     d.set_attribute(el, &an, &av)?;
                 }
+                if d.arena_len() > limits.max_nodes {
+                    return Err(XmlError::new(XmlErrorKind::LimitExceeded(LimitKind::Nodes), pos));
+                }
                 if !self_closing {
+                    if stack.len() >= limits.max_depth {
+                        return Err(XmlError::new(
+                            XmlErrorKind::LimitExceeded(LimitKind::Depth),
+                            pos,
+                        ));
+                    }
                     stack.push((el, name, pos));
                 }
             }
@@ -141,9 +166,14 @@ fn parse_inner(input: &str, opts: ParseOptions) -> Result<Document> {
                 match stack.last() {
                     Some(&(parent, ..)) => {
                         if !blank || opts.keep_whitespace_text {
-                            doc.as_mut()
-                                .expect("open element implies document")
-                                .append_text(parent, &value);
+                            let d = doc.as_mut().expect("open element implies document");
+                            d.append_text(parent, &value);
+                            if d.arena_len() > limits.max_nodes {
+                                return Err(XmlError::new(
+                                    XmlErrorKind::LimitExceeded(LimitKind::Nodes),
+                                    pos,
+                                ));
+                            }
                         }
                     }
                     None => {
@@ -153,21 +183,31 @@ fn parse_inner(input: &str, opts: ParseOptions) -> Result<Document> {
                     }
                 }
             }
-            Token::Comment { value, .. } => {
+            Token::Comment { value, pos } => {
                 if let Some(&(parent, ..)) = stack.last() {
                     if opts.keep_comments {
-                        doc.as_mut()
-                            .expect("open element implies document")
-                            .append_comment(parent, &value);
+                        let d = doc.as_mut().expect("open element implies document");
+                        d.append_comment(parent, &value);
+                        if d.arena_len() > limits.max_nodes {
+                            return Err(XmlError::new(
+                                XmlErrorKind::LimitExceeded(LimitKind::Nodes),
+                                pos,
+                            ));
+                        }
                     }
                 }
                 // Comments outside the root are legal and dropped.
             }
-            Token::Pi { target, data, .. } => {
+            Token::Pi { target, data, pos } => {
                 if let Some(&(parent, ..)) = stack.last() {
-                    doc.as_mut()
-                        .expect("open element implies document")
-                        .append_pi(parent, &target, &data);
+                    let d = doc.as_mut().expect("open element implies document");
+                    d.append_pi(parent, &target, &data);
+                    if d.arena_len() > limits.max_nodes {
+                        return Err(XmlError::new(
+                            XmlErrorKind::LimitExceeded(LimitKind::Nodes),
+                            pos,
+                        ));
+                    }
                 }
                 // PIs outside the root are legal and dropped.
             }
@@ -291,5 +331,72 @@ mod tests {
         }
         let d = parse(&s).unwrap();
         assert_eq!(d.count_reachable(), 200);
+    }
+
+    fn nested(depth: usize) -> String {
+        let mut s = String::with_capacity(depth * 7);
+        for _ in 0..depth {
+            s.push_str("<n>");
+        }
+        for _ in 0..depth {
+            s.push_str("</n>");
+        }
+        s
+    }
+
+    #[test]
+    fn depth_limit_is_typed_error() {
+        let limits = Limits { max_depth: 16, ..Limits::default() };
+        let e = parse_with_limits(&nested(17), ParseOptions::default(), &limits).unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Depth));
+        // Exactly at the cap still parses.
+        assert!(parse_with_limits(&nested(16), ParseOptions::default(), &limits).is_ok());
+    }
+
+    #[test]
+    fn depth_bomb_rejected_by_default_limits() {
+        let e = parse(&nested(Limits::default().max_depth + 1)).unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Depth));
+    }
+
+    #[test]
+    fn node_limit_is_typed_error() {
+        let mut s = String::from("<r>");
+        for _ in 0..50 {
+            s.push_str("<x/>");
+        }
+        s.push_str("</r>");
+        let limits = Limits { max_nodes: 20, ..Limits::default() };
+        let e = parse_with_limits(&s, ParseOptions::default(), &limits).unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Nodes));
+        assert!(parse(&s).is_ok());
+    }
+
+    #[test]
+    fn attribute_flood_counts_toward_node_limit() {
+        let mut s = String::from("<r");
+        for i in 0..50 {
+            s.push_str(&format!(" a{i}=\"v\""));
+        }
+        s.push_str("/>");
+        let limits = Limits { max_nodes: 10, ..Limits::default() };
+        let e = parse_with_limits(&s, ParseOptions::default(), &limits).unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Nodes));
+    }
+
+    #[test]
+    fn input_size_limit_is_typed_error() {
+        let limits = Limits { max_input_bytes: 8, ..Limits::default() };
+        let e = parse_with_limits("<a>123456</a>", ParseOptions::default(), &limits).unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::InputBytes));
+    }
+
+    #[test]
+    fn unlimited_parses_very_deep_documents_iteratively() {
+        // The parser keeps its own stack (no recursion), so even absurd
+        // depth must not overflow when the caller opts out of limits.
+        let d = parse_with_limits(&nested(50_000), ParseOptions::default(), &Limits::unlimited())
+            .unwrap();
+        assert_eq!(d.count_reachable(), 50_000);
     }
 }

@@ -8,6 +8,7 @@
 use crate::dom::Doctype;
 use crate::error::{Pos, Result, XmlError, XmlErrorKind};
 use crate::escape::resolve_reference;
+use crate::limits::{LimitKind, Limits};
 use crate::name::{is_name_char, is_name_start_char, is_xml_whitespace};
 
 /// One lexical event in the document.
@@ -77,11 +78,15 @@ struct Cursor<'a> {
     offset: usize,
     line: u32,
     col: u32,
+    /// Characters produced by reference resolution so far.
+    expanded: usize,
+    /// Cap on `expanded` (the billion-laughs guard).
+    max_expansion: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(input: &'a str) -> Self {
-        Cursor { input, offset: 0, line: 1, col: 1 }
+    fn new(input: &'a str, max_expansion: usize) -> Self {
+        Cursor { input, offset: 0, line: 1, col: 1, expanded: 0, max_expansion }
     }
 
     fn pos(&self) -> Pos {
@@ -174,7 +179,15 @@ impl<'a> Cursor<'a> {
                             _ => return Err(XmlError::new(XmlErrorKind::UnknownEntity(body), pos)),
                         }
                     }
-                    out.push(resolve_reference(&body, pos)?);
+                    let c = resolve_reference(&body, pos)?;
+                    self.expanded += 1;
+                    if self.expanded > self.max_expansion {
+                        return Err(XmlError::new(
+                            XmlErrorKind::LimitExceeded(LimitKind::EntityExpansion),
+                            pos,
+                        ));
+                    }
+                    out.push(c);
                 }
                 Some(_) => out.push(self.bump().unwrap()),
             }
@@ -188,9 +201,16 @@ pub struct Tokenizer<'a> {
 }
 
 impl<'a> Tokenizer<'a> {
-    /// Creates a tokenizer over `input`.
+    /// Creates a tokenizer over `input` with the default [`Limits`].
     pub fn new(input: &'a str) -> Self {
-        Tokenizer { cur: Cursor::new(input) }
+        Tokenizer::with_limits(input, &Limits::default())
+    }
+
+    /// Creates a tokenizer enforcing the reference-expansion cap from
+    /// `limits` (the structural caps — depth, node count — live in the
+    /// parser, which owns the tree).
+    pub fn with_limits(input: &'a str, limits: &Limits) -> Self {
+        Tokenizer { cur: Cursor::new(input, limits.max_entity_expansion) }
     }
 
     /// Returns the next token, or `Ok(None)` at end of input.
@@ -562,5 +582,23 @@ mod tests {
     fn unterminated_tag_is_eof_error() {
         let e = Tokenizer::new("<a ").tokenize_all().unwrap_err();
         assert_eq!(e.kind, XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn entity_expansion_cap_enforced() {
+        let doc = format!("<a>{}</a>", "&amp;".repeat(50));
+        let small = Limits { max_entity_expansion: 10, ..Limits::default() };
+        let e = Tokenizer::with_limits(&doc, &small).tokenize_all().unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::EntityExpansion));
+        // The default cap is far above 50 characters.
+        assert!(Tokenizer::new(&doc).tokenize_all().is_ok());
+    }
+
+    #[test]
+    fn expansion_cap_counts_attribute_values_too() {
+        let doc = format!("<a x=\"{}\"/>", "&#65;".repeat(20));
+        let small = Limits { max_entity_expansion: 5, ..Limits::default() };
+        let e = Tokenizer::with_limits(&doc, &small).tokenize_all().unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::EntityExpansion));
     }
 }

@@ -1,9 +1,13 @@
 //! Robustness: the tokenizer and parser must never panic — arbitrary
-//! input yields `Ok` or a positioned error, and mutated valid documents
-//! are handled gracefully.
+//! input yields `Ok` or a positioned error, mutated valid documents are
+//! handled gracefully, and resource limits degrade hostile inputs into
+//! typed `LimitExceeded` errors rather than stack overflows or OOM.
 
 use proptest::prelude::*;
-use xmlsec_xml::{parse, serialize, SerializeOptions};
+use xmlsec_xml::{
+    parse, parse_with_limits, serialize, LimitKind, Limits, ParseOptions, SerializeOptions,
+    XmlErrorKind,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -50,5 +54,66 @@ proptest! {
         if let Err(e) = parse(&s) {
             prop_assert!(e.pos.offset <= s.len(), "{e}");
         }
+    }
+
+    /// Documents nested deeper than `max_depth` always come back as a
+    /// typed `LimitExceeded(Depth)` — never a panic or stack overflow —
+    /// across a matrix of caps and bomb depths.
+    #[test]
+    fn nesting_beyond_cap_is_typed_depth_error(cap in 1usize..64, excess in 1usize..512) {
+        let depth = cap + excess;
+        let mut bomb = String::with_capacity(depth * 7);
+        for _ in 0..depth { bomb.push_str("<d>"); }
+        for _ in 0..depth { bomb.push_str("</d>"); }
+        let limits = Limits { max_depth: cap, ..Limits::default() };
+        let e = parse_with_limits(&bomb, ParseOptions::default(), &limits)
+            .expect_err("over the cap");
+        prop_assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Depth));
+        // Exactly at the cap, the same document shape is accepted.
+        let mut ok = String::new();
+        for _ in 0..cap { ok.push_str("<d>"); }
+        for _ in 0..cap { ok.push_str("</d>"); }
+        prop_assert!(parse_with_limits(&ok, ParseOptions::default(), &limits).is_ok());
+    }
+
+    /// Entity-amplified documents beyond the expansion cap are a typed
+    /// `LimitExceeded(EntityExpansion)` under any cap in the matrix.
+    #[test]
+    fn entity_amplification_beyond_cap_is_typed_error(cap in 1usize..32, refs in 40usize..200) {
+        let mut bomb = String::from("<d>");
+        for _ in 0..refs { bomb.push_str("&amp;"); }
+        bomb.push_str("</d>");
+        let limits = Limits { max_entity_expansion: cap, ..Limits::default() };
+        let e = parse_with_limits(&bomb, ParseOptions::default(), &limits)
+            .expect_err("over the cap");
+        prop_assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::EntityExpansion));
+    }
+
+    /// Node-count and input-size caps likewise reject flat floods with
+    /// the right typed error, whatever the cap.
+    #[test]
+    fn floods_beyond_caps_are_typed_errors(cap in 1usize..40, n in 50usize..300) {
+        let mut flood = String::from("<d>");
+        for _ in 0..n { flood.push_str("<x/>"); }
+        flood.push_str("</d>");
+        let by_nodes = Limits { max_nodes: cap, ..Limits::default() };
+        let e = parse_with_limits(&flood, ParseOptions::default(), &by_nodes)
+            .expect_err("over the node cap");
+        prop_assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::Nodes));
+        let by_bytes = Limits { max_input_bytes: cap, ..Limits::default() };
+        let e2 = parse_with_limits(&flood, ParseOptions::default(), &by_bytes)
+            .expect_err("over the byte cap");
+        prop_assert_eq!(e2.kind, XmlErrorKind::LimitExceeded(LimitKind::InputBytes));
+    }
+
+    /// Default limits never reject documents of ordinary shape: the caps
+    /// only bite on pathological input.
+    #[test]
+    fn default_limits_accept_ordinary_documents(depth in 1usize..40, fanout in 1usize..20) {
+        let mut doc = String::new();
+        for _ in 0..depth { doc.push_str("<d>"); }
+        for _ in 0..fanout { doc.push_str("<leaf a=\"v\">t</leaf>"); }
+        for _ in 0..depth { doc.push_str("</d>"); }
+        prop_assert!(parse(&doc).is_ok(), "default limits rejected an ordinary document");
     }
 }

@@ -9,6 +9,7 @@
 //! semantics for first-node string conversion and stable output.
 
 use crate::ast::{ArithOp, Axis, Expr, Func, NodeTest, PathExpr, Step};
+use crate::limits::{EvalError, EvalLimits};
 use crate::value::{compare, Value};
 use std::sync::{Arc, OnceLock};
 use xmlsec_telemetry as telemetry;
@@ -38,6 +39,45 @@ fn eval_metrics() -> &'static EvalMetrics {
     })
 }
 
+/// Work accounting for one top-level evaluation, threaded through every
+/// helper. `remaining` counts down toward the node-visit budget; `visits`
+/// counts up for the telemetry flush; `depth` tracks inner-path nesting.
+struct Budget {
+    remaining: u64,
+    visits: u64,
+    depth: u32,
+    limits: EvalLimits,
+}
+
+impl Budget {
+    fn new(limits: EvalLimits) -> Budget {
+        Budget { remaining: limits.max_node_visits, visits: 0, depth: 0, limits }
+    }
+
+    /// Records `n` nodes examined; errors once the budget is spent.
+    fn charge(&mut self, n: u64) -> Result<(), EvalError> {
+        self.visits = self.visits.saturating_add(n);
+        if n > self.remaining {
+            self.remaining = 0;
+            return Err(EvalError::NodeBudget { limit: self.limits.max_node_visits });
+        }
+        self.remaining -= n;
+        Ok(())
+    }
+
+    fn enter(&mut self) -> Result<(), EvalError> {
+        if self.depth >= self.limits.max_eval_depth {
+            return Err(EvalError::Depth { limit: self.limits.max_eval_depth });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+}
+
 /// A context node: either a real node or the *virtual document root*
 /// (the conceptual parent of the document element, which absolute paths
 /// start from).
@@ -52,35 +92,81 @@ pub enum CtxNode {
 /// Evaluates `path` against a whole document: absolute paths start at the
 /// virtual root; relative paths start at the document element (the
 /// paper's "predefined starting point in the document").
+///
+/// Runs unbudgeted ([`EvalLimits::unlimited`]); use [`select_limited`]
+/// for untrusted expressions or documents.
 pub fn select(doc: &Document, path: &PathExpr) -> Vec<NodeId> {
-    if path.absolute {
-        eval_from(doc, CtxNode::Root, path)
-    } else {
-        eval_from(doc, CtxNode::Node(doc.root()), path)
-    }
+    select_limited(doc, path, &EvalLimits::unlimited())
+        .expect("unlimited evaluation cannot exhaust a budget")
+}
+
+/// Like [`select`], but enforces `limits` and returns a typed
+/// [`EvalError`] when the evaluation exceeds them.
+pub fn select_limited(
+    doc: &Document,
+    path: &PathExpr,
+    limits: &EvalLimits,
+) -> Result<Vec<NodeId>, EvalError> {
+    let start = if path.absolute { CtxNode::Root } else { CtxNode::Node(doc.root()) };
+    let mut budget = Budget::new(*limits);
+    finish(eval_from(doc, start, path, &mut budget), &budget)
 }
 
 /// Evaluates `path` from an explicit context node (predicates use this
-/// for inner relative paths).
+/// for inner relative paths). Unbudgeted; see [`eval_path_limited`].
 pub fn eval_path(doc: &Document, context: NodeId, path: &PathExpr) -> Vec<NodeId> {
-    if path.absolute {
-        eval_from(doc, CtxNode::Root, path)
-    } else {
-        eval_from(doc, CtxNode::Node(context), path)
-    }
+    eval_path_limited(doc, context, path, &EvalLimits::unlimited())
+        .expect("unlimited evaluation cannot exhaust a budget")
 }
 
-fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
-    // Visits accumulate in a local and flush once: one atomic op per
-    // evaluation instead of one per context node.
-    let mut visits: u64 = 0;
+/// Like [`eval_path`], but enforces `limits`.
+pub fn eval_path_limited(
+    doc: &Document,
+    context: NodeId,
+    path: &PathExpr,
+    limits: &EvalLimits,
+) -> Result<Vec<NodeId>, EvalError> {
+    let start = if path.absolute { CtxNode::Root } else { CtxNode::Node(context) };
+    let mut budget = Budget::new(*limits);
+    finish(eval_from(doc, start, path, &mut budget), &budget)
+}
+
+/// Flushes telemetry for one top-level evaluation and reports budget
+/// violations on the shared limits counter.
+fn finish(r: Result<Vec<NodeId>, EvalError>, budget: &Budget) -> Result<Vec<NodeId>, EvalError> {
+    eval_metrics().node_visits.add(budget.visits);
+    if let Err(e) = &r {
+        xmlsec_xml::limit_rejected(e.kind());
+    }
+    r
+}
+
+fn eval_from(
+    doc: &Document,
+    start: CtxNode,
+    path: &PathExpr,
+    b: &mut Budget,
+) -> Result<Vec<NodeId>, EvalError> {
+    b.enter()?;
+    eval_metrics().evaluations.inc();
+    let r = eval_steps(doc, start, path, b);
+    b.leave();
+    r
+}
+
+fn eval_steps(
+    doc: &Document,
+    start: CtxNode,
+    path: &PathExpr,
+    b: &mut Budget,
+) -> Result<Vec<NodeId>, EvalError> {
     let mut current: Vec<CtxNode> = vec![start];
     for step in &path.steps {
         let mut next: Vec<CtxNode> = Vec::new();
-        visits += current.len() as u64;
+        b.charge(current.len() as u64)?;
         for &ctx in &current {
-            let candidates = axis_nodes(doc, ctx, step);
-            let selected = apply_predicates(doc, candidates, &step.predicates);
+            let candidates = axis_nodes(doc, ctx, step, b)?;
+            let selected = apply_predicates(doc, candidates, &step.predicates, b)?;
             next.extend(selected);
         }
         next.sort_unstable();
@@ -90,9 +176,6 @@ fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
             break;
         }
     }
-    let m = eval_metrics();
-    m.evaluations.inc();
-    m.node_visits.add(visits);
     let mut result: Vec<NodeId> = current
         .into_iter()
         .filter_map(|c| match c {
@@ -105,7 +188,7 @@ fn eval_from(doc: &Document, start: CtxNode, path: &PathExpr) -> Vec<NodeId> {
     // first-node string conversion and consumers always see document
     // order.
     sort_document_order(doc, &mut result);
-    result
+    Ok(result)
 }
 
 /// Sorts `nodes` into document order.
@@ -158,44 +241,61 @@ pub fn sort_document_order(doc: &Document, nodes: &mut [NodeId]) {
 
 /// Nodes along `step.axis` from `ctx` that pass `step.test`, in axis order
 /// (document order for forward axes, nearest-first for reverse axes).
-fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
+///
+/// Charges the budget one visit per node *examined* (not per match), so
+/// the budget bounds actual work even for selective tests.
+fn axis_nodes(
+    doc: &Document,
+    ctx: CtxNode,
+    step: &Step,
+    b: &mut Budget,
+) -> Result<Vec<CtxNode>, EvalError> {
     let mut out = Vec::new();
     match step.axis {
         Axis::Child => match ctx {
-            CtxNode::Root => push_if(doc, doc.root(), &step.test, &mut out),
+            CtxNode::Root => {
+                b.charge(1)?;
+                push_if(doc, doc.root(), &step.test, &mut out);
+            }
             CtxNode::Node(n) => {
+                b.charge(doc.children(n).len() as u64)?;
                 for &c in doc.children(n) {
                     push_if(doc, c, &step.test, &mut out);
                 }
             }
         },
         Axis::Descendant => {
-            descend(doc, ctx, &step.test, false, &mut out);
+            descend(doc, ctx, &step.test, false, &mut out, b)?;
         }
         Axis::DescendantOrSelf => {
-            descend(doc, ctx, &step.test, true, &mut out);
+            descend(doc, ctx, &step.test, true, &mut out, b)?;
         }
         Axis::Parent => match ctx {
             CtxNode::Root => {}
-            CtxNode::Node(n) => match doc.parent(n) {
-                Some(p) => push_if(doc, p, &step.test, &mut out),
-                None => {
-                    // Parent of the document element is the virtual root,
-                    // which only node() matches.
-                    if matches!(step.test, NodeTest::AnyNode) {
-                        out.push(CtxNode::Root);
+            CtxNode::Node(n) => {
+                b.charge(1)?;
+                match doc.parent(n) {
+                    Some(p) => push_if(doc, p, &step.test, &mut out),
+                    None => {
+                        // Parent of the document element is the virtual root,
+                        // which only node() matches.
+                        if matches!(step.test, NodeTest::AnyNode) {
+                            out.push(CtxNode::Root);
+                        }
                     }
                 }
-            },
+            }
         },
         Axis::Ancestor | Axis::AncestorOrSelf => {
             if step.axis == Axis::AncestorOrSelf {
                 if let CtxNode::Node(n) = ctx {
+                    b.charge(1)?;
                     push_if(doc, n, &step.test, &mut out);
                 }
             }
             if let CtxNode::Node(n) = ctx {
                 for a in doc.ancestors(n) {
+                    b.charge(1)?;
                     push_if(doc, a, &step.test, &mut out);
                 }
                 if matches!(step.test, NodeTest::AnyNode) {
@@ -209,13 +309,17 @@ fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
                     out.push(CtxNode::Root);
                 }
             }
-            CtxNode::Node(n) => push_if(doc, n, &step.test, &mut out),
+            CtxNode::Node(n) => {
+                b.charge(1)?;
+                push_if(doc, n, &step.test, &mut out);
+            }
         },
         Axis::FollowingSibling | Axis::PrecedingSibling => {
             if let CtxNode::Node(n) = ctx {
                 if let Some(p) = doc.parent(n) {
                     if !doc.is_attribute(n) {
                         let siblings = doc.children(p);
+                        b.charge(siblings.len() as u64)?;
                         let pos = siblings.iter().position(|&c| c == n);
                         if let Some(pos) = pos {
                             if step.axis == Axis::FollowingSibling {
@@ -235,6 +339,7 @@ fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
         }
         Axis::Attribute => {
             if let CtxNode::Node(n) = ctx {
+                b.charge(doc.attributes(n).len() as u64)?;
                 for &a in doc.attributes(n) {
                     let matches = match (&step.test, &doc.node(a).data) {
                         (NodeTest::Name(want), NodeData::Attr { name, .. }) => name == want,
@@ -248,7 +353,7 @@ fn axis_nodes(doc: &Document, ctx: CtxNode, step: &Step) -> Vec<CtxNode> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Collects descendants (document order), optionally including self.
@@ -259,23 +364,26 @@ fn descend(
     test: &NodeTest,
     include_self: bool,
     out: &mut Vec<CtxNode>,
-) {
+    b: &mut Budget,
+) -> Result<(), EvalError> {
     match ctx {
         CtxNode::Root => {
             if include_self && matches!(test, NodeTest::AnyNode) {
                 out.push(CtxNode::Root);
             }
-            descend(doc, CtxNode::Node(doc.root()), test, true, out);
+            descend(doc, CtxNode::Node(doc.root()), test, true, out, b)?;
         }
         CtxNode::Node(n) => {
+            b.charge(1)?;
             if include_self {
                 push_if(doc, n, test, out);
             }
             for &c in doc.children(n) {
-                descend(doc, CtxNode::Node(c), test, true, out);
+                descend(doc, CtxNode::Node(c), test, true, out, b)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Applies the element/text name test to a non-attribute-axis candidate.
@@ -295,14 +403,19 @@ fn push_if(doc: &Document, n: NodeId, test: &NodeTest, out: &mut Vec<CtxNode>) {
 
 /// Filters `candidates` through each predicate in turn, re-numbering
 /// positions between predicates (XPath 1.0 semantics).
-fn apply_predicates(doc: &Document, mut candidates: Vec<CtxNode>, preds: &[Expr]) -> Vec<CtxNode> {
+fn apply_predicates(
+    doc: &Document,
+    mut candidates: Vec<CtxNode>,
+    preds: &[Expr],
+    b: &mut Budget,
+) -> Result<Vec<CtxNode>, EvalError> {
     for pred in preds {
         let size = candidates.len();
         let mut kept = Vec::with_capacity(size);
         for (i, &c) in candidates.iter().enumerate() {
             let CtxNode::Node(n) = c else { continue };
             let ctx = EvalCtx { doc, node: n, position: i + 1, size };
-            let v = eval_expr(&ctx, pred);
+            let v = eval_expr(&ctx, pred, b)?;
             let keep = match v {
                 // A bare number predicate selects by position.
                 Value::Num(want) => (i + 1) as f64 == want,
@@ -314,7 +427,7 @@ fn apply_predicates(doc: &Document, mut candidates: Vec<CtxNode>, preds: &[Expr]
         }
         candidates = kept;
     }
-    candidates
+    Ok(candidates)
 }
 
 /// Evaluation context for condition expressions.
@@ -325,25 +438,32 @@ struct EvalCtx<'d> {
     size: usize,
 }
 
-fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr) -> Value {
-    match e {
-        Expr::Or(a, b) => Value::Bool(eval_expr(ctx, a).to_bool() || eval_expr(ctx, b).to_bool()),
-        Expr::And(a, b) => Value::Bool(eval_expr(ctx, a).to_bool() && eval_expr(ctx, b).to_bool()),
+fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr, bu: &mut Budget) -> Result<Value, EvalError> {
+    Ok(match e {
+        Expr::Or(a, b) => {
+            Value::Bool(eval_expr(ctx, a, bu)?.to_bool() || eval_expr(ctx, b, bu)?.to_bool())
+        }
+        Expr::And(a, b) => {
+            Value::Bool(eval_expr(ctx, a, bu)?.to_bool() && eval_expr(ctx, b, bu)?.to_bool())
+        }
         Expr::Compare(op, a, b) => {
-            let l = eval_expr(ctx, a);
-            let r = eval_expr(ctx, b);
+            let l = eval_expr(ctx, a, bu)?;
+            let r = eval_expr(ctx, b, bu)?;
             Value::Bool(compare(ctx.doc, *op, &l, &r))
         }
-        Expr::Path(p) => Value::NodeSet(eval_path(ctx.doc, ctx.node, p)),
+        Expr::Path(p) => {
+            let start = if p.absolute { CtxNode::Root } else { CtxNode::Node(ctx.node) };
+            Value::NodeSet(eval_from(ctx.doc, start, p, bu)?)
+        }
         Expr::Literal(s) => Value::Str(s.clone()),
         Expr::Number(n) => Value::Num(*n),
-        Expr::Call(f, args) => eval_call(ctx, *f, args),
+        Expr::Call(f, args) => eval_call(ctx, *f, args, bu)?,
         Expr::Union(a, b) => {
-            let mut out = match eval_expr(ctx, a) {
+            let mut out = match eval_expr(ctx, a, bu)? {
                 Value::NodeSet(ns) => ns,
                 _ => Vec::new(),
             };
-            if let Value::NodeSet(more) = eval_expr(ctx, b) {
+            if let Value::NodeSet(more) = eval_expr(ctx, b, bu)? {
                 out.extend(more);
             }
             out.sort_unstable();
@@ -351,8 +471,8 @@ fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr) -> Value {
             Value::NodeSet(out)
         }
         Expr::Arith(op, a, b) => {
-            let l = eval_expr(ctx, a).to_number(ctx.doc);
-            let r = eval_expr(ctx, b).to_number(ctx.doc);
+            let l = eval_expr(ctx, a, bu)?.to_number(ctx.doc);
+            let r = eval_expr(ctx, b, bu)?.to_number(ctx.doc);
             Value::Num(match op {
                 ArithOp::Add => l + r,
                 ArithOp::Sub => l - r,
@@ -360,29 +480,34 @@ fn eval_expr(ctx: &EvalCtx<'_>, e: &Expr) -> Value {
                 ArithOp::Mod => l % r,
             })
         }
-        Expr::Neg(a) => Value::Num(-eval_expr(ctx, a).to_number(ctx.doc)),
-    }
+        Expr::Neg(a) => Value::Num(-eval_expr(ctx, a, bu)?.to_number(ctx.doc)),
+    })
 }
 
-fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
-    match f {
+fn eval_call(
+    ctx: &EvalCtx<'_>,
+    f: Func,
+    args: &[Expr],
+    bu: &mut Budget,
+) -> Result<Value, EvalError> {
+    Ok(match f {
         Func::Position => Value::Num(ctx.position as f64),
         Func::Last => Value::Num(ctx.size as f64),
-        Func::Count => {
-            let v = args.first().map(|a| eval_expr(ctx, a));
-            match v {
-                Some(Value::NodeSet(ns)) => Value::Num(ns.len() as f64),
+        Func::Count => match args.first() {
+            Some(a) => match eval_expr(ctx, a, bu)? {
+                Value::NodeSet(ns) => Value::Num(ns.len() as f64),
                 _ => Value::Num(f64::NAN),
-            }
-        }
+            },
+            None => Value::Num(f64::NAN),
+        },
         Func::Contains => {
-            let a = arg_string(ctx, args, 0);
-            let b = arg_string(ctx, args, 1);
+            let a = arg_string(ctx, args, 0, bu)?;
+            let b = arg_string(ctx, args, 1, bu)?;
             Value::Bool(a.contains(&b))
         }
         Func::StartsWith => {
-            let a = arg_string(ctx, args, 0);
-            let b = arg_string(ctx, args, 1);
+            let a = arg_string(ctx, args, 0, bu)?;
+            let b = arg_string(ctx, args, 1, bu)?;
             Value::Bool(a.starts_with(&b))
         }
         Func::Name => Value::Str(ctx.doc.node_name(ctx.node).unwrap_or_default().to_string()),
@@ -390,18 +515,21 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
             if args.is_empty() {
                 Value::Str(ctx.doc.text_value(ctx.node))
             } else {
-                Value::Str(eval_expr(ctx, &args[0]).to_string_value(ctx.doc))
+                Value::Str(eval_expr(ctx, &args[0], bu)?.to_string_value(ctx.doc))
             }
         }
         Func::NumberFn => {
             if args.is_empty() {
                 Value::Num(crate::value::str_to_number(&ctx.doc.text_value(ctx.node)))
             } else {
-                Value::Num(eval_expr(ctx, &args[0]).to_number(ctx.doc))
+                Value::Num(eval_expr(ctx, &args[0], bu)?.to_number(ctx.doc))
             }
         }
         Func::Not => {
-            let v = args.first().map(|a| eval_expr(ctx, a).to_bool()).unwrap_or(false);
+            let v = match args.first() {
+                Some(a) => eval_expr(ctx, a, bu)?.to_bool(),
+                None => false,
+            };
             Value::Bool(!v)
         }
         Func::True => Value::Bool(true),
@@ -410,31 +538,34 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
             let s = if args.is_empty() {
                 ctx.doc.text_value(ctx.node)
             } else {
-                eval_expr(ctx, &args[0]).to_string_value(ctx.doc)
+                eval_expr(ctx, &args[0], bu)?.to_string_value(ctx.doc)
             };
             Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" "))
         }
         Func::Concat => {
             let mut out = String::new();
             for a in args {
-                out.push_str(&eval_expr(ctx, a).to_string_value(ctx.doc));
+                out.push_str(&eval_expr(ctx, a, bu)?.to_string_value(ctx.doc));
             }
             Value::Str(out)
         }
         Func::Substring => {
-            let s = arg_string(ctx, args, 0);
+            let s = arg_string(ctx, args, 0, bu)?;
             let chars: Vec<char> = s.chars().collect();
-            let start = args.get(1).map(|a| eval_expr(ctx, a).to_number(ctx.doc)).unwrap_or(1.0);
+            let start = match args.get(1) {
+                Some(a) => eval_expr(ctx, a, bu)?.to_number(ctx.doc),
+                None => 1.0,
+            };
             let start_idx = if start.is_nan() {
-                return Value::Str(String::new());
+                return Ok(Value::Str(String::new()));
             } else {
                 (start.round().max(1.0) as usize).saturating_sub(1)
             };
             let end_idx = match args.get(2) {
                 Some(a) => {
-                    let len = eval_expr(ctx, a).to_number(ctx.doc);
+                    let len = eval_expr(ctx, a, bu)?.to_number(ctx.doc);
                     if len.is_nan() || len <= 0.0 {
-                        return Value::Str(String::new());
+                        return Ok(Value::Str(String::new()));
                     }
                     // XPath: positions p with start ≤ p < start + len.
                     ((start.round() + len.round()).max(1.0) as usize).saturating_sub(1)
@@ -449,27 +580,27 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
             }
         }
         Func::SubstringBefore => {
-            let a = arg_string(ctx, args, 0);
-            let b = arg_string(ctx, args, 1);
+            let a = arg_string(ctx, args, 0, bu)?;
+            let b = arg_string(ctx, args, 1, bu)?;
             Value::Str(a.split_once(&b).map(|(x, _)| x.to_string()).unwrap_or_default())
         }
         Func::SubstringAfter => {
-            let a = arg_string(ctx, args, 0);
-            let b = arg_string(ctx, args, 1);
+            let a = arg_string(ctx, args, 0, bu)?;
+            let b = arg_string(ctx, args, 1, bu)?;
             Value::Str(a.split_once(&b).map(|(_, y)| y.to_string()).unwrap_or_default())
         }
         Func::StringLength => {
             let s = if args.is_empty() {
                 ctx.doc.text_value(ctx.node)
             } else {
-                arg_string(ctx, args, 0)
+                arg_string(ctx, args, 0, bu)?
             };
             Value::Num(s.chars().count() as f64)
         }
         Func::Translate => {
-            let s = arg_string(ctx, args, 0);
-            let from: Vec<char> = arg_string(ctx, args, 1).chars().collect();
-            let to: Vec<char> = arg_string(ctx, args, 2).chars().collect();
+            let s = arg_string(ctx, args, 0, bu)?;
+            let from: Vec<char> = arg_string(ctx, args, 1, bu)?.chars().collect();
+            let to: Vec<char> = arg_string(ctx, args, 2, bu)?.chars().collect();
             let out: String = s
                 .chars()
                 .filter_map(|c| match from.iter().position(|&f| f == c) {
@@ -480,35 +611,59 @@ fn eval_call(ctx: &EvalCtx<'_>, f: Func, args: &[Expr]) -> Value {
             Value::Str(out)
         }
         Func::BooleanFn => {
-            Value::Bool(args.first().map(|a| eval_expr(ctx, a).to_bool()).unwrap_or(false))
+            let v = match args.first() {
+                Some(a) => eval_expr(ctx, a, bu)?.to_bool(),
+                None => false,
+            };
+            Value::Bool(v)
         }
-        Func::Floor => Value::Num(arg_number(ctx, args, 0).floor()),
-        Func::Ceiling => Value::Num(arg_number(ctx, args, 0).ceil()),
-        Func::Round => Value::Num(arg_number(ctx, args, 0).round()),
-        Func::Sum => match args.first().map(|a| eval_expr(ctx, a)) {
-            Some(Value::NodeSet(ns)) => Value::Num(
-                ns.iter().map(|&n| crate::value::str_to_number(&ctx.doc.text_value(n))).sum(),
-            ),
-            _ => Value::Num(f64::NAN),
+        Func::Floor => Value::Num(arg_number(ctx, args, 0, bu)?.floor()),
+        Func::Ceiling => Value::Num(arg_number(ctx, args, 0, bu)?.ceil()),
+        Func::Round => Value::Num(arg_number(ctx, args, 0, bu)?.round()),
+        Func::Sum => match args.first() {
+            Some(a) => match eval_expr(ctx, a, bu)? {
+                Value::NodeSet(ns) => Value::Num(
+                    ns.iter().map(|&n| crate::value::str_to_number(&ctx.doc.text_value(n))).sum(),
+                ),
+                _ => Value::Num(f64::NAN),
+            },
+            None => Value::Num(f64::NAN),
         },
-    }
+    })
 }
 
-fn arg_number(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> f64 {
-    args.get(i).map(|a| eval_expr(ctx, a).to_number(ctx.doc)).unwrap_or(f64::NAN)
+fn arg_number(
+    ctx: &EvalCtx<'_>,
+    args: &[Expr],
+    i: usize,
+    bu: &mut Budget,
+) -> Result<f64, EvalError> {
+    Ok(match args.get(i) {
+        Some(a) => eval_expr(ctx, a, bu)?.to_number(ctx.doc),
+        None => f64::NAN,
+    })
 }
 
-fn arg_string(ctx: &EvalCtx<'_>, args: &[Expr], i: usize) -> String {
-    args.get(i)
-        .map(|a| eval_expr(ctx, a).to_string_value(ctx.doc))
-        .unwrap_or_default()
+fn arg_string(
+    ctx: &EvalCtx<'_>,
+    args: &[Expr],
+    i: usize,
+    bu: &mut Budget,
+) -> Result<String, EvalError> {
+    Ok(match args.get(i) {
+        Some(a) => eval_expr(ctx, a, bu)?.to_string_value(ctx.doc),
+        None => String::new(),
+    })
 }
 
 /// Evaluates a standalone boolean condition against a context node
-/// (used by tools and tests).
+/// (used by tools and tests). Unbudgeted.
 pub fn eval_condition(doc: &Document, node: NodeId, e: &Expr) -> bool {
     let ctx = EvalCtx { doc, node, position: 1, size: 1 };
-    eval_expr(&ctx, e).to_bool()
+    let mut budget = Budget::new(EvalLimits::unlimited());
+    eval_expr(&ctx, e, &mut budget)
+        .expect("unlimited evaluation cannot exhaust a budget")
+        .to_bool()
 }
 
 /// Convenience: parse then select.
@@ -779,5 +934,61 @@ mod tests {
         let d = parse("<a><b>  hi   there </b></a>").unwrap();
         let b = sel(&d, r#"//b[normalize-space(.) = "hi there"]"#);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn node_budget_is_typed_error() {
+        let d = doc();
+        let p = parse_path("//*//*").unwrap();
+        let tiny = EvalLimits { max_node_visits: 5, ..EvalLimits::default() };
+        let e = select_limited(&d, &p, &tiny).unwrap_err();
+        assert_eq!(e, EvalError::NodeBudget { limit: 5 });
+        assert_eq!(e.kind(), "node_visits");
+        // The same expression under defaults succeeds.
+        assert!(select_limited(&d, &p, &EvalLimits::default()).is_ok());
+    }
+
+    #[test]
+    fn budget_covers_inner_predicate_paths() {
+        let d = doc();
+        // The predicate path re-walks each candidate's subtree; those
+        // visits must draw from the same budget.
+        let p = parse_path("//project[.//flname]").unwrap();
+        let tiny = EvalLimits { max_node_visits: 10, ..EvalLimits::default() };
+        assert!(select_limited(&d, &p, &tiny).is_err());
+        assert_eq!(select_limited(&d, &p, &EvalLimits::default()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn eval_depth_cap_is_typed_error() {
+        let d = doc();
+        let p = parse_path("//project[paper[text()]]").unwrap();
+        let shallow = EvalLimits { max_eval_depth: 1, ..EvalLimits::default() };
+        let e = select_limited(&d, &p, &shallow).unwrap_err();
+        assert_eq!(e, EvalError::Depth { limit: 1 });
+        assert!(select_limited(&d, &p, &EvalLimits::default()).is_ok());
+    }
+
+    #[test]
+    fn limited_matches_unlimited_when_within_budget() {
+        let d = doc();
+        for expr in ["//paper", "/laboratory//flname", r#"//paper[@category="public"][1]"#] {
+            let p = parse_path(expr).unwrap();
+            assert_eq!(
+                select_limited(&d, &p, &EvalLimits::default()).unwrap(),
+                select(&d, &p),
+                "{expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_path_limited_enforces_budget_from_context() {
+        let d = doc();
+        let project = sel(&d, "/laboratory/project[1]")[0];
+        let p = parse_path(".//*").unwrap();
+        let tiny = EvalLimits { max_node_visits: 2, ..EvalLimits::default() };
+        assert!(eval_path_limited(&d, project, &p, &tiny).is_err());
+        assert!(eval_path_limited(&d, project, &p, &EvalLimits::default()).is_ok());
     }
 }

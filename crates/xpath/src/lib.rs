@@ -31,11 +31,16 @@
 pub mod ast;
 pub mod eval;
 pub mod lexer;
+pub mod limits;
 pub mod parser;
 pub mod value;
 
 pub use ast::{Axis, CmpOp, Expr, Func, NodeTest, PathExpr, Step};
-pub use eval::{describe_node, eval_condition, eval_path, select, select_str, CtxNode};
+pub use eval::{
+    describe_node, eval_condition, eval_path, eval_path_limited, select, select_limited,
+    select_str, CtxNode,
+};
 pub use lexer::{Result, XPathError};
+pub use limits::{EvalError, EvalLimits};
 pub use parser::{parse_expr, parse_path};
 pub use value::Value;

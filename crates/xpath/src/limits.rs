@@ -1,0 +1,112 @@
+//! Resource limits for path-expression evaluation.
+//!
+//! Authorization subjects supply path expressions (the paper's §4 objects)
+//! and, at the server, requesters supply query paths — both are untrusted
+//! input once the server faces the open network. A pathological expression
+//! such as `//*//*//*//*` multiplies subtree scans and can pin a worker on
+//! one request. [`EvalLimits`] bounds the evaluation: a budget of nodes the
+//! evaluator may examine, and a cap on how deeply predicate evaluation may
+//! recurse into inner paths. Every violation is a typed, recoverable
+//! [`EvalError`] — never a panic or runaway loop.
+
+use std::fmt;
+
+/// Caps applied to one top-level path evaluation (inner predicate paths
+/// share the same budget).
+///
+/// Thread through [`crate::select_limited`] / [`crate::eval_path_limited`];
+/// the unlimited [`crate::select`] / [`crate::eval_path`] remain for
+/// trusted, program-generated expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalLimits {
+    /// Maximum nodes the evaluator may examine across all steps,
+    /// predicates, and inner paths of one evaluation.
+    pub max_node_visits: u64,
+    /// Maximum nesting of path evaluations (a predicate containing a path
+    /// containing a predicate ... counts one level per inner path).
+    pub max_eval_depth: u32,
+}
+
+impl EvalLimits {
+    /// Default caps: 10 M node visits, 64 levels of inner-path nesting.
+    /// Far above anything the example corpus or benchmarks need, far
+    /// below what a hostile quadratic expression wants.
+    pub const fn default_limits() -> EvalLimits {
+        EvalLimits { max_node_visits: 10_000_000, max_eval_depth: 64 }
+    }
+
+    /// No caps (`u64::MAX` / `u32::MAX`). For trusted expressions only.
+    pub const fn unlimited() -> EvalLimits {
+        EvalLimits { max_node_visits: u64::MAX, max_eval_depth: u32::MAX }
+    }
+}
+
+impl Default for EvalLimits {
+    fn default() -> EvalLimits {
+        EvalLimits::default_limits()
+    }
+}
+
+/// A recoverable budget violation during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// The evaluation examined more than `limit` nodes.
+    NodeBudget {
+        /// The configured [`EvalLimits::max_node_visits`].
+        limit: u64,
+    },
+    /// Inner-path nesting exceeded `limit` levels.
+    Depth {
+        /// The configured [`EvalLimits::max_eval_depth`].
+        limit: u32,
+    },
+}
+
+impl EvalError {
+    /// Stable snake_case name, used as the `kind` label on the shared
+    /// `xmlsec_limits_rejected_total` counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalError::NodeBudget { .. } => "node_visits",
+            EvalError::Depth { .. } => "eval_depth",
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NodeBudget { limit } => {
+                write!(f, "path evaluation exceeded the node-visit budget ({limit})")
+            }
+            EvalError::Depth { limit } => {
+                write!(f, "path evaluation nested deeper than {limit} levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let b = EvalError::NodeBudget { limit: 7 };
+        assert_eq!(b.kind(), "node_visits");
+        assert!(b.to_string().contains('7'));
+        let d = EvalError::Depth { limit: 3 };
+        assert_eq!(d.kind(), "eval_depth");
+        assert!(d.to_string().contains('3'));
+    }
+
+    #[test]
+    fn defaults_and_unlimited() {
+        let d = EvalLimits::default();
+        assert!(d.max_node_visits >= 1_000_000);
+        assert!(d.max_eval_depth >= 16);
+        assert_eq!(EvalLimits::unlimited().max_node_visits, u64::MAX);
+    }
+}

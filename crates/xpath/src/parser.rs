@@ -16,7 +16,7 @@ use crate::lexer::{lex, Result, Tok, XPathError};
 /// Parses a path expression.
 pub fn parse_path(input: &str) -> Result<PathExpr> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, input_len: input.len() };
+    let mut p = Parser { toks, pos: 0, input_len: input.len(), depth: 0 };
     let path = p.parse_path_expr()?;
     p.expect_eof()?;
     Ok(path)
@@ -25,16 +25,24 @@ pub fn parse_path(input: &str) -> Result<PathExpr> {
 /// Parses a bare condition expression (used by tests and tools).
 pub fn parse_expr(input: &str) -> Result<Expr> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, input_len: input.len() };
+    let mut p = Parser { toks, pos: 0, input_len: input.len(), depth: 0 };
     let e = p.parse_or()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Maximum nesting of condition expressions (parens, predicates, inner
+/// paths). A recursive-descent parser consumes stack per nesting level,
+/// so a hostile `((((…))))` or `a[a[a[…]]]` could otherwise overflow it;
+/// real authorization objects use a handful of levels at most, and 128
+/// levels cost well under a megabyte of parser stack.
+const MAX_NESTING: u32 = 128;
+
 struct Parser {
     toks: Vec<(Tok, usize)>,
     pos: usize,
     input_len: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -174,6 +182,18 @@ impl Parser {
     // --- condition expressions -----------------------------------------
 
     fn parse_or(&mut self) -> Result<Expr> {
+        // Every recursion cycle (predicates, parens, inner paths) passes
+        // through here, so one guard bounds parser stack growth.
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err(format!("expression nested deeper than {MAX_NESTING} levels")));
+        }
+        let r = self.parse_or_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_or_inner(&mut self) -> Result<Expr> {
         let mut left = self.parse_and()?;
         while self.peek() == Some(&Tok::Name("or".into())) {
             self.bump();
@@ -239,8 +259,14 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Expr> {
         if self.eat(&Tok::OpMinus) {
-            let e = self.parse_unary()?;
-            return Ok(Expr::Neg(Box::new(e)));
+            // Self-recursive (`--x`), so it needs its own stack guard.
+            self.depth += 1;
+            if self.depth > MAX_NESTING {
+                return Err(self.err(format!("expression nested deeper than {MAX_NESTING} levels")));
+            }
+            let e = self.parse_unary();
+            self.depth -= 1;
+            return Ok(Expr::Neg(Box::new(e?)));
         }
         self.parse_union()
     }
@@ -468,5 +494,49 @@ mod tests {
         assert!(
             matches!(&p.steps[0].predicates[0], Expr::Call(Func::Not, args) if args.len() == 1)
         );
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_an_error_not_a_crash() {
+        let mut s = String::from("a[");
+        for _ in 0..10_000 {
+            s.push('(');
+        }
+        s.push('1');
+        for _ in 0..10_000 {
+            s.push(')');
+        }
+        s.push(']');
+        let e = parse_path(&s).unwrap_err();
+        assert!(e.message.contains("nested"), "{}", e.message);
+    }
+
+    #[test]
+    fn deep_predicate_nesting_is_an_error_not_a_crash() {
+        let mut s = String::new();
+        for _ in 0..10_000 {
+            s.push_str("a[");
+        }
+        s.push('1');
+        for _ in 0..10_000 {
+            s.push(']');
+        }
+        assert!(parse_path(&s).is_err());
+    }
+
+    #[test]
+    fn deep_minus_chain_is_an_error_not_a_crash() {
+        let mut s = String::from("a[");
+        for _ in 0..10_000 {
+            s.push('-');
+        }
+        s.push_str("1]");
+        assert!(parse_path(&s).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        assert!(parse_path("a[((((@x = '1'))))]").is_ok());
+        assert!(parse_path("a[b[c[d[e[1]]]]]").is_ok());
     }
 }

@@ -53,7 +53,7 @@ fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
             // variety to exercise parser robustness paths.
             match rng.below(8) {
                 0 => {
-                    let v = rng.below(0x11_0000 as u64) as u32;
+                    let v = rng.below(0x11_0000_u64) as u32;
                     char::from_u32(v).filter(|&c| c != '\n').unwrap_or('\u{fffd}')
                 }
                 1 => char::from_u32(rng.below(0x20) as u32).filter(|&c| c != '\n').unwrap_or('\t'),

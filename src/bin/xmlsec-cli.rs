@@ -11,6 +11,9 @@
 //! xmlsec-cli xacl     --xacl F            # check & echo an XACL
 //! xmlsec-cli serve    --addr 127.0.0.1:8080 --doc F --uri U [--dtd F --dtd-uri U]
 //!                     [--xacl F]... [--dir F] [--cred user:pass]...
+//!                     [--workers N] [--backlog N] [--read-timeout-ms N]
+//!                     [--write-timeout-ms N] [--max-input-bytes N] [--max-depth N]
+//!                     [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
 //! ```
 //!
 //! The directory file (`--dir`) is line-oriented:
@@ -69,6 +72,8 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   xpath:    --doc F --expr PATH
   xacl:     --xacl F
   serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
+            pool: [--workers N] [--backlog N] [--read-timeout-ms N] [--write-timeout-ms N]
+            limits: [--max-input-bytes N] [--max-depth N] [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
   stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
   explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
   analyze:  --dtd F --xacl F [--root NAME]
@@ -261,14 +266,62 @@ fn cmd_xpath(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// A numeric flag, absent if not given, an error if not a number.
+fn parse_num<T: std::str::FromStr>(o: &Opts, name: &str) -> Result<Option<T>, String> {
+    match o.opt(name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| format!("--{name} must be a number, got {v:?}")),
+    }
+}
+
+/// Builds the HTTP pool configuration and per-request resource limits
+/// for `serve` from the command line, starting from the defaults.
+fn serve_config(
+    o: &Opts,
+) -> Result<(xmlsec::server::HttpConfig, xmlsec::core::ResourceLimits), String> {
+    let mut cfg = xmlsec::server::HttpConfig::default();
+    if let Some(n) = parse_num(o, "workers")? {
+        cfg.workers = n;
+    }
+    if let Some(n) = parse_num(o, "backlog")? {
+        cfg.backlog = n;
+    }
+    if let Some(ms) = parse_num(o, "read-timeout-ms")? {
+        cfg.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_num(o, "write-timeout-ms")? {
+        cfg.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    let mut limits = xmlsec::core::ResourceLimits::default();
+    if let Some(n) = parse_num(o, "max-input-bytes")? {
+        limits.xml.max_input_bytes = n;
+    }
+    if let Some(n) = parse_num(o, "max-depth")? {
+        limits.xml.max_depth = n;
+    }
+    if let Some(n) = parse_num(o, "max-nodes")? {
+        limits.xml.max_nodes = n;
+    }
+    if let Some(n) = parse_num(o, "max-entity-expansion")? {
+        limits.xml.max_entity_expansion = n;
+    }
+    if let Some(n) = parse_num(o, "max-node-visits")? {
+        limits.xpath.max_node_visits = n;
+    }
+    Ok((cfg, limits))
+}
+
 fn cmd_serve(o: &Opts) -> Result<(), String> {
+    let (cfg, limits) = serve_config(o)?;
     // --site DIR loads a whole directory (documents, DTDs, XACLs,
     // _directory.txt, _credentials.txt) in one go.
     if let Some(site) = o.opt("site") {
         let (server, summary) =
             xmlsec::server::load_site(std::path::Path::new(site)).map_err(|e| e.to_string())?;
+        let server = server.with_limits(limits);
         let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
-        let demo = xmlsec::server::HttpDemo::start(server, addr).map_err(|e| e.to_string())?;
+        let demo =
+            xmlsec::server::HttpDemo::start_with(server, addr, cfg).map_err(|e| e.to_string())?;
         eprintln!(
             "serving {} document(s), {} DTD(s), {} authorization(s) on http://{}",
             summary.documents.len(),
@@ -305,9 +358,11 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         server.repository_mut().put_dtd(uri, &read(dtd_path)?);
     }
     server.repository_mut().put_document(o.one("uri")?, &xml, dtd_uri);
+    let server = server.with_limits(limits);
 
     let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
-    let demo = xmlsec::server::HttpDemo::start(server, addr).map_err(|e| e.to_string())?;
+    let demo =
+        xmlsec::server::HttpDemo::start_with(server, addr, cfg).map_err(|e| e.to_string())?;
     eprintln!(
         "serving on http://{} — try GET /{}?user=U&pass=P&ip=A&host=H (Ctrl-C to stop)",
         demo.addr(),

@@ -17,6 +17,7 @@ fn processor(validate_input: bool, verify_view: bool) -> SecurityProcessor {
             policy: PolicyConfig::paper_default(),
             validate_input,
             verify_view,
+            ..Default::default()
         },
     }
 }
