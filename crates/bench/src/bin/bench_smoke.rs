@@ -1,0 +1,247 @@
+//! `bench_smoke` — the CI perf-trajectory harness.
+//!
+//! Runs quick wall-time measurements of the tracked benches — B1 (view
+//! computation), B10 (pipeline with telemetry live), B11 (pipeline with
+//! the default resource limits enforced), and B12 (parallel labeling,
+//! sequential vs 4 threads on the hospital corpus) — and writes them as
+//! flat JSON at the repo root (`BENCH_<n+1>.json` by default, one past
+//! the highest checked-in point, so the series extends without workflow
+//! edits) — every PR leaves a perf record the next PR is judged against.
+//!
+//! Gates (exit non-zero):
+//!
+//! - any tracked `*_ms` time regresses > 15% against the
+//!   highest-numbered `BENCH_*.json` already checked in (skipped when no
+//!   baseline exists, and under `XMLSEC_BENCH_NO_GATE=1`, which the
+//!   nightly drift job uses to report without failing);
+//! - B12's 4-thread speedup falls below 1.5x — enforced only on
+//!   machines with ≥ 4 cores, since 4 workers on one core timeshare it
+//!   and the honest measurement there is ~1.0x. The JSON records the
+//!   measured speedup, the core count, and whether the gate applied
+//!   (`b12_gated`), so a gated-off run is visible, not silent.
+//!
+//! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use xmlsec_bench::{hospital_scenario, lab_scenario, run_view, run_view_parallel};
+use xmlsec_core::par::available_cores;
+use xmlsec_core::{
+    AccessRequest, DocumentSource, ProcessorOptions, ResourceLimits, SecurityProcessor,
+};
+use xmlsec_workload::laboratory::{
+    lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
+};
+use xmlsec_xml::{serialize, SerializeOptions};
+
+/// Allowed slowdown vs the checked-in baseline before the gate trips.
+const REGRESSION_BUDGET: f64 = 1.15;
+/// Required 4-thread speedup on the hospital corpus (machines ≥ 4 cores).
+const SPEEDUP_GATE: f64 = 1.5;
+
+struct Config {
+    batches: usize,
+    iters: usize,
+    projects: usize,
+    patients: usize,
+}
+
+fn median_ms(mut xs: Vec<Duration>) -> f64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2].as_secs_f64() * 1e3
+}
+
+/// Median wall-time (ms) of `iters` runs of `f`, over `batches` batches.
+fn time_ms(cfg: &Config, mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f(); // warmup
+    }
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let t = Instant::now();
+        for _ in 0..cfg.iters {
+            f();
+        }
+        batches.push(t.elapsed() / cfg.iters as u32);
+    }
+    median_ms(batches)
+}
+
+fn pipeline_processor(limits: ResourceLimits) -> SecurityProcessor {
+    let mut p = SecurityProcessor::new(lab_directory(), lab_authorization_base());
+    p.options = ProcessorOptions { limits, ..p.options };
+    p
+}
+
+fn run_pipeline(processor: &SecurityProcessor, xml: &str, request: &AccessRequest) -> usize {
+    let source = DocumentSource { xml, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
+    processor.process(request, &source).expect("pipeline").xml.len()
+}
+
+/// Parses the flat one-level JSON this tool writes: string and numeric
+/// fields only, no nesting, no escapes beyond what we emit. Returns the
+/// numeric fields.
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let body = text.trim().trim_start_matches('{').trim_end_matches('}');
+    for field in body.split(',') {
+        let Some((key, value)) = field.split_once(':') else { continue };
+        let key = key.trim().trim_matches('"').to_string();
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
+/// Every `BENCH_<n>.json` in the working directory.
+fn bench_files() -> Vec<(u64, std::path::PathBuf)> {
+    let Ok(dir) = std::fs::read_dir(".") else { return Vec::new() };
+    let mut out = Vec::new();
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(n) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) else {
+            continue;
+        };
+        if let Ok(n) = n.parse::<u64>() {
+            out.push((n, entry.path()));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The checked-in `BENCH_<n>.json` with the highest `n`, excluding the
+/// file this run writes.
+fn baseline_path(out: &str) -> Option<std::path::PathBuf> {
+    bench_files()
+        .into_iter()
+        .filter(|(_, p)| p.file_name().map(|f| f.to_string_lossy() != out).unwrap_or(true))
+        .max_by_key(|(n, _)| *n)
+        .map(|(_, p)| p)
+}
+
+/// Default output name: one past the highest checked-in trajectory
+/// point, so CI keeps extending the series without workflow edits.
+fn next_out() -> String {
+    let next = bench_files().last().map(|(n, _)| n + 1).unwrap_or(1);
+    format!("BENCH_{next}.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(next_out);
+    let no_gate = std::env::var_os("XMLSEC_BENCH_NO_GATE").is_some();
+    let cfg = if quick {
+        Config { batches: 3, iters: 5, projects: 32, patients: 300 }
+    } else {
+        Config { batches: 7, iters: 15, projects: 64, patients: 1200 }
+    };
+    let cores = available_cores();
+    eprintln!(
+        "bench_smoke: {} batches x {} iters, {} cores, quick={quick} -> {out}",
+        cfg.batches, cfg.iters, cores
+    );
+
+    // B1 — core view computation on the scaled laboratory.
+    let lab = lab_scenario(cfg.projects);
+    let b1_view_ms = time_ms(&cfg, || {
+        black_box(run_view(&lab));
+    });
+    eprintln!("  b1_view_ms = {b1_view_ms:.3}");
+
+    // B10 — full pipeline with telemetry recording live (the default).
+    let doc = xmlsec_workload::laboratory_scaled(cfg.projects, 5);
+    let xml = serialize(&doc, &SerializeOptions::canonical());
+    let request = AccessRequest { requester: tom(), uri: CSLAB_URI.to_string() };
+    let unlimited = pipeline_processor(ResourceLimits::unlimited());
+    let b10_pipeline_ms = time_ms(&cfg, || {
+        black_box(run_pipeline(&unlimited, &xml, &request));
+    });
+    eprintln!("  b10_pipeline_ms = {b10_pipeline_ms:.3}");
+
+    // B11 — the same pipeline with every default resource cap enforced.
+    let limited = pipeline_processor(ResourceLimits::default_limits());
+    let b11_limits_ms = time_ms(&cfg, || {
+        black_box(run_pipeline(&limited, &xml, &request));
+    });
+    eprintln!("  b11_limits_ms = {b11_limits_ms:.3}");
+
+    // B12 — parallel labeling on the hospital corpus, 1 vs 4 threads.
+    let hospital = hospital_scenario(cfg.patients);
+    let want = run_view_parallel(&hospital, 1);
+    let b12_seq_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_view_parallel(&hospital, 1)), want);
+    });
+    let b12_par4_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_view_parallel(&hospital, 4)), want);
+    });
+    let b12_speedup_4t = b12_seq_ms / b12_par4_ms.max(1e-9);
+    let b12_gated = cores >= 4 && !no_gate;
+    eprintln!(
+        "  b12_seq_ms = {b12_seq_ms:.3}  b12_par4_ms = {b12_par4_ms:.3}  speedup {b12_speedup_4t:.2}x (gate {})",
+        if b12_gated { "live" } else { "off" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_smoke\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"b1_view_ms\": {b1_view_ms:.4},\n  \"b10_pipeline_ms\": {b10_pipeline_ms:.4},\n  \
+         \"b11_limits_ms\": {b11_limits_ms:.4},\n  \"b12_seq_ms\": {b12_seq_ms:.4},\n  \
+         \"b12_par4_ms\": {b12_par4_ms:.4},\n  \"b12_speedup_4t\": {b12_speedup_4t:.4},\n  \
+         \"b12_gated\": {}\n}}\n",
+        if b12_gated { 1 } else { 0 },
+    );
+    std::fs::write(&out, &json).expect("write bench JSON");
+    eprintln!("wrote {out}");
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Regression gate vs the previously checked-in trajectory point.
+    match baseline_path(&out) {
+        Some(path) if !no_gate => {
+            let text = std::fs::read_to_string(&path).expect("read baseline");
+            let old = parse_flat_json(&text);
+            let new = parse_flat_json(&json);
+            for (key, new_v) in &new {
+                if !key.ends_with("_ms") {
+                    continue;
+                }
+                let Some((_, old_v)) = old.iter().find(|(k, _)| k == key) else { continue };
+                let ratio = new_v / old_v.max(1e-9);
+                if ratio > REGRESSION_BUDGET {
+                    failures.push(format!(
+                        "{key} regressed {:.1}% vs {} ({old_v:.3}ms -> {new_v:.3}ms)",
+                        (ratio - 1.0) * 100.0,
+                        path.display()
+                    ));
+                } else {
+                    eprintln!("  {key}: {ratio:.3}x vs baseline (ok)");
+                }
+            }
+        }
+        Some(path) => eprintln!("baseline {} present but gating disabled", path.display()),
+        None => eprintln!("no earlier BENCH_*.json baseline; regression gate skipped"),
+    }
+
+    if b12_gated && b12_speedup_4t < SPEEDUP_GATE {
+        failures.push(format!(
+            "B12 4-thread speedup {b12_speedup_4t:.2}x is below the {SPEEDUP_GATE}x gate \
+             ({cores} cores)"
+        ));
+    }
+
+    if failures.is_empty() {
+        eprintln!("bench_smoke: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("bench_smoke: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

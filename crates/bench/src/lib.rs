@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 use xmlsec_authz::{AuthType, Authorization, ObjectSpec, PolicyConfig, Sign};
+use xmlsec_core::{compute_view_engine, EngineOptions, Parallelism, ResourceLimits};
 use xmlsec_subjects::{Directory, Requester, Subject};
 use xmlsec_workload::laboratory::{
     example1_authorizations, lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD_URI,
@@ -91,6 +92,61 @@ pub fn bench_auths() -> Vec<Authorization> {
     example1_authorizations()
 }
 
+/// A scaled hospital ward guarded by the ward protection requirements,
+/// with nurse `nina` as the requester (B12's primary corpus: wide trees,
+/// content-dependent denials).
+pub fn hospital_scenario(patients: usize) -> BenchScenario {
+    use xmlsec_workload::hospital::*;
+    let doc = hospital_scaled(patients, 0xB12);
+    let dir = hospital_directory();
+    let base = hospital_authorization_base();
+    let requester = Requester::new("nina", "10.0.0.7", "ward3.hospital.org").expect("requester");
+    let axml = base.applicable(WARD_URI, &requester, &dir).into_iter().cloned().collect();
+    let adtd = base
+        .applicable(HOSPITAL_DTD_URI, &requester, &dir)
+        .into_iter()
+        .cloned()
+        .collect();
+    BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() }
+}
+
+/// A scaled bank-statements document guarded by the bank protection
+/// requirements, with auditor `axel` as the requester (B12's secondary
+/// corpus: flagged-transaction weak denials).
+pub fn financial_scenario(accounts: usize) -> BenchScenario {
+    use xmlsec_workload::financial::*;
+    let doc = financial_scaled(accounts, 0xF1A);
+    let dir = bank_directory();
+    let base = bank_authorization_base();
+    let requester = Requester::new("axel", "10.9.9.9", "hq.bank.com").expect("requester");
+    let axml = base.applicable(STATEMENTS_URI, &requester, &dir).into_iter().cloned().collect();
+    let adtd = base.applicable(BANK_DTD_URI, &requester, &dir).into_iter().cloned().collect();
+    BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() }
+}
+
+/// Runs the parallel engine on a scenario with exactly `threads` workers
+/// (`1` = the sequential path), returning the visible-node count.
+/// Oversubscription is forced so thread-scaling measurements are about
+/// the engine, not about what `available_parallelism` happens to report
+/// inside a cgroup.
+pub fn run_view_parallel(s: &BenchScenario, threads: usize) -> usize {
+    let ax: Vec<&Authorization> = s.axml.iter().collect();
+    let ad: Vec<&Authorization> = s.adtd.iter().collect();
+    let parallelism = if threads <= 1 {
+        Parallelism::sequential()
+    } else {
+        Parallelism::threads(threads).with_seq_threshold(0).exact()
+    };
+    let opts = EngineOptions {
+        limits: ResourceLimits::default_limits().xpath,
+        parallelism,
+        decisions: None,
+    };
+    let (_, stats) = compute_view_engine(&s.doc, &ax, &ad, &s.dir, s.policy, &opts)
+        .expect("bench corpora stay within default limits");
+    stats.granted_nodes
+}
+
 /// Runs `compute_view` on a scenario, returning the visible-node count
 /// (a value Criterion can black-box).
 pub fn run_view(s: &BenchScenario) -> usize {
@@ -123,6 +179,19 @@ mod tests {
         let slow = run_view_naive(&s);
         assert_eq!(fast, slow);
         assert!(fast > 0);
+    }
+
+    #[test]
+    fn parallel_scenarios_match_sequential() {
+        for s in [hospital_scenario(60), financial_scenario(60)] {
+            assert!(s.doc.count_reachable() > 300);
+            assert!(!s.adtd.is_empty() || !s.axml.is_empty());
+            let seq = run_view_parallel(&s, 1);
+            assert!(seq > 0, "the requester must see part of the corpus");
+            for threads in [2, 4] {
+                assert_eq!(run_view_parallel(&s, threads), seq);
+            }
+        }
     }
 
     #[test]

@@ -35,25 +35,29 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod decision;
 pub mod label;
 pub mod limits;
 pub mod naive;
+pub mod par;
 pub mod processor;
 pub mod stages;
 pub mod update;
 pub mod view;
 
 pub use analysis::{analyze_against_schema, schema_coverage, AuthCoverage, SchemaNode};
+pub use decision::{policy_fingerprint, DecisionCache, DecisionKey};
 pub use label::{first_def, Label, Sign3};
 pub use limits::ResourceLimits;
 pub use naive::{compute_view_naive, naive_final_sign};
+pub use par::Parallelism;
 pub use processor::{
     AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions, SecurityProcessor,
 };
 pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
 pub use view::{
-    compute_view, compute_view_limited, label_document, label_document_limited, prune_document,
-    render_labeled, Labeling, ViewStats,
+    compute_view, compute_view_engine, compute_view_limited, label_document, label_document_engine,
+    label_document_limited, prune_document, render_labeled, EngineOptions, Labeling, ViewStats,
 };
 
 // Re-export the policy types users need at this level.

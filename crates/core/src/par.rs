@@ -1,0 +1,328 @@
+//! Scoped worker pool for the parallel compute-view engine.
+//!
+//! The paper's Figure 2 labels the tree top-down: once a node's label is
+//! decided, every subtree below it can be labeled independently — the
+//! propagation into a child depends only on the parent's label. This
+//! module provides the (zero-dependency) machinery the engine fans that
+//! work out with:
+//!
+//! - [`Parallelism`] — the knob threaded from `ProcessorOptions`, the
+//!   server, and `xmlsec-cli serve`/`stats` down to the engine;
+//! - a **global core budget** ([`lease`]) so per-request parallelism
+//!   composes with the HTTP worker pool: N workers × M threads never
+//!   oversubscribes the machine, because extra threads beyond the one a
+//!   request already owns are leased from one process-wide pool sized by
+//!   [`std::thread::available_parallelism`];
+//! - [`run_tasks`] — a scoped fork-join pool over a `Mutex<VecDeque>`
+//!   work queue (std threads only, per the repo's no-new-deps policy).
+//!
+//! Telemetry: `xmlsec_par_tasks_total` counts executed tasks,
+//! `xmlsec_par_fanouts_total` counts parallel fan-out operations, and the
+//! `xmlsec_par_queue_depth` / `xmlsec_par_cores_leased` gauges expose the
+//! pool state. See `docs/PARALLELISM.md` for the design discussion.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use xmlsec_telemetry as telemetry;
+
+/// How much parallelism one view computation may use.
+///
+/// `Copy` so it rides inside `ProcessorOptions`; the default is
+/// sequential — parallelism is opt-in per processor/server/CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Upper bound on threads for one computation. `1` means sequential;
+    /// `0` means "auto": as many as the machine has, subject to the
+    /// global core budget.
+    pub max_threads: usize,
+    /// Documents with fewer arena slots than this are always labeled
+    /// sequentially — fan-out overhead (thread spawn + queue traffic)
+    /// swamps the win on small trees.
+    pub seq_threshold: usize,
+    /// Spawn exactly `max_threads` workers even when the global core
+    /// budget would grant fewer. `available_parallelism` is conservative
+    /// under cgroup CPU quotas, and the thread-scaling bench and the
+    /// parallel/sequential differential tests must exercise real
+    /// multi-worker execution regardless of what the host reports; leave
+    /// this `false` (the default) on serving paths so N HTTP workers ×
+    /// M threads stays bounded by the machine.
+    pub oversubscribe: bool,
+}
+
+/// Default [`Parallelism::seq_threshold`]: arena slots below which the
+/// engine does not bother spawning workers.
+pub const DEFAULT_SEQ_THRESHOLD: usize = 256;
+
+impl Parallelism {
+    /// Sequential evaluation (the default; identical to the pre-parallel
+    /// engine).
+    pub const fn sequential() -> Parallelism {
+        Parallelism { max_threads: 1, seq_threshold: DEFAULT_SEQ_THRESHOLD, oversubscribe: false }
+    }
+
+    /// Use every core the global budget will lease.
+    pub const fn auto() -> Parallelism {
+        Parallelism { max_threads: 0, seq_threshold: DEFAULT_SEQ_THRESHOLD, oversubscribe: false }
+    }
+
+    /// At most `n` threads (`0` = auto, `1` = sequential).
+    pub const fn threads(n: usize) -> Parallelism {
+        Parallelism { max_threads: n, seq_threshold: DEFAULT_SEQ_THRESHOLD, oversubscribe: false }
+    }
+
+    /// The same knob with a different sequential-fallback threshold.
+    pub const fn with_seq_threshold(mut self, nodes: usize) -> Parallelism {
+        self.seq_threshold = nodes;
+        self
+    }
+
+    /// The same knob with [`Parallelism::oversubscribe`] set: exactly
+    /// `max_threads` workers, global core budget notwithstanding.
+    pub const fn exact(mut self) -> Parallelism {
+        self.oversubscribe = true;
+        self
+    }
+
+    /// `true` when this configuration can never spawn a worker.
+    pub fn is_sequential(&self) -> bool {
+        self.max_threads == 1
+    }
+
+    /// The thread count this knob *asks* for (before leasing):
+    /// `max_threads`, or the machine's parallelism for `0`.
+    pub fn want_threads(&self) -> usize {
+        match self.max_threads {
+            0 => available_cores(),
+            n => n,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::sequential()
+    }
+}
+
+/// Cached `available_parallelism` (the value never changes for the
+/// process; the syscall is not free).
+pub fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// The process-wide pool of *extra* cores. Every computation implicitly
+/// owns the thread it runs on; only threads beyond that are leased here,
+/// so the pool holds `available_cores() - 1` permits.
+fn extra_permits() -> &'static AtomicIsize {
+    static PERMITS: OnceLock<AtomicIsize> = OnceLock::new();
+    PERMITS.get_or_init(|| AtomicIsize::new(available_cores() as isize - 1))
+}
+
+struct ParMetrics {
+    tasks: Arc<telemetry::Counter>,
+    fanouts: Arc<telemetry::Counter>,
+    queue_depth: Arc<telemetry::Gauge>,
+    cores_leased: Arc<telemetry::Gauge>,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        ParMetrics {
+            tasks: reg.counter(
+                "xmlsec_par_tasks_total",
+                "Tasks executed by the compute-view worker pool.",
+                &[],
+            ),
+            fanouts: reg.counter(
+                "xmlsec_par_fanouts_total",
+                "Parallel fan-out operations (task batches run on >1 thread).",
+                &[],
+            ),
+            queue_depth: reg.gauge(
+                "xmlsec_par_queue_depth",
+                "Tasks currently waiting in the compute-view work queue.",
+                &[],
+            ),
+            cores_leased: reg.gauge(
+                "xmlsec_par_cores_leased",
+                "Extra cores currently leased from the global core budget.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// A lease of extra cores from the global budget. Returned by [`lease`];
+/// the permits go back to the pool on drop.
+#[derive(Debug)]
+pub struct CoreLease {
+    extra: usize,
+}
+
+impl CoreLease {
+    /// Total threads this lease allows: the caller's own thread plus the
+    /// leased extras.
+    pub fn threads(&self) -> usize {
+        1 + self.extra
+    }
+}
+
+impl Drop for CoreLease {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            extra_permits().fetch_add(self.extra as isize, Ordering::AcqRel);
+            par_metrics().cores_leased.add(-(self.extra as i64));
+        }
+    }
+}
+
+/// Leases up to `want_threads - 1` extra cores from the global budget
+/// (the caller's own thread is free). Under contention — e.g. every HTTP
+/// worker fanning out at once — a lease may grant fewer threads than
+/// asked, down to `threads() == 1` (sequential). Never blocks.
+pub fn lease(want_threads: usize) -> CoreLease {
+    let want_extra = want_threads.saturating_sub(1);
+    if want_extra == 0 {
+        return CoreLease { extra: 0 };
+    }
+    let pool = extra_permits();
+    let mut granted = 0usize;
+    let mut cur = pool.load(Ordering::Acquire);
+    while cur > 0 {
+        let take = cur.min(want_extra as isize);
+        match pool.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                granted = take as usize;
+                break;
+            }
+            Err(now) => cur = now,
+        }
+    }
+    if granted > 0 {
+        par_metrics().cores_leased.add(granted as i64);
+    }
+    CoreLease { extra: granted }
+}
+
+/// Runs `f` over every task on up to `threads` threads (scoped; the
+/// calling thread works too) and returns the results **in task order**.
+///
+/// With `threads <= 1` or fewer than two tasks everything runs inline on
+/// the caller — the closure is still invoked through the same code path,
+/// so sequential and parallel execution differ only in scheduling.
+///
+/// A panicking task propagates the panic to the caller once the scope
+/// joins (no detached threads, no poisoned global state).
+pub fn run_tasks<T, R, F>(threads: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let m = par_metrics();
+    if threads <= 1 || tasks.len() < 2 {
+        return tasks
+            .iter()
+            .map(|t| {
+                m.tasks.inc();
+                f(t)
+            })
+            .collect();
+    }
+
+    let n = tasks.len();
+    m.fanouts.inc();
+    m.queue_depth.set(n as i64);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    let worker = |queue: &Mutex<VecDeque<(usize, T)>>, results: &Mutex<Vec<Option<R>>>| loop {
+        let item = {
+            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            let item = q.pop_front();
+            m.queue_depth.set(q.len() as i64);
+            item
+        };
+        let Some((i, task)) = item else { break };
+        m.tasks.inc();
+        let r = f(&task);
+        results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+    };
+
+    let workers = threads.min(n);
+    thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(|| worker(&queue, &results));
+        }
+        worker(&queue, &results);
+    });
+
+    results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every queued task produces a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_task_order() {
+        let tasks: Vec<usize> = (0..64).collect();
+        let out = run_tasks(4, tasks, |&i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel() {
+        let tasks: Vec<u64> = (0..33).collect();
+        let seq = run_tasks(1, tasks.clone(), |&i| i * i + 1);
+        let par = run_tasks(8, tasks, |&i| i * i + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_task_lists() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_tasks(4, none, |_| 0).is_empty());
+        assert_eq!(run_tasks(4, vec![7u8], |&x| x as u32), vec![7]);
+    }
+
+    #[test]
+    fn lease_never_exceeds_budget_and_returns_permits() {
+        // Other tests may hold leases concurrently, so assert only the
+        // invariants: each lease owns one free thread, and the extras of
+        // all concurrent leases never exceed `cores - 1`.
+        let cores = available_cores();
+        let a = lease(1024);
+        let b = lease(1024);
+        assert!(a.threads() <= cores);
+        assert!(a.threads() + b.threads() <= cores + 1);
+        drop(b);
+        drop(a);
+        let c = lease(2);
+        assert!(c.threads() <= 2);
+        assert!(c.threads() >= 1);
+    }
+
+    #[test]
+    fn parallelism_knob_semantics() {
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(Parallelism::default().is_sequential());
+        assert!(!Parallelism::auto().is_sequential());
+        assert_eq!(Parallelism::threads(3).want_threads(), 3);
+        assert_eq!(Parallelism::auto().want_threads(), available_cores());
+        let p = Parallelism::threads(2).with_seq_threshold(9);
+        assert_eq!(p.seq_threshold, 9);
+        assert!(!p.oversubscribe);
+        assert!(p.exact().oversubscribe);
+    }
+}

@@ -12,10 +12,13 @@
 //! The output carries the view document, its text, and the loosened DTD
 //! text, ready to be "transmitted to the user who requested access".
 
+use crate::decision::DecisionCache;
 use crate::limits::ResourceLimits;
+use crate::par::Parallelism;
 use crate::stages;
-use crate::view::{compute_view_limited, ViewStats};
+use crate::view::{compute_view_engine, EngineOptions, ViewStats};
 use std::fmt;
+use std::sync::Arc;
 use xmlsec_authz::{AuthorizationBase, PolicyConfig};
 use xmlsec_dtd::{loosen, normalize, parse_dtd, serialize_dtd, Dtd, Validator, ValidityError};
 use xmlsec_subjects::{Directory, Requester};
@@ -100,6 +103,10 @@ pub struct ProcessorOptions {
     /// Resource caps for parsing and labeling; defaults are generous
     /// enough that only pathological inputs are rejected.
     pub limits: ResourceLimits,
+    /// Thread knob for the compute-view engine (default: sequential).
+    /// Extra threads are leased from the process-wide core budget, so
+    /// this composes with the server's worker pool.
+    pub parallelism: Parallelism,
 }
 
 /// A request: who wants which document.
@@ -146,12 +153,27 @@ pub struct SecurityProcessor {
     pub authorizations: AuthorizationBase,
     /// Pipeline options.
     pub options: ProcessorOptions,
+    /// Optional cross-request label-decision memo (shared via `Arc` so a
+    /// server can hand the same cache to every per-request processor).
+    pub decisions: Option<Arc<DecisionCache>>,
 }
 
 impl SecurityProcessor {
     /// Creates a processor with the paper's default policy.
     pub fn new(directory: Directory, authorizations: AuthorizationBase) -> Self {
-        SecurityProcessor { directory, authorizations, options: ProcessorOptions::default() }
+        SecurityProcessor {
+            directory,
+            authorizations,
+            options: ProcessorOptions::default(),
+            decisions: None,
+        }
+    }
+
+    /// Attaches a shared label-decision cache (see
+    /// [`crate::decision::DecisionCache`]).
+    pub fn with_decision_cache(mut self, cache: Arc<DecisionCache>) -> Self {
+        self.decisions = Some(cache);
+        self
     }
 
     /// Runs the four-step execution cycle for one request against one
@@ -220,14 +242,13 @@ impl SecurityProcessor {
 
         // Step 2–3: labeling and pruning (stage spans open inside
         // compute_view, where the two halves are distinguishable).
-        let (view, stats) = compute_view_limited(
-            &doc,
-            &axml,
-            &adtd,
-            &self.directory,
-            self.options.policy,
-            &self.options.limits.xpath,
-        )?;
+        let engine = EngineOptions {
+            limits: self.options.limits.xpath,
+            parallelism: self.options.parallelism,
+            decisions: self.decisions.as_deref(),
+        };
+        let (view, stats) =
+            compute_view_engine(&doc, &axml, &adtd, &self.directory, self.options.policy, &engine)?;
 
         // Loosening, so the view stays valid without revealing what was
         // hidden.
@@ -405,6 +426,22 @@ mod tests {
         // Defaults are generous enough for the same request.
         p.options.limits = ResourceLimits::default();
         assert!(p.process(&request("Tom"), &source()).is_ok());
+    }
+
+    #[test]
+    fn parallel_options_and_decision_cache_match_sequential() {
+        let seq = processor().process(&request("Tom"), &source()).unwrap();
+        let mut p = processor();
+        p.options.parallelism = Parallelism::threads(4).with_seq_threshold(0).exact();
+        let p = p.with_decision_cache(Arc::new(DecisionCache::new()));
+        let out = p.process(&request("Tom"), &source()).unwrap();
+        assert_eq!(out.xml, seq.xml);
+        assert_eq!(out.stats, seq.stats);
+        let cache = p.decisions.as_ref().unwrap();
+        assert!(!cache.is_empty(), "processing must memoize label decisions");
+        // A second request is answered with the memo warm; same bytes.
+        let again = p.process(&request("Tom"), &source()).unwrap();
+        assert_eq!(again.xml, seq.xml);
     }
 
     #[test]

@@ -28,14 +28,39 @@
 //! strong counterparts: the paper notes weak/strong is meaningless at the
 //! schema level ("both Local Weak and Recursive Weak for the DTD is
 //! missing").
+//!
+//! ## The engine
+//!
+//! [`compute_view_engine`] / [`label_document_engine`] add two
+//! orthogonal accelerations on top of the plain algorithm, both
+//! semantics-preserving (the differential suite pins them against
+//! [`crate::naive::compute_view_naive`] and the sequential path):
+//!
+//! - **Parallelism** ([`Parallelism`]): authorization-object path
+//!   evaluations fan out across threads, and — because propagation into a
+//!   child depends only on the parent's label — subtree labeling below a
+//!   sequentially-labeled frontier fans out too. The node-visit budget
+//!   becomes one *request-wide* [`SharedBudget`] drawn atomically and
+//!   exactly by every evaluation on any thread, so whether the budget
+//!   trips depends only on the request's total work, never on thread
+//!   scheduling.
+//! - **Decision memoization** ([`DecisionCache`]): two nodes selected by
+//!   the same subset of applicable authorizations get the same initial
+//!   label, so the engine keys the resolved label by match-bitmask (when
+//!   the applicable sets fit 128 bits) in a per-worker memo, backed by an
+//!   optional cross-request cache keyed additionally by
+//!   [`crate::decision::policy_fingerprint`].
 
+use crate::decision::{policy_fingerprint, record_traffic, DecisionCache, DecisionKey};
 use crate::label::{first_def, Label, Sign3};
+use crate::par::{self, Parallelism};
+use std::collections::HashMap;
 use xmlsec_authz::{
     policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig,
 };
 use xmlsec_subjects::Directory;
 use xmlsec_xml::{Document, NodeData, NodeId};
-use xmlsec_xpath::{eval_path_limited, EvalError, EvalLimits};
+use xmlsec_xpath::{eval_path_shared, EvalError, EvalLimits, SharedBudget};
 
 /// Counters the processor reports alongside a computed view.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +97,28 @@ impl Labeling {
     }
 }
 
+/// How the engine evaluates: path-evaluation limits, thread knob, and
+/// the optional cross-request decision memo.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions<'a> {
+    /// Path-evaluation caps. `max_node_visits` is a **request-wide
+    /// pool**: one [`SharedBudget`] shared by every authorization-object
+    /// evaluation of the run, on any thread.
+    pub limits: EvalLimits,
+    /// Thread knob (default: sequential).
+    pub parallelism: Parallelism,
+    /// Cross-request decision memo, normally owned by the server.
+    pub decisions: Option<&'a DecisionCache>,
+}
+
+impl EngineOptions<'static> {
+    /// Sequential evaluation with `limits`, no cross-request memo —
+    /// the behavior of the plain `*_limited` entry points.
+    pub fn sequential(limits: EvalLimits) -> EngineOptions<'static> {
+        EngineOptions { limits, parallelism: Parallelism::sequential(), decisions: None }
+    }
+}
+
 /// One matching authorization, pre-evaluated: which nodes its object
 /// selects, and which type class it contributes to.
 struct MatchedAuth<'a> {
@@ -93,28 +140,32 @@ fn evaluate_auths<'a>(
     doc: &Document,
     auths: &[&'a Authorization],
     limits: &EvalLimits,
+    pool: &SharedBudget,
+    threads: usize,
 ) -> Result<Vec<MatchedAuth<'a>>, EvalError> {
     let words = doc.arena_len().div_ceil(64);
-    auths
-        .iter()
-        .map(|a| {
-            let mut selected = vec![0u64; words];
-            match &a.object.path {
-                Some(p) => {
-                    for n in eval_path_limited(doc, doc.root(), p, limits)? {
-                        selected[n.index() / 64] |= 1 << (n.index() % 64);
-                    }
-                }
-                None => {
-                    // A whole-document object is an authorization on the
-                    // document element.
-                    let r = doc.root().index();
-                    selected[r / 64] |= 1 << (r % 64);
+    let eval_one = |a: &&'a Authorization| -> Result<MatchedAuth<'a>, EvalError> {
+        let mut selected = vec![0u64; words];
+        match &a.object.path {
+            Some(p) => {
+                for n in eval_path_shared(doc, doc.root(), p, limits, pool)? {
+                    selected[n.index() / 64] |= 1 << (n.index() % 64);
                 }
             }
-            Ok(MatchedAuth { auth: a, selected })
-        })
-        .collect()
+            None => {
+                // A whole-document object is an authorization on the
+                // document element.
+                let r = doc.root().index();
+                selected[r / 64] |= 1 << (r % 64);
+            }
+        }
+        Ok(MatchedAuth { auth: a, selected })
+    };
+    if threads > 1 && auths.len() > 1 {
+        par::run_tasks(threads, auths.to_vec(), eval_one).into_iter().collect()
+    } else {
+        auths.iter().map(eval_one).collect()
+    }
 }
 
 /// The four instance type classes, in the tuple's order.
@@ -137,7 +188,8 @@ pub fn label_document(
 
 /// Like [`label_document`], but bounds the path evaluations of the
 /// authorization objects: a pathological object expression yields a typed
-/// [`EvalError`] instead of pinning the server.
+/// [`EvalError`] instead of pinning the server. The node-visit budget is
+/// one request-wide pool shared by all object evaluations.
 pub fn label_document_limited(
     doc: &Document,
     axml: &[&Authorization],
@@ -146,36 +198,129 @@ pub fn label_document_limited(
     policy: PolicyConfig,
     limits: &EvalLimits,
 ) -> Result<Labeling, EvalError> {
+    label_document_engine(doc, axml, adtd, dir, policy, &EngineOptions::sequential(*limits))
+}
+
+/// A per-run (per-worker, under parallel labeling) memo of resolved
+/// initial labels, keyed by `(is_attribute, match mask)`. Hit/miss
+/// counts are aggregated here and flushed to telemetry once per run.
+#[derive(Default)]
+struct Memo {
+    local: HashMap<(bool, u128), Label>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The full engine entry point for labeling. `label_document_limited`
+/// is this with [`EngineOptions::sequential`].
+pub fn label_document_engine(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    opts: &EngineOptions<'_>,
+) -> Result<Labeling, EvalError> {
+    // Resolve the thread count once: a lease from the global core budget
+    // (held for the whole run), skipped entirely for sequential knobs and
+    // small documents. An `oversubscribe` knob runs exactly the asked-for
+    // worker count — the lease is still taken so the gauge stays honest.
+    let mut _lease = None;
+    let threads =
+        if !opts.parallelism.is_sequential() && doc.arena_len() >= opts.parallelism.seq_threshold {
+            let want = opts.parallelism.want_threads();
+            let lease = par::lease(want);
+            let t = if opts.parallelism.oversubscribe { want.max(1) } else { lease.threads() };
+            _lease = Some(lease);
+            t
+        } else {
+            1
+        };
+
+    let pool = SharedBudget::new(opts.limits.max_node_visits);
+    let xml_matched = evaluate_auths(doc, axml, &opts.limits, &pool, threads)?;
+    let dtd_matched = evaluate_auths(doc, adtd, &opts.limits, &pool, threads)?;
+
+    let fingerprint =
+        if opts.decisions.is_some() { policy_fingerprint(axml, adtd, dir, policy) } else { 0 };
+    let ctx = LabelCtx {
+        doc,
+        xml: &xml_matched,
+        dtd: &dtd_matched,
+        dir,
+        policy,
+        fingerprint,
+        decisions: opts.decisions,
+    };
+
+    let mut labels = vec![Label::default(); doc.arena_len()];
+    let mut memo = Memo::default();
+
+    // Root: initial label, final sign straight from its own components.
+    let root = doc.root();
+    let mut root_label = ctx.initial_label(root, false, &mut memo);
+    root_label.final_sign = root_label.collapse();
+    labels[root.index()] = root_label;
+    for &a in doc.attributes(root) {
+        labels[a.index()] = ctx.label_attribute(a, &root_label, &mut memo);
+    }
+
+    // Frontier: unlabeled elements whose parent's label is known.
+    let mut frontier: Vec<(NodeId, Label)> =
+        doc.child_elements(root).map(|c| (c, root_label)).collect();
+
+    if threads > 1 {
+        // Widen the frontier sequentially until there is enough fan-out
+        // to keep every worker busy (each step descends one level).
+        let target = threads * 4;
+        while !frontier.is_empty() && frontier.len() < target {
+            let mut next = Vec::new();
+            for (n, parent) in frontier.drain(..) {
+                let lab = ctx.label_element(n, &parent, &mut memo);
+                labels[n.index()] = lab;
+                for &a in doc.attributes(n) {
+                    labels[a.index()] = ctx.label_attribute(a, &lab, &mut memo);
+                }
+                next.extend(doc.child_elements(n).map(|c| (c, lab)));
+            }
+            frontier = next;
+        }
+    }
+
+    if threads > 1 && frontier.len() > 1 {
+        // Fan the remaining subtrees out; each worker returns its slot
+        // writes, merged here — no shared mutable label state.
+        let results = par::run_tasks(threads, frontier, |&(n, parent)| {
+            let mut memo = Memo::default();
+            let mut out: Vec<(usize, Label)> = Vec::new();
+            label_subtree(&ctx, n, parent, &mut memo, &mut |i, lab| out.push((i, lab)));
+            (out, memo.hits, memo.misses)
+        });
+        for (out, h, m) in results {
+            memo.hits += h;
+            memo.misses += m;
+            for (i, lab) in out {
+                labels[i] = lab;
+            }
+        }
+    } else {
+        for (n, parent) in frontier {
+            let slots = &mut labels;
+            let mut emit = |i: usize, lab: Label| slots[i] = lab;
+            label_subtree(&ctx, n, parent, &mut memo, &mut emit);
+        }
+    }
+    record_traffic(memo.hits, memo.misses);
+
+    // Statistics.
     let mut labeling = Labeling {
-        labels: vec![Label::default(); doc.arena_len()],
+        labels,
         stats: ViewStats {
             instance_auths: axml.len(),
             schema_auths: adtd.len(),
             ..Default::default()
         },
     };
-    let xml_matched = evaluate_auths(doc, axml, limits)?;
-    let dtd_matched = evaluate_auths(doc, adtd, limits)?;
-
-    let ctx = LabelCtx { doc, xml: &xml_matched, dtd: &dtd_matched, dir, policy };
-
-    // Root: initial label, final sign straight from its own components.
-    let root = doc.root();
-    let mut root_label = ctx.initial_label(root, false);
-    root_label.final_sign = root_label.collapse();
-    labeling.labels[root.index()] = root_label;
-
-    // Attributes of the root, then recursive descent.
-    for &a in doc.attributes(root) {
-        let lab = ctx.label_attribute(a, &labeling.labels[root.index()]);
-        labeling.labels[a.index()] = lab;
-    }
-    let children: Vec<NodeId> = doc.child_elements(root).collect();
-    for c in children {
-        label_rec(&ctx, c, root, &mut labeling.labels);
-    }
-
-    // Statistics.
     let mut labeled = 0usize;
     let mut granted = 0usize;
     for n in doc.preorder(doc.root()) {
@@ -195,23 +340,95 @@ struct LabelCtx<'a> {
     dtd: &'a [MatchedAuth<'a>],
     dir: &'a Directory,
     policy: PolicyConfig,
+    /// [`policy_fingerprint`] when a cross-request cache is attached.
+    fingerprint: u64,
+    decisions: Option<&'a DecisionCache>,
 }
 
 impl LabelCtx<'_> {
+    /// Decision memoization applies only while the combined applicable
+    /// sets fit the 128-bit match mask.
+    fn maskable(&self) -> bool {
+        self.xml.len() + self.dtd.len() <= 128
+    }
+
+    /// Bit `i` ⇔ the `i`-th applicable authorization selects `n`
+    /// (instance auths low, schema auths above them).
+    fn mask_of(&self, n: NodeId) -> u128 {
+        let mut mask = 0u128;
+        for (i, m) in self.xml.iter().enumerate() {
+            if m.contains(n) {
+                mask |= 1 << i;
+            }
+        }
+        let off = self.xml.len();
+        for (i, m) in self.dtd.iter().enumerate() {
+            if m.contains(n) {
+                mask |= 1 << (off + i);
+            }
+        }
+        mask
+    }
+
     /// The paper's `initial_label(n)`: per-class sign from the matching
-    /// authorizations, with most-specific-subject filtering (steps 1–2).
+    /// authorizations, with most-specific-subject filtering (steps 1–2),
+    /// memoized through `memo` (and the cross-request cache) by match
+    /// mask.
     ///
     /// For attribute nodes, recursive-type authorizations selecting the
     /// attribute fold into the corresponding local class (`R → L`,
     /// `RW → LW`): recursion is meaningless on a leaf.
-    fn initial_label(&self, n: NodeId, is_attribute: bool) -> Label {
+    fn initial_label(&self, n: NodeId, is_attribute: bool, memo: &mut Memo) -> Label {
+        if !self.maskable() {
+            return self.resolve_with(
+                is_attribute,
+                |i| self.xml[i].contains(n),
+                |i| self.dtd[i].contains(n),
+            );
+        }
+        let mask = self.mask_of(n);
+        if let Some(lab) = memo.local.get(&(is_attribute, mask)) {
+            memo.hits += 1;
+            return *lab;
+        }
+        let key = DecisionKey { fingerprint: self.fingerprint, is_attribute, mask };
+        if let Some(shared) = self.decisions {
+            if let Some(lab) = shared.get(&key) {
+                memo.hits += 1;
+                memo.local.insert((is_attribute, mask), lab);
+                return lab;
+            }
+        }
+        memo.misses += 1;
+        let off = self.xml.len();
+        let lab = self.resolve_with(
+            is_attribute,
+            |i| (mask >> i) & 1 == 1,
+            |i| (mask >> (off + i)) & 1 == 1,
+        );
+        memo.local.insert((is_attribute, mask), lab);
+        if let Some(shared) = self.decisions {
+            shared.put(key, lab);
+        }
+        lab
+    }
+
+    /// One shared resolution body for both the direct and the mask-keyed
+    /// paths (so they cannot diverge): `xml_sel`/`dtd_sel` say which
+    /// applicable authorizations select the node.
+    fn resolve_with(
+        &self,
+        is_attribute: bool,
+        xml_sel: impl Fn(usize) -> bool,
+        dtd_sel: impl Fn(usize) -> bool,
+    ) -> Label {
         let mut lab = Label::default();
         let mut bucket: Vec<&Authorization> = Vec::new();
 
         for class in INSTANCE_CLASSES {
             bucket.clear();
-            for m in self.xml {
-                if !m.contains(n) {
+            for (i, m) in self.xml.iter().enumerate() {
+                if !xml_sel(i) {
                     continue;
                 }
                 let ty = m.auth.ty;
@@ -241,8 +458,8 @@ impl LabelCtx<'_> {
         // local for attributes.
         for local in [true, false] {
             bucket.clear();
-            for m in self.dtd {
-                if !m.contains(n) {
+            for (i, m) in self.dtd.iter().enumerate() {
+                if !dtd_sel(i) {
                     continue;
                 }
                 let recursive = m.auth.ty.is_recursive() && !is_attribute;
@@ -262,8 +479,8 @@ impl LabelCtx<'_> {
 
     /// Labels an attribute from its own initial label and the parent
     /// element's component signs.
-    fn label_attribute(&self, a: NodeId, parent: &Label) -> Label {
-        let mut lab = self.initial_label(a, true);
+    fn label_attribute(&self, a: NodeId, parent: &Label, memo: &mut Memo) -> Label {
+        let mut lab = self.initial_label(a, true, memo);
         // Structural nulls for leaves.
         lab.r = Sign3::Eps;
         lab.rw = Sign3::Eps;
@@ -276,8 +493,8 @@ impl LabelCtx<'_> {
     }
 
     /// Propagation step for an element with parent label `parent`.
-    fn label_element(&self, n: NodeId, parent: &Label) -> Label {
-        let mut lab = self.initial_label(n, false);
+    fn label_element(&self, n: NodeId, parent: &Label, memo: &mut Memo) -> Label {
+        let mut lab = self.initial_label(n, false, memo);
         // Most specific overrides: an instance recursive authorization on
         // the node (strong or weak) stops the parent's instance
         // propagation entirely; otherwise both propagate.
@@ -291,16 +508,24 @@ impl LabelCtx<'_> {
     }
 }
 
-fn label_rec(ctx: &LabelCtx<'_>, n: NodeId, parent: NodeId, labels: &mut Vec<Label>) {
-    let parent_label = labels[parent.index()];
-    let lab = ctx.label_element(n, &parent_label);
-    labels[n.index()] = lab;
+/// Labels the subtree rooted at `n` given its parent's (already decided)
+/// label, emitting `(arena slot, label)` pairs — directly into the label
+/// vector on the sequential path, into a per-worker buffer under
+/// parallel fan-out.
+fn label_subtree(
+    ctx: &LabelCtx<'_>,
+    n: NodeId,
+    parent: Label,
+    memo: &mut Memo,
+    emit: &mut impl FnMut(usize, Label),
+) {
+    let lab = ctx.label_element(n, &parent, memo);
+    emit(n.index(), lab);
     for &a in ctx.doc.attributes(n) {
-        labels[a.index()] = ctx.label_attribute(a, &lab);
+        emit(a.index(), ctx.label_attribute(a, &lab, memo));
     }
-    let children: Vec<NodeId> = ctx.doc.child_elements(n).collect();
-    for c in children {
-        label_rec(ctx, c, n, labels);
+    for c in ctx.doc.child_elements(n) {
+        label_subtree(ctx, c, lab, memo, emit);
     }
 }
 
@@ -389,9 +614,24 @@ pub fn compute_view_limited(
     policy: PolicyConfig,
     limits: &EvalLimits,
 ) -> Result<(Document, ViewStats), EvalError> {
+    compute_view_engine(doc, axml, adtd, dir, policy, &EngineOptions::sequential(*limits))
+}
+
+/// The full engine entry point: [`label_document_engine`] on `doc`, then
+/// pruning on a copy. Sequential callers get exactly the historical
+/// [`compute_view_limited`] behavior; parallel callers get the same
+/// bytes (differential-tested) faster.
+pub fn compute_view_engine(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    opts: &EngineOptions<'_>,
+) -> Result<(Document, ViewStats), EvalError> {
     let labeling = {
         let _s = crate::stages::label();
-        label_document_limited(doc, axml, adtd, dir, policy, limits)?
+        label_document_engine(doc, axml, adtd, dir, policy, opts)?
     };
     let _s = crate::stages::prune();
     let mut view = doc.clone();
@@ -674,5 +914,117 @@ mod tests {
         ];
         let v = view_str("<a><b>t</b>sibling</a>", &axml, &[]);
         assert_eq!(v, "<a>sibling</a>");
+    }
+
+    // ---- engine: parallelism + decision cache ----
+
+    /// A repetitive multi-level document big enough to exercise frontier
+    /// expansion and fan-out.
+    fn wide_doc_text() -> String {
+        let mut s = String::from("<lab>");
+        for i in 0..40 {
+            s.push_str(&format!(
+                r#"<project id="{i}" kind="{}">"#,
+                if i % 3 == 0 { "open" } else { "internal" }
+            ));
+            for j in 0..6 {
+                s.push_str(&format!(
+                    r#"<paper n="{j}"><title>t{i}-{j}</title><body>text</body></paper>"#
+                ));
+            }
+            s.push_str("</project>");
+        }
+        s.push_str("</lab>");
+        s
+    }
+
+    fn engine_auths() -> Vec<Authorization> {
+        vec![
+            auth("d.xml:/lab", Sign::Plus, AuthType::Recursive),
+            auth(r#"d.xml://project[./@kind="internal"]"#, Sign::Minus, AuthType::Recursive),
+            auth(
+                r#"d.xml://project[./@kind="internal"]/paper[./@n="1"]"#,
+                Sign::Plus,
+                AuthType::Local,
+            ),
+            auth("d.xml://body", Sign::Minus, AuthType::LocalWeak),
+        ]
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_bytes_and_stats() {
+        let doc = parse(&wide_doc_text()).unwrap();
+        let auths = engine_auths();
+        let ax: Vec<&Authorization> = auths.iter().collect();
+        let policy = PolicyConfig::paper_default();
+        let d = dir();
+        let seq = EngineOptions::sequential(EvalLimits::default_limits());
+        let (view_seq, stats_seq) = compute_view_engine(&doc, &ax, &[], &d, policy, &seq).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par_opts = EngineOptions {
+                limits: EvalLimits::default_limits(),
+                parallelism: Parallelism::threads(threads).with_seq_threshold(0).exact(),
+                decisions: None,
+            };
+            let (view_par, stats_par) =
+                compute_view_engine(&doc, &ax, &[], &d, policy, &par_opts).unwrap();
+            assert_eq!(
+                serialize(&view_par, &SerializeOptions::canonical()),
+                serialize(&view_seq, &SerializeOptions::canonical()),
+                "parallel view must be byte-identical ({threads} threads)"
+            );
+            assert_eq!(stats_par, stats_seq);
+        }
+    }
+
+    #[test]
+    fn decision_cache_is_populated_and_preserves_output() {
+        let doc = parse(&wide_doc_text()).unwrap();
+        let auths = engine_auths();
+        let ax: Vec<&Authorization> = auths.iter().collect();
+        let policy = PolicyConfig::paper_default();
+        let d = dir();
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (view_plain, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &plain).unwrap();
+
+        let cache = DecisionCache::new();
+        let cached = EngineOptions { decisions: Some(&cache), ..plain };
+        let (v1, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &cached).unwrap();
+        assert!(!cache.is_empty(), "engine must memoize decisions");
+        let warm = cache.len();
+        let (v2, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &cached).unwrap();
+        assert_eq!(cache.len(), warm, "second run adds no new decisions");
+        let want = serialize(&view_plain, &SerializeOptions::canonical());
+        assert_eq!(serialize(&v1, &SerializeOptions::canonical()), want);
+        assert_eq!(serialize(&v2, &SerializeOptions::canonical()), want);
+    }
+
+    #[test]
+    fn node_budget_pools_across_authorization_objects() {
+        let doc = parse(&wide_doc_text()).unwrap();
+        let one = [auth("d.xml://paper", Sign::Plus, AuthType::Recursive)];
+        let two = [
+            auth("d.xml://paper", Sign::Plus, AuthType::Recursive),
+            auth("d.xml://paper", Sign::Minus, AuthType::Local),
+        ];
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let run = |auths: &[Authorization], budget: u64| {
+            let ax: Vec<&Authorization> = auths.iter().collect();
+            let limits = EvalLimits { max_node_visits: budget, ..EvalLimits::default_limits() };
+            label_document_limited(&doc, &ax, &[], &d, policy, &limits).map(|_| ())
+        };
+        // Smallest budget that covers one object evaluation...
+        let mut cost = None;
+        for k in 1..100_000u64 {
+            if run(&one, k).is_ok() {
+                cost = Some(k);
+                break;
+            }
+        }
+        let cost = cost.expect("some budget covers a single evaluation");
+        // ...does not cover two: the pool is request-wide, not per-object.
+        assert_eq!(run(&two, cost), Err(EvalError::NodeBudget { limit: cost }));
+        assert!(run(&two, 2 * cost).is_ok());
     }
 }

@@ -17,6 +17,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
+use xmlsec_authz::Authorization;
 use xmlsec_telemetry as telemetry;
 
 /// Key ingredients for one cached view.
@@ -24,18 +25,30 @@ use xmlsec_telemetry as telemetry;
 pub struct ViewKey {
     /// Document URI.
     pub uri: String,
-    /// Fingerprint of the applicable instance + schema authorization
-    /// sets (indices into the per-URI lists) and the policy.
+    /// Content fingerprint of the applicable instance + schema
+    /// authorization sets and the policy (see [`fingerprint`]).
     pub fingerprint: u64,
 }
 
-/// Builds the fingerprint from applicable authorization indices.
-pub fn fingerprint(instance_idx: &[usize], schema_idx: &[usize], policy_tag: u8) -> u64 {
+/// Builds the fingerprint from the applicable authorizations'
+/// **content** (sorted, so list order is irrelevant) and the policy tag.
+///
+/// Hashing content rather than indices into the per-URI lists means an
+/// in-place mutation of an authorization — its sign, type, subject, or
+/// object — necessarily changes the fingerprint: a stale view can never
+/// be served after a policy edit, even one that bypasses the
+/// grant/revoke invalidation hooks.
+pub fn fingerprint(instance: &[&Authorization], schema: &[&Authorization], policy_tag: u8) -> u64 {
+    fn feed(h: &mut DefaultHasher, set: &[&Authorization]) {
+        let mut rendered: Vec<String> = set.iter().map(|a| a.to_string()).collect();
+        rendered.sort();
+        rendered.hash(h);
+    }
     let mut h = DefaultHasher::new();
     policy_tag.hash(&mut h);
-    instance_idx.hash(&mut h);
+    feed(&mut h, instance);
     0xffff_usize.hash(&mut h); // separator
-    schema_idx.hash(&mut h);
+    feed(&mut h, schema);
     h.finish()
 }
 
@@ -217,13 +230,43 @@ mod tests {
         assert_eq!(c.len(), 1);
     }
 
+    fn auth(spec: &str, sign: xmlsec_authz::Sign) -> Authorization {
+        Authorization::new(
+            xmlsec_subjects::Subject::new("u", "*", "*").unwrap(),
+            xmlsec_authz::ObjectSpec::parse(spec).unwrap(),
+            sign,
+            xmlsec_authz::AuthType::Recursive,
+        )
+    }
+
     #[test]
     fn fingerprint_sensitivity() {
-        let base = fingerprint(&[0, 2], &[1], 0);
-        assert_eq!(base, fingerprint(&[0, 2], &[1], 0));
-        assert_ne!(base, fingerprint(&[0, 1], &[2], 0)); // split matters
-        assert_ne!(base, fingerprint(&[0, 2], &[1], 1)); // policy matters
-        assert_ne!(base, fingerprint(&[2, 0], &[1], 0)); // order = identity here
+        use xmlsec_authz::Sign;
+        let a = auth("d.xml:/a", Sign::Plus);
+        let b = auth("d.xml:/a/b", Sign::Minus);
+        let c = auth("d.xml:/a/c", Sign::Plus);
+        let base = fingerprint(&[&a, &c], &[&b], 0);
+        assert_eq!(base, fingerprint(&[&a, &c], &[&b], 0));
+        assert_eq!(base, fingerprint(&[&c, &a], &[&b], 0), "set order is not identity");
+        assert_ne!(base, fingerprint(&[&a, &b], &[&c], 0)); // split matters
+        assert_ne!(base, fingerprint(&[&a, &c], &[&b], 1)); // policy matters
+        assert_ne!(base, fingerprint(&[&a], &[&b], 0)); // membership matters
+    }
+
+    #[test]
+    fn mutating_one_authorization_changes_the_fingerprint() {
+        use xmlsec_authz::Sign;
+        let a = auth("d.xml:/a", Sign::Plus);
+        let b = auth("d.xml:/a/b", Sign::Minus);
+        let before = fingerprint(&[&a, &b], &[], 0);
+        // Flip the sign of one authorization in place — the content hash
+        // must move, so any cached view keyed on `before` misses.
+        let mut b2 = b.clone();
+        b2.sign = Sign::Plus;
+        assert_ne!(before, fingerprint(&[&a, &b2], &[], 0));
+        // And so must a changed object path.
+        let b3 = auth("d.xml:/a/b2", Sign::Minus);
+        assert_ne!(before, fingerprint(&[&a, &b3], &[], 0));
     }
 
     #[test]

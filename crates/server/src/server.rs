@@ -13,7 +13,9 @@ use xmlsec_authz::{
     Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig,
 };
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
-use xmlsec_core::{AccessRequest, DocumentSource, ResourceLimits, SecurityProcessor};
+use xmlsec_core::{
+    AccessRequest, DecisionCache, DocumentSource, Parallelism, ResourceLimits, SecurityProcessor,
+};
 use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
 
@@ -152,7 +154,12 @@ pub struct SecureServer {
     credentials: HashMap<String, String>,
     policy: PolicyConfig,
     limits: ResourceLimits,
+    parallelism: Parallelism,
     cache: Option<ViewCache>,
+    /// Cross-request label-decision memo, shared with every per-request
+    /// processor. Fingerprinted keys make stale hits impossible; grant
+    /// and revoke clear it anyway to reclaim the space.
+    decisions: Arc<DecisionCache>,
     /// The audit log (public so operators can inspect it).
     pub audit: AuditLog,
 }
@@ -168,7 +175,9 @@ impl SecureServer {
             credentials: HashMap::new(),
             policy: PolicyConfig::paper_default(),
             limits: ResourceLimits::default(),
+            parallelism: Parallelism::sequential(),
             cache: Some(ViewCache::new()),
+            decisions: Arc::new(DecisionCache::new()),
             audit: AuditLog::new(),
         }
     }
@@ -196,6 +205,25 @@ impl SecureServer {
     /// The server's configured resource limits.
     pub fn limits(&self) -> ResourceLimits {
         self.limits
+    }
+
+    /// Sets the per-request compute-view parallelism. Extra threads are
+    /// leased from the process-wide core budget, so concurrent requests
+    /// on the HTTP worker pool degrade gracefully to sequential instead
+    /// of oversubscribing the machine.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured compute-view parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The shared label-decision cache (for stats and tests).
+    pub fn decision_cache(&self) -> &DecisionCache {
+        &self.decisions
     }
 
     /// Registers a user with a shared secret (the paper assumes local
@@ -227,6 +255,7 @@ impl SecureServer {
             // full clear keeps the cache correct.
             c.clear();
         }
+        self.decisions.clear();
         self.authorizations.add(auth);
     }
 
@@ -238,6 +267,7 @@ impl SecureServer {
             if let Some(c) = &self.cache {
                 c.clear();
             }
+            self.decisions.clear();
         }
         removed
     }
@@ -308,16 +338,17 @@ impl SecureServer {
             return Err(ServerError::NotFound(req.uri.clone()));
         };
 
-        // Applicable authorization indices, for the cache fingerprint.
-        let instance_idx = self.applicable_indices(&req.uri, &requester);
-        let schema_idx = stored
+        // Applicable authorizations, for the content-based cache
+        // fingerprint.
+        let instance = self.applicable_auths(&req.uri, &requester);
+        let schema = stored
             .dtd_uri
             .as_deref()
-            .map(|u| self.applicable_indices(u, &requester))
+            .map(|u| self.applicable_auths(u, &requester))
             .unwrap_or_default();
         let key = ViewKey {
             uri: req.uri.clone(),
-            fingerprint: fingerprint(&instance_idx, &schema_idx, policy_tag(self.policy)),
+            fingerprint: fingerprint(&instance, &schema, policy_tag(self.policy)),
         };
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&key) {
@@ -341,8 +372,10 @@ impl SecureServer {
             options: xmlsec_core::ProcessorOptions {
                 policy: self.policy,
                 limits: self.limits,
+                parallelism: self.parallelism,
                 ..Default::default()
             },
+            decisions: Some(Arc::clone(&self.decisions)),
         };
         let source = DocumentSource {
             xml: &stored.xml,
@@ -482,13 +515,11 @@ impl SecureServer {
         Ok(touched)
     }
 
-    fn applicable_indices(&self, uri: &str, requester: &Requester) -> Vec<usize> {
+    fn applicable_auths(&self, uri: &str, requester: &Requester) -> Vec<&Authorization> {
         self.authorizations
             .for_uri(uri)
             .iter()
-            .enumerate()
-            .filter(|(_, a)| requester.is_covered_by(&a.subject, &self.directory))
-            .map(|(i, _)| i)
+            .filter(|a| requester.is_covered_by(&a.subject, &self.directory))
             .collect()
     }
 }
@@ -672,9 +703,9 @@ mod tests {
         // different fingerprint.
         let s = server();
         let requester = |u: &str| Requester::new(u, "150.100.30.8", "tweety.lab.com").unwrap();
-        let tom_inst = s.applicable_indices("lab.xml", &requester("Tom"));
-        let anon_inst = s.applicable_indices("lab.xml", &requester("anonymous"));
-        let sam_inst = s.applicable_indices("lab.xml", &requester("Sam"));
+        let tom_inst = s.applicable_auths("lab.xml", &requester("Tom"));
+        let anon_inst = s.applicable_auths("lab.xml", &requester("anonymous"));
+        let sam_inst = s.applicable_auths("lab.xml", &requester("Sam"));
         assert_eq!(
             fingerprint(&tom_inst, &[], 0),
             fingerprint(&anon_inst, &[], 0),
@@ -685,6 +716,38 @@ mod tests {
             fingerprint(&sam_inst, &[], 0),
             "Sam's Staff grant changes the applicable set"
         );
+    }
+
+    #[test]
+    fn parallel_server_serves_identical_bytes() {
+        let seq = server();
+        let par = server()
+            .with_parallelism(Parallelism::threads(4).with_seq_threshold(0).exact())
+            .without_cache();
+        let want = seq.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
+        let got = par.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
+        assert_eq!(got.xml, want.xml);
+        assert_eq!(got.loosened_dtd, want.loosened_dtd);
+        assert!(!par.decision_cache().is_empty(), "requests must warm the decision cache");
+    }
+
+    #[test]
+    fn grant_and_revoke_clear_the_decision_cache() {
+        let mut s = server();
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!s.decision_cache().is_empty());
+        let extra = Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.xml:/lab/internal").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        s.grant(extra.clone());
+        assert!(s.decision_cache().is_empty(), "grant must drop memoized decisions");
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!s.decision_cache().is_empty());
+        assert_eq!(s.revoke(&extra), 1);
+        assert!(s.decision_cache().is_empty(), "revoke must drop memoized decisions");
     }
 
     #[test]

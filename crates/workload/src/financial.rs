@@ -3,8 +3,11 @@
 //! serves one statement document per customer set; location patterns
 //! matter here: tellers may read balances only from branch hosts.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
 use xmlsec_subjects::{Directory, Subject};
+use xmlsec_xml::Document;
 
 /// URI of the statements DTD.
 pub const BANK_DTD_URI: &str = "statements.dtd";
@@ -90,6 +93,44 @@ pub fn bank_authorizations() -> Vec<Authorization> {
     ]
 }
 
+/// Generates a statements document with `accounts` accounts, valid
+/// against [`BANK_DTD`] and shaped like [`STATEMENTS_XML`]: each account
+/// carries an owner, a balance, and 1–5 transactions of which roughly a
+/// fifth are flagged (exercising the auditors' weak denial and the fraud
+/// desk's schema-level override). Same seed ⇒ same document. Used by the
+/// parallel-labeling benchmarks (B12).
+pub fn financial_scaled(accounts: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut doc = Document::new("statements");
+    let root = doc.root();
+    for i in 0..accounts {
+        let acct = doc.append_element(root, "account");
+        doc.set_attribute(acct, "number", &format!("{}", 1000 + i)).expect("attrs");
+        doc.set_attribute(acct, "kind", if rng.gen_bool(0.5) { "checking" } else { "savings" })
+            .expect("attrs");
+        let owner = doc.append_element(acct, "owner");
+        doc.append_text(owner, &format!("Customer {i}"));
+        let balance = doc.append_element(acct, "balance");
+        doc.set_attribute(balance, "currency", "EUR").expect("attrs");
+        doc.append_text(balance, &format!("{}.00", rng.gen_range(100..50_000)));
+        for t in 0..rng.gen_range(1..6usize) {
+            let tx = doc.append_element(acct, "transaction");
+            let flagged = rng.gen_bool(0.2);
+            doc.set_attribute(tx, "amount", &format!("-{}.00", rng.gen_range(10..10_000)))
+                .expect("attrs");
+            doc.set_attribute(tx, "flagged", if flagged { "yes" } else { "no" })
+                .expect("attrs");
+            let payee = doc.append_element(tx, "payee");
+            doc.append_text(payee, &format!("Payee {i}.{t}"));
+            if flagged {
+                let memo = doc.append_element(tx, "memo");
+                doc.append_text(memo, "Wire transfer under review");
+            }
+        }
+    }
+    doc
+}
+
 /// Authorization base for the bank scenario.
 pub fn bank_authorization_base() -> AuthorizationBase {
     let mut b = AuthorizationBase::new();
@@ -122,6 +163,17 @@ mod tests {
         let dtd = parse_dtd(BANK_DTD).unwrap();
         let doc = parse(STATEMENTS_XML).unwrap();
         assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn scaled_corpus_is_valid_and_deterministic() {
+        let dtd = parse_dtd(BANK_DTD).unwrap();
+        let doc = financial_scaled(40, 11);
+        assert_eq!(validate(&dtd, &doc), vec![]);
+        let a = serialize(&financial_scaled(30, 5), &SerializeOptions::canonical());
+        let b = serialize(&financial_scaled(30, 5), &SerializeOptions::canonical());
+        assert_eq!(a, b, "same seed must reproduce the same statements");
+        assert!(a.contains(r#"flagged="yes""#), "flagged transactions must appear");
     }
 
     #[test]

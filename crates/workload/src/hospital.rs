@@ -4,8 +4,11 @@
 //! readable by ward staff, psychiatric notes restricted, billing visible
 //! to administration only).
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
 use xmlsec_subjects::{Directory, Subject};
+use xmlsec_xml::Document;
 
 /// URI of the hospital DTD.
 pub const HOSPITAL_DTD_URI: &str = "hospital.dtd";
@@ -105,6 +108,52 @@ pub fn hospital_authorizations() -> Vec<Authorization> {
     ]
 }
 
+/// Generates a ward document with `patients` patients, valid against
+/// [`HOSPITAL_DTD`] and shaped like [`WARD_XML`]: each patient carries a
+/// name, 1–4 history entries (roughly a quarter psychiatric, so the
+/// content-dependent denial has real work to do), and — for admitted
+/// patients — a billing subtree. Node count grows linearly, ~14
+/// elements/attributes per patient; same seed ⇒ same document. Used by
+/// the parallel-labeling benchmarks (B12) so the fan-out runs over
+/// wide, policy-relevant trees rather than synthetic tag soup.
+pub fn hospital_scaled(patients: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut doc = Document::new("ward");
+    let root = doc.root();
+    doc.set_attribute(root, "id", "W3").expect("root accepts attributes");
+    for i in 0..patients {
+        let p = doc.append_element(root, "patient");
+        doc.set_attribute(p, "id", &format!("p{i}")).expect("attrs");
+        let admitted = rng.gen_bool(0.7);
+        doc.set_attribute(p, "status", if admitted { "admitted" } else { "discharged" })
+            .expect("attrs");
+        let name = doc.append_element(p, "name");
+        doc.append_text(name, &format!("Patient {i}"));
+        let history = doc.append_element(p, "history");
+        for e in 0..rng.gen_range(1..5usize) {
+            let entry = doc.append_element(history, "entry");
+            let kind = if rng.gen_bool(0.25) { "psychiatric" } else { "general" };
+            doc.set_attribute(entry, "kind", kind).expect("attrs");
+            doc.set_attribute(entry, "date", &format!("2000-02-{:02}", 1 + (i + e) % 28))
+                .expect("attrs");
+            let phys = doc.append_element(entry, "physician");
+            doc.append_text(phys, if kind == "psychiatric" { "Dr. Weiss" } else { "Dr. Hale" });
+            let note = doc.append_element(entry, "note");
+            doc.append_text(note, &format!("Entry {e} for patient {i}."));
+        }
+        if admitted {
+            let billing = doc.append_element(p, "billing");
+            for b in 0..rng.gen_range(1..4usize) {
+                let item = doc.append_element(billing, "item");
+                doc.set_attribute(item, "amount", &format!("{}", rng.gen_range(20..500)))
+                    .expect("attrs");
+                doc.append_text(item, if b == 0 { "Consultation" } else { "Treatment" });
+            }
+        }
+    }
+    doc
+}
+
 /// Authorization base for the hospital scenario.
 pub fn hospital_authorization_base() -> AuthorizationBase {
     let mut b = AuthorizationBase::new();
@@ -136,6 +185,17 @@ mod tests {
         let dtd = parse_dtd(HOSPITAL_DTD).unwrap();
         let doc = parse(WARD_XML).unwrap();
         assert_eq!(validate(&dtd, &doc), vec![]);
+    }
+
+    #[test]
+    fn scaled_corpus_is_valid_and_deterministic() {
+        let dtd = parse_dtd(HOSPITAL_DTD).unwrap();
+        let doc = hospital_scaled(40, 7);
+        assert_eq!(validate(&dtd, &doc), vec![]);
+        let a = serialize(&hospital_scaled(25, 3), &SerializeOptions::canonical());
+        let b = serialize(&hospital_scaled(25, 3), &SerializeOptions::canonical());
+        assert_eq!(a, b, "same seed must reproduce the same ward");
+        assert!(a.contains("psychiatric"), "the denial-relevant entries must appear");
     }
 
     #[test]

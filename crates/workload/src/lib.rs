@@ -26,3 +26,5 @@ pub mod laboratory;
 pub use authgen::{random_auths, random_directory, random_requester, AuthConfig};
 pub use docgen::{deep_chain, flat, laboratory_scaled, random_tree, TreeConfig};
 pub use dtdgen::{conforming_doc, random_dtd, DtdConfig, GEN_ROOT};
+pub use financial::financial_scaled;
+pub use hospital::hospital_scaled;

@@ -9,7 +9,7 @@
 //! semantics for first-node string conversion and stable output.
 
 use crate::ast::{ArithOp, Axis, Expr, Func, NodeTest, PathExpr, Step};
-use crate::limits::{EvalError, EvalLimits};
+use crate::limits::{EvalError, EvalLimits, SharedBudget};
 use crate::value::{compare, Value};
 use std::sync::{Arc, OnceLock};
 use xmlsec_telemetry as telemetry;
@@ -42,21 +42,31 @@ fn eval_metrics() -> &'static EvalMetrics {
 /// Work accounting for one top-level evaluation, threaded through every
 /// helper. `remaining` counts down toward the node-visit budget; `visits`
 /// counts up for the telemetry flush; `depth` tracks inner-path nesting.
-struct Budget {
+/// When `shared` is set, visits are drawn from that cross-evaluation pool
+/// instead of the local countdown (see [`SharedBudget`]).
+struct Budget<'p> {
     remaining: u64,
     visits: u64,
     depth: u32,
     limits: EvalLimits,
+    shared: Option<&'p SharedBudget>,
 }
 
-impl Budget {
-    fn new(limits: EvalLimits) -> Budget {
-        Budget { remaining: limits.max_node_visits, visits: 0, depth: 0, limits }
+impl<'p> Budget<'p> {
+    fn new(limits: EvalLimits) -> Budget<'static> {
+        Budget { remaining: limits.max_node_visits, visits: 0, depth: 0, limits, shared: None }
+    }
+
+    fn with_pool(limits: EvalLimits, pool: &'p SharedBudget) -> Budget<'p> {
+        Budget { remaining: 0, visits: 0, depth: 0, limits, shared: Some(pool) }
     }
 
     /// Records `n` nodes examined; errors once the budget is spent.
     fn charge(&mut self, n: u64) -> Result<(), EvalError> {
         self.visits = self.visits.saturating_add(n);
+        if let Some(pool) = self.shared {
+            return pool.take(n);
+        }
         if n > self.remaining {
             self.remaining = 0;
             return Err(EvalError::NodeBudget { limit: self.limits.max_node_visits });
@@ -128,6 +138,23 @@ pub fn eval_path_limited(
 ) -> Result<Vec<NodeId>, EvalError> {
     let start = if path.absolute { CtxNode::Root } else { CtxNode::Node(context) };
     let mut budget = Budget::new(*limits);
+    finish(eval_from(doc, start, path, &mut budget), &budget)
+}
+
+/// Like [`eval_path_limited`], but draws node visits from `pool` — a
+/// [`SharedBudget`] common to several evaluations (typically one per
+/// authorization object of a request, possibly running on different
+/// worker threads). `limits` still caps inner-path nesting; its
+/// `max_node_visits` is ignored in favor of the pool.
+pub fn eval_path_shared(
+    doc: &Document,
+    context: NodeId,
+    path: &PathExpr,
+    limits: &EvalLimits,
+    pool: &SharedBudget,
+) -> Result<Vec<NodeId>, EvalError> {
+    let start = if path.absolute { CtxNode::Root } else { CtxNode::Node(context) };
+    let mut budget = Budget::with_pool(*limits, pool);
     finish(eval_from(doc, start, path, &mut budget), &budget)
 }
 

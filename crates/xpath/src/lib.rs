@@ -37,10 +37,10 @@ pub mod value;
 
 pub use ast::{Axis, CmpOp, Expr, Func, NodeTest, PathExpr, Step};
 pub use eval::{
-    describe_node, eval_condition, eval_path, eval_path_limited, select, select_limited,
-    select_str, CtxNode,
+    describe_node, eval_condition, eval_path, eval_path_limited, eval_path_shared, select,
+    select_limited, select_str, CtxNode,
 };
 pub use lexer::{Result, XPathError};
-pub use limits::{EvalError, EvalLimits};
+pub use limits::{EvalError, EvalLimits, SharedBudget};
 pub use parser::{parse_expr, parse_path};
 pub use value::Value;

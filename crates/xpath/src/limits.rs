@@ -10,6 +10,7 @@
 //! [`EvalError`] — never a panic or runaway loop.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Caps applied to one top-level path evaluation (inner predicate paths
 /// share the same budget).
@@ -44,6 +45,47 @@ impl EvalLimits {
 impl Default for EvalLimits {
     fn default() -> EvalLimits {
         EvalLimits::default_limits()
+    }
+}
+
+/// A node-visit budget shared by several evaluations — possibly running
+/// on different threads.
+///
+/// [`EvalLimits::max_node_visits`] caps *one* evaluation; when a request
+/// evaluates many path expressions (one per authorization object) the
+/// engine wants a single request-wide pool instead, drawn down exactly
+/// (no chunked pre-allocation) so whether the budget trips depends only
+/// on the **total** work of the request, never on scheduling order. That
+/// makes a parallel evaluation trip on exactly the same inputs as a
+/// sequential one — the property the differential tests pin down.
+#[derive(Debug)]
+pub struct SharedBudget {
+    remaining: AtomicU64,
+    limit: u64,
+}
+
+impl SharedBudget {
+    /// A pool of `limit` node visits.
+    pub fn new(limit: u64) -> SharedBudget {
+        SharedBudget { remaining: AtomicU64::new(limit), limit }
+    }
+
+    /// Atomically takes `n` visits from the pool; errors once spent.
+    pub fn take(&self, n: u64) -> Result<(), EvalError> {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| cur.checked_sub(n))
+            .map(|_| ())
+            .map_err(|_| EvalError::NodeBudget { limit: self.limit })
+    }
+
+    /// The configured pool size.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Visits not yet spent.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
     }
 }
 
@@ -108,5 +150,16 @@ mod tests {
         assert!(d.max_node_visits >= 1_000_000);
         assert!(d.max_eval_depth >= 16);
         assert_eq!(EvalLimits::unlimited().max_node_visits, u64::MAX);
+    }
+
+    #[test]
+    fn shared_budget_draws_exactly() {
+        let pool = SharedBudget::new(10);
+        assert!(pool.take(4).is_ok());
+        assert!(pool.take(6).is_ok());
+        assert_eq!(pool.remaining(), 0);
+        let e = pool.take(1).unwrap_err();
+        assert_eq!(e, EvalError::NodeBudget { limit: 10 });
+        assert_eq!(pool.limit(), 10);
     }
 }

@@ -74,7 +74,9 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
             pool: [--workers N] [--backlog N] [--read-timeout-ms N] [--write-timeout-ms N]
             limits: [--max-input-bytes N] [--max-depth N] [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
+            parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
   stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
+            parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
   explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
   analyze:  --dtd F --xacl F [--root NAME]
   lint:     --xacl F [--dir F]";
@@ -185,6 +187,7 @@ fn cmd_view(o: &Opts) -> Result<(), String> {
         directory: dir,
         authorizations: base,
         options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
+        decisions: None,
     };
     let requester =
         Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
@@ -274,6 +277,21 @@ fn parse_num<T: std::str::FromStr>(o: &Opts, name: &str) -> Result<Option<T>, St
     }
 }
 
+/// Builds the labeling parallelism knob from `--par-threads` /
+/// `--par-threshold`. `--par-threads 0` sizes the pool from the machine;
+/// the default (flag absent) stays sequential.
+fn parallelism_config(o: &Opts) -> Result<xmlsec::core::Parallelism, String> {
+    let mut par = match parse_num::<usize>(o, "par-threads")? {
+        None => xmlsec::core::Parallelism::sequential(),
+        Some(0) => xmlsec::core::Parallelism::auto(),
+        Some(n) => xmlsec::core::Parallelism::threads(n),
+    };
+    if let Some(t) = parse_num(o, "par-threshold")? {
+        par = par.with_seq_threshold(t);
+    }
+    Ok(par)
+}
+
 /// Builds the HTTP pool configuration and per-request resource limits
 /// for `serve` from the command line, starting from the defaults.
 fn serve_config(
@@ -313,12 +331,13 @@ fn serve_config(
 
 fn cmd_serve(o: &Opts) -> Result<(), String> {
     let (cfg, limits) = serve_config(o)?;
+    let par = parallelism_config(o)?;
     // --site DIR loads a whole directory (documents, DTDs, XACLs,
     // _directory.txt, _credentials.txt) in one go.
     if let Some(site) = o.opt("site") {
         let (server, summary) =
             xmlsec::server::load_site(std::path::Path::new(site)).map_err(|e| e.to_string())?;
-        let server = server.with_limits(limits);
+        let server = server.with_limits(limits).with_parallelism(par);
         let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
         let demo =
             xmlsec::server::HttpDemo::start_with(server, addr, cfg).map_err(|e| e.to_string())?;
@@ -358,7 +377,7 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         server.repository_mut().put_dtd(uri, &read(dtd_path)?);
     }
     server.repository_mut().put_document(o.one("uri")?, &xml, dtd_uri);
-    let server = server.with_limits(limits);
+    let server = server.with_limits(limits).with_parallelism(par);
 
     let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
     let demo =
@@ -403,10 +422,12 @@ fn cmd_stats(o: &Opts) -> Result<(), String> {
         },
         ..Default::default()
     };
+    let par = parallelism_config(o)?;
     let processor = xmlsec::core::SecurityProcessor {
         directory: dir,
         authorizations: base,
-        options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
+        options: xmlsec::core::ProcessorOptions { policy, parallelism: par, ..Default::default() },
+        decisions: Some(std::sync::Arc::new(xmlsec::core::DecisionCache::new())),
     };
     let requester =
         Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;

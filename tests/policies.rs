@@ -141,6 +141,7 @@ fn one_policy_per_document_but_many_per_server() {
         directory: dir(),
         authorizations: base.clone(),
         options: ProcessorOptions { policy: PolicyConfig::paper_default(), ..Default::default() },
+        decisions: None,
     };
     let permissive = SecurityProcessor {
         directory: dir(),
@@ -152,6 +153,7 @@ fn one_policy_per_document_but_many_per_server() {
             },
             ..Default::default()
         },
+        decisions: None,
     };
     let req = AccessRequest {
         requester: Requester::new("kim", "1.2.3.4", "h.x.org").unwrap(),

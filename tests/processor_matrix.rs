@@ -19,6 +19,7 @@ fn processor(validate_input: bool, verify_view: bool) -> SecurityProcessor {
             verify_view,
             ..Default::default()
         },
+        decisions: None,
     }
 }
 
