@@ -14,9 +14,14 @@
 //! The fingerprint hashes the *content* of the applicable authorizations
 //! (sorted, so list order is irrelevant), the policy configuration, and
 //! the directory's membership relation — everything `resolve_sign`
-//! reads. Mutating any authorization, policy knob, or group edge changes
-//! the fingerprint, so stale entries can never be returned; they simply
-//! age out of the FIFO. Traffic is mirrored to the telemetry registry as
+//! reads. Because the fingerprint is order-independent while the mask
+//! assigns bit `i` to the `i`-th applicable authorization, the engine
+//! **canonicalizes** the applicable sets (sorts them by their rendered
+//! form) before building either whenever a cache is attached — so bit
+//! `i` refers to the same authorization no matter what order a request
+//! presents the set in. Mutating any authorization, policy knob, or
+//! group edge changes the fingerprint, so stale entries can never be
+//! returned; they simply age out of the FIFO. Traffic is mirrored to the telemetry registry as
 //! `xmlsec_decision_cache_{hits,misses}_total` and the
 //! `xmlsec_decision_cache_entries` gauge.
 
@@ -41,8 +46,11 @@ pub struct DecisionKey {
     /// Attribute nodes resolve differently from elements.
     pub is_attribute: bool,
     /// Bit `i` set ⇔ the `i`-th applicable authorization selects the
-    /// node. The engine only uses the cache when the combined applicable
-    /// sets fit in 128 bits.
+    /// node, with the sets in **canonical order** (sorted by rendered
+    /// form — the engine sorts before building masks so the bit mapping
+    /// is a function of content, matching the order-independent
+    /// fingerprint). The engine only uses the cache when the combined
+    /// applicable sets fit in 128 bits.
     pub mask: u128,
 }
 

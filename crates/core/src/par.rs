@@ -186,7 +186,11 @@ impl Drop for CoreLease {
 /// worker fanning out at once — a lease may grant fewer threads than
 /// asked, down to `threads() == 1` (sequential). Never blocks.
 pub fn lease(want_threads: usize) -> CoreLease {
-    let want_extra = want_threads.saturating_sub(1);
+    // Clamp before the isize cast below: an absurd request (e.g. a huge
+    // `--par-threads`) must not wrap negative, which would *add* permits
+    // in the CAS and corrupt the global budget. More than the machine's
+    // cores is never useful anyway.
+    let want_extra = want_threads.saturating_sub(1).min(available_cores());
     if want_extra == 0 {
         return CoreLease { extra: 0 };
     }
@@ -224,13 +228,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    run_tasks_state(threads, tasks, || (), |(), t| f(t))
+}
+
+/// Like [`run_tasks`], but each worker owns a state value built by
+/// `init` — once per worker under fan-out, once total on the inline path
+/// — handed to `f` with every task that worker executes. The engine uses
+/// this to keep one decision memo per *worker* (not per task), so memo
+/// hits accumulate across all the subtrees a worker labels.
+pub fn run_tasks_state<T, R, S, I, F>(threads: usize, tasks: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let m = par_metrics();
     if threads <= 1 || tasks.len() < 2 {
+        let mut state = init();
         return tasks
             .iter()
             .map(|t| {
                 m.tasks.inc();
-                f(t)
+                f(&mut state, t)
             })
             .collect();
     }
@@ -241,17 +261,20 @@ where
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(tasks.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    let worker = |queue: &Mutex<VecDeque<(usize, T)>>, results: &Mutex<Vec<Option<R>>>| loop {
-        let item = {
-            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
-            let item = q.pop_front();
-            m.queue_depth.set(q.len() as i64);
-            item
-        };
-        let Some((i, task)) = item else { break };
-        m.tasks.inc();
-        let r = f(&task);
-        results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+    let worker = |queue: &Mutex<VecDeque<(usize, T)>>, results: &Mutex<Vec<Option<R>>>| {
+        let mut state = init();
+        loop {
+            let item = {
+                let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                let item = q.pop_front();
+                m.queue_depth.set(q.len() as i64);
+                item
+            };
+            let Some((i, task)) = item else { break };
+            m.tasks.inc();
+            let r = f(&mut state, &task);
+            results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+        }
     };
 
     let workers = threads.min(n);
@@ -311,6 +334,47 @@ mod tests {
         let c = lease(2);
         assert!(c.threads() <= 2);
         assert!(c.threads() >= 1);
+    }
+
+    #[test]
+    fn absurd_thread_requests_cannot_corrupt_the_budget() {
+        // want_threads beyond isize::MAX must clamp, not wrap negative in
+        // the CAS (which would mint permits). Repeat so a corrupted pool
+        // would compound visibly.
+        let cores = available_cores();
+        for _ in 0..3 {
+            let a = lease(usize::MAX);
+            assert!(a.threads() <= cores.max(1) + 1);
+        }
+        let b = lease(2);
+        assert!(b.threads() <= 2);
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_tasks() {
+        // Inline path: a single state sees every task.
+        let out = run_tasks_state(
+            1,
+            (0..10).collect(),
+            || 0usize,
+            |seen, &i: &usize| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.iter().map(|&(_, s)| s).max(), Some(10), "one state saw all tasks");
+        // Fan-out: per-worker states, results still in task order.
+        let out = run_tasks_state(
+            4,
+            (0..64).collect(),
+            || 0u64,
+            |seen, &i: &u64| {
+                *seen += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

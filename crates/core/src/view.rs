@@ -237,6 +237,28 @@ pub fn label_document_engine(
             1
         };
 
+    // When a cross-request cache is attached, canonicalize the slice
+    // order first: [`DecisionKey::mask`] assigns bit `i` to the `i`-th
+    // applicable authorization while [`policy_fingerprint`] is
+    // order-independent, so the same set presented in a different order
+    // must map bits identically or a hit would resolve under a permuted
+    // bit-to-authorization mapping. Sorting by the rendered form works
+    // because it covers every field the resolution reads (subject,
+    // object, action, sign, type) — equal renderings resolve equally.
+    fn canonical<'x>(set: &[&'x Authorization]) -> Vec<&'x Authorization> {
+        let mut v = set.to_vec();
+        v.sort_by_cached_key(|a| a.to_string());
+        v
+    }
+    let (axml_canon, adtd_canon);
+    let (axml, adtd): (&[&Authorization], &[&Authorization]) = if opts.decisions.is_some() {
+        axml_canon = canonical(axml);
+        adtd_canon = canonical(adtd);
+        (&axml_canon, &adtd_canon)
+    } else {
+        (axml, adtd)
+    };
+
     let pool = SharedBudget::new(opts.limits.max_node_visits);
     let xml_matched = evaluate_auths(doc, axml, &opts.limits, &pool, threads)?;
     let dtd_matched = evaluate_auths(doc, adtd, &opts.limits, &pool, threads)?;
@@ -288,14 +310,17 @@ pub fn label_document_engine(
     }
 
     if threads > 1 && frontier.len() > 1 {
-        // Fan the remaining subtrees out; each worker returns its slot
-        // writes, merged here — no shared mutable label state.
-        let results = par::run_tasks(threads, frontier, |&(n, parent)| {
-            let mut memo = Memo::default();
-            let mut out: Vec<(usize, Label)> = Vec::new();
-            label_subtree(&ctx, n, parent, &mut memo, &mut |i, lab| out.push((i, lab)));
-            (out, memo.hits, memo.misses)
-        });
+        // Fan the remaining subtrees out; each worker keeps one memo for
+        // all the subtrees it labels (per task it reports the hit/miss
+        // delta) and returns its slot writes, merged here — no shared
+        // mutable label state.
+        let results =
+            par::run_tasks_state(threads, frontier, Memo::default, |memo, &(n, parent)| {
+                let (h0, m0) = (memo.hits, memo.misses);
+                let mut out: Vec<(usize, Label)> = Vec::new();
+                label_subtree(&ctx, n, parent, memo, &mut |i, lab| out.push((i, lab)));
+                (out, memo.hits - h0, memo.misses - m0)
+            });
         for (out, h, m) in results {
             memo.hits += h;
             memo.misses += m;
@@ -997,6 +1022,39 @@ mod tests {
         let want = serialize(&view_plain, &SerializeOptions::canonical());
         assert_eq!(serialize(&v1, &SerializeOptions::canonical()), want);
         assert_eq!(serialize(&v2, &SerializeOptions::canonical()), want);
+    }
+
+    #[test]
+    fn decision_cache_keys_are_canonical_under_permuted_auth_order() {
+        // DecisionKey.mask assigns bit i to the i-th applicable
+        // authorization; the fingerprint is order-independent. The engine
+        // therefore canonicalizes the slice order when a cache is
+        // attached — otherwise a request presenting the same set in a
+        // different order would hit entries keyed under a permuted
+        // bit-to-authorization mapping and resolve wrong labels.
+        let doc = parse(&wide_doc_text()).unwrap();
+        let auths = engine_auths();
+        let ax: Vec<&Authorization> = auths.iter().collect();
+        let mut reversed = ax.clone();
+        reversed.reverse();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (view, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &plain).unwrap();
+        let want = serialize(&view, &SerializeOptions::canonical());
+
+        let cache = DecisionCache::new();
+        let cached = EngineOptions { decisions: Some(&cache), ..plain };
+        let (v1, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &cached).unwrap();
+        let warm = cache.len();
+        let (v2, _) = compute_view_engine(&doc, &reversed, &[], &d, policy, &cached).unwrap();
+        assert_eq!(cache.len(), warm, "permuted presentation shares the warm entries");
+        assert_eq!(serialize(&v1, &SerializeOptions::canonical()), want);
+        assert_eq!(
+            serialize(&v2, &SerializeOptions::canonical()),
+            want,
+            "a warm cache must not leak labels across a permuted bit mapping"
+        );
     }
 
     #[test]

@@ -22,6 +22,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct EvalLimits {
     /// Maximum nodes the evaluator may examine across all steps,
     /// predicates, and inner paths of one evaluation.
+    ///
+    /// Note: the core engine's `label_document_limited` /
+    /// `compute_view_limited` entry points treat this as one
+    /// **request-wide [`SharedBudget`] pool** shared by every
+    /// authorization-object evaluation of the run — the effective budget
+    /// is the total across all N objects, not per object. Callers that
+    /// previously sized this for the single most expensive object should
+    /// size it for the request's total work.
     pub max_node_visits: u64,
     /// Maximum nesting of path evaluations (a predicate containing a path
     /// containing a predicate ... counts one level per inner path).
