@@ -2,8 +2,10 @@
 //!
 //! Runs quick wall-time measurements of the tracked benches — B1 (view
 //! computation), B10 (pipeline with telemetry live), B11 (pipeline with
-//! the default resource limits enforced), and B12 (parallel labeling,
-//! sequential vs 4 threads on the hospital corpus) — and writes them as
+//! the default resource limits enforced), B12 (parallel labeling,
+//! sequential vs 4 threads on the hospital corpus), and B13
+//! (content-addressed cache churn, and the ETag/If-None-Match 304
+//! revalidation path that skips the pipeline) — and writes them as
 //! flat JSON at the repo root (`BENCH_<n+1>.json` by default, one past
 //! the highest checked-in point, so the series extends without workflow
 //! edits) — every PR leaves a perf record the next PR is judged against.
@@ -29,6 +31,7 @@ use xmlsec_core::par::available_cores;
 use xmlsec_core::{
     AccessRequest, DocumentSource, ProcessorOptions, ResourceLimits, SecurityProcessor,
 };
+use xmlsec_server::{ClientRequest, ConditionalOutcome, SecureServer};
 use xmlsec_workload::laboratory::{
     lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
 };
@@ -188,6 +191,53 @@ fn main() {
         "  b12_seq_ms = {b12_seq_ms:.3}  b12_par4_ms = {b12_par4_ms:.3}  speedup {b12_speedup_4t:.2}x (gate {})",
         if b12_gated { "live" } else { "off" }
     );
+
+    // B13 — content-addressed cache churn and conditional revalidation
+    // through the full secure server.
+    let mut server = SecureServer::new(lab_directory(), lab_authorization_base());
+    server.register_credentials("Tom", "pw");
+    server.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    let variants = [
+        serialize(
+            &xmlsec_workload::laboratory_scaled(cfg.projects, 11),
+            &SerializeOptions::canonical(),
+        ),
+        serialize(
+            &xmlsec_workload::laboratory_scaled(cfg.projects, 12),
+            &SerializeOptions::canonical(),
+        ),
+    ];
+    let client = ClientRequest {
+        user: Some(("Tom".to_string(), "pw".to_string())),
+        ip: "130.100.50.8".to_string(),
+        sym: "infosys.bld1.it".to_string(),
+        uri: CSLAB_URI.to_string(),
+    };
+    // Churn: mutate stored content (rehash), miss on the moved key
+    // (sweeping the stale twin), re-render, then hit the fresh entry.
+    let mut flip = 0usize;
+    let b13_churn_ms = time_ms(&cfg, || {
+        flip ^= 1;
+        server
+            .repository_mut()
+            .put_document(CSLAB_URI, &variants[flip], Some(LAB_DTD_URI));
+        let miss = server.handle(&client).expect("serve after mutation");
+        assert!(!miss.cached, "content change must miss");
+        let hit = server.handle(&client).expect("serve warm");
+        assert!(hit.cached, "second request must hit");
+    });
+    eprintln!("  b13_churn_ms = {b13_churn_ms:.3}");
+    // 304 path: a matching If-None-Match answers from the warm cache
+    // without touching the pipeline or rendering a body.
+    let etag = server.handle(&client).expect("warm").etag;
+    let inm = format!("\"{etag}\"");
+    let b13_not_modified_ms = time_ms(&cfg, || {
+        match server.handle_conditional(&client, Some(&inm)).expect("revalidate") {
+            ConditionalOutcome::NotModified { .. } => {}
+            ConditionalOutcome::Full(_) => panic!("expected 304"),
+        }
+    });
+    eprintln!("  b13_not_modified_ms = {b13_not_modified_ms:.5}");
 
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \

@@ -25,6 +25,20 @@ use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
 use xmlsec_xml::{parse_with_limits, serialize, Document, ParseOptions, SerializeOptions};
 
+/// Counts every full pipeline execution. Cache hits and HTTP 304
+/// short-circuits never reach [`SecurityProcessor::process`], so the
+/// delta of this counter is the ground truth for "did we recompute".
+fn pipeline_runs() -> &'static Arc<telemetry::Counter> {
+    static C: std::sync::OnceLock<Arc<telemetry::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        telemetry::global().counter(
+            "xmlsec_pipeline_runs_total",
+            "Full security-pipeline executions (cache hits excluded).",
+            &[],
+        )
+    })
+}
+
 /// Errors raised by the processor pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProcessError {
@@ -184,6 +198,7 @@ impl SecurityProcessor {
         source: &DocumentSource<'_>,
     ) -> Result<ProcessOutput, ProcessError> {
         let _process_span = telemetry::trace::span("processor.process");
+        pipeline_runs().inc();
 
         // Step 1: parsing (document, then DTD). When no external DTD is
         // supplied, a DOCTYPE internal subset in the document serves as

@@ -8,10 +8,24 @@
 //! This is the server-side optimization the paper's on-line scenario
 //! invites; the `server` bench measures its effect.
 //!
+//! Keys are **content-addressed**: alongside the authorization
+//! fingerprint, [`ViewKey`] carries the repository's content hash of the
+//! document and its DTD ([`crate::repo::Repository::content_hash`]).
+//! Any content change — an update batch, a direct `put_document`, a DTD
+//! replacement — moves the hash, so lookups for the new content miss
+//! *structurally*, whether or not anyone remembered to call
+//! [`ViewCache::invalidate_uri`]. Explicit invalidation remains useful
+//! as hygiene: it reclaims the space early. Entries left behind by a
+//! content change are additionally swept lazily: a miss drops any entry
+//! with the same `(uri, fingerprint)` but an outdated content hash and
+//! counts it in `xmlsec_view_cache_stale_rejected_total`.
+//!
 //! Cache traffic is mirrored into the global telemetry registry
-//! (`xmlsec_view_cache_{hits,misses,evictions}_total` and the
-//! `xmlsec_view_cache_entries` gauge) so `/metrics` and the CLI `stats`
-//! command see it without asking the server for its internal counters.
+//! (`xmlsec_view_cache_{hits,misses,evictions,stale_rejected}_total`
+//! and the `xmlsec_view_cache_entries` gauge) so `/metrics` and the CLI
+//! `stats` command see it without asking the server for its internal
+//! counters. The gauge is maintained by *deltas*, so several live
+//! caches sum into it instead of clobbering each other's `set` calls.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -28,6 +42,11 @@ pub struct ViewKey {
     /// Content fingerprint of the applicable instance + schema
     /// authorization sets and the policy (see [`fingerprint`]).
     pub fingerprint: u64,
+    /// Content hash of the document and its DTD as registered in the
+    /// repository (see `Repository::content_hash`). Computed on
+    /// registration/update — never per request — and folded in here so
+    /// a content change can never be answered with a stale view.
+    pub content: u64,
 }
 
 /// Builds the fingerprint from the applicable authorizations'
@@ -59,12 +78,16 @@ pub struct CachedView {
     pub xml: String,
     /// The loosened DTD, when the document has one.
     pub loosened_dtd: Option<String>,
+    /// Strong entity tag over `(key, view bytes)`, precomputed so cache
+    /// hits (and 304 short-circuits) never rehash the view.
+    pub etag: String,
 }
 
 struct CacheMetrics {
     hits: Arc<telemetry::Counter>,
     misses: Arc<telemetry::Counter>,
     evictions: Arc<telemetry::Counter>,
+    stale_rejected: Arc<telemetry::Counter>,
     entries: Arc<telemetry::Gauge>,
 }
 
@@ -88,9 +111,15 @@ fn cache_metrics() -> &'static CacheMetrics {
                 "Cached views dropped to stay within capacity.",
                 &[],
             ),
+            stale_rejected: reg.counter(
+                "xmlsec_view_cache_stale_rejected_total",
+                "Cached views dropped because their content hash no longer \
+                 matches the repository (lazily swept on a miss).",
+                &[],
+            ),
             entries: reg.gauge(
                 "xmlsec_view_cache_entries",
-                "Views currently held in the cache.",
+                "Views currently held across all live caches.",
                 &[],
             ),
         }
@@ -108,12 +137,15 @@ pub struct ViewCache {
 #[derive(Debug, Default)]
 struct CacheInner {
     map: HashMap<ViewKey, CachedView>,
-    /// Insertion order, oldest first, for FIFO eviction. May hold stale
-    /// keys after invalidation; eviction skips those.
+    /// Insertion order, oldest first, for FIFO eviction. Every removal
+    /// path (invalidation, stale sweep, eviction, clear) also drops the
+    /// key here, so `order.len() == map.len()` is an invariant — churn
+    /// cannot grow it without bound.
     order: Vec<ViewKey>,
     hits: u64,
     misses: u64,
     evictions: u64,
+    stale_rejected: u64,
 }
 
 impl ViewCache {
@@ -131,7 +163,10 @@ impl ViewCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up a view, counting the hit/miss.
+    /// Looks up a view, counting the hit/miss. A miss also sweeps
+    /// entries for the same `(uri, fingerprint)` whose content hash
+    /// differs — those are views of bytes the repository no longer
+    /// holds, unreachable by any future lookup.
     pub fn get(&self, key: &ViewKey) -> Option<CachedView> {
         let mut inner = self.lock();
         match inner.map.get(key).cloned() {
@@ -143,6 +178,21 @@ impl ViewCache {
             None => {
                 inner.misses += 1;
                 cache_metrics().misses.inc();
+                let before = inner.map.len();
+                inner.map.retain(|k, _| {
+                    !(k.uri == key.uri
+                        && k.fingerprint == key.fingerprint
+                        && k.content != key.content)
+                });
+                let stale = before - inner.map.len();
+                if stale > 0 {
+                    inner.stale_rejected += stale as u64;
+                    let m = cache_metrics();
+                    m.stale_rejected.add(stale as u64);
+                    m.entries.add(-(stale as i64));
+                    let CacheInner { map, order, .. } = &mut *inner;
+                    order.retain(|k| map.contains_key(k));
+                }
                 None
             }
         }
@@ -153,6 +203,7 @@ impl ViewCache {
         let mut inner = self.lock();
         if inner.map.insert(key.clone(), view).is_none() {
             inner.order.push(key);
+            cache_metrics().entries.add(1);
         }
         if let Some(cap) = self.capacity {
             let mut cursor = 0;
@@ -161,28 +212,38 @@ impl ViewCache {
                 cursor += 1;
                 if inner.map.remove(&victim).is_some() {
                     inner.evictions += 1;
-                    cache_metrics().evictions.inc();
+                    let m = cache_metrics();
+                    m.evictions.inc();
+                    m.entries.add(-1);
                 }
             }
             inner.order.drain(..cursor);
         }
-        cache_metrics().entries.set(inner.map.len() as i64);
     }
 
     /// Drops every entry for `uri` (call when a document or its XACL
-    /// changes).
-    pub fn invalidate_uri(&self, uri: &str) {
+    /// changes). Returns how many entries were removed.
+    pub fn invalidate_uri(&self, uri: &str) -> usize {
         let mut inner = self.lock();
+        let before = inner.map.len();
         inner.map.retain(|k, _| k.uri != uri);
-        cache_metrics().entries.set(inner.map.len() as i64);
+        inner.order.retain(|k| k.uri != uri);
+        let removed = before - inner.map.len();
+        if removed > 0 {
+            cache_metrics().entries.add(-(removed as i64));
+        }
+        removed
     }
 
     /// Clears the cache entirely.
     pub fn clear(&self) {
         let mut inner = self.lock();
+        let removed = inner.map.len();
         inner.map.clear();
         inner.order.clear();
-        cache_metrics().entries.set(0);
+        if removed > 0 {
+            cache_metrics().entries.add(-(removed as i64));
+        }
     }
 
     /// `(hits, misses)` so far.
@@ -196,9 +257,21 @@ impl ViewCache {
         self.lock().evictions
     }
 
+    /// Stale (content-hash-mismatched) views swept on misses so far.
+    pub fn stale_rejected(&self) -> u64 {
+        self.lock().stale_rejected
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.lock().map.len()
+    }
+
+    /// Length of the internal insertion-order list — bounded by
+    /// [`ViewCache::len`] at all times; exposed so churn tests can pin
+    /// the invariant.
+    pub fn order_len(&self) -> usize {
+        self.lock().order.len()
     }
 
     /// `true` when the cache is empty.
@@ -207,16 +280,31 @@ impl ViewCache {
     }
 }
 
+impl Drop for ViewCache {
+    /// Returns this cache's entries to the shared gauge so two live
+    /// caches (tests, per-shard splits) account independently.
+    fn drop(&mut self) {
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        if !inner.map.is_empty() {
+            cache_metrics().entries.add(-(inner.map.len() as i64));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn key(uri: &str, fp: u64) -> ViewKey {
-        ViewKey { uri: uri.to_string(), fingerprint: fp }
+        key_v(uri, fp, 0)
+    }
+
+    fn key_v(uri: &str, fp: u64, content: u64) -> ViewKey {
+        ViewKey { uri: uri.to_string(), fingerprint: fp, content }
     }
 
     fn view(x: &str) -> CachedView {
-        CachedView { xml: x.to_string(), loosened_dtd: None }
+        CachedView { xml: x.to_string(), loosened_dtd: None, etag: format!("t-{x}") }
     }
 
     #[test]
@@ -270,12 +358,40 @@ mod tests {
     }
 
     #[test]
+    fn content_hash_is_part_of_the_key() {
+        let c = ViewCache::new();
+        c.put(key_v("a", 1, 100), view("<a v1/>"));
+        // Same URI and fingerprint, new content: structural miss.
+        assert!(c.get(&key_v("a", 1, 200)).is_none());
+        // The old-content entry is unreachable and was swept on the miss.
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stale_rejected(), 1);
+        c.put(key_v("a", 1, 200), view("<a v2/>"));
+        assert_eq!(c.get(&key_v("a", 1, 200)).unwrap().xml, "<a v2/>");
+    }
+
+    #[test]
+    fn stale_sweep_spares_other_fingerprints_and_uris() {
+        let c = ViewCache::new();
+        c.put(key_v("a", 1, 100), view("<a/>"));
+        c.put(key_v("a", 2, 100), view("<a2/>"));
+        c.put(key_v("b", 1, 100), view("<b/>"));
+        // Miss on (a, 1) at new content sweeps only the (a, 1) twin:
+        // (a, 2) is a different requester class and is swept on *its*
+        // first miss; (b, 1) is a different document.
+        assert!(c.get(&key_v("a", 1, 999)).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stale_rejected(), 1);
+        assert!(c.get(&key_v("b", 1, 100)).is_some());
+    }
+
+    #[test]
     fn invalidation() {
         let c = ViewCache::new();
         c.put(key("a", 1), view("<a/>"));
         c.put(key("a", 2), view("<a2/>"));
         c.put(key("b", 1), view("<b/>"));
-        c.invalidate_uri("a");
+        assert_eq!(c.invalidate_uri("a"), 2);
         assert_eq!(c.len(), 1);
         assert!(c.get(&key("b", 1)).is_some());
         c.clear();
@@ -308,7 +424,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_skips_invalidated_keys() {
+    fn eviction_after_invalidation_stays_consistent() {
         let c = ViewCache::with_capacity(2);
         c.put(key("a", 1), view("<a/>"));
         c.put(key("b", 1), view("<b/>"));
@@ -318,5 +434,39 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 0);
         assert!(c.get(&key("b", 1)).is_some());
+    }
+
+    #[test]
+    fn churn_keeps_order_bounded_by_live_entries() {
+        // The regression this pins: invalidate/put churn on an
+        // unbounded cache used to leave dead keys in `order` forever.
+        let c = ViewCache::new();
+        for round in 0..100u64 {
+            for fp in 0..10u64 {
+                c.put(key_v("doc.xml", fp, round), view("<v/>"));
+            }
+            c.put(key_v("other.xml", 0, round), view("<o/>"));
+            c.invalidate_uri("doc.xml");
+            assert!(
+                c.order_len() <= c.len(),
+                "round {round}: order {} > live {}",
+                c.order_len(),
+                c.len()
+            );
+        }
+        // Only the per-round "other.xml" entries remain.
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.order_len(), c.len());
+
+        // Content-hash churn (no invalidate calls at all): stale sweep
+        // keeps both the map and the order list bounded.
+        let c = ViewCache::new();
+        for round in 0..100u64 {
+            c.put(key_v("d.xml", 7, round), view("<v/>"));
+            assert!(c.get(&key_v("d.xml", 7, round + 1)).is_none());
+            assert!(c.len() <= 1, "stale twins must not accumulate");
+            assert!(c.order_len() <= c.len());
+        }
+        assert_eq!(c.stale_rejected(), 100);
     }
 }

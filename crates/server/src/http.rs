@@ -8,6 +8,15 @@
 //! When the document has a DTD, its loosened form follows the view in
 //! the body behind a `<!-- loosened DTD -->` marker.
 //!
+//! View responses carry a strong `ETag` (derived from the view's
+//! content-addressed cache key and exact bytes) and `Cache-Control:
+//! private, no-cache` — private because a view is requester-class
+//! specific, no-cache so clients revalidate every time. A request whose
+//! `If-None-Match` still names the current view is answered `304 Not
+//! Modified` without rendering (from a warm cache, without running any
+//! pipeline stage); 304s are counted in
+//! `xmlsec_http_not_modified_total`.
+//!
 //! This is a demonstrator, not a production HTTP stack (HTTP/1.0, no
 //! TLS — the paper likewise defers transport security to the era's
 //! channel mechanisms), but it is a *robust* demonstrator: a bounded
@@ -17,7 +26,7 @@
 //! shutdown that drains in-flight work up to a deadline. Everything is
 //! tunable through [`HttpConfig`].
 
-use crate::server::{ClientRequest, SecureServer, ServerError};
+use crate::server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -104,6 +113,14 @@ fn panics_caught_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_panics_caught_total",
         "Panics caught during request handling and converted to errors.",
+        &[],
+    )
+}
+
+fn not_modified_total() -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_http_not_modified_total",
+        "View requests answered 304 Not Modified via If-None-Match.",
         &[],
     )
 }
@@ -369,8 +386,10 @@ fn handle_connection(
         Err(e) => return Err(e),
     };
 
-    // Drain headers (ignored), under a total byte cap.
+    // Drain headers under a total byte cap, capturing the one header
+    // the demo honours: If-None-Match (conditional revalidation).
     let mut header_budget = cfg.max_header_bytes;
+    let mut if_none_match: Option<String> = None;
     loop {
         match read_line_limited(&mut reader, header_budget) {
             Ok(LineRead::Line(h)) => {
@@ -378,6 +397,11 @@ fn handle_connection(
                     break;
                 }
                 header_budget -= h.len();
+                if let Some((name, value)) = h.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("if-none-match") {
+                        if_none_match = Some(value.trim().to_string());
+                    }
+                }
             }
             Ok(LineRead::TooLong) => {
                 xmlsec_xml::limit_rejected("header_bytes");
@@ -445,10 +469,18 @@ fn handle_connection(
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let _ = faults::check("process.request");
-        server.handle(&client)
+        server.handle_conditional(&client, if_none_match.as_deref())
     }));
     match outcome {
-        Ok(Ok(resp)) => {
+        Ok(Ok(ConditionalOutcome::NotModified { etag })) => {
+            not_modified_total().inc();
+            if faults::check("respond.write") {
+                return Ok(());
+            }
+            respond_not_modified(&mut out, &etag)
+        }
+        Ok(Ok(ConditionalOutcome::Full(resp))) => {
+            let etag_header = format!("\"{}\"", resp.etag);
             let mut body = resp.xml;
             body.push('\n');
             if let Some(dtd) = resp.loosened_dtd {
@@ -458,7 +490,14 @@ fn handle_connection(
             if faults::check("respond.write") {
                 return Ok(());
             }
-            respond(&mut out, 200, "OK", "text/xml", &body)
+            respond_with(
+                &mut out,
+                200,
+                "OK",
+                "text/xml",
+                &body,
+                &[("ETag", &etag_header), ("Cache-Control", "private, no-cache")],
+            )
         }
         Ok(Err(e)) => respond_err(&mut out, &e),
         Err(_) => {
@@ -570,10 +609,38 @@ fn respond(
     ctype: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(out, code, text, ctype, body, &[])
+}
+
+fn respond_with(
+    out: &mut TcpStream,
+    code: u16,
+    text: &str,
+    ctype: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut extra = String::new();
+    for (name, value) in extra_headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
     write!(
         out,
-        "HTTP/1.0 {code} {text}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {code} {text}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
+    )?;
+    out.flush()
+}
+
+/// A 304 carries no body (RFC 9110 §15.4.5); the tag and cache policy
+/// ride in the headers so the client can keep validating its copy.
+fn respond_not_modified(out: &mut TcpStream, etag: &str) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.0 304 Not Modified\r\nETag: \"{etag}\"\r\nCache-Control: private, no-cache\r\nConnection: close\r\n\r\n"
     )?;
     out.flush()
 }
@@ -611,6 +678,31 @@ mod tests {
         let code: u16 = buf.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
         let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
         (code, body)
+    }
+
+    /// Like [`get`] but sends extra headers and returns the raw header
+    /// block alongside the parsed status and body.
+    fn get_full(addr: SocketAddr, target: &str, headers: &[(&str, &str)]) -> (u16, String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut req = format!("GET {target} HTTP/1.0\r\nHost: test\r\n");
+        for (name, value) in headers {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        req.push_str("\r\n");
+        conn.write_all(req.as_bytes()).expect("write");
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).expect("read");
+        let code: u16 = buf.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+        let (head, body) = buf.split_once("\r\n\r\n").unwrap_or((buf.as_str(), ""));
+        (code, head.to_string(), body.to_string())
+    }
+
+    fn etag_of(head: &str) -> String {
+        head.lines()
+            .find_map(|l| l.strip_prefix("ETag: "))
+            .expect("response carries an ETag")
+            .trim()
+            .to_string()
     }
 
     #[test]
@@ -676,6 +768,41 @@ mod tests {
         assert_eq!(percent_decode("plain"), "plain");
         assert_eq!(percent_decode("bad%zz"), "bad%zz");
         assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+
+    #[test]
+    fn view_responses_carry_etag_and_cache_control() {
+        let demo = demo();
+        let target = "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org";
+        let (code, head, body) = get_full(demo.addr(), target, &[]);
+        assert_eq!(code, 200);
+        assert!(body.contains("hello"), "{body}");
+        let etag = etag_of(&head);
+        assert!(etag.starts_with('"') && etag.ends_with('"'), "strong quoted tag: {etag}");
+        assert!(head.contains("Cache-Control: private, no-cache"), "{head}");
+        // Error responses carry no tag.
+        let (_, head401, _) =
+            get_full(demo.addr(), "/doc.xml?user=tom&pass=oops&ip=1.2.3.4&host=h.x.org", &[]);
+        assert!(!head401.contains("ETag:"), "{head401}");
+    }
+
+    #[test]
+    fn if_none_match_revalidates_with_304() {
+        let demo = demo();
+        let target = "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org";
+        let (_, head, _) = get_full(demo.addr(), target, &[]);
+        let etag = etag_of(&head);
+        let (code, head304, body304) = get_full(demo.addr(), target, &[("If-None-Match", &etag)]);
+        assert_eq!(code, 304);
+        assert!(body304.is_empty(), "a 304 has no body: {body304:?}");
+        assert_eq!(etag_of(&head304), etag, "the 304 re-states the tag");
+        // A stale tag gets the full body again.
+        let (code2, _, body2) = get_full(demo.addr(), target, &[("If-None-Match", "\"stale\"")]);
+        assert_eq!(code2, 200);
+        assert!(body2.contains("hello"), "{body2}");
+        // Header-name matching is case-insensitive.
+        let (code3, _, _) = get_full(demo.addr(), target, &[("if-none-match", &etag)]);
+        assert_eq!(code3, 304);
     }
 
     #[test]

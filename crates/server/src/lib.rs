@@ -3,8 +3,11 @@
 //! The paper's usage scenario as a library: documents and DTDs in a
 //! [`Repository`], server-local authentication, the security processor
 //! run per request, a [`ViewCache`] keyed by applicable-authorization
-//! fingerprint (requesters covered by the same authorizations share a
-//! view), and an append-only [`AuditLog`].
+//! fingerprint **and repository content hash** (requesters covered by
+//! the same authorizations share a view; a content change structurally
+//! misses — see `docs/CACHING.md`), and an append-only [`AuditLog`].
+//! The same content identity backs HTTP conditional revalidation
+//! (`ETag` / `If-None-Match` → 304).
 //!
 //! Access control is enforced **server side**: the client receives only
 //! the computed view and the loosened DTD, so "the accidental transfer to
@@ -27,6 +30,9 @@ pub mod site;
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use cache::{CachedView, ViewCache, ViewKey};
 pub use http::{HttpConfig, HttpDemo};
-pub use repo::{Repository, StoredDocument};
-pub use server::{ClientRequest, QueryResponse, SecureServer, ServerError, ServerResponse};
+pub use repo::{fnv1a64, Repository, StoredDocument};
+pub use server::{
+    etag_matches, ClientRequest, ConditionalOutcome, QueryResponse, SecureServer, ServerError,
+    ServerResponse,
+};
 pub use site::{load_site, SiteError, SiteSummary};

@@ -2,8 +2,49 @@
 //! their DTDs, and the URI association between them (paper §7's usage
 //! scenario: "a user requesting a set of XML documents from a remote
 //! site").
+//!
+//! Every stored document and DTD carries a **content hash**, computed
+//! once on registration or replacement — never per request. The view
+//! cache folds [`Repository::content_hash`] into its key, so a content
+//! change *necessarily* repoints every cache lookup for that document:
+//! explicit invalidation becomes hygiene (it reclaims space early)
+//! rather than a correctness requirement. Rehashes are counted in the
+//! `xmlsec_repo_rehash_total{kind}` telemetry series.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use xmlsec_telemetry as telemetry;
+
+/// 64-bit FNV-1a over a byte string: stable across processes (unlike
+/// `DefaultHasher`, whose seed is unspecified), cheap, and good enough
+/// for content identity of trusted server-side documents. This is a
+/// cache-freshness fingerprint, not a cryptographic commitment.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn rehash_counter(kind: &'static str) -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_repo_rehash_total",
+        "Content-hash computations on repository registration or update.",
+        &[("kind", kind)],
+    )
+}
+
+fn document_rehashes() -> &'static Arc<telemetry::Counter> {
+    static C: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| rehash_counter("document"))
+}
+
+fn dtd_rehashes() -> &'static Arc<telemetry::Counter> {
+    static C: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| rehash_counter("dtd"))
+}
 
 /// A stored XML document.
 #[derive(Debug, Clone)]
@@ -12,13 +53,22 @@ pub struct StoredDocument {
     pub xml: String,
     /// URI of the DTD this document is an instance of, if any.
     pub dtd_uri: Option<String>,
+    /// FNV-1a hash of `xml`, computed when the document was stored.
+    pub content_hash: u64,
+}
+
+/// A stored DTD text with its registration-time content hash.
+#[derive(Debug, Clone)]
+struct StoredDtd {
+    text: String,
+    content_hash: u64,
 }
 
 /// The repository: documents and DTD texts, keyed by URI.
 #[derive(Debug, Clone, Default)]
 pub struct Repository {
     documents: HashMap<String, StoredDocument>,
-    dtds: HashMap<String, String>,
+    dtds: HashMap<String, StoredDtd>,
 }
 
 impl Repository {
@@ -27,17 +77,26 @@ impl Repository {
         Self::default()
     }
 
-    /// Stores (or replaces) a document.
+    /// Stores (or replaces) a document, rehashing its content.
     pub fn put_document(&mut self, uri: &str, xml: &str, dtd_uri: Option<&str>) {
+        document_rehashes().inc();
         self.documents.insert(
             uri.to_string(),
-            StoredDocument { xml: xml.to_string(), dtd_uri: dtd_uri.map(str::to_string) },
+            StoredDocument {
+                xml: xml.to_string(),
+                dtd_uri: dtd_uri.map(str::to_string),
+                content_hash: fnv1a64(xml.as_bytes()),
+            },
         );
     }
 
-    /// Stores (or replaces) a DTD text.
+    /// Stores (or replaces) a DTD text, rehashing its content.
     pub fn put_dtd(&mut self, uri: &str, dtd: &str) {
-        self.dtds.insert(uri.to_string(), dtd.to_string());
+        dtd_rehashes().inc();
+        self.dtds.insert(
+            uri.to_string(),
+            StoredDtd { text: dtd.to_string(), content_hash: fnv1a64(dtd.as_bytes()) },
+        );
     }
 
     /// Fetches a document.
@@ -47,7 +106,47 @@ impl Repository {
 
     /// Fetches a DTD text.
     pub fn dtd(&self, uri: &str) -> Option<&str> {
-        self.dtds.get(uri).map(String::as_str)
+        self.dtds.get(uri).map(|d| d.text.as_str())
+    }
+
+    /// The registration-time content hash of a stored DTD.
+    pub fn dtd_hash(&self, uri: &str) -> Option<u64> {
+        self.dtds.get(uri).map(|d| d.content_hash)
+    }
+
+    /// The combined content identity of a document: its own bytes plus
+    /// the bytes of the DTD it is an instance of. Folding this into the
+    /// view-cache key makes a stale view structurally unreachable — any
+    /// `put_document`/`put_dtd` that changes served content moves the
+    /// hash and with it every cache key. Only registration-time hashes
+    /// are combined here; no document bytes are touched per request.
+    pub fn content_hash(&self, uri: &str) -> Option<u64> {
+        let doc = self.documents.get(uri)?;
+        let mut h = doc.content_hash;
+        if let Some(dtd_uri) = &doc.dtd_uri {
+            // Mix with a distinct tag per case so "DTD registered",
+            // "DTD referenced but missing", and "no DTD" all differ.
+            let (tag, dtd_hash) = match self.dtds.get(dtd_uri) {
+                Some(d) => (0x01u8, d.content_hash),
+                None => (0x02u8, fnv1a64(dtd_uri.as_bytes())),
+            };
+            let mut bytes = [0u8; 17];
+            bytes[..8].copy_from_slice(&h.to_le_bytes());
+            bytes[8] = tag;
+            bytes[9..].copy_from_slice(&dtd_hash.to_le_bytes());
+            h = fnv1a64(&bytes);
+        }
+        Some(h)
+    }
+
+    /// URIs of every document that is an instance of `dtd_uri` — the
+    /// sweep set for schema-level invalidation.
+    pub fn documents_with_dtd(&self, dtd_uri: &str) -> Vec<String> {
+        self.documents
+            .iter()
+            .filter(|(_, d)| d.dtd_uri.as_deref() == Some(dtd_uri))
+            .map(|(uri, _)| uri.clone())
+            .collect()
     }
 
     /// Number of stored documents.
@@ -101,5 +200,58 @@ mod tests {
         let mut uris: Vec<_> = r.document_uris().collect();
         uris.sort_unstable();
         assert_eq!(uris, vec!["a.xml", "b.xml"]);
+    }
+
+    #[test]
+    fn content_hash_tracks_document_bytes() {
+        let mut r = Repository::new();
+        r.put_document("a.xml", "<a/>", None);
+        let h1 = r.content_hash("a.xml").unwrap();
+        assert_eq!(h1, r.content_hash("a.xml").unwrap(), "hash is stable");
+        r.put_document("a.xml", "<a>v2</a>", None);
+        assert_ne!(h1, r.content_hash("a.xml").unwrap(), "new bytes, new hash");
+        r.put_document("a.xml", "<a/>", None);
+        assert_eq!(h1, r.content_hash("a.xml").unwrap(), "same bytes, same hash");
+        assert!(r.content_hash("missing.xml").is_none());
+    }
+
+    #[test]
+    fn content_hash_folds_in_the_dtd() {
+        let mut r = Repository::new();
+        r.put_dtd("d.dtd", "<!ELEMENT d EMPTY>");
+        r.put_document("plain.xml", "<d/>", None);
+        r.put_document("typed.xml", "<d/>", Some("d.dtd"));
+        let plain = r.content_hash("plain.xml").unwrap();
+        let typed = r.content_hash("typed.xml").unwrap();
+        assert_ne!(plain, typed, "DTD association is part of the identity");
+        // Replacing the DTD repoints every conforming document's hash.
+        r.put_dtd("d.dtd", "<!ELEMENT d (#PCDATA)>");
+        assert_ne!(typed, r.content_hash("typed.xml").unwrap());
+        assert_eq!(plain, r.content_hash("plain.xml").unwrap(), "unrelated doc untouched");
+        // A referenced-but-unregistered DTD is distinct from both.
+        r.put_document("dangling.xml", "<d/>", Some("ghost.dtd"));
+        let dangling = r.content_hash("dangling.xml").unwrap();
+        assert_ne!(dangling, plain);
+    }
+
+    #[test]
+    fn documents_with_dtd_resolves_the_sweep_set() {
+        let mut r = Repository::new();
+        r.put_dtd("d.dtd", "<!ELEMENT d EMPTY>");
+        r.put_document("a.xml", "<d/>", Some("d.dtd"));
+        r.put_document("b.xml", "<d/>", Some("d.dtd"));
+        r.put_document("c.xml", "<c/>", None);
+        let mut hit = r.documents_with_dtd("d.dtd");
+        hit.sort_unstable();
+        assert_eq!(hit, vec!["a.xml", "b.xml"]);
+        assert!(r.documents_with_dtd("other.dtd").is_empty());
+    }
+
+    #[test]
+    fn fnv1a64_is_the_published_function() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }

@@ -2,10 +2,21 @@
 //! user/group directory, the repository, the security processor, the view
 //! cache and the audit log — the paper's §7 architecture with the
 //! security processor as a server-side *service component*.
+//!
+//! Views are cached under **content-addressed** keys: the cache key folds
+//! in the repository's registration-time content hash of the document and
+//! its DTD, so any content change — an update batch, a direct
+//! `put_document`, a DTD replacement — structurally misses the cache.
+//! Explicit invalidation is hygiene (it reclaims space early), never a
+//! correctness requirement. The same identity backs HTTP conditional
+//! revalidation: every served view carries a strong ETag, and
+//! [`SecureServer::handle_conditional`] answers a matching
+//! `If-None-Match` with [`ConditionalOutcome::NotModified`] without
+//! rendering — or even running — the pipeline.
 
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::cache::{fingerprint, CachedView, ViewCache, ViewKey};
-use crate::repo::Repository;
+use crate::repo::{fnv1a64, Repository};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -58,6 +69,7 @@ impl std::error::Error for ServerError {}
 struct ServerMetrics {
     served: Arc<telemetry::Counter>,
     served_cached: Arc<telemetry::Counter>,
+    not_modified: Arc<telemetry::Counter>,
     auth_failed: Arc<telemetry::Counter>,
     not_found: Arc<telemetry::Counter>,
     bad_request: Arc<telemetry::Counter>,
@@ -67,10 +79,11 @@ struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    fn for_result(&self, r: &Result<ServerResponse, ServerError>) -> &telemetry::Counter {
+    fn for_outcome(&self, r: &Result<ConditionalOutcome, ServerError>) -> &telemetry::Counter {
         match r {
-            Ok(resp) if resp.cached => &self.served_cached,
-            Ok(_) => &self.served,
+            Ok(ConditionalOutcome::NotModified { .. }) => &self.not_modified,
+            Ok(ConditionalOutcome::Full(resp)) if resp.cached => &self.served_cached,
+            Ok(ConditionalOutcome::Full(_)) => &self.served,
             Err(ServerError::AuthenticationFailed) => &self.auth_failed,
             Err(ServerError::NotFound(_)) => &self.not_found,
             Err(ServerError::Processing(_)) => &self.processing_error,
@@ -98,6 +111,7 @@ fn server_metrics() -> &'static ServerMetrics {
         ServerMetrics {
             served: outcome("served"),
             served_cached: outcome("served_cached"),
+            not_modified: outcome("not_modified"),
             auth_failed: outcome("auth_failed"),
             not_found: outcome("not_found"),
             bad_request: outcome("bad_request"),
@@ -144,6 +158,51 @@ pub struct ServerResponse {
     pub loosened_dtd: Option<String>,
     /// Whether the response came from the view cache.
     pub cached: bool,
+    /// Strong entity tag over the view's cache key and bytes (unquoted
+    /// token; the HTTP layer adds the quotes).
+    pub etag: String,
+}
+
+/// Outcome of a conditional request ([`SecureServer::handle_conditional`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionalOutcome {
+    /// The client's `If-None-Match` matched the current view: nothing was
+    /// rendered, the client's copy is still authoritative.
+    NotModified {
+        /// The (unquoted) entity tag the match was made against.
+        etag: String,
+    },
+    /// A full response.
+    Full(ServerResponse),
+}
+
+/// Strong entity tag for a view: FNV-1a over the cache key and the exact
+/// bytes served. Computed once when the view is rendered and stored with
+/// the cached view, so hits never rehash.
+fn etag_for(key: &ViewKey, xml: &str, loosened_dtd: Option<&str>) -> String {
+    let dtd = loosened_dtd.unwrap_or("");
+    let mut buf = Vec::with_capacity(24 + key.uri.len() + xml.len() + dtd.len());
+    buf.extend_from_slice(&key.fingerprint.to_le_bytes());
+    buf.extend_from_slice(&key.content.to_le_bytes());
+    buf.extend_from_slice(key.uri.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(xml.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(dtd.as_bytes());
+    format!("{:016x}", fnv1a64(&buf))
+}
+
+/// `true` when an `If-None-Match` header value matches `etag` (an
+/// unquoted token). Accepts a comma-separated list, quoted tags, `W/`
+/// weak prefixes (a weak match suffices for a GET), and `*`.
+pub fn etag_matches(if_none_match: &str, etag: &str) -> bool {
+    if_none_match.split(',').map(str::trim).any(|t| {
+        if t == "*" {
+            return true;
+        }
+        let t = t.strip_prefix("W/").unwrap_or(t);
+        t.trim_matches('"') == etag
+    })
 }
 
 /// The secure server.
@@ -185,6 +244,13 @@ impl SecureServer {
     /// Disables the view cache (used by the cache-ablation bench).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Bounds the view cache to `capacity` entries (oldest-first
+    /// eviction past that).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(ViewCache::with_capacity(capacity));
         self
     }
 
@@ -247,14 +313,29 @@ impl SecureServer {
         &self.directory
     }
 
-    /// Adds an authorization at runtime, invalidating affected views.
-    pub fn grant(&mut self, auth: Authorization) {
+    /// Drops cached views affected by a policy change on `uri`. When
+    /// `uri` names a DTD, the sweep resolves to every document that is
+    /// an instance of it (a schema-level authorization never matches a
+    /// cache key directly — keys are document URIs).
+    ///
+    /// This is space hygiene, not a correctness requirement: the cache
+    /// key fingerprints the applicable authorization sets, so a policy
+    /// change moves the key for every requester it affects.
+    fn invalidate_for_object_uri(&self, uri: &str) {
         if let Some(c) = &self.cache {
-            c.invalidate_uri(&auth.object.uri);
-            // Schema-level authorizations affect every instance; a simple
-            // full clear keeps the cache correct.
-            c.clear();
+            c.invalidate_uri(uri);
+            for doc in self.repository.documents_with_dtd(uri) {
+                c.invalidate_uri(&doc);
+            }
         }
+    }
+
+    /// Adds an authorization at runtime, invalidating affected views —
+    /// the named document's, or every conforming instance's when the
+    /// authorization is schema-level. Unrelated documents keep their
+    /// cached views.
+    pub fn grant(&mut self, auth: Authorization) {
+        self.invalidate_for_object_uri(&auth.object.uri);
         self.decisions.clear();
         self.authorizations.add(auth);
     }
@@ -264,9 +345,7 @@ impl SecureServer {
     pub fn revoke(&mut self, auth: &Authorization) -> usize {
         let removed = self.authorizations.remove(auth);
         if removed > 0 {
-            if let Some(c) = &self.cache {
-                c.clear();
-            }
+            self.invalidate_for_object_uri(&auth.object.uri);
             self.decisions.clear();
         }
         removed
@@ -275,6 +354,17 @@ impl SecureServer {
     /// Cache statistics `(hits, misses)`; zeros when caching is off.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.as_ref().map(ViewCache::stats).unwrap_or((0, 0))
+    }
+
+    /// Number of live cached views; zero when caching is off.
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map(ViewCache::len).unwrap_or(0)
+    }
+
+    /// Stale views swept from this server's cache after a content
+    /// change; zero when caching is off.
+    pub fn cache_stale_rejected(&self) -> u64 {
+        self.cache.as_ref().map(ViewCache::stale_rejected).unwrap_or(0)
     }
 
     fn authenticate(&self, req: &ClientRequest) -> Result<String, ServerError> {
@@ -303,16 +393,39 @@ impl SecureServer {
 
     /// Handles one request end to end.
     pub fn handle(&self, req: &ClientRequest) -> Result<ServerResponse, ServerError> {
+        self.handle_conditional(req, None).map(|o| match o {
+            ConditionalOutcome::Full(resp) => resp,
+            // Unreachable: without an If-None-Match nothing can match.
+            ConditionalOutcome::NotModified { etag } => {
+                ServerResponse { xml: String::new(), loosened_dtd: None, cached: true, etag }
+            }
+        })
+    }
+
+    /// Handles one request end to end, honouring an `If-None-Match`
+    /// header value. When the client's entity tag still names the
+    /// current view, returns [`ConditionalOutcome::NotModified`] —
+    /// from a warm cache this touches no document bytes and runs no
+    /// pipeline stage at all.
+    pub fn handle_conditional(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+    ) -> Result<ConditionalOutcome, ServerError> {
         let m = server_metrics();
         let result = m.duration.time(|| {
             let _span = telemetry::trace::span("server.handle");
-            self.handle_inner(req)
+            self.handle_inner(req, if_none_match)
         });
-        m.for_result(&result).inc();
+        m.for_outcome(&result).inc();
         result
     }
 
-    fn handle_inner(&self, req: &ClientRequest) -> Result<ServerResponse, ServerError> {
+    fn handle_inner(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+    ) -> Result<ConditionalOutcome, ServerError> {
         let user = match self.authenticate(req) {
             Ok(u) => u,
             Err(e) => {
@@ -349,19 +462,33 @@ impl SecureServer {
         let key = ViewKey {
             uri: req.uri.clone(),
             fingerprint: fingerprint(&instance, &schema, policy_tag(self.policy)),
+            // Registration-time hashes combined — no document bytes are
+            // rehashed on the request path.
+            content: self.repository.content_hash(&req.uri).unwrap_or(0),
         };
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&key) {
+                if let Some(inm) = if_none_match {
+                    if etag_matches(inm, &hit.etag) {
+                        self.audit.record(
+                            &requester_str,
+                            &req.uri,
+                            AuditOutcome::Served { granted_nodes: 0, total_nodes: 0, cached: true },
+                        );
+                        return Ok(ConditionalOutcome::NotModified { etag: hit.etag });
+                    }
+                }
                 self.audit.record(
                     &requester_str,
                     &req.uri,
                     AuditOutcome::Served { granted_nodes: 0, total_nodes: 0, cached: true },
                 );
-                return Ok(ServerResponse {
+                return Ok(ConditionalOutcome::Full(ServerResponse {
                     xml: hit.xml,
                     loosened_dtd: hit.loosened_dtd,
                     cached: true,
-                });
+                    etag: hit.etag,
+                }));
             }
         }
 
@@ -396,10 +523,15 @@ impl SecureServer {
             }
         })?;
 
+        let etag = etag_for(&key, &out.xml, out.loosened_dtd.as_deref());
         if let Some(cache) = &self.cache {
             cache.put(
                 key,
-                CachedView { xml: out.xml.clone(), loosened_dtd: out.loosened_dtd.clone() },
+                CachedView {
+                    xml: out.xml.clone(),
+                    loosened_dtd: out.loosened_dtd.clone(),
+                    etag: etag.clone(),
+                },
             );
         }
         self.audit.record(
@@ -411,7 +543,20 @@ impl SecureServer {
                 cached: false,
             },
         );
-        Ok(ServerResponse { xml: out.xml, loosened_dtd: out.loosened_dtd, cached: false })
+        // The client may hold the current view even when our cache does
+        // not (cold start, eviction): a fresh render that matches the
+        // client's tag still revalidates.
+        if let Some(inm) = if_none_match {
+            if etag_matches(inm, &etag) {
+                return Ok(ConditionalOutcome::NotModified { etag });
+            }
+        }
+        Ok(ConditionalOutcome::Full(ServerResponse {
+            xml: out.xml,
+            loosened_dtd: out.loosened_dtd,
+            cached: false,
+            etag,
+        }))
     }
 
     /// Answers a query against the requester's **view** of a document
@@ -444,7 +589,10 @@ impl SecureServer {
     /// Applies update operations on behalf of a requester (the paper's §8
     /// "support for write and update operations"), gated by the
     /// requester's **write** labeling. The updated document must remain
-    /// valid against its DTD; affected cache entries are dropped.
+    /// valid against its DTD. Committing rehashes the stored content, so
+    /// every cached view of the old bytes becomes structurally
+    /// unreachable; the explicit invalidation below only reclaims the
+    /// space early.
     pub fn update(&mut self, req: &ClientRequest, ops: &[UpdateOp]) -> Result<usize, ServerError> {
         let user = self.authenticate(req)?;
         let requester = Requester::new(&user, &req.ip, &req.sym)
@@ -503,6 +651,9 @@ impl SecureServer {
         }
 
         let xml = xmlsec_xml::serialize(&doc, &xmlsec_xml::SerializeOptions::canonical());
+        // Write-through: put_document rehashes, repointing every cache
+        // key for this URI; invalidate_uri then reclaims the dead
+        // entries' space immediately.
         self.repository.put_document(&req.uri, &xml, dtd_uri.as_deref());
         if let Some(c) = &self.cache {
             c.invalidate_uri(&req.uri);
@@ -638,13 +789,94 @@ mod tests {
         assert!(!r1.cached);
         assert!(r2.cached);
         assert_eq!(r1.xml, r2.xml);
+        assert_eq!(r1.etag, r2.etag, "a cached view carries the same strong tag");
         // Sam's applicable set differs — no cross-contamination.
         let r3 = s.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
         assert!(!r3.cached);
         assert_ne!(r3.xml, r1.xml);
+        assert_ne!(r3.etag, r1.etag, "different views carry different tags");
         let (hits, misses) = s.cache_stats();
         assert_eq!(hits, 1);
         assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn content_change_without_invalidation_misses() {
+        // The tentpole: mutating stored content *without* any
+        // invalidate call structurally misses the cache, because the
+        // registration-time content hash is part of the key.
+        let mut s = server();
+        let r1 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r1.cached);
+        assert!(s.handle(&req(None, "lab.xml")).unwrap().cached, "cache is warm");
+        s.repository_mut().put_document(
+            "lab.xml",
+            "<lab><news>updated</news><internal>budget</internal></lab>",
+            None,
+        );
+        let r2 = s.handle(&req(None, "lab.xml")).unwrap();
+        assert!(!r2.cached, "new content hash must miss the warm cache");
+        assert_eq!(r2.xml, "<lab><news>updated</news></lab>");
+        assert_ne!(r2.etag, r1.etag);
+        assert!(s.cache_stale_rejected() >= 1, "the dead twin is swept on the miss");
+        // Restoring the original bytes restores the original identity.
+        s.repository_mut().put_document(
+            "lab.xml",
+            "<lab><news>hello</news><internal>budget</internal></lab>",
+            None,
+        );
+        assert_eq!(s.handle(&req(None, "lab.xml")).unwrap().etag, r1.etag);
+    }
+
+    #[test]
+    fn conditional_request_revalidates_without_rendering() {
+        let s = server();
+        let r1 = s.handle(&req(None, "lab.xml")).unwrap();
+        // Matching tag → 304, from the cache.
+        let quoted = format!("\"{}\"", r1.etag);
+        match s.handle_conditional(&req(None, "lab.xml"), Some(&quoted)).unwrap() {
+            ConditionalOutcome::NotModified { etag } => assert_eq!(etag, r1.etag),
+            other => panic!("expected NotModified, got {other:?}"),
+        }
+        // Weak and list forms match too.
+        let listed = format!("\"zzz\", W/\"{}\"", r1.etag);
+        assert!(matches!(
+            s.handle_conditional(&req(None, "lab.xml"), Some(&listed)).unwrap(),
+            ConditionalOutcome::NotModified { .. }
+        ));
+        // A stale tag gets the full (cached) body.
+        match s.handle_conditional(&req(None, "lab.xml"), Some("\"stale\"")).unwrap() {
+            ConditionalOutcome::Full(resp) => {
+                assert!(resp.cached);
+                assert_eq!(resp.etag, r1.etag);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_request_revalidates_on_a_cold_cache() {
+        // Even when the server's own cache is cold, a client tag that
+        // matches the freshly rendered view revalidates to 304.
+        let s = server();
+        let etag = s.handle(&req(None, "lab.xml")).unwrap().etag;
+        let s2 = server(); // same content, cold cache
+        let quoted = format!("\"{etag}\"");
+        assert!(matches!(
+            s2.handle_conditional(&req(None, "lab.xml"), Some(&quoted)).unwrap(),
+            ConditionalOutcome::NotModified { .. }
+        ));
+    }
+
+    #[test]
+    fn etag_matching_grammar() {
+        assert!(etag_matches("\"abc\"", "abc"));
+        assert!(etag_matches("abc", "abc"), "unquoted token accepted leniently");
+        assert!(etag_matches("W/\"abc\"", "abc"));
+        assert!(etag_matches("\"x\", \"abc\" , \"y\"", "abc"));
+        assert!(etag_matches("*", "abc"));
+        assert!(!etag_matches("\"abcd\"", "abc"));
+        assert!(!etag_matches("", "abc"));
     }
 
     #[test]
@@ -728,6 +960,7 @@ mod tests {
         let got = par.handle(&req(Some(("Sam", "sam-secret")), "lab.xml")).unwrap();
         assert_eq!(got.xml, want.xml);
         assert_eq!(got.loosened_dtd, want.loosened_dtd);
+        assert_eq!(got.etag, want.etag, "the tag is content-derived, not instance-derived");
         assert!(!par.decision_cache().is_empty(), "requests must warm the decision cache");
     }
 
@@ -766,12 +999,76 @@ mod tests {
     }
 
     #[test]
+    fn grant_leaves_unrelated_documents_cached() {
+        // Invalidation is targeted: a grant on one document must not
+        // evict another document's cached views.
+        let mut s = server();
+        s.repository_mut()
+            .put_document("other.xml", "<lab><news>other</news></lab>", None);
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        let _ = s.handle(&req(None, "other.xml")).unwrap();
+        assert_eq!(s.cache_len(), 2);
+        s.grant(Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.xml:/lab/internal").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        assert_eq!(s.cache_len(), 1, "only lab.xml's entry is swept");
+        // Note: other.xml's *authorizations* did not change either, so
+        // the surviving entry is correct (the fingerprint pins that).
+        assert!(s.handle(&req(None, "other.xml")).unwrap().cached);
+    }
+
+    #[test]
+    fn schema_level_grant_sweeps_conforming_documents() {
+        // A schema-level authorization names the DTD URI, which is never
+        // itself a cache key; the sweep must resolve to the conforming
+        // documents. Pinned by cache_len, since the fingerprint change
+        // would mask the distinction on the next request.
+        let mut s = server();
+        s.repository_mut().put_dtd(
+            "lab.dtd",
+            "<!ELEMENT lab (news,internal)><!ELEMENT news (#PCDATA)>\
+             <!ELEMENT internal (#PCDATA)>",
+        );
+        s.repository_mut().put_document(
+            "typed.xml",
+            "<lab><news>hello</news><internal>budget</internal></lab>",
+            Some("lab.dtd"),
+        );
+        let _ = s.handle(&req(None, "typed.xml")).unwrap();
+        let _ = s.handle(&req(None, "lab.xml")).unwrap(); // not an instance
+        assert_eq!(s.cache_len(), 2);
+        s.grant(Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.dtd:/lab/internal").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        assert_eq!(s.cache_len(), 1, "conforming instance swept, unrelated doc kept");
+        let r = s.handle(&req(None, "typed.xml")).unwrap();
+        assert!(!r.cached);
+        assert!(r.xml.contains("budget"), "schema grant now applies: {}", r.xml);
+    }
+
+    #[test]
     fn without_cache_recomputes() {
         let s = server().without_cache();
         let r1 = s.handle(&req(None, "lab.xml")).unwrap();
         let r2 = s.handle(&req(None, "lab.xml")).unwrap();
         assert!(!r1.cached && !r2.cached);
         assert_eq!(s.cache_stats(), (0, 0));
+        assert_eq!(s.cache_len(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_capacity_evicts() {
+        let mut s = server().with_cache_capacity(1);
+        s.repository_mut().put_document("b.xml", "<lab><news>b</news></lab>", None);
+        let _ = s.handle(&req(None, "lab.xml")).unwrap();
+        let _ = s.handle(&req(None, "b.xml")).unwrap();
+        assert_eq!(s.cache_len(), 1, "capacity 1 holds one view");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Pins the multi-instance accounting of the `xmlsec_view_cache_entries`
+//! gauge: two live `ViewCache`s must *sum* into the shared gauge instead
+//! of clobbering each other's value (the old `set(len)` implementation
+//! made whichever cache last changed win).
+//!
+//! This lives in its own integration-test binary with exactly one test
+//! function: the telemetry registry is process-global, and sibling tests
+//! running on other threads of a shared binary would race the gauge.
+
+use xmlsec_server::{CachedView, ViewCache, ViewKey};
+use xmlsec_telemetry as telemetry;
+
+fn entries_gauge() -> i64 {
+    telemetry::global()
+        .render_prometheus()
+        .lines()
+        .find(|l| l.starts_with("xmlsec_view_cache_entries") && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn key(uri: &str, fp: u64) -> ViewKey {
+    ViewKey { uri: uri.to_string(), fingerprint: fp, content: 1 }
+}
+
+fn view() -> CachedView {
+    CachedView { xml: "<v/>".to_string(), loosened_dtd: None, etag: "t".to_string() }
+}
+
+#[test]
+fn two_live_caches_sum_into_the_entries_gauge() {
+    let base = entries_gauge();
+
+    let a = ViewCache::new();
+    let b = ViewCache::with_capacity(8);
+    a.put(key("a1", 1), view());
+    a.put(key("a2", 1), view());
+    a.put(key("a3", 1), view());
+    b.put(key("b1", 1), view());
+    b.put(key("b2", 1), view());
+    assert_eq!(entries_gauge(), base + 5, "both caches contribute");
+
+    // Touching one cache must not erase the other's contribution.
+    assert_eq!(a.invalidate_uri("a1"), 1);
+    assert_eq!(entries_gauge(), base + 4);
+
+    // Overwriting an existing key changes nothing.
+    b.put(key("b1", 1), view());
+    assert_eq!(entries_gauge(), base + 4);
+
+    // Eviction decrements.
+    let c = ViewCache::with_capacity(1);
+    c.put(key("c1", 1), view());
+    c.put(key("c2", 1), view());
+    assert_eq!(c.len(), 1);
+    assert_eq!(entries_gauge(), base + 5);
+
+    // A stale-twin sweep decrements.
+    assert!(c.get(&ViewKey { uri: "c2".into(), fingerprint: 1, content: 2 }).is_none());
+    assert_eq!(c.len(), 0);
+    assert_eq!(entries_gauge(), base + 4);
+
+    // Dropping a cache returns its remaining entries to the gauge.
+    drop(b);
+    assert_eq!(entries_gauge(), base + 2);
+
+    a.clear();
+    assert_eq!(entries_gauge(), base);
+    drop(a);
+    drop(c);
+    assert_eq!(entries_gauge(), base, "drop after clear must not double-subtract");
+}

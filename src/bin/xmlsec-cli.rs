@@ -73,6 +73,7 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   xacl:     --xacl F
   serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
             pool: [--workers N] [--backlog N] [--read-timeout-ms N] [--write-timeout-ms N]
+            cache: [--cache-capacity N (bound the view cache; 0=off)]
             limits: [--max-input-bytes N] [--max-depth N] [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
             parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
   stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
@@ -329,6 +330,19 @@ fn serve_config(
     Ok((cfg, limits))
 }
 
+/// Applies `--cache-capacity N` to a server: `0` disables the view
+/// cache entirely (every request recomputes), any other `N` bounds it.
+fn apply_cache_capacity(
+    server: xmlsec::server::SecureServer,
+    o: &Opts,
+) -> Result<xmlsec::server::SecureServer, String> {
+    Ok(match parse_num(o, "cache-capacity")? {
+        Some(0) => server.without_cache(),
+        Some(n) => server.with_cache_capacity(n),
+        None => server,
+    })
+}
+
 fn cmd_serve(o: &Opts) -> Result<(), String> {
     let (cfg, limits) = serve_config(o)?;
     let par = parallelism_config(o)?;
@@ -337,7 +351,7 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
     if let Some(site) = o.opt("site") {
         let (server, summary) =
             xmlsec::server::load_site(std::path::Path::new(site)).map_err(|e| e.to_string())?;
-        let server = server.with_limits(limits).with_parallelism(par);
+        let server = apply_cache_capacity(server.with_limits(limits).with_parallelism(par), o)?;
         let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
         let demo =
             xmlsec::server::HttpDemo::start_with(server, addr, cfg).map_err(|e| e.to_string())?;
@@ -377,7 +391,7 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         server.repository_mut().put_dtd(uri, &read(dtd_path)?);
     }
     server.repository_mut().put_document(o.one("uri")?, &xml, dtd_uri);
-    let server = server.with_limits(limits).with_parallelism(par);
+    let server = apply_cache_capacity(server.with_limits(limits).with_parallelism(par), o)?;
 
     let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
     let demo =

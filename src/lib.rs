@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use xmlsec_core::{compute_view, AccessRequest, DocumentSource, SecurityProcessor, Sign3};
     pub use xmlsec_dtd::{loosen, parse_dtd, serialize_dtd, Dtd};
-    pub use xmlsec_server::{ClientRequest, SecureServer, ServerError};
+    pub use xmlsec_server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError};
     pub use xmlsec_subjects::{Directory, Requester, Subject};
     pub use xmlsec_xml::{parse, render_tree, serialize, Document, SerializeOptions};
     pub use xmlsec_xpath::{parse_path, select};

@@ -1,0 +1,149 @@
+//! End-to-end cache-staleness pinning: the view cache's key is
+//! content-addressed (document bytes + DTD bytes, hashed at
+//! registration), so mutating repository content **without any
+//! invalidation call** must miss the cache and serve the fresh view.
+//!
+//! These tests fail on the pre-content-addressed key (authorization
+//! fingerprint only): there the warm entry still matches after the
+//! mutation and the stale — possibly over-permissive — view is served.
+//!
+//! Only per-instance statistics (`cache_stats`, `cache_stale_rejected`)
+//! are asserted here, so the tests are safe to run in parallel threads
+//! of this binary.
+
+use xmlsec::core::update::UpdateOp;
+use xmlsec::prelude::*;
+
+fn lab_server() -> SecureServer {
+    use xmlsec::workload::laboratory::*;
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    s.register_credentials("Tom", "pw-tom");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    s
+}
+
+fn tom_request(uri: &str) -> ClientRequest {
+    ClientRequest {
+        user: Some(("Tom".into(), "pw-tom".into())),
+        ip: "130.100.50.8".into(),
+        sym: "infosys.bld1.it".into(),
+        uri: uri.into(),
+    }
+}
+
+#[test]
+fn document_mutation_without_invalidation_serves_the_fresh_view() {
+    use xmlsec::workload::laboratory::*;
+    let mut s = lab_server();
+    let req = tom_request(CSLAB_URI);
+    let first = s.handle(&req).unwrap();
+    assert!(!first.cached);
+    assert!(s.handle(&req).unwrap().cached, "cache is warm");
+    assert!(first.xml.contains("Querying XML"));
+
+    // Mutate the stored bytes directly — deliberately NOT calling any
+    // invalidation hook. Drop the public paper from the document.
+    let stripped = CSLAB_XML.replace(
+        r#"<paper category="public" type="journal"><title>Querying XML</title></paper>"#,
+        "",
+    );
+    assert_ne!(stripped, CSLAB_XML, "the corpus line being stripped must exist");
+    s.repository_mut().put_document(CSLAB_URI, &stripped, Some(LAB_DTD_URI));
+
+    let fresh = s.handle(&req).unwrap();
+    assert!(!fresh.cached, "new content hash must structurally miss the warm cache");
+    assert!(
+        !fresh.xml.contains("Querying XML"),
+        "the stale view leaked removed content: {}",
+        fresh.xml
+    );
+    assert_ne!(fresh.etag, first.etag, "the entity tag tracks the content identity");
+    assert!(s.cache_stale_rejected() >= 1, "the dead entry is swept on the miss");
+}
+
+#[test]
+fn dtd_replacement_without_invalidation_misses_the_cache() {
+    use xmlsec::workload::laboratory::*;
+    let mut s = lab_server();
+    let req = tom_request(CSLAB_URI);
+    let first = s.handle(&req).unwrap();
+    assert!(s.handle(&req).unwrap().cached);
+
+    // Replace the DTD text (same elements, different bytes) without
+    // invalidating: the combined content identity must move, because
+    // the loosened DTD served with the view derives from these bytes.
+    let mut dtd2 = String::from("<!-- rev 2 -->\n");
+    dtd2.push_str(LAB_DTD);
+    s.repository_mut().put_dtd(LAB_DTD_URI, &dtd2);
+
+    let after = s.handle(&req).unwrap();
+    assert!(!after.cached, "a DTD change must repoint every conforming document's key");
+    assert_ne!(after.etag, first.etag);
+}
+
+#[test]
+fn committed_update_batch_is_immediately_visible_through_the_cached_path() {
+    // The §8 write pipeline: editor commits a batch, and the very next
+    // read — through the cache — serves the updated view, then caches
+    // *that* and keeps hitting it.
+    let mut dir = Directory::new();
+    dir.add_user("editor").unwrap();
+    dir.add_user("reader").unwrap();
+    dir.add_group("Team").unwrap();
+    dir.add_member("editor", "Team").unwrap();
+    dir.add_member("reader", "Team").unwrap();
+    let mut base = AuthorizationBase::new();
+    base.add(Authorization::new(
+        Subject::new("Team", "*", "*").unwrap(),
+        ObjectSpec::with_path("notes.xml", "/notes").unwrap(),
+        Sign::Plus,
+        AuthType::Recursive,
+    ));
+    base.add(
+        Authorization::new(
+            Subject::new("editor", "*", "*").unwrap(),
+            ObjectSpec::with_path("notes.xml", "/notes").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(xmlsec::authz::Action::Write),
+    );
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("editor", "pw");
+    s.register_credentials("reader", "pw");
+    s.repository_mut()
+        .put_document("notes.xml", "<notes><item>draft</item></notes>", None);
+    let req = |user: &str| ClientRequest {
+        user: Some((user.to_string(), "pw".to_string())),
+        ip: "10.0.0.1".into(),
+        sym: "ws.team.org".into(),
+        uri: "notes.xml".into(),
+    };
+
+    let before = s.handle(&req("reader")).unwrap();
+    assert!(s.handle(&req("reader")).unwrap().cached, "reader's view is warm");
+    assert!(before.xml.contains("draft"));
+
+    let touched = s
+        .update(
+            &req("editor"),
+            &[
+                UpdateOp::SetText { target: "/notes/item".into(), text: "final".into() },
+                UpdateOp::InsertElement { parent: "/notes".into(), name: "item".into() },
+            ],
+        )
+        .unwrap();
+    assert_eq!(touched, 2);
+
+    let after = s.handle(&req("reader")).unwrap();
+    assert!(!after.cached, "the committed batch repoints the key");
+    assert!(after.xml.contains("final"), "batch visible at once: {}", after.xml);
+    assert!(!after.xml.contains("draft"));
+    assert_ne!(after.etag, before.etag);
+    // And the *new* view caches normally.
+    let again = s.handle(&req("reader")).unwrap();
+    assert!(again.cached);
+    assert_eq!(again.xml, after.xml);
+    assert_eq!(again.etag, after.etag);
+}

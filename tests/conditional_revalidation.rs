@@ -1,0 +1,81 @@
+//! Conditional revalidation end to end, pinned against the pipeline-run
+//! counter: an `If-None-Match` hit answers 304 **without invoking
+//! compute-view at all** — `xmlsec_pipeline_runs_total` must not move.
+//!
+//! This file contains exactly one test function on purpose: the
+//! assertion reads a process-global telemetry counter, and sibling tests
+//! running on other threads of the same binary would race it. A separate
+//! integration-test file is a separate process.
+
+use xmlsec::prelude::*;
+use xmlsec::telemetry;
+
+fn pipeline_runs() -> u64 {
+    telemetry::global()
+        .render_prometheus()
+        .lines()
+        .find(|l| l.starts_with("xmlsec_pipeline_runs_total") && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn if_none_match_hit_skips_the_pipeline_entirely() {
+    use xmlsec::workload::laboratory::*;
+    let mut s = SecureServer::new(lab_directory(), lab_authorization_base());
+    s.register_credentials("Tom", "pw-tom");
+    s.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    s.repository_mut().put_document(CSLAB_URI, CSLAB_XML, Some(LAB_DTD_URI));
+    let req = ClientRequest {
+        user: Some(("Tom".into(), "pw-tom".into())),
+        ip: "130.100.50.8".into(),
+        sym: "infosys.bld1.it".into(),
+        uri: CSLAB_URI.into(),
+    };
+
+    // First request renders: exactly one pipeline run.
+    let runs0 = pipeline_runs();
+    let first = match s.handle_conditional(&req, None).unwrap() {
+        ConditionalOutcome::Full(resp) => resp,
+        other => panic!("expected a full response, got {other:?}"),
+    };
+    assert!(!first.cached);
+    assert!(!first.etag.is_empty());
+    assert_eq!(pipeline_runs(), runs0 + 1);
+
+    // Revalidation with the current tag: 304, zero pipeline runs.
+    let quoted = format!("\"{}\"", first.etag);
+    let runs1 = pipeline_runs();
+    match s.handle_conditional(&req, Some(&quoted)).unwrap() {
+        ConditionalOutcome::NotModified { etag } => assert_eq!(etag, first.etag),
+        other => panic!("expected 304, got {other:?}"),
+    }
+    assert_eq!(pipeline_runs(), runs1, "a 304 must not invoke compute-view");
+
+    // A stale client tag gets the cached body — still no pipeline run.
+    match s.handle_conditional(&req, Some("\"stale\"")).unwrap() {
+        ConditionalOutcome::Full(resp) => {
+            assert!(resp.cached);
+            assert_eq!(resp.etag, first.etag);
+        }
+        other => panic!("expected a full cached response, got {other:?}"),
+    }
+    assert_eq!(pipeline_runs(), runs1, "a cache hit must not invoke compute-view");
+
+    // Mutating the content retires the tag: the old tag now misses and
+    // the pipeline runs exactly once for the re-render.
+    let mutated = CSLAB_XML.replace("Querying XML", "Indexing XML");
+    assert_ne!(mutated, CSLAB_XML);
+    s.repository_mut().put_document(CSLAB_URI, &mutated, Some(LAB_DTD_URI));
+    let runs2 = pipeline_runs();
+    match s.handle_conditional(&req, Some(&quoted)).unwrap() {
+        ConditionalOutcome::Full(resp) => {
+            assert!(!resp.cached);
+            assert_ne!(resp.etag, first.etag);
+            assert!(resp.xml.contains("Indexing XML"));
+        }
+        other => panic!("expected a fresh full response, got {other:?}"),
+    }
+    assert_eq!(pipeline_runs(), runs2 + 1);
+}

@@ -65,6 +65,49 @@ fn percent_encoded_queries_with_conditions() {
 }
 
 #[test]
+fn conditional_revalidation_over_the_wire() {
+    let demo = demo();
+    let target = "/CSlab.xml?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it";
+
+    // First GET: 200 with a strong ETag and revalidation directives.
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(conn, "GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header block");
+    assert!(head.contains("Cache-Control: private, no-cache"), "{head}");
+    let etag = head
+        .lines()
+        .find_map(|l| l.strip_prefix("ETag: "))
+        .expect("view response carries an ETag")
+        .trim()
+        .to_string();
+    assert!(etag.starts_with('"') && etag.ends_with('"'), "{etag}");
+    assert!(body.contains("<!-- loosened DTD -->"), "{body}");
+
+    // Replay with If-None-Match: 304, empty body, tag restated.
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(conn, "GET {target} HTTP/1.0\r\nHost: t\r\nIf-None-Match: {etag}\r\n\r\n")
+        .expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.0 304"), "{buf}");
+    let (head304, body304) = buf.split_once("\r\n\r\n").expect("header block");
+    assert!(body304.is_empty(), "a 304 carries no body: {body304:?}");
+    assert!(head304.contains(&format!("ETag: {etag}")), "{head304}");
+
+    // A different requester class gets a different view, hence a
+    // different tag — the old tag must NOT revalidate for it.
+    let anon = "/CSlab.xml?ip=130.100.50.8&host=pc.lab.com";
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(conn, "GET {anon} HTTP/1.0\r\nHost: t\r\nIf-None-Match: {etag}\r\n\r\n").expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.0 200"), "another class must re-render: {buf}");
+}
+
+#[test]
 fn malformed_ip_parameter_is_bad_request() {
     let demo = demo();
     let (code, _) = get(&demo, "/CSlab.xml?user=Tom&pass=pw&ip=not-an-ip&host=a.b.it");
@@ -119,6 +162,10 @@ fn metrics_endpoint_exposes_pipeline_cache_and_request_series() {
     // Cache hit/miss counters.
     assert!(counter("xmlsec_view_cache_hits_total") >= 1, "{body}");
     assert!(counter("xmlsec_view_cache_misses_total") >= 1, "{body}");
+    // Content-hash lifecycle: registrations rehash, pipelines are counted.
+    assert!(counter(r#"xmlsec_repo_rehash_total{kind="document"}"#) >= 1, "{body}");
+    assert!(counter(r#"xmlsec_repo_rehash_total{kind="dtd"}"#) >= 1, "{body}");
+    assert!(counter("xmlsec_pipeline_runs_total") >= 1, "{body}");
     // Parser and XPath substrate counters fed by the same requests.
     assert!(counter("xmlsec_xml_parse_documents_total") >= 1, "{body}");
     assert!(counter("xmlsec_xpath_evaluations_total") >= 1, "{body}");

@@ -10,7 +10,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use xmlsec::core::ResourceLimits;
-use xmlsec::server::{HttpConfig, HttpDemo, SecureServer};
+use xmlsec::server::{ClientRequest, HttpConfig, HttpDemo, SecureServer};
 use xmlsec::xml::Limits;
 use xmlsec::xpath::EvalLimits;
 use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
@@ -249,6 +249,57 @@ fn injected_faults_are_isolated_and_observable() {
     // concurrently, so assert registration and sanity, not emptiness.
     assert!(value("xmlsec_server_queue_depth") >= 0, "{metrics}");
     clear();
+}
+
+/// Cache churn under adversarial conditions: content mutated every
+/// round with **no invalidation call at all**, on both an unbounded and
+/// a capacity-bounded cache. The content-addressed key plus the lazy
+/// stale sweep must keep the cache (and its insertion-order list)
+/// bounded by live entries while every response stays fresh.
+#[test]
+fn cache_churn_stays_bounded_without_explicit_invalidation() {
+    let req = ClientRequest {
+        user: Some(("tom".into(), "pw".into())),
+        ip: "1.2.3.4".into(),
+        sym: "h.x.org".into(),
+        uri: "doc.xml".into(),
+    };
+    let mut s = base_server();
+    for round in 0..200 {
+        // Mutate the stored bytes directly — the hostile-operator path
+        // that bypasses every invalidation hook.
+        s.repository_mut()
+            .put_document("doc.xml", &format!("<d><pub>v{round}</pub></d>"), None);
+        let fresh = s.handle(&req).expect("serve");
+        assert!(!fresh.cached, "round {round}: stale hit");
+        assert!(fresh.xml.contains(&format!("v{round}")), "round {round}: {}", fresh.xml);
+        assert!(s.handle(&req).expect("serve").cached, "round {round}: rewarm");
+        assert!(s.cache_len() <= 1, "round {round}: stale twins accumulate: {}", s.cache_len());
+    }
+    assert!(s.cache_stale_rejected() >= 199, "sweeps: {}", s.cache_stale_rejected());
+
+    // Same churn against a bounded cache across several documents, with
+    // grant/revoke mixed in: capacity holds and the server keeps serving.
+    let mut s = base_server().with_cache_capacity(4);
+    for uri in ["a.xml", "b.xml", "c.xml", "d.xml", "e.xml", "f.xml"] {
+        s.grant(Authorization::new(
+            Subject::new("tom", "*", "*").expect("subject"),
+            ObjectSpec::with_path(uri, "/d").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+    }
+    for round in 0..50 {
+        for uri in ["a.xml", "b.xml", "c.xml", "d.xml", "e.xml", "f.xml"] {
+            s.repository_mut()
+                .put_document(uri, &format!("<d><pub>{uri}-{round}</pub></d>"), None);
+            let mut r = req.clone();
+            r.uri = uri.into();
+            let resp = s.handle(&r).expect("serve");
+            assert!(resp.xml.contains(&format!("{uri}-{round}")));
+            assert!(s.cache_len() <= 4, "round {round}: capacity breached: {}", s.cache_len());
+        }
+    }
 }
 
 /// Graceful shutdown drains queued work before returning.
