@@ -1,0 +1,173 @@
+//! The shared finding model for every static check in the workspace.
+//!
+//! Three families of checks report through this one type so front ends
+//! (the CLI `analyze` command, the server's grant/revoke pre-flight, CI)
+//! can consume a single stream:
+//!
+//! - per-rule lints ([`crate::lint`]): unknown subjects, duplicates,
+//!   shadowing, contradictions;
+//! - schema coverage (dead object paths, in `xmlsec-core`);
+//! - the whole-policy static analyzer (decision tables, empty views,
+//!   context-stripped exposure, semantic shadowing, overlap conflicts —
+//!   also in `xmlsec-core`).
+//!
+//! Severity is the contract with CI: `Error` findings fail the build
+//! (deny by default), `Warning` findings are surfaced for review,
+//! `Info` findings are informational only.
+
+use std::fmt;
+
+/// How serious a finding is. Orders from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The policy is broken: a rule can never apply, an object can never
+    /// select anything. CI fails on these.
+    Error,
+    /// The policy is suspicious: semantically dead rules, subjects that
+    /// can never see anything, structure-revealing exposure.
+    Warning,
+    /// Worth knowing, usually intentional: contradictions that encode
+    /// exceptions, conflicts confined to subject overlaps.
+    Info,
+}
+
+impl Severity {
+    /// The lowercase name used in human and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a finding points: any combination of an authorization index
+/// (into the analyzed slice), a schema node (rendered `<e>` / `<e>/@a`),
+/// and a subject (rendered `⟨ug, ip, sn⟩`). All optional — a whole-policy
+/// finding may concern a subject with no specific rule, a rule-level lint
+/// no schema node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Index of the primary authorization concerned.
+    pub auth: Option<usize>,
+    /// Index of a second authorization (pairs: shadowing, conflicts).
+    pub other_auth: Option<usize>,
+    /// The schema node concerned, in display form.
+    pub node: Option<String>,
+    /// The subject concerned, in display form.
+    pub subject: Option<String>,
+}
+
+/// One finding from any static check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Stable kebab-case identifier of the finding family (e.g.
+    /// `dead-path`, `empty-view`, `context-stripped`). The JSON contract
+    /// keys off this.
+    pub kind: String,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding with an empty span.
+    pub fn new(severity: Severity, kind: &str, message: impl Into<String>) -> Finding {
+        Finding { severity, kind: kind.to_string(), span: Span::default(), message: message.into() }
+    }
+
+    /// Sets the primary authorization index.
+    pub fn with_auth(mut self, auth: usize) -> Finding {
+        self.span.auth = Some(auth);
+        self
+    }
+
+    /// Sets the secondary authorization index (pair findings).
+    pub fn with_other_auth(mut self, other: usize) -> Finding {
+        self.span.other_auth = Some(other);
+        self
+    }
+
+    /// Sets the schema node.
+    pub fn with_node(mut self, node: impl Into<String>) -> Finding {
+        self.span.node = Some(node.into());
+        self
+    }
+
+    /// Sets the subject.
+    pub fn with_subject(mut self, subject: impl Into<String>) -> Finding {
+        self.span.subject = Some(subject.into());
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.kind)?;
+        if let Some(a) = self.span.auth {
+            write!(f, " #{a}")?;
+        }
+        if let Some(b) = self.span.other_auth {
+            write!(f, "/#{b}")?;
+        }
+        if let Some(n) = &self.span.node {
+            write!(f, " {n}")?;
+        }
+        if let Some(s) = &self.span.subject {
+            write!(f, " {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Counts findings by severity: `(errors, warnings, infos)`.
+pub fn severity_counts(findings: &[Finding]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for f in findings {
+        match f.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warning => counts.1 += 1,
+            Severity::Info => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_span() {
+        let f = Finding::new(Severity::Error, "dead-path", "selects nothing")
+            .with_auth(3)
+            .with_node("<paper>");
+        assert_eq!(f.to_string(), "error[dead-path] #3 <paper>: selects nothing");
+        let pair = Finding::new(Severity::Warning, "shadowed", "redundant")
+            .with_auth(1)
+            .with_other_auth(2);
+        assert_eq!(pair.to_string(), "warning[shadowed] #1/#2: redundant");
+    }
+
+    #[test]
+    fn severities_order_and_count() {
+        assert!(Severity::Error < Severity::Warning);
+        let fs = vec![
+            Finding::new(Severity::Error, "a", ""),
+            Finding::new(Severity::Warning, "b", ""),
+            Finding::new(Severity::Warning, "c", ""),
+            Finding::new(Severity::Info, "d", ""),
+        ];
+        assert_eq!(severity_counts(&fs), (1, 2, 1));
+    }
+}

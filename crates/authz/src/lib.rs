@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod finding;
 pub mod lint;
 pub mod model;
 pub mod policy;
@@ -31,6 +32,9 @@ pub mod store;
 pub mod temporal;
 pub mod xacl;
 
+pub use finding::{severity_counts, Finding, Severity, Span};
+pub use lint::lint_policy;
+#[allow(deprecated)]
 pub use lint::{lint, LintFinding};
 pub use model::{Action, AuthType, Authorization, ObjectSpec, Sign};
 pub use policy::{resolve_sign, CompletenessPolicy, ConflictResolution, PolicyConfig};

@@ -17,11 +17,16 @@
 //!   written) but worth surfacing, since the outcome then hinges on the
 //!   conflict-resolution policy when the subjects are *equal*.
 
+use crate::finding::{Finding, Severity};
 use crate::model::Authorization;
 use std::fmt;
 use xmlsec_subjects::Directory;
 
 /// One finding.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `lint_policy` and the shared `xmlsec_authz::Finding` type"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum LintFinding {
     /// The subject's user/group is not in the directory.
@@ -65,6 +70,7 @@ pub enum LintFinding {
     },
 }
 
+#[allow(deprecated)]
 impl fmt::Display for LintFinding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,7 +96,71 @@ impl fmt::Display for LintFinding {
 }
 
 /// Lints `auths` against `dir`, returning all findings.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `lint_policy` and the shared `xmlsec_authz::Finding` type"
+)]
+#[allow(deprecated)]
 pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
+    lint_impl(auths, dir)
+}
+
+/// Lints `auths` against `dir`, reporting through the shared
+/// [`Finding`] model (severities: unknown subject is an error — the rule
+/// can never apply; empty groups, duplicates, and shadowing are
+/// warnings; contradictions are informational, since that is how
+/// exceptions are written).
+pub fn lint_policy(auths: &[Authorization], dir: &Directory) -> Vec<Finding> {
+    #[allow(deprecated)]
+    lint_impl(auths, dir)
+        .into_iter()
+        .map(|f| {
+            #[allow(deprecated)]
+            match f {
+                LintFinding::UnknownSubject { index, user_group } => Finding::new(
+                    Severity::Error,
+                    "unknown-subject",
+                    format!("subject {user_group:?} is not in the directory"),
+                )
+                .with_auth(index),
+                LintFinding::EmptyGroup { index, group } => Finding::new(
+                    Severity::Warning,
+                    "empty-group",
+                    format!("group {group:?} has no members; the authorization applies to nobody"),
+                )
+                .with_auth(index),
+                LintFinding::Duplicate { first, second } => Finding::new(
+                    Severity::Warning,
+                    "duplicate",
+                    "duplicates an earlier identical authorization",
+                )
+                .with_auth(second)
+                .with_other_auth(first),
+                LintFinding::Shadowed { shadowed, by } => Finding::new(
+                    Severity::Warning,
+                    "shadowed",
+                    "redundant: a more general authorization has the same object, action, type, and sign",
+                )
+                .with_auth(shadowed)
+                .with_other_auth(by),
+                LintFinding::Contradiction { plus, minus, same_subject } => Finding::new(
+                    Severity::Info,
+                    "contradiction",
+                    if same_subject {
+                        "permission and denial on the same object with the same subject; the outcome depends only on the conflict-resolution policy"
+                    } else {
+                        "permission and denial on the same object with comparable subjects (this is how exceptions are written)"
+                    },
+                )
+                .with_auth(plus)
+                .with_other_auth(minus),
+            }
+        })
+        .collect()
+}
+
+#[allow(deprecated)]
+fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
     let mut out = Vec::new();
 
     for (i, a) in auths.iter().enumerate() {
@@ -144,6 +214,7 @@ pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::{AuthType, ObjectSpec, Sign};
@@ -233,6 +304,27 @@ mod tests {
         // stays quiet (both can coexist meaningfully).
         let f = lint(&a, &d);
         assert!(!f.iter().any(|x| matches!(x, LintFinding::Contradiction { .. })), "{f:?}");
+    }
+
+    #[test]
+    fn lint_policy_maps_to_shared_findings() {
+        let a = [
+            auth("nobody", "/a", Sign::Plus),
+            auth("Staff", "/a", Sign::Plus),
+            auth("Staff", "/a", Sign::Plus),
+            auth("tom", "/a", Sign::Minus),
+        ];
+        let fs = lint_policy(&a, &dir());
+        let unknown = fs.iter().find(|f| f.kind == "unknown-subject").unwrap();
+        assert_eq!(unknown.severity, Severity::Error);
+        assert_eq!(unknown.span.auth, Some(0));
+        let dup = fs.iter().find(|f| f.kind == "duplicate").unwrap();
+        assert_eq!(dup.severity, Severity::Warning);
+        assert_eq!((dup.span.auth, dup.span.other_auth), (Some(2), Some(1)));
+        let contra = fs.iter().find(|f| f.kind == "contradiction").unwrap();
+        assert_eq!(contra.severity, Severity::Info);
+        // Old and new APIs see the same underlying facts.
+        assert_eq!(fs.len(), lint(&a, &dir()).len());
     }
 
     #[test]

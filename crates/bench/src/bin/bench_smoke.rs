@@ -5,7 +5,8 @@
 //! the default resource limits enforced), B12 (parallel labeling,
 //! sequential vs 4 threads on the hospital corpus), and B13
 //! (content-addressed cache churn, and the ETag/If-None-Match 304
-//! revalidation path that skips the pipeline) — and writes them as
+//! revalidation path that skips the pipeline), and B14 (whole-policy
+//! static analysis over the hospital corpus) — and writes them as
 //! flat JSON at the repo root (`BENCH_<n+1>.json` by default, one past
 //! the highest checked-in point, so the series extends without workflow
 //! edits) — every PR leaves a perf record the next PR is judged against.
@@ -29,8 +30,10 @@ use std::time::{Duration, Instant};
 use xmlsec_bench::{hospital_scenario, lab_scenario, run_view, run_view_parallel};
 use xmlsec_core::par::available_cores;
 use xmlsec_core::{
-    AccessRequest, DocumentSource, ProcessorOptions, ResourceLimits, SecurityProcessor,
+    analyze_policy, closure_subjects, AccessRequest, DocumentSource, PolicyConfig,
+    ProcessorOptions, ResourceLimits, SecurityProcessor,
 };
+use xmlsec_dtd::parse_dtd;
 use xmlsec_server::{ClientRequest, ConditionalOutcome, SecureServer};
 use xmlsec_workload::laboratory::{
     lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
@@ -239,12 +242,33 @@ fn main() {
     });
     eprintln!("  b13_not_modified_ms = {b13_not_modified_ms:.5}");
 
+    // B14 — whole-policy static analysis on the hospital corpus: the
+    // schema-level abstract interpretation over every closure subject.
+    let hospital_dtd = parse_dtd(xmlsec_workload::hospital::HOSPITAL_DTD).expect("hospital DTD");
+    let hospital_auths = xmlsec_workload::hospital::hospital_authorizations();
+    let hospital_dir = xmlsec_workload::hospital::hospital_directory();
+    let b14_analyze_ms = time_ms(&cfg, || {
+        let subjects = closure_subjects(&hospital_auths, &hospital_dir);
+        black_box(analyze_policy(
+            &hospital_dtd,
+            "ward",
+            xmlsec_workload::hospital::HOSPITAL_DTD_URI,
+            &hospital_auths,
+            &hospital_dir,
+            PolicyConfig::paper_default(),
+            &subjects,
+        ));
+    });
+    eprintln!("  b14_analyze_ms = {b14_analyze_ms:.3}");
+
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
          \"b1_view_ms\": {b1_view_ms:.4},\n  \"b10_pipeline_ms\": {b10_pipeline_ms:.4},\n  \
          \"b11_limits_ms\": {b11_limits_ms:.4},\n  \"b12_seq_ms\": {b12_seq_ms:.4},\n  \
          \"b12_par4_ms\": {b12_par4_ms:.4},\n  \"b12_speedup_4t\": {b12_speedup_4t:.4},\n  \
-         \"b12_gated\": {}\n}}\n",
+         \"b12_gated\": {},\n  \"b13_churn_ms\": {b13_churn_ms:.4},\n  \
+         \"b13_not_modified_ms\": {b13_not_modified_ms:.5},\n  \
+         \"b14_analyze_ms\": {b14_analyze_ms:.4}\n}}\n",
         if b12_gated { 1 } else { 0 },
     );
     std::fs::write(&out, &json).expect("write bench JSON");

@@ -44,17 +44,17 @@ impl std::fmt::Display for SchemaNode {
 }
 
 /// The element-containment graph of a DTD.
-struct SchemaGraph<'d> {
-    dtd: &'d Dtd,
+pub(crate) struct SchemaGraph<'d> {
+    pub(crate) dtd: &'d Dtd,
     /// element → child element names (from its content model).
-    children: BTreeMap<&'d str, BTreeSet<&'d str>>,
+    pub(crate) children: BTreeMap<&'d str, BTreeSet<&'d str>>,
     /// element → parent element names.
-    parents: BTreeMap<&'d str, BTreeSet<&'d str>>,
-    root: &'d str,
+    pub(crate) parents: BTreeMap<&'d str, BTreeSet<&'d str>>,
+    pub(crate) root: &'d str,
 }
 
 impl<'d> SchemaGraph<'d> {
-    fn new(dtd: &'d Dtd, root: &'d str) -> Self {
+    pub(crate) fn new(dtd: &'d Dtd, root: &'d str) -> Self {
         let mut children: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
         let mut parents: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
         for (name, decl) in &dtd.elements {
@@ -71,15 +71,15 @@ impl<'d> SchemaGraph<'d> {
         SchemaGraph { dtd, children, parents, root }
     }
 
-    fn kids(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
+    pub(crate) fn kids(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
         self.children.get(e).into_iter().flatten().copied()
     }
 
-    fn pars(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
+    pub(crate) fn pars(&self, e: &str) -> impl Iterator<Item = &'d str> + '_ {
         self.parents.get(e).into_iter().flatten().copied()
     }
 
-    fn descendants(&self, e: &str) -> BTreeSet<&'d str> {
+    pub(crate) fn descendants(&self, e: &str) -> BTreeSet<&'d str> {
         let mut out = BTreeSet::new();
         let mut stack: Vec<&str> = self.kids(e).collect();
         while let Some(x) = stack.pop() {
@@ -90,7 +90,7 @@ impl<'d> SchemaGraph<'d> {
         out
     }
 
-    fn ancestors(&self, e: &str) -> BTreeSet<&'d str> {
+    pub(crate) fn ancestors(&self, e: &str) -> BTreeSet<&'d str> {
         let mut out = BTreeSet::new();
         let mut stack: Vec<&str> = self.pars(e).collect();
         while let Some(x) = stack.pop() {
@@ -175,8 +175,17 @@ pub fn schema_coverage(dtd: &Dtd, root_element: &str, path: &PathExpr) -> BTreeS
                         }
                     }
                 }
-                Axis::Ancestor | Axis::AncestorOrSelf => {
-                    if let Ctx::El(e) = ctx {
+                Axis::Ancestor | Axis::AncestorOrSelf => match ctx {
+                    Ctx::Root => {
+                        // The virtual document root has no ancestors; it is
+                        // its own ancestor-or-self.
+                        if step.axis == Axis::AncestorOrSelf
+                            && matches!(step.test, NodeTest::AnyNode)
+                        {
+                            next.insert(Ctx::Root);
+                        }
+                    }
+                    Ctx::El(e) => {
                         let mut set = g.ancestors(e);
                         if step.axis == Axis::AncestorOrSelf {
                             set.insert(e);
@@ -186,8 +195,14 @@ pub fn schema_coverage(dtd: &Dtd, root_element: &str, path: &PathExpr) -> BTreeS
                                 next.insert(Ctx::El(a));
                             }
                         }
+                        // The document root is an ancestor of every element
+                        // node; dropping it made downstream `/rootname`
+                        // steps falsely dead.
+                        if matches!(step.test, NodeTest::AnyNode) {
+                            next.insert(Ctx::Root);
+                        }
                     }
-                }
+                },
                 Axis::SelfAxis => match ctx {
                     Ctx::Root => {
                         if matches!(step.test, NodeTest::AnyNode) {
@@ -247,7 +262,7 @@ pub fn schema_coverage(dtd: &Dtd, root_element: &str, path: &PathExpr) -> BTreeS
     out
 }
 
-fn name_matches(test: &NodeTest, name: &str) -> bool {
+pub(crate) fn name_matches(test: &NodeTest, name: &str) -> bool {
     match test {
         NodeTest::Name(n) => n == name,
         NodeTest::Wildcard | NodeTest::AnyNode => true,
@@ -286,6 +301,32 @@ pub fn analyze_against_schema(
                 }
             };
             AuthCoverage { authorization: a.to_string(), covers }
+        })
+        .collect()
+}
+
+/// Schema-coverage findings on the shared [`Finding`] model: one
+/// `dead-path` error per authorization whose object can never select a
+/// declaration of the DTD.
+pub fn coverage_findings(
+    dtd: &Dtd,
+    root_element: &str,
+    auths: &[Authorization],
+) -> Vec<xmlsec_authz::Finding> {
+    analyze_against_schema(dtd, root_element, auths)
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.covers.is_empty())
+        .map(|(i, c)| {
+            xmlsec_authz::Finding::new(
+                xmlsec_authz::Severity::Error,
+                "dead-path",
+                format!(
+                    "object path of `{}` selects nothing on any instance of the DTD",
+                    c.authorization
+                ),
+            )
+            .with_auth(i)
         })
         .collect()
 }
@@ -379,6 +420,75 @@ mod tests {
         assert_eq!(c.len(), 1);
         let p2 = parse_path("//part/part/part").unwrap();
         assert_eq!(schema_coverage(&dtd, "part", &p2).len(), 1);
+    }
+
+    #[test]
+    fn ancestor_axis_reaches_document_root() {
+        // Regression: `ancestor::node()` dropped the document root, so a
+        // downstream step naming the root element was falsely dead —
+        // concretely, `//label/ancestor::node()/doc` selects <doc> on
+        // every instance that has a label.
+        let dtd = parse_dtd(
+            "<!ELEMENT doc (sec)><!ELEMENT sec (sec*, label?)><!ELEMENT label (#PCDATA)>",
+        )
+        .unwrap();
+        let p = parse_path("//label/ancestor::node()/doc").unwrap();
+        let c = schema_coverage(&dtd, "doc", &p);
+        assert_eq!(c.into_iter().map(|n| n.to_string()).collect::<Vec<_>>(), vec!["<doc>"]);
+        // ancestor-or-self keeps the root context too.
+        let p2 =
+            parse_path("//label/ancestor-or-self::node()/ancestor-or-self::node()/doc").unwrap();
+        assert_eq!(schema_coverage(&dtd, "doc", &p2).len(), 1);
+        // A named ancestor test must NOT smuggle in the virtual root.
+        let p3 = parse_path("//label/ancestor::doc/doc").unwrap();
+        assert!(schema_coverage(&dtd, "doc", &p3).is_empty());
+    }
+
+    #[test]
+    fn recursive_cycles_terminate_on_upward_axes() {
+        // Self-recursive content model: ancestor/`..` chains cycle in the
+        // schema graph; the visited sets must terminate and the coverage
+        // stays exact.
+        let dtd = parse_dtd("<!ELEMENT part (part*, label?)><!ELEMENT label (#PCDATA)>").unwrap();
+        for path in ["//label/ancestor::part", "//label/../../..", "//part/ancestor-or-self::part"]
+        {
+            let p = parse_path(path).unwrap();
+            let c = schema_coverage(&dtd, "part", &p);
+            assert_eq!(
+                c.into_iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+                vec!["<part>"],
+                "{path}"
+            );
+        }
+        // Round trip through the cycle and back down.
+        let p = parse_path("//label/ancestor::node()/part/label").unwrap();
+        assert_eq!(schema_coverage(&dtd, "part", &p).len(), 1);
+    }
+
+    #[test]
+    fn coverage_findings_flag_dead_paths_only() {
+        use xmlsec_authz::{AuthType, ObjectSpec, Severity, Sign};
+        use xmlsec_subjects::Subject;
+        let dtd = parse_dtd(LAB).unwrap();
+        let auths = vec![
+            Authorization::new(
+                Subject::new("Public", "*", "*").unwrap(),
+                ObjectSpec::with_path("lab.dtd", "//paper").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+            Authorization::new(
+                Subject::new("Public", "*", "*").unwrap(),
+                ObjectSpec::with_path("lab.dtd", "//papre").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ),
+        ];
+        let fs = coverage_findings(&dtd, "laboratory", &auths);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].kind, "dead-path");
+        assert_eq!(fs[0].severity, Severity::Error);
+        assert_eq!(fs[0].span.auth, Some(1));
     }
 
     #[test]

@@ -42,10 +42,13 @@ pub mod naive;
 pub mod par;
 pub mod processor;
 pub mod stages;
+pub mod static_analysis;
 pub mod update;
 pub mod view;
 
-pub use analysis::{analyze_against_schema, schema_coverage, AuthCoverage, SchemaNode};
+pub use analysis::{
+    analyze_against_schema, coverage_findings, schema_coverage, AuthCoverage, SchemaNode,
+};
 pub use decision::{policy_fingerprint, DecisionCache, DecisionKey};
 pub use label::{first_def, Label, Sign3};
 pub use limits::ResourceLimits;
@@ -53,6 +56,9 @@ pub use naive::{compute_view_naive, naive_final_sign};
 pub use par::Parallelism;
 pub use processor::{
     AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions, SecurityProcessor,
+};
+pub use static_analysis::{
+    analyze_policy, closure_subjects, Cell, PolicyReport, SubjectTable, Verdict,
 };
 pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
 pub use view::{

@@ -1,0 +1,278 @@
+//! The abstract domain of the static policy analyzer: sets of possible
+//! signs.
+//!
+//! The concrete domain of `compute-view` labeling is [`Sign3`]
+//! (`+`/`−`/`ε`); the abstract domain is its powerset, a [`SignSet`]
+//! meaning "over all instances of the DTD, the concrete value is one of
+//! these". Every abstract operator over-approximates its concrete
+//! counterpart pointwise, so a singleton at the end of the pipeline is a
+//! *guarantee*: the concrete labeling produces exactly that sign on every
+//! conforming instance. The converse direction is deliberately lost —
+//! a non-singleton only means the analyzer could not prove a constant,
+//! which is what makes "instance-dependent" a conservative verdict.
+
+use crate::label::Sign3;
+use std::fmt;
+
+const PLUS: u8 = 0b001;
+const MINUS: u8 = 0b010;
+const EPSBIT: u8 = 0b100;
+
+/// A set of possible [`Sign3`] values (subset of `{+, −, ε}`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SignSet(u8);
+
+impl SignSet {
+    /// No possible value (unreached fixpoint bottom).
+    pub const EMPTY: SignSet = SignSet(0);
+    /// Exactly `ε`.
+    pub const EPS: SignSet = SignSet(EPSBIT);
+    /// Any value: the analyzer knows nothing.
+    pub const TOP: SignSet = SignSet(PLUS | MINUS | EPSBIT);
+
+    fn bit(s: Sign3) -> u8 {
+        match s {
+            Sign3::Plus => PLUS,
+            Sign3::Minus => MINUS,
+            Sign3::Eps => EPSBIT,
+        }
+    }
+
+    /// The set containing only `s`.
+    pub fn singleton(s: Sign3) -> SignSet {
+        SignSet(Self::bit(s))
+    }
+
+    /// Adds `s`.
+    pub fn insert(&mut self, s: Sign3) {
+        self.0 |= Self::bit(s);
+    }
+
+    /// Membership.
+    pub fn contains(self, s: Sign3) -> bool {
+        self.0 & Self::bit(s) != 0
+    }
+
+    /// Set union (the abstract join).
+    #[must_use]
+    pub fn union(self, other: SignSet) -> SignSet {
+        SignSet(self.0 | other.0)
+    }
+
+    /// `true` when no value is possible.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when a defined sign (`+` or `−`) is possible.
+    pub fn has_def(self) -> bool {
+        self.0 & (PLUS | MINUS) != 0
+    }
+
+    /// The defined part: the set minus `ε`.
+    #[must_use]
+    pub fn def_part(self) -> SignSet {
+        SignSet(self.0 & (PLUS | MINUS))
+    }
+
+    /// `Some(sign)` when exactly one value is possible.
+    pub fn as_singleton(self) -> Option<Sign3> {
+        match self.0 {
+            PLUS => Some(Sign3::Plus),
+            MINUS => Some(Sign3::Minus),
+            EPSBIT => Some(Sign3::Eps),
+            _ => None,
+        }
+    }
+
+    /// The possible values, in `+`, `−`, `ε` order.
+    pub fn iter(self) -> impl Iterator<Item = Sign3> {
+        [Sign3::Plus, Sign3::Minus, Sign3::Eps]
+            .into_iter()
+            .filter(move |&s| self.contains(s))
+    }
+}
+
+impl fmt::Debug for SignSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SignSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("∅");
+        }
+        let mut first = true;
+        for s in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            first = false;
+            write!(f, "{}", s.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+/// Abstract `first_def`: all values `first_def` can produce when each
+/// position of the chain independently takes any value of its set.
+///
+/// Walks the chain keeping a "still reachable" flag — the scenario in
+/// which every earlier position chose `ε`. A position's defined values
+/// are possible outcomes while that scenario exists; the scenario
+/// survives the position only if it can itself be `ε`. If the scenario
+/// survives the whole chain, `ε` is a possible outcome.
+pub fn afd(chain: &[SignSet]) -> SignSet {
+    let mut out = SignSet::EMPTY;
+    let mut reachable = true;
+    for s in chain {
+        if !reachable {
+            break;
+        }
+        out = out.union(s.def_part());
+        if !s.contains(Sign3::Eps) {
+            reachable = false;
+        }
+    }
+    if reachable {
+        out.insert(Sign3::Eps);
+    }
+    out
+}
+
+/// The abstract counterpart of a node's 6-tuple [`crate::label::Label`]:
+/// one [`SignSet`] per component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbsLabel {
+    /// Possible local instance signs.
+    pub l: SignSet,
+    /// Possible recursive instance signs (after propagation).
+    pub r: SignSet,
+    /// Possible local schema signs.
+    pub ld: SignSet,
+    /// Possible recursive schema signs (after propagation).
+    pub rd: SignSet,
+    /// Possible local weak signs.
+    pub lw: SignSet,
+    /// Possible recursive weak signs (after propagation).
+    pub rw: SignSet,
+}
+
+impl AbsLabel {
+    /// No possible label at all — the fixpoint's starting point.
+    pub const BOTTOM: AbsLabel = AbsLabel {
+        l: SignSet::EMPTY,
+        r: SignSet::EMPTY,
+        ld: SignSet::EMPTY,
+        rd: SignSet::EMPTY,
+        lw: SignSet::EMPTY,
+        rw: SignSet::EMPTY,
+    };
+
+    /// The all-`ε` label: the virtual parent of the document root.
+    pub const EPSILON: AbsLabel = AbsLabel {
+        l: SignSet::EPS,
+        r: SignSet::EPS,
+        ld: SignSet::EPS,
+        rd: SignSet::EPS,
+        lw: SignSet::EPS,
+        rw: SignSet::EPS,
+    };
+
+    /// Component-wise union.
+    #[must_use]
+    pub fn join(self, other: AbsLabel) -> AbsLabel {
+        AbsLabel {
+            l: self.l.union(other.l),
+            r: self.r.union(other.r),
+            ld: self.ld.union(other.ld),
+            rd: self.rd.union(other.rd),
+            lw: self.lw.union(other.lw),
+            rw: self.rw.union(other.rw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::first_def;
+
+    fn set(signs: &[Sign3]) -> SignSet {
+        let mut s = SignSet::EMPTY;
+        for &x in signs {
+            s.insert(x);
+        }
+        s
+    }
+
+    #[test]
+    fn afd_matches_concrete_first_def_exhaustively() {
+        use Sign3::*;
+        // For every chain of three sets, every concrete choice must land
+        // inside the abstract result (soundness), and every abstract
+        // value must be witnessed by some choice (precision).
+        let all_sets: Vec<SignSet> = (0u8..8).map(SignSet).collect();
+        let all_signs = [Plus, Minus, Eps];
+        for &a in &all_sets {
+            for &b in &all_sets {
+                for &c in &all_sets {
+                    let abstract_out = afd(&[a, b, c]);
+                    let mut witnessed = SignSet::EMPTY;
+                    for &x in &all_signs {
+                        for &y in &all_signs {
+                            for &z in &all_signs {
+                                if a.contains(x) && b.contains(y) && c.contains(z) {
+                                    witnessed.insert(first_def([x, y, z]));
+                                }
+                            }
+                        }
+                    }
+                    if a.is_empty() || b.is_empty() || c.is_empty() {
+                        // Impossible scenario: only require soundness of
+                        // what is witnessed (monotonicity keeps the
+                        // fixpoint safe).
+                        for s in witnessed.iter() {
+                            assert!(abstract_out.contains(s), "{a} {b} {c}");
+                        }
+                    } else {
+                        assert_eq!(abstract_out, witnessed, "{a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn afd_basics() {
+        use Sign3::*;
+        assert_eq!(afd(&[]), SignSet::EPS);
+        assert_eq!(afd(&[SignSet::singleton(Plus), SignSet::TOP]), SignSet::singleton(Plus));
+        assert_eq!(
+            afd(&[set(&[Plus, Eps]), SignSet::singleton(Minus)]),
+            set(&[Plus, Minus]),
+            "ε in the first position falls through to the second"
+        );
+        assert_eq!(afd(&[SignSet::EPS, SignSet::EPS]), SignSet::EPS);
+    }
+
+    #[test]
+    fn signset_display_and_singleton() {
+        use Sign3::*;
+        assert_eq!(SignSet::TOP.to_string(), "+|-|ε");
+        assert_eq!(SignSet::EMPTY.to_string(), "∅");
+        assert_eq!(set(&[Plus]).as_singleton(), Some(Plus));
+        assert_eq!(SignSet::TOP.as_singleton(), None);
+    }
+
+    #[test]
+    fn join_is_componentwise() {
+        let a = AbsLabel { l: SignSet::singleton(Sign3::Plus), ..AbsLabel::BOTTOM };
+        let b = AbsLabel { l: SignSet::singleton(Sign3::Minus), ..AbsLabel::EPSILON };
+        let j = a.join(b);
+        assert_eq!(j.l, set(&[Sign3::Plus, Sign3::Minus]));
+        assert_eq!(j.rd, SignSet::EPS);
+    }
+}

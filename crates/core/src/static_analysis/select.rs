@@ -1,0 +1,465 @@
+//! Must/may selection of schema nodes by authorization object paths.
+//!
+//! [`schema_coverage`](crate::analysis::schema_coverage) answers *which
+//! declarations can this path select on some instance* (the may set).
+//! The analyzer additionally needs the **must** direction: which
+//! declarations are selected *in every conforming instance, at every
+//! node of that type*. Precisely, `must(d)` here means: on every
+//! instance, **every** existing node of declaration `d` is selected by
+//! the path. (This quantifies over existing nodes — it is vacuously true
+//! on instances with no `d` node, which is exactly the strength the
+//! decision table needs, since table cells also quantify over existing
+//! nodes.)
+//!
+//! May stays an over-approximation, must an under-approximation; both
+//! err toward the middle verdict "instance-dependent", never toward a
+//! false guarantee.
+
+use crate::analysis::{name_matches, SchemaGraph};
+use std::collections::{BTreeMap, BTreeSet};
+use xmlsec_xpath::{Axis, NodeTest, PathExpr};
+
+/// Why a path's may and must sets differ (the instance-dependence
+/// source named in decision-table cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependencySource {
+    /// A step carries a predicate — selection depends on instance data.
+    Predicate,
+    /// Selection depends on instance structure: optional or branching
+    /// content, upward (`..`/`ancestor::`) or sibling axes.
+    Structure,
+}
+
+impl DependencySource {
+    /// Human phrase used in cell reasons.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DependencySource::Predicate => "a predicate on its object path",
+            DependencySource::Structure => {
+                "instance structure (optional content or an upward/sibling axis)"
+            }
+        }
+    }
+}
+
+/// The selection of one object path over the schema graph.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Element declarations the path may select → whether it must select
+    /// every node of that type.
+    pub elements: BTreeMap<String, bool>,
+    /// Attribute declarations `(element, attribute)` the path may select
+    /// → must flag.
+    pub attributes: BTreeMap<(String, String), bool>,
+    /// Why some may-selected node is not must-selected (`None` when
+    /// every may is a must).
+    pub dependency: Option<DependencySource>,
+}
+
+impl Selection {
+    /// `true` when the path selects no declaration on any instance.
+    pub fn is_dead(&self) -> bool {
+        self.elements.is_empty() && self.attributes.is_empty()
+    }
+}
+
+/// Evaluation context: the virtual document root or an element type,
+/// with a must flag.
+#[derive(Debug, Clone, Default)]
+struct CtxSet<'d> {
+    els: BTreeMap<&'d str, bool>,
+    root_may: bool,
+    root_must: bool,
+}
+
+impl<'d> CtxSet<'d> {
+    fn add_el(&mut self, e: &'d str, must: bool) {
+        let m = self.els.entry(e).or_insert(false);
+        *m = *m || must;
+    }
+
+    fn add_root(&mut self, must: bool) {
+        self.root_may = true;
+        self.root_must = self.root_must || must;
+    }
+
+    fn must_els(&self) -> BTreeSet<&'d str> {
+        self.els.iter().filter(|(_, &m)| m).map(|(&e, _)| e).collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.els.is_empty() && !self.root_may
+    }
+
+    fn clear_musts(&mut self) {
+        for m in self.els.values_mut() {
+            *m = false;
+        }
+        self.root_must = false;
+    }
+}
+
+/// `true` when `target` is reachable from the graph root walking child
+/// edges while avoiding the vertices in `avoid` (the root itself
+/// included: if the root is avoided and is not the target, nothing is
+/// reachable).
+fn reachable_avoiding(g: &SchemaGraph<'_>, target: &str, avoid: &BTreeSet<&str>) -> bool {
+    if avoid.contains(g.root) {
+        return g.root == target;
+    }
+    let mut seen: BTreeSet<&str> = [g.root].into();
+    let mut stack = vec![g.root];
+    while let Some(x) = stack.pop() {
+        if x == target {
+            return true;
+        }
+        for k in g.kids(x) {
+            if !avoid.contains(k) && seen.insert(k) {
+                stack.push(k);
+            }
+        }
+    }
+    false
+}
+
+/// Must-selection for a `descendant::` step: every `d`-node is a proper
+/// descendant of a must-selected node iff every schema path from the
+/// root to `d` passes through one of `must_sources` strictly before
+/// first reaching `d` — a vertex-cut check.
+fn descendant_must(g: &SchemaGraph<'_>, d: &str, must_sources: &BTreeSet<&str>) -> bool {
+    let mut avoid = must_sources.clone();
+    avoid.remove(d);
+    !reachable_avoiding(g, d, &avoid)
+}
+
+/// Evaluates `path` (or the whole-document object when `None`) over the
+/// schema graph, returning may/must selection. Mirrors the concrete
+/// evaluator: absolute paths start at the virtual document root,
+/// relative paths at the document element.
+pub(crate) fn select(g: &SchemaGraph<'_>, path: Option<&PathExpr>) -> Selection {
+    let mut sel = Selection::default();
+    let Some(path) = path else {
+        // Whole-document object: exactly the document element node. All
+        // root-typed nodes are selected only when the type cannot nest.
+        let must = g.pars(g.root).next().is_none();
+        sel.elements.insert(g.root.to_string(), must);
+        if !must {
+            sel.dependency = Some(DependencySource::Structure);
+        }
+        return sel;
+    };
+
+    let mut current = CtxSet::default();
+    if path.absolute {
+        current.add_root(true);
+    } else {
+        // The context is the document element; every root-typed node is
+        // that element only when the type cannot nest.
+        current.add_el(g.root, g.pars(g.root).next().is_none());
+    }
+    let mut attrs: BTreeMap<(String, String), bool> = BTreeMap::new();
+    let mut dependency: Option<DependencySource> = None;
+    let note = |d: DependencySource, dep: &mut Option<DependencySource>| {
+        if *dep != Some(DependencySource::Predicate) {
+            *dep = Some(d);
+        }
+    };
+
+    for step in &path.steps {
+        let mut next = CtxSet::default();
+        attrs.clear(); // attributes are terminal; only the last step's survive
+        let cur_must = current.must_els();
+
+        match step.axis {
+            Axis::Child => {
+                let mut may: BTreeSet<&str> = BTreeSet::new();
+                if current.root_may && name_matches(&step.test, g.root) {
+                    may.insert(g.root);
+                }
+                for &e in current.els.keys() {
+                    for k in g.kids(e) {
+                        if name_matches(&step.test, k) {
+                            may.insert(k);
+                        }
+                    }
+                }
+                for k in may {
+                    // Every k-node's parent must be selected: all element
+                    // parents of k, and the document root when k is the
+                    // root type (the document element's parent).
+                    let el_parents_must = g.pars(k).all(|p| cur_must.contains(p));
+                    let root_parent_must = k != g.root || current.root_must;
+                    next.add_el(k, el_parents_must && root_parent_must);
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let mut may: BTreeSet<&str> = BTreeSet::new();
+                if current.root_may {
+                    may.extend(g.descendants(g.root));
+                    may.insert(g.root);
+                    if matches!(step.test, NodeTest::AnyNode) {
+                        // Over-approximation kept from `schema_coverage`:
+                        // the root context survives; it is a must only
+                        // for the or-self reading.
+                        next.add_root(step.axis == Axis::DescendantOrSelf && current.root_must);
+                    }
+                }
+                for &e in current.els.keys() {
+                    may.extend(g.descendants(e));
+                    if step.axis == Axis::DescendantOrSelf {
+                        may.insert(e);
+                    }
+                }
+                for d in may {
+                    if !name_matches(&step.test, d) {
+                        continue;
+                    }
+                    let must = if current.root_must {
+                        // Every element node descends from the document
+                        // root; or-self needs no extra care for elements.
+                        true
+                    } else {
+                        (step.axis == Axis::DescendantOrSelf && cur_must.contains(d))
+                            || descendant_must(g, d, &cur_must)
+                    };
+                    next.add_el(d, must);
+                }
+            }
+            Axis::Parent => {
+                for &e in current.els.keys() {
+                    if e == g.root && matches!(step.test, NodeTest::AnyNode) {
+                        // The document element's parent is the document
+                        // root — selected for sure when every root-typed
+                        // node is (the document element always exists).
+                        next.add_root(cur_must.contains(g.root));
+                    }
+                    for p in g.pars(e) {
+                        if name_matches(&step.test, p) {
+                            // Only p-nodes that *have* an e-child are
+                            // selected: never a must.
+                            next.add_el(p, false);
+                        }
+                    }
+                }
+            }
+            Axis::Ancestor | Axis::AncestorOrSelf => {
+                if current.root_may
+                    && step.axis == Axis::AncestorOrSelf
+                    && matches!(step.test, NodeTest::AnyNode)
+                {
+                    next.add_root(current.root_must);
+                }
+                for &e in current.els.keys() {
+                    let mut set = g.ancestors(e);
+                    if step.axis == Axis::AncestorOrSelf {
+                        set.insert(e);
+                    }
+                    for a in set {
+                        if name_matches(&step.test, a) {
+                            // Ancestors of selected nodes: a must only
+                            // for the or-self part (selection of all
+                            // a-nodes is otherwise existential).
+                            let must =
+                                step.axis == Axis::AncestorOrSelf && a == e && cur_must.contains(e);
+                            next.add_el(a, must);
+                        }
+                    }
+                    if matches!(step.test, NodeTest::AnyNode) {
+                        // The document root is an ancestor of every
+                        // element; never a must (the source node may not
+                        // exist on a given instance).
+                        next.add_root(false);
+                    }
+                }
+            }
+            Axis::SelfAxis => {
+                if current.root_may && matches!(step.test, NodeTest::AnyNode) {
+                    next.add_root(current.root_must);
+                }
+                for (&e, &m) in &current.els {
+                    if name_matches(&step.test, e) {
+                        next.add_el(e, m);
+                    }
+                }
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                for &e in current.els.keys() {
+                    for p in g.pars(e) {
+                        for s in g.kids(p) {
+                            if name_matches(&step.test, s) {
+                                next.add_el(s, false);
+                            }
+                        }
+                    }
+                }
+            }
+            Axis::Attribute => {
+                for (&e, &m) in &current.els {
+                    for def in g.dtd.attributes(e) {
+                        let matches = match &step.test {
+                            NodeTest::Name(n) => n == &def.name,
+                            NodeTest::Wildcard | NodeTest::AnyNode => true,
+                            NodeTest::Text => false,
+                        };
+                        if matches {
+                            // Attribute nodes of must-selected elements
+                            // are all selected (quantifying over the
+                            // attributes that exist).
+                            attrs.insert((e.to_string(), def.name.clone()), m);
+                        }
+                    }
+                }
+            }
+        }
+
+        if !step.predicates.is_empty() {
+            // A predicate can drop any subset of the selected nodes.
+            next.clear_musts();
+            for m in attrs.values_mut() {
+                *m = false;
+            }
+            note(DependencySource::Predicate, &mut dependency);
+        }
+
+        current = next;
+        if current.is_empty() && attrs.is_empty() {
+            break;
+        }
+    }
+
+    for (e, m) in &current.els {
+        sel.elements.insert((*e).to_string(), *m);
+        if !*m {
+            note(DependencySource::Structure, &mut dependency);
+        }
+    }
+    for ((e, a), m) in &attrs {
+        sel.attributes.insert((e.clone(), a.clone()), *m);
+        if !*m {
+            note(DependencySource::Structure, &mut dependency);
+        }
+    }
+    sel.dependency = dependency;
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlsec_dtd::parse_dtd;
+    use xmlsec_xpath::parse_path;
+
+    fn selection(dtd_src: &str, root: &str, path: &str) -> Selection {
+        let dtd = parse_dtd(dtd_src).unwrap();
+        let g = SchemaGraph::new(&dtd, root);
+        let sel = select(&g, Some(&parse_path(path).unwrap()));
+        // must ⊆ may by construction; sanity-check the may side against
+        // the original coverage pass.
+        let cov = crate::analysis::schema_coverage(&dtd, root, &parse_path(path).unwrap());
+        let may: usize = sel.elements.len() + sel.attributes.len();
+        assert_eq!(may, cov.len(), "{path}: may side must agree with schema_coverage");
+        sel
+    }
+
+    const LAB: &str = r#"
+        <!ELEMENT laboratory (project+)>
+        <!ELEMENT project (manager, member*, paper*)>
+        <!ELEMENT manager (#PCDATA)>
+        <!ELEMENT member (#PCDATA)>
+        <!ELEMENT paper (title)>
+        <!ATTLIST paper category CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+    "#;
+
+    #[test]
+    fn rooted_chains_are_musts() {
+        let s = selection(LAB, "laboratory", "/laboratory/project/paper");
+        assert_eq!(s.elements.get("paper"), Some(&true));
+        assert!(s.dependency.is_none());
+        // Descendant from the absolute root: every node of the type.
+        let s2 = selection(LAB, "laboratory", "//paper");
+        assert_eq!(s2.elements.get("paper"), Some(&true));
+        let s3 = selection(LAB, "laboratory", "//paper/@category");
+        assert_eq!(s3.attributes.get(&("paper".into(), "category".into())), Some(&true));
+    }
+
+    #[test]
+    fn predicates_demote_to_may() {
+        let s = selection(LAB, "laboratory", r#"//paper[./@category="public"]"#);
+        assert_eq!(s.elements.get("paper"), Some(&false));
+        assert_eq!(s.dependency, Some(DependencySource::Predicate));
+    }
+
+    #[test]
+    fn relative_start_and_parent_axis() {
+        // Relative paths start at the document element, which is every
+        // laboratory node (the type cannot nest).
+        let s = selection(LAB, "laboratory", "project");
+        assert_eq!(s.elements.get("project"), Some(&true));
+        // Parent axis: only projects *with* a paper are selected.
+        let s2 = selection(LAB, "laboratory", "//paper/..");
+        assert_eq!(s2.elements.get("project"), Some(&false));
+        assert_eq!(s2.dependency, Some(DependencySource::Structure));
+    }
+
+    #[test]
+    fn descendant_must_uses_vertex_cut() {
+        // Two routes to <shared>: via a and via b. Selecting all <a>
+        // does not guarantee selecting all <shared>.
+        let dtd = r#"
+            <!ELEMENT doc (a, b)>
+            <!ELEMENT a (shared?)>
+            <!ELEMENT b (shared?)>
+            <!ELEMENT shared (#PCDATA)>
+        "#;
+        let s = selection(dtd, "doc", "/doc/a//shared");
+        assert_eq!(s.elements.get("shared"), Some(&false));
+        // But every route to <only> passes through <a>.
+        let dtd2 = r#"
+            <!ELEMENT doc (a, b)>
+            <!ELEMENT a (only?)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT only (#PCDATA)>
+        "#;
+        let s2 = selection(dtd2, "doc", "/doc/a//only");
+        assert_eq!(s2.elements.get("only"), Some(&true));
+    }
+
+    #[test]
+    fn recursive_types_are_never_blanket_musts_from_one_level() {
+        let dtd = "<!ELEMENT part (part*, label?)><!ELEMENT label (#PCDATA)>";
+        // /part selects only the document element, not nested parts.
+        let s = selection(dtd, "part", "/part");
+        assert_eq!(s.elements.get("part"), Some(&false));
+        // //part selects every part node.
+        let s2 = selection(dtd, "part", "//part");
+        assert_eq!(s2.elements.get("part"), Some(&true));
+        // //label is every label (all routes pass through part... but the
+        // absolute root guarantees it directly).
+        let s3 = selection(dtd, "part", "//label");
+        assert_eq!(s3.elements.get("label"), Some(&true));
+    }
+
+    #[test]
+    fn whole_document_objects_select_the_document_element() {
+        let dtd = parse_dtd(LAB).unwrap();
+        let g = SchemaGraph::new(&dtd, "laboratory");
+        let s = select(&g, None);
+        assert_eq!(s.elements.get("laboratory"), Some(&true));
+        let rec = parse_dtd("<!ELEMENT part (part*)>").unwrap();
+        let g2 = SchemaGraph::new(&rec, "part");
+        let s2 = select(&g2, None);
+        assert_eq!(s2.elements.get("part"), Some(&false), "nested parts are not the document");
+    }
+
+    #[test]
+    fn upward_axes_and_siblings_stay_may() {
+        let s = selection(LAB, "laboratory", "//title/ancestor::paper");
+        assert_eq!(s.elements.get("paper"), Some(&false));
+        let s2 = selection(LAB, "laboratory", "//manager/following-sibling::member");
+        assert_eq!(s2.elements.get("member"), Some(&false));
+        // ancestor-or-self keeps the self part's must.
+        let s3 = selection(LAB, "laboratory", "//paper/ancestor-or-self::paper");
+        assert_eq!(s3.elements.get("paper"), Some(&true));
+    }
+}

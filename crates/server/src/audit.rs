@@ -26,6 +26,16 @@ pub enum AuditOutcome {
     NotFound,
     /// The processor raised an error.
     ProcessingError(String),
+    /// The authorization base changed (grant or revoke) and the policy
+    /// pre-flight analyzer ran over the affected schema.
+    PolicyChanged {
+        /// `"grant"` or `"revoke"`.
+        action: String,
+        /// Total findings the pre-flight produced.
+        findings: usize,
+        /// Error-class findings among them.
+        errors: usize,
+    },
 }
 
 /// One audit record.

@@ -21,12 +21,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 use xmlsec_authz::{
-    Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, PolicyConfig,
+    Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, Finding,
+    PolicyConfig, Severity,
 };
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
 use xmlsec_core::{
     AccessRequest, DecisionCache, DocumentSource, Parallelism, ResourceLimits, SecurityProcessor,
 };
+use xmlsec_dtd::parse_dtd;
 use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
 
@@ -333,22 +335,94 @@ impl SecureServer {
     /// Adds an authorization at runtime, invalidating affected views —
     /// the named document's, or every conforming instance's when the
     /// authorization is schema-level. Unrelated documents keep their
-    /// cached views.
-    pub fn grant(&mut self, auth: Authorization) {
+    /// cached views. Runs the policy pre-flight analyzer over the new
+    /// base and returns its findings (the change itself always lands;
+    /// findings are advisory).
+    pub fn grant(&mut self, auth: Authorization) -> Vec<Finding> {
         self.invalidate_for_object_uri(&auth.object.uri);
         self.decisions.clear();
+        let uri = auth.object.uri.clone();
         self.authorizations.add(auth);
+        self.policy_preflight("grant", &uri)
     }
 
     /// Revokes an authorization (exact match), invalidating affected
-    /// views. Returns how many copies were removed.
+    /// views. Returns how many copies were removed. When something was
+    /// removed, the policy pre-flight analyzer runs over the remaining
+    /// base (its findings go to the audit log and `/metrics`).
     pub fn revoke(&mut self, auth: &Authorization) -> usize {
         let removed = self.authorizations.remove(auth);
         if removed > 0 {
             self.invalidate_for_object_uri(&auth.object.uri);
             self.decisions.clear();
+            self.policy_preflight("revoke", &auth.object.uri);
         }
         removed
+    }
+
+    /// The grant/revoke pre-flight: statically analyzes the
+    /// authorizations in the changed object's scope (its document, its
+    /// DTD, and every other instance of that DTD), bumps
+    /// `xmlsec_policy_findings_total{severity,kind}` for each finding,
+    /// and records the change in the audit log. Findings never block the
+    /// change — operators see them through the returned list, the audit
+    /// trail, and `/metrics`.
+    fn policy_preflight(&self, action: &str, object_uri: &str) -> Vec<Finding> {
+        // Resolve the schema scope of the changed object.
+        let dtd_uri = if self.repository.dtd(object_uri).is_some() {
+            Some(object_uri.to_string())
+        } else {
+            self.repository.document(object_uri).and_then(|d| d.dtd_uri.clone())
+        };
+        let mut scope: std::collections::BTreeSet<String> =
+            std::iter::once(object_uri.to_string()).collect();
+        if let Some(du) = &dtd_uri {
+            scope.insert(du.clone());
+            scope.extend(self.repository.documents_with_dtd(du));
+        }
+        let auths: Vec<Authorization> =
+            scope.iter().flat_map(|u| self.authorizations.for_uri(u)).cloned().collect();
+
+        let mut findings = xmlsec_authz::lint_policy(&auths, &self.directory);
+        if let Some(du) = &dtd_uri {
+            if let Some(dtd) = self.repository.dtd(du).and_then(|t| parse_dtd(t).ok()) {
+                if let Some(root) = dtd.root_candidates().first().cloned() {
+                    findings.extend(xmlsec_core::coverage_findings(&dtd, root, &auths));
+                    let subjects = xmlsec_core::closure_subjects(&auths, &self.directory);
+                    let report = xmlsec_core::analyze_policy(
+                        &dtd,
+                        root,
+                        du,
+                        &auths,
+                        &self.directory,
+                        self.policy,
+                        &subjects,
+                    );
+                    findings.extend(report.findings);
+                }
+            }
+        }
+        findings.sort_by(|a, b| a.severity.cmp(&b.severity).then_with(|| a.kind.cmp(&b.kind)));
+        for f in &findings {
+            telemetry::global()
+                .counter(
+                    "xmlsec_policy_findings_total",
+                    "Findings from the grant/revoke policy pre-flight, by severity and kind.",
+                    &[("severity", f.severity.as_str()), ("kind", &f.kind)],
+                )
+                .inc();
+        }
+        let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+        self.audit.record(
+            "server",
+            object_uri,
+            AuditOutcome::PolicyChanged {
+                action: action.to_string(),
+                findings: findings.len(),
+                errors,
+            },
+        );
+        findings
     }
 
     /// Cache statistics `(hits, misses)`; zeros when caching is off.
@@ -981,6 +1055,53 @@ mod tests {
         assert!(!s.decision_cache().is_empty());
         assert_eq!(s.revoke(&extra), 1);
         assert!(s.decision_cache().is_empty(), "revoke must drop memoized decisions");
+    }
+
+    #[test]
+    fn grant_runs_the_policy_preflight() {
+        let mut s = server();
+        s.repository_mut().put_dtd(
+            "lab.dtd",
+            "<!ELEMENT lab (news,internal)><!ELEMENT news (#PCDATA)>\
+             <!ELEMENT internal (#PCDATA)>",
+        );
+        s.repository_mut().put_document(
+            "typed.xml",
+            "<lab><news>hi</news><internal>budget</internal></lab>",
+            Some("lab.dtd"),
+        );
+        let counter = || {
+            telemetry::global()
+                .counter(
+                    "xmlsec_policy_findings_total",
+                    "Findings from the grant/revoke policy pre-flight, by severity and kind.",
+                    &[("severity", "error"), ("kind", "dead-path")],
+                )
+                .get()
+        };
+        let before = counter();
+        let findings = s.grant(Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("lab.dtd://budget").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        assert!(
+            findings.iter().any(|f| f.kind == "dead-path"),
+            "a path matching nothing in the DTD must be flagged: {findings:?}"
+        );
+        assert!(counter() > before, "pre-flight findings must reach /metrics");
+        let records = s.audit.records();
+        let last = records.last().unwrap();
+        assert_eq!(last.uri, "lab.dtd");
+        assert!(
+            matches!(
+                &last.outcome,
+                AuditOutcome::PolicyChanged { action, errors, .. }
+                    if action == "grant" && *errors > 0
+            ),
+            "{last:?}"
+        );
     }
 
     #[test]

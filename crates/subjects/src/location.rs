@@ -74,6 +74,15 @@ impl IpPattern {
     pub fn matches(&self, addr: &IpPattern) -> bool {
         addr.is_concrete() && addr.leq(self)
     }
+
+    /// Intersection satisfiability: is there a concrete address matching
+    /// both patterns? Since a pattern is a fixed octet prefix, two
+    /// patterns overlap exactly when one prefix extends the other (any
+    /// common completion then witnesses both).
+    pub fn intersects(&self, other: &IpPattern) -> bool {
+        let n = self.prefix.len().min(other.prefix.len());
+        self.prefix[..n] == other.prefix[..n]
+    }
 }
 
 impl FromStr for IpPattern {
@@ -183,6 +192,27 @@ impl SymPattern {
     /// Whether a concrete host name matches this pattern.
     pub fn matches(&self, host: &SymPattern) -> bool {
         host.is_concrete() && host.leq(self)
+    }
+
+    /// Intersection satisfiability: is there a concrete host name
+    /// matching both patterns?
+    ///
+    /// Two concrete names overlap only when equal; a concrete name
+    /// overlaps a wildcard pattern when it matches it (the wildcard
+    /// stands for *at least one* label, so `lab.com` does not overlap
+    /// `*.lab.com`); two wildcard patterns overlap when one fixed suffix
+    /// extends the other — a name with one extra label then witnesses
+    /// both.
+    pub fn intersects(&self, other: &SymPattern) -> bool {
+        match (self.is_concrete(), other.is_concrete()) {
+            (true, true) => self == other,
+            (true, false) => self.leq(other),
+            (false, true) => other.leq(self),
+            (false, false) => {
+                let n = self.suffix_rtl.len().min(other.suffix_rtl.len());
+                self.suffix_rtl[..n] == other.suffix_rtl[..n]
+            }
+        }
     }
 }
 
@@ -345,6 +375,41 @@ mod tests {
         let lab: SymPattern = "*.lab.com".parse().unwrap();
         assert!(lab.matches(&"tweety.lab.com".parse().unwrap()));
         assert!(!lab.matches(&"lab.com".parse().unwrap()));
+    }
+
+    #[test]
+    fn ip_intersection_satisfiability() {
+        let net: IpPattern = "150.100.*".parse().unwrap();
+        let sub: IpPattern = "150.100.30.*".parse().unwrap();
+        let other: IpPattern = "151.*".parse().unwrap();
+        let any = IpPattern::any();
+        assert!(net.intersects(&sub) && sub.intersects(&net));
+        assert!(net.intersects(&any) && any.intersects(&net));
+        assert!(!net.intersects(&other));
+        // concrete vs pattern: exactly pattern matching
+        let exact: IpPattern = "150.100.30.8".parse().unwrap();
+        assert!(exact.intersects(&net));
+        assert!(!exact.intersects(&"150.101.*".parse().unwrap()));
+        // two distinct concrete addresses never overlap
+        assert!(!exact.intersects(&"150.100.30.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn sym_intersection_satisfiability() {
+        let dom: SymPattern = "*.lab.com".parse().unwrap();
+        let com: SymPattern = "*.com".parse().unwrap();
+        let it: SymPattern = "*.it".parse().unwrap();
+        assert!(dom.intersects(&com) && com.intersects(&dom));
+        assert!(!dom.intersects(&it));
+        assert!(dom.intersects(&SymPattern::any()));
+        // concrete vs wildcard follows matching (wildcard needs a label)
+        let host: SymPattern = "tweety.lab.com".parse().unwrap();
+        let bare: SymPattern = "lab.com".parse().unwrap();
+        assert!(host.intersects(&dom));
+        assert!(!bare.intersects(&dom), "wildcard stands for at least one label");
+        // two concrete names: equality only
+        assert!(host.intersects(&"tweety.lab.com".parse().unwrap()));
+        assert!(!host.intersects(&"other.lab.com".parse().unwrap()));
     }
 
     #[test]

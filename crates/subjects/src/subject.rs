@@ -47,6 +47,21 @@ impl Subject {
     pub fn strictly_leq(&self, other: &Subject, dir: &Directory) -> bool {
         self.leq(other, dir) && !other.leq(self, dir)
     }
+
+    /// Overlap satisfiability: can some *requester* (a user at a concrete
+    /// location) be covered by both subjects? True when a user of the
+    /// directory is dominated by both user/groups and the two location
+    /// patterns intersect on each component. Two ASH-incomparable
+    /// subjects with a satisfiable overlap are exactly the pairs whose
+    /// conflicts surface only for requesters inside the overlap.
+    pub fn overlaps(&self, other: &Subject, dir: &Directory) -> bool {
+        let user_overlap = dir.principals().any(|(p, kind)| {
+            kind == crate::directory::PrincipalKind::User
+                && dir.dominates(p, &self.user_group)
+                && dir.dominates(p, &other.user_group)
+        });
+        user_overlap && self.ip.intersects(&other.ip) && self.sym.intersects(&other.sym)
+    }
 }
 
 impl std::str::FromStr for Subject {
@@ -204,6 +219,34 @@ mod tests {
         let a = Subject::new("Tom", "150.100.*", "*").unwrap();
         let b = Subject::new("Foreign", "*", "*.it").unwrap();
         assert!(!a.leq(&b, &d) && !b.leq(&a, &d));
+    }
+
+    #[test]
+    fn subject_overlap_satisfiability() {
+        let d = dir();
+        // Tom ∈ Foreign and Tom ∈ Public: the two incomparable groups
+        // overlap (Tom at any location witnesses both).
+        let foreign = Subject::new("Foreign", "*", "*").unwrap();
+        let public = Subject::new("Public", "*", "*").unwrap();
+        assert!(foreign.overlaps(&public, &d));
+        // Foreign and Admin share no user.
+        let admin = Subject::new("Admin", "*", "*").unwrap();
+        assert!(!foreign.overlaps(&admin, &d));
+        // Same groups, disjoint locations: no overlap.
+        let foreign_it = Subject::new("Foreign", "*", "*.it").unwrap();
+        let public_com = Subject::new("Public", "*", "*.com").unwrap();
+        assert!(!foreign_it.overlaps(&public_com, &d));
+        // Nested IP prefixes still overlap.
+        let foreign_net = Subject::new("Foreign", "150.100.*", "*").unwrap();
+        let public_sub = Subject::new("Public", "150.100.30.*", "*").unwrap();
+        assert!(foreign_net.overlaps(&public_sub, &d));
+        // A group with no members can cover no requester.
+        let mut d2 = Directory::new();
+        d2.add_group("Ghost").unwrap();
+        d2.add_group("Crew").unwrap();
+        let ghost = Subject::new("Ghost", "*", "*").unwrap();
+        let crew = Subject::new("Crew", "*", "*").unwrap();
+        assert!(!ghost.overlaps(&crew, &d2));
     }
 
     #[test]

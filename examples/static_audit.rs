@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example static_audit`
 
-use xmlsec::authz::{lint, Authorization, LintFinding};
+use xmlsec::authz::{lint_policy, Authorization};
 use xmlsec::core::analyze_against_schema;
 use xmlsec::prelude::*;
 use xmlsec::workload::laboratory::{lab_directory, LAB_DTD};
@@ -37,16 +37,14 @@ fn main() {
     ];
 
     println!("== lint against the directory ==");
-    let findings = lint(&auths, &dir);
+    let findings = lint_policy(&auths, &dir);
     for f in &findings {
         println!("  {f}");
     }
-    assert!(findings.iter().any(|f| matches!(f, LintFinding::Duplicate { .. })));
-    assert!(findings.iter().any(|f| matches!(f, LintFinding::UnknownSubject { .. })));
-    assert!(findings.iter().any(|f| matches!(f, LintFinding::Shadowed { .. })));
-    assert!(findings
-        .iter()
-        .any(|f| matches!(f, LintFinding::Contradiction { same_subject: true, .. })));
+    assert!(findings.iter().any(|f| f.kind == "duplicate"));
+    assert!(findings.iter().any(|f| f.kind == "unknown-subject"));
+    assert!(findings.iter().any(|f| f.kind == "shadowed"));
+    assert!(findings.iter().any(|f| f.kind == "contradiction"));
 
     println!("\n== schema coverage (dead-path analysis) ==");
     let mut dead = 0;

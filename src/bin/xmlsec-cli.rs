@@ -79,23 +79,30 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
             parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
   explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
-  analyze:  --dtd F --xacl F [--root NAME]
+  analyze:  <dtd> <xacl> | --dtd F --xacl F
+            [--root NAME] [--dtd-uri U] [--dir F] [--open]
+            [--subjects closure|list] [--subject user[:ip[:host]]]...
+            [--format human|json]
   lint:     --xacl F [--dir F]";
 
-/// Parsed command-line options (flag → values; repeatable flags collect).
+/// Parsed command-line options (flag → values; repeatable flags collect;
+/// non-`--` arguments are kept as positionals, in order).
 struct Opts {
     values: HashMap<String, Vec<String>>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut values: HashMap<String, Vec<String>> = HashMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
-                return Err(format!("unexpected argument {a:?}"));
+                positionals.push(a.clone());
+                continue;
             };
             match name {
                 "open" | "pretty" | "strict" | "prometheus" => flags.push(name.to_string()),
@@ -105,7 +112,16 @@ impl Opts {
                 }
             }
         }
-        Ok(Opts { values, flags })
+        Ok(Opts { values, flags, positionals })
+    }
+
+    /// The `i`-th positional argument, or the value of `--{fallback}`.
+    fn positional_or(&self, i: usize, fallback: &str) -> Result<&str, String> {
+        self.positionals
+            .get(i)
+            .map(String::as_str)
+            .or_else(|| self.opt(fallback))
+            .ok_or_else(|| format!("missing {fallback} (positional argument or --{fallback})"))
     }
 
     fn one(&self, name: &str) -> Result<&str, String> {
@@ -519,11 +535,60 @@ fn cmd_explain(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Static analysis: which declarations each authorization's path can
-/// cover on instances of the DTD; flags dead paths.
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map_or_else(|| "null".to_string(), json_str)
+}
+
+/// Parses a `--subject` spec `user[:ip[:host]]` (missing parts default
+/// to `*`).
+fn parse_subject_spec(spec: &str) -> Result<Subject, String> {
+    let mut parts = spec.splitn(3, ':');
+    let user = parts.next().unwrap_or("*");
+    let ip = parts.next().unwrap_or("*");
+    let host = parts.next().unwrap_or("*");
+    Subject::new(user, ip, host).map_err(|e| format!("bad --subject {spec:?}: {e}"))
+}
+
+/// Whole-policy static analysis: per-authorization schema coverage (with
+/// dead-path detection), per-subject decision tables over the DTD graph,
+/// and policy-level findings. Exits nonzero when any error-class finding
+/// is present.
 fn cmd_analyze(o: &Opts) -> Result<(), String> {
-    let dtd = parse_dtd(&read(o.one("dtd")?)?).map_err(|e| e.to_string())?;
-    let auths = parse_xacl(&read(o.one("xacl")?)?).map_err(|e| e.to_string())?;
+    let dtd_path = o.positional_or(0, "dtd")?;
+    let xacl_path = o.positional_or(1, "xacl")?;
+    let dtd = parse_dtd(&read(dtd_path)?).map_err(|e| e.to_string())?;
+    let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    // As in `view`: subjects an XACL names exist, even when no directory
+    // file spells them out.
+    for a in &auths {
+        if dir.kind(&a.subject.user_group).is_none() {
+            let _ = dir.add_group(&a.subject.user_group);
+        }
+    }
     let root = match o.opt("root") {
         Some(r) => r.to_string(),
         None => dtd
@@ -532,21 +597,170 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
             .ok_or("cannot infer a root element; pass --root")?
             .to_string(),
     };
-    let report = xmlsec::core::analyze_against_schema(&dtd, &root, &auths);
-    let mut dead = 0usize;
-    for entry in &report {
-        println!("{}", entry.authorization);
-        if entry.covers.is_empty() {
-            println!("    !! DEAD PATH: selects nothing on any instance");
-            dead += 1;
+    let dtd_uri = o.opt("dtd-uri").map(str::to_string).unwrap_or_else(|| {
+        std::path::Path::new(dtd_path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| dtd_path.to_string())
+    });
+    let policy = PolicyConfig {
+        completeness: if o.flag("open") {
+            CompletenessPolicy::Open
         } else {
-            for c in &entry.covers {
-                println!("    covers {c}");
+            CompletenessPolicy::Closed
+        },
+        ..Default::default()
+    };
+    let subjects: Vec<Subject> = match o.opt("subjects").unwrap_or("closure") {
+        "closure" => xmlsec::core::closure_subjects(&auths, &dir),
+        "list" => {
+            let specs = o.many("subject");
+            if specs.is_empty() {
+                return Err("--subjects list needs at least one --subject".to_string());
             }
+            specs.iter().map(|s| parse_subject_spec(s)).collect::<Result<_, _>>()?
         }
+        other => return Err(format!("--subjects must be closure or list, not {other:?}")),
+    };
+
+    let coverage = xmlsec::core::analyze_against_schema(&dtd, &root, &auths);
+    let mut findings = xmlsec::authz::lint_policy(&auths, &dir);
+    findings.extend(xmlsec::core::coverage_findings(&dtd, &root, &auths));
+    let report =
+        xmlsec::core::analyze_policy(&dtd, &root, &dtd_uri, &auths, &dir, policy, &subjects);
+    findings.extend(report.findings.iter().cloned());
+    findings.sort_by(|a, b| a.severity.cmp(&b.severity).then_with(|| a.kind.cmp(&b.kind)));
+    let (errors, warnings, infos) = xmlsec::authz::severity_counts(&findings);
+
+    match o.opt("format").unwrap_or("human") {
+        "human" => {
+            println!(
+                "policy analysis: root <{root}>, dtd-uri {dtd_uri:?}, {} authorization(s)",
+                auths.len()
+            );
+            if report.skipped_non_read > 0 {
+                println!(
+                    "({} non-read authorization(s) excluded from decision tables)",
+                    report.skipped_non_read
+                );
+            }
+            println!("\ncoverage:");
+            for entry in &coverage {
+                println!("{}", entry.authorization);
+                if entry.covers.is_empty() {
+                    println!("    !! DEAD PATH: selects nothing on any instance");
+                } else {
+                    for c in &entry.covers {
+                        println!("    covers {c}");
+                    }
+                }
+            }
+            for t in &report.subjects {
+                println!("\ndecision table {}:", t.subject);
+                let width =
+                    t.cells.iter().map(|c| c.node.to_string().chars().count()).max().unwrap_or(0);
+                for c in &t.cells {
+                    let node = c.node.to_string();
+                    let pad = " ".repeat(width.saturating_sub(node.chars().count()));
+                    match &c.verdict {
+                        xmlsec::core::Verdict::Instance { reason } => {
+                            println!(
+                                "    {node}{pad}  {:6}  {} ({reason})",
+                                c.signs,
+                                c.verdict.code()
+                            );
+                        }
+                        v => println!("    {node}{pad}  {:6}  {}", c.signs, v.code()),
+                    }
+                }
+            }
+            if !findings.is_empty() {
+                println!("\nfindings:");
+                for f in &findings {
+                    println!("  {f}");
+                }
+            }
+            println!("\nsummary: {errors} error(s), {warnings} warning(s), {infos} info(s)");
+        }
+        "json" => {
+            let mut out = String::from("{\n");
+            out.push_str("  \"schema_version\": 1,\n");
+            out.push_str(&format!("  \"root\": {},\n", json_str(&root)));
+            out.push_str(&format!("  \"dtd_uri\": {},\n", json_str(&dtd_uri)));
+            out.push_str(&format!("  \"authorizations\": {},\n", auths.len()));
+            out.push_str(&format!("  \"skipped_non_read\": {},\n", report.skipped_non_read));
+            out.push_str("  \"coverage\": [\n");
+            let cov_rows: Vec<String> = coverage
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| {
+                    let covers: Vec<String> =
+                        entry.covers.iter().map(|c| json_str(&c.to_string())).collect();
+                    format!(
+                        "    {{\"auth\": {i}, \"dead\": {}, \"covers\": [{}]}}",
+                        entry.covers.is_empty(),
+                        covers.join(", ")
+                    )
+                })
+                .collect();
+            out.push_str(&cov_rows.join(",\n"));
+            out.push_str("\n  ],\n  \"subjects\": [\n");
+            let subj_rows: Vec<String> = report
+                .subjects
+                .iter()
+                .map(|t| {
+                    let cells: Vec<String> = t
+                        .cells
+                        .iter()
+                        .map(|c| {
+                            let reason = match &c.verdict {
+                                xmlsec::core::Verdict::Instance { reason } => {
+                                    json_str(reason)
+                                }
+                                _ => "null".to_string(),
+                            };
+                            format!(
+                                "      {{\"node\": {}, \"signs\": {}, \"verdict\": {}, \"reason\": {reason}}}",
+                                json_str(&c.node.to_string()),
+                                json_str(&c.signs),
+                                json_str(c.verdict.code()),
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "    {{\"subject\": {}, \"cells\": [\n{}\n    ]}}",
+                        json_str(&t.subject.to_string()),
+                        cells.join(",\n")
+                    )
+                })
+                .collect();
+            out.push_str(&subj_rows.join(",\n"));
+            out.push_str("\n  ],\n  \"findings\": [\n");
+            let finding_rows: Vec<String> = findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "    {{\"severity\": {}, \"kind\": {}, \"auth\": {}, \"other_auth\": {}, \"node\": {}, \"subject\": {}, \"message\": {}}}",
+                        json_str(f.severity.as_str()),
+                        json_str(&f.kind),
+                        json_opt_usize(f.span.auth),
+                        json_opt_usize(f.span.other_auth),
+                        json_opt_str(f.span.node.as_deref()),
+                        json_opt_str(f.span.subject.as_deref()),
+                        json_str(&f.message),
+                    )
+                })
+                .collect();
+            out.push_str(&finding_rows.join(",\n"));
+            out.push_str(&format!(
+                "\n  ],\n  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"infos\": {infos}}}\n}}"
+            ));
+            println!("{out}");
+        }
+        other => return Err(format!("--format must be human or json, not {other:?}")),
     }
-    if dead > 0 {
-        Err(format!("{dead} dead authorization path(s)"))
+    if errors > 0 {
+        Err(format!("{errors} error-class finding(s)"))
     } else {
         Ok(())
     }
@@ -557,7 +771,7 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
 fn cmd_lint(o: &Opts) -> Result<(), String> {
     let auths = parse_xacl(&read(o.one("xacl")?)?).map_err(|e| e.to_string())?;
     let dir = load_directory(o.opt("dir"))?;
-    let findings = xmlsec::authz::lint(&auths, &dir);
+    let findings = xmlsec::authz::lint_policy(&auths, &dir);
     if findings.is_empty() {
         println!("clean: {} authorizations, no findings", auths.len());
         return Ok(());

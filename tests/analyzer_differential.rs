@@ -1,0 +1,279 @@
+//! Differential tests for the whole-policy static analyzer.
+//!
+//! The analyzer's contract is soundness: a *guaranteed* decision-table
+//! cell (allow/deny, or any singleton sign set) must agree with the
+//! concrete `label_document` run on **every** DTD-valid instance. These
+//! properties generate random authorization sets (2–8 rules, instance
+//! and schema level, all four types, predicates included) over a
+//! non-recursive and a recursive DTD, random conforming instances, and
+//! check every element and attribute of every instance against the
+//! analyzer's cells for the concrete requester's subject.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xmlsec::authz::{AuthType, Authorization, ObjectSpec, Sign};
+use xmlsec::core::{analyze_policy, label_document, Cell, SchemaNode, Verdict};
+use xmlsec::prelude::*;
+use xmlsec::xml::NodeData;
+
+/// Subject pool: comparable and incomparable pairs, one location-bound.
+const SUBJECTS: [(&str, &str, &str); 5] = [
+    ("Staff", "*", "*"),
+    ("Public", "*", "*"),
+    ("tom", "*", "*"),
+    ("All", "*", "*"),
+    ("Staff", "10.0.*", "*"),
+];
+
+fn directory() -> Directory {
+    let mut d = Directory::new();
+    for u in ["tom", "ann"] {
+        d.add_user(u).expect("fresh user");
+    }
+    for g in ["Staff", "Public", "All"] {
+        d.add_group(g).expect("fresh group");
+    }
+    d.add_member("tom", "Staff").expect("edge");
+    d.add_member("ann", "Public").expect("edge");
+    d.add_member("Staff", "All").expect("edge");
+    d.add_member("Public", "All").expect("edge");
+    d
+}
+
+fn requesters() -> Vec<Requester> {
+    vec![
+        Requester::new("tom", "10.0.1.2", "a.lab.com").expect("requester"),
+        Requester::new("ann", "93.10.2.7", "b.pub.org").expect("requester"),
+    ]
+}
+
+fn policies() -> [PolicyConfig; 3] {
+    [
+        PolicyConfig::paper_default(),
+        PolicyConfig { completeness: CompletenessPolicy::Open, ..Default::default() },
+        PolicyConfig {
+            conflict: ConflictResolution::PermissionsTakePrecedence,
+            ..Default::default()
+        },
+    ]
+}
+
+/// Non-recursive DTD: optional child, starred lists, attributes.
+const DOC_DTD: &str = r#"<!ELEMENT doc (meta?, sec*)>
+<!ATTLIST doc id CDATA #IMPLIED>
+<!ELEMENT meta (#PCDATA)>
+<!ELEMENT sec (title, note*)>
+<!ATTLIST sec level CDATA #IMPLIED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT note (#PCDATA)>"#;
+
+const DOC_PATHS: [Option<&str>; 8] = [
+    None,
+    Some("/doc"),
+    Some("//sec"),
+    Some("//sec/title"),
+    Some("//note"),
+    Some("/doc/meta"),
+    Some(r#"//sec[./@level="1"]"#),
+    Some("//sec/@level"),
+];
+
+/// Recursive DTD: `part` nests under itself without bound.
+const PART_DTD: &str = r#"<!ELEMENT part (label, part*)>
+<!ATTLIST part id CDATA #IMPLIED>
+<!ELEMENT label (#PCDATA)>"#;
+
+const PART_PATHS: [Option<&str>; 7] = [
+    None,
+    Some("/part"),
+    Some("//part"),
+    Some("//label"),
+    Some("/part/part"),
+    Some(r#"//part[./@id="p"]"#),
+    Some("//part/label"),
+];
+
+/// One generated authorization: indices into the pools.
+type AuthSpec = (usize, usize, usize, bool, usize);
+
+fn build_auths(specs: &[AuthSpec], paths: &[Option<&str>]) -> Vec<Authorization> {
+    specs
+        .iter()
+        .map(|&(si, uri_pick, pi, plus, ti)| {
+            let (ug, ip, sym) = SUBJECTS[si % SUBJECTS.len()];
+            let uri = if uri_pick % 2 == 0 { "d.xml" } else { "d.dtd" };
+            let object = match paths[pi % paths.len()] {
+                Some(p) => ObjectSpec::with_path(uri, p).expect("pool path parses"),
+                None => ObjectSpec::whole(uri),
+            };
+            let ty = [
+                AuthType::Local,
+                AuthType::Recursive,
+                AuthType::LocalWeak,
+                AuthType::RecursiveWeak,
+            ][ti % 4];
+            Authorization::new(
+                Subject::new(ug, ip, sym).expect("pool subject"),
+                object,
+                if plus { Sign::Plus } else { Sign::Minus },
+                ty,
+            )
+        })
+        .collect()
+}
+
+/// Builds a DTD-valid `doc` instance from shape bytes.
+fn doc_instance(shape: &[u8]) -> String {
+    let first = shape.first().copied().unwrap_or(0);
+    let mut s = String::from(if first & 2 != 0 { r#"<doc id="d1">"# } else { "<doc>" });
+    if first & 1 != 0 {
+        s.push_str("<meta>m</meta>");
+    }
+    for b in shape.iter().skip(1).take(3) {
+        match b % 3 {
+            1 => s.push_str(r#"<sec level="1">"#),
+            2 => s.push_str(r#"<sec level="2">"#),
+            _ => s.push_str("<sec>"),
+        }
+        s.push_str("<title>t</title>");
+        for _ in 0..((b >> 2) % 3) {
+            s.push_str("<note>n</note>");
+        }
+        s.push_str("</sec>");
+    }
+    s.push_str("</doc>");
+    s
+}
+
+/// Builds a DTD-valid recursive `part` instance from shape bytes.
+fn part_instance(shape: &[u8]) -> String {
+    fn build(shape: &[u8], pos: &mut usize, depth: usize, out: &mut String) {
+        let b = shape.get(*pos).copied().unwrap_or(0);
+        *pos += 1;
+        out.push_str(if b & 1 != 0 { r#"<part id="p">"# } else { "<part>" });
+        out.push_str("<label>x</label>");
+        let kids = if depth >= 3 { 0 } else { (b >> 1) % 3 };
+        for _ in 0..kids {
+            build(shape, pos, depth + 1, out);
+        }
+        out.push_str("</part>");
+    }
+    let mut out = String::new();
+    build(shape, &mut 0, 0, &mut out);
+    out
+}
+
+/// The completeness rule the engine's prune step applies.
+fn allowed(policy: PolicyConfig, s: Sign3) -> bool {
+    s == Sign3::Plus || (policy.completeness == CompletenessPolicy::Open && s == Sign3::Eps)
+}
+
+/// Checks one scenario: every guaranteed cell must agree with the
+/// concrete labeling, and every concrete final sign must be inside its
+/// cell's possible-sign set (soundness of the abstraction itself).
+fn check_case(dtd_text: &str, root: &str, xml: &str, auths: &[Authorization]) {
+    let dtd = parse_dtd(dtd_text).expect("test DTD parses");
+    let doc = parse(xml).expect("generated instance parses");
+    let violations = xmlsec::dtd::Validator::new(&dtd).validate(&doc);
+    assert!(violations.is_empty(), "generator must emit valid instances: {violations:?}");
+    let dir = directory();
+    for policy in policies() {
+        for requester in requesters() {
+            let subject = requester.as_subject();
+            let report = analyze_policy(
+                &dtd,
+                root,
+                "d.dtd",
+                auths,
+                &dir,
+                policy,
+                std::slice::from_ref(&subject),
+            );
+            let cells: BTreeMap<&SchemaNode, &Cell> =
+                report.subjects[0].cells.iter().map(|c| (&c.node, c)).collect();
+            let axml: Vec<&Authorization> = auths
+                .iter()
+                .filter(|a| a.object.uri == "d.xml" && requester.is_covered_by(&a.subject, &dir))
+                .collect();
+            let adtd: Vec<&Authorization> = auths
+                .iter()
+                .filter(|a| a.object.uri == "d.dtd" && requester.is_covered_by(&a.subject, &dir))
+                .collect();
+            let labeling = label_document(&doc, &axml, &adtd, &dir, policy);
+
+            let mut stack = vec![doc.root()];
+            while let Some(n) = stack.pop() {
+                let Some(name) = doc.element_name(n) else { continue };
+                let check = |node: SchemaNode, id| {
+                    let concrete = labeling.final_sign(id);
+                    let cell = cells
+                        .get(&node)
+                        .unwrap_or_else(|| panic!("no cell for reachable node {node}"));
+                    assert!(
+                        cell.signs.contains(concrete.symbol()),
+                        "{node} for {subject}: concrete sign {} outside abstract set {} \
+                         (policy {policy:?}, doc {xml})",
+                        concrete.symbol(),
+                        cell.signs,
+                    );
+                    match &cell.verdict {
+                        Verdict::Allow => assert!(
+                            allowed(policy, concrete),
+                            "{node} for {subject}: guaranteed-allow but concrete sign {} denies \
+                             (policy {policy:?}, doc {xml})",
+                            concrete.symbol(),
+                        ),
+                        Verdict::Deny => assert!(
+                            !allowed(policy, concrete),
+                            "{node} for {subject}: guaranteed-deny but concrete sign {} allows \
+                             (policy {policy:?}, doc {xml})",
+                            concrete.symbol(),
+                        ),
+                        Verdict::Instance { .. } => {}
+                    }
+                };
+                check(SchemaNode::Element(name.to_string()), n);
+                for &a in doc.attributes(n) {
+                    if let NodeData::Attr { name: attr, .. } = &doc.node(a).data {
+                        check(
+                            SchemaNode::Attribute {
+                                element: name.to_string(),
+                                attribute: attr.clone(),
+                            },
+                            a,
+                        );
+                    }
+                }
+                stack.extend(doc.children(n));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Non-recursive DTD: guaranteed cells match the engine on every
+    /// generated instance, under three policy configurations.
+    #[test]
+    fn analyzer_sound_on_nonrecursive_dtd(
+        specs in prop::collection::vec(
+            (0..5usize, 0..2usize, 0..DOC_PATHS.len(), any::<bool>(), 0..4usize), 2..=8),
+        shape in prop::collection::vec(0u8..64, 1..=4),
+    ) {
+        let auths = build_auths(&specs, &DOC_PATHS);
+        check_case(DOC_DTD, "doc", &doc_instance(&shape), &auths);
+    }
+
+    /// Recursive DTD: same property where propagation must reach a
+    /// fixpoint over the cyclic schema graph.
+    #[test]
+    fn analyzer_sound_on_recursive_dtd(
+        specs in prop::collection::vec(
+            (0..5usize, 0..2usize, 0..PART_PATHS.len(), any::<bool>(), 0..4usize), 2..=8),
+        shape in prop::collection::vec(0u8..64, 1..=8),
+    ) {
+        let auths = build_auths(&specs, &PART_PATHS);
+        check_case(PART_DTD, "part", &part_instance(&shape), &auths);
+    }
+}

@@ -210,6 +210,94 @@ fn analyze_flags_dead_paths() {
     assert!(stdout(&dead).contains("DEAD PATH"), "{}", stdout(&dead));
 }
 
+/// Path to a shipped example-policy corpus file.
+fn corpus(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/policies")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn analyze_hospital_corpus_matches_goldens() {
+    let human = run(&[
+        "analyze",
+        &corpus("hospital.dtd"),
+        &corpus("hospital.xacl"),
+        "--dir",
+        &corpus("hospital.dir"),
+    ]);
+    assert!(human.status.success(), "{}", stderr(&human));
+    assert_eq!(stdout(&human), include_str!("golden/analyze_hospital.txt"));
+
+    let json = run(&[
+        "analyze",
+        &corpus("hospital.dtd"),
+        &corpus("hospital.xacl"),
+        "--dir",
+        &corpus("hospital.dir"),
+        "--format",
+        "json",
+    ]);
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(
+        stdout(&json),
+        include_str!("golden/analyze_hospital.json"),
+        "the analyze JSON schema is a contract; update the golden deliberately"
+    );
+}
+
+#[test]
+fn analyze_financial_corpus_matches_goldens() {
+    let args = |fmt: &'static str| {
+        vec![
+            "analyze".to_string(),
+            corpus("financial.dtd"),
+            corpus("financial.xacl"),
+            "--dir".to_string(),
+            corpus("financial.dir"),
+            "--dtd-uri".to_string(),
+            "statements.dtd".to_string(),
+            "--format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+    let human = cli().args(args("human")).output().expect("binary runs");
+    assert!(human.status.success(), "{}", stderr(&human));
+    assert_eq!(stdout(&human), include_str!("golden/analyze_financial.txt"));
+
+    let json = cli().args(args("json")).output().expect("binary runs");
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(stdout(&json), include_str!("golden/analyze_financial.json"));
+}
+
+#[test]
+fn analyze_subject_list_and_flag_errors() {
+    // Explicit subject list: only the requested table is produced.
+    let out = run(&[
+        "analyze",
+        &corpus("hospital.dtd"),
+        &corpus("hospital.xacl"),
+        "--dir",
+        &corpus("hospital.dir"),
+        "--subjects",
+        "list",
+        "--subject",
+        "omar",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("decision table ⟨omar, *, *⟩"), "{s}");
+    assert!(!s.contains("decision table ⟨Clinical"), "{s}");
+
+    // list mode without --subject is a usage error.
+    let none =
+        run(&["analyze", &corpus("hospital.dtd"), &corpus("hospital.xacl"), "--subjects", "list"]);
+    assert!(!none.status.success());
+    assert!(stderr(&none).contains("--subject"), "{}", stderr(&none));
+}
+
 #[test]
 fn lint_reports_findings() {
     let f = Fixture::new("lint");
