@@ -34,8 +34,6 @@ pub mod xacl;
 
 pub use finding::{severity_counts, Finding, Severity, Span};
 pub use lint::lint_policy;
-#[allow(deprecated)]
-pub use lint::{lint, LintFinding};
 pub use model::{Action, AuthType, Authorization, ObjectSpec, Sign};
 pub use policy::{resolve_sign, CompletenessPolicy, ConflictResolution, PolicyConfig};
 pub use store::AuthorizationBase;

@@ -19,91 +19,7 @@
 
 use crate::finding::{Finding, Severity};
 use crate::model::Authorization;
-use std::fmt;
 use xmlsec_subjects::Directory;
-
-/// One finding.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `lint_policy` and the shared `xmlsec_authz::Finding` type"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub enum LintFinding {
-    /// The subject's user/group is not in the directory.
-    UnknownSubject {
-        /// Index into the linted slice.
-        index: usize,
-        /// The unknown identifier.
-        user_group: String,
-    },
-    /// The subject's group exists but has no (transitive) members.
-    EmptyGroup {
-        /// Index into the linted slice.
-        index: usize,
-        /// The empty group.
-        group: String,
-    },
-    /// Authorizations `first` and `second` are byte-for-byte identical.
-    Duplicate {
-        /// Earlier index.
-        first: usize,
-        /// Later index.
-        second: usize,
-    },
-    /// `shadowed` adds nothing: `by` has the same object/action/type/sign
-    /// and a subject at least as general.
-    Shadowed {
-        /// Index of the redundant authorization.
-        shadowed: usize,
-        /// Index of the authorization that subsumes it.
-        by: usize,
-    },
-    /// Same object/action/type, comparable subjects, opposite signs.
-    Contradiction {
-        /// Index of the permission.
-        plus: usize,
-        /// Index of the denial.
-        minus: usize,
-        /// `true` when the subjects are exactly equal (the outcome then
-        /// depends only on the conflict-resolution policy).
-        same_subject: bool,
-    },
-}
-
-#[allow(deprecated)]
-impl fmt::Display for LintFinding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LintFinding::UnknownSubject { index, user_group } => {
-                write!(f, "#{index}: subject {user_group:?} is not in the directory")
-            }
-            LintFinding::EmptyGroup { index, group } => {
-                write!(f, "#{index}: group {group:?} has no members")
-            }
-            LintFinding::Duplicate { first, second } => {
-                write!(f, "#{second} duplicates #{first}")
-            }
-            LintFinding::Shadowed { shadowed, by } => {
-                write!(f, "#{shadowed} is shadowed by the more general #{by}")
-            }
-            LintFinding::Contradiction { plus, minus, same_subject } => write!(
-                f,
-                "#{plus} (+) and #{minus} (-) contradict on the same object{}",
-                if *same_subject { " with the same subject" } else { "" }
-            ),
-        }
-    }
-}
-
-/// Lints `auths` against `dir`, returning all findings.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `lint_policy` and the shared `xmlsec_authz::Finding` type"
-)]
-#[allow(deprecated)]
-pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
-    lint_impl(auths, dir)
-}
 
 /// Lints `auths` against `dir`, reporting through the shared
 /// [`Finding`] model (severities: unknown subject is an error — the rule
@@ -111,67 +27,33 @@ pub fn lint(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
 /// warnings; contradictions are informational, since that is how
 /// exceptions are written).
 pub fn lint_policy(auths: &[Authorization], dir: &Directory) -> Vec<Finding> {
-    #[allow(deprecated)]
-    lint_impl(auths, dir)
-        .into_iter()
-        .map(|f| {
-            #[allow(deprecated)]
-            match f {
-                LintFinding::UnknownSubject { index, user_group } => Finding::new(
-                    Severity::Error,
-                    "unknown-subject",
-                    format!("subject {user_group:?} is not in the directory"),
-                )
-                .with_auth(index),
-                LintFinding::EmptyGroup { index, group } => Finding::new(
-                    Severity::Warning,
-                    "empty-group",
-                    format!("group {group:?} has no members; the authorization applies to nobody"),
-                )
-                .with_auth(index),
-                LintFinding::Duplicate { first, second } => Finding::new(
-                    Severity::Warning,
-                    "duplicate",
-                    "duplicates an earlier identical authorization",
-                )
-                .with_auth(second)
-                .with_other_auth(first),
-                LintFinding::Shadowed { shadowed, by } => Finding::new(
-                    Severity::Warning,
-                    "shadowed",
-                    "redundant: a more general authorization has the same object, action, type, and sign",
-                )
-                .with_auth(shadowed)
-                .with_other_auth(by),
-                LintFinding::Contradiction { plus, minus, same_subject } => Finding::new(
-                    Severity::Info,
-                    "contradiction",
-                    if same_subject {
-                        "permission and denial on the same object with the same subject; the outcome depends only on the conflict-resolution policy"
-                    } else {
-                        "permission and denial on the same object with comparable subjects (this is how exceptions are written)"
-                    },
-                )
-                .with_auth(plus)
-                .with_other_auth(minus),
-            }
-        })
-        .collect()
-}
-
-#[allow(deprecated)]
-fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
     let mut out = Vec::new();
 
     for (i, a) in auths.iter().enumerate() {
         let ug = &a.subject.user_group;
         match dir.kind(ug) {
-            None => out.push(LintFinding::UnknownSubject { index: i, user_group: ug.clone() }),
+            None => out.push(
+                Finding::new(
+                    Severity::Error,
+                    "unknown-subject",
+                    format!("subject {ug:?} is not in the directory"),
+                )
+                .with_auth(i),
+            ),
             Some(xmlsec_subjects::PrincipalKind::Group) => {
                 let has_member =
                     dir.principals().any(|(p, _)| p != ug.as_str() && dir.is_member(p, ug));
                 if !has_member {
-                    out.push(LintFinding::EmptyGroup { index: i, group: ug.clone() });
+                    out.push(
+                        Finding::new(
+                            Severity::Warning,
+                            "empty-group",
+                            format!(
+                                "group {ug:?} has no members; the authorization applies to nobody"
+                            ),
+                        )
+                        .with_auth(i),
+                    );
                 }
             }
             Some(xmlsec_subjects::PrincipalKind::User) => {}
@@ -182,7 +64,15 @@ fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
         for j in (i + 1)..auths.len() {
             let (a, b) = (&auths[i], &auths[j]);
             if a == b {
-                out.push(LintFinding::Duplicate { first: i, second: j });
+                out.push(
+                    Finding::new(
+                        Severity::Warning,
+                        "duplicate",
+                        "duplicates an earlier identical authorization",
+                    )
+                    .with_auth(j)
+                    .with_other_auth(i),
+                );
                 continue;
             }
             let same_object = a.object.uri == b.object.uri
@@ -194,10 +84,24 @@ fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
             }
             if a.sign == b.sign {
                 // Same effect: the more specific subject is redundant.
-                if a.subject.strictly_leq(&b.subject, dir) {
-                    out.push(LintFinding::Shadowed { shadowed: i, by: j });
+                let shadowed_by = if a.subject.strictly_leq(&b.subject, dir) {
+                    Some((i, j))
                 } else if b.subject.strictly_leq(&a.subject, dir) {
-                    out.push(LintFinding::Shadowed { shadowed: j, by: i });
+                    Some((j, i))
+                } else {
+                    None
+                };
+                if let Some((shadowed, by)) = shadowed_by {
+                    out.push(
+                        Finding::new(
+                            Severity::Warning,
+                            "shadowed",
+                            "redundant: a more general authorization has the same object, \
+                             action, type, and sign",
+                        )
+                        .with_auth(shadowed)
+                        .with_other_auth(by),
+                    );
                 }
             } else {
                 let comparable = a.subject.leq(&b.subject, dir) || b.subject.leq(&a.subject, dir);
@@ -205,7 +109,21 @@ fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
                     let (plus, minus) =
                         if a.sign == crate::model::Sign::Plus { (i, j) } else { (j, i) };
                     let same_subject = a.subject == b.subject;
-                    out.push(LintFinding::Contradiction { plus, minus, same_subject });
+                    out.push(
+                        Finding::new(
+                            Severity::Info,
+                            "contradiction",
+                            if same_subject {
+                                "permission and denial on the same object with the same subject; \
+                                 the outcome depends only on the conflict-resolution policy"
+                            } else {
+                                "permission and denial on the same object with comparable \
+                                 subjects (this is how exceptions are written)"
+                            },
+                        )
+                        .with_auth(plus)
+                        .with_other_auth(minus),
+                    );
                 }
             }
         }
@@ -214,7 +132,6 @@ fn lint_impl(auths: &[Authorization], dir: &Directory) -> Vec<LintFinding> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::model::{AuthType, ObjectSpec, Sign};
@@ -238,59 +155,71 @@ mod tests {
         )
     }
 
+    /// `(kind, auth, other_auth)` triples — the shape assertions reach for.
+    fn spans(fs: &[Finding]) -> Vec<(&str, Option<usize>, Option<usize>)> {
+        fs.iter().map(|f| (f.kind.as_str(), f.span.auth, f.span.other_auth)).collect()
+    }
+
     #[test]
     fn unknown_subject_flagged() {
         let a = [auth("nobody", "/a", Sign::Plus)];
-        let f = lint(&a, &dir());
-        assert!(
-            matches!(&f[0], LintFinding::UnknownSubject { user_group, .. } if user_group == "nobody")
-        );
+        let f = lint_policy(&a, &dir());
+        assert_eq!(f[0].kind, "unknown-subject");
+        assert_eq!(f[0].severity, Severity::Error);
+        assert_eq!(f[0].span.auth, Some(0));
+        assert!(f[0].message.contains("nobody"), "{}", f[0].message);
     }
 
     #[test]
     fn empty_group_flagged() {
         let a = [auth("Ghost", "/a", Sign::Plus)];
-        let f = lint(&a, &dir());
-        assert!(f
-            .iter()
-            .any(|x| matches!(x, LintFinding::EmptyGroup { group, .. } if group == "Ghost")));
+        let f = lint_policy(&a, &dir());
+        assert!(
+            f.iter().any(|x| x.kind == "empty-group"
+                && x.span.auth == Some(0)
+                && x.message.contains("Ghost")),
+            "{f:?}"
+        );
         // Staff has a member: not flagged.
         let b = [auth("Staff", "/a", Sign::Plus)];
-        assert!(lint(&b, &dir()).is_empty());
+        assert!(lint_policy(&b, &dir()).is_empty());
     }
 
     #[test]
     fn duplicates_flagged() {
         let a = [auth("Staff", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
-        let f = lint(&a, &dir());
-        assert!(f.iter().any(|x| matches!(x, LintFinding::Duplicate { first: 0, second: 1 })));
+        let f = lint_policy(&a, &dir());
+        assert!(spans(&f).contains(&("duplicate", Some(1), Some(0))), "{f:?}");
     }
 
     #[test]
     fn shadowed_specific_subject_flagged() {
         // tom ≤ Staff, same object/sign: the tom-specific one is redundant.
         let a = [auth("tom", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
-        let f = lint(&a, &dir());
-        assert!(f.iter().any(|x| matches!(x, LintFinding::Shadowed { shadowed: 0, by: 1 })));
+        let f = lint_policy(&a, &dir());
+        assert!(spans(&f).contains(&("shadowed", Some(0), Some(1))), "{f:?}");
         // Different objects: no shadowing.
         let b = [auth("tom", "/a", Sign::Plus), auth("Staff", "/b", Sign::Plus)];
-        assert!(lint(&b, &dir()).is_empty());
+        assert!(lint_policy(&b, &dir()).is_empty());
     }
 
     #[test]
     fn contradictions_flagged_with_subject_equality() {
         let a = [auth("tom", "/a", Sign::Plus), auth("Staff", "/a", Sign::Minus)];
-        let f = lint(&a, &dir());
-        assert!(f.iter().any(|x| matches!(
-            x,
-            LintFinding::Contradiction { plus: 0, minus: 1, same_subject: false }
-        )));
+        let f = lint_policy(&a, &dir());
+        assert!(spans(&f).contains(&("contradiction", Some(0), Some(1))), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.kind == "contradiction" && x.message.contains("exceptions")),
+            "{f:?}"
+        );
         let b = [auth("Staff", "/a", Sign::Minus), auth("Staff", "/a", Sign::Plus)];
-        let f2 = lint(&b, &dir());
-        assert!(f2.iter().any(|x| matches!(
-            x,
-            LintFinding::Contradiction { plus: 1, minus: 0, same_subject: true }
-        )));
+        let f2 = lint_policy(&b, &dir());
+        assert!(spans(&f2).contains(&("contradiction", Some(1), Some(0))), "{f2:?}");
+        assert!(
+            f2.iter()
+                .any(|x| x.kind == "contradiction" && x.message.contains("same subject")),
+            "{f2:?}"
+        );
     }
 
     #[test]
@@ -302,12 +231,12 @@ mod tests {
         let a = [auth("Staff", "/a", Sign::Plus), auth("Other", "/a", Sign::Minus)];
         // Incomparable subjects: the engine resolves per requester; lint
         // stays quiet (both can coexist meaningfully).
-        let f = lint(&a, &d);
-        assert!(!f.iter().any(|x| matches!(x, LintFinding::Contradiction { .. })), "{f:?}");
+        let f = lint_policy(&a, &d);
+        assert!(!f.iter().any(|x| x.kind == "contradiction"), "{f:?}");
     }
 
     #[test]
-    fn lint_policy_maps_to_shared_findings() {
+    fn severities_follow_the_documented_scale() {
         let a = [
             auth("nobody", "/a", Sign::Plus),
             auth("Staff", "/a", Sign::Plus),
@@ -323,14 +252,13 @@ mod tests {
         assert_eq!((dup.span.auth, dup.span.other_auth), (Some(2), Some(1)));
         let contra = fs.iter().find(|f| f.kind == "contradiction").unwrap();
         assert_eq!(contra.severity, Severity::Info);
-        // Old and new APIs see the same underlying facts.
-        assert_eq!(fs.len(), lint(&a, &dir()).len());
     }
 
     #[test]
-    fn display_forms_mention_indices() {
+    fn display_forms_carry_spans() {
         let a = [auth("Staff", "/a", Sign::Plus), auth("Staff", "/a", Sign::Plus)];
-        let f = lint(&a, &dir());
-        assert!(f.iter().any(|x| x.to_string().contains("#1 duplicates #0")));
+        let f = lint_policy(&a, &dir());
+        let rendered = f[0].to_string();
+        assert!(rendered.contains("duplicate"), "{rendered}");
     }
 }

@@ -5,29 +5,39 @@
 //! the default resource limits enforced), B12 (parallel labeling,
 //! sequential vs 4 threads on the hospital corpus), and B13
 //! (content-addressed cache churn, and the ETag/If-None-Match 304
-//! revalidation path that skips the pipeline), and B14 (whole-policy
-//! static analysis over the hospital corpus) — and writes them as
-//! flat JSON at the repo root (`BENCH_<n+1>.json` by default, one past
-//! the highest checked-in point, so the series extends without workflow
-//! edits) — every PR leaves a perf record the next PR is judged against.
+//! revalidation path that skips the pipeline), B14 (whole-policy
+//! static analysis over the hospital corpus), and B15 (compiled vs
+//! interpreted labeling on guaranteed-heavy corpora) — and writes them
+//! as flat JSON at the repo root (`BENCH_<n+1>.json` by default, one
+//! past the highest checked-in point, so the series extends without
+//! workflow edits) — every PR leaves a perf record the next PR is
+//! judged against.
 //!
 //! Gates (exit non-zero):
 //!
 //! - any tracked `*_ms` time regresses > 15% against the
 //!   highest-numbered `BENCH_*.json` already checked in (skipped when no
 //!   baseline exists, and under `XMLSEC_BENCH_NO_GATE=1`, which the
-//!   nightly drift job uses to report without failing);
+//!   nightly drift job uses to report without failing); the JSON records
+//!   whether this gate actually ran (`regression_gated`), so a
+//!   baseline-less or opted-out run is visible, not silent;
 //! - B12's 4-thread speedup falls below 1.5x — enforced only on
 //!   machines with ≥ 4 cores, since 4 workers on one core timeshare it
 //!   and the honest measurement there is ~1.0x. The JSON records the
 //!   measured speedup, the core count, and whether the gate applied
-//!   (`b12_gated`), so a gated-off run is visible, not silent.
+//!   (`b12_gated`), so a gated-off run is visible, not silent;
+//! - B15's compiled-over-interpreted labeling speedup falls below 1.2x
+//!   on either corpus (the acceptance target is 2x; the gate is set
+//!   conservatively so shared-runner noise does not flake CI).
 //!
 //! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
-use xmlsec_bench::{hospital_scenario, lab_scenario, run_view, run_view_parallel};
+use xmlsec_bench::{
+    financial_compiled_scenario, hospital_compiled_scenario, hospital_scenario, lab_scenario,
+    run_label_compiled, run_label_interpreted, run_view, run_view_parallel,
+};
 use xmlsec_core::par::available_cores;
 use xmlsec_core::{
     analyze_policy, closure_subjects, AccessRequest, DocumentSource, PolicyConfig,
@@ -44,6 +54,8 @@ use xmlsec_xml::{serialize, SerializeOptions};
 const REGRESSION_BUDGET: f64 = 1.15;
 /// Required 4-thread speedup on the hospital corpus (machines ≥ 4 cores).
 const SPEEDUP_GATE: f64 = 1.5;
+/// Required compiled-over-interpreted labeling speedup (B15).
+const COMPILE_SPEEDUP_GATE: f64 = 1.2;
 
 struct Config {
     batches: usize,
@@ -261,6 +273,41 @@ fn main() {
     });
     eprintln!("  b14_analyze_ms = {b14_analyze_ms:.3}");
 
+    // B15 — compiled vs interpreted labeling on the guaranteed-heavy
+    // corpora (omar's ward view, tina's branch statements view). The
+    // policy is compiled once, outside the timing loop — the table is
+    // cached across requests in production — and both constructors
+    // assert the whole-document fast path, so the compiled runner
+    // measures table-driven labeling, not a partial fallback.
+    let hosp = hospital_compiled_scenario(cfg.patients);
+    let fin = financial_compiled_scenario(cfg.patients);
+    let hosp_want = run_label_interpreted(&hosp.scenario);
+    let fin_want = run_label_interpreted(&fin.scenario);
+    let b15_hosp_interp_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_label_interpreted(&hosp.scenario)), hosp_want);
+    });
+    let b15_hosp_compiled_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_label_compiled(&hosp)), hosp_want);
+    });
+    let b15_fin_interp_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_label_interpreted(&fin.scenario)), fin_want);
+    });
+    let b15_fin_compiled_ms = time_ms(&cfg, || {
+        assert_eq!(black_box(run_label_compiled(&fin)), fin_want);
+    });
+    let b15_hosp_speedup = b15_hosp_interp_ms / b15_hosp_compiled_ms.max(1e-9);
+    let b15_fin_speedup = b15_fin_interp_ms / b15_fin_compiled_ms.max(1e-9);
+    eprintln!(
+        "  b15 hospital: {b15_hosp_interp_ms:.3}ms interpreted vs {b15_hosp_compiled_ms:.3}ms \
+         compiled ({b15_hosp_speedup:.2}x)"
+    );
+    eprintln!(
+        "  b15 financial: {b15_fin_interp_ms:.3}ms interpreted vs {b15_fin_compiled_ms:.3}ms \
+         compiled ({b15_fin_speedup:.2}x)"
+    );
+
+    let regression_gated = !no_gate && baseline_path(&out).is_some();
+
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
          \"b1_view_ms\": {b1_view_ms:.4},\n  \"b10_pipeline_ms\": {b10_pipeline_ms:.4},\n  \
@@ -268,8 +315,16 @@ fn main() {
          \"b12_par4_ms\": {b12_par4_ms:.4},\n  \"b12_speedup_4t\": {b12_speedup_4t:.4},\n  \
          \"b12_gated\": {},\n  \"b13_churn_ms\": {b13_churn_ms:.4},\n  \
          \"b13_not_modified_ms\": {b13_not_modified_ms:.5},\n  \
-         \"b14_analyze_ms\": {b14_analyze_ms:.4}\n}}\n",
+         \"b14_analyze_ms\": {b14_analyze_ms:.4},\n  \
+         \"b15_hosp_interp_ms\": {b15_hosp_interp_ms:.4},\n  \
+         \"b15_hosp_compiled_ms\": {b15_hosp_compiled_ms:.4},\n  \
+         \"b15_hosp_speedup\": {b15_hosp_speedup:.4},\n  \
+         \"b15_fin_interp_ms\": {b15_fin_interp_ms:.4},\n  \
+         \"b15_fin_compiled_ms\": {b15_fin_compiled_ms:.4},\n  \
+         \"b15_fin_speedup\": {b15_fin_speedup:.4},\n  \
+         \"regression_gated\": {}\n}}\n",
         if b12_gated { 1 } else { 0 },
+        if regression_gated { 1 } else { 0 },
     );
     std::fs::write(&out, &json).expect("write bench JSON");
     eprintln!("wrote {out}");
@@ -308,6 +363,17 @@ fn main() {
             "B12 4-thread speedup {b12_speedup_4t:.2}x is below the {SPEEDUP_GATE}x gate \
              ({cores} cores)"
         ));
+    }
+
+    if !no_gate {
+        for (corpus, speedup) in [("hospital", b15_hosp_speedup), ("financial", b15_fin_speedup)] {
+            if speedup < COMPILE_SPEEDUP_GATE {
+                failures.push(format!(
+                    "B15 compiled labeling speedup on {corpus} is {speedup:.2}x, below the \
+                     {COMPILE_SPEEDUP_GATE}x gate"
+                ));
+            }
+        }
     }
 
     if failures.is_empty() {

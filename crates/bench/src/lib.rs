@@ -7,7 +7,10 @@
 #![warn(missing_docs)]
 
 use xmlsec_authz::{AuthType, Authorization, ObjectSpec, PolicyConfig, Sign};
-use xmlsec_core::{compute_view_engine, EngineOptions, Parallelism, ResourceLimits};
+use xmlsec_core::{
+    compute_view_engine, label_document_engine, CompiledPolicy, EngineOptions, Parallelism,
+    ResourceLimits,
+};
 use xmlsec_subjects::{Directory, Requester, Subject};
 use xmlsec_workload::laboratory::{
     example1_authorizations, lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD_URI,
@@ -124,6 +127,92 @@ pub fn financial_scenario(accounts: usize) -> BenchScenario {
     BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() }
 }
 
+/// A scenario plus the requester's policy compiled against the corpus
+/// DTD — the B15 (compiled vs interpreted labeling) harness. Both B15
+/// corpora compile to fully guaranteed verdict tables, so the compiled
+/// runner exercises the whole-document fast path.
+pub struct CompiledScenario {
+    /// The underlying scenario.
+    pub scenario: BenchScenario,
+    /// The compiled policy (`fast_path` is asserted by the constructor).
+    pub compiled: CompiledPolicy,
+}
+
+fn compile_scenario(s: BenchScenario, dtd_text: &str, corpus: &str) -> CompiledScenario {
+    let dtd = xmlsec_dtd::parse_dtd(dtd_text).expect("corpus DTD parses");
+    let root = s.doc.element_name(s.doc.root()).expect("corpus root").to_string();
+    let ax: Vec<&Authorization> = s.axml.iter().collect();
+    let ad: Vec<&Authorization> = s.adtd.iter().collect();
+    let compiled =
+        xmlsec_core::compile(&dtd, &root, &ax, &ad, &s.dir, s.policy).expect("policy compiles");
+    assert!(
+        compiled.fast_path,
+        "{corpus}: the B15 corpora are guaranteed-heavy by construction; \
+         a residual cell means the scenario drifted"
+    );
+    CompiledScenario { scenario: s, compiled }
+}
+
+/// B15 primary corpus: administration clerk `omar` on a scaled ward.
+/// His applicable set is two predicate-free schema-level grants
+/// (`//billing`, `//patient/name`), which compile to an all-guaranteed
+/// verdict table.
+pub fn hospital_compiled_scenario(patients: usize) -> CompiledScenario {
+    use xmlsec_workload::hospital::*;
+    let doc = hospital_scaled(patients, 0xB15);
+    let dir = hospital_directory();
+    let base = hospital_authorization_base();
+    let requester = Requester::new("omar", "10.0.0.9", "admin.hospital.org").expect("requester");
+    let axml = base.applicable(WARD_URI, &requester, &dir).into_iter().cloned().collect();
+    let adtd = base
+        .applicable(HOSPITAL_DTD_URI, &requester, &dir)
+        .into_iter()
+        .cloned()
+        .collect();
+    let s = BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() };
+    compile_scenario(s, HOSPITAL_DTD, "hospital")
+}
+
+/// B15 secondary corpus: teller `tina` from a branch host on scaled
+/// statements. Her applicable set is two predicate-free instance-level
+/// grants (`owner`, `balance`) — also an all-guaranteed table.
+pub fn financial_compiled_scenario(accounts: usize) -> CompiledScenario {
+    use xmlsec_workload::financial::*;
+    let doc = financial_scaled(accounts, 0xB15);
+    let dir = bank_directory();
+    let base = bank_authorization_base();
+    let requester = Requester::new("tina", "10.1.4.20", "t1.branch.bank.com").expect("requester");
+    let axml = base.applicable(STATEMENTS_URI, &requester, &dir).into_iter().cloned().collect();
+    let adtd = base.applicable(BANK_DTD_URI, &requester, &dir).into_iter().cloned().collect();
+    let s = BenchScenario { doc, dir, axml, adtd, policy: PolicyConfig::paper_default() };
+    compile_scenario(s, BANK_DTD, "financial")
+}
+
+fn run_label(s: &BenchScenario, compiled: Option<&CompiledPolicy>) -> usize {
+    let ax: Vec<&Authorization> = s.axml.iter().collect();
+    let ad: Vec<&Authorization> = s.adtd.iter().collect();
+    let opts = EngineOptions {
+        limits: ResourceLimits::default_limits().xpath,
+        parallelism: Parallelism::sequential(),
+        decisions: None,
+        compiled,
+    };
+    let labeling = label_document_engine(&s.doc, &ax, &ad, &s.dir, s.policy, &opts)
+        .expect("bench corpora stay within default limits");
+    labeling.stats.granted_nodes
+}
+
+/// One cold interpreted labeling pass (no caches, no compiled table).
+pub fn run_label_interpreted(s: &BenchScenario) -> usize {
+    run_label(s, None)
+}
+
+/// One labeling pass served from the compiled verdict table (the
+/// whole-document fast path for the B15 corpora).
+pub fn run_label_compiled(cs: &CompiledScenario) -> usize {
+    run_label(&cs.scenario, Some(&cs.compiled))
+}
+
 /// Runs the parallel engine on a scenario with exactly `threads` workers
 /// (`1` = the sequential path), returning the visible-node count.
 /// Oversubscription is forced so thread-scaling measurements are about
@@ -141,6 +230,7 @@ pub fn run_view_parallel(s: &BenchScenario, threads: usize) -> usize {
         limits: ResourceLimits::default_limits().xpath,
         parallelism,
         decisions: None,
+        compiled: None,
     };
     let (_, stats) = compute_view_engine(&s.doc, &ax, &ad, &s.dir, s.policy, &opts)
         .expect("bench corpora stay within default limits");
@@ -191,6 +281,15 @@ mod tests {
             for threads in [2, 4] {
                 assert_eq!(run_view_parallel(&s, threads), seq);
             }
+        }
+    }
+
+    #[test]
+    fn compiled_labeling_matches_interpreted() {
+        for cs in [hospital_compiled_scenario(40), financial_compiled_scenario(40)] {
+            let compiled = run_label_compiled(&cs);
+            assert!(compiled > 0, "the B15 requesters must see part of the corpus");
+            assert_eq!(compiled, run_label_interpreted(&cs.scenario));
         }
     }
 

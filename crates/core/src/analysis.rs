@@ -305,7 +305,7 @@ pub fn analyze_against_schema(
         .collect()
 }
 
-/// Schema-coverage findings on the shared [`Finding`] model: one
+/// Schema-coverage findings on the shared [`xmlsec_authz::Finding`] model: one
 /// `dead-path` error per authorization whose object can never select a
 /// declaration of the DTD.
 pub fn coverage_findings(

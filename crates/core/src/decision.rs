@@ -92,6 +92,7 @@ struct DecisionMetrics {
     hits: Arc<telemetry::Counter>,
     misses: Arc<telemetry::Counter>,
     entries: Arc<telemetry::Gauge>,
+    mask_bypass: Arc<telemetry::Counter>,
 }
 
 fn decision_metrics() -> &'static DecisionMetrics {
@@ -114,8 +115,31 @@ fn decision_metrics() -> &'static DecisionMetrics {
                 "Decisions currently held in the shared cache.",
                 &[],
             ),
+            mask_bypass: reg.counter(
+                "xmlsec_decision_mask_bypass_total",
+                "Labeling runs whose applicable sets exceeded the 128-bit \
+                 match-mask cap and bypassed decision memoization entirely.",
+                &[],
+            ),
         }
     })
+}
+
+/// Records a labeling run whose combined applicable sets exceed the
+/// 128-bit match-mask cap: every initial label is resolved from scratch
+/// (no per-run memo, no shared cache), which is quadratic-ish in the
+/// authorization count. Warns once per process so operators notice the
+/// silent degradation without log spam.
+pub(crate) fn record_mask_bypass(auth_count: usize) {
+    decision_metrics().mask_bypass.inc();
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "xmlsec: warning: {auth_count} applicable authorizations exceed the \
+             128-auth decision-cache mask cap; label memoization is bypassed for \
+             such requests (counter: xmlsec_decision_mask_bypass_total)"
+        );
+    });
 }
 
 /// Flushes a run's aggregated hit/miss counts to the registry (the

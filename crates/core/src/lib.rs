@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod compile;
 pub mod decision;
 pub mod label;
 pub mod limits;
@@ -48,6 +49,9 @@ pub mod view;
 
 pub use analysis::{
     analyze_against_schema, coverage_findings, schema_coverage, AuthCoverage, SchemaNode,
+};
+pub use compile::{
+    compile, schema_hash, CompileError, CompiledCache, CompiledCell, CompiledPolicy, ResidualCheck,
 };
 pub use decision::{policy_fingerprint, DecisionCache, DecisionKey};
 pub use label::{first_def, Label, Sign3};

@@ -12,6 +12,7 @@
 //! The output carries the view document, its text, and the loosened DTD
 //! text, ready to be "transmitted to the user who requested access".
 
+use crate::compile::{CompiledCache, CompiledPolicy};
 use crate::decision::DecisionCache;
 use crate::limits::ResourceLimits;
 use crate::par::Parallelism;
@@ -121,6 +122,13 @@ pub struct ProcessorOptions {
     /// Extra threads are leased from the process-wide core budget, so
     /// this composes with the server's worker pool.
     pub parallelism: Parallelism,
+    /// Compile the applicable policy against the DTD and serve
+    /// guaranteed verdict-table cells (or, when every cell is
+    /// guaranteed, the whole labeling) from the table (see
+    /// [`mod@crate::compile`]). Needs a [`SecurityProcessor::compiled`]
+    /// cache attached and a document that validates against its DTD —
+    /// otherwise the request silently takes the interpreted path.
+    pub compile: bool,
 }
 
 /// A request: who wants which document.
@@ -170,6 +178,9 @@ pub struct SecurityProcessor {
     /// Optional cross-request label-decision memo (shared via `Arc` so a
     /// server can hand the same cache to every per-request processor).
     pub decisions: Option<Arc<DecisionCache>>,
+    /// Optional cross-request compiled-policy cache, consulted when
+    /// [`ProcessorOptions::compile`] is on.
+    pub compiled: Option<Arc<CompiledCache>>,
 }
 
 impl SecurityProcessor {
@@ -180,6 +191,7 @@ impl SecurityProcessor {
             authorizations,
             options: ProcessorOptions::default(),
             decisions: None,
+            compiled: None,
         }
     }
 
@@ -187,6 +199,14 @@ impl SecurityProcessor {
     /// [`crate::decision::DecisionCache`]).
     pub fn with_decision_cache(mut self, cache: Arc<DecisionCache>) -> Self {
         self.decisions = Some(cache);
+        self
+    }
+
+    /// Attaches a shared compiled-policy cache and turns
+    /// [`ProcessorOptions::compile`] on (see [`mod@crate::compile`]).
+    pub fn with_compiled_cache(mut self, cache: Arc<CompiledCache>) -> Self {
+        self.compiled = Some(cache);
+        self.options.compile = true;
         self
     }
 
@@ -219,6 +239,7 @@ impl SecurityProcessor {
                     .transpose()?,
             }
         };
+        let mut validated = false;
         if let Some(d) = &dtd {
             // Normalize first so authorizations conditioned on defaulted
             // attributes behave uniformly; then (optionally) validate.
@@ -232,6 +253,7 @@ impl SecurityProcessor {
                 if !errs.is_empty() {
                     return Err(ProcessError::Invalid(errs));
                 }
+                validated = true;
             }
         }
 
@@ -255,12 +277,41 @@ impl SecurityProcessor {
         };
         drop(_authz_span);
 
+        // Policy compilation: guaranteed verdict-table cells — or, when
+        // every cell is guaranteed, the whole labeling pass — are served
+        // from a table compiled once per (applicable set, schema) and
+        // cached. The table's guarantees quantify over *conforming*
+        // documents only, so when input validation is off the document
+        // is validated here purely to gate the compiled path; a
+        // non-conforming document silently takes the interpreted route.
+        let mut compiled: Option<Arc<CompiledPolicy>> = None;
+        if self.options.compile {
+            if let (Some(cache), Some(d)) = (&self.compiled, &dtd) {
+                let _s = stages::compile();
+                if validated || Validator::new(d).validate(&doc).is_empty() {
+                    if let Some(root) = doc.element_name(doc.root()) {
+                        compiled = cache
+                            .get_or_compile(
+                                d,
+                                root,
+                                &axml,
+                                &adtd,
+                                &self.directory,
+                                self.options.policy,
+                            )
+                            .ok();
+                    }
+                }
+            }
+        }
+
         // Step 2–3: labeling and pruning (stage spans open inside
         // compute_view, where the two halves are distinguishable).
         let engine = EngineOptions {
             limits: self.options.limits.xpath,
             parallelism: self.options.parallelism,
             decisions: self.decisions.as_deref(),
+            compiled: compiled.as_deref(),
         };
         let (view, stats) =
             compute_view_engine(&doc, &axml, &adtd, &self.directory, self.options.policy, &engine)?;
@@ -457,6 +508,55 @@ mod tests {
         // A second request is answered with the memo warm; same bytes.
         let again = p.process(&request("Tom"), &source()).unwrap();
         assert_eq!(again.xml, seq.xml);
+    }
+
+    #[test]
+    fn compiled_pipeline_matches_interpreted_and_caches() {
+        let want = processor().process(&request("Tom"), &source()).unwrap();
+        let p = processor().with_compiled_cache(Arc::new(CompiledCache::new()));
+        let out = p.process(&request("Tom"), &source()).unwrap();
+        assert_eq!(out.xml, want.xml);
+        assert_eq!(out.stats, want.stats);
+        let cache = p.compiled.as_ref().unwrap();
+        assert_eq!(cache.len(), 1, "first request compiles and caches the policy");
+        let again = p.process(&request("Tom"), &source()).unwrap();
+        assert_eq!(again.xml, want.xml);
+        assert_eq!(cache.len(), 1, "second request reuses the compiled policy");
+        // A different requester resolves a different applicable set and
+        // compiles its own table.
+        let mut p2 = p.clone();
+        p2.directory.add_user("Eve").unwrap();
+        let eve = p2.process(&request("Eve"), &source()).unwrap();
+        assert_eq!(eve.xml, "<lab/>");
+        assert_eq!(p2.compiled.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn compiled_path_is_gated_on_conformance() {
+        // validate_input off + invalid document: the compiled path must
+        // be skipped (its guarantees only cover conforming instances),
+        // and the interpreted result served instead.
+        let bad_xml = "<lab><project><manager>S</manager></project></lab>";
+        let src = DocumentSource { xml: bad_xml, dtd: Some(DTD), dtd_uri: Some("lab.dtd") };
+        let want = processor().process(&request("Tom"), &src).unwrap();
+        let p = processor().with_compiled_cache(Arc::new(CompiledCache::new()));
+        let out = p.process(&request("Tom"), &src).unwrap();
+        assert_eq!(out.xml, want.xml);
+        assert_eq!(out.stats, want.stats);
+        assert!(
+            p.compiled.as_ref().unwrap().is_empty(),
+            "a non-conforming document must not trigger compilation"
+        );
+    }
+
+    #[test]
+    fn compile_flag_without_cache_is_inert() {
+        let want = processor().process(&request("Tom"), &source()).unwrap();
+        let mut p = processor();
+        p.options.compile = true; // no cache attached
+        let out = p.process(&request("Tom"), &source()).unwrap();
+        assert_eq!(out.xml, want.xml);
+        assert_eq!(out.stats, want.stats);
     }
 
     #[test]

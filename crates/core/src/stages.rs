@@ -16,6 +16,7 @@ pub const STAGES: &[&str] = &[
     "normalize",
     "validate",
     "authz",
+    "compile",
     "label",
     "prune",
     "loosen",
@@ -54,6 +55,7 @@ stage_spans! {
     normalize => "normalize",
     validate => "validate",
     authz => "authz",
+    compile => "compile",
     label => "label",
     prune => "prune",
     loosen => "loosen",

@@ -384,6 +384,78 @@ fn attribute_final_signs(own: AbsLabel, parent: AbsLabel) -> SignSet {
 /// Raw decision data of one subject: final sign-sets per schema node.
 type RawTable = BTreeMap<SchemaNode, SignSet>;
 
+/// The output of [`applied_raw`]: the final sign-set table plus the
+/// abstract labels it was derived from (which [`analyze_policy`] discards
+/// but policy compilation consumes).
+struct AppliedRaw {
+    /// Final sign-sets per reachable schema node.
+    table: RawTable,
+    /// Post-fixpoint abstract element labels, by element name.
+    element_post: BTreeMap<String, AbsLabel>,
+    /// Own (pre-collapse) abstract attribute labels, by
+    /// `(element, attribute)`.
+    attribute_own: BTreeMap<(String, String), AbsLabel>,
+}
+
+/// Runs the abstract labeling stack for one concrete applicable set:
+/// own labels, the Kleene propagation fixpoint, and the `first_def`
+/// collapse into per-node final sign-sets.
+fn applied_raw<'a>(
+    g: &SchemaGraph<'_>,
+    reachable: &[&str],
+    applicable: Vec<&AuthInfo<'a>>,
+    dir: &'a Directory,
+    policy: PolicyConfig,
+) -> AppliedRaw {
+    let mut ctx = SubjectCtx { applicable, dir, policy, memo: HashMap::new() };
+
+    // Own labels, then a Kleene fixpoint for the propagated
+    // components (terminates: six components of ≤ 3 bits each,
+    // growing monotonically).
+    let own: BTreeMap<&str, AbsLabel> =
+        reachable.iter().map(|&e| (e, ctx.own_element_label(e))).collect();
+    let mut post: BTreeMap<&str, AbsLabel> =
+        reachable.iter().map(|&e| (e, AbsLabel::BOTTOM)).collect();
+    loop {
+        let mut changed = false;
+        for &e in reachable {
+            let mut j = if e == g.root { AbsLabel::EPSILON } else { AbsLabel::BOTTOM };
+            for p in g.pars(e) {
+                if let Some(&pl) = post.get(p) {
+                    j = j.join(pl);
+                }
+            }
+            let new = propagate(own[e], j);
+            if new != post[e] {
+                post.insert(e, new);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut table = RawTable::new();
+    let mut attribute_own = BTreeMap::new();
+    for &e in reachable {
+        table.insert(SchemaNode::Element(e.to_string()), final_signs(post[e]));
+        for def in g.dtd.attributes(e) {
+            let own_a = ctx.own_attribute_label(e, &def.name);
+            table.insert(
+                SchemaNode::Attribute { element: e.to_string(), attribute: def.name.clone() },
+                attribute_final_signs(own_a, post[e]),
+            );
+            attribute_own.insert((e.to_string(), def.name.clone()), own_a);
+        }
+    }
+    AppliedRaw {
+        table,
+        element_post: post.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        attribute_own,
+    }
+}
+
 /// Computes every subject's raw table over the reachable schema nodes,
 /// considering only authorizations whose index satisfies `included`.
 fn compute_raw_tables(
@@ -402,52 +474,78 @@ fn compute_raw_tables(
                 .iter()
                 .filter(|i| included(i.idx) && s.leq(&i.auth.subject, dir))
                 .collect();
-            let mut ctx = SubjectCtx { applicable, dir, policy, memo: HashMap::new() };
-
-            // Own labels, then a Kleene fixpoint for the propagated
-            // components (terminates: six components of ≤ 3 bits each,
-            // growing monotonically).
-            let own: BTreeMap<&str, AbsLabel> =
-                reachable.iter().map(|&e| (e, ctx.own_element_label(e))).collect();
-            let mut post: BTreeMap<&str, AbsLabel> =
-                reachable.iter().map(|&e| (e, AbsLabel::BOTTOM)).collect();
-            loop {
-                let mut changed = false;
-                for &e in reachable {
-                    let mut j = if e == g.root { AbsLabel::EPSILON } else { AbsLabel::BOTTOM };
-                    for p in g.pars(e) {
-                        if let Some(&pl) = post.get(p) {
-                            j = j.join(pl);
-                        }
-                    }
-                    let new = propagate(own[e], j);
-                    if new != post[e] {
-                        post.insert(e, new);
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-
-            let mut table = RawTable::new();
-            for &e in reachable {
-                table.insert(SchemaNode::Element(e.to_string()), final_signs(post[e]));
-                for def in g.dtd.attributes(e) {
-                    let own_a = ctx.own_attribute_label(e, &def.name);
-                    table.insert(
-                        SchemaNode::Attribute {
-                            element: e.to_string(),
-                            attribute: def.name.clone(),
-                        },
-                        attribute_final_signs(own_a, post[e]),
-                    );
-                }
-            }
-            table
+            applied_raw(g, reachable, applicable, dir, policy).table
         })
         .collect()
+}
+
+/// One verdict cell of an applied (requester-resolved) analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AppliedCell {
+    /// The possible final signs of nodes of this declaration.
+    pub(crate) signs: SignSet,
+    /// The verdict those signs induce under the completeness policy.
+    pub(crate) verdict: Verdict,
+}
+
+/// The abstract analysis of one concrete applicable authorization set
+/// (a requester's `axml`/`adtd` after subject resolution), as consumed
+/// by policy compilation: verdict cells plus the post-fixpoint abstract
+/// labels they were derived from.
+#[derive(Debug, Clone)]
+pub(crate) struct AppliedAnalysis {
+    /// One cell per reachable schema node.
+    pub(crate) cells: BTreeMap<SchemaNode, AppliedCell>,
+    /// Post-fixpoint abstract element labels, by element name.
+    pub(crate) element_post: BTreeMap<String, AbsLabel>,
+    /// Own abstract attribute labels, by `(element, attribute)`.
+    pub(crate) attribute_own: BTreeMap<(String, String), AbsLabel>,
+}
+
+/// Analyzes one concrete applicable set over the DTD graph. Unlike
+/// [`analyze_policy`], no subject filtering happens: the caller has
+/// already resolved which authorizations apply to the requester, and
+/// marks the schema-level ones with `true`. Returns `None` when
+/// `root_element` is not declared in the DTD.
+pub(crate) fn analyze_applicable(
+    dtd: &Dtd,
+    root_element: &str,
+    auths: &[(&Authorization, bool)],
+    dir: &Directory,
+    policy: PolicyConfig,
+) -> Option<AppliedAnalysis> {
+    let root = dtd.elements.get_key_value(root_element).map(|(k, _)| k.as_str())?;
+    let g = SchemaGraph::new(dtd, root);
+    let mut reachable: Vec<&str> = vec![g.root];
+    reachable.extend(g.descendants(g.root));
+    reachable.sort_unstable();
+    reachable.dedup();
+
+    let infos: Vec<AuthInfo<'_>> = auths
+        .iter()
+        .enumerate()
+        .map(|(idx, &(auth, schema))| AuthInfo {
+            idx,
+            auth,
+            schema,
+            sel: select(&g, auth.object.path.as_ref()),
+        })
+        .collect();
+
+    let raw = applied_raw(&g, &reachable, infos.iter().collect(), dir, policy);
+    let cells = raw
+        .table
+        .iter()
+        .map(|(node, &signs)| {
+            let verdict = verdict_of(policy, signs, || cell_reason(&g, &infos, None, dir, node));
+            (node.clone(), AppliedCell { signs, verdict })
+        })
+        .collect();
+    Some(AppliedAnalysis {
+        cells,
+        element_post: raw.element_post,
+        attribute_own: raw.attribute_own,
+    })
 }
 
 /// Whether a final sign grants access under the completeness policy.
@@ -468,11 +566,13 @@ fn verdict_of(policy: PolicyConfig, signs: SignSet, reason: impl FnOnce() -> Str
 
 /// Names the instance-dependence source of a cell: the applicable
 /// authorizations whose selection of the node (or of an ancestor type,
-/// through propagation) is may-but-not-must.
+/// through propagation) is may-but-not-must. With `subject = None` every
+/// info counts as applicable (the applied-analysis path, where the
+/// caller resolved applicability already).
 fn cell_reason(
     g: &SchemaGraph<'_>,
     infos: &[AuthInfo<'_>],
-    subject: &Subject,
+    subject: Option<&Subject>,
     dir: &Directory,
     node: &SchemaNode,
 ) -> String {
@@ -485,7 +585,7 @@ fn cell_reason(
     let mut direct: Vec<&AuthInfo<'_>> = Vec::new();
     let mut inherited: Vec<&AuthInfo<'_>> = Vec::new();
     for info in infos {
-        if !subject.leq(&info.auth.subject, dir) {
+        if subject.is_some_and(|s| !s.leq(&info.auth.subject, dir)) {
             continue;
         }
         let at_node = match attr {
@@ -585,7 +685,7 @@ pub fn analyze_policy(
             .map(|(node, &signs)| Cell {
                 node: node.clone(),
                 signs: signs.to_string(),
-                verdict: verdict_of(policy, signs, || cell_reason(&g, &infos, s, dir, node)),
+                verdict: verdict_of(policy, signs, || cell_reason(&g, &infos, Some(s), dir, node)),
             })
             .collect();
         report.subjects.push(SubjectTable { subject: s.clone(), cells });

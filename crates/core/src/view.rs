@@ -51,7 +51,10 @@
 //!   optional cross-request cache keyed additionally by
 //!   [`crate::decision::policy_fingerprint`].
 
-use crate::decision::{policy_fingerprint, record_traffic, DecisionCache, DecisionKey};
+use crate::compile::{record_cell_hits, CompiledPolicy};
+use crate::decision::{
+    policy_fingerprint, record_mask_bypass, record_traffic, DecisionCache, DecisionKey,
+};
 use crate::label::{first_def, Label, Sign3};
 use crate::par::{self, Parallelism};
 use std::collections::HashMap;
@@ -109,13 +112,26 @@ pub struct EngineOptions<'a> {
     pub parallelism: Parallelism,
     /// Cross-request decision memo, normally owned by the server.
     pub decisions: Option<&'a DecisionCache>,
+    /// A policy compiled for this run's applicable sets (see
+    /// [`mod@crate::compile`]). Guaranteed cells are served straight from
+    /// its verdict table; when every cell is guaranteed the whole
+    /// labeling pass is table lookups. Ignored unless its fingerprint
+    /// matches the run. Sound only for documents conforming to the DTD
+    /// it was compiled from — the caller owns that obligation (the
+    /// processor validates before attaching one).
+    pub compiled: Option<&'a CompiledPolicy>,
 }
 
 impl EngineOptions<'static> {
     /// Sequential evaluation with `limits`, no cross-request memo —
     /// the behavior of the plain `*_limited` entry points.
     pub fn sequential(limits: EvalLimits) -> EngineOptions<'static> {
-        EngineOptions { limits, parallelism: Parallelism::sequential(), decisions: None }
+        EngineOptions {
+            limits,
+            parallelism: Parallelism::sequential(),
+            decisions: None,
+            compiled: None,
+        }
     }
 }
 
@@ -209,6 +225,11 @@ struct Memo {
     local: HashMap<(bool, u128), Label>,
     hits: u64,
     misses: u64,
+    /// Compiled-table traffic (mixed mode): nodes served from an exact
+    /// cell, by allowed-ness, and nodes that fell back to interpretation.
+    cell_allow: u64,
+    cell_deny: u64,
+    cell_dep: u64,
 }
 
 /// The full engine entry point for labeling. `label_document_limited`
@@ -221,6 +242,33 @@ pub fn label_document_engine(
     policy: PolicyConfig,
     opts: &EngineOptions<'_>,
 ) -> Result<Labeling, EvalError> {
+    // Fingerprint of the applicable sets: keys the cross-request decision
+    // cache and guards the compiled table — a compiled policy built for
+    // different applicable sets (stale, or misrouted by the caller) is
+    // ignored, degrading to the interpreted path instead of corrupting
+    // the view. Order-independent, so computing it before the canonical
+    // reordering below is fine.
+    let fingerprint = if opts.decisions.is_some() || opts.compiled.is_some() {
+        policy_fingerprint(axml, adtd, dir, policy)
+    } else {
+        0
+    };
+    let compiled = opts.compiled.filter(|cp| cp.fingerprint == fingerprint);
+
+    // Whole-document fast path: every verdict-table cell carries a
+    // plus-exact sign, so labeling is one table lookup per node — no
+    // authorization object is ever evaluated (in particular the
+    // node-visit budget cannot trip here). Bails to the interpreted
+    // path on any element/attribute type absent from the table (a
+    // document that does not conform to the compiled schema).
+    if let Some(cp) = compiled {
+        if cp.fast_path {
+            if let Some(labeling) = label_fast_path(doc, cp, axml.len(), adtd.len(), policy) {
+                return Ok(labeling);
+            }
+        }
+    }
+
     // Resolve the thread count once: a lease from the global core budget
     // (held for the whole run), skipped entirely for sequential knobs and
     // small documents. An `oversubscribe` knob runs exactly the asked-for
@@ -259,12 +307,16 @@ pub fn label_document_engine(
         (axml, adtd)
     };
 
+    // Past the mask cap every initial label is resolved from scratch:
+    // surface the silent degradation (counter + one-time warning).
+    if axml.len() + adtd.len() > 128 {
+        record_mask_bypass(axml.len() + adtd.len());
+    }
+
     let pool = SharedBudget::new(opts.limits.max_node_visits);
     let xml_matched = evaluate_auths(doc, axml, &opts.limits, &pool, threads)?;
     let dtd_matched = evaluate_auths(doc, adtd, &opts.limits, &pool, threads)?;
 
-    let fingerprint =
-        if opts.decisions.is_some() { policy_fingerprint(axml, adtd, dir, policy) } else { 0 };
     let ctx = LabelCtx {
         doc,
         xml: &xml_matched,
@@ -273,18 +325,24 @@ pub fn label_document_engine(
         policy,
         fingerprint,
         decisions: opts.decisions,
+        compiled,
     };
 
     let mut labels = vec![Label::default(); doc.arena_len()];
     let mut memo = Memo::default();
 
-    // Root: initial label, final sign straight from its own components.
+    // Root: initial label, final sign straight from its own components
+    // (propagating against the virtual all-ε parent is the identity, so
+    // a compiled exact cell applies to the root as-is).
     let root = doc.root();
-    let mut root_label = ctx.initial_label(root, false, &mut memo);
-    root_label.final_sign = root_label.collapse();
+    let root_label = ctx.compiled_element(root, &mut memo).unwrap_or_else(|| {
+        let mut lab = ctx.initial_label(root, false, &mut memo);
+        lab.final_sign = lab.collapse();
+        lab
+    });
     labels[root.index()] = root_label;
     for &a in doc.attributes(root) {
-        labels[a.index()] = ctx.label_attribute(a, &root_label, &mut memo);
+        labels[a.index()] = ctx.label_attribute(a, root, &root_label, &mut memo);
     }
 
     // Frontier: unlabeled elements whose parent's label is known.
@@ -301,7 +359,7 @@ pub fn label_document_engine(
                 let lab = ctx.label_element(n, &parent, &mut memo);
                 labels[n.index()] = lab;
                 for &a in doc.attributes(n) {
-                    labels[a.index()] = ctx.label_attribute(a, &lab, &mut memo);
+                    labels[a.index()] = ctx.label_attribute(a, n, &lab, &mut memo);
                 }
                 next.extend(doc.child_elements(n).map(|c| (c, lab)));
             }
@@ -317,13 +375,26 @@ pub fn label_document_engine(
         let results =
             par::run_tasks_state(threads, frontier, Memo::default, |memo, &(n, parent)| {
                 let (h0, m0) = (memo.hits, memo.misses);
+                let (a0, d0, p0) = (memo.cell_allow, memo.cell_deny, memo.cell_dep);
                 let mut out: Vec<(usize, Label)> = Vec::new();
                 label_subtree(&ctx, n, parent, memo, &mut |i, lab| out.push((i, lab)));
-                (out, memo.hits - h0, memo.misses - m0)
+                (
+                    out,
+                    [
+                        memo.hits - h0,
+                        memo.misses - m0,
+                        memo.cell_allow - a0,
+                        memo.cell_deny - d0,
+                        memo.cell_dep - p0,
+                    ],
+                )
             });
-        for (out, h, m) in results {
+        for (out, [h, m, ca, cd, cp]) in results {
             memo.hits += h;
             memo.misses += m;
+            memo.cell_allow += ca;
+            memo.cell_deny += cd;
+            memo.cell_dep += cp;
             for (i, lab) in out {
                 labels[i] = lab;
             }
@@ -336,6 +407,7 @@ pub fn label_document_engine(
         }
     }
     record_traffic(memo.hits, memo.misses);
+    record_cell_hits(memo.cell_allow, memo.cell_deny, memo.cell_dep);
 
     // Statistics.
     let mut labeling = Labeling {
@@ -368,6 +440,9 @@ struct LabelCtx<'a> {
     /// [`policy_fingerprint`] when a cross-request cache is attached.
     fingerprint: u64,
     decisions: Option<&'a DecisionCache>,
+    /// Fingerprint-verified compiled policy (mixed mode: exact cells
+    /// short-circuit labeling per node type, the rest interprets).
+    compiled: Option<&'a CompiledPolicy>,
 }
 
 impl LabelCtx<'_> {
@@ -375,6 +450,61 @@ impl LabelCtx<'_> {
     /// sets fit the 128-bit match mask.
     fn maskable(&self) -> bool {
         self.xml.len() + self.dtd.len() <= 128
+    }
+
+    /// The completeness rule pruning applies — used only to classify
+    /// compiled-cell hits for telemetry.
+    fn is_allowed(&self, s: Sign3) -> bool {
+        s == Sign3::Plus
+            || (self.policy.completeness == CompletenessPolicy::Open && s == Sign3::Eps)
+    }
+
+    /// The compiled exact label for element `n`, when the verdict table
+    /// carries one (every post-fixpoint component a singleton — then the
+    /// concrete propagated label is pinned on conforming instances).
+    fn compiled_element(&self, n: NodeId, memo: &mut Memo) -> Option<Label> {
+        let cp = self.compiled?;
+        let exact = self.doc.element_name(n).and_then(|e| cp.elements.get(e)).and_then(|c| c.exact);
+        match exact {
+            Some(lab) => {
+                if self.is_allowed(lab.final_sign) {
+                    memo.cell_allow += 1;
+                } else {
+                    memo.cell_deny += 1;
+                }
+                Some(lab)
+            }
+            None => {
+                memo.cell_dep += 1;
+                None
+            }
+        }
+    }
+
+    /// The compiled exact label for attribute `a` of element `parent_el`.
+    fn compiled_attribute(&self, a: NodeId, parent_el: NodeId, memo: &mut Memo) -> Option<Label> {
+        let cp = self.compiled?;
+        let NodeData::Attr { name: attr, .. } = &self.doc.node(a).data else { return None };
+        let exact = self
+            .doc
+            .element_name(parent_el)
+            .and_then(|e| cp.attributes.get(e))
+            .and_then(|m| m.get(attr.as_str()))
+            .and_then(|c| c.exact);
+        match exact {
+            Some(lab) => {
+                if self.is_allowed(lab.final_sign) {
+                    memo.cell_allow += 1;
+                } else {
+                    memo.cell_deny += 1;
+                }
+                Some(lab)
+            }
+            None => {
+                memo.cell_dep += 1;
+                None
+            }
+        }
     }
 
     /// Bit `i` ⇔ the `i`-th applicable authorization selects `n`
@@ -503,8 +633,18 @@ impl LabelCtx<'_> {
     }
 
     /// Labels an attribute from its own initial label and the parent
-    /// element's component signs.
-    fn label_attribute(&self, a: NodeId, parent: &Label, memo: &mut Memo) -> Label {
+    /// element's component signs (`parent_el` is the owning element, so
+    /// compiled cells can be looked up by type).
+    fn label_attribute(
+        &self,
+        a: NodeId,
+        parent_el: NodeId,
+        parent: &Label,
+        memo: &mut Memo,
+    ) -> Label {
+        if let Some(lab) = self.compiled_attribute(a, parent_el, memo) {
+            return lab;
+        }
         let mut lab = self.initial_label(a, true, memo);
         // Structural nulls for leaves.
         lab.r = Sign3::Eps;
@@ -519,6 +659,9 @@ impl LabelCtx<'_> {
 
     /// Propagation step for an element with parent label `parent`.
     fn label_element(&self, n: NodeId, parent: &Label, memo: &mut Memo) -> Label {
+        if let Some(lab) = self.compiled_element(n, memo) {
+            return lab;
+        }
         let mut lab = self.initial_label(n, false, memo);
         // Most specific overrides: an instance recursive authorization on
         // the node (strong or weak) stops the parent's instance
@@ -547,11 +690,65 @@ fn label_subtree(
     let lab = ctx.label_element(n, &parent, memo);
     emit(n.index(), lab);
     for &a in ctx.doc.attributes(n) {
-        emit(a.index(), ctx.label_attribute(a, &lab, memo));
+        emit(a.index(), ctx.label_attribute(a, n, &lab, memo));
     }
     for c in ctx.doc.child_elements(n) {
         label_subtree(ctx, c, lab, memo, emit);
     }
+}
+
+/// Whole-document fast path over a fully-guaranteed verdict table: one
+/// lookup per element/attribute, writing only the representative final
+/// sign (pruning and the statistics read nothing else — components stay
+/// at their defaults). Returns `None` when the document mentions an
+/// element or attribute type the table has no cell for, i.e. it cannot
+/// conform to the compiled schema; the caller then falls back to the
+/// interpreted path.
+fn label_fast_path(
+    doc: &Document,
+    cp: &CompiledPolicy,
+    instance_auths: usize,
+    schema_auths: usize,
+    policy: PolicyConfig,
+) -> Option<Labeling> {
+    if doc.element_name(doc.root()) != Some(cp.root.as_str()) {
+        return None;
+    }
+    let open = policy.completeness == CompletenessPolicy::Open;
+    let mut labels = vec![Label::default(); doc.arena_len()];
+    let (mut allow, mut deny) = (0u64, 0u64);
+    let mut stack = vec![doc.root()];
+    while let Some(n) = stack.pop() {
+        let name = doc.element_name(n)?;
+        let rep = cp.elements.get(name)?.representative?;
+        labels[n.index()].final_sign = rep;
+        if rep == Sign3::Plus || (open && rep == Sign3::Eps) {
+            allow += 1;
+        } else {
+            deny += 1;
+        }
+        let attr_cells = cp.attributes.get(name);
+        for &a in doc.attributes(n) {
+            let NodeData::Attr { name: attr, .. } = &doc.node(a).data else { continue };
+            let rep = attr_cells?.get(attr.as_str())?.representative?;
+            labels[a.index()].final_sign = rep;
+            if rep == Sign3::Plus || (open && rep == Sign3::Eps) {
+                allow += 1;
+            } else {
+                deny += 1;
+            }
+        }
+        stack.extend(doc.child_elements(n));
+    }
+    let mut stats = ViewStats { instance_auths, schema_auths, ..Default::default() };
+    for n in doc.preorder(doc.root()) {
+        stats.labeled_nodes += 1;
+        if labels[n.index()].final_sign == Sign3::Plus {
+            stats.granted_nodes += 1;
+        }
+    }
+    record_cell_hits(allow, deny, 0);
+    Some(Labeling { labels, stats })
 }
 
 /// The paper's `prune(T, n)` (postorder): removes from `doc` every node
@@ -990,6 +1187,7 @@ mod tests {
                 limits: EvalLimits::default_limits(),
                 parallelism: Parallelism::threads(threads).with_seq_threshold(0).exact(),
                 decisions: None,
+                compiled: None,
             };
             let (view_par, stats_par) =
                 compute_view_engine(&doc, &ax, &[], &d, policy, &par_opts).unwrap();
@@ -1055,6 +1253,153 @@ mod tests {
             want,
             "a warm cache must not leak labels across a permuted bit mapping"
         );
+    }
+
+    // ---- engine: compiled policies ----
+
+    const LAB_DTD: &str = r#"
+        <!ELEMENT lab (project*)>
+        <!ELEMENT project (paper*)>
+        <!ATTLIST project name CDATA #IMPLIED>
+        <!ELEMENT paper (#PCDATA)>
+    "#;
+
+    const LAB_DOC: &str = concat!(
+        r#"<lab><project name="p1"><paper>P</paper></project>"#,
+        r#"<project><paper>Q</paper></project></lab>"#
+    );
+
+    fn compiled_for(
+        axml: &[&Authorization],
+        adtd: &[&Authorization],
+        policy: PolicyConfig,
+    ) -> crate::compile::CompiledPolicy {
+        let dtd = xmlsec_dtd::parse_dtd(LAB_DTD).unwrap();
+        crate::compile::compile(&dtd, "lab", axml, adtd, &dir(), policy).unwrap()
+    }
+
+    #[test]
+    fn compiled_fast_path_matches_interpreted_bytes_and_stats() {
+        let doc = parse(LAB_DOC).unwrap();
+        let adtd = [auth("s.dtd://project", Sign::Plus, AuthType::Recursive)];
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let cp = compiled_for(&[], &ad, policy);
+        assert!(cp.fast_path, "{cp:?}");
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (want, stats_want) = compute_view_engine(&doc, &[], &ad, &d, policy, &plain).unwrap();
+        let opts = EngineOptions { compiled: Some(&cp), ..plain };
+        let (got, stats_got) = compute_view_engine(&doc, &[], &ad, &d, policy, &opts).unwrap();
+        assert_eq!(
+            serialize(&got, &SerializeOptions::canonical()),
+            serialize(&want, &SerializeOptions::canonical()),
+        );
+        assert_eq!(stats_got, stats_want);
+        // The fast path never evaluates an object, so even a zero budget
+        // succeeds where the interpreted path trips.
+        let tiny = EngineOptions {
+            limits: EvalLimits { max_node_visits: 1, ..EvalLimits::default_limits() },
+            ..opts
+        };
+        assert!(compute_view_engine(&doc, &[], &ad, &d, policy, &tiny).is_ok());
+    }
+
+    #[test]
+    fn compiled_mixed_mode_matches_interpreted() {
+        let doc = parse(LAB_DOC).unwrap();
+        let axml = [auth(r#"d.xml://project[./@name="p1"]"#, Sign::Minus, AuthType::Recursive)];
+        let adtd = [auth("s.dtd://project", Sign::Plus, AuthType::Recursive)];
+        let ax: Vec<&Authorization> = axml.iter().collect();
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let cp = compiled_for(&ax, &ad, policy);
+        assert!(!cp.fast_path, "predicate must force mixed mode: {cp:?}");
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (want, stats_want) = compute_view_engine(&doc, &ax, &ad, &d, policy, &plain).unwrap();
+        let opts = EngineOptions { compiled: Some(&cp), ..plain };
+        let (got, stats_got) = compute_view_engine(&doc, &ax, &ad, &d, policy, &opts).unwrap();
+        assert_eq!(
+            serialize(&got, &SerializeOptions::canonical()),
+            serialize(&want, &SerializeOptions::canonical()),
+        );
+        assert_eq!(stats_got, stats_want);
+    }
+
+    #[test]
+    fn stale_compiled_policy_is_ignored() {
+        // Compiled for a different applicable set: the fingerprint check
+        // must route the run to the interpreted path, not mislabel.
+        let doc = parse(LAB_DOC).unwrap();
+        let adtd = [auth("s.dtd://project", Sign::Plus, AuthType::Recursive)];
+        let other = [auth("s.dtd://paper", Sign::Minus, AuthType::Recursive)];
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let ot: Vec<&Authorization> = other.iter().collect();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let stale = compiled_for(&[], &ot, policy);
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (want, _) = compute_view_engine(&doc, &[], &ad, &d, policy, &plain).unwrap();
+        let opts = EngineOptions { compiled: Some(&stale), ..plain };
+        let (got, _) = compute_view_engine(&doc, &[], &ad, &d, policy, &opts).unwrap();
+        assert_eq!(
+            serialize(&got, &SerializeOptions::canonical()),
+            serialize(&want, &SerializeOptions::canonical()),
+        );
+    }
+
+    #[test]
+    fn nonconforming_document_falls_back_to_interpreted() {
+        // <intruder> has no verdict cell: the fast path must bail and the
+        // interpreted engine label the document instead.
+        let doc = parse("<lab><intruder>x</intruder></lab>").unwrap();
+        let adtd = [auth("s.dtd://project", Sign::Plus, AuthType::Recursive)];
+        let ad: Vec<&Authorization> = adtd.iter().collect();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let cp = compiled_for(&[], &ad, policy);
+        assert!(cp.fast_path);
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (want, stats_want) = compute_view_engine(&doc, &[], &ad, &d, policy, &plain).unwrap();
+        let opts = EngineOptions { compiled: Some(&cp), ..plain };
+        let (got, stats_got) = compute_view_engine(&doc, &[], &ad, &d, policy, &opts).unwrap();
+        assert_eq!(
+            serialize(&got, &SerializeOptions::canonical()),
+            serialize(&want, &SerializeOptions::canonical()),
+        );
+        assert_eq!(stats_got, stats_want);
+    }
+
+    #[test]
+    fn oversized_auth_sets_bypass_the_decision_cache_and_count() {
+        // 129 applicable authorizations exceed the 128-bit mask: the
+        // engine must resolve from scratch (cache stays empty), produce
+        // the same bytes, and surface the bypass in telemetry.
+        let bypass = xmlsec_telemetry::global().counter(
+            "xmlsec_decision_mask_bypass_total",
+            "Labeling runs whose applicable sets exceeded the 128-bit \
+             match-mask cap and bypassed decision memoization entirely.",
+            &[],
+        );
+        let before = bypass.get();
+        let doc = parse(r#"<a x="1"><b>t</b><c/></a>"#).unwrap();
+        let mut auths = vec![auth("d.xml:/a/b", Sign::Plus, AuthType::Recursive)];
+        auths.extend((0..128).map(|_| auth("d.xml:/a/c", Sign::Minus, AuthType::Local)));
+        let ax: Vec<&Authorization> = auths.iter().collect();
+        let d = dir();
+        let policy = PolicyConfig::paper_default();
+        let plain = EngineOptions::sequential(EvalLimits::default_limits());
+        let (want, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &plain).unwrap();
+        let cache = DecisionCache::new();
+        let cached = EngineOptions { decisions: Some(&cache), ..plain };
+        let (got, _) = compute_view_engine(&doc, &ax, &[], &d, policy, &cached).unwrap();
+        assert!(cache.is_empty(), "mask-capped runs must not populate the cache");
+        assert_eq!(
+            serialize(&got, &SerializeOptions::canonical()),
+            serialize(&want, &SerializeOptions::canonical()),
+        );
+        assert!(bypass.get() >= before + 2, "both oversized runs must count");
     }
 
     #[test]

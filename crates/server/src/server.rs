@@ -26,7 +26,8 @@ use xmlsec_authz::{
 };
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
 use xmlsec_core::{
-    AccessRequest, DecisionCache, DocumentSource, Parallelism, ResourceLimits, SecurityProcessor,
+    AccessRequest, CompiledCache, DecisionCache, DocumentSource, Parallelism, ResourceLimits,
+    SecurityProcessor,
 };
 use xmlsec_dtd::parse_dtd;
 use xmlsec_subjects::{Directory, Requester};
@@ -221,6 +222,11 @@ pub struct SecureServer {
     /// processor. Fingerprinted keys make stale hits impossible; grant
     /// and revoke clear it anyway to reclaim the space.
     decisions: Arc<DecisionCache>,
+    /// Cross-request compiled-policy cache (see [`mod@xmlsec_core::compile`]),
+    /// invalidated together with `decisions` on grant/revoke.
+    compiled: Arc<CompiledCache>,
+    /// Whether requests consult compiled policies (default: on).
+    compile: bool,
     /// The audit log (public so operators can inspect it).
     pub audit: AuditLog,
 }
@@ -239,6 +245,8 @@ impl SecureServer {
             parallelism: Parallelism::sequential(),
             cache: Some(ViewCache::new()),
             decisions: Arc::new(DecisionCache::new()),
+            compiled: Arc::new(CompiledCache::new()),
+            compile: true,
             audit: AuditLog::new(),
         }
     }
@@ -294,6 +302,18 @@ impl SecureServer {
         &self.decisions
     }
 
+    /// Turns policy compilation on or off (on by default; see
+    /// [`mod@xmlsec_core::compile`]).
+    pub fn with_compile(mut self, on: bool) -> Self {
+        self.compile = on;
+        self
+    }
+
+    /// The shared compiled-policy cache (for stats and tests).
+    pub fn compiled_cache(&self) -> &CompiledCache {
+        &self.compiled
+    }
+
     /// Registers a user with a shared secret (the paper assumes local
     /// identities "established and authenticated by the server").
     pub fn register_credentials(&mut self, user: &str, secret: &str) {
@@ -341,6 +361,7 @@ impl SecureServer {
     pub fn grant(&mut self, auth: Authorization) -> Vec<Finding> {
         self.invalidate_for_object_uri(&auth.object.uri);
         self.decisions.clear();
+        self.compiled.clear();
         let uri = auth.object.uri.clone();
         self.authorizations.add(auth);
         self.policy_preflight("grant", &uri)
@@ -355,6 +376,7 @@ impl SecureServer {
         if removed > 0 {
             self.invalidate_for_object_uri(&auth.object.uri);
             self.decisions.clear();
+            self.compiled.clear();
             self.policy_preflight("revoke", &auth.object.uri);
         }
         removed
@@ -574,9 +596,11 @@ impl SecureServer {
                 policy: self.policy,
                 limits: self.limits,
                 parallelism: self.parallelism,
+                compile: self.compile,
                 ..Default::default()
             },
             decisions: Some(Arc::clone(&self.decisions)),
+            compiled: self.compile.then(|| Arc::clone(&self.compiled)),
         };
         let source = DocumentSource {
             xml: &stored.xml,
@@ -1055,6 +1079,47 @@ mod tests {
         assert!(!s.decision_cache().is_empty());
         assert_eq!(s.revoke(&extra), 1);
         assert!(s.decision_cache().is_empty(), "revoke must drop memoized decisions");
+    }
+
+    #[test]
+    fn compiled_policies_are_cached_and_invalidated_with_decisions() {
+        let setup = |s: &mut SecureServer| {
+            s.repository_mut().put_dtd(
+                "lab.dtd",
+                "<!ELEMENT lab (news,internal)><!ELEMENT news (#PCDATA)>\
+                 <!ELEMENT internal (#PCDATA)>",
+            );
+            s.repository_mut().put_document(
+                "typed.xml",
+                "<lab><news>hi</news><internal>budget</internal></lab>",
+                Some("lab.dtd"),
+            );
+        };
+        let mut off = server().with_compile(false);
+        setup(&mut off);
+        let want = off.handle(&req(None, "typed.xml")).unwrap();
+        assert!(off.compiled_cache().is_empty(), "compile off must not compile");
+
+        let mut on = server();
+        setup(&mut on);
+        let got = on.handle(&req(None, "typed.xml")).unwrap();
+        assert_eq!(got.xml, want.xml, "compiled and interpreted views must agree");
+        assert_eq!(on.compiled_cache().len(), 1, "the request compiles and caches the policy");
+
+        // grant/revoke clear the compiled cache next to the decisions.
+        let extra = Authorization::new(
+            Subject::new("Public", "*", "*").unwrap(),
+            ObjectSpec::parse("typed.xml:/lab/internal").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        );
+        on.grant(extra.clone());
+        assert!(on.compiled_cache().is_empty(), "grant must drop compiled policies");
+        let wider = on.handle(&req(None, "typed.xml")).unwrap();
+        assert!(wider.xml.contains("internal"), "{}", wider.xml);
+        assert_eq!(on.compiled_cache().len(), 1, "the next request recompiles");
+        assert_eq!(on.revoke(&extra), 1);
+        assert!(on.compiled_cache().is_empty(), "revoke must drop compiled policies");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!                     [--workers N] [--backlog N] [--read-timeout-ms N]
 //!                     [--write-timeout-ms N] [--max-input-bytes N] [--max-depth N]
 //!                     [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
+//!                     [--compile on|off]
+//! xmlsec-cli compile  <dtd> <xacl> --user NAME --ip IP --host H
+//!                     [--doc-uri U] [--dtd-uri U] [--root NAME] [--dir F]
+//!                     [--open] [--format human|json]
 //! ```
 //!
 //! The directory file (`--dir`) is line-oriented:
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&opts),
         "explain" => cmd_explain(&opts),
         "analyze" => cmd_analyze(&opts),
+        "compile" => cmd_compile(&opts),
         "lint" => cmd_lint(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
@@ -76,6 +81,7 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
             cache: [--cache-capacity N (bound the view cache; 0=off)]
             limits: [--max-input-bytes N] [--max-depth N] [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
             parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
+            jit: [--compile on|off (default on: serve guaranteed labels from compiled verdict tables)]
   stats:    --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F] [--dtd F --dtd-uri U] [--repeat N] [--prometheus]
             parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
   explain:  --doc F --uri U --user NAME --ip IP --host H [--xacl F]... [--dir F]
@@ -83,6 +89,9 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
             [--root NAME] [--dtd-uri U] [--dir F] [--open]
             [--subjects closure|list] [--subject user[:ip[:host]]]...
             [--format human|json]
+  compile:  <dtd> <xacl> | --dtd F --xacl F
+            --user NAME --ip IP --host H [--doc-uri U] [--dtd-uri U]
+            [--root NAME] [--dir F] [--open] [--format human|json]
   lint:     --xacl F [--dir F]";
 
 /// Parsed command-line options (flag → values; repeatable flags collect;
@@ -205,6 +214,7 @@ fn cmd_view(o: &Opts) -> Result<(), String> {
         authorizations: base,
         options: xmlsec::core::ProcessorOptions { policy, ..Default::default() },
         decisions: None,
+        compiled: None,
     };
     let requester =
         Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
@@ -359,15 +369,28 @@ fn apply_cache_capacity(
     })
 }
 
+/// Parses `serve --compile on|off` (policy compilation; default on).
+fn compile_flag(o: &Opts) -> Result<bool, String> {
+    match o.opt("compile") {
+        None | Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(format!("--compile must be on or off, got {other:?}")),
+    }
+}
+
 fn cmd_serve(o: &Opts) -> Result<(), String> {
     let (cfg, limits) = serve_config(o)?;
     let par = parallelism_config(o)?;
+    let compile = compile_flag(o)?;
     // --site DIR loads a whole directory (documents, DTDs, XACLs,
     // _directory.txt, _credentials.txt) in one go.
     if let Some(site) = o.opt("site") {
         let (server, summary) =
             xmlsec::server::load_site(std::path::Path::new(site)).map_err(|e| e.to_string())?;
-        let server = apply_cache_capacity(server.with_limits(limits).with_parallelism(par), o)?;
+        let server = apply_cache_capacity(
+            server.with_limits(limits).with_parallelism(par).with_compile(compile),
+            o,
+        )?;
         let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
         let demo =
             xmlsec::server::HttpDemo::start_with(server, addr, cfg).map_err(|e| e.to_string())?;
@@ -407,7 +430,10 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         server.repository_mut().put_dtd(uri, &read(dtd_path)?);
     }
     server.repository_mut().put_document(o.one("uri")?, &xml, dtd_uri);
-    let server = apply_cache_capacity(server.with_limits(limits).with_parallelism(par), o)?;
+    let server = apply_cache_capacity(
+        server.with_limits(limits).with_parallelism(par).with_compile(compile),
+        o,
+    )?;
 
     let addr = o.opt("addr").unwrap_or("127.0.0.1:8080");
     let demo =
@@ -456,8 +482,14 @@ fn cmd_stats(o: &Opts) -> Result<(), String> {
     let processor = xmlsec::core::SecurityProcessor {
         directory: dir,
         authorizations: base,
-        options: xmlsec::core::ProcessorOptions { policy, parallelism: par, ..Default::default() },
+        options: xmlsec::core::ProcessorOptions {
+            policy,
+            parallelism: par,
+            compile: true,
+            ..Default::default()
+        },
         decisions: Some(std::sync::Arc::new(xmlsec::core::DecisionCache::new())),
+        compiled: Some(std::sync::Arc::new(xmlsec::core::CompiledCache::new())),
     };
     let requester =
         Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
@@ -764,6 +796,176 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// Compiles one requester's applicable policy against a DTD into the
+/// runtime verdict table (see `xmlsec::core::compile`) and dumps it:
+/// per-cell abstract signs and verdict, the statically-known concrete
+/// sign when the cell is fast-path eligible, the residual instance
+/// checks, and the whole-document fast-path flag.
+fn cmd_compile(o: &Opts) -> Result<(), String> {
+    let dtd_path = o.positional_or(0, "dtd")?;
+    let xacl_path = o.positional_or(1, "xacl")?;
+    let dtd = parse_dtd(&read(dtd_path)?).map_err(|e| e.to_string())?;
+    let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    for a in &auths {
+        if dir.kind(&a.subject.user_group).is_none() {
+            let _ = dir.add_group(&a.subject.user_group);
+        }
+    }
+    let user = o.one("user")?;
+    let _ = dir.add_user(user);
+    let requester =
+        Requester::new(user, o.one("ip")?, o.one("host")?).map_err(|e| e.to_string())?;
+    let root = match o.opt("root") {
+        Some(r) => r.to_string(),
+        None => dtd
+            .root_candidates()
+            .first()
+            .ok_or("cannot infer a root element; pass --root")?
+            .to_string(),
+    };
+    let dtd_uri = o.opt("dtd-uri").map(str::to_string).unwrap_or_else(|| {
+        std::path::Path::new(dtd_path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| dtd_path.to_string())
+    });
+    let policy = PolicyConfig {
+        completeness: if o.flag("open") {
+            CompletenessPolicy::Open
+        } else {
+            CompletenessPolicy::Closed
+        },
+        ..Default::default()
+    };
+    // Resolve the requester's applicable read sets exactly as the
+    // processor does: instance-level against --doc-uri (none means no
+    // instance authorizations apply), schema-level against the DTD URI.
+    let mut base = AuthorizationBase::new();
+    base.extend(auths);
+    let axml = match o.opt("doc-uri") {
+        Some(u) => base.applicable_for_action(u, &requester, &dir, xmlsec::authz::Action::Read),
+        None => Vec::new(),
+    };
+    let adtd = base.applicable_for_action(&dtd_uri, &requester, &dir, xmlsec::authz::Action::Read);
+    let cp = xmlsec::core::compile(&dtd, &root, &axml, &adtd, &dir, policy)
+        .map_err(|e| e.to_string())?;
+
+    let allow = cp.count_verdict("allow");
+    let deny = cp.count_verdict("deny");
+    let dependent = cp.count_verdict("instance-dependent");
+    // (element, attribute, cell) rows in table order; None attribute =
+    // the element's own cell.
+    let rows: Vec<(&str, Option<&str>, &xmlsec::core::CompiledCell)> = cp
+        .elements
+        .iter()
+        .map(|(e, c)| (e.as_str(), None, c))
+        .chain(
+            cp.attributes
+                .iter()
+                .flat_map(|(e, m)| m.iter().map(move |(a, c)| (e.as_str(), Some(a.as_str()), c))),
+        )
+        .collect();
+    let node_name = |e: &str, a: Option<&str>| match a {
+        None => format!("<{e}>"),
+        Some(a) => format!("<{e}>/@{a}"),
+    };
+
+    match o.opt("format").unwrap_or("human") {
+        "human" => {
+            println!("compiled policy: root <{root}>, dtd-uri {dtd_uri:?}, requester {requester}",);
+            println!(
+                "applicable: {} instance-level, {} schema-level authorization(s)",
+                axml.len(),
+                adtd.len()
+            );
+            println!(
+                "cells: {} = {allow} allow, {deny} deny, {dependent} instance-dependent",
+                cp.cell_count()
+            );
+            println!("fast path: {}", if cp.fast_path { "yes" } else { "no" });
+            println!("\nverdict table:");
+            let width =
+                rows.iter().map(|(e, a, _)| node_name(e, *a).chars().count()).max().unwrap_or(0);
+            for (e, a, c) in &rows {
+                let node = node_name(e, *a);
+                let pad = " ".repeat(width.saturating_sub(node.chars().count()));
+                let sign = match c.representative() {
+                    Some(s) => format!("  sign={}", s.symbol()),
+                    None => String::new(),
+                };
+                let exact = if c.is_exact() { "  exact" } else { "" };
+                match &c.verdict {
+                    xmlsec::core::Verdict::Instance { reason } => {
+                        println!("    {node}{pad}  {:6}  {} ({reason})", c.signs, c.verdict.code());
+                    }
+                    v => println!("    {node}{pad}  {:6}  {}{sign}{exact}", c.signs, v.code()),
+                }
+            }
+            if !cp.residual.is_empty() {
+                println!("\nresidual instance checks:");
+                for r in &cp.residual {
+                    println!("    {}: {}", r.node, r.reason);
+                }
+            }
+        }
+        "json" => {
+            let mut out = String::from("{\n");
+            out.push_str("  \"schema_version\": 1,\n");
+            out.push_str(&format!("  \"root\": {},\n", json_str(&root)));
+            out.push_str(&format!("  \"dtd_uri\": {},\n", json_str(&dtd_uri)));
+            out.push_str(&format!("  \"doc_uri\": {},\n", json_opt_str(o.opt("doc-uri"))));
+            out.push_str(&format!("  \"requester\": {},\n", json_str(&requester.to_string())));
+            out.push_str(&format!("  \"applicable_instance\": {},\n", axml.len()));
+            out.push_str(&format!("  \"applicable_schema\": {},\n", adtd.len()));
+            out.push_str(&format!("  \"fast_path\": {},\n", cp.fast_path));
+            out.push_str(&format!(
+                "  \"cells\": {{\"total\": {}, \"allow\": {allow}, \"deny\": {deny}, \"instance_dependent\": {dependent}}},\n",
+                cp.cell_count()
+            ));
+            out.push_str("  \"table\": [\n");
+            let cell_rows: Vec<String> = rows
+                .iter()
+                .map(|(e, a, c)| {
+                    let reason = match &c.verdict {
+                        xmlsec::core::Verdict::Instance { reason } => json_str(reason),
+                        _ => "null".to_string(),
+                    };
+                    let sign = json_opt_str(
+                        c.representative().map(|s| s.symbol().to_string()).as_deref(),
+                    );
+                    format!(
+                        "    {{\"element\": {}, \"attribute\": {}, \"signs\": {}, \"verdict\": {}, \"reason\": {reason}, \"sign\": {sign}, \"exact\": {}}}",
+                        json_str(e),
+                        json_opt_str(*a),
+                        json_str(&c.signs.to_string()),
+                        json_str(c.verdict.code()),
+                        c.is_exact(),
+                    )
+                })
+                .collect();
+            out.push_str(&cell_rows.join(",\n"));
+            out.push_str("\n  ],\n  \"residual\": [\n");
+            let res_rows: Vec<String> = cp
+                .residual
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\"node\": {}, \"reason\": {}}}",
+                        json_str(&r.node.to_string()),
+                        json_str(&r.reason)
+                    )
+                })
+                .collect();
+            out.push_str(&res_rows.join(",\n"));
+            out.push_str("\n  ]\n}");
+            println!("{out}");
+        }
+        other => return Err(format!("--format must be human or json, not {other:?}")),
+    }
+    Ok(())
 }
 
 /// Administrative consistency checks on an XACL: unknown subjects,

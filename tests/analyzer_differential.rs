@@ -12,7 +12,10 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use xmlsec::authz::{AuthType, Authorization, ObjectSpec, Sign};
-use xmlsec::core::{analyze_policy, label_document, Cell, SchemaNode, Verdict};
+use xmlsec::core::{
+    analyze_policy, compile, compute_view_engine, label_document, Cell, EngineOptions, Parallelism,
+    ResourceLimits, SchemaNode, Verdict,
+};
 use xmlsec::prelude::*;
 use xmlsec::xml::NodeData;
 
@@ -250,6 +253,110 @@ fn check_case(dtd_text: &str, root: &str, xml: &str, auths: &[Authorization]) {
     }
 }
 
+/// Compiled-vs-interpreted: compiling the applicable policy and handing
+/// the table to the engine must not change a single byte of any view,
+/// nor any stat, on any conforming instance — and a tight node budget
+/// must classify identically, except on the whole-document fast path,
+/// which skips authorization evaluation entirely and therefore can only
+/// turn budget failures into successes (never the reverse).
+fn check_compiled_case(dtd_text: &str, root: &str, xml: &str, auths: &[Authorization]) {
+    let dtd = parse_dtd(dtd_text).expect("test DTD parses");
+    let doc = parse(xml).expect("generated instance parses");
+    let violations = xmlsec::dtd::Validator::new(&dtd).validate(&doc);
+    assert!(violations.is_empty(), "generator must emit valid instances: {violations:?}");
+    let dir = directory();
+    for policy in policies() {
+        for requester in requesters() {
+            let axml: Vec<&Authorization> = auths
+                .iter()
+                .filter(|a| a.object.uri == "d.xml" && requester.is_covered_by(&a.subject, &dir))
+                .collect();
+            let adtd: Vec<&Authorization> = auths
+                .iter()
+                .filter(|a| a.object.uri == "d.dtd" && requester.is_covered_by(&a.subject, &dir))
+                .collect();
+            let cp = compile(&dtd, root, &axml, &adtd, &dir, policy).expect("root is declared");
+
+            let interpreted = EngineOptions {
+                limits: ResourceLimits::default_limits().xpath,
+                parallelism: Parallelism::sequential(),
+                decisions: None,
+                compiled: None,
+            };
+            let compiled = EngineOptions {
+                limits: ResourceLimits::default_limits().xpath,
+                parallelism: Parallelism::sequential(),
+                decisions: None,
+                compiled: Some(&cp),
+            };
+            let (vi, si) = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &interpreted)
+                .expect("default limits fit the generated instances");
+            let (vc, sc) = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &compiled)
+                .expect("default limits fit the generated instances");
+            assert_eq!(
+                serialize(&vi, &SerializeOptions::canonical()),
+                serialize(&vc, &SerializeOptions::canonical()),
+                "compiled view diverges for {requester} (policy {policy:?}, doc {xml}, \
+                 fast_path {})",
+                cp.fast_path,
+            );
+            assert_eq!(
+                si, sc,
+                "compiled stats diverge for {requester} (policy {policy:?}, doc {xml})"
+            );
+
+            // Budget classification. 12 visits is small enough that
+            // multi-authorization cases trip it on these instances.
+            let mut tight = ResourceLimits::default_limits().xpath;
+            tight.max_node_visits = 12;
+            let tight_interp = EngineOptions {
+                limits: tight,
+                parallelism: Parallelism::sequential(),
+                decisions: None,
+                compiled: None,
+            };
+            let tight_comp = EngineOptions {
+                limits: tight,
+                parallelism: Parallelism::sequential(),
+                decisions: None,
+                compiled: Some(&cp),
+            };
+            let ti = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &tight_interp);
+            let tc = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &tight_comp);
+            if cp.fast_path {
+                // The table answers without evaluating a single object
+                // expression, so no budget can trip it.
+                let (v, s) = tc.expect("fast path must not consume the node budget");
+                assert_eq!(
+                    serialize(&v, &SerializeOptions::canonical()),
+                    serialize(&vi, &SerializeOptions::canonical())
+                );
+                assert_eq!(s, si);
+            } else {
+                // Residual cells mean the engine evaluates the same
+                // authorization set either way: identical classification.
+                match (ti, tc) {
+                    (Ok((va, sa)), Ok((vb, sb))) => {
+                        assert_eq!(
+                            serialize(&va, &SerializeOptions::canonical()),
+                            serialize(&vb, &SerializeOptions::canonical())
+                        );
+                        assert_eq!(sa, sb);
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(
+                        ea, eb,
+                        "budget errors diverge for {requester} (policy {policy:?}, doc {xml})"
+                    ),
+                    (a, b) => panic!(
+                        "budget classification diverges for {requester}: interpreted {a:?} vs \
+                         compiled {b:?} (policy {policy:?}, doc {xml})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -275,5 +382,30 @@ proptest! {
     ) {
         let auths = build_auths(&specs, &PART_PATHS);
         check_case(PART_DTD, "part", &part_instance(&shape), &auths);
+    }
+
+    /// Non-recursive DTD: the compiled verdict table is invisible in the
+    /// output — byte-identical views, identical stats, and identical
+    /// node-budget classification (one-sided on the fast path).
+    #[test]
+    fn compiled_matches_interpreted_on_nonrecursive_dtd(
+        specs in prop::collection::vec(
+            (0..5usize, 0..2usize, 0..DOC_PATHS.len(), any::<bool>(), 0..4usize), 2..=8),
+        shape in prop::collection::vec(0u8..64, 1..=4),
+    ) {
+        let auths = build_auths(&specs, &DOC_PATHS);
+        check_compiled_case(DOC_DTD, "doc", &doc_instance(&shape), &auths);
+    }
+
+    /// Recursive DTD: same property where the verdict table comes out of
+    /// a fixpoint over the cyclic schema graph.
+    #[test]
+    fn compiled_matches_interpreted_on_recursive_dtd(
+        specs in prop::collection::vec(
+            (0..5usize, 0..2usize, 0..PART_PATHS.len(), any::<bool>(), 0..4usize), 2..=8),
+        shape in prop::collection::vec(0u8..64, 1..=8),
+    ) {
+        let auths = build_auths(&specs, &PART_PATHS);
+        check_compiled_case(PART_DTD, "part", &part_instance(&shape), &auths);
     }
 }

@@ -273,6 +273,78 @@ fn analyze_financial_corpus_matches_goldens() {
 }
 
 #[test]
+fn compile_hospital_corpus_matches_golden() {
+    let args = |fmt: &'static str| {
+        vec![
+            "compile".to_string(),
+            corpus("hospital.dtd"),
+            corpus("hospital.xacl"),
+            "--dir".to_string(),
+            corpus("hospital.dir"),
+            "--user".to_string(),
+            "omar".to_string(),
+            "--ip".to_string(),
+            "10.0.0.9".to_string(),
+            "--host".to_string(),
+            "admin.hospital.org".to_string(),
+            "--format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+    // Administration's two predicate-free schema grants compile to an
+    // all-guaranteed table: the whole-document fast path.
+    let human = cli().args(args("human")).output().expect("binary runs");
+    assert!(human.status.success(), "{}", stderr(&human));
+    let s = stdout(&human);
+    assert!(s.contains("fast path: yes"), "{s}");
+    assert!(s.contains("<billing>"), "{s}");
+
+    let json = cli().args(args("json")).output().expect("binary runs");
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(
+        stdout(&json),
+        include_str!("golden/compile_hospital.json"),
+        "the compile JSON schema is a contract; update the golden deliberately"
+    );
+}
+
+#[test]
+fn compile_financial_corpus_matches_golden() {
+    let args = |fmt: &'static str| {
+        vec![
+            "compile".to_string(),
+            corpus("financial.dtd"),
+            corpus("financial.xacl"),
+            "--dir".to_string(),
+            corpus("financial.dir"),
+            "--user".to_string(),
+            "axel".to_string(),
+            "--ip".to_string(),
+            "10.9.9.9".to_string(),
+            "--host".to_string(),
+            "hq.bank.com".to_string(),
+            "--dtd-uri".to_string(),
+            "statements.dtd".to_string(),
+            "--doc-uri".to_string(),
+            "statements.xml".to_string(),
+            "--format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+    // The auditors' flagged-memo denial carries a predicate, so one cell
+    // stays instance-dependent: a residual check, no fast path.
+    let human = cli().args(args("human")).output().expect("binary runs");
+    assert!(human.status.success(), "{}", stderr(&human));
+    let s = stdout(&human);
+    assert!(s.contains("fast path: no"), "{s}");
+    assert!(s.contains("residual instance checks:"), "{s}");
+
+    let json = cli().args(args("json")).output().expect("binary runs");
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(stdout(&json), include_str!("golden/compile_financial.json"));
+}
+
+#[test]
 fn analyze_subject_list_and_flag_errors() {
     // Explicit subject list: only the requested table is produced.
     let out = run(&[

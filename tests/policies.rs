@@ -142,6 +142,7 @@ fn one_policy_per_document_but_many_per_server() {
         authorizations: base.clone(),
         options: ProcessorOptions { policy: PolicyConfig::paper_default(), ..Default::default() },
         decisions: None,
+        compiled: None,
     };
     let permissive = SecurityProcessor {
         directory: dir(),
@@ -154,6 +155,7 @@ fn one_policy_per_document_but_many_per_server() {
             ..Default::default()
         },
         decisions: None,
+        compiled: None,
     };
     let req = AccessRequest {
         requester: Requester::new("kim", "1.2.3.4", "h.x.org").unwrap(),

@@ -20,6 +20,7 @@ fn processor(validate_input: bool, verify_view: bool) -> SecurityProcessor {
             ..Default::default()
         },
         decisions: None,
+        compiled: None,
     }
 }
 
