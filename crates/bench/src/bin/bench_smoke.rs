@@ -6,12 +6,16 @@
 //! sequential vs 4 threads on the hospital corpus), and B13
 //! (content-addressed cache churn, and the ETag/If-None-Match 304
 //! revalidation path that skips the pipeline), B14 (whole-policy
-//! static analysis over the hospital corpus), and B15 (compiled vs
-//! interpreted labeling on guaranteed-heavy corpora) — and writes them
-//! as flat JSON at the repo root (`BENCH_<n+1>.json` by default, one
-//! past the highest checked-in point, so the series extends without
-//! workflow edits) — every PR leaves a perf record the next PR is
-//! judged against.
+//! static analysis over the hospital corpus), B15 (compiled vs
+//! interpreted labeling on guaranteed-heavy corpora), and B16
+//! (cancellation responsiveness: p99 latency from `cancel()` to the
+//! pipeline unwinding, and the deadline-check overhead an armed token
+//! adds to the uncancelled hot path) — and writes them as flat JSON at
+//! the repo root (`BENCH_<n+1>.json` by default, one past the highest
+//! checked-in point, so the series extends without workflow edits) —
+//! every PR leaves a perf record the next PR is judged against. The
+//! JSON records `available_cores` so conditional gates (B12) are
+//! auditable from the artifact alone.
 //!
 //! Gates (exit non-zero):
 //!
@@ -28,7 +32,9 @@
 //!   (`b12_gated`), so a gated-off run is visible, not silent;
 //! - B15's compiled-over-interpreted labeling speedup falls below 1.2x
 //!   on either corpus (the acceptance target is 2x; the gate is set
-//!   conservatively so shared-runner noise does not flake CI).
+//!   conservatively so shared-runner noise does not flake CI);
+//! - B16's cancellation p99 latency exceeds 10 ms, or an armed deadline
+//!   token slows the uncancelled pipeline by more than 5%.
 //!
 //! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
 
@@ -40,7 +46,7 @@ use xmlsec_bench::{
 };
 use xmlsec_core::par::available_cores;
 use xmlsec_core::{
-    analyze_policy, closure_subjects, AccessRequest, DocumentSource, PolicyConfig,
+    analyze_policy, closure_subjects, AccessRequest, CancelToken, DocumentSource, PolicyConfig,
     ProcessorOptions, ResourceLimits, SecurityProcessor,
 };
 use xmlsec_dtd::parse_dtd;
@@ -56,6 +62,11 @@ const REGRESSION_BUDGET: f64 = 1.15;
 const SPEEDUP_GATE: f64 = 1.5;
 /// Required compiled-over-interpreted labeling speedup (B15).
 const COMPILE_SPEEDUP_GATE: f64 = 1.2;
+/// Ceiling on p99 cancel-to-unwind latency (B16), milliseconds.
+const CANCEL_P99_GATE_MS: f64 = 10.0;
+/// Ceiling on the slowdown an armed deadline token may add to the
+/// uncancelled pipeline (B16), percent.
+const DEADLINE_OVERHEAD_GATE_PCT: f64 = 5.0;
 
 struct Config {
     batches: usize,
@@ -306,10 +317,62 @@ fn main() {
          compiled ({b15_fin_speedup:.2}x)"
     );
 
+    // B16 — cancellation responsiveness. Start the full pipeline on a
+    // worker thread, trip the token partway through the (known) median
+    // runtime, and measure cancel() → unwind. p99 over the samples must
+    // land under the gate: cancellation is only useful if it frees the
+    // worker promptly.
+    let b16_samples = if quick { 20 } else { 50 };
+    let cancel_delay = Duration::from_secs_f64((b10_pipeline_ms * 0.4 / 1e3).max(2e-4));
+    let mut cancel_latencies: Vec<Duration> = Vec::with_capacity(b16_samples);
+    for _ in 0..b16_samples {
+        let mut p = pipeline_processor(ResourceLimits::unlimited());
+        let token = CancelToken::never();
+        p.options.cancel = token.clone();
+        let (xml_ref, request_ref) = (&xml, &request);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(move || {
+                let source =
+                    DocumentSource { xml: xml_ref, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
+                matches!(p.process(request_ref, &source), Err(e) if e.is_cancelled())
+            });
+            std::thread::sleep(cancel_delay);
+            let t = Instant::now();
+            token.cancel();
+            let was_cancelled = worker.join().expect("B16 worker");
+            // Runs that beat the cancel to the finish line measure
+            // nothing; only genuinely interrupted runs count.
+            if was_cancelled {
+                cancel_latencies.push(t.elapsed());
+            }
+        });
+    }
+    cancel_latencies.sort_unstable();
+    let b16_cancelled_runs = cancel_latencies.len();
+    let b16_cancel_p99_ms = cancel_latencies
+        .get((b16_cancelled_runs * 99 / 100).min(b16_cancelled_runs.saturating_sub(1)))
+        .map(|d| d.as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    // Overhead of an armed-but-unmet deadline on the hot path: the same
+    // pipeline as B10, but every request mints a real wall-clock token
+    // (the production server pattern).
+    let mut deadline_proc = pipeline_processor(ResourceLimits::unlimited());
+    let b16_deadline_pipeline_ms = time_ms(&cfg, || {
+        deadline_proc.options.cancel = CancelToken::with_timeout(Duration::from_secs(300));
+        black_box(run_pipeline(&deadline_proc, &xml, &request));
+    });
+    let b16_overhead_pct = (b16_deadline_pipeline_ms / b10_pipeline_ms.max(1e-9) - 1.0) * 100.0;
+    eprintln!(
+        "  b16 cancel p99 = {b16_cancel_p99_ms:.3}ms over {b16_cancelled_runs}/{b16_samples} \
+         interrupted runs; armed-deadline pipeline {b16_deadline_pipeline_ms:.3}ms \
+         ({b16_overhead_pct:+.2}% vs B10)"
+    );
+
     let regression_gated = !no_gate && baseline_path(&out).is_some();
 
     let json = format!(
         "{{\n  \"bench\": \"bench_smoke\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \
+         \"available_cores\": {cores},\n  \
          \"b1_view_ms\": {b1_view_ms:.4},\n  \"b10_pipeline_ms\": {b10_pipeline_ms:.4},\n  \
          \"b11_limits_ms\": {b11_limits_ms:.4},\n  \"b12_seq_ms\": {b12_seq_ms:.4},\n  \
          \"b12_par4_ms\": {b12_par4_ms:.4},\n  \"b12_speedup_4t\": {b12_speedup_4t:.4},\n  \
@@ -322,6 +385,10 @@ fn main() {
          \"b15_fin_interp_ms\": {b15_fin_interp_ms:.4},\n  \
          \"b15_fin_compiled_ms\": {b15_fin_compiled_ms:.4},\n  \
          \"b15_fin_speedup\": {b15_fin_speedup:.4},\n  \
+         \"b16_cancel_p99_ms\": {b16_cancel_p99_ms:.4},\n  \
+         \"b16_cancelled_runs\": {b16_cancelled_runs},\n  \
+         \"b16_deadline_pipeline_ms\": {b16_deadline_pipeline_ms:.4},\n  \
+         \"b16_overhead_pct\": {b16_overhead_pct:.4},\n  \
          \"regression_gated\": {}\n}}\n",
         if b12_gated { 1 } else { 0 },
         if regression_gated { 1 } else { 0 },
@@ -373,6 +440,21 @@ fn main() {
                      {COMPILE_SPEEDUP_GATE}x gate"
                 ));
             }
+        }
+    }
+
+    if !no_gate {
+        if b16_cancelled_runs > 0 && b16_cancel_p99_ms > CANCEL_P99_GATE_MS {
+            failures.push(format!(
+                "B16 cancellation p99 latency {b16_cancel_p99_ms:.2}ms exceeds the \
+                 {CANCEL_P99_GATE_MS}ms gate"
+            ));
+        }
+        if b16_overhead_pct > DEADLINE_OVERHEAD_GATE_PCT {
+            failures.push(format!(
+                "B16 armed-deadline overhead {b16_overhead_pct:.2}% exceeds the \
+                 {DEADLINE_OVERHEAD_GATE_PCT}% gate"
+            ));
         }
     }
 

@@ -196,6 +196,7 @@ fn run_label(s: &BenchScenario, compiled: Option<&CompiledPolicy>) -> usize {
         parallelism: Parallelism::sequential(),
         decisions: None,
         compiled,
+        cancel: None,
     };
     let labeling = label_document_engine(&s.doc, &ax, &ad, &s.dir, s.policy, &opts)
         .expect("bench corpora stay within default limits");
@@ -231,6 +232,7 @@ pub fn run_view_parallel(s: &BenchScenario, threads: usize) -> usize {
         parallelism,
         decisions: None,
         compiled: None,
+        cancel: None,
     };
     let (_, stats) = compute_view_engine(&s.doc, &ax, &ad, &s.dir, s.policy, &opts)
         .expect("bench corpora stay within default limits");

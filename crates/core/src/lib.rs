@@ -54,6 +54,7 @@ pub use compile::{
     compile, schema_hash, CompileError, CompiledCache, CompiledCell, CompiledPolicy, ResidualCheck,
 };
 pub use decision::{policy_fingerprint, DecisionCache, DecisionKey};
+pub use xmlsec_xml::cancel::{CancelReason, CancelToken, Cancelled};
 pub use label::{first_def, Label, Sign3};
 pub use limits::ResourceLimits;
 pub use naive::{compute_view_naive, naive_final_sign};

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use xmlsec_telemetry as telemetry;
+use xmlsec_xml::cancel::{CancelReason, CancelToken, Cancelled};
 
 /// How much parallelism one view computation may use.
 ///
@@ -243,16 +244,58 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
+    match run_tasks_cancellable(threads, tasks, None, init, f) {
+        Ok(out) => out,
+        // Without a token the pool has nothing to trip on.
+        Err(c) => unreachable!("uncancellable pool reported cancellation: {c}"),
+    }
+}
+
+/// Like [`run_tasks_state`], but cooperatively cancellable: every worker
+/// consults `cancel` at each task handoff (a boundary
+/// [`CancelToken::check`], so deadlines are observed unamortized) and
+/// stops pulling work once the token trips. The remaining queue is
+/// drained, the queue-depth gauge returns to zero, and the call returns
+/// `Err(`[`Cancelled`]`)` with all partial results discarded on the
+/// normal drop path — core leases, worker state, and budget permits all
+/// release as usual.
+///
+/// # Cancellation-safety contract for workers
+///
+/// `f` is **never interrupted mid-task** — cancellation is only observed
+/// between tasks, and in-flight tasks run to completion before the scope
+/// joins. A worker closure may therefore hold locks, allocate, and emit
+/// telemetry freely, but it must keep any *cross-task* invariant (e.g.
+/// "every reserved slot gets filled", gauge increments) either
+/// established per task or restored by `Drop`, because the pool
+/// guarantees only that after it returns no worker is running and the
+/// queue is empty. A panicking task still propagates at scope join,
+/// exactly as in [`run_tasks`].
+pub fn run_tasks_cancellable<T, R, S, I, F>(
+    threads: usize,
+    tasks: Vec<T>,
+    cancel: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, Cancelled>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let m = par_metrics();
     if threads <= 1 || tasks.len() < 2 {
         let mut state = init();
-        return tasks
-            .iter()
-            .map(|t| {
-                m.tasks.inc();
-                f(&mut state, t)
-            })
-            .collect();
+        let mut out = Vec::with_capacity(tasks.len());
+        for t in &tasks {
+            if let Some(tok) = cancel {
+                tok.check()?;
+            }
+            m.tasks.inc();
+            out.push(f(&mut state, t));
+        }
+        return Ok(out);
     }
 
     let n = tasks.len();
@@ -264,6 +307,16 @@ where
     let worker = |queue: &Mutex<VecDeque<(usize, T)>>, results: &Mutex<Vec<Option<R>>>| {
         let mut state = init();
         loop {
+            if let Some(tok) = cancel {
+                if tok.check().is_err() {
+                    // Drain so sibling workers stop at their next handoff
+                    // too and the depth gauge reads zero afterwards.
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.clear();
+                    m.queue_depth.set(0);
+                    break;
+                }
+            }
             let item = {
                 let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                 let item = q.pop_front();
@@ -285,12 +338,12 @@ where
         worker(&queue, &results);
     });
 
-    results
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
-        .into_iter()
-        .map(|r| r.expect("every queued task produces a result"))
-        .collect()
+    let slots = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    if slots.iter().any(|r| r.is_none()) {
+        let reason = cancel.and_then(|t| t.reason()).unwrap_or(CancelReason::Explicit);
+        return Err(Cancelled { reason });
+    }
+    Ok(slots.into_iter().map(|r| r.expect("all slots verified Some above")).collect())
 }
 
 #[cfg(test)]
@@ -374,6 +427,51 @@ mod tests {
                 i * 2
             },
         );
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_pool_discards_partial_work_and_resets_the_gauge() {
+        // Pre-tripped token: the inline path refuses the first task.
+        let t = CancelToken::never();
+        t.cancel_with(CancelReason::ClientGone);
+        let e = run_tasks_cancellable(1, vec![1, 2, 3], Some(&t), || (), |(), &x: &i32| x)
+            .unwrap_err();
+        assert_eq!(e.reason, CancelReason::ClientGone);
+
+        // Fan-out path: a task side effect trips the token, so sibling
+        // workers stop at their next handoff, the queue drains, and the
+        // call reports Err with the depth gauge back at zero.
+        let t = CancelToken::never();
+        let tok = t.clone();
+        let r = run_tasks_cancellable(
+            4,
+            (0..256).collect(),
+            Some(&t),
+            || (),
+            move |(), &i: &u64| {
+                if i == 0 {
+                    tok.cancel();
+                }
+                thread::sleep(std::time::Duration::from_micros(500));
+                i
+            },
+        );
+        // Workers observe the trip at their next handoff; in the (wildly
+        // unlikely) schedule where every task already drained, a complete
+        // Ok is the only other legal outcome — never a partial Ok.
+        match r {
+            Err(e) => assert_eq!(e.reason, CancelReason::Explicit),
+            Ok(v) => assert_eq!(v.len(), 256),
+        }
+    }
+
+    #[test]
+    fn untripped_token_changes_nothing() {
+        let t = CancelToken::never();
+        let out =
+            run_tasks_cancellable(4, (0..64).collect(), Some(&t), || (), |(), &i: &u64| i * 2)
+                .unwrap();
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 

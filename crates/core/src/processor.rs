@@ -24,7 +24,8 @@ use xmlsec_authz::{AuthorizationBase, PolicyConfig};
 use xmlsec_dtd::{loosen, normalize, parse_dtd, serialize_dtd, Dtd, Validator, ValidityError};
 use xmlsec_subjects::{Directory, Requester};
 use xmlsec_telemetry as telemetry;
-use xmlsec_xml::{parse_with_limits, serialize, Document, ParseOptions, SerializeOptions};
+use xmlsec_xml::cancel::{CancelReason, CancelToken};
+use xmlsec_xml::{parse_cancellable, serialize, Document, ParseOptions, SerializeOptions};
 
 /// Counts every full pipeline execution. Cache hits and HTTP 304
 /// short-circuits never reach [`SecurityProcessor::process`], so the
@@ -53,6 +54,10 @@ pub enum ProcessError {
     /// An authorization path evaluation exceeded the configured budget
     /// (see [`ResourceLimits::xpath`]).
     XpathLimit(xmlsec_xpath::EvalError),
+    /// The request's cancellation token tripped (deadline passed, client
+    /// gone, or explicit cancel) at a stage boundary or inside a hot
+    /// loop; partial work was discarded on the normal drop path.
+    Cancelled(CancelReason),
 }
 
 impl ProcessError {
@@ -61,12 +66,19 @@ impl ProcessError {
     /// expensive" responses rather than generic parse failures.
     pub fn is_resource_limit(&self) -> bool {
         match self {
-            ProcessError::XpathLimit(_) => true,
+            ProcessError::XpathLimit(e) => !e.is_cancelled(),
             ProcessError::Xml(e) => {
                 matches!(e.kind, xmlsec_xml::XmlErrorKind::LimitExceeded(_))
             }
             _ => false,
         }
+    }
+
+    /// Whether this failure is a cancellation — the request was
+    /// abandoned, not malformed or over budget. Servers map these to
+    /// 503-style responses (or drop the connection for a gone client).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ProcessError::Cancelled(_))
     }
 }
 
@@ -79,6 +91,7 @@ impl fmt::Display for ProcessError {
                 write!(f, "document invalid against its DTD ({} violations)", errs.len())
             }
             ProcessError::XpathLimit(e) => write!(f, "labeling step over budget: {e}"),
+            ProcessError::Cancelled(r) => write!(f, "request cancelled: {r}"),
         }
     }
 }
@@ -87,13 +100,19 @@ impl std::error::Error for ProcessError {}
 
 impl From<xmlsec_xpath::EvalError> for ProcessError {
     fn from(e: xmlsec_xpath::EvalError) -> Self {
-        ProcessError::XpathLimit(e)
+        match e {
+            xmlsec_xpath::EvalError::Cancelled(r) => ProcessError::Cancelled(r),
+            other => ProcessError::XpathLimit(other),
+        }
     }
 }
 
 impl From<xmlsec_xml::XmlError> for ProcessError {
     fn from(e: xmlsec_xml::XmlError) -> Self {
-        ProcessError::Xml(e)
+        match e.kind {
+            xmlsec_xml::XmlErrorKind::Cancelled(r) => ProcessError::Cancelled(r),
+            _ => ProcessError::Xml(e),
+        }
     }
 }
 
@@ -104,7 +123,10 @@ impl From<xmlsec_dtd::DtdError> for ProcessError {
 }
 
 /// Processor configuration.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// No longer `Copy` (the cancellation token is shared state); clone it
+/// to build per-request variants.
+#[derive(Debug, Clone, Default)]
 pub struct ProcessorOptions {
     /// The per-document access-control policy.
     pub policy: PolicyConfig,
@@ -129,6 +151,13 @@ pub struct ProcessorOptions {
     /// cache attached and a document that validates against its DTD —
     /// otherwise the request silently takes the interpreted path.
     pub compile: bool,
+    /// Request-scoped deadline/cancellation token, checked at every
+    /// stage boundary and polled cooperatively inside the parser's node
+    /// loop, the evaluator's budget checkpoints, and the labeling
+    /// walks. The default ([`CancelToken::never`]) never trips; servers
+    /// mint one per request ([`CancelToken::with_deadline`]) and clones
+    /// of it cancel the in-flight compute when the client disconnects.
+    pub cancel: CancelToken,
 }
 
 /// A request: who wants which document.
@@ -210,6 +239,13 @@ impl SecurityProcessor {
         self
     }
 
+    /// A stage-boundary cancellation checkpoint: always consults the
+    /// wall clock, so a blown deadline is observed between stages even
+    /// when no hot loop ran long enough to poll.
+    fn checkpoint(&self) -> Result<(), ProcessError> {
+        self.options.cancel.check().map_err(|c| ProcessError::Cancelled(c.reason))
+    }
+
     /// Runs the four-step execution cycle for one request against one
     /// document source.
     pub fn process(
@@ -219,16 +255,23 @@ impl SecurityProcessor {
     ) -> Result<ProcessOutput, ProcessError> {
         let _process_span = telemetry::trace::span("processor.process");
         pipeline_runs().inc();
+        self.checkpoint()?;
 
         // Step 1: parsing (document, then DTD). When no external DTD is
         // supplied, a DOCTYPE internal subset in the document serves as
         // the schema.
         let mut doc = {
             let _s = stages::parse();
-            parse_with_limits(source.xml, ParseOptions::default(), &self.options.limits.xml)?
+            parse_cancellable(
+                source.xml,
+                ParseOptions::default(),
+                &self.options.limits.xml,
+                Some(&self.options.cancel),
+            )?
         };
         let dtd: Option<Dtd> = {
             let _s = stages::dtd_parse();
+            self.checkpoint()?;
             match source.dtd {
                 Some(text) => Some(parse_dtd(text)?),
                 None => doc
@@ -241,6 +284,7 @@ impl SecurityProcessor {
         };
         let mut validated = false;
         if let Some(d) = &dtd {
+            self.checkpoint()?;
             // Normalize first so authorizations conditioned on defaulted
             // attributes behave uniformly; then (optionally) validate.
             {
@@ -259,6 +303,7 @@ impl SecurityProcessor {
 
         // Steps 1–2 of compute-view: the applicable *read* authorization
         // sets (write authorizations drive `update`, not views).
+        self.checkpoint()?;
         let _authz_span = stages::authz();
         let axml = self.authorizations.applicable_for_action(
             &request.uri,
@@ -288,6 +333,7 @@ impl SecurityProcessor {
         if self.options.compile {
             if let (Some(cache), Some(d)) = (&self.compiled, &dtd) {
                 let _s = stages::compile();
+                self.checkpoint()?;
                 if validated || Validator::new(d).validate(&doc).is_empty() {
                     if let Some(root) = doc.element_name(doc.root()) {
                         compiled = cache
@@ -312,12 +358,14 @@ impl SecurityProcessor {
             parallelism: self.options.parallelism,
             decisions: self.decisions.as_deref(),
             compiled: compiled.as_deref(),
+            cancel: Some(&self.options.cancel),
         };
         let (view, stats) =
             compute_view_engine(&doc, &axml, &adtd, &self.directory, self.options.policy, &engine)?;
 
         // Loosening, so the view stays valid without revealing what was
         // hidden.
+        self.checkpoint()?;
         let loosened = {
             let _s = stages::loosen();
             dtd.as_ref().map(loosen)
@@ -333,7 +381,9 @@ impl SecurityProcessor {
             }
         }
 
-        // Step 4: unparsing.
+        // Step 4: unparsing. The last checkpoint before bytes are
+        // rendered: past this point the response is cheap to finish.
+        self.checkpoint()?;
         let xml = {
             let _s = stages::serialize();
             serialize(&view, &SerializeOptions::canonical())
@@ -557,6 +607,45 @@ mod tests {
         let out = p.process(&request("Tom"), &source()).unwrap();
         assert_eq!(out.xml, want.xml);
         assert_eq!(out.stats, want.stats);
+    }
+
+    #[test]
+    fn pre_cancelled_request_unwinds_before_any_stage() {
+        let mut p = processor();
+        p.options.cancel = CancelToken::never();
+        p.options.cancel.cancel_with(CancelReason::ClientGone);
+        let err = p.process(&request("Tom"), &source()).unwrap_err();
+        assert_eq!(err, ProcessError::Cancelled(CancelReason::ClientGone));
+        assert!(err.is_cancelled());
+        assert!(!err.is_resource_limit(), "cancellation is not a limit rejection");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_cancellation() {
+        let mut p = processor();
+        p.options.cancel = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let err = p.process(&request("Tom"), &source()).unwrap_err();
+        assert_eq!(err, ProcessError::Cancelled(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_mid_pipeline_is_typed_and_restartable() {
+        // Trip at each of the first few checkpoints: every outcome is the
+        // typed Cancelled error, and a fresh token then computes the full
+        // view — no poisoned shared state survives a cancelled run.
+        let want = processor().process(&request("Tom"), &source()).unwrap();
+        for k in [0u64, 1, 3, 10, 50] {
+            let mut p = processor();
+            p.options.cancel = CancelToken::cancel_after_polls(k);
+            match p.process(&request("Tom"), &source()) {
+                Err(ProcessError::Cancelled(CancelReason::Explicit)) => {}
+                Ok(out) => assert_eq!(out.xml, want.xml, "poll budget {k} outlived the run"),
+                other => panic!("expected Cancelled or a full view at poll {k}, got {other:?}"),
+            }
+            p.options.cancel = CancelToken::never();
+            let again = p.process(&request("Tom"), &source()).unwrap();
+            assert_eq!(again.xml, want.xml);
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ use xmlsec_authz::{
     policy::resolve_sign, AuthType, Authorization, CompletenessPolicy, PolicyConfig,
 };
 use xmlsec_subjects::Directory;
+use xmlsec_xml::cancel::{CancelToken, Cancelled};
 use xmlsec_xml::{Document, NodeData, NodeId};
 use xmlsec_xpath::{eval_path_shared, EvalError, EvalLimits, SharedBudget};
 
@@ -120,9 +121,16 @@ pub struct EngineOptions<'a> {
     /// it was compiled from — the caller owns that obligation (the
     /// processor validates before attaching one).
     pub compiled: Option<&'a CompiledPolicy>,
+    /// Request-scoped cancellation. When set, the engine polls it
+    /// cooperatively — at the labeling frontier, inside every fan-out
+    /// worker's subtree walk, on the compiled fast path, and (via
+    /// [`SharedBudget::with_cancel`]) at every node-visit budget draw —
+    /// and unwinds with [`EvalError::Cancelled`], partial work discarded
+    /// on the normal drop path.
+    pub cancel: Option<&'a CancelToken>,
 }
 
-impl EngineOptions<'static> {
+impl<'a> EngineOptions<'a> {
     /// Sequential evaluation with `limits`, no cross-request memo —
     /// the behavior of the plain `*_limited` entry points.
     pub fn sequential(limits: EvalLimits) -> EngineOptions<'static> {
@@ -131,7 +139,13 @@ impl EngineOptions<'static> {
             parallelism: Parallelism::sequential(),
             decisions: None,
             compiled: None,
+            cancel: None,
         }
+    }
+
+    /// The same options with a cancellation token attached.
+    pub fn with_cancel(self, cancel: &'a CancelToken) -> EngineOptions<'a> {
+        EngineOptions { cancel: Some(cancel), ..self }
     }
 }
 
@@ -255,15 +269,26 @@ pub fn label_document_engine(
     };
     let compiled = opts.compiled.filter(|cp| cp.fingerprint == fingerprint);
 
+    // Boundary checkpoint before any work: a request that arrives with
+    // its deadline already blown (or its client already gone) does not
+    // label a single node.
+    if let Some(t) = opts.cancel {
+        t.check().map_err(|c| EvalError::Cancelled(c.reason))?;
+    }
+
     // Whole-document fast path: every verdict-table cell carries a
     // plus-exact sign, so labeling is one table lookup per node — no
     // authorization object is ever evaluated (in particular the
     // node-visit budget cannot trip here). Bails to the interpreted
     // path on any element/attribute type absent from the table (a
-    // document that does not conform to the compiled schema).
+    // document that does not conform to the compiled schema); a tripped
+    // token is a typed error, never a silent fallback to the slow path.
     if let Some(cp) = compiled {
         if cp.fast_path {
-            if let Some(labeling) = label_fast_path(doc, cp, axml.len(), adtd.len(), policy) {
+            if let Some(labeling) =
+                label_fast_path(doc, cp, axml.len(), adtd.len(), policy, opts.cancel)
+                    .map_err(|c| EvalError::Cancelled(c.reason))?
+            {
                 return Ok(labeling);
             }
         }
@@ -313,7 +338,12 @@ pub fn label_document_engine(
         record_mask_bypass(axml.len() + adtd.len());
     }
 
-    let pool = SharedBudget::new(opts.limits.max_node_visits);
+    // With a token attached, every budget draw in every evaluation —
+    // on any thread — doubles as a cancellation checkpoint.
+    let pool = match opts.cancel {
+        Some(t) => SharedBudget::with_cancel(opts.limits.max_node_visits, t.clone()),
+        None => SharedBudget::new(opts.limits.max_node_visits),
+    };
     let xml_matched = evaluate_auths(doc, axml, &opts.limits, &pool, threads)?;
     let dtd_matched = evaluate_auths(doc, adtd, &opts.limits, &pool, threads)?;
 
@@ -326,6 +356,7 @@ pub fn label_document_engine(
         fingerprint,
         decisions: opts.decisions,
         compiled,
+        cancel: opts.cancel,
     };
 
     let mut labels = vec![Label::default(); doc.arena_len()];
@@ -354,6 +385,9 @@ pub fn label_document_engine(
         // to keep every worker busy (each step descends one level).
         let target = threads * 4;
         while !frontier.is_empty() && frontier.len() < target {
+            if let Some(t) = ctx.cancel {
+                t.check().map_err(|c| EvalError::Cancelled(c.reason))?;
+            }
             let mut next = Vec::new();
             for (n, parent) in frontier.drain(..) {
                 let lab = ctx.label_element(n, &parent, &mut memo);
@@ -371,25 +405,37 @@ pub fn label_document_engine(
         // Fan the remaining subtrees out; each worker keeps one memo for
         // all the subtrees it labels (per task it reports the hit/miss
         // delta) and returns its slot writes, merged here — no shared
-        // mutable label state.
-        let results =
-            par::run_tasks_state(threads, frontier, Memo::default, |memo, &(n, parent)| {
+        // mutable label state. Cancellation is observed both between
+        // tasks (the pool's handoff check) and inside each subtree walk
+        // (`label_subtree` polls); a tripped run discards every partial
+        // buffer on the normal drop path.
+        let results = par::run_tasks_cancellable(
+            threads,
+            frontier,
+            ctx.cancel,
+            Memo::default,
+            |memo, &(n, parent)| {
                 let (h0, m0) = (memo.hits, memo.misses);
                 let (a0, d0, p0) = (memo.cell_allow, memo.cell_deny, memo.cell_dep);
                 let mut out: Vec<(usize, Label)> = Vec::new();
-                label_subtree(&ctx, n, parent, memo, &mut |i, lab| out.push((i, lab)));
-                (
-                    out,
-                    [
-                        memo.hits - h0,
-                        memo.misses - m0,
-                        memo.cell_allow - a0,
-                        memo.cell_deny - d0,
-                        memo.cell_dep - p0,
-                    ],
-                )
-            });
-        for (out, [h, m, ca, cd, cp]) in results {
+                let walked = label_subtree(&ctx, n, parent, memo, &mut |i, lab| out.push((i, lab)));
+                walked.map(|()| {
+                    (
+                        out,
+                        [
+                            memo.hits - h0,
+                            memo.misses - m0,
+                            memo.cell_allow - a0,
+                            memo.cell_deny - d0,
+                            memo.cell_dep - p0,
+                        ],
+                    )
+                })
+            },
+        )
+        .map_err(|c| EvalError::Cancelled(c.reason))?;
+        for task in results {
+            let (out, [h, m, ca, cd, cp]) = task.map_err(|c| EvalError::Cancelled(c.reason))?;
             memo.hits += h;
             memo.misses += m;
             memo.cell_allow += ca;
@@ -403,7 +449,8 @@ pub fn label_document_engine(
         for (n, parent) in frontier {
             let slots = &mut labels;
             let mut emit = |i: usize, lab: Label| slots[i] = lab;
-            label_subtree(&ctx, n, parent, &mut memo, &mut emit);
+            label_subtree(&ctx, n, parent, &mut memo, &mut emit)
+                .map_err(|c| EvalError::Cancelled(c.reason))?;
         }
     }
     record_traffic(memo.hits, memo.misses);
@@ -443,6 +490,8 @@ struct LabelCtx<'a> {
     /// Fingerprint-verified compiled policy (mixed mode: exact cells
     /// short-circuit labeling per node type, the rest interprets).
     compiled: Option<&'a CompiledPolicy>,
+    /// Request-scoped cancellation, polled in the subtree walks.
+    cancel: Option<&'a CancelToken>,
 }
 
 impl LabelCtx<'_> {
@@ -679,48 +728,62 @@ impl LabelCtx<'_> {
 /// Labels the subtree rooted at `n` given its parent's (already decided)
 /// label, emitting `(arena slot, label)` pairs — directly into the label
 /// vector on the sequential path, into a per-worker buffer under
-/// parallel fan-out.
+/// parallel fan-out. Polls the request token once per element (amortized
+/// inside [`CancelToken::poll`]), unwinding through the recursion with
+/// the partial emit buffer discarded by the caller.
 fn label_subtree(
     ctx: &LabelCtx<'_>,
     n: NodeId,
     parent: Label,
     memo: &mut Memo,
     emit: &mut impl FnMut(usize, Label),
-) {
+) -> Result<(), Cancelled> {
+    if let Some(t) = ctx.cancel {
+        t.poll()?;
+    }
     let lab = ctx.label_element(n, &parent, memo);
     emit(n.index(), lab);
     for &a in ctx.doc.attributes(n) {
         emit(a.index(), ctx.label_attribute(a, n, &lab, memo));
     }
     for c in ctx.doc.child_elements(n) {
-        label_subtree(ctx, c, lab, memo, emit);
+        label_subtree(ctx, c, lab, memo, emit)?;
     }
+    Ok(())
 }
 
 /// Whole-document fast path over a fully-guaranteed verdict table: one
 /// lookup per element/attribute, writing only the representative final
 /// sign (pruning and the statistics read nothing else — components stay
-/// at their defaults). Returns `None` when the document mentions an
+/// at their defaults). Returns `Ok(None)` when the document mentions an
 /// element or attribute type the table has no cell for, i.e. it cannot
 /// conform to the compiled schema; the caller then falls back to the
-/// interpreted path.
+/// interpreted path. A tripped cancellation token is `Err` — even the
+/// table-lookup path stays responsive on huge documents, and a cancelled
+/// request never silently degrades to the interpreted engine.
 fn label_fast_path(
     doc: &Document,
     cp: &CompiledPolicy,
     instance_auths: usize,
     schema_auths: usize,
     policy: PolicyConfig,
-) -> Option<Labeling> {
+    cancel: Option<&CancelToken>,
+) -> Result<Option<Labeling>, Cancelled> {
     if doc.element_name(doc.root()) != Some(cp.root.as_str()) {
-        return None;
+        return Ok(None);
     }
     let open = policy.completeness == CompletenessPolicy::Open;
     let mut labels = vec![Label::default(); doc.arena_len()];
     let (mut allow, mut deny) = (0u64, 0u64);
     let mut stack = vec![doc.root()];
     while let Some(n) = stack.pop() {
-        let name = doc.element_name(n)?;
-        let rep = cp.elements.get(name)?.representative?;
+        if let Some(t) = cancel {
+            t.poll()?;
+        }
+        let Some(name) = doc.element_name(n) else { return Ok(None) };
+        let Some(rep) = cp.elements.get(name).and_then(|c| c.representative) else {
+            return Ok(None);
+        };
         labels[n.index()].final_sign = rep;
         if rep == Sign3::Plus || (open && rep == Sign3::Eps) {
             allow += 1;
@@ -730,7 +793,11 @@ fn label_fast_path(
         let attr_cells = cp.attributes.get(name);
         for &a in doc.attributes(n) {
             let NodeData::Attr { name: attr, .. } = &doc.node(a).data else { continue };
-            let rep = attr_cells?.get(attr.as_str())?.representative?;
+            let Some(rep) =
+                attr_cells.and_then(|m| m.get(attr.as_str())).and_then(|c| c.representative)
+            else {
+                return Ok(None);
+            };
             labels[a.index()].final_sign = rep;
             if rep == Sign3::Plus || (open && rep == Sign3::Eps) {
                 allow += 1;
@@ -748,7 +815,7 @@ fn label_fast_path(
         }
     }
     record_cell_hits(allow, deny, 0);
-    Some(Labeling { labels, stats })
+    Ok(Some(Labeling { labels, stats }))
 }
 
 /// The paper's `prune(T, n)` (postorder): removes from `doc` every node
@@ -1188,6 +1255,7 @@ mod tests {
                 parallelism: Parallelism::threads(threads).with_seq_threshold(0).exact(),
                 decisions: None,
                 compiled: None,
+                cancel: None,
             };
             let (view_par, stats_par) =
                 compute_view_engine(&doc, &ax, &[], &d, policy, &par_opts).unwrap();

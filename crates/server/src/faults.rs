@@ -13,6 +13,15 @@
 //! - `"respond.write"` — immediately before the success response is
 //!   written back.
 //!
+//! Two arming modes:
+//!
+//! - [`arm`] fires deterministically for the next `times` hits — for
+//!   pinpoint scenario tests;
+//! - [`arm_probabilistic`] fires each hit with a fixed probability from
+//!   a seeded xorshift64* stream — for randomized chaos soaks. The
+//!   stream is deterministic per seed, so a failing soak replays
+//!   exactly.
+//!
 //! Arming is process-global, so tests that use it must not run
 //! concurrently with each other (keep all fault scenarios in one `#[test]`
 //! or serialize them explicitly).
@@ -31,17 +40,66 @@ pub enum FaultAction {
     /// Abandon the connection without writing a response (exercises
     /// client-side handling of mid-stream disconnects).
     Disconnect,
+    /// Sleep a uniformly random duration in `[min, max]` milliseconds,
+    /// drawn from the armed point's seeded stream (exercises latency
+    /// variance: deadline races, sojourn spikes, admission control).
+    JitterMs(u64, u64),
 }
 
-fn registry() -> &'static Mutex<HashMap<&'static str, (FaultAction, u32)>> {
-    static REG: OnceLock<Mutex<HashMap<&'static str, (FaultAction, u32)>>> = OnceLock::new();
+/// One armed injection point.
+struct Armed {
+    action: FaultAction,
+    /// Hits left before the point disarms itself; `u32::MAX` never
+    /// exhausts (probabilistic soaks run until cleared).
+    remaining: u32,
+    /// Firing probability in parts per million (1_000_000 = always).
+    per_million: u32,
+    /// xorshift64* state for probability rolls and jitter draws.
+    rng: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, Armed>> {
+    static REG: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
     REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
 }
 
 /// Arms `point` to fire `action` the next `times` times it is reached.
 pub fn arm(point: &'static str, action: FaultAction, times: u32) {
     if let Ok(mut reg) = registry().lock() {
-        reg.insert(point, (action, times));
+        reg.insert(point, Armed { action, remaining: times, per_million: 1_000_000, rng: 1 });
+    }
+}
+
+/// Arms `point` to fire `action` with probability `per_million` /
+/// 1 000 000 on each hit, forever (until [`disarm`]/[`clear`]). The
+/// seeded stream makes a chaos run reproducible: the same seed and the
+/// same hit sequence fire the same faults.
+pub fn arm_probabilistic(
+    point: &'static str,
+    action: FaultAction,
+    per_million: u32,
+    seed: u64,
+) {
+    if let Ok(mut reg) = registry().lock() {
+        reg.insert(
+            point,
+            Armed {
+                action,
+                remaining: u32::MAX,
+                per_million: per_million.min(1_000_000),
+                // xorshift must never be seeded with zero (it would stick).
+                rng: seed | 1,
+            },
+        );
     }
 }
 
@@ -65,13 +123,28 @@ pub(crate) fn check(point: &str) -> bool {
     let action = {
         let Ok(mut reg) = registry().lock() else { return false };
         match reg.get_mut(point) {
-            Some((action, times)) => {
-                let a = *action;
-                *times -= 1;
-                if *times == 0 {
-                    reg.remove(point);
+            Some(armed) => {
+                let fires = armed.per_million >= 1_000_000
+                    || (xorshift(&mut armed.rng) % 1_000_000) < u64::from(armed.per_million);
+                if !fires {
+                    None
+                } else {
+                    let a = match armed.action {
+                        // Resolve the jitter draw while we hold the state.
+                        FaultAction::JitterMs(min, max) => {
+                            let span = max.saturating_sub(min).saturating_add(1);
+                            FaultAction::SleepMs(min + xorshift(&mut armed.rng) % span)
+                        }
+                        other => other,
+                    };
+                    if armed.remaining != u32::MAX {
+                        armed.remaining -= 1;
+                        if armed.remaining == 0 {
+                            reg.remove(point);
+                        }
+                    }
+                    Some(a)
                 }
-                Some(a)
             }
             None => None,
         }
@@ -83,7 +156,8 @@ pub(crate) fn check(point: &str) -> bool {
             false
         }
         Some(FaultAction::Disconnect) => true,
-        None => false,
+        // JitterMs is rewritten to SleepMs above.
+        Some(FaultAction::JitterMs(..)) | None => false,
     }
 }
 
@@ -113,5 +187,45 @@ mod tests {
         arm("t.panic", FaultAction::Panic, 1);
         let r = std::panic::catch_unwind(|| check("t.panic"));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn probabilistic_arming_is_seeded_and_roughly_calibrated() {
+        clear();
+        // ~50% disconnects over 400 hits: comfortably inside [100, 300].
+        arm_probabilistic("t.prob", FaultAction::Disconnect, 500_000, 42);
+        let fired: u32 = (0..400).map(|_| u32::from(check("t.prob"))).sum();
+        assert!((100..=300).contains(&fired), "fired {fired}/400");
+        disarm("t.prob");
+
+        // The same seed replays the same firing pattern.
+        let pattern = |seed| {
+            arm_probabilistic("t.replay", FaultAction::Disconnect, 250_000, seed);
+            let p: Vec<bool> = (0..64).map(|_| check("t.replay")).collect();
+            disarm("t.replay");
+            p
+        };
+        assert_eq!(pattern(7), pattern(7));
+        assert_ne!(pattern(7), pattern(8), "different seeds diverge");
+
+        // Zero probability never fires.
+        arm_probabilistic("t.never", FaultAction::Panic, 0, 3);
+        for _ in 0..100 {
+            assert!(!check("t.never"));
+        }
+        clear();
+    }
+
+    #[test]
+    fn jitter_sleeps_within_bounds() {
+        clear();
+        arm("t.jit", FaultAction::JitterMs(0, 2), 8);
+        let t = std::time::Instant::now();
+        for _ in 0..8 {
+            assert!(!check("t.jit"));
+        }
+        // 8 draws in [0, 2] ms must land well under a second.
+        assert!(t.elapsed() < Duration::from_secs(1));
+        clear();
     }
 }

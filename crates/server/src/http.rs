@@ -25,16 +25,41 @@
 //! (431), panic isolation around request handling, and a graceful
 //! shutdown that drains in-flight work up to a deadline. Everything is
 //! tunable through [`HttpConfig`].
+//!
+//! Two further layers of overload robustness ride on top:
+//!
+//! - **End-to-end deadlines and cancellation.** Every request gets a
+//!   [`CancelToken`] whose deadline is the tighter of the server's
+//!   [`HttpConfig::request_deadline`] and the client's
+//!   `X-Request-Deadline` header (milliseconds). The token is threaded
+//!   through every pipeline stage and polled inside the hot loops; a
+//!   tripped request unwinds with a typed cancellation (503, computed
+//!   `Retry-After`), partial work discarded. A per-request watchdog
+//!   polls the socket while the pipeline runs, so a client that hangs
+//!   up cancels its own request (`ClientGone`) instead of burning the
+//!   worker's remaining budget. Cancellations are counted per reason in
+//!   `xmlsec_server_cancelled_total`.
+//! - **CoDel-style adaptive admission.** Each queued connection is
+//!   stamped on accept; at dequeue the worker feeds the queue *sojourn
+//!   time* to an admission controller (target/interval in
+//!   [`HttpConfig`]). When sojourn stays above target for a full
+//!   interval, the controller sheds requests at an increasing rate
+//!   until the queue drains — but shed requests degrade gracefully:
+//!   cache hits and `If-None-Match` revalidations are still served from
+//!   already-computed state, and only fresh *compute* is refused with
+//!   503 and a `Retry-After` derived from the live queue depth and an
+//!   EWMA of recent service times.
 
-use crate::server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError};
+use crate::server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError, ServerResponse};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xmlsec_core::{CancelReason, CancelToken};
 use xmlsec_telemetry as telemetry;
 
 #[cfg(feature = "faults")]
@@ -76,6 +101,21 @@ pub struct HttpConfig {
     /// How long shutdown waits for in-flight requests to finish before
     /// detaching the remaining workers.
     pub drain_timeout: Duration,
+    /// Server-side ceiling on how long one request may run end to end
+    /// (measured from when a worker picks it up). A client's
+    /// `X-Request-Deadline: <ms>` header can tighten but never loosen
+    /// it. `None` disables the server-side deadline (client deadlines
+    /// still apply).
+    pub request_deadline: Option<Duration>,
+    /// Turns CoDel-style adaptive admission control on (default) or
+    /// off. Off, only the hard backlog bound sheds.
+    pub shed_adaptive: bool,
+    /// Sojourn target for admission control: the queue wait the server
+    /// is willing to sustain. Below it nothing is shed.
+    pub shed_target: Duration,
+    /// How long sojourn must stay above target before shedding starts
+    /// (CoDel's interval).
+    pub shed_interval: Duration,
 }
 
 impl Default for HttpConfig {
@@ -88,6 +128,10 @@ impl Default for HttpConfig {
             max_request_line: 8 * 1024,
             max_header_bytes: 32 * 1024,
             drain_timeout: Duration::from_secs(5),
+            request_deadline: Some(Duration::from_secs(10)),
+            shed_adaptive: true,
+            shed_target: Duration::from_millis(100),
+            shed_interval: Duration::from_secs(1),
         }
     }
 }
@@ -133,6 +177,134 @@ fn queue_depth() -> Arc<telemetry::Gauge> {
     )
 }
 
+fn cancelled_total(reason: &'static str) -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_server_cancelled_total",
+        "Requests cancelled before completion, by reason.",
+        &[("reason", reason)],
+    )
+}
+
+fn adaptive_shed_total() -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_server_adaptive_shed_total",
+        "Requests degraded to cache-only service by the admission controller.",
+        &[],
+    )
+}
+
+fn degraded_hits_total() -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_server_degraded_hits_total",
+        "Requests answered from already-computed state while shedding.",
+        &[],
+    )
+}
+
+fn sojourn_seconds() -> Arc<telemetry::Histogram> {
+    telemetry::global().histogram(
+        "xmlsec_server_queue_sojourn_seconds",
+        "Time accepted connections spent waiting for a worker.",
+        &[],
+        telemetry::Buckets::duration_default(),
+    )
+}
+
+/// CoDel-style admission controller plus the service-time estimate that
+/// prices `Retry-After`.
+///
+/// The classic CoDel insight, applied to the worker queue: transient
+/// bursts are fine (sojourn spikes that drain within one interval are
+/// never shed), but *standing* queues are not — once the sojourn time
+/// has exceeded `target` for a full `interval`, the controller starts
+/// shedding, and sheds at an increasing rate (`interval / √count`)
+/// until the queue drains back under target.
+struct Admission {
+    enabled: bool,
+    target: Duration,
+    interval: Duration,
+    state: Mutex<ShedState>,
+    /// EWMA of admitted requests' service time, in nanoseconds (α=1/8).
+    service_ewma_ns: AtomicU64,
+}
+
+struct ShedState {
+    /// When sojourn first exceeded target (None: currently below).
+    above_since: Option<Instant>,
+    /// In shedding mode.
+    dropping: bool,
+    /// Next instant at which a request is shed while in shedding mode.
+    drop_next: Instant,
+    /// Sheds in the current shedding episode (drives the control law).
+    count: u32,
+}
+
+impl Admission {
+    fn new(cfg: &HttpConfig) -> Admission {
+        Admission {
+            enabled: cfg.shed_adaptive,
+            target: cfg.shed_target,
+            interval: cfg.shed_interval.max(Duration::from_millis(1)),
+            state: Mutex::new(ShedState {
+                above_since: None,
+                dropping: false,
+                drop_next: Instant::now(),
+                count: 0,
+            }),
+            service_ewma_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether the request dequeued `sojourn` after being
+    /// accepted runs the full pipeline (`true`) or degrades to
+    /// cache-only service (`false`).
+    fn admit(&self, sojourn: Duration, now: Instant) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let Ok(mut st) = self.state.lock() else { return true };
+        if sojourn <= self.target {
+            st.above_since = None;
+            st.dropping = false;
+            st.count = 0;
+            return true;
+        }
+        let above_since = *st.above_since.get_or_insert(now);
+        if !st.dropping {
+            if now.duration_since(above_since) < self.interval {
+                return true; // transient burst: give it one interval to drain
+            }
+            st.dropping = true;
+            st.drop_next = now; // sustained: shed starting with this request
+        }
+        if now >= st.drop_next {
+            st.count += 1;
+            st.drop_next = now + self.interval.div_f64(f64::from(st.count).sqrt());
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Folds one admitted request's wall time into the EWMA.
+    fn record_service(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.service_ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 { ns } else { prev - prev / 8 + ns / 8 };
+        self.service_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// `Retry-After` seconds for a shed response: the live queue depth
+    /// priced at the recent per-request service time, clamped to
+    /// [1, 30]. An integer per RFC 9110 §10.2.3.
+    fn retry_after_secs(&self, depth: i64) -> u64 {
+        // 1 ms floor so a cold EWMA still yields a sane hint.
+        let ewma = self.service_ewma_ns.load(Ordering::Relaxed).max(1_000_000);
+        let waiting = depth.max(0) as u64 + 1;
+        waiting.saturating_mul(ewma).div_ceil(1_000_000_000).clamp(1, 30)
+    }
+}
+
 impl HttpDemo {
     /// Starts serving `server` on `addr` with default limits (use port 0
     /// for an ephemeral port). Runs until [`HttpDemo::shutdown`] or drop.
@@ -158,19 +330,22 @@ impl HttpDemo {
 
         // Bounded handoff: accept → queue → worker. The channel capacity
         // is the backlog; when it is full the accept loop sheds instead
-        // of queueing unbounded work.
-        let (tx, rx) = sync_channel::<TcpStream>(cfg.backlog.max(1));
+        // of queueing unbounded work. Entries carry their enqueue time
+        // so the dequeuing worker can feed sojourn to admission control.
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(cfg.backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let server = Arc::new(server);
         let depth = queue_depth();
+        let admission = Arc::new(Admission::new(&cfg));
 
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for _ in 0..cfg.workers.max(1) {
             let rx = Arc::clone(&rx);
             let server = Arc::clone(&server);
             let depth = Arc::clone(&depth);
+            let admission = Arc::clone(&admission);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &server, &cfg, &depth);
+                worker_loop(&rx, &server, &cfg, &depth, &admission);
             }));
         }
 
@@ -187,11 +362,11 @@ impl HttpDemo {
                         // (and decrement) the instant try_send returns,
                         // and the gauge must never read negative.
                         depth.add(1);
-                        match tx.try_send(conn) {
+                        match tx.try_send((conn, Instant::now())) {
                             Ok(()) => {}
-                            Err(TrySendError::Full(conn)) => {
+                            Err(TrySendError::Full((conn, _))) => {
                                 depth.add(-1);
-                                shed(conn);
+                                shed(conn, admission.retry_after_secs(depth.get()));
                             }
                             Err(TrySendError::Disconnected(_)) => {
                                 depth.add(-1);
@@ -251,23 +426,24 @@ impl Drop for HttpDemo {
     }
 }
 
-/// Rejects a connection the queue has no room for: 503 plus a hint to
-/// retry once the burst has passed.
-fn shed(mut conn: TcpStream) {
+/// Rejects a connection the queue has no room for: 503 plus a computed
+/// hint to retry once the burst has passed.
+fn shed(mut conn: TcpStream, retry_after: u64) {
     shed_total().inc();
     let body = "server busy, try again shortly\n";
     let _ = write!(
         conn,
-        "HTTP/1.0 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 503 Service Unavailable\r\nRetry-After: {retry_after}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
 }
 
 fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+    rx: &Mutex<Receiver<(TcpStream, Instant)>>,
     server: &SecureServer,
     cfg: &HttpConfig,
     depth: &telemetry::Gauge,
+    admission: &Admission,
 ) {
     loop {
         // A panicking sibling poisons the mutex; treat that as shutdown
@@ -276,14 +452,32 @@ fn worker_loop(
             Ok(guard) => guard.recv(),
             Err(_) => break,
         };
-        let Ok(conn) = conn else { break };
+        let Ok((conn, enqueued)) = conn else { break };
         depth.add(-1);
+        let now = Instant::now();
+        let sojourn = now.duration_since(enqueued);
+        sojourn_seconds().observe_duration(sojourn);
+        let admitted = admission.admit(sojourn, now);
+        if !admitted {
+            adaptive_shed_total().inc();
+        }
+        let started = Instant::now();
         // Panic isolation: one bad request must not take the worker (and
         // with it a slice of the pool's capacity) down. Handler-level
         // panics around the processor are caught closer in and answered
         // with 500; this is the backstop for everything else.
-        if catch_unwind(AssertUnwindSafe(|| handle_connection(server, conn, cfg))).is_err() {
+        if catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(server, conn, cfg, admission, !admitted)
+        }))
+        .is_err()
+        {
             panics_caught_total().inc();
+        }
+        if admitted {
+            // Degraded requests skip compute; folding their (tiny) wall
+            // time into the EWMA would talk Retry-After down exactly
+            // when the queue is at its worst.
+            admission.record_service(started.elapsed());
         }
     }
 }
@@ -348,10 +542,81 @@ fn drain_before_close(out: &TcpStream, reader: &mut impl std::io::Read) {
     }
 }
 
+/// How often the client-disconnect watchdog polls the socket.
+const WATCHDOG_POLL: Duration = Duration::from_millis(10);
+
+/// Watches the client socket while the pipeline runs and trips the
+/// request's token with [`CancelReason::ClientGone`] on hangup, so an
+/// abandoned request stops burning the worker instead of computing a
+/// view nobody will read.
+///
+/// The watchdog reads a *clone* of the stream nonblockingly. HTTP/1.0
+/// GETs carry no body, so any `read` returning 0 after the headers is a
+/// client-side close; stray bytes (a pipelined follow-up we will never
+/// parse — the demo always answers `Connection: close`) are discarded
+/// without poisoning anything. Nonblocking-ness is a property of the
+/// shared socket, so [`Watchdog::disarm`] must run — and restore
+/// blocking mode — before the response is written.
+struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(conn: &TcpStream, token: &CancelToken) -> Option<Watchdog> {
+        let sock = conn.try_clone().ok()?;
+        sock.set_nonblocking(true).ok()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let token = token.clone();
+        let handle = std::thread::spawn(move || {
+            let mut scratch = [0u8; 256];
+            while !stop2.load(Ordering::Relaxed) {
+                match std::io::Read::read(&mut (&sock), &mut scratch) {
+                    Ok(0) => {
+                        token.cancel_with(CancelReason::ClientGone);
+                        break;
+                    }
+                    Ok(_) => {} // unread request bytes: discard
+                    Err(e) if is_timeout(&e) => std::thread::sleep(WATCHDOG_POLL),
+                    Err(_) => {
+                        token.cancel_with(CancelReason::ClientGone);
+                        break;
+                    }
+                }
+            }
+        });
+        Some(Watchdog { stop, handle: Some(handle) })
+    }
+
+    /// Stops the watchdog and restores blocking mode on `conn` so the
+    /// response can be written normally.
+    fn disarm(mut self, conn: &TcpStream) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let _ = conn.set_nonblocking(false);
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        // Unwind path (disarm not reached): stop the thread so it never
+        // outlives the request it was watching.
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 fn handle_connection(
     server: &SecureServer,
     conn: TcpStream,
     cfg: &HttpConfig,
+    admission: &Admission,
+    degraded: bool,
 ) -> std::io::Result<()> {
     if faults::check("handle.start") {
         return Ok(()); // injected disconnect: drop without responding
@@ -386,10 +651,12 @@ fn handle_connection(
         Err(e) => return Err(e),
     };
 
-    // Drain headers under a total byte cap, capturing the one header
-    // the demo honours: If-None-Match (conditional revalidation).
+    // Drain headers under a total byte cap, capturing the two headers
+    // the demo honours: If-None-Match (conditional revalidation) and
+    // X-Request-Deadline (client-declared deadline, milliseconds).
     let mut header_budget = cfg.max_header_bytes;
     let mut if_none_match: Option<String> = None;
+    let mut client_deadline_ms: Option<u64> = None;
     loop {
         match read_line_limited(&mut reader, header_budget) {
             Ok(LineRead::Line(h)) => {
@@ -398,8 +665,14 @@ fn handle_connection(
                 }
                 header_budget -= h.len();
                 if let Some((name, value)) = h.split_once(':') {
-                    if name.trim().eq_ignore_ascii_case("if-none-match") {
+                    let name = name.trim();
+                    if name.eq_ignore_ascii_case("if-none-match") {
                         if_none_match = Some(value.trim().to_string());
+                    } else if name.eq_ignore_ascii_case("x-request-deadline") {
+                        // Unparsable values are ignored, not 400s: the
+                        // header is advisory and the server deadline
+                        // still bounds the request.
+                        client_deadline_ms = value.trim().parse().ok();
                     }
                 }
             }
@@ -438,13 +711,52 @@ fn handle_connection(
     };
     let (client, query) = request;
 
+    // Degraded mode (admission controller is shedding): serve only what
+    // is already computed — cache hits and revalidations — and refuse
+    // fresh compute with 503 + Retry-After. Queries always recompute
+    // selections, so they are always refused while shedding.
+    if degraded {
+        if query.is_some() {
+            return respond_overloaded(&mut out, admission);
+        }
+        return match server.handle_cache_only(&client, if_none_match.as_deref()) {
+            Ok(Some(ConditionalOutcome::NotModified { etag })) => {
+                not_modified_total().inc();
+                degraded_hits_total().inc();
+                respond_not_modified(&mut out, &etag)
+            }
+            Ok(Some(ConditionalOutcome::Full(resp))) => {
+                degraded_hits_total().inc();
+                respond_view(&mut out, resp)
+            }
+            Ok(None) => respond_overloaded(&mut out, admission),
+            Err(e) => respond_err(&mut out, &e),
+        };
+    }
+
+    // Per-request deadline: the tighter of the server's ceiling and the
+    // client's declared budget. The watchdog additionally trips the
+    // token the moment the client hangs up.
+    let deadline = match (cfg.request_deadline, client_deadline_ms.map(Duration::from_millis)) {
+        (Some(server_d), Some(client_d)) => Some(server_d.min(client_d)),
+        (server_d, client_d) => server_d.or(client_d),
+    };
+    let token = match deadline {
+        Some(d) => CancelToken::with_timeout(d),
+        None => CancelToken::never(),
+    };
+    let watchdog = Watchdog::spawn(&out, &token);
+
     if let Some(path) = query {
         // The processor runs arbitrary policy evaluation over untrusted
         // input; a panic in it answers 500 and leaves the worker alive.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _ = faults::check("process.request");
-            server.query(&client, &path)
+            server.query_cancellable(&client, &path, Some(&token))
         }));
+        if let Some(w) = watchdog {
+            w.disarm(&out);
+        }
         return match outcome {
             Ok(Ok(resp)) => {
                 let mut body = String::new();
@@ -457,7 +769,7 @@ fn handle_connection(
                 }
                 respond(&mut out, 200, "OK", "text/xml", &body)
             }
-            Ok(Err(e)) => respond_err(&mut out, &e),
+            Ok(Err(e)) => respond_err_cancellable(&mut out, &e, admission),
             Err(_) => {
                 panics_caught_total().inc();
                 respond_err(
@@ -469,8 +781,11 @@ fn handle_connection(
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let _ = faults::check("process.request");
-        server.handle_conditional(&client, if_none_match.as_deref())
+        server.handle_cancellable(&client, if_none_match.as_deref(), Some(&token))
     }));
+    if let Some(w) = watchdog {
+        w.disarm(&out);
+    }
     match outcome {
         Ok(Ok(ConditionalOutcome::NotModified { etag })) => {
             not_modified_total().inc();
@@ -480,26 +795,12 @@ fn handle_connection(
             respond_not_modified(&mut out, &etag)
         }
         Ok(Ok(ConditionalOutcome::Full(resp))) => {
-            let etag_header = format!("\"{}\"", resp.etag);
-            let mut body = resp.xml;
-            body.push('\n');
-            if let Some(dtd) = resp.loosened_dtd {
-                body.push_str("<!-- loosened DTD -->\n");
-                body.push_str(&dtd);
-            }
             if faults::check("respond.write") {
                 return Ok(());
             }
-            respond_with(
-                &mut out,
-                200,
-                "OK",
-                "text/xml",
-                &body,
-                &[("ETag", &etag_header), ("Cache-Control", "private, no-cache")],
-            )
+            respond_view(&mut out, resp)
         }
-        Ok(Err(e)) => respond_err(&mut out, &e),
+        Ok(Err(e)) => respond_err_cancellable(&mut out, &e, admission),
         Err(_) => {
             panics_caught_total().inc();
             respond_err(
@@ -508,6 +809,62 @@ fn handle_connection(
             )
         }
     }
+}
+
+/// Writes a full view response (200 + ETag + cache policy).
+fn respond_view(out: &mut TcpStream, resp: ServerResponse) -> std::io::Result<()> {
+    let etag_header = format!("\"{}\"", resp.etag);
+    let mut body = resp.xml;
+    body.push('\n');
+    if let Some(dtd) = resp.loosened_dtd {
+        body.push_str("<!-- loosened DTD -->\n");
+        body.push_str(&dtd);
+    }
+    respond_with(
+        out,
+        200,
+        "OK",
+        "text/xml",
+        &body,
+        &[("ETag", &etag_header), ("Cache-Control", "private, no-cache")],
+    )
+}
+
+/// 503 for a request refused (or abandoned) under overload, with a
+/// `Retry-After` priced from the live queue depth and the service-time
+/// EWMA.
+fn respond_overloaded(out: &mut TcpStream, admission: &Admission) -> std::io::Result<()> {
+    let retry = admission.retry_after_secs(queue_depth().get()).to_string();
+    respond_with(
+        out,
+        503,
+        "Service Unavailable",
+        "text/plain",
+        "server overloaded, try again shortly\n",
+        &[("Retry-After", &retry)],
+    )
+}
+
+/// [`respond_err`], except cancellations get their typed treatment: the
+/// per-reason counter is bumped, a vanished client gets no bytes at all
+/// (there is nobody to read them), and deadline/explicit cancellations
+/// answer 503 with a computed `Retry-After` so the client retries when
+/// the server expects to have capacity.
+fn respond_err_cancellable(
+    out: &mut TcpStream,
+    e: &ServerError,
+    admission: &Admission,
+) -> std::io::Result<()> {
+    if let ServerError::Cancelled(reason) = e {
+        cancelled_total(reason.as_str()).inc();
+        return match reason {
+            CancelReason::ClientGone => Ok(()),
+            CancelReason::DeadlineExceeded | CancelReason::Explicit => {
+                respond_overloaded(out, admission)
+            }
+        };
+    }
+    respond_err(out, e)
 }
 
 /// Parses `GET /uri?user=..&pass=..&ip=..&host=..&q=.. HTTP/1.x`.
@@ -598,6 +955,9 @@ fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
         // the server allows — the client's document or query is at
         // fault, not the server.
         ServerError::LimitExceeded(_) => (422, "Unprocessable Entity"),
+        // The server gave up on the request (deadline, disconnect,
+        // overload) — the client may retry the identical request.
+        ServerError::Cancelled(_) => (503, "Service Unavailable"),
     };
     respond(out, code, text, "text/plain", &format!("{e}\n"))
 }
@@ -875,6 +1235,181 @@ mod tests {
             LineRead::Line(l) => assert_eq!(l, "tail"),
             LineRead::TooLong => panic!("within cap"),
         }
+    }
+
+    #[test]
+    fn admission_sheds_only_sustained_overload() {
+        let cfg = HttpConfig {
+            shed_target: Duration::from_millis(10),
+            shed_interval: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let adm = Admission::new(&cfg);
+        let t0 = Instant::now();
+        let above = Duration::from_millis(50);
+        let ms = Duration::from_millis;
+        // Below target: always admitted.
+        assert!(adm.admit(ms(1), t0));
+        // A burst above target is tolerated for one interval.
+        assert!(adm.admit(above, t0));
+        assert!(adm.admit(above, t0 + ms(50)));
+        // Sustained a full interval: shedding starts.
+        assert!(!adm.admit(above, t0 + ms(150)));
+        // Between drop points requests still pass...
+        assert!(adm.admit(above, t0 + ms(151)));
+        // ...until the next drop point (interval/√count later).
+        assert!(!adm.admit(above, t0 + ms(250)));
+        // One sojourn back under target resets the episode entirely.
+        assert!(adm.admit(ms(1), t0 + ms(260)));
+        assert!(adm.admit(above, t0 + ms(261)));
+    }
+
+    #[test]
+    fn admission_can_be_disabled() {
+        let cfg = HttpConfig {
+            shed_adaptive: false,
+            shed_target: Duration::from_millis(1),
+            shed_interval: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let adm = Admission::new(&cfg);
+        let t0 = Instant::now();
+        for i in 0..100 {
+            assert!(adm.admit(Duration::from_secs(5), t0 + Duration::from_millis(i)));
+        }
+    }
+
+    #[test]
+    fn retry_after_is_priced_from_depth_and_service_time() {
+        let adm = Admission::new(&HttpConfig::default());
+        // Cold EWMA: 1 ms floor → clamps up to 1 second.
+        assert_eq!(adm.retry_after_secs(0), 1);
+        adm.record_service(Duration::from_millis(500));
+        // 10 waiting × ~500 ms each ≈ 5 s.
+        let r = adm.retry_after_secs(9);
+        assert!((4..=6).contains(&r), "{r}");
+        // Clamped to 30 s no matter the backlog.
+        assert_eq!(adm.retry_after_secs(1_000_000), 30);
+        // Never zero or negative, even on nonsense depth.
+        assert_eq!(adm.retry_after_secs(-5), 1);
+    }
+
+    #[test]
+    fn expired_client_deadline_is_503_with_retry_after() {
+        let demo = demo();
+        let target = "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org";
+        let (code, head, _) = get_full(demo.addr(), target, &[("X-Request-Deadline", "0")]);
+        assert_eq!(code, 503, "{head}");
+        let retry = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .expect("shed response names a retry hint");
+        let secs: u64 = retry.trim().parse().expect("Retry-After is integer seconds");
+        assert!((1..=30).contains(&secs), "{secs}");
+        // The cancellation is visible per-reason in telemetry.
+        let (_, metrics) = get(demo.addr(), "/metrics");
+        assert!(
+            metrics.contains("xmlsec_server_cancelled_total{reason=\"deadline\"}"),
+            "{metrics}"
+        );
+        // A garbage deadline header is advisory, not a 400 — and the
+        // server's own (generous) deadline still applies.
+        let (code2, _, body2) = get_full(demo.addr(), target, &[("X-Request-Deadline", "soon")]);
+        assert_eq!(code2, 200);
+        assert!(body2.contains("hello"), "{body2}");
+    }
+
+    #[test]
+    fn degraded_mode_serves_warm_cache_and_refuses_compute() {
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("tom", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/d/pub").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("tom", "pw");
+        s.repository_mut()
+            .put_document("doc.xml", "<d><pub>hello</pub><priv>no</priv></d>", None);
+        s.repository_mut().put_document("cold.xml", "<d><pub>brr</pub></d>", None);
+        // Warm the cache exactly as the HTTP request below will key it.
+        let warm = crate::server::ClientRequest {
+            user: Some(("tom".into(), "pw".into())),
+            ip: "1.2.3.4".into(),
+            sym: "h.x.org".into(),
+            uri: "doc.xml".into(),
+        };
+        let warmed = s.handle(&warm).expect("warm the cache");
+
+        let cfg = HttpConfig::default();
+        let adm = Admission::new(&cfg);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let degraded_get = |target: &str| {
+            let t = target.to_string();
+            let client = std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).expect("connect");
+                write!(c, "GET {t} HTTP/1.0\r\n\r\n").expect("write");
+                let mut buf = String::new();
+                c.read_to_string(&mut buf).expect("read");
+                buf
+            });
+            let (conn, _) = listener.accept().expect("accept");
+            handle_connection(&s, conn, &cfg, &adm, true).expect("handle");
+            client.join().expect("client thread")
+        };
+
+        // Warm view: served from cache even while shedding.
+        let hit = degraded_get("/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert!(hit.starts_with("HTTP/1.0 200"), "{hit}");
+        assert!(hit.contains("hello"), "{hit}");
+        assert!(hit.contains(&warmed.etag), "degraded hit carries the same tag: {hit}");
+        // Cold view: would need the pipeline → refused with a hint.
+        let miss = degraded_get("/cold.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert!(miss.starts_with("HTTP/1.0 503"), "{miss}");
+        assert!(miss.contains("Retry-After: "), "{miss}");
+        // Queries always recompute → refused while shedding.
+        let q = degraded_get("/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org&q=%2Fd%2Fpub");
+        assert!(q.starts_with("HTTP/1.0 503"), "{q}");
+    }
+
+    #[test]
+    fn backlog_overflow_sheds_with_computed_retry_after() {
+        let cfg = HttpConfig {
+            workers: 1,
+            backlog: 1,
+            read_timeout: Duration::from_millis(600),
+            ..Default::default()
+        };
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let s = SecureServer::new(dir, AuthorizationBase::new());
+        let mut demo = HttpDemo::start_with(s, "127.0.0.1:0", cfg).expect("bind");
+        // A slow loris pins the only worker...
+        let mut loris = TcpStream::connect(demo.addr()).unwrap();
+        write!(loris, "GET /doc").unwrap();
+        loris.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // ...a second connection fills the single backlog slot...
+        let queued = TcpStream::connect(demo.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // ...and the third is shed with a well-formed Retry-After.
+        let mut c = TcpStream::connect(demo.addr()).unwrap();
+        let mut buf = String::new();
+        c.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 503"), "{buf}");
+        let retry = buf
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .expect("backlog shed names a retry hint");
+        let secs: u64 = retry.trim().parse().expect("integer seconds");
+        assert!((1..=30).contains(&secs), "{secs}");
+        drop(queued);
+        drop(loris);
+        demo.shutdown();
     }
 
     #[test]

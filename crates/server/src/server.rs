@@ -26,8 +26,8 @@ use xmlsec_authz::{
 };
 use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
 use xmlsec_core::{
-    AccessRequest, CompiledCache, DecisionCache, DocumentSource, Parallelism, ResourceLimits,
-    SecurityProcessor,
+    AccessRequest, CancelReason, CancelToken, CompiledCache, DecisionCache, DocumentSource,
+    Parallelism, ResourceLimits, SecurityProcessor,
 };
 use xmlsec_dtd::parse_dtd;
 use xmlsec_subjects::{Directory, Requester};
@@ -51,6 +51,11 @@ pub enum ServerError {
     /// Serving the request would exceed a configured resource limit
     /// (document too deep/large, path evaluation over budget, …).
     LimitExceeded(String),
+    /// The request was cancelled before a view was produced — its
+    /// deadline passed, the client hung up, or the front end shed it.
+    /// Partial work is discarded; the document and policy are not at
+    /// fault and an identical retry can succeed.
+    Cancelled(CancelReason),
 }
 
 impl fmt::Display for ServerError {
@@ -63,6 +68,7 @@ impl fmt::Display for ServerError {
             ServerError::BadQuery(e) => write!(f, "bad query: {e}"),
             ServerError::UpdateDenied(e) => write!(f, "update denied: {e}"),
             ServerError::LimitExceeded(e) => write!(f, "resource limit exceeded: {e}"),
+            ServerError::Cancelled(r) => write!(f, "request cancelled: {r}"),
         }
     }
 }
@@ -78,6 +84,7 @@ struct ServerMetrics {
     bad_request: Arc<telemetry::Counter>,
     processing_error: Arc<telemetry::Counter>,
     limit_exceeded: Arc<telemetry::Counter>,
+    cancelled: Arc<telemetry::Counter>,
     duration: Arc<telemetry::Histogram>,
 }
 
@@ -91,6 +98,7 @@ impl ServerMetrics {
             Err(ServerError::NotFound(_)) => &self.not_found,
             Err(ServerError::Processing(_)) => &self.processing_error,
             Err(ServerError::LimitExceeded(_)) => &self.limit_exceeded,
+            Err(ServerError::Cancelled(_)) => &self.cancelled,
             Err(
                 ServerError::BadRequest(_)
                 | ServerError::BadQuery(_)
@@ -120,6 +128,7 @@ fn server_metrics() -> &'static ServerMetrics {
             bad_request: outcome("bad_request"),
             processing_error: outcome("processing_error"),
             limit_exceeded: outcome("limit_exceeded"),
+            cancelled: outcome("cancelled"),
             duration: reg.histogram(
                 "xmlsec_request_duration_seconds",
                 "End-to-end latency of one document request.",
@@ -177,6 +186,16 @@ pub enum ConditionalOutcome {
     },
     /// A full response.
     Full(ServerResponse),
+}
+
+/// What the request prologue established before any pipeline stage ran:
+/// the authenticated requester, the content-addressed cache key, and —
+/// when the cache already held the view — the finished outcome.
+struct RequestProbe {
+    requester: Requester,
+    requester_str: String,
+    key: ViewKey,
+    hit: Option<ConditionalOutcome>,
 }
 
 /// Strong entity tag for a view: FNV-1a over the cache key and the exact
@@ -508,20 +527,80 @@ impl SecureServer {
         req: &ClientRequest,
         if_none_match: Option<&str>,
     ) -> Result<ConditionalOutcome, ServerError> {
+        self.handle_cancellable(req, if_none_match, None)
+    }
+
+    /// [`SecureServer::handle_conditional`] with a request-scoped
+    /// cancellation token. The token is threaded through every pipeline
+    /// stage (parse, label, prune, serialize) and checked cooperatively
+    /// inside the hot loops; when it trips, the request unwinds with
+    /// [`ServerError::Cancelled`], partial work is discarded, and any
+    /// leased cores are returned. A `None` token never cancels.
+    pub fn handle_cancellable(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ConditionalOutcome, ServerError> {
         let m = server_metrics();
         let result = m.duration.time(|| {
             let _span = telemetry::trace::span("server.handle");
-            self.handle_inner(req, if_none_match)
+            self.handle_inner(req, if_none_match, cancel)
         });
         m.for_outcome(&result).inc();
         result
+    }
+
+    /// Degraded-mode lookup for overload shedding: answers from already
+    /// computed state only — a cache hit or an `If-None-Match`
+    /// revalidation — and returns `Ok(None)` instead of running any
+    /// pipeline stage when the view would have to be computed. The HTTP
+    /// front end uses this while the admission controller is shedding,
+    /// so clients holding a current view keep revalidating (and warm
+    /// views keep serving) even when compute is refused.
+    pub fn handle_cache_only(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+    ) -> Result<Option<ConditionalOutcome>, ServerError> {
+        let m = server_metrics();
+        match self.probe(req, if_none_match) {
+            Ok(RequestProbe { hit: Some(outcome), .. }) => {
+                let result = Ok(outcome);
+                m.for_outcome(&result).inc();
+                result.map(Some)
+            }
+            Ok(_) => Ok(None),
+            Err(e) => {
+                m.for_outcome(&Err(e.clone())).inc();
+                Err(e)
+            }
+        }
     }
 
     fn handle_inner(
         &self,
         req: &ClientRequest,
         if_none_match: Option<&str>,
+        cancel: Option<&CancelToken>,
     ) -> Result<ConditionalOutcome, ServerError> {
+        let probe = self.probe(req, if_none_match)?;
+        if let Some(outcome) = probe.hit {
+            return Ok(outcome);
+        }
+        self.compute_view_for(req, if_none_match, cancel, probe)
+    }
+
+    /// The request prologue shared by the normal and cache-only paths:
+    /// authenticate, resolve the document, build the content-addressed
+    /// cache key, and probe the cache (serving a 304 when the client's
+    /// tag matches). Cheap by construction — no document bytes are
+    /// parsed or hashed here.
+    fn probe(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+    ) -> Result<RequestProbe, ServerError> {
         let user = match self.authenticate(req) {
             Ok(u) => u,
             Err(e) => {
@@ -564,31 +643,42 @@ impl SecureServer {
         };
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&key) {
-                if let Some(inm) = if_none_match {
-                    if etag_matches(inm, &hit.etag) {
-                        self.audit.record(
-                            &requester_str,
-                            &req.uri,
-                            AuditOutcome::Served { granted_nodes: 0, total_nodes: 0, cached: true },
-                        );
-                        return Ok(ConditionalOutcome::NotModified { etag: hit.etag });
-                    }
-                }
                 self.audit.record(
                     &requester_str,
                     &req.uri,
                     AuditOutcome::Served { granted_nodes: 0, total_nodes: 0, cached: true },
                 );
-                return Ok(ConditionalOutcome::Full(ServerResponse {
-                    xml: hit.xml,
-                    loosened_dtd: hit.loosened_dtd,
-                    cached: true,
-                    etag: hit.etag,
-                }));
+                let outcome = match if_none_match {
+                    Some(inm) if etag_matches(inm, &hit.etag) => {
+                        ConditionalOutcome::NotModified { etag: hit.etag }
+                    }
+                    _ => ConditionalOutcome::Full(ServerResponse {
+                        xml: hit.xml,
+                        loosened_dtd: hit.loosened_dtd,
+                        cached: true,
+                        etag: hit.etag,
+                    }),
+                };
+                return Ok(RequestProbe { requester, requester_str, key, hit: Some(outcome) });
             }
         }
+        Ok(RequestProbe { requester, requester_str, key, hit: None })
+    }
 
-        // Full processor pipeline.
+    /// The full processor pipeline, run when the probe found no cached
+    /// view. The cancellation token (if any) rides inside the
+    /// per-request [`xmlsec_core::ProcessorOptions`].
+    fn compute_view_for(
+        &self,
+        req: &ClientRequest,
+        if_none_match: Option<&str>,
+        cancel: Option<&CancelToken>,
+        probe: RequestProbe,
+    ) -> Result<ConditionalOutcome, ServerError> {
+        let RequestProbe { requester, requester_str, key, .. } = probe;
+        let Some(stored) = self.repository.document(&req.uri) else {
+            return Err(ServerError::NotFound(req.uri.clone()));
+        };
         let processor = SecurityProcessor {
             directory: self.directory.clone(),
             authorizations: self.authorizations.clone(),
@@ -597,6 +687,7 @@ impl SecureServer {
                 limits: self.limits,
                 parallelism: self.parallelism,
                 compile: self.compile,
+                cancel: cancel.cloned().unwrap_or_default(),
                 ..Default::default()
             },
             decisions: Some(Arc::clone(&self.decisions)),
@@ -614,7 +705,9 @@ impl SecureServer {
                 &req.uri,
                 AuditOutcome::ProcessingError(e.to_string()),
             );
-            if e.is_resource_limit() {
+            if let xmlsec_core::ProcessError::Cancelled(r) = e {
+                ServerError::Cancelled(r)
+            } else if e.is_resource_limit() {
                 ServerError::LimitExceeded(e.to_string())
             } else {
                 ServerError::Processing(e.to_string())
@@ -662,15 +755,52 @@ impl SecureServer {
     /// is evaluated on the computed view, so it can never select — or
     /// leak through conditions on — content the requester cannot read.
     pub fn query(&self, req: &ClientRequest, path: &str) -> Result<QueryResponse, ServerError> {
+        self.query_cancellable(req, path, None)
+    }
+
+    /// [`SecureServer::query`] with a request-scoped cancellation token:
+    /// the underlying view computation, the re-parse of the view, and
+    /// every budget draw of the path evaluation all observe the token.
+    pub fn query_cancellable(
+        &self,
+        req: &ClientRequest,
+        path: &str,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryResponse, ServerError> {
         let parsed =
             xmlsec_xpath::parse_path(path).map_err(|e| ServerError::BadQuery(e.to_string()))?;
-        let resp = self.handle(req)?;
-        let view =
-            xmlsec_xml::parse(&resp.xml).map_err(|e| ServerError::Processing(e.to_string()))?;
+        let resp = match self.handle_cancellable(req, None, cancel)? {
+            ConditionalOutcome::Full(resp) => resp,
+            // Unreachable: without an If-None-Match nothing can match.
+            ConditionalOutcome::NotModified { etag } => {
+                ServerResponse { xml: String::new(), loosened_dtd: None, cached: true, etag }
+            }
+        };
+        let view = xmlsec_xml::parse_cancellable(
+            &resp.xml,
+            xmlsec_xml::ParseOptions::default(),
+            &self.limits.xml,
+            cancel,
+        )
+        .map_err(|e| match e.kind {
+            xmlsec_xml::XmlErrorKind::Cancelled(r) => ServerError::Cancelled(r),
+            _ => ServerError::Processing(e.to_string()),
+        })?;
         // The query path is requester-supplied: budget its evaluation so a
-        // hostile expression cannot pin the worker.
-        let hits = xmlsec_xpath::select_limited(&view, &parsed, &self.limits.xpath)
-            .map_err(|e| ServerError::LimitExceeded(e.to_string()))?;
+        // hostile expression cannot pin the worker; the token rides in the
+        // shared budget, so every draw is also a cancellation checkpoint.
+        let pool = match cancel {
+            Some(t) => xmlsec_xpath::SharedBudget::with_cancel(
+                self.limits.xpath.max_node_visits,
+                t.clone(),
+            ),
+            None => xmlsec_xpath::SharedBudget::new(self.limits.xpath.max_node_visits),
+        };
+        let hits = xmlsec_xpath::select_shared(&view, &parsed, &self.limits.xpath, &pool)
+            .map_err(|e| match e {
+                xmlsec_xpath::EvalError::Cancelled(r) => ServerError::Cancelled(r),
+                other => ServerError::LimitExceeded(other.to_string()),
+            })?;
         let matches = hits
             .iter()
             .map(|&n| {

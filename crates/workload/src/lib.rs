@@ -11,7 +11,11 @@
 //! - [`channel`] — CDF-style push channels with tiered subscriptions;
 //! - [`docgen`] / [`authgen`] — seeded synthetic documents, directories,
 //!   requesters and authorization sets (same seed ⇒ same output), used by
-//!   the differential property tests and the Criterion benches.
+//!   the differential property tests and the Criterion benches;
+//! - [`storm`] — a seeded randomized soak driver that hammers a live
+//!   HTTP demo server over real sockets with mixed good/hostile
+//!   clients (tight deadlines, hangups, slow lorises), used by the
+//!   chaos robustness tests.
 
 #![warn(missing_docs)]
 
@@ -22,8 +26,10 @@ pub mod dtdgen;
 pub mod financial;
 pub mod hospital;
 pub mod laboratory;
+pub mod storm;
 
 pub use authgen::{random_auths, random_directory, random_requester, AuthConfig};
+pub use storm::{run_storm, StormConfig, StormReport};
 pub use docgen::{deep_chain, flat, laboratory_scaled, random_tree, TreeConfig};
 pub use dtdgen::{conforming_doc, random_dtd, DtdConfig, GEN_ROOT};
 pub use financial::financial_scaled;

@@ -1,0 +1,252 @@
+//! Seeded randomized soak driver for the HTTP demo server.
+//!
+//! Drives a live server over real sockets with a mixed, adversarial
+//! client population — well-behaved requests, conditional revalidations,
+//! impossibly tight deadlines, mid-request hangups, and slow-loris
+//! stalls — all drawn from one seeded generator, so a failing soak
+//! replays exactly from its seed.
+//!
+//! The driver only *reports* what the clients observed
+//! ([`StormReport`]); the chaos tests assert the server-side invariants
+//! (no leaked core leases, gauges back to baseline, cache still
+//! coherent) through the telemetry registry after the storm passes.
+//! One client-side invariant is asserted here: every response that
+//! arrives at all must be well-formed HTTP with a known status code —
+//! a storm must never surface a half-written or corrupt response.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What one storm throws at the server.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Seed for the whole storm; same seed + same server ⇒ same client
+    /// behavior (thread interleaving at the server may still differ).
+    pub seed: u64,
+    /// Total client actions across all threads.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Request targets (path + query string, e.g.
+    /// `/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org`), chosen
+    /// uniformly per request.
+    pub targets: Vec<String>,
+    /// Probability a request declares an unmeetable deadline
+    /// (`X-Request-Deadline: 0`), forcing a server-side cancellation.
+    pub tiny_deadline: f64,
+    /// Probability the client hangs up right after sending, while the
+    /// server is (probably) still computing.
+    pub disconnect: f64,
+    /// Probability the client sends half a request line and stalls
+    /// (slow loris; the server's read timeout reaps it).
+    pub loris: f64,
+    /// Probability a request revalidates with `If-None-Match` using the
+    /// entity tag captured from an earlier response to the same target.
+    pub conditional: f64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 0xB5,
+            requests: 200,
+            concurrency: 4,
+            targets: Vec::new(),
+            tiny_deadline: 0.15,
+            disconnect: 0.10,
+            loris: 0.05,
+            conditional: 0.20,
+        }
+    }
+}
+
+/// What the storm's clients observed, summed over all threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StormReport {
+    /// Client actions attempted (== `StormConfig::requests` unless the
+    /// server became unreachable).
+    pub sent: usize,
+    /// Successful responses (200 and 304).
+    pub ok: usize,
+    /// Not-modified revalidations (a subset of `ok`).
+    pub not_modified: usize,
+    /// Load-shed or cancelled responses (503).
+    pub shed: usize,
+    /// Client-fault responses (4xx: 400/401/404/408/422/431…).
+    pub client_error: usize,
+    /// Server-fault responses (5xx other than 503).
+    pub server_error: usize,
+    /// Deliberate client-side aborts (disconnects and lorises), plus
+    /// requests whose connection died without a response.
+    pub aborted: usize,
+    /// Responses that arrived but were not parseable HTTP — always a
+    /// bug; the storm asserts this stays zero.
+    pub malformed: usize,
+}
+
+impl StormReport {
+    /// Responses accounted for (everything except client-side aborts).
+    pub fn answered(&self) -> usize {
+        self.ok + self.shed + self.client_error + self.server_error + self.malformed
+    }
+}
+
+/// Parses the status code off an HTTP/1.0 response buffer.
+fn status_of(buf: &str) -> Option<u16> {
+    let rest = buf.strip_prefix("HTTP/1.0 ").or_else(|| buf.strip_prefix("HTTP/1.1 "))?;
+    rest.get(..3)?.parse().ok()
+}
+
+/// Extracts the (quoted) entity tag from a response's header block.
+fn etag_of(buf: &str) -> Option<String> {
+    buf.split("\r\n\r\n").next()?.lines().find_map(|l| {
+        l.strip_prefix("ETag: ").map(|t| t.trim().to_string())
+    })
+}
+
+/// One client thread's share of the storm.
+fn client_run(
+    addr: SocketAddr,
+    cfg: &StormConfig,
+    seed: u64,
+    budget: usize,
+    report: &mut StormReport,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Last seen entity tag per target index, for conditional requests.
+    let mut etags: Vec<Option<String>> = vec![None; cfg.targets.len()];
+    for _ in 0..budget {
+        report.sent += 1;
+        let ti = rng.gen_range(0..cfg.targets.len());
+        let target = &cfg.targets[ti];
+        let Ok(mut conn) = TcpStream::connect(addr) else {
+            report.aborted += 1;
+            continue;
+        };
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
+
+        if rng.gen_bool(cfg.loris) {
+            // Half a request line, then silence; the server reaps us.
+            let _ = conn.write_all(b"GET /half");
+            let _ = conn.flush();
+            std::thread::sleep(Duration::from_millis(rng.gen_range(1..40)));
+            report.aborted += 1;
+            continue;
+        }
+
+        let mut req = format!("GET {target} HTTP/1.0\r\nHost: storm\r\n");
+        if rng.gen_bool(cfg.tiny_deadline) {
+            req.push_str("X-Request-Deadline: 0\r\n");
+        }
+        if rng.gen_bool(cfg.conditional) {
+            if let Some(tag) = &etags[ti] {
+                req.push_str(&format!("If-None-Match: {tag}\r\n"));
+            }
+        }
+        req.push_str("\r\n");
+        if conn.write_all(req.as_bytes()).is_err() {
+            report.aborted += 1;
+            continue;
+        }
+
+        if rng.gen_bool(cfg.disconnect) {
+            // Hang up while the server is (probably) mid-pipeline.
+            drop(conn);
+            report.aborted += 1;
+            continue;
+        }
+
+        let mut buf = String::new();
+        if conn.read_to_string(&mut buf).is_err() || buf.is_empty() {
+            // The server dropped us (cancelled client-gone path, or a
+            // reaped connection): no response is a legal outcome.
+            report.aborted += 1;
+            continue;
+        }
+        match status_of(&buf) {
+            Some(200) => {
+                report.ok += 1;
+                etags[ti] = etag_of(&buf);
+            }
+            Some(304) => {
+                report.ok += 1;
+                report.not_modified += 1;
+            }
+            Some(503) => report.shed += 1,
+            Some(c) if (400..500).contains(&c) => report.client_error += 1,
+            Some(c) if (500..600).contains(&c) => report.server_error += 1,
+            _ => report.malformed += 1,
+        }
+    }
+}
+
+/// Runs one storm against a live server and sums what the clients saw.
+///
+/// Panics if `targets` is empty (there would be nothing to send).
+pub fn run_storm(addr: SocketAddr, cfg: &StormConfig) -> StormReport {
+    assert!(!cfg.targets.is_empty(), "storm needs at least one target");
+    let threads = cfg.concurrency.max(1);
+    let share = cfg.requests / threads;
+    let extra = cfg.requests % threads;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let budget = share + usize::from(i < extra);
+                // Decorrelate thread streams; the golden-ratio stride
+                // keeps them disjoint for any base seed.
+                let seed = cfg.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                scope.spawn(move || {
+                    let mut r = StormReport::default();
+                    client_run(addr, cfg, seed, budget, &mut r);
+                    r
+                })
+            })
+            .collect();
+        let mut total = StormReport::default();
+        for h in handles {
+            let r = h.join().expect("storm client thread panicked");
+            total.sent += r.sent;
+            total.ok += r.ok;
+            total.not_modified += r.not_modified;
+            total.shed += r.shed;
+            total.client_error += r.client_error;
+            total.server_error += r.server_error;
+            total.aborted += r.aborted;
+            total.malformed += r.malformed;
+        }
+        total
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_and_etag_parsing() {
+        let resp = "HTTP/1.0 200 OK\r\nETag: \"abc\"\r\n\r\nbody";
+        assert_eq!(status_of(resp), Some(200));
+        assert_eq!(etag_of(resp), Some("\"abc\"".to_string()));
+        assert_eq!(status_of("garbage"), None);
+        assert_eq!(etag_of("HTTP/1.0 200 OK\r\n\r\nETag: \"in-body\""), None);
+    }
+
+    #[test]
+    fn report_accounting_adds_up() {
+        let r = StormReport {
+            sent: 10,
+            ok: 5,
+            not_modified: 2,
+            shed: 2,
+            client_error: 1,
+            server_error: 0,
+            aborted: 2,
+            malformed: 0,
+        };
+        assert_eq!(r.answered() + r.aborted, r.sent);
+    }
+}

@@ -1,0 +1,345 @@
+//! Request-scoped deadlines and cooperative cancellation.
+//!
+//! A [`CancelToken`] is the time-domain analogue of the byte/node caps in
+//! [`crate::limits`]: it bounds *when* a computation must stop rather
+//! than *how much* it may consume. One token is minted per request and
+//! threaded through every layer — the parser's node loop, the XPath
+//! evaluator's budget checkpoints, the labeling frontier and its fan-out
+//! workers, the compiled fast path — each of which polls it at loop
+//! granularity and unwinds with a typed [`Cancelled`] error the moment
+//! it trips. Nothing is killed from outside: cancellation is always
+//! cooperative, so every layer's cleanup (core leases, budget permits,
+//! cache gauges) runs on the normal drop path.
+//!
+//! A token trips for one of three [`CancelReason`]s:
+//!
+//! - **`Explicit`** — somebody called [`CancelToken::cancel`] (tests,
+//!   admin action, or the soak harness);
+//! - **`DeadlineExceeded`** — the wall-clock deadline the token was
+//!   built with has passed;
+//! - **`ClientGone`** — the server observed the client disconnect and
+//!   called [`CancelToken::cancel_with`], so the remaining compute would
+//!   be thrown away anyway.
+//!
+//! Polling cost: an explicit cancel is a single relaxed atomic load.
+//! The deadline comparison needs `Instant::now()`, so it is amortized —
+//! consulted once every [`DEADLINE_STRIDE`] polls — keeping the
+//! uncancelled hot path within the <5% overhead budget the benches gate
+//! (B16). The worst-case detection lag this introduces is
+//! `DEADLINE_STRIDE` loop iterations, far inside the 10 ms
+//! cancellation-latency target.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many polls may pass between wall-clock deadline consultations.
+/// Powers of two keep the stride check a mask.
+pub const DEADLINE_STRIDE: u64 = 64;
+
+/// Why a token tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The request's deadline passed.
+    DeadlineExceeded,
+    /// The client hung up; the result has no recipient.
+    ClientGone,
+}
+
+impl CancelReason {
+    /// Stable snake_case name (metric label value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CancelReason::Explicit => "explicit",
+            CancelReason::DeadlineExceeded => "deadline",
+            CancelReason::ClientGone => "client_gone",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Explicit => write!(f, "cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            CancelReason::ClientGone => write!(f, "client disconnected"),
+        }
+    }
+}
+
+/// The typed error a cancelled computation unwinds with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Why the token tripped.
+    pub reason: CancelReason,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request cancelled: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+// Reason encoding for the atomic (0 = not cancelled).
+const R_NONE: u8 = 0;
+const R_EXPLICIT: u8 = 1;
+const R_DEADLINE: u8 = 2;
+const R_CLIENT_GONE: u8 = 3;
+
+#[derive(Debug)]
+struct Inner {
+    /// Fast flag every poll reads; set by `cancel*` and by the first
+    /// poll that observes the deadline passed.
+    cancelled: AtomicBool,
+    /// `R_*` code of the first reason that tripped (first writer wins).
+    reason: AtomicU8,
+    /// Absolute deadline, when the token has one.
+    deadline: Option<Instant>,
+    /// Poll counter for amortizing the `Instant::now()` deadline check.
+    polls: AtomicU64,
+    /// Test/soak hook: trip with `Explicit` once `polls` reaches this.
+    /// `u64::MAX` = never. Gives differential tests a *deterministic*
+    /// "cancel at the k-th checkpoint" knob, independent of wall time.
+    trip_at_poll: AtomicU64,
+}
+
+/// A cloneable, thread-safe cancellation token with an optional
+/// wall-clock deadline. Clones share state: cancelling one cancels all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::never()
+    }
+}
+
+impl CancelToken {
+    fn with_deadline_opt(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(R_NONE),
+                deadline,
+                polls: AtomicU64::new(0),
+                trip_at_poll: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// A token that only trips when [`CancelToken::cancel`] is called.
+    pub fn never() -> CancelToken {
+        CancelToken::with_deadline_opt(None)
+    }
+
+    /// A token that trips once `deadline` passes (or on explicit cancel,
+    /// whichever comes first).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::with_deadline_opt(Some(deadline))
+    }
+
+    /// A token that trips `budget` from now.
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// A token that trips with [`CancelReason::Explicit`] at the `n`-th
+    /// poll (0 trips on the first poll). Deterministic-cancellation hook
+    /// for the differential tests and the chaos harness: "cancel at a
+    /// random point" becomes "cancel at poll k", reproducible per seed.
+    pub fn cancel_after_polls(n: u64) -> CancelToken {
+        let t = CancelToken::never();
+        t.inner.trip_at_poll.store(n, Ordering::Relaxed);
+        t
+    }
+
+    /// Trips the token (idempotent; the first reason sticks).
+    pub fn cancel(&self) {
+        self.cancel_with(CancelReason::Explicit);
+    }
+
+    /// Trips the token with an explicit reason (idempotent).
+    pub fn cancel_with(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::Explicit => R_EXPLICIT,
+            CancelReason::DeadlineExceeded => R_DEADLINE,
+            CancelReason::ClientGone => R_CLIENT_GONE,
+        };
+        let _ = self.inner.reason.compare_exchange(
+            R_NONE,
+            code,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// The reason the token tripped, if it has.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.inner.reason.load(Ordering::Acquire) {
+            R_EXPLICIT => Some(CancelReason::Explicit),
+            R_DEADLINE => Some(CancelReason::DeadlineExceeded),
+            R_CLIENT_GONE => Some(CancelReason::ClientGone),
+            _ => None,
+        }
+    }
+
+    /// The absolute deadline, when the token carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left before the deadline (`None` when the token has no
+    /// deadline; zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// `true` once the token has tripped. Checks the fast flag only —
+    /// use [`CancelToken::poll`] on hot loops so deadlines are observed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The hot-loop checkpoint: returns `Err(Cancelled)` once the token
+    /// has tripped. An explicit cancel is observed immediately (one
+    /// relaxed load); the wall-clock deadline is consulted every
+    /// [`DEADLINE_STRIDE`] polls to keep the uncancelled path cheap.
+    #[inline]
+    pub fn poll(&self) -> Result<(), Cancelled> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Err(self.as_error());
+        }
+        let n = self.inner.polls.fetch_add(1, Ordering::Relaxed);
+        if n >= self.inner.trip_at_poll.load(Ordering::Relaxed) {
+            self.cancel_with(CancelReason::Explicit);
+            return Err(self.as_error());
+        }
+        if n % DEADLINE_STRIDE == 0 {
+            return self.check_deadline();
+        }
+        Ok(())
+    }
+
+    /// A boundary checkpoint (stage transitions, task handoffs): always
+    /// consults the wall clock, never amortized.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Err(self.as_error());
+        }
+        self.check_deadline()
+    }
+
+    fn check_deadline(&self) -> Result<(), Cancelled> {
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                self.cancel_with(CancelReason::DeadlineExceeded);
+                return Err(self.as_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`Cancelled`] error for the current (tripped) state.
+    fn as_error(&self) -> Cancelled {
+        Cancelled { reason: self.reason().unwrap_or(CancelReason::Explicit) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_trips() {
+        let t = CancelToken::never();
+        for _ in 0..10_000 {
+            assert!(t.poll().is_ok());
+        }
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_is_observed_immediately_and_shared_by_clones() {
+        let t = CancelToken::never();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        let e = c.poll().unwrap_err();
+        assert_eq!(e.reason, CancelReason::Explicit);
+        assert_eq!(c.check().unwrap_err().reason, CancelReason::Explicit);
+    }
+
+    #[test]
+    fn first_reason_sticks() {
+        let t = CancelToken::never();
+        t.cancel_with(CancelReason::ClientGone);
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::ClientGone));
+        assert_eq!(t.poll().unwrap_err().reason, CancelReason::ClientGone);
+    }
+
+    #[test]
+    fn expired_deadline_trips_within_a_stride() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut tripped = 0u64;
+        for i in 0..=DEADLINE_STRIDE {
+            if t.poll().is_err() {
+                tripped = i + 1;
+                break;
+            }
+        }
+        assert!(tripped > 0 && tripped <= DEADLINE_STRIDE + 1, "tripped after {tripped} polls");
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn check_observes_deadline_without_amortization() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert_eq!(t.check().unwrap_err().reason, CancelReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        for _ in 0..1_000 {
+            assert!(t.poll().is_ok());
+        }
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancel_after_polls_is_deterministic() {
+        for k in [0u64, 1, 7, 100] {
+            let t = CancelToken::cancel_after_polls(k);
+            let mut survived = 0u64;
+            for _ in 0..=k + 1 {
+                if t.poll().is_err() {
+                    break;
+                }
+                survived += 1;
+            }
+            assert_eq!(survived, k, "token must trip exactly at poll {k}");
+        }
+    }
+
+    #[test]
+    fn display_names_reason() {
+        let e = Cancelled { reason: CancelReason::DeadlineExceeded };
+        assert!(e.to_string().contains("deadline"));
+        assert_eq!(CancelReason::ClientGone.as_str(), "client_gone");
+        assert_eq!(CancelReason::Explicit.as_str(), "explicit");
+        assert_eq!(CancelReason::DeadlineExceeded.as_str(), "deadline");
+    }
+}

@@ -75,6 +75,10 @@ pub enum XmlErrorKind {
     /// A configured resource limit was exceeded (see
     /// [`crate::limits::Limits`]); recoverable, never a panic.
     LimitExceeded(LimitKind),
+    /// The request's cancellation token tripped mid-parse (deadline
+    /// passed, client gone, or explicit cancel — see [`crate::cancel`]);
+    /// recoverable, partial work discarded.
+    Cancelled(crate::cancel::CancelReason),
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -101,6 +105,7 @@ impl fmt::Display for XmlErrorKind {
             MalformedCdata => write!(f, "malformed CDATA section"),
             MalformedAttribute(n) => write!(f, "malformed attribute {n:?}"),
             LimitExceeded(k) => write!(f, "resource limit exceeded: {k}"),
+            Cancelled(r) => write!(f, "parse cancelled: {r}"),
         }
     }
 }

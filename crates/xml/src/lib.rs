@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod dom;
 pub mod error;
 pub mod escape;
@@ -38,10 +39,11 @@ pub mod render;
 pub mod serialize;
 pub mod tokenizer;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use dom::{Doctype, Document, Node, NodeData, NodeId};
 pub use error::{Pos, XmlError, XmlErrorKind};
 pub use limits::{LimitKind, Limits};
-pub use parser::{parse, parse_with, parse_with_limits, ParseOptions};
+pub use parser::{parse, parse_cancellable, parse_with, parse_with_limits, ParseOptions};
 pub use render::render_tree;
 pub use serialize::{serialize, serialize_node, SerializeOptions};
 

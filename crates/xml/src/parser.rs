@@ -7,6 +7,7 @@
 //! so that pruned documents serialize cleanly, tests that need exact
 //! round-trips keep it.
 
+use crate::cancel::CancelToken;
 use crate::dom::{Document, NodeId};
 use crate::error::{Pos, Result, XmlError, XmlErrorKind};
 use crate::limits::{LimitKind, Limits};
@@ -79,7 +80,22 @@ pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document> {
 /// violations surface as [`XmlErrorKind::LimitExceeded`] — typed and
 /// recoverable, never a panic or unbounded allocation.
 pub fn parse_with_limits(input: &str, opts: ParseOptions, limits: &Limits) -> Result<Document> {
-    let result = parse_inner(input, opts, limits);
+    parse_cancellable(input, opts, limits, None)
+}
+
+/// Like [`parse_with_limits`], but also polls a request-scoped
+/// [`CancelToken`] once per token in the node loop: a cancelled request
+/// (deadline passed, client gone) unwinds with
+/// [`XmlErrorKind::Cancelled`] instead of finishing a parse nobody will
+/// consume. The poll amortizes its wall-clock check, so the uncancelled
+/// path costs one relaxed atomic load per token.
+pub fn parse_cancellable(
+    input: &str,
+    opts: ParseOptions,
+    limits: &Limits,
+    cancel: Option<&CancelToken>,
+) -> Result<Document> {
+    let result = parse_inner(input, opts, limits, cancel);
     let m = parser_metrics();
     match &result {
         Ok(d) => {
@@ -97,7 +113,25 @@ pub fn parse_with_limits(input: &str, opts: ParseOptions, limits: &Limits) -> Re
     result
 }
 
-fn parse_inner(input: &str, opts: ParseOptions, limits: &Limits) -> Result<Document> {
+/// Source position of any token (every variant carries one).
+fn tok_pos(t: &Token) -> Pos {
+    match t {
+        Token::XmlDecl { pos, .. }
+        | Token::Doctype { pos, .. }
+        | Token::StartTag { pos, .. }
+        | Token::EndTag { pos, .. }
+        | Token::Text { pos, .. }
+        | Token::Comment { pos, .. }
+        | Token::Pi { pos, .. } => *pos,
+    }
+}
+
+fn parse_inner(
+    input: &str,
+    opts: ParseOptions,
+    limits: &Limits,
+    cancel: Option<&CancelToken>,
+) -> Result<Document> {
     if input.len() > limits.max_input_bytes {
         return Err(XmlError::new(XmlErrorKind::LimitExceeded(LimitKind::InputBytes), Pos::START));
     }
@@ -110,6 +144,12 @@ fn parse_inner(input: &str, opts: ParseOptions, limits: &Limits) -> Result<Docum
     let mut root_seen = false;
 
     while let Some(tok) = tk.next_token()? {
+        if let Some(t) = cancel {
+            if let Err(c) = t.poll() {
+                let pos = tok_pos(&tok);
+                return Err(XmlError::new(XmlErrorKind::Cancelled(c.reason), pos));
+            }
+        }
         match tok {
             Token::XmlDecl { .. } => {}
             Token::Doctype { decl, pos } => {
@@ -389,6 +429,37 @@ mod tests {
         let limits = Limits { max_input_bytes: 8, ..Limits::default() };
         let e = parse_with_limits("<a>123456</a>", ParseOptions::default(), &limits).unwrap_err();
         assert_eq!(e.kind, XmlErrorKind::LimitExceeded(LimitKind::InputBytes));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_node_loop_with_a_typed_error() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let mut s = String::from("<r>");
+        for _ in 0..500 {
+            s.push_str("<x/>");
+        }
+        s.push_str("</r>");
+        // A pre-tripped token stops at the first loop checkpoint.
+        let t = CancelToken::never();
+        t.cancel();
+        let e = parse_cancellable(&s, ParseOptions::default(), &Limits::default(), Some(&t))
+            .unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::Cancelled(CancelReason::Explicit));
+        // Tripping mid-stream aborts partway (poll k lands inside the loop).
+        let mid = CancelToken::cancel_after_polls(100);
+        let e2 = parse_cancellable(&s, ParseOptions::default(), &Limits::default(), Some(&mid))
+            .unwrap_err();
+        assert!(matches!(e2.kind, XmlErrorKind::Cancelled(_)));
+        assert!(e2.pos.offset > 0, "cancellation surfaced mid-document: {:?}", e2.pos);
+        // An untripped token changes nothing.
+        let ok = parse_cancellable(
+            &s,
+            ParseOptions::default(),
+            &Limits::default(),
+            Some(&CancelToken::never()),
+        )
+        .unwrap();
+        assert_eq!(ok.count_reachable(), 501);
     }
 
     #[test]

@@ -158,12 +158,30 @@ pub fn eval_path_shared(
     finish(eval_from(doc, start, path, &mut budget), &budget)
 }
 
+/// Like [`select_limited`], but draws node visits from `pool` (and, when
+/// the pool carries a [`CancelToken`](xmlsec_xml::cancel::CancelToken),
+/// polls it at every budget checkpoint). The server evaluates requester
+/// queries through this so an abandoned request stops mid-walk.
+pub fn select_shared(
+    doc: &Document,
+    path: &PathExpr,
+    limits: &EvalLimits,
+    pool: &SharedBudget,
+) -> Result<Vec<NodeId>, EvalError> {
+    let start = if path.absolute { CtxNode::Root } else { CtxNode::Node(doc.root()) };
+    let mut budget = Budget::with_pool(*limits, pool);
+    finish(eval_from(doc, start, path, &mut budget), &budget)
+}
+
 /// Flushes telemetry for one top-level evaluation and reports budget
-/// violations on the shared limits counter.
+/// violations on the shared limits counter (cancellations are abandoned
+/// requests, not limit violations, and are counted elsewhere).
 fn finish(r: Result<Vec<NodeId>, EvalError>, budget: &Budget) -> Result<Vec<NodeId>, EvalError> {
     eval_metrics().node_visits.add(budget.visits);
     if let Err(e) = &r {
-        xmlsec_xml::limit_rejected(e.kind());
+        if !e.is_cancelled() {
+            xmlsec_xml::limit_rejected(e.kind());
+        }
     }
     r
 }

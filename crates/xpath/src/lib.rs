@@ -38,7 +38,7 @@ pub mod value;
 pub use ast::{Axis, CmpOp, Expr, Func, NodeTest, PathExpr, Step};
 pub use eval::{
     describe_node, eval_condition, eval_path, eval_path_limited, eval_path_shared, select,
-    select_limited, select_str, CtxNode,
+    select_limited, select_shared, select_str, CtxNode,
 };
 pub use lexer::{Result, XPathError};
 pub use limits::{EvalError, EvalLimits, SharedBudget};

@@ -11,6 +11,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use xmlsec_xml::cancel::{CancelReason, CancelToken};
 
 /// Caps applied to one top-level path evaluation (inner predicate paths
 /// share the same budget).
@@ -70,16 +71,31 @@ impl Default for EvalLimits {
 pub struct SharedBudget {
     remaining: AtomicU64,
     limit: u64,
+    /// Request-scoped cancellation: every `take` doubles as a
+    /// cooperative checkpoint, so a cancelled request unwinds from the
+    /// evaluator's hot loop without any extra plumbing.
+    cancel: Option<CancelToken>,
 }
 
 impl SharedBudget {
     /// A pool of `limit` node visits.
     pub fn new(limit: u64) -> SharedBudget {
-        SharedBudget { remaining: AtomicU64::new(limit), limit }
+        SharedBudget { remaining: AtomicU64::new(limit), limit, cancel: None }
     }
 
-    /// Atomically takes `n` visits from the pool; errors once spent.
+    /// A pool that also polls `cancel` on every draw: the budget
+    /// checkpoints the evaluator already hits become the cancellation
+    /// checkpoints too.
+    pub fn with_cancel(limit: u64, cancel: CancelToken) -> SharedBudget {
+        SharedBudget { remaining: AtomicU64::new(limit), limit, cancel: Some(cancel) }
+    }
+
+    /// Atomically takes `n` visits from the pool; errors once spent or
+    /// once the attached cancellation token trips.
     pub fn take(&self, n: u64) -> Result<(), EvalError> {
+        if let Some(t) = &self.cancel {
+            t.poll().map_err(|c| EvalError::Cancelled(c.reason))?;
+        }
         self.remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| cur.checked_sub(n))
             .map(|_| ())
@@ -110,6 +126,10 @@ pub enum EvalError {
         /// The configured [`EvalLimits::max_eval_depth`].
         limit: u32,
     },
+    /// The request's cancellation token tripped mid-evaluation (see
+    /// [`xmlsec_xml::cancel`]). Not a resource-limit violation: the
+    /// request was abandoned, not over budget.
+    Cancelled(CancelReason),
 }
 
 impl EvalError {
@@ -119,7 +139,14 @@ impl EvalError {
         match self {
             EvalError::NodeBudget { .. } => "node_visits",
             EvalError::Depth { .. } => "eval_depth",
+            EvalError::Cancelled(_) => "cancelled",
         }
+    }
+
+    /// `true` for cancellations — abandoned requests, as opposed to
+    /// inputs that genuinely exceeded a configured cap.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EvalError::Cancelled(_))
     }
 }
 
@@ -132,6 +159,7 @@ impl fmt::Display for EvalError {
             EvalError::Depth { limit } => {
                 write!(f, "path evaluation nested deeper than {limit} levels")
             }
+            EvalError::Cancelled(r) => write!(f, "path evaluation cancelled: {r}"),
         }
     }
 }
@@ -158,6 +186,21 @@ mod tests {
         assert!(d.max_node_visits >= 1_000_000);
         assert!(d.max_eval_depth >= 16);
         assert_eq!(EvalLimits::unlimited().max_node_visits, u64::MAX);
+    }
+
+    #[test]
+    fn shared_budget_polls_its_cancel_token() {
+        let t = CancelToken::never();
+        let pool = SharedBudget::with_cancel(1000, t.clone());
+        assert!(pool.take(10).is_ok());
+        t.cancel();
+        let e = pool.take(1).unwrap_err();
+        assert_eq!(e, EvalError::Cancelled(CancelReason::Explicit));
+        assert!(e.is_cancelled());
+        assert_eq!(e.kind(), "cancelled");
+        // A plain pool has no token to consult.
+        assert!(!EvalError::NodeBudget { limit: 1 }.is_cancelled());
+        assert!(SharedBudget::new(5).take(5).is_ok());
     }
 
     #[test]

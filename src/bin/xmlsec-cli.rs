@@ -12,7 +12,9 @@
 //! xmlsec-cli serve    --addr 127.0.0.1:8080 --doc F --uri U [--dtd F --dtd-uri U]
 //!                     [--xacl F]... [--dir F] [--cred user:pass]...
 //!                     [--workers N] [--backlog N] [--read-timeout-ms N]
-//!                     [--write-timeout-ms N] [--max-input-bytes N] [--max-depth N]
+//!                     [--write-timeout-ms N] [--deadline-ms N] [--shed-adaptive on|off]
+//!                     [--shed-target-ms N] [--shed-interval-ms N]
+//!                     [--max-input-bytes N] [--max-depth N]
 //!                     [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
 //!                     [--compile on|off]
 //! xmlsec-cli compile  <dtd> <xacl> --user NAME --ip IP --host H
@@ -78,6 +80,8 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
   xacl:     --xacl F
   serve:    --addr A:P (--site DIR | --doc F --uri U [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--cred user:pass]...)
             pool: [--workers N] [--backlog N] [--read-timeout-ms N] [--write-timeout-ms N]
+            robustness: [--deadline-ms N (per-request deadline; 0=off)] [--shed-adaptive on|off]
+                        [--shed-target-ms N] [--shed-interval-ms N]
             cache: [--cache-capacity N (bound the view cache; 0=off)]
             limits: [--max-input-bytes N] [--max-depth N] [--max-nodes N] [--max-entity-expansion N] [--max-node-visits N]
             parallel: [--par-threads N (0=auto)] [--par-threshold NODES]
@@ -336,6 +340,23 @@ fn serve_config(
     }
     if let Some(ms) = parse_num(o, "write-timeout-ms")? {
         cfg.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    // End-to-end deadline per request; 0 turns the server-side deadline
+    // off (clients can still send X-Request-Deadline).
+    if let Some(ms) = parse_num::<u64>(o, "deadline-ms")? {
+        cfg.request_deadline =
+            (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    match o.opt("shed-adaptive") {
+        None | Some("on") => {}
+        Some("off") => cfg.shed_adaptive = false,
+        Some(other) => return Err(format!("--shed-adaptive must be on or off, got {other:?}")),
+    }
+    if let Some(ms) = parse_num(o, "shed-target-ms")? {
+        cfg.shed_target = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = parse_num(o, "shed-interval-ms")? {
+        cfg.shed_interval = std::time::Duration::from_millis(ms);
     }
     let mut limits = xmlsec::core::ResourceLimits::default();
     if let Some(n) = parse_num(o, "max-input-bytes")? {

@@ -282,12 +282,14 @@ fn check_compiled_case(dtd_text: &str, root: &str, xml: &str, auths: &[Authoriza
                 parallelism: Parallelism::sequential(),
                 decisions: None,
                 compiled: None,
+                cancel: None,
             };
             let compiled = EngineOptions {
                 limits: ResourceLimits::default_limits().xpath,
                 parallelism: Parallelism::sequential(),
                 decisions: None,
                 compiled: Some(&cp),
+                cancel: None,
             };
             let (vi, si) = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &interpreted)
                 .expect("default limits fit the generated instances");
@@ -314,12 +316,14 @@ fn check_compiled_case(dtd_text: &str, root: &str, xml: &str, auths: &[Authoriza
                 parallelism: Parallelism::sequential(),
                 decisions: None,
                 compiled: None,
+                cancel: None,
             };
             let tight_comp = EngineOptions {
                 limits: tight,
                 parallelism: Parallelism::sequential(),
                 decisions: None,
                 compiled: Some(&cp),
+                cancel: None,
             };
             let ti = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &tight_interp);
             let tc = compute_view_engine(&doc, &axml, &adtd, &dir, policy, &tight_comp);

@@ -445,6 +445,23 @@ fn bad_usage_exits_nonzero_with_usage() {
 }
 
 #[test]
+fn serve_robustness_flags_are_validated_before_binding() {
+    // Malformed deadline/shedding flags must fail fast with a typed
+    // message, before the server ever binds a socket.
+    let bad_deadline = run(&["serve", "--deadline-ms", "soon"]);
+    assert!(!bad_deadline.status.success());
+    assert!(stderr(&bad_deadline).contains("--deadline-ms must be a number"));
+
+    let bad_shed = run(&["serve", "--shed-adaptive", "maybe"]);
+    assert!(!bad_shed.status.success());
+    assert!(stderr(&bad_shed).contains("--shed-adaptive must be on or off"));
+
+    let bad_target = run(&["serve", "--shed-target-ms", "fast"]);
+    assert!(!bad_target.status.success());
+    assert!(stderr(&bad_target).contains("--shed-target-ms must be a number"));
+}
+
+#[test]
 fn fixture_paths_are_absolute() {
     // Sanity: fixtures must not depend on the CWD of the test runner.
     let f = Fixture::new("abs");

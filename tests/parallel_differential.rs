@@ -74,7 +74,7 @@ fn engine_opts(threads: usize, limits: EvalLimits) -> EngineOptions<'static> {
     } else {
         Parallelism::threads(threads).with_seq_threshold(0).exact()
     };
-    EngineOptions { limits, parallelism, decisions: None, compiled: None }
+    EngineOptions { limits, parallelism, decisions: None, compiled: None, cancel: None }
 }
 
 fn run(

@@ -207,7 +207,17 @@ fn injected_faults_are_isolated_and_observable() {
             Ok(n) if n > 0 => {
                 let head = String::from_utf8_lossy(&peek[..n]).into_owned();
                 if head.starts_with("HTTP/1.0 503") {
-                    assert!(head.contains("Retry-After:"), "{head}");
+                    // The hint must be a well-formed integer-seconds
+                    // value a client can feed straight to a backoff
+                    // timer, priced within the advertised clamp.
+                    let secs: u64 = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Retry-After: "))
+                        .expect("503 must carry Retry-After")
+                        .trim()
+                        .parse()
+                        .expect("Retry-After must be integer seconds");
+                    assert!((1..=30).contains(&secs), "{head}");
                     shed_seen += 1;
                 }
             }
@@ -249,6 +259,59 @@ fn injected_faults_are_isolated_and_observable() {
     // concurrently, so assert registration and sanity, not emptiness.
     assert!(value("xmlsec_server_queue_depth") >= 0, "{metrics}");
     clear();
+}
+
+/// Keep-alive + slow-loris interaction on a single-worker pool. A
+/// client that asks for keep-alive and pipelines a second request gets
+/// exactly one response (the demo speaks strict one-shot HTTP/1.0, and
+/// the disconnect watchdog silently drains the pipelined leftovers),
+/// and a loris reaped mid-request right after it must leave the worker
+/// clean: the next request on that same worker is served untainted.
+#[test]
+fn keepalive_pipelining_and_loris_do_not_poison_the_worker() {
+    let cfg = HttpConfig {
+        workers: 1,
+        read_timeout: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let demo = HttpDemo::start_with(base_server(), "127.0.0.1:0", cfg).expect("bind");
+
+    // 1. Keep-alive request with a pipelined follow-up in the same
+    // segment: exactly one response, then a clean close. The trailing
+    // bytes must be discarded, never parsed as a second request.
+    let mut conn = TcpStream::connect(demo.addr()).expect("connect");
+    write!(
+        conn,
+        "GET {OK_TARGET} HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n\
+         GET {OK_TARGET} HTTP/1.0\r\nHost: t\r\n\r\n"
+    )
+    .expect("write");
+    let mut buf = String::new();
+    conn.read_to_string(&mut buf).expect("read");
+    assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
+    assert!(buf.contains("hello"), "{buf}");
+    assert_eq!(
+        buf.matches("HTTP/1.0 ").count(),
+        1,
+        "pipelined bytes must be discarded, not answered: {buf}"
+    );
+
+    // 2. A slow loris on the same (only) worker, reaped by the read
+    // timeout mid-request-line.
+    let mut loris = TcpStream::connect(demo.addr()).expect("connect");
+    write!(loris, "GET /doc.xml?user=to").expect("write");
+    loris.flush().expect("flush");
+    let t = Instant::now();
+    let mut lbuf = String::new();
+    let _ = loris.read_to_string(&mut lbuf);
+    assert!(t.elapsed() < Duration::from_secs(3), "loris was not reaped");
+    assert!(lbuf.is_empty() || lbuf.starts_with("HTTP/1.0 408"), "{lbuf}");
+
+    // 3. The worker that just serviced both misbehaving connections
+    // serves a fresh request with no leftover state.
+    let (code, body) = get(&demo, OK_TARGET);
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("hello"), "{body}");
 }
 
 /// Cache churn under adversarial conditions: content mutated every
