@@ -10,7 +10,10 @@
 //! interpreted labeling on guaranteed-heavy corpora), and B16
 //! (cancellation responsiveness: p99 latency from `cancel()` to the
 //! pipeline unwinding, and the deadline-check overhead an armed token
-//! adds to the uncancelled hot path) — and writes them as flat JSON at
+//! adds to the uncancelled hot path), and B17 (serving-tier concurrency:
+//! slow-client connection capacity of the epoll event loop vs the
+//! blocking pool at equal worker count, plus open-loop p50/p99/p999
+//! latency per transport) — and writes them as flat JSON at
 //! the repo root (`BENCH_<n+1>.json` by default, one past the highest
 //! checked-in point, so the series extends without workflow edits) —
 //! every PR leaves a perf record the next PR is judged against. The
@@ -34,11 +37,19 @@
 //!   on either corpus (the acceptance target is 2x; the gate is set
 //!   conservatively so shared-runner noise does not flake CI);
 //! - B16's cancellation p99 latency exceeds 10 ms, or an armed deadline
-//!   token slows the uncancelled pipeline by more than 5%.
+//!   token slows the uncancelled pipeline by more than 5%;
+//! - B17's event loop sustains fewer than 4x the blocking pool's
+//!   concurrent slow-client connections at equal worker count, or any
+//!   open-loop client observes a malformed or untyped-5xx response.
+//!   B17's latency keys are *excluded* from the 15% drift gate — they
+//!   are tail latencies over real sockets and far too noisy for it; the
+//!   concurrency ratio is the stable, gated signal.
 //!
 //! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
 
 use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 use xmlsec_bench::{
     financial_compiled_scenario, hospital_compiled_scenario, hospital_scenario, lab_scenario,
@@ -50,10 +61,13 @@ use xmlsec_core::{
     ProcessorOptions, ResourceLimits, SecurityProcessor,
 };
 use xmlsec_dtd::parse_dtd;
-use xmlsec_server::{ClientRequest, ConditionalOutcome, SecureServer};
+use xmlsec_server::{
+    AnyDemo, ClientRequest, ConditionalOutcome, HttpConfig, SecureServer, Transport,
+};
 use xmlsec_workload::laboratory::{
     lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
 };
+use xmlsec_workload::{run_open_loop, OpenLoopConfig};
 use xmlsec_xml::{serialize, SerializeOptions};
 
 /// Allowed slowdown vs the checked-in baseline before the gate trips.
@@ -67,6 +81,9 @@ const CANCEL_P99_GATE_MS: f64 = 10.0;
 /// Ceiling on the slowdown an armed deadline token may add to the
 /// uncancelled pipeline (B16), percent.
 const DEADLINE_OVERHEAD_GATE_PCT: f64 = 5.0;
+/// Required ratio of epoll-sustained to pool-sustained concurrent
+/// slow-client connections at equal worker count (B17).
+const CONCURRENCY_RATIO_GATE: f64 = 4.0;
 
 struct Config {
     batches: usize,
@@ -105,6 +122,61 @@ fn pipeline_processor(limits: ResourceLimits) -> SecurityProcessor {
 fn run_pipeline(processor: &SecurityProcessor, xml: &str, request: &AccessRequest) -> usize {
     let source = DocumentSource { xml, dtd: Some(LAB_DTD), dtd_uri: Some(LAB_DTD_URI) };
     processor.process(request, &source).expect("pipeline").xml.len()
+}
+
+/// A fresh lab-corpus server for the B17 serving-tier measurements
+/// (each transport consumes its own instance).
+fn b17_server(projects: usize) -> SecureServer {
+    let mut server = SecureServer::new(lab_directory(), lab_authorization_base());
+    server.register_credentials("Tom", "pw");
+    server.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    let xml = serialize(
+        &xmlsec_workload::laboratory_scaled(projects, 11),
+        &SerializeOptions::canonical(),
+    );
+    server.repository_mut().put_document(CSLAB_URI, &xml, Some(LAB_DTD_URI));
+    server
+}
+
+/// One warm-up GET so the view cache is hot before measurement.
+fn b17_warm(addr: SocketAddr, target: &str) {
+    let Ok(mut conn) = TcpStream::connect(addr) else { return };
+    let _ = conn.write_all(format!("GET {target} HTTP/1.0\r\nHost: w\r\n\r\n").as_bytes());
+    let mut buf = String::new();
+    let _ = conn.read_to_string(&mut buf);
+}
+
+/// How many of `clients` concurrent *slow* clients (each dribbles its
+/// request over ~300 ms) complete with a 200. On the blocking pool every
+/// in-flight connection pins a worker, so capacity is `workers +
+/// backlog` and the rest shed 503; the event loop holds them all.
+fn b17_sustained(addr: SocketAddr, clients: usize, target: &str) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let Ok(mut conn) = TcpStream::connect(addr) else { return false };
+                    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+                    let req = format!("GET {target} HTTP/1.0\r\nHost: b\r\n\r\n");
+                    let (head, tail) = req.split_at(10);
+                    if conn.write_all(head.as_bytes()).is_err() {
+                        return false;
+                    }
+                    let _ = conn.flush();
+                    std::thread::sleep(Duration::from_millis(300));
+                    // A shed client's socket is already closed (503
+                    // written at accept); the failed write is its answer.
+                    let _ = conn.write_all(tail.as_bytes());
+                    let mut buf = String::new();
+                    if conn.read_to_string(&mut buf).is_err() {
+                        return false;
+                    }
+                    buf.starts_with("HTTP/1.0 200")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(false)).filter(|&ok| ok).count()
+    })
 }
 
 /// Parses the flat one-level JSON this tool writes: string and numeric
@@ -368,6 +440,78 @@ fn main() {
          ({b16_overhead_pct:+.2}% vs B10)"
     );
 
+    // B17 — serving-tier concurrency and open-loop tail latency over
+    // real sockets, both transports.
+    //
+    // (a) Concurrent-connection capacity at equal worker count: 64 slow
+    // clients dribble their requests against workers=2/backlog=2. The
+    // blocking pool pins a worker per in-flight connection, so only
+    // ~workers+backlog complete; the event loop holds all of them.
+    let b17_target = format!("/{CSLAB_URI}?user=Tom&pass=pw&ip=130.100.50.8&host=infosys.bld1.it");
+    let b17_clients = 64usize;
+    let cap_cfg = HttpConfig { workers: 2, backlog: 2, ..Default::default() };
+    let mut sustained = [0usize; 2];
+    for (i, transport) in [Transport::Pool, Transport::Epoll].iter().enumerate() {
+        let mut demo =
+            AnyDemo::start_with(*transport, b17_server(cfg.projects), "127.0.0.1:0", cap_cfg)
+                .expect("bind B17 capacity server");
+        b17_warm(demo.addr(), &b17_target);
+        sustained[i] = b17_sustained(demo.addr(), b17_clients, &b17_target);
+        demo.shutdown();
+    }
+    let (b17_pool_sustained, b17_epoll_sustained) = (sustained[0], sustained[1]);
+    let b17_concurrency_ratio = b17_epoll_sustained as f64 / b17_pool_sustained.max(1) as f64;
+    eprintln!(
+        "  b17 sustained slow clients: pool {b17_pool_sustained}/{b17_clients}, \
+         epoll {b17_epoll_sustained}/{b17_clients} ({b17_concurrency_ratio:.1}x)"
+    );
+
+    // (b) Open-loop tail latency: a fixed arrival schedule (not
+    // closed-loop) of warm hits, 304 revalidations, cache-miss queries
+    // and slow clients, per transport. Departures do not wait for
+    // completions, so queueing behind a backlogged server is measured
+    // instead of hidden (no coordinated omission).
+    let ol_cfg = OpenLoopConfig {
+        seed: 0xB17,
+        requests: if quick { 150 } else { 400 },
+        rate: 250.0,
+        ..Default::default()
+    };
+    let mut ol_reports = Vec::with_capacity(2);
+    for transport in [Transport::Pool, Transport::Epoll] {
+        let mut demo = AnyDemo::start_with(
+            transport,
+            b17_server(cfg.projects),
+            "127.0.0.1:0",
+            HttpConfig::default(),
+        )
+        .expect("bind B17 open-loop server");
+        let report = run_open_loop(
+            demo.addr(),
+            &OpenLoopConfig { view_target: b17_target.clone(), ..ol_cfg.clone() },
+        );
+        demo.shutdown();
+        eprintln!(
+            "  b17 {transport}: {} answered at {:.0} rps, p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms \
+             (shed {}, aborted {}, malformed {})",
+            report.answered(),
+            report.throughput(),
+            report.percentile(0.5).as_secs_f64() * 1e3,
+            report.percentile(0.99).as_secs_f64() * 1e3,
+            report.percentile(0.999).as_secs_f64() * 1e3,
+            report.shed,
+            report.aborted,
+            report.malformed,
+        );
+        ol_reports.push(report);
+    }
+    let p_ms = |i: usize, q: f64| ol_reports[i].percentile(q).as_secs_f64() * 1e3;
+    let (b17_pool_p50_ms, b17_pool_p99_ms, b17_pool_p999_ms) =
+        (p_ms(0, 0.5), p_ms(0, 0.99), p_ms(0, 0.999));
+    let (b17_epoll_p50_ms, b17_epoll_p99_ms, b17_epoll_p999_ms) =
+        (p_ms(1, 0.5), p_ms(1, 0.99), p_ms(1, 0.999));
+    let (b17_pool_rps, b17_epoll_rps) = (ol_reports[0].throughput(), ol_reports[1].throughput());
+
     let regression_gated = !no_gate && baseline_path(&out).is_some();
 
     let json = format!(
@@ -389,6 +533,17 @@ fn main() {
          \"b16_cancelled_runs\": {b16_cancelled_runs},\n  \
          \"b16_deadline_pipeline_ms\": {b16_deadline_pipeline_ms:.4},\n  \
          \"b16_overhead_pct\": {b16_overhead_pct:.4},\n  \
+         \"b17_pool_sustained\": {b17_pool_sustained},\n  \
+         \"b17_epoll_sustained\": {b17_epoll_sustained},\n  \
+         \"b17_concurrency_ratio\": {b17_concurrency_ratio:.4},\n  \
+         \"b17_pool_p50_ms\": {b17_pool_p50_ms:.4},\n  \
+         \"b17_pool_p99_ms\": {b17_pool_p99_ms:.4},\n  \
+         \"b17_pool_p999_ms\": {b17_pool_p999_ms:.4},\n  \
+         \"b17_pool_rps\": {b17_pool_rps:.2},\n  \
+         \"b17_epoll_p50_ms\": {b17_epoll_p50_ms:.4},\n  \
+         \"b17_epoll_p99_ms\": {b17_epoll_p99_ms:.4},\n  \
+         \"b17_epoll_p999_ms\": {b17_epoll_p999_ms:.4},\n  \
+         \"b17_epoll_rps\": {b17_epoll_rps:.2},\n  \
          \"regression_gated\": {}\n}}\n",
         if b12_gated { 1 } else { 0 },
         if regression_gated { 1 } else { 0 },
@@ -405,7 +560,10 @@ fn main() {
             let old = parse_flat_json(&text);
             let new = parse_flat_json(&json);
             for (key, new_v) in &new {
-                if !key.ends_with("_ms") {
+                // B17's open-loop latencies are tails over real sockets
+                // — far too noisy for a 15% drift gate; B17 is gated on
+                // the concurrency ratio below instead.
+                if !key.ends_with("_ms") || key.starts_with("b17_") {
                     continue;
                 }
                 let Some((_, old_v)) = old.iter().find(|(k, _)| k == key) else { continue };
@@ -455,6 +613,25 @@ fn main() {
                 "B16 armed-deadline overhead {b16_overhead_pct:.2}% exceeds the \
                  {DEADLINE_OVERHEAD_GATE_PCT}% gate"
             ));
+        }
+    }
+
+    if !no_gate {
+        if b17_concurrency_ratio < CONCURRENCY_RATIO_GATE {
+            failures.push(format!(
+                "B17 epoll transport sustained only {b17_concurrency_ratio:.1}x the pool's \
+                 concurrent slow clients ({b17_epoll_sustained} vs {b17_pool_sustained}); the \
+                 gate is {CONCURRENCY_RATIO_GATE}x"
+            ));
+        }
+        for (transport, r) in [("pool", &ol_reports[0]), ("epoll", &ol_reports[1])] {
+            if r.malformed > 0 || r.server_error > 0 {
+                failures.push(format!(
+                    "B17 open-loop clients saw {} malformed and {} untyped-5xx responses over \
+                     the {transport} transport",
+                    r.malformed, r.server_error
+                ));
+            }
         }
     }
 

@@ -54,7 +54,6 @@ pub use compile::{
     compile, schema_hash, CompileError, CompiledCache, CompiledCell, CompiledPolicy, ResidualCheck,
 };
 pub use decision::{policy_fingerprint, DecisionCache, DecisionKey};
-pub use xmlsec_xml::cancel::{CancelReason, CancelToken, Cancelled};
 pub use label::{first_def, Label, Sign3};
 pub use limits::ResourceLimits;
 pub use naive::{compute_view_naive, naive_final_sign};
@@ -70,6 +69,7 @@ pub use view::{
     compute_view, compute_view_engine, compute_view_limited, label_document, label_document_engine,
     label_document_limited, prune_document, render_labeled, EngineOptions, Labeling, ViewStats,
 };
+pub use xmlsec_xml::cancel::{CancelReason, CancelToken, Cancelled};
 
 // Re-export the policy types users need at this level.
 pub use xmlsec_authz::{CompletenessPolicy, ConflictResolution, PolicyConfig};

@@ -435,8 +435,8 @@ mod tests {
         // Pre-tripped token: the inline path refuses the first task.
         let t = CancelToken::never();
         t.cancel_with(CancelReason::ClientGone);
-        let e = run_tasks_cancellable(1, vec![1, 2, 3], Some(&t), || (), |(), &x: &i32| x)
-            .unwrap_err();
+        let e =
+            run_tasks_cancellable(1, vec![1, 2, 3], Some(&t), || (), |(), &x: &i32| x).unwrap_err();
         assert_eq!(e.reason, CancelReason::ClientGone);
 
         // Fan-out path: a task side effect trips the token, so sibling

@@ -1,0 +1,1393 @@
+//! Readiness-driven event-loop transport (Linux `epoll`).
+//!
+//! The blocking pool in [`crate::http`] pins one thread per in-flight
+//! connection, so slow clients cap concurrency at pool size. This module
+//! rebuilds the front end as a single-threaded event loop: nonblocking
+//! accept, incremental request framing and response writing with a
+//! per-connection state machine, and keep-alive / pipelined requests.
+//! Connection count and CPU budget scale independently — the loop holds
+//! thousands of idle or dribbling sockets for the cost of a buffer each,
+//! while *compute* (cache-miss view assembly, queries) is handed to the
+//! same bounded worker pool as before, whose pipeline stages lease cores
+//! from the global `par::lease` budget.
+//!
+//! What the loop serves inline, without a worker:
+//!
+//! - `/metrics`, 400s, 431s, 408s, and 503 sheds;
+//! - warm cache hits and `If-None-Match` → 304 revalidations, via
+//!   [`SecureServer::handle_cache_only`] (authentication included — a
+//!   probe is a few hash lookups, safe on the loop thread).
+//!
+//! Everything else (a *cold* view, any query) becomes a [`Job`] on the
+//! bounded queue; the worker applies the same CoDel admission control at
+//! dequeue, runs the cancellable pipeline, and posts the rendered bytes
+//! back as a [`Done`] completion, waking the loop through an `eventfd`.
+//!
+//! The robustness contract of the pool transport carries over bit for
+//! bit — both transports render through the same `render_*` functions in
+//! [`crate::http`], so a given (status, body, headers) triple is
+//! byte-identical; the only sanctioned difference is the `Connection:
+//! keep-alive` header on connections the loop keeps open. Client hangups
+//! are detected by *readiness* (`EPOLLRDHUP`/EOF) instead of the pool's
+//! per-request watchdog thread: the moment the peer closes, the loop
+//! trips the in-flight request's [`CancelToken`] with
+//! [`CancelReason::ClientGone`] and discards the completion.
+//!
+//! Zero dependencies: the four syscalls used (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `eventfd`) are declared by hand against
+//! the libc that std already links. Non-Linux builds keep the public
+//! types but [`EpollDemo::start_with`] returns
+//! [`std::io::ErrorKind::Unsupported`].
+
+use std::net::SocketAddr;
+use std::str::FromStr;
+
+use crate::http::{HttpConfig, HttpDemo};
+use crate::server::SecureServer;
+
+/// Which HTTP front end `serve` runs.
+///
+/// The blocking pool remains available as a differential oracle for the
+/// event loop: both transports answer a fixed request script with
+/// byte-identical responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// The bounded blocking worker pool ([`HttpDemo`], PR 2).
+    #[default]
+    Pool,
+    /// The readiness-driven event loop ([`EpollDemo`], Linux only).
+    Epoll,
+}
+
+impl FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Transport, String> {
+        match s {
+            "pool" => Ok(Transport::Pool),
+            "epoll" => Ok(Transport::Epoll),
+            other => Err(format!("unknown transport {other:?} (expected pool|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transport::Pool => "pool",
+            Transport::Epoll => "epoll",
+        })
+    }
+}
+
+/// A running demo server over either transport, so callers (the CLI,
+/// benches, chaos tests) select the front end at runtime.
+pub enum AnyDemo {
+    /// Blocking worker-pool transport.
+    Pool(HttpDemo),
+    /// Event-loop transport.
+    Epoll(EpollDemo),
+}
+
+impl AnyDemo {
+    /// Starts `server` on `addr` over `transport` with explicit bounds.
+    pub fn start_with(
+        transport: Transport,
+        server: SecureServer,
+        addr: &str,
+        cfg: HttpConfig,
+    ) -> std::io::Result<AnyDemo> {
+        match transport {
+            Transport::Pool => Ok(AnyDemo::Pool(HttpDemo::start_with(server, addr, cfg)?)),
+            Transport::Epoll => Ok(AnyDemo::Epoll(EpollDemo::start_with(server, addr, cfg)?)),
+        }
+    }
+
+    /// Starts with default limits.
+    pub fn start(
+        transport: Transport,
+        server: SecureServer,
+        addr: &str,
+    ) -> std::io::Result<AnyDemo> {
+        AnyDemo::start_with(transport, server, addr, HttpConfig::default())
+    }
+
+    /// Where the demo is listening.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            AnyDemo::Pool(d) => d.addr(),
+            AnyDemo::Epoll(d) => d.addr(),
+        }
+    }
+
+    /// Stops accepting and drains in-flight work up to the configured
+    /// drain deadline.
+    pub fn shutdown(&mut self) {
+        match self {
+            AnyDemo::Pool(d) => d.shutdown(),
+            AnyDemo::Epoll(d) => d.shutdown(),
+        }
+    }
+}
+
+pub use imp::EpollDemo;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use crate::http::{self, Admission, HttpConfig};
+    use crate::server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError};
+    use std::collections::HashMap;
+    use std::fs::File;
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::os::raw::c_int;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+    use std::sync::{Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+    use xmlsec_core::{CancelReason, CancelToken};
+    use xmlsec_telemetry as telemetry;
+
+    #[cfg(feature = "faults")]
+    use crate::faults;
+    #[cfg(not(feature = "faults"))]
+    mod faults {
+        // No-op shim: release builds carry no injection hooks.
+        pub(crate) fn check(_point: &str) -> bool {
+            false
+        }
+    }
+
+    /// Hand-declared bindings for the four syscalls the loop needs; the
+    /// symbols live in the libc std already links, so this adds no
+    /// dependency.
+    mod sys {
+        use std::os::raw::{c_int, c_uint};
+
+        /// Mirrors `struct epoll_event`. The kernel ABI packs it on
+        /// x86-64 (12 bytes); other architectures use natural layout.
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub(super) struct EpollEvent {
+            pub(super) events: u32,
+            pub(super) data: u64,
+        }
+
+        pub(super) const EPOLLIN: u32 = 0x001;
+        pub(super) const EPOLLOUT: u32 = 0x004;
+        pub(super) const EPOLLERR: u32 = 0x008;
+        pub(super) const EPOLLHUP: u32 = 0x010;
+        pub(super) const EPOLLRDHUP: u32 = 0x2000;
+        pub(super) const EPOLL_CTL_ADD: c_int = 1;
+        pub(super) const EPOLL_CTL_DEL: c_int = 2;
+        pub(super) const EPOLL_CTL_MOD: c_int = 3;
+        pub(super) const EPOLL_CLOEXEC: c_int = 0x80000;
+        pub(super) const EFD_CLOEXEC: c_int = 0x80000;
+        pub(super) const EFD_NONBLOCK: c_int = 0x800;
+
+        extern "C" {
+            pub(super) fn epoll_create1(flags: c_int) -> c_int;
+            pub(super) fn epoll_ctl(
+                epfd: c_int,
+                op: c_int,
+                fd: c_int,
+                event: *mut EpollEvent,
+            ) -> c_int;
+            pub(super) fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub(super) fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        }
+    }
+
+    /// RAII epoll instance.
+    struct Epoll {
+        fd: OwnedFd,
+    }
+
+    impl Epoll {
+        fn new() -> std::io::Result<Epoll> {
+            let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+            let mut ev = sys::EpollEvent { events, data: token };
+            let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+            if rc < 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        /// Waits up to `timeout_ms`, retrying `EINTR`; returns the number
+        /// of ready events (0 on timeout or unrecoverable error — the
+        /// caller's tick loop makes progress either way).
+        fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: c_int) -> usize {
+            loop {
+                let rc = unsafe {
+                    sys::epoll_wait(
+                        self.fd.as_raw_fd(),
+                        events.as_mut_ptr(),
+                        events.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    return rc as usize;
+                }
+                if std::io::Error::last_os_error().kind() != std::io::ErrorKind::Interrupted {
+                    return 0;
+                }
+            }
+        }
+    }
+
+    fn eventfd_file() -> std::io::Result<File> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(unsafe { File::from_raw_fd(fd) })
+    }
+
+    pub(crate) fn open_connections() -> Arc<telemetry::Gauge> {
+        telemetry::global().gauge(
+            "xmlsec_server_open_connections",
+            "Connections currently registered with the event loop.",
+            &[],
+        )
+    }
+
+    /// Loop tick: the longest the loop sleeps between deadline sweeps.
+    const TICK_MS: c_int = 25;
+    /// How long a rejected (431) connection lingers discarding the
+    /// client's in-flight bytes so the close is a clean FIN, mirroring
+    /// the pool's `drain_before_close`.
+    const LINGER: Duration = Duration::from_millis(200);
+    /// Event-loop tokens 0 and 1 are the listener and the wake eventfd;
+    /// connections start at 2.
+    const TOK_LISTENER: u64 = 0;
+    const TOK_WAKE: u64 = 1;
+    const TOK_FIRST_CONN: u64 = 2;
+
+    /// Compute handed to a worker: everything the loop could not answer
+    /// from already-computed state.
+    struct Job {
+        conn: u64,
+        client: ClientRequest,
+        query: Option<String>,
+        if_none_match: Option<String>,
+        cancel: CancelToken,
+        keep_alive: bool,
+        enqueued: Instant,
+    }
+
+    /// A worker's rendered completion. Empty `bytes` means "close
+    /// silently" (vanished client, injected disconnect).
+    struct Done {
+        conn: u64,
+        bytes: Vec<u8>,
+        close: bool,
+    }
+
+    /// Per-connection state machine: inbound framing buffer, outbound
+    /// response buffer, and the flags that drive it between `Reading`,
+    /// `Computing`, `Writing`, and `Lingering`.
+    struct Conn {
+        sock: TcpStream,
+        peer_ip: String,
+        /// Unparsed inbound bytes (may already hold pipelined requests).
+        buf: Vec<u8>,
+        /// Rendered-but-unwritten response bytes.
+        out: Vec<u8>,
+        out_pos: usize,
+        /// A worker is computing this connection's current request.
+        computing: bool,
+        cancel: Option<CancelToken>,
+        /// Post-431 drain window: inbound discarded, close at expiry.
+        lingering: Option<Instant>,
+        close_after_write: bool,
+        /// Peer hung up while a worker was computing; the completion is
+        /// discarded when it arrives.
+        gone: bool,
+        /// fd already removed from the epoll set (stops level-triggered
+        /// EOF spin on `gone` connections).
+        deregistered: bool,
+        read_deadline: Instant,
+        write_deadline: Option<Instant>,
+        /// `EPOLLOUT` currently armed.
+        want_out: bool,
+        /// Responses completed on this connection (0 ⇒ a read timeout is
+        /// a slow loris worth a 408; >0 ⇒ it is an idle keep-alive).
+        served: u64,
+    }
+
+    impl Conn {
+        fn new(sock: TcpStream, peer_ip: String, read_deadline: Instant) -> Conn {
+            Conn {
+                sock,
+                peer_ip,
+                buf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                computing: false,
+                cancel: None,
+                lingering: None,
+                close_after_write: false,
+                gone: false,
+                deregistered: false,
+                read_deadline,
+                write_deadline: None,
+                want_out: false,
+                served: 0,
+            }
+        }
+
+        fn push_out(&mut self, bytes: &[u8]) {
+            self.out.extend_from_slice(bytes);
+        }
+
+        fn out_drained(&self) -> bool {
+            self.out_pos >= self.out.len()
+        }
+    }
+
+    /// Outcome of scanning the inbound buffer for one complete request
+    /// head (request line + headers + blank line).
+    enum HeadScan {
+        Incomplete,
+        LineTooLong,
+        HeadersTooLong,
+        /// Byte length of the complete head, terminator included.
+        Complete(usize),
+    }
+
+    /// Incremental equivalent of the pool's bounded line reads: the
+    /// request line (terminator included) may not exceed `max_line`, the
+    /// cumulative header lines may not exceed `max_header`.
+    fn scan_head(buf: &[u8], max_line: usize, max_header: usize) -> HeadScan {
+        let line_end = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if i + 1 > max_line {
+                    return HeadScan::LineTooLong;
+                }
+                i + 1
+            }
+            None => {
+                if buf.len() > max_line {
+                    return HeadScan::LineTooLong;
+                }
+                return HeadScan::Incomplete;
+            }
+        };
+        let mut pos = line_end;
+        let mut header_bytes = 0usize;
+        loop {
+            let rest = &buf[pos..];
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    let line = &rest[..=i];
+                    if line == b"\n" || line == b"\r\n" {
+                        return HeadScan::Complete(pos + i + 1);
+                    }
+                    header_bytes += line.len();
+                    if header_bytes > max_header {
+                        return HeadScan::HeadersTooLong;
+                    }
+                    pos += i + 1;
+                }
+                None => {
+                    if header_bytes + rest.len() > max_header {
+                        return HeadScan::HeadersTooLong;
+                    }
+                    return HeadScan::Incomplete;
+                }
+            }
+        }
+    }
+
+    /// The parsed head: the request line plus the three headers the demo
+    /// honours, and the keep-alive decision (explicit `Connection`
+    /// header wins; otherwise HTTP/1.1 defaults to keep-alive, HTTP/1.0
+    /// to close).
+    struct Head {
+        line: String,
+        if_none_match: Option<String>,
+        deadline_ms: Option<u64>,
+        keep_alive: bool,
+    }
+
+    fn parse_head(head: &str) -> Head {
+        let mut it = head.lines();
+        let line = it.next().unwrap_or("").to_string();
+        let http11 = line
+            .split_whitespace()
+            .nth(2)
+            .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
+        let mut if_none_match = None;
+        let mut deadline_ms = None;
+        let mut ka_header: Option<bool> = None;
+        for h in it {
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                let name = name.trim();
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("if-none-match") {
+                    if_none_match = Some(value.to_string());
+                } else if name.eq_ignore_ascii_case("x-request-deadline") {
+                    // Advisory header; unparsable values are ignored.
+                    deadline_ms = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("connection") {
+                    let v = value.to_ascii_lowercase();
+                    if v.contains("keep-alive") {
+                        ka_header = Some(true);
+                    } else if v.contains("close") {
+                        ka_header = Some(false);
+                    }
+                }
+            }
+        }
+        Head { line, if_none_match, deadline_ms, keep_alive: ka_header.unwrap_or(http11) }
+    }
+
+    struct EventLoop {
+        ep: Epoll,
+        listener: TcpListener,
+        server: Arc<SecureServer>,
+        cfg: HttpConfig,
+        admission: Arc<Admission>,
+        depth: Arc<telemetry::Gauge>,
+        open: Arc<telemetry::Gauge>,
+        conns: HashMap<u64, Conn>,
+        next_token: u64,
+        tx: SyncSender<Job>,
+        completions: Arc<Mutex<Vec<Done>>>,
+        wake: Arc<File>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl EventLoop {
+        fn run(mut self) {
+            let mut events = [sys::EpollEvent { events: 0, data: 0 }; 64];
+            let mut draining: Option<Instant> = None;
+            loop {
+                if draining.is_none() && self.stop.load(Ordering::SeqCst) {
+                    // Stop accepting; idle connections close now, busy
+                    // ones get the drain window to finish.
+                    let _ = self.ep.ctl(sys::EPOLL_CTL_DEL, self.listener.as_raw_fd(), 0, 0);
+                    let idle: Vec<u64> = self
+                        .conns
+                        .iter()
+                        .filter(|(_, c)| !c.computing && c.out_drained())
+                        .map(|(t, _)| *t)
+                        .collect();
+                    for tok in idle {
+                        if let Some(conn) = self.conns.remove(&tok) {
+                            self.drop_conn(conn);
+                        }
+                    }
+                    draining = Some(Instant::now() + self.cfg.drain_timeout);
+                }
+                if let Some(deadline) = draining {
+                    let busy = self.conns.values().any(|c| c.computing || !c.out_drained());
+                    if !busy || Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let n = self.ep.wait(&mut events, TICK_MS);
+                for ev in events.iter().take(n) {
+                    // Copy out of the (packed) event before use.
+                    let mask = ev.events;
+                    let tok = ev.data;
+                    match tok {
+                        TOK_LISTENER => self.on_accept(),
+                        TOK_WAKE => {
+                            let mut b = [0u8; 8];
+                            let _ = (&*self.wake).read(&mut b);
+                        }
+                        _ => self.on_conn_event(tok, mask),
+                    }
+                }
+                self.apply_completions();
+                self.sweep();
+            }
+            // Whatever remains after the drain window closes abruptly.
+            for (_, conn) in std::mem::take(&mut self.conns) {
+                self.drop_conn(conn);
+            }
+        }
+
+        fn on_accept(&mut self) {
+            loop {
+                match self.listener.accept() {
+                    Ok((sock, peer)) => {
+                        if sock.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let tok = self.next_token;
+                        self.next_token += 1;
+                        if self
+                            .ep
+                            .ctl(
+                                sys::EPOLL_CTL_ADD,
+                                sock.as_raw_fd(),
+                                sys::EPOLLIN | sys::EPOLLRDHUP,
+                                tok,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        self.open.add(1);
+                        let deadline = Instant::now() + self.cfg.read_timeout;
+                        self.conns.insert(tok, Conn::new(sock, peer.ip().to_string(), deadline));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        fn on_conn_event(&mut self, tok: u64, mask: u32) {
+            let Some(mut conn) = self.conns.remove(&tok) else { return };
+            let mut close = false;
+            if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                close = self.readable(tok, &mut conn);
+            }
+            if !close && mask & sys::EPOLLOUT != 0 {
+                close = self.flush(tok, &mut conn);
+            }
+            if close {
+                self.drop_conn(conn);
+            } else {
+                self.conns.insert(tok, conn);
+            }
+        }
+
+        /// Drains the socket into the framing buffer and advances the
+        /// state machine. Returns true when the connection should close.
+        fn readable(&mut self, tok: u64, conn: &mut Conn) -> bool {
+            let cap = self.cfg.max_request_line + self.cfg.max_header_bytes + 1024;
+            let mut scratch = [0u8; 16 * 1024];
+            loop {
+                match conn.sock.read(&mut scratch) {
+                    Ok(0) => return self.peer_closed(conn),
+                    Ok(n) => {
+                        if conn.lingering.is_some() || conn.gone {
+                            continue; // discard: rejected or abandoned
+                        }
+                        if conn.buf.len() + n > cap {
+                            // Pipelined backlog beyond every framing
+                            // budget: drop the connection outright.
+                            return true;
+                        }
+                        conn.buf.extend_from_slice(&scratch[..n]);
+                        conn.read_deadline = Instant::now() + self.cfg.read_timeout;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return self.peer_closed(conn),
+                }
+            }
+            if !conn.computing && conn.lingering.is_none() && self.advance(tok, conn) {
+                return true;
+            }
+            self.flush(tok, conn)
+        }
+
+        /// EOF/reset from the peer. A connection with compute in flight
+        /// is kept (marked `gone`) so the completion can be discarded
+        /// and the gauges settle; its token is cancelled `ClientGone` —
+        /// the readiness-based replacement for the pool's per-request
+        /// watchdog thread.
+        fn peer_closed(&mut self, conn: &mut Conn) -> bool {
+            if conn.computing {
+                conn.gone = true;
+                if let Some(cancel) = &conn.cancel {
+                    cancel.cancel_with(CancelReason::ClientGone);
+                }
+                // Level-triggered EOF would re-fire every tick; drop the
+                // fd from the interest set until the completion arrives.
+                if !conn.deregistered
+                    && self.ep.ctl(sys::EPOLL_CTL_DEL, conn.sock.as_raw_fd(), 0, 0).is_ok()
+                {
+                    conn.deregistered = true;
+                }
+                return false;
+            }
+            true
+        }
+
+        /// Parses as many complete requests out of the buffer as the
+        /// serial-per-connection discipline allows. Returns true when
+        /// the connection should close.
+        fn advance(&mut self, tok: u64, conn: &mut Conn) -> bool {
+            loop {
+                if conn.computing || conn.close_after_write || conn.lingering.is_some() {
+                    return false;
+                }
+                match scan_head(&conn.buf, self.cfg.max_request_line, self.cfg.max_header_bytes) {
+                    HeadScan::Incomplete => return false,
+                    HeadScan::LineTooLong => {
+                        xmlsec_xml::limit_rejected("request_line");
+                        conn.push_out(&http::render_response(
+                            431,
+                            "Request Header Fields Too Large",
+                            "text/plain",
+                            "request line too long\n",
+                            &[],
+                            false,
+                        ));
+                        conn.served += 1;
+                        conn.close_after_write = true;
+                        conn.lingering = Some(Instant::now() + LINGER);
+                        conn.buf.clear();
+                        return false;
+                    }
+                    HeadScan::HeadersTooLong => {
+                        xmlsec_xml::limit_rejected("header_bytes");
+                        conn.push_out(&http::render_response(
+                            431,
+                            "Request Header Fields Too Large",
+                            "text/plain",
+                            "header block too large\n",
+                            &[],
+                            false,
+                        ));
+                        conn.served += 1;
+                        conn.close_after_write = true;
+                        conn.lingering = Some(Instant::now() + LINGER);
+                        conn.buf.clear();
+                        return false;
+                    }
+                    HeadScan::Complete(len) => {
+                        let head_bytes: Vec<u8> = conn.buf.drain(..len).collect();
+                        let head = parse_head(&String::from_utf8_lossy(&head_bytes));
+                        if self.route(tok, conn, head) {
+                            return true;
+                        }
+                        if conn.close_after_write {
+                            conn.buf.clear();
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Answers one parsed request: inline when the bytes are already
+        /// computed (metrics, 400s, cache hits, 304s, sheds), otherwise
+        /// dispatched to the worker pool. Returns true to close now.
+        fn route(&mut self, tok: u64, conn: &mut Conn, head: Head) -> bool {
+            let ka = head.keep_alive;
+            let target = head.line.split_whitespace().nth(1).unwrap_or("");
+            if target == "/metrics" || target.starts_with("/metrics?") {
+                let body = telemetry::global().render_prometheus();
+                conn.push_out(&http::render_response(
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    &body,
+                    &[],
+                    ka,
+                ));
+                conn.served += 1;
+                conn.close_after_write = !ka;
+                return false;
+            }
+            let Some((client, query)) = http::parse_request_line(&head.line, &conn.peer_ip) else {
+                conn.push_out(&http::render_response(
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    "malformed request line\n",
+                    &[],
+                    ka,
+                ));
+                conn.served += 1;
+                conn.close_after_write = !ka;
+                return false;
+            };
+
+            if query.is_none() {
+                // Probe for already-computed state: warm hits and 304
+                // revalidations never leave the loop thread.
+                match self.server.handle_cache_only(&client, head.if_none_match.as_deref()) {
+                    Ok(Some(ConditionalOutcome::NotModified { etag })) => {
+                        http::not_modified_total().inc();
+                        conn.push_out(&http::render_not_modified(&etag, ka));
+                        conn.served += 1;
+                        conn.close_after_write = !ka;
+                        return false;
+                    }
+                    Ok(Some(ConditionalOutcome::Full(resp))) => {
+                        conn.push_out(&http::render_view(resp, ka));
+                        conn.served += 1;
+                        conn.close_after_write = !ka;
+                        return false;
+                    }
+                    Ok(None) => {} // cold: fall through to dispatch
+                    Err(e) => {
+                        conn.push_out(&http::render_err(&e, ka));
+                        conn.served += 1;
+                        conn.close_after_write = !ka;
+                        return false;
+                    }
+                }
+            }
+
+            // Cache-miss compute: same deadline policy as the pool (the
+            // tighter of server ceiling and client budget).
+            let deadline =
+                match (self.cfg.request_deadline, head.deadline_ms.map(Duration::from_millis)) {
+                    (Some(server_d), Some(client_d)) => Some(server_d.min(client_d)),
+                    (server_d, client_d) => server_d.or(client_d),
+                };
+            let token = match deadline {
+                Some(d) => CancelToken::with_timeout(d),
+                None => CancelToken::never(),
+            };
+            self.depth.add(1);
+            let job = Job {
+                conn: tok,
+                client,
+                query,
+                if_none_match: head.if_none_match,
+                cancel: token.clone(),
+                keep_alive: ka,
+                enqueued: Instant::now(),
+            };
+            match self.tx.try_send(job) {
+                Ok(()) => {
+                    conn.computing = true;
+                    conn.cancel = Some(token);
+                    false
+                }
+                Err(TrySendError::Full(_)) => {
+                    // Backlog full: shed exactly like the pool's accept
+                    // loop (503 + computed Retry-After, then close).
+                    self.depth.add(-1);
+                    http::shed_total().inc();
+                    let retry = self.admission.retry_after_secs(self.depth.get());
+                    conn.push_out(&http::render_busy(retry));
+                    conn.served += 1;
+                    conn.close_after_write = true;
+                    false
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.depth.add(-1);
+                    true
+                }
+            }
+        }
+
+        /// Writes as much buffered response as the socket accepts.
+        /// Returns true when the connection should close.
+        fn flush(&mut self, tok: u64, conn: &mut Conn) -> bool {
+            while !conn.out_drained() {
+                match conn.sock.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => return true,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.write_deadline = Some(Instant::now() + self.cfg.write_timeout);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if !conn.want_out
+                            && !conn.deregistered
+                            && self
+                                .ep
+                                .ctl(
+                                    sys::EPOLL_CTL_MOD,
+                                    conn.sock.as_raw_fd(),
+                                    sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT,
+                                    tok,
+                                )
+                                .is_ok()
+                        {
+                            conn.want_out = true;
+                        }
+                        if conn.write_deadline.is_none() {
+                            conn.write_deadline = Some(Instant::now() + self.cfg.write_timeout);
+                        }
+                        return false;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return true,
+                }
+            }
+            conn.out.clear();
+            conn.out_pos = 0;
+            conn.write_deadline = None;
+            if conn.want_out
+                && !conn.deregistered
+                && self
+                    .ep
+                    .ctl(
+                        sys::EPOLL_CTL_MOD,
+                        conn.sock.as_raw_fd(),
+                        sys::EPOLLIN | sys::EPOLLRDHUP,
+                        tok,
+                    )
+                    .is_ok()
+            {
+                conn.want_out = false;
+            }
+            if conn.close_after_write {
+                // A lingering (431) connection drains the peer's bytes
+                // first; the sweep closes it at expiry.
+                return conn.lingering.is_none();
+            }
+            // Keep-alive: rearm the idle clock for the next request.
+            conn.read_deadline = Instant::now() + self.cfg.read_timeout;
+            false
+        }
+
+        /// Applies worker completions: rendered bytes are queued on the
+        /// owning connection (or discarded if the client vanished), then
+        /// the connection advances to any pipelined follow-up.
+        fn apply_completions(&mut self) {
+            let done: Vec<Done> = match self.completions.lock() {
+                Ok(mut guard) => std::mem::take(&mut *guard),
+                Err(_) => return,
+            };
+            for d in done {
+                let Some(mut conn) = self.conns.remove(&d.conn) else { continue };
+                conn.computing = false;
+                conn.cancel = None;
+                if conn.gone || d.bytes.is_empty() {
+                    self.drop_conn(conn);
+                    continue;
+                }
+                conn.push_out(&d.bytes);
+                conn.served += 1;
+                if d.close {
+                    conn.close_after_write = true;
+                }
+                let mut close = false;
+                if !conn.close_after_write {
+                    close = self.advance(d.conn, &mut conn);
+                }
+                if !close {
+                    close = self.flush(d.conn, &mut conn);
+                }
+                if close {
+                    self.drop_conn(conn);
+                } else {
+                    self.conns.insert(d.conn, conn);
+                }
+            }
+        }
+
+        /// Enforces the per-connection clocks: linger expiry, write
+        /// stalls, and read deadlines (slow lorises get a best-effort
+        /// 408; idle keep-alive connections close silently).
+        fn sweep(&mut self) {
+            let now = Instant::now();
+            let toks: Vec<u64> = self.conns.keys().copied().collect();
+            for tok in toks {
+                let Some(mut conn) = self.conns.remove(&tok) else { continue };
+                let mut close = false;
+                if let Some(expiry) = conn.lingering {
+                    close = now >= expiry;
+                } else if conn.write_deadline.is_some_and(|d| now >= d) {
+                    close = true; // client stopped draining its response
+                } else if !conn.computing && conn.out_drained() && now >= conn.read_deadline {
+                    if !conn.buf.is_empty() || conn.served == 0 {
+                        // Slow loris: a request was started but never
+                        // completed. Best-effort 408, then close.
+                        conn.push_out(&http::render_response(
+                            408,
+                            "Request Timeout",
+                            "text/plain",
+                            "request timeout\n",
+                            &[],
+                            false,
+                        ));
+                        conn.close_after_write = true;
+                        close = self.flush(tok, &mut conn);
+                    } else {
+                        close = true; // idle keep-alive: silent close
+                    }
+                }
+                if close {
+                    self.drop_conn(conn);
+                } else {
+                    self.conns.insert(tok, conn);
+                }
+            }
+        }
+
+        fn drop_conn(&mut self, conn: Conn) {
+            // Dropping the socket closes the fd, which also removes it
+            // from the epoll interest set.
+            self.open.add(-1);
+            drop(conn);
+        }
+    }
+
+    /// Worker side: dequeue, CoDel admission on queue sojourn, run the
+    /// cancellable pipeline, post the rendered completion, wake the loop.
+    fn worker_loop(
+        rx: &Mutex<Receiver<Job>>,
+        server: &SecureServer,
+        admission: &Admission,
+        depth: &telemetry::Gauge,
+        completions: &Mutex<Vec<Done>>,
+        wake: &File,
+    ) {
+        loop {
+            let job = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => break,
+            };
+            let Ok(job) = job else { break };
+            depth.add(-1);
+            let now = Instant::now();
+            let sojourn = now.duration_since(job.enqueued);
+            http::sojourn_seconds().observe_duration(sojourn);
+            let admitted = admission.admit(sojourn, now);
+            if !admitted {
+                http::adaptive_shed_total().inc();
+            }
+            let started = Instant::now();
+            // Panic backstop, mirroring the pool's worker loop: one bad
+            // request must not take the worker down.
+            let done =
+                match catch_unwind(AssertUnwindSafe(|| run_job(server, &job, admitted, admission)))
+                {
+                    Ok(done) => done,
+                    Err(_) => {
+                        http::panics_caught_total().inc();
+                        Done {
+                            conn: job.conn,
+                            bytes: http::render_err(
+                                &ServerError::Processing(
+                                    "panic during request processing".to_string(),
+                                ),
+                                job.keep_alive,
+                            ),
+                            close: !job.keep_alive,
+                        }
+                    }
+                };
+            if admitted {
+                admission.record_service(started.elapsed());
+            }
+            if let Ok(mut guard) = completions.lock() {
+                guard.push(done);
+            }
+            let _ = (&*wake).write_all(&1u64.to_ne_bytes());
+        }
+    }
+
+    /// One request's compute, rendered to bytes. The status mapping and
+    /// fault points mirror the pool's `handle_connection` exactly.
+    fn run_job(server: &SecureServer, job: &Job, admitted: bool, admission: &Admission) -> Done {
+        let ka = job.keep_alive;
+        let silent = Done { conn: job.conn, bytes: Vec::new(), close: true };
+        if faults::check("handle.start") {
+            return silent; // injected disconnect: drop without responding
+        }
+        if !admitted {
+            // Degraded mode: serve only already-computed state; queries
+            // always recompute, so they are always refused.
+            if job.query.is_some() {
+                return respond(job, http::render_overloaded(admission, ka), ka);
+            }
+            return match server.handle_cache_only(&job.client, job.if_none_match.as_deref()) {
+                Ok(Some(ConditionalOutcome::NotModified { etag })) => {
+                    http::not_modified_total().inc();
+                    http::degraded_hits_total().inc();
+                    respond(job, http::render_not_modified(&etag, ka), ka)
+                }
+                Ok(Some(ConditionalOutcome::Full(resp))) => {
+                    http::degraded_hits_total().inc();
+                    respond(job, http::render_view(resp, ka), ka)
+                }
+                Ok(None) => respond(job, http::render_overloaded(admission, ka), ka),
+                Err(e) => respond(job, http::render_err(&e, ka), ka),
+            };
+        }
+        if let Some(path) = &job.query {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = faults::check("process.request");
+                server.query_cancellable(&job.client, path, Some(&job.cancel))
+            }));
+            return match outcome {
+                Ok(Ok(resp)) => {
+                    let mut body = String::new();
+                    for m in &resp.matches {
+                        body.push_str(m);
+                        body.push('\n');
+                    }
+                    if faults::check("respond.write") {
+                        return silent;
+                    }
+                    respond(job, http::render_response(200, "OK", "text/xml", &body, &[], ka), ka)
+                }
+                Ok(Err(e)) => respond_err_cancellable(job, &e, admission, ka),
+                Err(_) => {
+                    http::panics_caught_total().inc();
+                    let e = ServerError::Processing("panic during query processing".to_string());
+                    respond(job, http::render_err(&e, ka), ka)
+                }
+            };
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = faults::check("process.request");
+            server.handle_cancellable(&job.client, job.if_none_match.as_deref(), Some(&job.cancel))
+        }));
+        match outcome {
+            Ok(Ok(ConditionalOutcome::NotModified { etag })) => {
+                http::not_modified_total().inc();
+                if faults::check("respond.write") {
+                    return silent;
+                }
+                respond(job, http::render_not_modified(&etag, ka), ka)
+            }
+            Ok(Ok(ConditionalOutcome::Full(resp))) => {
+                if faults::check("respond.write") {
+                    return silent;
+                }
+                respond(job, http::render_view(resp, ka), ka)
+            }
+            Ok(Err(e)) => respond_err_cancellable(job, &e, admission, ka),
+            Err(_) => {
+                http::panics_caught_total().inc();
+                let e = ServerError::Processing("panic during request processing".to_string());
+                respond(job, http::render_err(&e, ka), ka)
+            }
+        }
+    }
+
+    fn respond(job: &Job, bytes: Vec<u8>, keep_alive: bool) -> Done {
+        Done { conn: job.conn, bytes, close: !keep_alive }
+    }
+
+    /// The pool's `respond_err_cancellable`, rendered: a vanished client
+    /// gets no bytes at all, deadline/explicit cancellations answer 503
+    /// with a computed `Retry-After`.
+    fn respond_err_cancellable(
+        job: &Job,
+        e: &ServerError,
+        admission: &Admission,
+        keep_alive: bool,
+    ) -> Done {
+        if let ServerError::Cancelled(reason) = e {
+            http::cancelled_total(reason.as_str()).inc();
+            return match reason {
+                CancelReason::ClientGone => Done { conn: job.conn, bytes: Vec::new(), close: true },
+                CancelReason::DeadlineExceeded | CancelReason::Explicit => {
+                    respond(job, http::render_overloaded(admission, keep_alive), keep_alive)
+                }
+            };
+        }
+        respond(job, http::render_err(e, keep_alive), keep_alive)
+    }
+
+    /// Handle to a running event-loop demo server.
+    pub struct EpollDemo {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        wake: Arc<File>,
+        handle: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+        drain_timeout: Duration,
+    }
+
+    impl EpollDemo {
+        /// Starts serving `server` on `addr` with default limits (use
+        /// port 0 for an ephemeral port).
+        pub fn start(server: SecureServer, addr: &str) -> std::io::Result<EpollDemo> {
+            EpollDemo::start_with(server, addr, HttpConfig::default())
+        }
+
+        /// Starts serving with explicit resource bounds. The same
+        /// [`HttpConfig`] drives both transports: `workers` bounds
+        /// compute concurrency, `backlog` bounds queued compute, and the
+        /// timeouts become per-connection deadlines enforced by the
+        /// loop's sweep instead of socket options.
+        pub fn start_with(
+            server: SecureServer,
+            addr: &str,
+            cfg: HttpConfig,
+        ) -> std::io::Result<EpollDemo> {
+            let listener = TcpListener::bind(addr)?;
+            let local = listener.local_addr()?;
+            listener.set_nonblocking(true)?;
+            let ep = Epoll::new()?;
+            let wake = Arc::new(eventfd_file()?);
+            ep.ctl(sys::EPOLL_CTL_ADD, listener.as_raw_fd(), sys::EPOLLIN, TOK_LISTENER)?;
+            ep.ctl(sys::EPOLL_CTL_ADD, wake.as_raw_fd(), sys::EPOLLIN, TOK_WAKE)?;
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let (tx, rx) = sync_channel::<Job>(cfg.backlog.max(1));
+            let rx = Arc::new(Mutex::new(rx));
+            let completions = Arc::new(Mutex::new(Vec::new()));
+            let server = Arc::new(server);
+            let admission = Arc::new(Admission::new(&cfg));
+            let depth = http::queue_depth();
+
+            let mut workers = Vec::with_capacity(cfg.workers.max(1));
+            for _ in 0..cfg.workers.max(1) {
+                let rx = Arc::clone(&rx);
+                let server = Arc::clone(&server);
+                let admission = Arc::clone(&admission);
+                let depth = Arc::clone(&depth);
+                let completions = Arc::clone(&completions);
+                let wake = Arc::clone(&wake);
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(&rx, &server, &admission, &depth, &completions, &wake);
+                }));
+            }
+
+            let el = EventLoop {
+                ep,
+                listener,
+                server,
+                cfg,
+                admission,
+                depth,
+                open: open_connections(),
+                conns: HashMap::new(),
+                next_token: TOK_FIRST_CONN,
+                tx,
+                completions,
+                wake: Arc::clone(&wake),
+                stop: Arc::clone(&stop),
+            };
+            let handle = std::thread::spawn(move || el.run());
+            Ok(EpollDemo {
+                addr: local,
+                stop,
+                wake,
+                handle: Some(handle),
+                workers,
+                drain_timeout: cfg.drain_timeout,
+            })
+        }
+
+        /// Where the demo is listening.
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        /// Stops accepting, then drains: in-flight compute gets up to
+        /// the configured drain deadline; workers still busy after that
+        /// are detached so shutdown always returns.
+        pub fn shutdown(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            // Kick the loop out of epoll_wait so it sees the flag now.
+            let _ = (&*self.wake).write_all(&1u64.to_ne_bytes());
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+            // The loop thread has exited and dropped the job sender, so
+            // each worker finishes its backlog and returns. Join with a
+            // deadline: a wedged request must not hang shutdown.
+            let deadline = Instant::now() + self.drain_timeout;
+            for h in std::mem::take(&mut self.workers) {
+                while !h.is_finished() && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                if h.is_finished() {
+                    let _ = h.join();
+                }
+                // else: detached by drop.
+            }
+        }
+    }
+
+    impl Drop for EpollDemo {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use crate::http::HttpConfig;
+    use crate::server::SecureServer;
+    use std::net::SocketAddr;
+
+    /// Stub on non-Linux targets: the event loop needs `epoll`, so
+    /// construction always fails with [`std::io::ErrorKind::Unsupported`].
+    pub struct EpollDemo {
+        addr: SocketAddr,
+    }
+
+    impl EpollDemo {
+        /// Always fails on this platform.
+        pub fn start(server: SecureServer, addr: &str) -> std::io::Result<EpollDemo> {
+            EpollDemo::start_with(server, addr, HttpConfig::default())
+        }
+
+        /// Always fails on this platform.
+        pub fn start_with(
+            _server: SecureServer,
+            _addr: &str,
+            _cfg: HttpConfig,
+        ) -> std::io::Result<EpollDemo> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "the epoll transport requires Linux; use --transport pool",
+            ))
+        }
+
+        /// Where the demo is listening (unreachable: construction fails).
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        /// No-op (construction fails, so there is nothing to stop).
+        pub fn shutdown(&mut self) {}
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::server::SecureServer;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+    use xmlsec_authz::{AuthType, Authorization, AuthorizationBase, ObjectSpec, Sign};
+    use xmlsec_subjects::{Directory, Subject};
+
+    const OK_TARGET: &str = "/doc.xml?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org";
+
+    fn test_server() -> SecureServer {
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("tom", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("tom", "pw");
+        s.repository_mut().put_document("doc.xml", "<d><pub>hello</pub></d>", None);
+        s
+    }
+
+    fn demo() -> EpollDemo {
+        EpollDemo::start(test_server(), "127.0.0.1:0").unwrap()
+    }
+
+    /// Reads exactly one HTTP response off a (possibly keep-alive)
+    /// connection, using Content-Length to find the body's end.
+    fn read_one_response(conn: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut one = [0u8; 1];
+        // Headers.
+        while !buf.ends_with(b"\r\n\r\n") {
+            assert_eq!(conn.read(&mut one).unwrap(), 1, "eof inside headers");
+            buf.push(one[0]);
+        }
+        let head = String::from_utf8_lossy(&buf).into_owned();
+        let clen: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .map_or(0, |v| v.trim().parse().unwrap());
+        let mut body = vec![0u8; clen];
+        conn.read_exact(&mut body).unwrap();
+        head + &String::from_utf8_lossy(&body)
+    }
+
+    fn get(demo: &EpollDemo, target: &str) -> String {
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn serves_view_and_revalidates_304() {
+        let demo = demo();
+        let full = get(&demo, OK_TARGET);
+        assert!(full.starts_with("HTTP/1.0 200"), "{full}");
+        assert!(full.contains("hello"), "{full}");
+        assert!(full.contains("Connection: close"), "{full}");
+        let etag = full
+            .lines()
+            .find_map(|l| l.strip_prefix("ETag: "))
+            .expect("200 carries an entity tag")
+            .trim()
+            .to_string();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "GET {OK_TARGET} HTTP/1.0\r\nIf-None-Match: {etag}\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 304"), "{buf}");
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let demo = demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "GET {OK_TARGET} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        let first = read_one_response(&mut conn);
+        assert!(first.starts_with("HTTP/1.0 200"), "{first}");
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        write!(conn, "GET {OK_TARGET} HTTP/1.0\r\nConnection: close\r\n\r\n").unwrap();
+        let second = read_one_response(&mut conn);
+        assert!(second.starts_with("HTTP/1.0 200"), "{second}");
+        assert!(second.contains("Connection: close"), "{second}");
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let demo = demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        // Both requests up front; the loop answers serially, in order.
+        write!(
+            conn,
+            "GET {OK_TARGET} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n\
+             GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let first = read_one_response(&mut conn);
+        assert!(first.starts_with("HTTP/1.0 200"), "{first}");
+        assert!(first.contains("hello"), "{first}");
+        let second = read_one_response(&mut conn);
+        assert!(second.starts_with("HTTP/1.0 200"), "{second}");
+        assert!(second.contains("xmlsec_server_open_connections"), "{second}");
+    }
+
+    #[test]
+    fn slow_loris_gets_408() {
+        let cfg = HttpConfig { read_timeout: Duration::from_millis(150), ..Default::default() };
+        let demo = EpollDemo::start_with(test_server(), "127.0.0.1:0", cfg).unwrap();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "GET /doc.xml").unwrap(); // never completes the head
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.is_empty() || buf.starts_with("HTTP/1.0 408"), "{buf}");
+    }
+
+    #[test]
+    fn transport_parses_and_rejects() {
+        assert_eq!("pool".parse::<Transport>().unwrap(), Transport::Pool);
+        assert_eq!("epoll".parse::<Transport>().unwrap(), Transport::Epoll);
+        assert!("uring".parse::<Transport>().is_err());
+        assert_eq!(Transport::Epoll.to_string(), "epoll");
+        assert_eq!(Transport::default(), Transport::Pool);
+    }
+}

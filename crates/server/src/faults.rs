@@ -83,12 +83,7 @@ pub fn arm(point: &'static str, action: FaultAction, times: u32) {
 /// 1 000 000 on each hit, forever (until [`disarm`]/[`clear`]). The
 /// seeded stream makes a chaos run reproducible: the same seed and the
 /// same hit sequence fire the same faults.
-pub fn arm_probabilistic(
-    point: &'static str,
-    action: FaultAction,
-    per_million: u32,
-    seed: u64,
-) {
+pub fn arm_probabilistic(point: &'static str, action: FaultAction, per_million: u32, seed: u64) {
     if let Ok(mut reg) = registry().lock() {
         reg.insert(
             point,

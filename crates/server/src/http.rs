@@ -145,7 +145,7 @@ pub struct HttpDemo {
     drain_timeout: Duration,
 }
 
-fn shed_total() -> Arc<telemetry::Counter> {
+pub(crate) fn shed_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_shed_total",
         "Connections rejected with 503 because the request queue was full.",
@@ -153,7 +153,7 @@ fn shed_total() -> Arc<telemetry::Counter> {
     )
 }
 
-fn panics_caught_total() -> Arc<telemetry::Counter> {
+pub(crate) fn panics_caught_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_panics_caught_total",
         "Panics caught during request handling and converted to errors.",
@@ -161,7 +161,7 @@ fn panics_caught_total() -> Arc<telemetry::Counter> {
     )
 }
 
-fn not_modified_total() -> Arc<telemetry::Counter> {
+pub(crate) fn not_modified_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_http_not_modified_total",
         "View requests answered 304 Not Modified via If-None-Match.",
@@ -169,7 +169,7 @@ fn not_modified_total() -> Arc<telemetry::Counter> {
     )
 }
 
-fn queue_depth() -> Arc<telemetry::Gauge> {
+pub(crate) fn queue_depth() -> Arc<telemetry::Gauge> {
     telemetry::global().gauge(
         "xmlsec_server_queue_depth",
         "Accepted connections waiting in the backlog queue for a worker.",
@@ -177,7 +177,7 @@ fn queue_depth() -> Arc<telemetry::Gauge> {
     )
 }
 
-fn cancelled_total(reason: &'static str) -> Arc<telemetry::Counter> {
+pub(crate) fn cancelled_total(reason: &'static str) -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_cancelled_total",
         "Requests cancelled before completion, by reason.",
@@ -185,7 +185,7 @@ fn cancelled_total(reason: &'static str) -> Arc<telemetry::Counter> {
     )
 }
 
-fn adaptive_shed_total() -> Arc<telemetry::Counter> {
+pub(crate) fn adaptive_shed_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_adaptive_shed_total",
         "Requests degraded to cache-only service by the admission controller.",
@@ -193,7 +193,7 @@ fn adaptive_shed_total() -> Arc<telemetry::Counter> {
     )
 }
 
-fn degraded_hits_total() -> Arc<telemetry::Counter> {
+pub(crate) fn degraded_hits_total() -> Arc<telemetry::Counter> {
     telemetry::global().counter(
         "xmlsec_server_degraded_hits_total",
         "Requests answered from already-computed state while shedding.",
@@ -201,7 +201,7 @@ fn degraded_hits_total() -> Arc<telemetry::Counter> {
     )
 }
 
-fn sojourn_seconds() -> Arc<telemetry::Histogram> {
+pub(crate) fn sojourn_seconds() -> Arc<telemetry::Histogram> {
     telemetry::global().histogram(
         "xmlsec_server_queue_sojourn_seconds",
         "Time accepted connections spent waiting for a worker.",
@@ -219,7 +219,7 @@ fn sojourn_seconds() -> Arc<telemetry::Histogram> {
 /// has exceeded `target` for a full `interval`, the controller starts
 /// shedding, and sheds at an increasing rate (`interval / √count`)
 /// until the queue drains back under target.
-struct Admission {
+pub(crate) struct Admission {
     enabled: bool,
     target: Duration,
     interval: Duration,
@@ -240,7 +240,7 @@ struct ShedState {
 }
 
 impl Admission {
-    fn new(cfg: &HttpConfig) -> Admission {
+    pub(crate) fn new(cfg: &HttpConfig) -> Admission {
         Admission {
             enabled: cfg.shed_adaptive,
             target: cfg.shed_target,
@@ -258,7 +258,7 @@ impl Admission {
     /// Decides whether the request dequeued `sojourn` after being
     /// accepted runs the full pipeline (`true`) or degrades to
     /// cache-only service (`false`).
-    fn admit(&self, sojourn: Duration, now: Instant) -> bool {
+    pub(crate) fn admit(&self, sojourn: Duration, now: Instant) -> bool {
         if !self.enabled {
             return true;
         }
@@ -287,7 +287,7 @@ impl Admission {
     }
 
     /// Folds one admitted request's wall time into the EWMA.
-    fn record_service(&self, d: Duration) {
+    pub(crate) fn record_service(&self, d: Duration) {
         let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         let prev = self.service_ewma_ns.load(Ordering::Relaxed);
         let next = if prev == 0 { ns } else { prev - prev / 8 + ns / 8 };
@@ -297,7 +297,7 @@ impl Admission {
     /// `Retry-After` seconds for a shed response: the live queue depth
     /// priced at the recent per-request service time, clamped to
     /// [1, 30]. An integer per RFC 9110 §10.2.3.
-    fn retry_after_secs(&self, depth: i64) -> u64 {
+    pub(crate) fn retry_after_secs(&self, depth: i64) -> u64 {
         // 1 ms floor so a cold EWMA still yields a sane hint.
         let ewma = self.service_ewma_ns.load(Ordering::Relaxed).max(1_000_000);
         let waiting = depth.max(0) as u64 + 1;
@@ -430,12 +430,18 @@ impl Drop for HttpDemo {
 /// hint to retry once the burst has passed.
 fn shed(mut conn: TcpStream, retry_after: u64) {
     shed_total().inc();
+    let _ = conn.write_all(&render_busy(retry_after));
+}
+
+/// The 503 bytes written when the request queue has no room: both
+/// transports shed with exactly this response.
+pub(crate) fn render_busy(retry_after: u64) -> Vec<u8> {
     let body = "server busy, try again shortly\n";
-    let _ = write!(
-        conn,
+    format!(
         "HTTP/1.0 503 Service Unavailable\r\nRetry-After: {retry_after}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    );
+    )
+    .into_bytes()
 }
 
 fn worker_loop(
@@ -811,8 +817,8 @@ fn handle_connection(
     }
 }
 
-/// Writes a full view response (200 + ETag + cache policy).
-fn respond_view(out: &mut TcpStream, resp: ServerResponse) -> std::io::Result<()> {
+/// Renders a full view response (200 + ETag + cache policy).
+pub(crate) fn render_view(resp: ServerResponse, keep_alive: bool) -> Vec<u8> {
     let etag_header = format!("\"{}\"", resp.etag);
     let mut body = resp.xml;
     body.push('\n');
@@ -820,13 +826,34 @@ fn respond_view(out: &mut TcpStream, resp: ServerResponse) -> std::io::Result<()
         body.push_str("<!-- loosened DTD -->\n");
         body.push_str(&dtd);
     }
-    respond_with(
-        out,
+    render_response(
         200,
         "OK",
         "text/xml",
         &body,
         &[("ETag", &etag_header), ("Cache-Control", "private, no-cache")],
+        keep_alive,
+    )
+}
+
+/// Writes a full view response (200 + ETag + cache policy).
+fn respond_view(out: &mut TcpStream, resp: ServerResponse) -> std::io::Result<()> {
+    out.write_all(&render_view(resp, false))?;
+    out.flush()
+}
+
+/// Renders the 503 for a request refused (or abandoned) under overload,
+/// with a `Retry-After` priced from the live queue depth and the
+/// service-time EWMA.
+pub(crate) fn render_overloaded(admission: &Admission, keep_alive: bool) -> Vec<u8> {
+    let retry = admission.retry_after_secs(queue_depth().get()).to_string();
+    render_response(
+        503,
+        "Service Unavailable",
+        "text/plain",
+        "server overloaded, try again shortly\n",
+        &[("Retry-After", &retry)],
+        keep_alive,
     )
 }
 
@@ -834,15 +861,8 @@ fn respond_view(out: &mut TcpStream, resp: ServerResponse) -> std::io::Result<()
 /// `Retry-After` priced from the live queue depth and the service-time
 /// EWMA.
 fn respond_overloaded(out: &mut TcpStream, admission: &Admission) -> std::io::Result<()> {
-    let retry = admission.retry_after_secs(queue_depth().get()).to_string();
-    respond_with(
-        out,
-        503,
-        "Service Unavailable",
-        "text/plain",
-        "server overloaded, try again shortly\n",
-        &[("Retry-After", &retry)],
-    )
+    out.write_all(&render_overloaded(admission, false))?;
+    out.flush()
 }
 
 /// [`respond_err`], except cancellations get their typed treatment: the
@@ -868,7 +888,10 @@ fn respond_err_cancellable(
 }
 
 /// Parses `GET /uri?user=..&pass=..&ip=..&host=..&q=.. HTTP/1.x`.
-fn parse_request_line(line: &str, peer_ip: &str) -> Option<(ClientRequest, Option<String>)> {
+pub(crate) fn parse_request_line(
+    line: &str,
+    peer_ip: &str,
+) -> Option<(ClientRequest, Option<String>)> {
     let mut parts = line.split_whitespace();
     if parts.next()? != "GET" {
         return None;
@@ -944,7 +967,9 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
+/// Renders a typed error response (the status mapping shared by both
+/// transports).
+pub(crate) fn render_err(e: &ServerError, keep_alive: bool) -> Vec<u8> {
     let (code, text) = match e {
         ServerError::AuthenticationFailed => (401, "Unauthorized"),
         ServerError::NotFound(_) => (404, "Not Found"),
@@ -959,7 +984,12 @@ fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
         // overload) — the client may retry the identical request.
         ServerError::Cancelled(_) => (503, "Service Unavailable"),
     };
-    respond(out, code, text, "text/plain", &format!("{e}\n"))
+    render_response(code, text, "text/plain", &format!("{e}\n"), &[], keep_alive)
+}
+
+fn respond_err(out: &mut TcpStream, e: &ServerError) -> std::io::Result<()> {
+    out.write_all(&render_err(e, false))?;
+    out.flush()
 }
 
 fn respond(
@@ -980,6 +1010,24 @@ fn respond_with(
     body: &str,
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
+    out.write_all(&render_response(code, text, ctype, body, extra_headers, false))?;
+    out.flush()
+}
+
+/// Renders one complete HTTP response. Both transports produce their
+/// bytes here, so a given (status, body, headers) triple is answered
+/// byte-identically over the blocking pool and the event loop — the
+/// only sanctioned difference is the `Connection` header, which
+/// advertises `keep-alive` when the event loop will keep the connection
+/// open for another request.
+pub(crate) fn render_response(
+    code: u16,
+    text: &str,
+    ctype: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut extra = String::new();
     for (name, value) in extra_headers {
         extra.push_str(name);
@@ -987,21 +1035,28 @@ fn respond_with(
         extra.push_str(value);
         extra.push_str("\r\n");
     }
-    write!(
-        out,
-        "HTTP/1.0 {code} {text}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.0 {code} {text}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n{extra}Connection: {conn}\r\n\r\n{body}",
         body.len()
-    )?;
-    out.flush()
+    )
+    .into_bytes()
+}
+
+/// Renders a 304: no body (RFC 9110 §15.4.5); the tag and cache policy
+/// ride in the headers so the client can keep validating its copy.
+pub(crate) fn render_not_modified(etag: &str, keep_alive: bool) -> Vec<u8> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.0 304 Not Modified\r\nETag: \"{etag}\"\r\nCache-Control: private, no-cache\r\nConnection: {conn}\r\n\r\n"
+    )
+    .into_bytes()
 }
 
 /// A 304 carries no body (RFC 9110 §15.4.5); the tag and cache policy
 /// ride in the headers so the client can keep validating its copy.
 fn respond_not_modified(out: &mut TcpStream, etag: &str) -> std::io::Result<()> {
-    write!(
-        out,
-        "HTTP/1.0 304 Not Modified\r\nETag: \"{etag}\"\r\nCache-Control: private, no-cache\r\nConnection: close\r\n\r\n"
-    )?;
+    out.write_all(&render_not_modified(etag, false))?;
     out.flush()
 }
 

@@ -20,6 +20,7 @@
 
 pub mod audit;
 pub mod cache;
+pub mod epoll;
 #[cfg(feature = "faults")]
 pub mod faults;
 pub mod http;
@@ -29,6 +30,7 @@ pub mod site;
 
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use cache::{CachedView, ViewCache, ViewKey};
+pub use epoll::{AnyDemo, EpollDemo, Transport};
 pub use http::{HttpConfig, HttpDemo};
 pub use repo::{fnv1a64, Repository, StoredDocument};
 pub use server::{

@@ -796,11 +796,12 @@ impl SecureServer {
             ),
             None => xmlsec_xpath::SharedBudget::new(self.limits.xpath.max_node_visits),
         };
-        let hits = xmlsec_xpath::select_shared(&view, &parsed, &self.limits.xpath, &pool)
-            .map_err(|e| match e {
+        let hits = xmlsec_xpath::select_shared(&view, &parsed, &self.limits.xpath, &pool).map_err(
+            |e| match e {
                 xmlsec_xpath::EvalError::Cancelled(r) => ServerError::Cancelled(r),
                 other => ServerError::LimitExceeded(other.to_string()),
-            })?;
+            },
+        )?;
         let matches = hits
             .iter()
             .map(|&n| {

@@ -15,7 +15,11 @@
 //! - [`storm`] — a seeded randomized soak driver that hammers a live
 //!   HTTP demo server over real sockets with mixed good/hostile
 //!   clients (tight deadlines, hangups, slow lorises), used by the
-//!   chaos robustness tests.
+//!   chaos robustness tests;
+//! - [`openloop`] — an arrival-rate-driven (open-loop) load generator
+//!   whose fixed schedule launches requests regardless of in-flight
+//!   count, so tail latency under backlog is measured without
+//!   coordinated omission; used by bench B17.
 
 #![warn(missing_docs)]
 
@@ -26,11 +30,13 @@ pub mod dtdgen;
 pub mod financial;
 pub mod hospital;
 pub mod laboratory;
+pub mod openloop;
 pub mod storm;
 
 pub use authgen::{random_auths, random_directory, random_requester, AuthConfig};
-pub use storm::{run_storm, StormConfig, StormReport};
 pub use docgen::{deep_chain, flat, laboratory_scaled, random_tree, TreeConfig};
 pub use dtdgen::{conforming_doc, random_dtd, DtdConfig, GEN_ROOT};
 pub use financial::financial_scaled;
 pub use hospital::hospital_scaled;
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use storm::{run_storm, StormConfig, StormReport};

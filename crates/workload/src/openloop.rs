@@ -1,0 +1,315 @@
+//! Open-loop load generator for the HTTP demo server.
+//!
+//! The [`storm`](crate::storm) driver is *closed-loop*: each client
+//! thread waits for its response before sending the next request, so a
+//! slow server throttles its own load and tail latency hides —
+//! coordinated omission. This generator is *open-loop*: arrivals follow
+//! a fixed schedule computed before the run starts (request `i` departs
+//! at `i / rate` seconds), and every arrival launches regardless of how
+//! many earlier requests are still in flight. A server that falls
+//! behind faces a growing backlog, exactly like production traffic, and
+//! the recorded latencies include the time requests spent waiting for
+//! the server to catch up.
+//!
+//! The request mix is seeded and deterministic: plain view fetches
+//! (warm cache hits after the first), `If-None-Match` revalidations
+//! (304s), secure queries (always cache-miss compute), and slow clients
+//! that hold a half-written request open. The report carries every
+//! completed request's latency so callers can extract p50/p99/p999, the
+//! classic open-loop tail metrics.
+
+use crate::storm::{etag_of, status_of};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One open-loop run's shape.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Seed for the request mix; same seed ⇒ same schedule and mix.
+    pub seed: u64,
+    /// Total arrivals on the schedule.
+    pub requests: usize,
+    /// Arrival rate in requests per second (request `i` departs at
+    /// `i / rate` seconds after the run starts, regardless of how many
+    /// earlier requests are still in flight).
+    pub rate: f64,
+    /// The view target (path + query string) the mix revolves around.
+    pub view_target: String,
+    /// Probability an arrival is a secure query against `view_target`
+    /// (the given XPath is appended as `&q=`): always cache-miss
+    /// compute, so it exercises the worker handoff.
+    pub query: f64,
+    /// XPath for query arrivals (percent-encoded by the generator).
+    pub query_path: String,
+    /// Probability an arrival revalidates with `If-None-Match` using
+    /// the entity tag captured by the warm-up request (304 from the
+    /// event loop / degraded path).
+    pub conditional: f64,
+    /// Probability an arrival is a slow client: half a request line,
+    /// then a stall the server's read timeout must reap.
+    pub slow: f64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            seed: 0x0413,
+            requests: 200,
+            rate: 200.0,
+            view_target: String::new(),
+            query: 0.15,
+            query_path: "/d".to_string(),
+            conditional: 0.25,
+            slow: 0.05,
+        }
+    }
+}
+
+/// What the open-loop clients observed.
+#[derive(Debug, Clone, Default)]
+pub struct OpenLoopReport {
+    /// Arrivals launched (== `OpenLoopConfig::requests`).
+    pub sent: usize,
+    /// Successful responses (200 and 304).
+    pub ok: usize,
+    /// Not-modified revalidations (a subset of `ok`).
+    pub not_modified: usize,
+    /// Load-shed or cancelled responses (503).
+    pub shed: usize,
+    /// Client-fault responses (4xx).
+    pub client_error: usize,
+    /// Server-fault responses (5xx other than 503).
+    pub server_error: usize,
+    /// Deliberate slow-client stalls plus connections that died without
+    /// a response.
+    pub aborted: usize,
+    /// Unparseable responses — always a bug.
+    pub malformed: usize,
+    /// Arrival-to-last-byte latency of every answered request,
+    /// unordered. Includes queueing behind a backlogged server (the
+    /// point of open-loop measurement).
+    pub latencies: Vec<Duration>,
+    /// Wall time from first to last completion.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// Responses accounted for (everything except aborts).
+    pub fn answered(&self) -> usize {
+        self.ok + self.shed + self.client_error + self.server_error + self.malformed
+    }
+
+    /// Latency quantile over answered requests (`q` in `[0, 1]`, e.g.
+    /// 0.999 for p999); zero when nothing was answered.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Answered requests per second over the run's wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.answered() as f64 / secs
+    }
+}
+
+/// What one scheduled arrival does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrival {
+    View,
+    Query,
+    Conditional,
+    Slow,
+}
+
+/// Draws the whole mix up front so the schedule is fixed before the
+/// first connection opens (open-loop: the server cannot influence it).
+fn draw_mix(cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.requests)
+        .map(|_| {
+            let roll = f64::from(rng.gen_range(0u32..1_000_000)) / 1e6;
+            if roll < cfg.slow {
+                Arrival::Slow
+            } else if roll < cfg.slow + cfg.conditional {
+                Arrival::Conditional
+            } else if roll < cfg.slow + cfg.conditional + cfg.query {
+                Arrival::Query
+            } else {
+                Arrival::View
+            }
+        })
+        .collect()
+}
+
+fn percent_encode(path: &str) -> String {
+    let mut out = String::new();
+    for b in path.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// One arrival, run to completion on its own thread. Returns the
+/// latency (when answered) and the observed outcome.
+fn run_arrival(
+    addr: SocketAddr,
+    kind: Arrival,
+    cfg: &OpenLoopConfig,
+    etag: Option<&str>,
+    report: &Mutex<OpenLoopReport>,
+) {
+    let started = Instant::now();
+    let outcome = (|| -> Option<String> {
+        let mut conn = TcpStream::connect(addr).ok()?;
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = conn.set_write_timeout(Some(Duration::from_secs(30)));
+        match kind {
+            Arrival::Slow => {
+                // Half a request line, then silence: the server's read
+                // timeout reaps us (408 or silent close are both legal).
+                let _ = conn.write_all(b"GET /stall");
+                let _ = conn.flush();
+                std::thread::sleep(Duration::from_millis(50));
+                return None;
+            }
+            Arrival::View => {
+                let t = &cfg.view_target;
+                conn.write_all(format!("GET {t} HTTP/1.0\r\nHost: ol\r\n\r\n").as_bytes())
+                    .ok()?;
+            }
+            Arrival::Query => {
+                let t = format!("{}&q={}", cfg.view_target, percent_encode(&cfg.query_path));
+                conn.write_all(format!("GET {t} HTTP/1.0\r\nHost: ol\r\n\r\n").as_bytes())
+                    .ok()?;
+            }
+            Arrival::Conditional => {
+                let t = &cfg.view_target;
+                let tag = etag.unwrap_or("\"cold\"");
+                conn.write_all(
+                    format!("GET {t} HTTP/1.0\r\nHost: ol\r\nIf-None-Match: {tag}\r\n\r\n")
+                        .as_bytes(),
+                )
+                .ok()?;
+            }
+        }
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).ok()?;
+        if buf.is_empty() {
+            return None;
+        }
+        Some(buf)
+    })();
+    let latency = started.elapsed();
+    let Ok(mut r) = report.lock() else { return };
+    r.sent += 1;
+    let Some(buf) = outcome else {
+        r.aborted += 1;
+        return;
+    };
+    match status_of(&buf) {
+        Some(200) => r.ok += 1,
+        Some(304) => {
+            r.ok += 1;
+            r.not_modified += 1;
+        }
+        Some(503) => r.shed += 1,
+        Some(c) if (400..500).contains(&c) => r.client_error += 1,
+        Some(c) if (500..600).contains(&c) => r.server_error += 1,
+        _ => r.malformed += 1,
+    }
+    r.latencies.push(latency);
+}
+
+/// Runs one open-loop schedule against a live server.
+///
+/// A warm-up request is sent first (outside the measured schedule) so
+/// the view cache is populated and an entity tag exists for the
+/// conditional arrivals; then `cfg.requests` arrivals depart on the
+/// fixed `cfg.rate` schedule, each on its own thread, and the report is
+/// summed once every arrival has resolved.
+///
+/// Panics if `view_target` is empty (there would be nothing to send).
+pub fn run_open_loop(addr: SocketAddr, cfg: &OpenLoopConfig) -> OpenLoopReport {
+    assert!(!cfg.view_target.is_empty(), "open loop needs a view target");
+    let mix = draw_mix(cfg);
+
+    // Warm-up: populate the cache and capture the entity tag.
+    let etag = TcpStream::connect(addr).ok().and_then(|mut conn| {
+        let t = &cfg.view_target;
+        conn.write_all(format!("GET {t} HTTP/1.0\r\nHost: ol\r\n\r\n").as_bytes())
+            .ok()?;
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).ok()?;
+        etag_of(&buf)
+    });
+
+    let report = Mutex::new(OpenLoopReport::default());
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate.max(1.0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (i, kind) in mix.iter().enumerate() {
+            // Fixed schedule: arrival i departs at i * interval, no
+            // matter how many earlier arrivals are still in flight.
+            let due = start + interval * (i as u32);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            let report = &report;
+            let etag = etag.as_deref();
+            scope.spawn(move || run_arrival(addr, *kind, cfg, etag, report));
+        }
+    });
+    let mut r = report.into_inner().unwrap_or_default();
+    r.elapsed = start.elapsed();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_seeded_and_deterministic() {
+        let cfg = OpenLoopConfig { view_target: "/x".to_string(), ..Default::default() };
+        assert_eq!(draw_mix(&cfg), draw_mix(&cfg));
+        let shifted = OpenLoopConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        assert_ne!(draw_mix(&cfg), draw_mix(&shifted));
+    }
+
+    #[test]
+    fn percentiles_order_and_clamp() {
+        let r = OpenLoopReport {
+            latencies: (1..=100).map(Duration::from_millis).collect(),
+            ..Default::default()
+        };
+        assert_eq!(r.percentile(0.5), Duration::from_millis(50));
+        assert_eq!(r.percentile(0.99), Duration::from_millis(99));
+        assert_eq!(r.percentile(0.999), Duration::from_millis(100));
+        assert_eq!(OpenLoopReport::default().percentile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn query_paths_are_percent_encoded() {
+        assert_eq!(percent_encode("/d/pub"), "%2Fd%2Fpub");
+        assert_eq!(percent_encode("abc-1._~"), "abc-1._~");
+    }
+}

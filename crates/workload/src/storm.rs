@@ -95,16 +95,17 @@ impl StormReport {
 }
 
 /// Parses the status code off an HTTP/1.0 response buffer.
-fn status_of(buf: &str) -> Option<u16> {
+pub(crate) fn status_of(buf: &str) -> Option<u16> {
     let rest = buf.strip_prefix("HTTP/1.0 ").or_else(|| buf.strip_prefix("HTTP/1.1 "))?;
     rest.get(..3)?.parse().ok()
 }
 
 /// Extracts the (quoted) entity tag from a response's header block.
-fn etag_of(buf: &str) -> Option<String> {
-    buf.split("\r\n\r\n").next()?.lines().find_map(|l| {
-        l.strip_prefix("ETag: ").map(|t| t.trim().to_string())
-    })
+pub(crate) fn etag_of(buf: &str) -> Option<String> {
+    buf.split("\r\n\r\n")
+        .next()?
+        .lines()
+        .find_map(|l| l.strip_prefix("ETag: ").map(|t| t.trim().to_string()))
 }
 
 /// One client thread's share of the storm.

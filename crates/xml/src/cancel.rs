@@ -172,12 +172,10 @@ impl CancelToken {
             CancelReason::DeadlineExceeded => R_DEADLINE,
             CancelReason::ClientGone => R_CLIENT_GONE,
         };
-        let _ = self.inner.reason.compare_exchange(
-            R_NONE,
-            code,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let _ =
+            self.inner
+                .reason
+                .compare_exchange(R_NONE, code, Ordering::AcqRel, Ordering::Acquire);
         self.inner.cancelled.store(true, Ordering::Release);
     }
 

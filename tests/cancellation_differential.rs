@@ -31,17 +31,11 @@ fn gauge(name: &'static str, help: &'static str) -> i64 {
 }
 
 fn cores_leased() -> i64 {
-    gauge(
-        "xmlsec_par_cores_leased",
-        "Extra cores currently leased from the global core budget.",
-    )
+    gauge("xmlsec_par_cores_leased", "Extra cores currently leased from the global core budget.")
 }
 
 fn queue_depth() -> i64 {
-    gauge(
-        "xmlsec_par_queue_depth",
-        "Tasks currently waiting in the compute-view work queue.",
-    )
+    gauge("xmlsec_par_queue_depth", "Tasks currently waiting in the compute-view work queue.")
 }
 
 /// A fully-specified random scenario: document text, processor (with
