@@ -5,8 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xmlsec_authz::{Action, Authorization, ObjectSpec, PolicyConfig, Sign};
-use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
+use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp, WriteContext};
+use xmlsec_core::view::EngineOptions;
 use xmlsec_subjects::{Directory, Subject};
+use xmlsec_xpath::EvalLimits;
 
 fn write_auths() -> Vec<Authorization> {
     vec![
@@ -42,7 +44,13 @@ fn update(c: &mut Criterion) {
                 black_box(label_for_write(doc, &refs, &[], &dir, PolicyConfig::paper_default()))
             })
         });
-        let labels = label_for_write(&doc, &refs, &[], &dir, PolicyConfig::paper_default());
+        let ctx = WriteContext {
+            axml: &refs,
+            adtd: &[],
+            dir: &dir,
+            policy: PolicyConfig::paper_default(),
+            opts: EngineOptions::sequential(EvalLimits::default_limits()),
+        };
         let ops = vec![
             UpdateOp::SetText {
                 target: "/laboratory/project[1]/manager/flname".into(),
@@ -61,7 +69,7 @@ fn update(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("apply_batch", projects), &doc, |b, doc| {
             b.iter(|| {
                 let mut copy = doc.clone();
-                black_box(apply_updates(&mut copy, &ops, &labels).expect("authorized batch"))
+                black_box(apply_updates(&mut copy, &ops, &ctx).expect("authorized batch"))
             })
         });
     }

@@ -10,10 +10,12 @@
 //! interpreted labeling on guaranteed-heavy corpora), and B16
 //! (cancellation responsiveness: p99 latency from `cancel()` to the
 //! pipeline unwinding, and the deadline-check overhead an armed token
-//! adds to the uncancelled hot path), and B17 (serving-tier concurrency:
+//! adds to the uncancelled hot path), B17 (serving-tier concurrency:
 //! slow-client connection capacity of the epoll event loop vs the
 //! blocking pool at equal worker count, plus open-loop p50/p99/p999
-//! latency per transport) — and writes them as flat JSON at
+//! latency per transport), and B18 (incremental secure updates:
+//! single-op commit latency, and the post-commit read as a patched warm
+//! hit vs a cache-less full recompute) — and writes them as flat JSON at
 //! the repo root (`BENCH_<n+1>.json` by default, one past the highest
 //! checked-in point, so the series extends without workflow edits) —
 //! every PR leaves a perf record the next PR is judged against. The
@@ -43,7 +45,10 @@
 //!   open-loop client observes a malformed or untyped-5xx response.
 //!   B17's latency keys are *excluded* from the 15% drift gate — they
 //!   are tail latencies over real sockets and far too noisy for it; the
-//!   concurrency ratio is the stable, gated signal.
+//!   concurrency ratio is the stable, gated signal;
+//! - B18's post-update warm read (the patched cached view) is less than
+//!   3x faster than the cache-less full recompute. B18's in-process
+//!   latency keys are folded into the 15% drift gate like B1/B13.
 //!
 //! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
 
@@ -55,7 +60,9 @@ use xmlsec_bench::{
     financial_compiled_scenario, hospital_compiled_scenario, hospital_scenario, lab_scenario,
     run_label_compiled, run_label_interpreted, run_view, run_view_parallel,
 };
+use xmlsec_authz::{Action, AuthType, Authorization, ObjectSpec, Sign};
 use xmlsec_core::par::available_cores;
+use xmlsec_core::update::UpdateOp;
 use xmlsec_core::{
     analyze_policy, closure_subjects, AccessRequest, CancelToken, DocumentSource, PolicyConfig,
     ProcessorOptions, ResourceLimits, SecurityProcessor,
@@ -67,6 +74,7 @@ use xmlsec_server::{
 use xmlsec_workload::laboratory::{
     lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
 };
+use xmlsec_subjects::Subject;
 use xmlsec_workload::{run_open_loop, OpenLoopConfig};
 use xmlsec_xml::{serialize, SerializeOptions};
 
@@ -84,6 +92,9 @@ const DEADLINE_OVERHEAD_GATE_PCT: f64 = 5.0;
 /// Required ratio of epoll-sustained to pool-sustained concurrent
 /// slow-client connections at equal worker count (B17).
 const CONCURRENCY_RATIO_GATE: f64 = 4.0;
+/// Required speedup of the post-update warm read (patched cached view)
+/// over the cache-less full recompute (B18).
+const UPDATE_READ_SPEEDUP_GATE: f64 = 3.0;
 
 struct Config {
     batches: usize,
@@ -177,6 +188,72 @@ fn b17_sustained(addr: SocketAddr, clients: usize, target: &str) -> usize {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap_or(false)).filter(|&ok| ok).count()
     })
+}
+
+/// A lab-corpus server for the B18 incremental-update measurements:
+/// Alice holds a recursive write grant on the whole document, Tom reads
+/// his usual pruned view. `cached` picks the serving mode under test —
+/// patched warm views vs full recomputes.
+fn b18_server(projects: usize, cached: bool) -> SecureServer {
+    let mut base = lab_authorization_base();
+    base.add(
+        Authorization::new(
+            Subject::new("Alice", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CSLAB_URI, "/laboratory").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+    let mut server = SecureServer::new(lab_directory(), base);
+    if !cached {
+        server = server.without_cache();
+    }
+    server.register_credentials("Tom", "pw");
+    server.register_credentials("Alice", "pw");
+    server.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    let xml = serialize(
+        &xmlsec_workload::laboratory_scaled(projects, 11),
+        &SerializeOptions::canonical(),
+    );
+    server.repository_mut().put_document(CSLAB_URI, &xml, Some(LAB_DTD_URI));
+    server
+}
+
+fn b18_client(user: &str) -> ClientRequest {
+    ClientRequest {
+        user: Some((user.to_string(), "pw".to_string())),
+        ip: "130.100.50.8".to_string(),
+        sym: "infosys.bld1.it".to_string(),
+        uri: CSLAB_URI.to_string(),
+    }
+}
+
+/// Medians over `rounds` commit/read pairs: single-op update latency
+/// and the latency of the read that follows each commit. Every op
+/// writes a fresh amount so each round genuinely dirties the tree;
+/// `salt` keeps the two serving modes from reusing values.
+fn b18_measure(server: &SecureServer, salt: usize, rounds: usize, cached: bool) -> (f64, f64) {
+    let editor = b18_client("Alice");
+    let reader = b18_client("Tom");
+    server.handle(&reader).expect("warm the reader's view");
+    let mut updates = Vec::with_capacity(rounds);
+    let mut reads = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let ops = [UpdateOp::SetText {
+            target: "/laboratory/project[1]/fund/amount".to_string(),
+            text: format!("{}", 50_000 + salt + i),
+        }];
+        let t = Instant::now();
+        let touched = server.update(&editor, &ops).expect("commit");
+        updates.push(t.elapsed());
+        assert_eq!(touched, 1, "the single op touches exactly its target");
+        let t = Instant::now();
+        let view = black_box(server.handle(&reader).expect("post-commit read"));
+        reads.push(t.elapsed());
+        assert_eq!(view.cached, cached, "serving mode under test");
+    }
+    (median_ms(updates), median_ms(reads))
 }
 
 /// Parses the flat one-level JSON this tool writes: string and numeric
@@ -512,6 +589,22 @@ fn main() {
         (p_ms(1, 0.5), p_ms(1, 0.99), p_ms(1, 0.999));
     let (b17_pool_rps, b17_epoll_rps) = (ol_reports[0].throughput(), ol_reports[1].throughput());
 
+    // B18 — incremental secure updates. Single-op commit latency
+    // (incremental relabel + in-place view patching), and the read that
+    // follows each commit: a patched warm hit on the caching server vs
+    // a full recompute on the cache-less one. The speedup of that
+    // post-update read is the point of the incremental machinery.
+    let b18_rounds = cfg.batches * cfg.iters;
+    let warm_server = b18_server(cfg.projects, true);
+    let (b18_update_ms, b18_warm_read_ms) = b18_measure(&warm_server, 0, b18_rounds, true);
+    let cold_server = b18_server(cfg.projects, false);
+    let (_, b18_recompute_read_ms) = b18_measure(&cold_server, 1_000_000, b18_rounds, false);
+    let b18_read_speedup = b18_recompute_read_ms / b18_warm_read_ms.max(1e-9);
+    eprintln!(
+        "  b18_update_ms = {b18_update_ms:.4}  warm read {b18_warm_read_ms:.4}ms vs recompute \
+         {b18_recompute_read_ms:.4}ms ({b18_read_speedup:.1}x)"
+    );
+
     let regression_gated = !no_gate && baseline_path(&out).is_some();
 
     let json = format!(
@@ -544,6 +637,10 @@ fn main() {
          \"b17_epoll_p99_ms\": {b17_epoll_p99_ms:.4},\n  \
          \"b17_epoll_p999_ms\": {b17_epoll_p999_ms:.4},\n  \
          \"b17_epoll_rps\": {b17_epoll_rps:.2},\n  \
+         \"b18_update_ms\": {b18_update_ms:.4},\n  \
+         \"b18_warm_read_ms\": {b18_warm_read_ms:.5},\n  \
+         \"b18_recompute_read_ms\": {b18_recompute_read_ms:.4},\n  \
+         \"b18_read_speedup\": {b18_read_speedup:.4},\n  \
          \"regression_gated\": {}\n}}\n",
         if b12_gated { 1 } else { 0 },
         if regression_gated { 1 } else { 0 },
@@ -633,6 +730,14 @@ fn main() {
                 ));
             }
         }
+    }
+
+    if !no_gate && b18_read_speedup < UPDATE_READ_SPEEDUP_GATE {
+        failures.push(format!(
+            "B18 post-update warm read is only {b18_read_speedup:.1}x faster than the full \
+             recompute ({b18_warm_read_ms:.3}ms vs {b18_recompute_read_ms:.3}ms); the gate is \
+             {UPDATE_READ_SPEEDUP_GATE}x"
+        ));
     }
 
     if failures.is_empty() {

@@ -64,10 +64,14 @@ pub use processor::{
 pub use static_analysis::{
     analyze_policy, closure_subjects, Cell, PolicyReport, SubjectTable, Verdict,
 };
-pub use update::{apply_updates, label_for_write, UpdateError, UpdateOp};
+pub use update::{
+    apply_updates, label_for_write, label_for_write_engine, UpdateError, UpdateOp, UpdateOutcome,
+    WriteContext,
+};
 pub use view::{
     compute_view, compute_view_engine, compute_view_limited, label_document, label_document_engine,
-    label_document_limited, prune_document, render_labeled, EngineOptions, Labeling, ViewStats,
+    label_document_incremental, label_document_limited, prune_document, render_labeled,
+    EngineOptions, Labeling, ViewStats,
 };
 pub use xmlsec_xml::cancel::{CancelReason, CancelToken, Cancelled};
 

@@ -9,23 +9,35 @@
 //! - **SetText / SetAttribute** on a node require a positive write label
 //!   on that node (for attributes: on the attribute node itself, which
 //!   inherits from parent-local grants as in the read model);
-//! - **InsertElement** under a parent requires a positive write label on
-//!   the parent (you may add to what you can write);
+//! - **InsertElement / InsertSubtree** under a parent require a positive
+//!   write label on the parent (you may add to what you can write);
 //! - **Delete** requires a positive write label on *every* node of the
 //!   deleted subtree — deleting content you could not even write to is
-//!   never allowed, no matter how permissive the root of the subtree is.
+//!   never allowed, no matter how permissive the root of the subtree is;
+//! - **ReplaceSubtree** composes both: the whole outgoing subtree must be
+//!   writable (the delete half) *and* the parent must grant the insert
+//!   half.
 //!
-//! Updates are transactional: the operation list is checked first and
-//! applied only if every operation is authorized, so a failed batch
-//! leaves the document untouched.
+//! Ops in a batch apply **sequentially**, and the write labeling is
+//! recomputed after every op that changes the document: op *k+1* is
+//! authorized against labels that account for everything ops *1..k* did.
+//! In particular `[InsertElement, SetText on the inserted node]` is legal
+//! when the parent's grant propagates to the new child — the batch is
+//! not authorized against a stale pre-batch labeling.
+//!
+//! Updates are transactional: all ops apply to a private clone which
+//! replaces the document only after the whole batch succeeds, so a
+//! denial, a tripped evaluation budget, or a cancellation mid-batch
+//! leaves the caller's document untouched.
 
 use crate::label::Sign3;
-use crate::view::{label_document, Labeling};
+use crate::view::{label_document, label_document_engine, EngineOptions, Labeling};
 use std::fmt;
 use xmlsec_authz::{Action, Authorization, PolicyConfig};
 use xmlsec_subjects::Directory;
+use xmlsec_xml::cancel::CancelReason;
 use xmlsec_xml::{Document, NodeId};
-use xmlsec_xpath::{parse_path, select, XPathError};
+use xmlsec_xpath::{parse_path, select, EvalError, XPathError};
 
 /// One update operation, with targets given as path expressions.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +65,22 @@ pub enum UpdateOp {
         /// Name of the new element.
         name: String,
     },
+    /// Parse `xml` as a document fragment and append a deep copy of it
+    /// under the selected parent(s).
+    InsertSubtree {
+        /// Path selecting the parent element(s).
+        parent: String,
+        /// A well-formed XML fragment (one root element).
+        xml: String,
+    },
+    /// Replace the selected element(s) — subtree and all — with a parsed
+    /// copy of `xml`, spliced into the same child position.
+    ReplaceSubtree {
+        /// Path selecting the element(s) to replace.
+        target: String,
+        /// A well-formed XML fragment (one root element).
+        xml: String,
+    },
     /// Delete the selected node(s) (elements or attributes).
     Delete {
         /// Path selecting the nodes to remove.
@@ -65,21 +93,31 @@ pub enum UpdateOp {
 pub enum UpdateError {
     /// The target path does not parse.
     BadPath(XPathError),
+    /// A subtree payload is not well-formed XML.
+    BadFragment(String),
     /// The path selected no nodes.
     NoSuchNode(String),
     /// A selected node (described) lacks write permission.
     NotAuthorized(String),
     /// The operation does not apply to the selected node kind.
     WrongNodeKind(String),
+    /// Write labeling exhausted an evaluation budget mid-batch.
+    Engine(EvalError),
+    /// The request was cancelled mid-batch (deadline, client gone, or
+    /// explicit); the document is untouched.
+    Cancelled(CancelReason),
 }
 
 impl fmt::Display for UpdateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UpdateError::BadPath(e) => write!(f, "bad update path: {e}"),
+            UpdateError::BadFragment(e) => write!(f, "bad subtree payload: {e}"),
             UpdateError::NoSuchNode(p) => write!(f, "no node matches {p:?}"),
             UpdateError::NotAuthorized(n) => write!(f, "write access denied on {n}"),
             UpdateError::WrongNodeKind(n) => write!(f, "operation not applicable to {n}"),
+            UpdateError::Engine(e) => write!(f, "write labeling exceeded limits: {e}"),
+            UpdateError::Cancelled(r) => write!(f, "update cancelled: {r}"),
         }
     }
 }
@@ -92,8 +130,54 @@ impl From<XPathError> for UpdateError {
     }
 }
 
+impl From<EvalError> for UpdateError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Cancelled(r) => UpdateError::Cancelled(r),
+            other => UpdateError::Engine(other),
+        }
+    }
+}
+
+/// Everything an update batch needs to re-derive write labels as it
+/// mutates the document: the applicable authorization sets (filtered to
+/// `action = write` internally), the subject directory, the policy, and
+/// the engine options carrying evaluation limits and the request's
+/// [`CancelToken`](xmlsec_xml::cancel::CancelToken).
+#[derive(Clone, Copy)]
+pub struct WriteContext<'a> {
+    /// Applicable instance-level authorizations (any action; write ones
+    /// are selected internally).
+    pub axml: &'a [&'a Authorization],
+    /// Applicable schema-level authorizations.
+    pub adtd: &'a [&'a Authorization],
+    /// Subject directory for membership closure.
+    pub dir: &'a Directory,
+    /// Conflict/completeness policy.
+    pub policy: PolicyConfig,
+    /// Evaluation limits, parallelism, memo, and cancellation. Each
+    /// relabel inside the batch draws a fresh node-visit pool from
+    /// `opts.limits`.
+    pub opts: EngineOptions<'a>,
+}
+
+/// What a successful batch did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Number of concrete node-level operations applied.
+    pub touched: usize,
+    /// Roots of the subtrees whose content changed, in the *committed*
+    /// document: targets of text/attribute writes, roots of inserted or
+    /// replacing subtrees, and parents of deletions. A later op in the
+    /// same batch may have since removed a recorded node — consumers
+    /// (incremental rehashers) must skip ids for which
+    /// [`Document::contains`] is false.
+    pub dirty: Vec<NodeId>,
+}
+
 /// Computes the **write labeling** of `doc`: identical to read labeling
-/// but fed only `action = write` authorizations.
+/// but fed only `action = write` authorizations. Unlimited and
+/// uncancellable — prefer [`label_for_write_engine`] on a server path.
 pub fn label_for_write(
     doc: &Document,
     axml: &[&Authorization],
@@ -108,117 +192,239 @@ pub fn label_for_write(
     label_document(doc, &wx, &wd, dir, policy)
 }
 
-/// Checks and applies a batch of updates atomically. On success, returns
-/// the number of nodes touched; on failure the document is unchanged.
+/// [`label_for_write`] through the full engine: evaluation limits and
+/// the request's cancellation token apply, so a pathological write-auth
+/// object or a blown deadline yields a typed error instead of pinning
+/// the worker.
+pub fn label_for_write_engine(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    opts: &EngineOptions<'_>,
+) -> Result<Labeling, EvalError> {
+    let wx: Vec<&Authorization> =
+        axml.iter().copied().filter(|a| a.action == Action::Write).collect();
+    let wd: Vec<&Authorization> =
+        adtd.iter().copied().filter(|a| a.action == Action::Write).collect();
+    label_document_engine(doc, &wx, &wd, dir, policy, opts)
+}
+
+/// Checks and applies a batch of updates atomically.
+///
+/// Ops run sequentially against a private clone; after every op that
+/// changes the clone the write labeling is recomputed (from
+/// `ctx`'s authorization sets, under its limits and cancellation token),
+/// so each op is authorized against the document state its predecessors
+/// produced. On success the clone replaces `doc` and the outcome reports
+/// the touched count plus the dirty subtree roots; on any error —
+/// denial, bad path, tripped budget, cancellation — `doc` is unchanged.
 pub fn apply_updates(
     doc: &mut Document,
     ops: &[UpdateOp],
-    write_labels: &Labeling,
-) -> Result<usize, UpdateError> {
-    // Phase 1: resolve and authorize everything against the *current*
-    // document, collecting concrete actions.
-    enum Planned {
-        SetText(NodeId, String),
-        SetAttr(NodeId, String, String),
-        Insert(NodeId, String),
-        Delete(NodeId),
+    ctx: &WriteContext<'_>,
+) -> Result<UpdateOutcome, UpdateError> {
+    let mut work = doc.clone();
+    let mut outcome = UpdateOutcome { touched: 0, dirty: Vec::new() };
+    let mut labels: Option<Labeling> = None;
+    for op in ops {
+        if let Some(t) = ctx.opts.cancel {
+            t.check().map_err(|c| UpdateError::Cancelled(c.reason))?;
+        }
+        // Lazily (re)derive labels: the previous op's mutations can
+        // change any label in the document (write-auth objects may carry
+        // predicates over the mutated content), so a changed clone drops
+        // the labeling and the next op pays for a fresh one.
+        let current = match &labels {
+            Some(l) => l,
+            None => labels.insert(label_for_write_engine(
+                &work, ctx.axml, ctx.adtd, ctx.dir, ctx.policy, &ctx.opts,
+            )?),
+        };
+        if apply_one(&mut work, op, current, &mut outcome)? {
+            labels = None;
+        }
     }
-    let granted = |n: NodeId| write_labels.final_sign(n) == Sign3::Plus;
+    *doc = work;
+    Ok(outcome)
+}
+
+/// Resolves, authorizes, and applies a single op against the working
+/// document. Returns whether the document changed.
+fn apply_one(
+    work: &mut Document,
+    op: &UpdateOp,
+    labels: &Labeling,
+    outcome: &mut UpdateOutcome,
+) -> Result<bool, UpdateError> {
+    let granted = |n: NodeId| labels.final_sign(n) == Sign3::Plus;
     let describe = |doc: &Document, n: NodeId| xmlsec_xpath::describe_node(doc, n);
 
-    let mut plan: Vec<Planned> = Vec::new();
-    for op in ops {
-        match op {
-            UpdateOp::SetText { target, text } => {
-                let nodes = resolve(doc, target)?;
-                for n in nodes {
-                    if !doc.is_element(n) {
-                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
-                    }
-                    if !granted(n) {
-                        return Err(UpdateError::NotAuthorized(describe(doc, n)));
-                    }
-                    plan.push(Planned::SetText(n, text.clone()));
+    // Resolve and authorize every target of this op first, then apply:
+    // one op either happens in full or not at all, and its own mutations
+    // cannot skew the selection or the checks.
+    let mut changed = false;
+    match op {
+        UpdateOp::SetText { target, text } => {
+            let nodes = resolve(work, target)?;
+            for &n in &nodes {
+                if !work.is_element(n) {
+                    return Err(UpdateError::WrongNodeKind(describe(work, n)));
+                }
+                if !granted(n) {
+                    return Err(UpdateError::NotAuthorized(describe(work, n)));
                 }
             }
-            UpdateOp::SetAttribute { target, name, value } => {
-                let nodes = resolve(doc, target)?;
-                for n in nodes {
-                    if !doc.is_element(n) {
-                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
+            for n in nodes {
+                for c in work.children(n).to_vec() {
+                    if work.is_text(c) {
+                        work.remove_subtree(c);
                     }
-                    // Authorization point: the existing attribute node if
-                    // present (it has its own label), else the element.
-                    let auth_node = doc.attribute_node(n, name).unwrap_or(n);
-                    if !granted(auth_node) {
-                        return Err(UpdateError::NotAuthorized(describe(doc, auth_node)));
-                    }
-                    plan.push(Planned::SetAttr(n, name.clone(), value.clone()));
+                }
+                work.append_text(n, text);
+                outcome.dirty.push(n);
+                outcome.touched += 1;
+                changed = true;
+            }
+        }
+        UpdateOp::SetAttribute { target, name, value } => {
+            let nodes = resolve(work, target)?;
+            for &n in &nodes {
+                if !work.is_element(n) {
+                    return Err(UpdateError::WrongNodeKind(describe(work, n)));
+                }
+                // Authorization point: the existing attribute node if
+                // present (it has its own label), else the element.
+                let auth_node = work.attribute_node(n, name).unwrap_or(n);
+                if !granted(auth_node) {
+                    return Err(UpdateError::NotAuthorized(describe(work, auth_node)));
                 }
             }
-            UpdateOp::InsertElement { parent, name } => {
-                let nodes = resolve(doc, parent)?;
-                for n in nodes {
-                    if !doc.is_element(n) {
-                        return Err(UpdateError::WrongNodeKind(describe(doc, n)));
-                    }
-                    if !granted(n) {
-                        return Err(UpdateError::NotAuthorized(describe(doc, n)));
-                    }
-                    plan.push(Planned::Insert(n, name.clone()));
+            for n in nodes {
+                work.set_attribute(n, name, value).expect("target checked to be an element");
+                outcome.dirty.push(n);
+                outcome.touched += 1;
+                changed = true;
+            }
+        }
+        UpdateOp::InsertElement { parent, name } => {
+            let nodes = resolve(work, parent)?;
+            for &n in &nodes {
+                check_insert_parent(work, n, &granted)?;
+            }
+            for n in nodes {
+                let new = work.append_element(n, name);
+                outcome.dirty.push(new);
+                outcome.touched += 1;
+                changed = true;
+            }
+        }
+        UpdateOp::InsertSubtree { parent, xml } => {
+            let frag = parse_fragment(xml)?;
+            let nodes = resolve(work, parent)?;
+            for &n in &nodes {
+                check_insert_parent(work, n, &granted)?;
+            }
+            for n in nodes {
+                let new = work.import_subtree(n, &frag, frag.root());
+                outcome.dirty.push(new);
+                outcome.touched += 1;
+                changed = true;
+            }
+        }
+        UpdateOp::ReplaceSubtree { target, xml } => {
+            let frag = parse_fragment(xml)?;
+            let nodes = resolve(work, target)?;
+            for &n in &nodes {
+                if !work.is_element(n) {
+                    return Err(UpdateError::WrongNodeKind(describe(work, n)));
+                }
+                let Some(p) = work.parent(n) else {
+                    return Err(UpdateError::WrongNodeKind("the document element".into()));
+                };
+                // The delete half: the whole outgoing subtree must be
+                // writable. The insert half: the parent must grant.
+                check_subtree_writable(work, n, &granted)?;
+                if !granted(p) {
+                    return Err(UpdateError::NotAuthorized(describe(work, p)));
                 }
             }
-            UpdateOp::Delete { target } => {
-                let nodes = resolve(doc, target)?;
-                for n in nodes {
-                    // Strict rule: the whole subtree must be writable.
-                    let mut stack = vec![n];
-                    while let Some(m) = stack.pop() {
-                        if (doc.is_element(m) || doc.is_attribute(m)) && !granted(m) {
-                            return Err(UpdateError::NotAuthorized(describe(doc, m)));
-                        }
-                        for &a in doc.attributes(m) {
-                            stack.push(a);
-                        }
-                        for &c in doc.children(m) {
-                            if doc.is_element(c) {
-                                stack.push(c);
-                            }
-                        }
-                    }
-                    if doc.parent(n).is_none() {
-                        return Err(UpdateError::WrongNodeKind("the document element".into()));
-                    }
-                    plan.push(Planned::Delete(n));
+            for n in nodes {
+                if !work.contains(n) {
+                    continue; // removed with an earlier target's subtree
                 }
+                let new = work
+                    .replace_with_subtree(n, &frag, frag.root())
+                    .expect("non-root target checked above");
+                outcome.dirty.push(new);
+                outcome.touched += 1;
+                changed = true;
+            }
+        }
+        UpdateOp::Delete { target } => {
+            let nodes = resolve(work, target)?;
+            for &n in &nodes {
+                check_subtree_writable(work, n, &granted)?;
+                if work.parent(n).is_none() {
+                    return Err(UpdateError::WrongNodeKind("the document element".into()));
+                }
+            }
+            for n in nodes {
+                if !work.contains(n) {
+                    continue; // nested inside an earlier target's subtree
+                }
+                let parent = work.parent(n).expect("non-root checked above");
+                work.remove_subtree(n);
+                outcome.dirty.push(parent);
+                outcome.touched += 1;
+                changed = true;
             }
         }
     }
+    Ok(changed)
+}
 
-    // Phase 2: apply.
-    let touched = plan.len();
-    for p in plan {
-        match p {
-            Planned::SetText(n, text) => {
-                for c in doc.children(n).to_vec() {
-                    if doc.is_text(c) {
-                        doc.detach(c);
-                    }
-                }
-                doc.append_text(n, &text);
-            }
-            Planned::SetAttr(n, name, value) => {
-                doc.set_attribute(n, &name, &value).expect("target checked to be an element");
-            }
-            Planned::Insert(n, name) => {
-                doc.append_element(n, &name);
-            }
-            Planned::Delete(n) => {
-                doc.detach(n);
+fn check_insert_parent(
+    work: &Document,
+    n: NodeId,
+    granted: &impl Fn(NodeId) -> bool,
+) -> Result<(), UpdateError> {
+    if !work.is_element(n) {
+        return Err(UpdateError::WrongNodeKind(xmlsec_xpath::describe_node(work, n)));
+    }
+    if !granted(n) {
+        return Err(UpdateError::NotAuthorized(xmlsec_xpath::describe_node(work, n)));
+    }
+    Ok(())
+}
+
+/// Strict deletion rule: every element and attribute of the subtree must
+/// carry a positive write label.
+fn check_subtree_writable(
+    work: &Document,
+    n: NodeId,
+    granted: &impl Fn(NodeId) -> bool,
+) -> Result<(), UpdateError> {
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        if (work.is_element(m) || work.is_attribute(m)) && !granted(m) {
+            return Err(UpdateError::NotAuthorized(xmlsec_xpath::describe_node(work, m)));
+        }
+        for &a in work.attributes(m) {
+            stack.push(a);
+        }
+        for &c in work.children(m) {
+            if work.is_element(c) {
+                stack.push(c);
             }
         }
     }
-    Ok(touched)
+    Ok(())
+}
+
+fn parse_fragment(xml: &str) -> Result<Document, UpdateError> {
+    xmlsec_xml::parse(xml).map_err(|e| UpdateError::BadFragment(e.to_string()))
 }
 
 fn resolve(doc: &Document, path: &str) -> Result<Vec<NodeId>, UpdateError> {
@@ -235,7 +441,9 @@ mod tests {
     use super::*;
     use xmlsec_authz::{AuthType, ObjectSpec, Sign};
     use xmlsec_subjects::Subject;
+    use xmlsec_xml::cancel::CancelToken;
     use xmlsec_xml::{parse, serialize, SerializeOptions};
+    use xmlsec_xpath::EvalLimits;
 
     const DOC: &str = r#"<doc><notes author="kim">old</notes><locked>keep</locked></doc>"#;
 
@@ -249,41 +457,65 @@ mod tests {
         .with_action(Action::Write)
     }
 
-    fn labeled(doc: &Document, auths: &[Authorization]) -> Labeling {
+    fn apply(
+        doc: &mut Document,
+        auths: &[Authorization],
+        ops: &[UpdateOp],
+    ) -> Result<UpdateOutcome, UpdateError> {
+        apply_with_opts(doc, auths, ops, EngineOptions::sequential(EvalLimits::unlimited()))
+    }
+
+    fn apply_with_opts(
+        doc: &mut Document,
+        auths: &[Authorization],
+        ops: &[UpdateOp],
+        opts: EngineOptions<'_>,
+    ) -> Result<UpdateOutcome, UpdateError> {
+        let dir = Directory::new();
         let refs: Vec<&Authorization> = auths.iter().collect();
-        label_for_write(doc, &refs, &[], &Directory::new(), PolicyConfig::paper_default())
+        let ctx = WriteContext {
+            axml: &refs,
+            adtd: &[],
+            dir: &dir,
+            policy: PolicyConfig::paper_default(),
+            opts,
+        };
+        apply_updates(doc, ops, &ctx)
+    }
+
+    fn canon(doc: &Document) -> String {
+        serialize(doc, &SerializeOptions::canonical())
     }
 
     #[test]
     fn set_text_with_grant() {
         let mut doc = parse(DOC).unwrap();
         let auths = [write_auth("/doc/notes", Sign::Plus)];
-        let labels = labeled(&doc, &auths);
-        let n = apply_updates(
+        let out = apply(
             &mut doc,
+            &auths,
             &[UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() }],
-            &labels,
         )
         .unwrap();
-        assert_eq!(n, 1);
-        let out = serialize(&doc, &SerializeOptions::canonical());
-        assert!(out.contains("<notes author=\"kim\">new</notes>"), "{out}");
+        assert_eq!(out.touched, 1);
+        assert_eq!(out.dirty.len(), 1);
+        assert!(doc.contains(out.dirty[0]));
+        assert!(canon(&doc).contains("<notes author=\"kim\">new</notes>"), "{}", canon(&doc));
     }
 
     #[test]
     fn set_text_without_grant_denied() {
         let mut doc = parse(DOC).unwrap();
         let auths = [write_auth("/doc/notes", Sign::Plus)];
-        let labels = labeled(&doc, &auths);
-        let e = apply_updates(
+        let e = apply(
             &mut doc,
+            &auths,
             &[UpdateOp::SetText { target: "/doc/locked".into(), text: "hack".into() }],
-            &labels,
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
         // untouched
-        assert!(serialize(&doc, &SerializeOptions::canonical()).contains("keep"));
+        assert!(canon(&doc).contains("keep"));
     }
 
     #[test]
@@ -296,11 +528,10 @@ mod tests {
             Sign::Plus,
             AuthType::Recursive,
         )];
-        let labels = labeled(&doc, &read_only);
-        let e = apply_updates(
+        let e = apply(
             &mut doc,
+            &read_only,
             &[UpdateOp::SetText { target: "/doc/notes".into(), text: "x".into() }],
-            &labels,
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
@@ -312,28 +543,27 @@ mod tests {
         // Grant on the element: local write also covers its attributes.
         let auths =
             [write_auth("/doc/notes", Sign::Plus), write_auth("/doc/notes/@author", Sign::Minus)];
-        let labels = labeled(&doc, &auths);
         // @author explicitly denied
-        let e = apply_updates(
+        let e = apply(
             &mut doc,
+            &auths,
             &[UpdateOp::SetAttribute {
                 target: "/doc/notes".into(),
                 name: "author".into(),
                 value: "eve".into(),
             }],
-            &labels,
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
         // a *new* attribute falls back to the element's grant
-        apply_updates(
+        apply(
             &mut doc,
+            &auths,
             &[UpdateOp::SetAttribute {
                 target: "/doc/notes".into(),
                 name: "reviewed".into(),
                 value: "yes".into(),
             }],
-            &labels,
         )
         .unwrap();
         assert_eq!(
@@ -346,18 +576,17 @@ mod tests {
     fn insert_requires_parent_grant() {
         let mut doc = parse(DOC).unwrap();
         let auths = [write_auth("/doc/notes", Sign::Plus)];
-        let labels = labeled(&doc, &auths);
-        apply_updates(
+        apply(
             &mut doc,
+            &auths,
             &[UpdateOp::InsertElement { parent: "/doc/notes".into(), name: "draft".into() }],
-            &labels,
         )
         .unwrap();
-        assert!(serialize(&doc, &SerializeOptions::canonical()).contains("<draft/>"));
-        let e = apply_updates(
+        assert!(canon(&doc).contains("<draft/>"));
+        let e = apply(
             &mut doc,
+            &auths,
             &[UpdateOp::InsertElement { parent: "/doc".into(), name: "evil".into() }],
-            &labels,
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
@@ -369,48 +598,53 @@ mod tests {
         // folder and <a> writable; <b> carved out.
         let auths =
             [write_auth("/doc/folder", Sign::Plus), write_auth("/doc/folder/b", Sign::Minus)];
-        let labels = labeled(&doc, &auths);
-        let e =
-            apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/folder".into() }], &labels)
-                .unwrap_err();
+        let e = apply(&mut doc, &auths, &[UpdateOp::Delete { target: "/doc/folder".into() }])
+            .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
         // Deleting just <a> is fine.
-        apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/folder/a".into() }], &labels)
-            .unwrap();
-        let out = serialize(&doc, &SerializeOptions::canonical());
+        apply(&mut doc, &auths, &[UpdateOp::Delete { target: "/doc/folder/a".into() }]).unwrap();
+        let out = canon(&doc);
         assert!(!out.contains("<a>"), "{out}");
         assert!(out.contains("<b"), "{out}");
+    }
+
+    #[test]
+    fn delete_frees_arena_slots() {
+        let mut doc = parse(r#"<doc><folder><a>1</a></folder></doc>"#).unwrap();
+        let auths = [write_auth("/doc/folder", Sign::Plus)];
+        assert_eq!(doc.free_len(), 0);
+        apply(&mut doc, &auths, &[UpdateOp::Delete { target: "/doc/folder/a".into() }]).unwrap();
+        // <a> and its text child were freed, not just detached.
+        assert_eq!(doc.free_len(), 2);
     }
 
     #[test]
     fn batch_is_atomic() {
         let mut doc = parse(DOC).unwrap();
         let auths = [write_auth("/doc/notes", Sign::Plus)];
-        let labels = labeled(&doc, &auths);
-        let before = serialize(&doc, &SerializeOptions::canonical());
-        let e = apply_updates(
+        let before = canon(&doc);
+        let e = apply(
             &mut doc,
+            &auths,
             &[
                 UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() },
                 UpdateOp::SetText { target: "/doc/locked".into(), text: "hack".into() },
             ],
-            &labels,
         )
         .unwrap_err();
         assert!(matches!(e, UpdateError::NotAuthorized(_)));
-        assert_eq!(serialize(&doc, &SerializeOptions::canonical()), before);
+        assert_eq!(canon(&doc), before);
     }
 
     #[test]
     fn missing_target_and_bad_path() {
         let mut doc = parse(DOC).unwrap();
-        let labels = labeled(&doc, &[]);
         assert!(matches!(
-            apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc/ghost".into() }], &labels),
+            apply(&mut doc, &[], &[UpdateOp::Delete { target: "/doc/ghost".into() }]),
             Err(UpdateError::NoSuchNode(_))
         ));
         assert!(matches!(
-            apply_updates(&mut doc, &[UpdateOp::Delete { target: "///".into() }], &labels),
+            apply(&mut doc, &[], &[UpdateOp::Delete { target: "///".into() }]),
             Err(UpdateError::BadPath(_))
         ));
     }
@@ -419,9 +653,247 @@ mod tests {
     fn cannot_delete_document_element() {
         let mut doc = parse(DOC).unwrap();
         let auths = [write_auth("/doc", Sign::Plus)];
-        let labels = labeled(&doc, &auths);
-        let e = apply_updates(&mut doc, &[UpdateOp::Delete { target: "/doc".into() }], &labels)
-            .unwrap_err();
+        let e = apply(&mut doc, &auths, &[UpdateOp::Delete { target: "/doc".into() }]).unwrap_err();
         assert!(matches!(e, UpdateError::WrongNodeKind(_)));
+    }
+
+    // ---- intra-batch ordering (labels must track the evolving doc) ----
+
+    #[test]
+    fn insert_then_set_text_on_inserted_node() {
+        // The second op targets a node the first op creates: it must be
+        // authorized against labels that account for the insertion (the
+        // recursive grant on /doc/notes propagates to the new child).
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let out = apply(
+            &mut doc,
+            &auths,
+            &[
+                UpdateOp::InsertElement { parent: "/doc/notes".into(), name: "draft".into() },
+                UpdateOp::SetText { target: "/doc/notes/draft".into(), text: "hi".into() },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.touched, 2);
+        assert!(canon(&doc).contains("<draft>hi</draft>"), "{}", canon(&doc));
+    }
+
+    #[test]
+    fn intra_batch_relabel_respects_denials() {
+        // The carve-out on the (future) child must bind the moment the
+        // child exists: insert succeeds, the dependent SetText is denied,
+        // and atomicity rolls the whole batch back.
+        let mut doc = parse(DOC).unwrap();
+        let auths =
+            [write_auth("/doc/notes", Sign::Plus), write_auth("/doc/notes/draft", Sign::Minus)];
+        let before = canon(&doc);
+        let e = apply(
+            &mut doc,
+            &auths,
+            &[
+                UpdateOp::InsertElement { parent: "/doc/notes".into(), name: "draft".into() },
+                UpdateOp::SetText { target: "/doc/notes/draft".into(), text: "hi".into() },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        assert_eq!(canon(&doc), before);
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_path() {
+        // Sequential semantics: op 2 resolves against the doc op 1 left.
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc", Sign::Plus)];
+        let out = apply(
+            &mut doc,
+            &auths,
+            &[
+                UpdateOp::Delete { target: "/doc/locked".into() },
+                UpdateOp::InsertElement { parent: "/doc".into(), name: "locked".into() },
+                UpdateOp::SetText { target: "/doc/locked".into(), text: "fresh".into() },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.touched, 3);
+        assert!(canon(&doc).contains("<locked>fresh</locked>"), "{}", canon(&doc));
+    }
+
+    // ---- subtree ops ----
+
+    #[test]
+    fn insert_subtree_imports_fragment() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let out = apply(
+            &mut doc,
+            &auths,
+            &[UpdateOp::InsertSubtree {
+                parent: "/doc/notes".into(),
+                xml: r#"<draft status="new">text</draft>"#.into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.touched, 1);
+        assert!(doc.is_element(out.dirty[0]));
+        assert!(canon(&doc).contains(r#"<draft status="new">text</draft>"#), "{}", canon(&doc));
+    }
+
+    #[test]
+    fn insert_subtree_rejects_bad_fragment() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let before = canon(&doc);
+        let e = apply(
+            &mut doc,
+            &auths,
+            &[UpdateOp::InsertSubtree { parent: "/doc/notes".into(), xml: "<a><b".into() }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::BadFragment(_)));
+        assert_eq!(canon(&doc), before);
+    }
+
+    #[test]
+    fn replace_subtree_preserves_position() {
+        let mut doc = parse(r#"<doc><folder><a>1</a><b>2</b></folder></doc>"#).unwrap();
+        let auths = [write_auth("/doc/folder", Sign::Plus)];
+        let out = apply(
+            &mut doc,
+            &auths,
+            &[UpdateOp::ReplaceSubtree {
+                target: "/doc/folder/a".into(),
+                xml: "<a2>new</a2>".into(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.touched, 1);
+        // Spliced into <a>'s former slot, before <b>.
+        assert!(canon(&doc).contains("<folder><a2>new</a2><b>2</b></folder>"), "{}", canon(&doc));
+    }
+
+    #[test]
+    fn replace_subtree_requires_old_subtree_writable() {
+        let mut doc = parse(r#"<doc><folder><a>1</a><b locked="x">2</b></folder></doc>"#).unwrap();
+        let auths =
+            [write_auth("/doc/folder", Sign::Plus), write_auth("/doc/folder/b", Sign::Minus)];
+        let before = canon(&doc);
+        let e = apply(
+            &mut doc,
+            &auths,
+            &[UpdateOp::ReplaceSubtree { target: "/doc/folder/b".into(), xml: "<b/>".into() }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::NotAuthorized(_)));
+        assert_eq!(canon(&doc), before);
+    }
+
+    #[test]
+    fn cannot_replace_document_element() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc", Sign::Plus)];
+        let e = apply(
+            &mut doc,
+            &auths,
+            &[UpdateOp::ReplaceSubtree { target: "/doc".into(), xml: "<doc2/>".into() }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::WrongNodeKind(_)));
+    }
+
+    // ---- cancellation and limits (PR 7 contract) ----
+
+    #[test]
+    fn precancelled_token_stops_before_any_work() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let token = CancelToken::never();
+        token.cancel();
+        let before = canon(&doc);
+        let e = apply_with_opts(
+            &mut doc,
+            &auths,
+            &[UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() }],
+            EngineOptions::sequential(EvalLimits::unlimited()).with_cancel(&token),
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::Cancelled(CancelReason::Explicit)));
+        assert_eq!(canon(&doc), before);
+    }
+
+    #[test]
+    fn write_labeling_polls_the_token() {
+        // The token must be threaded all the way into the labeling
+        // engine, not just checked at op boundaries: a token that trips
+        // at the very first evaluator poll cancels the labeling itself.
+        let doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let refs: Vec<&Authorization> = auths.iter().collect();
+        let token = CancelToken::cancel_after_polls(0);
+        let e = label_for_write_engine(
+            &doc,
+            &refs,
+            &[],
+            &Directory::new(),
+            PolicyConfig::paper_default(),
+            &EngineOptions::sequential(EvalLimits::default_limits()).with_cancel(&token),
+        )
+        .unwrap_err();
+        assert!(matches!(e, EvalError::Cancelled(CancelReason::Explicit)));
+    }
+
+    #[test]
+    fn cancelled_batch_leaves_document_untouched() {
+        // Sweep the deterministic trip point across the whole batch: no
+        // matter where cancellation lands — before the batch, inside the
+        // first labeling, between ops, inside a mid-batch relabel — an
+        // interrupted batch never leaks partial writes into the caller's
+        // document.
+        let ops = [
+            UpdateOp::SetText { target: "/doc/notes".into(), text: "one".into() },
+            UpdateOp::InsertElement { parent: "/doc/notes".into(), name: "draft".into() },
+            UpdateOp::SetText { target: "/doc/notes/draft".into(), text: "two".into() },
+        ];
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let pristine = canon(&parse(DOC).unwrap());
+        let mut cancelled_runs = 0u32;
+        let mut completed_runs = 0u32;
+        for k in 0..400 {
+            let mut doc = parse(DOC).unwrap();
+            let token = CancelToken::cancel_after_polls(k);
+            let opts =
+                EngineOptions::sequential(EvalLimits::default_limits()).with_cancel(&token);
+            match apply_with_opts(&mut doc, &auths, &ops, opts) {
+                Ok(out) => {
+                    assert_eq!(out.touched, 3);
+                    assert!(canon(&doc).contains("<draft>two</draft>"));
+                    completed_runs += 1;
+                }
+                Err(UpdateError::Cancelled(CancelReason::Explicit)) => {
+                    assert_eq!(canon(&doc), pristine, "partial write leaked at poll {k}");
+                    cancelled_runs += 1;
+                }
+                Err(e) => panic!("unexpected error at poll {k}: {e}"),
+            }
+        }
+        assert!(cancelled_runs > 0, "the sweep never hit a cancellation point");
+        assert!(completed_runs > 0, "the sweep never let the batch finish");
+    }
+
+    #[test]
+    fn exhausted_budget_is_typed_and_atomic() {
+        let mut doc = parse(DOC).unwrap();
+        let auths = [write_auth("/doc/notes", Sign::Plus)];
+        let before = canon(&doc);
+        let e = apply_with_opts(
+            &mut doc,
+            &auths,
+            &[UpdateOp::SetText { target: "/doc/notes".into(), text: "new".into() }],
+            EngineOptions::sequential(EvalLimits { max_node_visits: 1, max_eval_depth: 64 }),
+        )
+        .unwrap_err();
+        assert!(matches!(e, UpdateError::Engine(EvalError::NodeBudget { .. })), "{e}");
+        assert_eq!(canon(&doc), before);
     }
 }

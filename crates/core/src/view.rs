@@ -87,6 +87,31 @@ pub struct Labeling {
     labels: Vec<Label>,
     /// Statistics accumulated during labeling.
     pub stats: ViewStats,
+    /// Reuse state captured by [`label_document_incremental`]: per-slot
+    /// match masks and arena generations, plus the policy fingerprint
+    /// they were computed under. `None` for plain engine runs (no
+    /// capture overhead on the read path), the compiled fast path, and
+    /// runs whose applicable sets exceed the 128-bit mask.
+    incremental: Option<IncrementalState>,
+}
+
+/// What [`label_document_incremental`] needs to decide, next time, which
+/// nodes can keep their previous label: a node's label is a pure
+/// function of its match mask and its parent's (already propagated)
+/// label, so `(generation, mask, parent label)` unchanged ⇒ label
+/// unchanged.
+#[derive(Debug, Clone)]
+struct IncrementalState {
+    /// Per-slot match mask (bit `i` ⇔ the `i`-th canonical applicable
+    /// authorization selects the node; instance low, schema above).
+    masks: Vec<u128>,
+    /// Arena slot generations at labeling time — a bumped generation
+    /// means the slot was recycled and its previous label is about a
+    /// different node.
+    gens: Vec<u32>,
+    /// [`policy_fingerprint`] of the applicable sets + policy + subject
+    /// closure the masks were computed under.
+    fingerprint: u64,
 }
 
 impl Labeling {
@@ -98,6 +123,12 @@ impl Labeling {
     /// The final sign of `n`.
     pub fn final_sign(&self, n: NodeId) -> Sign3 {
         self.labels[n.index()].final_sign
+    }
+
+    /// Whether this labeling carries the reuse state a later
+    /// [`label_document_incremental`] call can compare against.
+    pub fn supports_incremental(&self) -> bool {
+        self.incremental.is_some()
     }
 }
 
@@ -464,6 +495,7 @@ pub fn label_document_engine(
             schema_auths: adtd.len(),
             ..Default::default()
         },
+        incremental: None,
     };
     let mut labeled = 0usize;
     let mut granted = 0usize;
@@ -815,7 +847,292 @@ fn label_fast_path(
         }
     }
     record_cell_hits(allow, deny, 0);
-    Ok(Some(Labeling { labels, stats }))
+    Ok(Some(Labeling { labels, stats, incremental: None }))
+}
+
+/// Flushes incremental-relabel traffic to telemetry: how many nodes kept
+/// their previous label vs. were resolved from scratch.
+fn record_relabel(reused: u64, resolved: u64) {
+    use std::sync::OnceLock;
+    use xmlsec_telemetry as telemetry;
+    static REUSED: OnceLock<std::sync::Arc<telemetry::Counter>> = OnceLock::new();
+    static RESOLVED: OnceLock<std::sync::Arc<telemetry::Counter>> = OnceLock::new();
+    REUSED
+        .get_or_init(|| {
+            telemetry::global().counter(
+                "xmlsec_relabel_nodes_total",
+                "Nodes whose label was reused across an incremental relabel.",
+                &[("kind", "reused")],
+            )
+        })
+        .add(reused);
+    RESOLVED
+        .get_or_init(|| {
+            telemetry::global().counter(
+                "xmlsec_relabel_nodes_total",
+                "Nodes whose label was reused across an incremental relabel.",
+                &[("kind", "resolved")],
+            )
+        })
+        .add(resolved);
+}
+
+/// Labels `doc` like [`label_document_engine`], but captures per-slot
+/// reuse state in the returned [`Labeling`] and — when `prev` carries
+/// compatible state from an earlier call — **relabels only the dirty
+/// region**: the nodes whose match mask changed, the slots recycled by
+/// the update, and the descendants of any node whose propagated label
+/// changed. Everything else keeps its previous label without touching
+/// the resolution machinery.
+///
+/// Soundness: a node's label is a pure function of `(its match mask,
+/// its parent's label)` — [`LabelCtx::label_element`] /
+/// [`LabelCtx::label_attribute`] read nothing else — and a compiled
+/// verdict cell is keyed by the node's type alone, which cannot change
+/// while the slot generation is unchanged. Authorization objects are
+/// re-evaluated globally every call (an XPath predicate may read content
+/// anywhere in the document), so changed masks are always observed; the
+/// walk then descends only where `(generation, mask, parent label)`
+/// differs from the previous run, which makes the result identical — not
+/// just equivalent — to a cold [`label_document_engine`] run.
+///
+/// `prev` is ignored (full relabel, state still captured) when it has no
+/// reuse state or was computed under a different policy fingerprint.
+/// Applicable sets past the 128-bit mask cap fall back to the plain
+/// engine and return a labeling without reuse state.
+pub fn label_document_incremental(
+    doc: &Document,
+    axml: &[&Authorization],
+    adtd: &[&Authorization],
+    dir: &Directory,
+    policy: PolicyConfig,
+    opts: &EngineOptions<'_>,
+    prev: Option<&Labeling>,
+) -> Result<Labeling, EvalError> {
+    if axml.len() + adtd.len() > 128 {
+        return label_document_engine(doc, axml, adtd, dir, policy, opts);
+    }
+    // Always canonicalize: mask bit `i` must mean the same authorization
+    // in the run that captured the state and in the run that compares
+    // against it, independent of presentation order (and of whether a
+    // decision cache happens to be attached).
+    fn canonical<'x>(set: &[&'x Authorization]) -> Vec<&'x Authorization> {
+        let mut v = set.to_vec();
+        v.sort_by_cached_key(|a| a.to_string());
+        v
+    }
+    let axml = canonical(axml);
+    let adtd = canonical(adtd);
+    let fingerprint = policy_fingerprint(&axml, &adtd, dir, policy);
+    let compiled = opts.compiled.filter(|cp| cp.fingerprint == fingerprint);
+
+    if let Some(t) = opts.cancel {
+        t.check().map_err(|c| EvalError::Cancelled(c.reason))?;
+    }
+
+    // Global re-evaluation of the applicable objects (predicates may read
+    // mutated content anywhere); the budget pool and cancellation
+    // contract match the plain engine.
+    let pool = match opts.cancel {
+        Some(t) => SharedBudget::with_cancel(opts.limits.max_node_visits, t.clone()),
+        None => SharedBudget::new(opts.limits.max_node_visits),
+    };
+    let xml_matched = evaluate_auths(doc, &axml, &opts.limits, &pool, 1)?;
+    let dtd_matched = evaluate_auths(doc, &adtd, &opts.limits, &pool, 1)?;
+
+    let ctx = LabelCtx {
+        doc,
+        xml: &xml_matched,
+        dtd: &dtd_matched,
+        dir,
+        policy,
+        fingerprint,
+        decisions: opts.decisions,
+        compiled,
+        cancel: opts.cancel,
+    };
+
+    let len = doc.arena_len();
+    let mut masks = vec![0u128; len];
+    for n in doc.preorder(doc.root()) {
+        masks[n.index()] = ctx.mask_of(n);
+    }
+    let gens: Vec<u32> = (0..len).map(|i| doc.slot_generation(i).unwrap_or(0)).collect();
+
+    let reusable = prev.and_then(|p| p.incremental.as_ref()).filter(|s| {
+        s.fingerprint == fingerprint
+    });
+
+    // `clean[i]`: slot i held the same node (generation) with the same
+    // match mask last run — its previous label can be reused as long as
+    // its parent's label also comes out unchanged.
+    let mut clean = vec![false; len];
+    let mut prev_labels: &[Label] = &[];
+    if let Some(state) = reusable {
+        let p = prev.expect("reusable implies prev");
+        prev_labels = &p.labels;
+        let overlap = len.min(state.masks.len());
+        for (i, c) in clean.iter_mut().enumerate().take(overlap) {
+            *c = state.gens[i] == gens[i] && state.masks[i] == masks[i];
+        }
+    }
+    // `hot[i]`: the subtree below slot i contains a non-clean node, so
+    // the walk must descend through i even when i itself is reusable.
+    let mut hot = vec![false; len];
+    for n in doc.preorder(doc.root()) {
+        let i = n.index();
+        if !clean[i] && !hot[i] {
+            let mut cur = doc.parent(n);
+            while let Some(a) = cur {
+                let ai = a.index();
+                if hot[ai] {
+                    break;
+                }
+                hot[ai] = true;
+                cur = doc.parent(a);
+            }
+        }
+    }
+
+    let mut labels = vec![Label::default(); len];
+    let mut memo = Memo::default();
+    let (mut reused, mut resolved) = (0u64, 0u64);
+
+    // Copies the previous labels of the whole (clean) subtree under `n`.
+    fn copy_subtree(
+        doc: &Document,
+        n: NodeId,
+        prev_labels: &[Label],
+        labels: &mut [Label],
+        reused: &mut u64,
+    ) {
+        for m in doc.preorder(n) {
+            labels[m.index()] = prev_labels[m.index()];
+            *reused += 1;
+        }
+    }
+
+    // Relabels top-down, descending only where something changed.
+    // `parent_same`: the parent's new label equals its previous one, so
+    // a clean child's previous label is still valid.
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        ctx: &LabelCtx<'_>,
+        n: NodeId,
+        parent: &Label,
+        parent_same: bool,
+        clean: &[bool],
+        hot: &[bool],
+        prev_labels: &[Label],
+        labels: &mut [Label],
+        memo: &mut Memo,
+        reused: &mut u64,
+        resolved: &mut u64,
+    ) -> Result<(), Cancelled> {
+        if let Some(t) = ctx.cancel {
+            t.poll()?;
+        }
+        let i = n.index();
+        if parent_same && clean[i] && !hot[i] {
+            copy_subtree(ctx.doc, n, prev_labels, labels, reused);
+            return Ok(());
+        }
+        let lab = if parent_same && clean[i] {
+            *reused += 1;
+            prev_labels[i]
+        } else {
+            *resolved += 1;
+            ctx.label_element(n, parent, memo)
+        };
+        labels[i] = lab;
+        let same = parent_same && clean[i] && lab == prev_labels[i];
+        for &a in ctx.doc.attributes(n) {
+            let ai = a.index();
+            if same && clean[ai] {
+                labels[ai] = prev_labels[ai];
+                *reused += 1;
+            } else {
+                labels[ai] = ctx.label_attribute(a, n, &lab, memo);
+                *resolved += 1;
+            }
+        }
+        for c in ctx.doc.child_elements(n) {
+            walk(ctx, c, &lab, same, clean, hot, prev_labels, labels, memo, reused, resolved)?;
+        }
+        Ok(())
+    }
+
+    // Root: no parent propagation, so "parent unchanged" is vacuously
+    // true and the root reuses its previous label whenever it is clean.
+    let root = doc.root();
+    let ri = root.index();
+    if clean[ri] && !hot[ri] {
+        copy_subtree(doc, root, prev_labels, &mut labels, &mut reused);
+    } else {
+        let root_label = if clean[ri] {
+            reused += 1;
+            prev_labels[ri]
+        } else {
+            resolved += 1;
+            ctx.compiled_element(root, &mut memo).unwrap_or_else(|| {
+                let mut lab = ctx.initial_label(root, false, &mut memo);
+                lab.final_sign = lab.collapse();
+                lab
+            })
+        };
+        labels[ri] = root_label;
+        let same = clean[ri] && root_label == prev_labels[ri];
+        for &a in doc.attributes(root) {
+            let ai = a.index();
+            if same && clean[ai] {
+                labels[ai] = prev_labels[ai];
+                reused += 1;
+            } else {
+                labels[ai] = ctx.label_attribute(a, root, &root_label, &mut memo);
+                resolved += 1;
+            }
+        }
+        for c in doc.child_elements(root) {
+            walk(
+                &ctx,
+                c,
+                &root_label,
+                same,
+                &clean,
+                &hot,
+                prev_labels,
+                &mut labels,
+                &mut memo,
+                &mut reused,
+                &mut resolved,
+            )
+            .map_err(|c| EvalError::Cancelled(c.reason))?;
+        }
+    }
+    record_traffic(memo.hits, memo.misses);
+    record_cell_hits(memo.cell_allow, memo.cell_deny, memo.cell_dep);
+    record_relabel(reused, resolved);
+
+    let mut labeling = Labeling {
+        labels,
+        stats: ViewStats {
+            instance_auths: axml.len(),
+            schema_auths: adtd.len(),
+            ..Default::default()
+        },
+        incremental: Some(IncrementalState { masks, gens, fingerprint }),
+    };
+    let mut labeled = 0usize;
+    let mut granted = 0usize;
+    for n in doc.preorder(doc.root()) {
+        labeled += 1;
+        if labeling.labels[n.index()].final_sign == Sign3::Plus {
+            granted += 1;
+        }
+    }
+    labeling.stats.labeled_nodes = labeled;
+    labeling.stats.granted_nodes = granted;
+    Ok(labeling)
 }
 
 /// The paper's `prune(T, n)` (postorder): removes from `doc` every node

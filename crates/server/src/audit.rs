@@ -20,6 +20,17 @@ pub enum AuditOutcome {
         /// Whether the view came from the cache.
         cached: bool,
     },
+    /// An update batch was authorized, applied, and committed.
+    ///
+    /// Distinct from [`AuditOutcome::Served`] so write traffic never
+    /// masquerades as a zero-node read in the trail.
+    Updated {
+        /// Operations in the submitted batch.
+        ops: usize,
+        /// Concrete node-level mutations applied (a single op can touch
+        /// several nodes, e.g. materializing an attribute).
+        touched: usize,
+    },
     /// Authentication failed.
     AuthenticationFailed,
     /// The URI is not in the repository.

@@ -221,6 +221,65 @@ impl ViewCache {
         }
     }
 
+    /// Snapshot of every key currently cached for `uri`, oldest first.
+    ///
+    /// The update path uses this to enumerate the warm views it must
+    /// patch in place after a commit moves the content hash.
+    pub fn keys_for_uri(&self, uri: &str) -> Vec<ViewKey> {
+        let inner = self.lock();
+        inner.order.iter().filter(|k| k.uri == uri).cloned().collect()
+    }
+
+    /// `true` when `key` is currently cached. No hit/miss accounting.
+    pub fn contains_key(&self, key: &ViewKey) -> bool {
+        self.lock().map.contains_key(key)
+    }
+
+    /// Replaces the entry at `old` with `(new, view)` **in place**: the
+    /// new entry inherits the old one's position in the FIFO eviction
+    /// order, so patching a warm view does not reset its age. Returns
+    /// `false` (and stores nothing) when `old` is not cached — the
+    /// caller should fall back to [`ViewCache::put`] or drop the view.
+    pub fn replace(&self, old: &ViewKey, new: ViewKey, view: CachedView) -> bool {
+        let mut inner = self.lock();
+        if inner.map.remove(old).is_none() {
+            return false;
+        }
+        // Rewrite the key in its existing order slot; entry count is
+        // unchanged, so the shared gauge is untouched.
+        if let Some(slot) = inner.order.iter_mut().find(|k| *k == old) {
+            *slot = new.clone();
+        }
+        if inner.map.insert(new.clone(), view).is_some() {
+            // `new` was independently cached: we just clobbered it, so
+            // one of its two order slots must go.
+            let mut seen = false;
+            inner.order.retain(|k| {
+                if *k == new {
+                    if seen {
+                        return false;
+                    }
+                    seen = true;
+                }
+                true
+            });
+            cache_metrics().entries.add(-1);
+        }
+        true
+    }
+
+    /// Drops one entry. Returns `true` when it was present.
+    pub fn remove(&self, key: &ViewKey) -> bool {
+        let mut inner = self.lock();
+        if inner.map.remove(key).is_some() {
+            inner.order.retain(|k| k != key);
+            cache_metrics().entries.add(-1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drops every entry for `uri` (call when a document or its XACL
     /// changes). Returns how many entries were removed.
     pub fn invalidate_uri(&self, uri: &str) -> usize {
@@ -434,6 +493,58 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 0);
         assert!(c.get(&key("b", 1)).is_some());
+    }
+
+    #[test]
+    fn replace_preserves_eviction_position() {
+        let c = ViewCache::with_capacity(2);
+        c.put(key_v("a", 1, 100), view("<a/>"));
+        c.put(key_v("b", 1, 100), view("<b/>"));
+        // Patch "a" in place: new content hash, same age.
+        assert!(c.replace(&key_v("a", 1, 100), key_v("a", 1, 200), view("<a v2/>")));
+        assert_eq!(c.len(), 2);
+        // A third insert still evicts the patched "a" — it kept the
+        // oldest slot rather than being treated as freshly inserted.
+        c.put(key_v("c", 1, 100), view("<c/>"));
+        assert!(c.get(&key_v("a", 1, 200)).is_none(), "patched entry keeps its age");
+        assert!(c.get(&key_v("b", 1, 100)).is_some());
+        assert_eq!(c.order_len(), c.len());
+    }
+
+    #[test]
+    fn replace_of_absent_key_is_a_noop() {
+        let c = ViewCache::new();
+        assert!(!c.replace(&key_v("a", 1, 100), key_v("a", 1, 200), view("<a/>")));
+        assert!(c.is_empty());
+        assert_eq!(c.order_len(), 0);
+    }
+
+    #[test]
+    fn replace_onto_existing_key_collapses_to_one_entry() {
+        let c = ViewCache::new();
+        c.put(key_v("a", 1, 100), view("<old/>"));
+        c.put(key_v("a", 1, 200), view("<already-new/>"));
+        assert!(c.replace(&key_v("a", 1, 100), key_v("a", 1, 200), view("<patched/>")));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.order_len(), 1);
+        assert_eq!(c.get(&key_v("a", 1, 200)).unwrap().xml, "<patched/>");
+    }
+
+    #[test]
+    fn keys_for_uri_and_remove() {
+        let c = ViewCache::new();
+        c.put(key_v("a", 1, 100), view("<a/>"));
+        c.put(key_v("a", 2, 100), view("<a2/>"));
+        c.put(key_v("b", 1, 100), view("<b/>"));
+        let keys = c.keys_for_uri("a");
+        assert_eq!(keys.len(), 2);
+        assert!(keys.iter().all(|k| k.uri == "a"));
+        assert!(c.contains_key(&keys[0]));
+        assert!(c.remove(&keys[0]));
+        assert!(!c.remove(&keys[0]));
+        assert!(!c.contains_key(&keys[0]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.order_len(), 2);
     }
 
     #[test]

@@ -288,6 +288,9 @@ mod imp {
         conn: u64,
         client: ClientRequest,
         query: Option<String>,
+        /// A parsed `POST /update` op batch; `None` for reads. Updates
+        /// are handed off exactly like cache-miss compute.
+        update: Option<Vec<xmlsec_core::update::UpdateOp>>,
         if_none_match: Option<String>,
         cancel: CancelToken,
         keep_alive: bool,
@@ -426,6 +429,7 @@ mod imp {
         line: String,
         if_none_match: Option<String>,
         deadline_ms: Option<u64>,
+        content_length: Option<usize>,
         keep_alive: bool,
     }
 
@@ -438,6 +442,7 @@ mod imp {
             .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.1"));
         let mut if_none_match = None;
         let mut deadline_ms = None;
+        let mut content_length = None;
         let mut ka_header: Option<bool> = None;
         for h in it {
             if h.is_empty() {
@@ -451,6 +456,8 @@ mod imp {
                 } else if name.eq_ignore_ascii_case("x-request-deadline") {
                     // Advisory header; unparsable values are ignored.
                     deadline_ms = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().ok();
                 } else if name.eq_ignore_ascii_case("connection") {
                     let v = value.to_ascii_lowercase();
                     if v.contains("keep-alive") {
@@ -461,7 +468,13 @@ mod imp {
                 }
             }
         }
-        Head { line, if_none_match, deadline_ms, keep_alive: ka_header.unwrap_or(http11) }
+        Head {
+            line,
+            if_none_match,
+            deadline_ms,
+            content_length,
+            keep_alive: ka_header.unwrap_or(http11),
+        }
     }
 
     struct EventLoop {
@@ -675,9 +688,42 @@ mod imp {
                         return false;
                     }
                     HeadScan::Complete(len) => {
-                        let head_bytes: Vec<u8> = conn.buf.drain(..len).collect();
-                        let head = parse_head(&String::from_utf8_lossy(&head_bytes));
-                        if self.route(tok, conn, head) {
+                        let head = parse_head(&String::from_utf8_lossy(&conn.buf[..len]));
+                        // POST bodies are Content-Length framed: reject
+                        // oversized declarations without waiting for the
+                        // bytes, and wait for complete bodies before
+                        // routing (the head stays buffered meanwhile).
+                        let is_post = head.line.starts_with("POST ");
+                        let body_len = if is_post {
+                            match head.content_length {
+                                Some(l) if l > http::MAX_UPDATE_BODY => {
+                                    xmlsec_xml::limit_rejected("update_body");
+                                    conn.push_out(&http::render_response(
+                                        413,
+                                        "Content Too Large",
+                                        "text/plain",
+                                        "update body too large\n",
+                                        &[],
+                                        false,
+                                    ));
+                                    conn.served += 1;
+                                    conn.close_after_write = true;
+                                    conn.lingering = Some(Instant::now() + LINGER);
+                                    conn.buf.clear();
+                                    return false;
+                                }
+                                Some(l) => l,
+                                None => 0,
+                            }
+                        } else {
+                            0
+                        };
+                        if conn.buf.len() < len + body_len {
+                            return false; // body incomplete: keep reading
+                        }
+                        conn.buf.drain(..len);
+                        let body: Vec<u8> = conn.buf.drain(..body_len).collect();
+                        if self.route(tok, conn, head, body) {
                             return true;
                         }
                         if conn.close_after_write {
@@ -691,7 +737,7 @@ mod imp {
         /// Answers one parsed request: inline when the bytes are already
         /// computed (metrics, 400s, cache hits, 304s, sheds), otherwise
         /// dispatched to the worker pool. Returns true to close now.
-        fn route(&mut self, tok: u64, conn: &mut Conn, head: Head) -> bool {
+        fn route(&mut self, tok: u64, conn: &mut Conn, head: Head, body: Vec<u8>) -> bool {
             let ka = head.keep_alive;
             let target = head.line.split_whitespace().nth(1).unwrap_or("");
             if target == "/metrics" || target.starts_with("/metrics?") {
@@ -707,6 +753,9 @@ mod imp {
                 conn.served += 1;
                 conn.close_after_write = !ka;
                 return false;
+            }
+            if head.line.starts_with("POST ") {
+                return self.route_update(tok, conn, &head, &body);
             }
             let Some((client, query)) = http::parse_request_line(&head.line, &conn.peer_ip) else {
                 conn.push_out(&http::render_response(
@@ -765,11 +814,89 @@ mod imp {
                 conn: tok,
                 client,
                 query,
+                update: None,
                 if_none_match: head.if_none_match,
                 cancel: token.clone(),
                 keep_alive: ka,
                 enqueued: Instant::now(),
             };
+            self.dispatch(tok, conn, job)
+        }
+
+        /// Routes one `POST /update?doc=…` request: parse the op batch
+        /// from the already-buffered body, then hand it to the worker
+        /// pool exactly like cache-miss compute. Errors close the
+        /// connection (no keep-alive reuse after a refused write).
+        fn route_update(&mut self, tok: u64, conn: &mut Conn, head: &Head, body: &[u8]) -> bool {
+            let Some(client) = http::parse_update_request_line(&head.line, &conn.peer_ip) else {
+                conn.push_out(&http::render_response(
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    "malformed update request\n",
+                    &[],
+                    false,
+                ));
+                conn.served += 1;
+                conn.close_after_write = true;
+                return false;
+            };
+            if head.content_length.is_none() {
+                conn.push_out(&http::render_response(
+                    411,
+                    "Length Required",
+                    "text/plain",
+                    "Content-Length required\n",
+                    &[],
+                    false,
+                ));
+                conn.served += 1;
+                conn.close_after_write = true;
+                return false;
+            }
+            let ops = match http::parse_update_ops(&String::from_utf8_lossy(body)) {
+                Ok(ops) => ops,
+                Err(e) => {
+                    conn.push_out(&http::render_response(
+                        400,
+                        "Bad Request",
+                        "text/plain",
+                        &format!("{e}\n"),
+                        &[],
+                        false,
+                    ));
+                    conn.served += 1;
+                    conn.close_after_write = true;
+                    return false;
+                }
+            };
+            let deadline =
+                match (self.cfg.request_deadline, head.deadline_ms.map(Duration::from_millis)) {
+                    (Some(server_d), Some(client_d)) => Some(server_d.min(client_d)),
+                    (server_d, client_d) => server_d.or(client_d),
+                };
+            let token = match deadline {
+                Some(d) => CancelToken::with_timeout(d),
+                None => CancelToken::never(),
+            };
+            self.depth.add(1);
+            let job = Job {
+                conn: tok,
+                client,
+                query: None,
+                update: Some(ops),
+                if_none_match: None,
+                cancel: token.clone(),
+                keep_alive: head.keep_alive,
+                enqueued: Instant::now(),
+            };
+            self.dispatch(tok, conn, job)
+        }
+
+        /// Enqueues a job on the worker pool, shedding with 503 when the
+        /// backlog is full. Returns true to close the connection now.
+        fn dispatch(&mut self, _tok: u64, conn: &mut Conn, job: Job) -> bool {
+            let token = job.cancel.clone();
             match self.tx.try_send(job) {
                 Ok(()) => {
                     conn.computing = true;
@@ -1003,8 +1130,8 @@ mod imp {
         }
         if !admitted {
             // Degraded mode: serve only already-computed state; queries
-            // always recompute, so they are always refused.
-            if job.query.is_some() {
+            // and updates always compute, so they are always refused.
+            if job.query.is_some() || job.update.is_some() {
                 return respond(job, http::render_overloaded(admission, ka), ka);
             }
             return match server.handle_cache_only(&job.client, job.if_none_match.as_deref()) {
@@ -1019,6 +1146,37 @@ mod imp {
                 }
                 Ok(None) => respond(job, http::render_overloaded(admission, ka), ka),
                 Err(e) => respond(job, http::render_err(&e, ka), ka),
+            };
+        }
+        if let Some(ops) = &job.update {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = faults::check("process.request");
+                server.update_cancellable(&job.client, ops, Some(&job.cancel))
+            }));
+            return match outcome {
+                Ok(Ok(touched)) => {
+                    if faults::check("respond.write") {
+                        return silent;
+                    }
+                    respond(
+                        job,
+                        http::render_response(
+                            200,
+                            "OK",
+                            "text/plain",
+                            &format!("updated {touched}\n"),
+                            &[],
+                            ka,
+                        ),
+                        ka,
+                    )
+                }
+                Ok(Err(e)) => respond_err_cancellable(job, &e, admission, ka),
+                Err(_) => {
+                    http::panics_caught_total().inc();
+                    let e = ServerError::Processing("panic during update processing".to_string());
+                    respond(job, http::render_err(&e, ka), ka)
+                }
             };
         }
         if let Some(path) = &job.query {
@@ -1389,5 +1547,124 @@ mod tests {
         assert!("uring".parse::<Transport>().is_err());
         assert_eq!(Transport::Epoll.to_string(), "epoll");
         assert_eq!(Transport::default(), Transport::Pool);
+    }
+
+    // --- POST /update ---------------------------------------------------
+
+    fn writable_server() -> SecureServer {
+        let mut dir = Directory::new();
+        dir.add_user("tom").unwrap();
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("tom", "*", "*").unwrap(),
+            ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        base.add(
+            Authorization::new(
+                Subject::new("tom", "*", "*").unwrap(),
+                ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            )
+            .with_action(xmlsec_authz::Action::Write),
+        );
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("tom", "pw");
+        s.repository_mut().put_document("doc.xml", "<d><pub>hello</pub></d>", None);
+        s
+    }
+
+    const UPDATE_TARGET: &str = "/update?doc=doc.xml&user=tom&pass=pw&ip=1.2.3.4&host=h.x.org";
+
+    fn post(demo: &EpollDemo, target: &str, body: &str) -> String {
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(
+            conn,
+            "POST {target} HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn updates_over_the_event_loop() {
+        let demo = EpollDemo::start(writable_server(), "127.0.0.1:0").unwrap();
+        let resp = post(&demo, UPDATE_TARGET, "settext /d/pub\tpatched\n");
+        assert!(resp.starts_with("HTTP/1.0 200"), "{resp}");
+        assert!(resp.contains("updated 1"), "{resp}");
+        // The committed batch is visible through the same event loop.
+        let view = get(&demo, OK_TARGET);
+        assert!(view.contains("patched"), "{view}");
+        assert!(!view.contains("hello"), "{view}");
+    }
+
+    #[test]
+    fn update_body_split_across_packets_is_reassembled() {
+        let demo = EpollDemo::start(writable_server(), "127.0.0.1:0").unwrap();
+        let body = "settext /d/pub\tlate\n";
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(
+            conn,
+            "POST {UPDATE_TARGET} HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        conn.flush().unwrap();
+        // The head is complete but the body is not: the loop must keep
+        // the connection in read state rather than answering early.
+        std::thread::sleep(Duration::from_millis(50));
+        let (a, b) = body.split_at(7);
+        conn.write_all(a.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.write_all(b.as_bytes()).unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
+        assert!(buf.contains("updated 1"), "{buf}");
+    }
+
+    #[test]
+    fn event_loop_update_errors_mirror_the_pool() {
+        let demo = EpollDemo::start(writable_server(), "127.0.0.1:0").unwrap();
+        // Malformed op line.
+        let bad = post(&demo, UPDATE_TARGET, "frobnicate /d\n");
+        assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+        // Missing doc parameter.
+        let nodoc =
+            post(&demo, "/update?user=tom&pass=pw&ip=1.2.3.4&host=h.x.org", "delete /d/pub\n");
+        assert!(nodoc.starts_with("HTTP/1.0 400"), "{nodoc}");
+        // Wrong password.
+        let unauth = post(
+            &demo,
+            "/update?doc=doc.xml&user=tom&pass=oops&ip=1.2.3.4&host=h.x.org",
+            "settext /d/pub\tx\n",
+        );
+        assert!(unauth.starts_with("HTTP/1.0 401"), "{unauth}");
+        // No Content-Length.
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "POST {UPDATE_TARGET} HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 411"), "{buf}");
+        // Oversized declared body is refused before it is read.
+        let mut conn2 = TcpStream::connect(demo.addr()).unwrap();
+        write!(
+            conn2,
+            "POST {UPDATE_TARGET} HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            crate::http::MAX_UPDATE_BODY + 1
+        )
+        .unwrap();
+        let mut buf2 = String::new();
+        conn2.read_to_string(&mut buf2).unwrap();
+        assert!(buf2.starts_with("HTTP/1.0 413"), "{buf2}");
+        // Nothing committed by any of the failures.
+        let view = get(&demo, OK_TARGET);
+        assert!(view.contains("hello"), "{view}");
     }
 }

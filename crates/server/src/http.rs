@@ -8,6 +8,12 @@
 //! When the document has a DTD, its loosened form follows the view in
 //! the body behind a `<!-- loosened DTD -->` marker.
 //!
+//! Writes: `POST /update?doc=<uri>&user=U&pass=P&ip=A&host=H` with a
+//! Content-Length framed, line-based op batch as body (see
+//! [`parse_update_ops`] for the grammar). A successful batch answers
+//! `200 updated <n>`; denials answer 403, and the same deadline,
+//! cancellation, and overload contract as reads applies (docs/UPDATES.md).
+//!
 //! View responses carry a strong `ETag` (derived from the view's
 //! content-addressed cache key and exact bytes) and `Cache-Control:
 //! private, no-cache` — private because a view is requester-class
@@ -51,7 +57,7 @@
 //!   EWMA of recent service times.
 
 use crate::server::{ClientRequest, ConditionalOutcome, SecureServer, ServerError, ServerResponse};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,6 +65,7 @@ use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xmlsec_core::update::UpdateOp;
 use xmlsec_core::{CancelReason, CancelToken};
 use xmlsec_telemetry as telemetry;
 
@@ -75,6 +82,10 @@ mod faults {
 /// How often the accept loop re-checks the stop flag while idle, and how
 /// often shutdown polls workers for completion.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Largest accepted `POST /update` body. Update batches are small (a
+/// few ops, each one line); anything bigger is hostile or broken.
+pub(crate) const MAX_UPDATE_BODY: usize = 256 * 1024;
 
 /// Tunable resource bounds for [`HttpDemo`].
 ///
@@ -663,6 +674,7 @@ fn handle_connection(
     let mut header_budget = cfg.max_header_bytes;
     let mut if_none_match: Option<String> = None;
     let mut client_deadline_ms: Option<u64> = None;
+    let mut content_length: Option<usize> = None;
     loop {
         match read_line_limited(&mut reader, header_budget) {
             Ok(LineRead::Line(h)) => {
@@ -679,6 +691,8 @@ fn handle_connection(
                         // header is advisory and the server deadline
                         // still bounds the request.
                         client_deadline_ms = value.trim().parse().ok();
+                    } else if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().ok();
                     }
                 }
             }
@@ -710,6 +724,22 @@ fn handle_connection(
     if target == "/metrics" || target.starts_with("/metrics?") {
         let body = telemetry::global().render_prometheus();
         return respond(&mut out, 200, "OK", "text/plain; version=0.0.4", &body);
+    }
+
+    // Writes: `POST /update?doc=…` with a line-based op batch as body.
+    if line.starts_with("POST ") {
+        return handle_update(
+            server,
+            &mut out,
+            &mut reader,
+            &line,
+            &peer_ip,
+            cfg,
+            admission,
+            degraded,
+            content_length,
+            client_deadline_ms,
+        );
     }
 
     let Some(request) = parse_request_line(&line, &peer_ip) else {
@@ -815,6 +845,204 @@ fn handle_connection(
             )
         }
     }
+}
+
+/// Handles one `POST /update?doc=…` request: reads the Content-Length
+/// framed body, parses the op batch, and runs the server's incremental
+/// update path under the same deadline/cancellation contract as reads.
+/// Updates always compute, so while the admission controller is
+/// shedding they are refused outright with 503 + Retry-After.
+#[allow(clippy::too_many_arguments)]
+fn handle_update(
+    server: &SecureServer,
+    out: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    peer_ip: &str,
+    cfg: &HttpConfig,
+    admission: &Admission,
+    degraded: bool,
+    content_length: Option<usize>,
+    client_deadline_ms: Option<u64>,
+) -> std::io::Result<()> {
+    let Some(client) = parse_update_request_line(line, peer_ip) else {
+        return respond(out, 400, "Bad Request", "text/plain", "malformed update request\n");
+    };
+    if degraded {
+        return respond_overloaded(out, admission);
+    }
+    let len = match content_length {
+        Some(l) if l <= MAX_UPDATE_BODY => l,
+        Some(_) => {
+            xmlsec_xml::limit_rejected("update_body");
+            return respond(out, 413, "Content Too Large", "text/plain", "update body too large\n");
+        }
+        None => {
+            return respond(out, 411, "Length Required", "text/plain", "Content-Length required\n")
+        }
+    };
+    let mut body = vec![0u8; len];
+    if let Err(e) = reader.read_exact(&mut body) {
+        if is_timeout(&e) {
+            let _ = respond(out, 408, "Request Timeout", "text/plain", "request timeout\n");
+            return Ok(());
+        }
+        return Err(e);
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let ops = match parse_update_ops(&body) {
+        Ok(ops) => ops,
+        Err(e) => return respond(out, 400, "Bad Request", "text/plain", &format!("{e}\n")),
+    };
+
+    let deadline = match (cfg.request_deadline, client_deadline_ms.map(Duration::from_millis)) {
+        (Some(server_d), Some(client_d)) => Some(server_d.min(client_d)),
+        (server_d, client_d) => server_d.or(client_d),
+    };
+    let token = match deadline {
+        Some(d) => CancelToken::with_timeout(d),
+        None => CancelToken::never(),
+    };
+    // The body is fully consumed, so the watchdog's read-0-means-hangup
+    // contract holds for POSTs exactly as for GETs.
+    let watchdog = Watchdog::spawn(out, &token);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = faults::check("process.request");
+        server.update_cancellable(&client, &ops, Some(&token))
+    }));
+    if let Some(w) = watchdog {
+        w.disarm(out);
+    }
+    match outcome {
+        Ok(Ok(touched)) => {
+            if faults::check("respond.write") {
+                return Ok(());
+            }
+            respond(out, 200, "OK", "text/plain", &format!("updated {touched}\n"))
+        }
+        Ok(Err(e)) => respond_err_cancellable(out, &e, admission),
+        Err(_) => {
+            panics_caught_total().inc();
+            respond_err(
+                out,
+                &ServerError::Processing("panic during update processing".to_string()),
+            )
+        }
+    }
+}
+
+/// Parses `POST /update?doc=..&user=..&pass=..&ip=..&host=.. HTTP/1.x`.
+pub(crate) fn parse_update_request_line(line: &str, peer_ip: &str) -> Option<ClientRequest> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "POST" {
+        return None;
+    }
+    let target = parts.next()?;
+    let (path, qs) = target.split_once('?').unwrap_or((target, ""));
+    if path != "/update" {
+        return None;
+    }
+    let mut doc = None;
+    let mut user = None;
+    let mut pass = String::new();
+    let mut ip = None;
+    let mut host = None;
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let v = percent_decode(v);
+        match k {
+            "doc" => doc = Some(v),
+            "user" => user = Some(v),
+            "pass" => pass = v,
+            "ip" => ip = Some(v),
+            "host" => host = Some(v),
+            _ => {}
+        }
+    }
+    let uri = doc.filter(|d| !d.is_empty())?;
+    Some(ClientRequest {
+        user: user.map(|u| (u, pass)),
+        ip: ip.unwrap_or_else(|| peer_ip.to_string()),
+        sym: host.unwrap_or_else(|| "localhost.localdomain".to_string()),
+        uri,
+    })
+}
+
+/// Parses the line-based update body shared by both transports. One op
+/// per line, fields tab-separated; blank lines and `#` comments are
+/// skipped:
+///
+/// ```text
+/// settext <path>\t<text>
+/// setattr <path>\t<name>\t<value>
+/// insert <path>\t<name>
+/// insertsub <path>\t<xml-fragment>
+/// replacesub <path>\t<xml-fragment>
+/// delete <path>
+/// ```
+pub fn parse_update_ops(body: &str) -> Result<Vec<UpdateOp>, String> {
+    let mut ops = Vec::new();
+    for (i, raw) in body.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let op = match verb {
+            "settext" => {
+                let (target, text) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| format!("line {lineno}: settext wants <path>\\t<text>"))?;
+                UpdateOp::SetText { target: target.to_string(), text: text.to_string() }
+            }
+            "setattr" => {
+                let mut it = rest.splitn(3, '\t');
+                match (it.next(), it.next(), it.next()) {
+                    (Some(t), Some(n), Some(v)) if !t.is_empty() => UpdateOp::SetAttribute {
+                        target: t.to_string(),
+                        name: n.to_string(),
+                        value: v.to_string(),
+                    },
+                    _ => {
+                        return Err(format!(
+                            "line {lineno}: setattr wants <path>\\t<name>\\t<value>"
+                        ))
+                    }
+                }
+            }
+            "insert" => {
+                let (parent, name) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| format!("line {lineno}: insert wants <path>\\t<name>"))?;
+                UpdateOp::InsertElement { parent: parent.to_string(), name: name.to_string() }
+            }
+            "insertsub" => {
+                let (parent, xml) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| format!("line {lineno}: insertsub wants <path>\\t<xml>"))?;
+                UpdateOp::InsertSubtree { parent: parent.to_string(), xml: xml.to_string() }
+            }
+            "replacesub" => {
+                let (target, xml) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| format!("line {lineno}: replacesub wants <path>\\t<xml>"))?;
+                UpdateOp::ReplaceSubtree { target: target.to_string(), xml: xml.to_string() }
+            }
+            "delete" => {
+                if rest.is_empty() {
+                    return Err(format!("line {lineno}: delete wants <path>"));
+                }
+                UpdateOp::Delete { target: rest.to_string() }
+            }
+            other => return Err(format!("line {lineno}: unknown op {other:?}")),
+        };
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err("empty update batch".to_string());
+    }
+    Ok(ops)
 }
 
 /// Renders a full view response (200 + ETag + cache policy).
@@ -1485,5 +1713,160 @@ mod tests {
         assert!(t.elapsed() < Duration::from_secs(3), "connection not reaped");
         assert!(buf.is_empty() || buf.starts_with("HTTP/1.0 408"), "{buf}");
         demo.shutdown();
+    }
+
+    // --- POST /update ---------------------------------------------------
+
+    fn writable_demo() -> HttpDemo {
+        let mut dir = Directory::new();
+        dir.add_user("ed").unwrap();
+        dir.add_user("ro").unwrap();
+        let mut base = AuthorizationBase::new();
+        for user in ["ed", "ro"] {
+            base.add(Authorization::new(
+                Subject::new(user, "*", "*").unwrap(),
+                ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ));
+        }
+        base.add(
+            Authorization::new(
+                Subject::new("ed", "*", "*").unwrap(),
+                ObjectSpec::with_path("doc.xml", "/d").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            )
+            .with_action(xmlsec_authz::Action::Write),
+        );
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("ed", "pw");
+        s.register_credentials("ro", "pw");
+        s.repository_mut().put_document("doc.xml", "<d><t>v1</t></d>", None);
+        HttpDemo::start(s, "127.0.0.1:0").expect("bind ephemeral port")
+    }
+
+    fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(
+            conn,
+            "POST {target} HTTP/1.0\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).expect("read");
+        let code: u16 = buf.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+        let resp = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (code, resp)
+    }
+
+    const ED_UPDATE: &str = "/update?doc=doc.xml&user=ed&pass=pw&ip=1.2.3.4&host=h.x.org";
+
+    #[test]
+    fn updates_over_http() {
+        let demo = writable_demo();
+        let (code, body) = post(demo.addr(), ED_UPDATE, "settext /d/t\tv2\ninsert /d\tt\n");
+        assert_eq!(code, 200, "{body}");
+        assert_eq!(body.trim(), "updated 2");
+        // The committed batch is visible through the read path at once.
+        let (code2, view) = get(demo.addr(), "/doc.xml?user=ro&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert_eq!(code2, 200);
+        assert!(view.contains("v2"), "{view}");
+        assert!(!view.contains("v1"), "{view}");
+    }
+
+    #[test]
+    fn update_without_write_grant_is_403() {
+        let demo = writable_demo();
+        let (code, _) = post(
+            demo.addr(),
+            "/update?doc=doc.xml&user=ro&pass=pw&ip=1.2.3.4&host=h.x.org",
+            "settext /d/t\tdefaced\n",
+        );
+        assert_eq!(code, 403);
+        let (_, view) = get(demo.addr(), "/doc.xml?user=ro&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert!(view.contains("v1"), "nothing committed: {view}");
+    }
+
+    #[test]
+    fn update_with_wrong_password_is_401() {
+        let demo = writable_demo();
+        let (code, _) = post(
+            demo.addr(),
+            "/update?doc=doc.xml&user=ed&pass=oops&ip=1.2.3.4&host=h.x.org",
+            "settext /d/t\tx\n",
+        );
+        assert_eq!(code, 401);
+    }
+
+    #[test]
+    fn malformed_update_bodies_are_400() {
+        let demo = writable_demo();
+        // Unknown verb.
+        let (code, body) = post(demo.addr(), ED_UPDATE, "frobnicate /d/t\n");
+        assert_eq!(code, 400);
+        assert!(body.contains("line 1"), "{body}");
+        // Missing tab separator.
+        let (code2, _) = post(demo.addr(), ED_UPDATE, "settext /d/t v2\n");
+        assert_eq!(code2, 400);
+        // Empty batch (comments only).
+        let (code3, body3) = post(demo.addr(), ED_UPDATE, "# nothing\n\n");
+        assert_eq!(code3, 400);
+        assert!(body3.contains("empty"), "{body3}");
+        // Missing doc parameter.
+        let (code4, _) = post(
+            demo.addr(),
+            "/update?user=ed&pass=pw&ip=1.2.3.4&host=h.x.org",
+            "settext /d/t\tx\n",
+        );
+        assert_eq!(code4, 400);
+    }
+
+    #[test]
+    fn update_without_content_length_is_411() {
+        let demo = writable_demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        write!(conn, "POST {ED_UPDATE} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 411"), "{buf}");
+    }
+
+    #[test]
+    fn oversized_update_body_is_413() {
+        let demo = writable_demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        // Declare a body over the cap; the server must refuse without
+        // waiting for the bytes.
+        write!(
+            conn,
+            "POST {ED_UPDATE} HTTP/1.0\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+            MAX_UPDATE_BODY + 1
+        )
+        .unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 413"), "{buf}");
+    }
+
+    #[test]
+    fn update_with_expired_deadline_is_503_and_commits_nothing() {
+        let demo = writable_demo();
+        let mut conn = TcpStream::connect(demo.addr()).unwrap();
+        let body = "settext /d/t\tx\n";
+        write!(
+            conn,
+            "POST {ED_UPDATE} HTTP/1.0\r\nHost: test\r\nX-Request-Deadline: 0\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.0 503"), "{buf}");
+        assert!(buf.contains("Retry-After: "), "{buf}");
+        let (_, view) = get(demo.addr(), "/doc.xml?user=ro&pass=pw&ip=1.2.3.4&host=h.x.org");
+        assert!(view.contains("v1"), "the expired batch left the document alone: {view}");
     }
 }

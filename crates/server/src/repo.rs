@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use xmlsec_telemetry as telemetry;
+use xmlsec_xml::{Document, NodeData, NodeId};
 
 /// 64-bit FNV-1a over a byte string: stable across processes (unlike
 /// `DefaultHasher`, whose seed is unspecified), cheap, and good enough
@@ -46,6 +47,11 @@ fn dtd_rehashes() -> &'static Arc<telemetry::Counter> {
     C.get_or_init(|| rehash_counter("dtd"))
 }
 
+fn incremental_rehashes() -> &'static Arc<telemetry::Counter> {
+    static C: OnceLock<Arc<telemetry::Counter>> = OnceLock::new();
+    C.get_or_init(|| rehash_counter("incremental"))
+}
+
 /// A stored XML document.
 #[derive(Debug, Clone)]
 pub struct StoredDocument {
@@ -64,11 +70,139 @@ struct StoredDtd {
     content_hash: u64,
 }
 
-/// The repository: documents and DTD texts, keyed by URI.
+/// A document in parsed (and DTD-normalized) form, kept alongside the
+/// byte form so the update path never reparses: writes mutate this DOM
+/// in place and rehash only the dirty subtrees.
+///
+/// The content identity of a parsed document is a **Merkle-style tree
+/// hash**: every arena slot carries the hash of its subtree (node kind,
+/// names/values, attribute hashes, child hashes in order), and the
+/// document's hash is the root's. After an update,
+/// [`ParsedDocument::rehash_dirty`] recomputes exactly the dirty
+/// subtrees plus their ancestor chains — O(changed + depth), not O(doc).
+#[derive(Debug, Clone)]
+pub struct ParsedDocument {
+    doc: Document,
+    /// Per arena slot: subtree hash of the node occupying it (stale for
+    /// vacant slots; never read through them).
+    hashes: Vec<u64>,
+}
+
+impl ParsedDocument {
+    /// Wraps a freshly parsed (and normalized) document, hashing every
+    /// subtree once.
+    pub fn new(doc: Document) -> ParsedDocument {
+        let mut p = ParsedDocument { doc, hashes: Vec::new() };
+        p.hashes = vec![0; p.doc.arena_len()];
+        p.rehash_subtree(p.doc.root());
+        p
+    }
+
+    /// The parsed document.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The tree hash of the whole document.
+    pub fn root_hash(&self) -> u64 {
+        self.hashes[self.doc.root().index()]
+    }
+
+    /// Replaces the document with an updated revision of itself and
+    /// recomputes hashes for the given dirty subtree roots plus their
+    /// ancestor chains. Ids no longer live in `doc` (removed by a later
+    /// op of the same batch) are skipped. Returns the number of nodes
+    /// rehashed — the incremental work, which the
+    /// `xmlsec_repo_rehash_total{kind="incremental"}` counter absorbs.
+    pub fn rehash_dirty(&mut self, doc: Document, dirty: &[NodeId]) -> usize {
+        self.doc = doc;
+        self.hashes.resize(self.doc.arena_len().max(self.hashes.len()), 0);
+        let mut rehashed = 0usize;
+        for &d in dirty {
+            if !self.doc.contains(d) {
+                continue;
+            }
+            rehashed += self.rehash_subtree(d);
+            // Recombine the ancestor chain shallowly: each parent's hash
+            // is rebuilt from its (now current) child hashes. Shared
+            // ancestors of several dirty nodes are recombined more than
+            // once — idempotent, and cheaper than deduplicating.
+            let mut cur = d;
+            while let Some(p) = self.doc.parent(cur) {
+                let h = self.shallow_hash(p);
+                self.hashes[p.index()] = h;
+                rehashed += 1;
+                cur = p;
+            }
+        }
+        rehashed
+    }
+
+    /// Full recompute of one subtree (post-order). Returns nodes hashed.
+    fn rehash_subtree(&mut self, n: NodeId) -> usize {
+        let mut count = 1usize;
+        for a in self.doc.attributes(n).to_vec() {
+            let h = self.shallow_hash(a);
+            self.hashes[a.index()] = h;
+            count += 1;
+        }
+        for c in self.doc.children(n).to_vec() {
+            count += self.rehash_subtree(c);
+        }
+        let h = self.shallow_hash(n);
+        self.hashes[n.index()] = h;
+        count
+    }
+
+    /// Hash of one node from its own data plus the *stored* hashes of
+    /// its attributes and children.
+    fn shallow_hash(&self, n: NodeId) -> u64 {
+        let mut buf: Vec<u8> = Vec::with_capacity(64);
+        match &self.doc.node(n).data {
+            NodeData::Element { name, attrs, children } => {
+                buf.push(1);
+                buf.extend_from_slice(name.as_bytes());
+                for &a in attrs {
+                    buf.push(0xfe);
+                    buf.extend_from_slice(&self.hashes[a.index()].to_le_bytes());
+                }
+                for &c in children {
+                    buf.push(0xff);
+                    buf.extend_from_slice(&self.hashes[c.index()].to_le_bytes());
+                }
+            }
+            NodeData::Attr { name, value } => {
+                buf.push(2);
+                buf.extend_from_slice(name.as_bytes());
+                buf.push(0);
+                buf.extend_from_slice(value.as_bytes());
+            }
+            NodeData::Text(t) => {
+                buf.push(3);
+                buf.extend_from_slice(t.as_bytes());
+            }
+            NodeData::Comment(t) => {
+                buf.push(4);
+                buf.extend_from_slice(t.as_bytes());
+            }
+            NodeData::Pi { target, data } => {
+                buf.push(5);
+                buf.extend_from_slice(target.as_bytes());
+                buf.push(0);
+                buf.extend_from_slice(data.as_bytes());
+            }
+        }
+        fnv1a64(&buf)
+    }
+}
+
+/// The repository: documents and DTD texts, keyed by URI, plus the
+/// parsed form of documents that have been through the update path.
 #[derive(Debug, Clone, Default)]
 pub struct Repository {
     documents: HashMap<String, StoredDocument>,
     dtds: HashMap<String, StoredDtd>,
+    parsed: HashMap<String, ParsedDocument>,
 }
 
 impl Repository {
@@ -77,9 +211,12 @@ impl Repository {
         Self::default()
     }
 
-    /// Stores (or replaces) a document, rehashing its content.
+    /// Stores (or replaces) a document, rehashing its content. Any
+    /// parsed form held for `uri` is dropped — the bytes are now the
+    /// source of truth and the next update reparses them.
     pub fn put_document(&mut self, uri: &str, xml: &str, dtd_uri: Option<&str>) {
         document_rehashes().inc();
+        self.parsed.remove(uri);
         self.documents.insert(
             uri.to_string(),
             StoredDocument {
@@ -90,13 +227,69 @@ impl Repository {
         );
     }
 
-    /// Stores (or replaces) a DTD text, rehashing its content.
+    /// Stores (or replaces) a DTD text, rehashing its content. Parsed
+    /// forms of every instance document are dropped: normalization
+    /// (attribute defaulting) bakes the DTD into the DOM, so they must
+    /// be rebuilt against the new schema.
     pub fn put_dtd(&mut self, uri: &str, dtd: &str) {
         dtd_rehashes().inc();
+        for doc_uri in self.documents_with_dtd(uri) {
+            self.parsed.remove(&doc_uri);
+        }
         self.dtds.insert(
             uri.to_string(),
             StoredDtd { text: dtd.to_string(), content_hash: fnv1a64(dtd.as_bytes()) },
         );
+    }
+
+    /// The parsed form of `uri`, when one is held (populated by the
+    /// update path via [`Repository::store_parsed`]).
+    pub fn parsed_document(&self, uri: &str) -> Option<&ParsedDocument> {
+        self.parsed.get(uri)
+    }
+
+    /// Caches the parsed (normalized) form of an already-stored
+    /// document. No effect on the byte form or its hash: the parsed form
+    /// only becomes the content authority once [`Repository::commit_update`]
+    /// runs.
+    pub fn store_parsed(&mut self, uri: &str, parsed: ParsedDocument) {
+        self.parsed.insert(uri.to_string(), parsed);
+    }
+
+    /// Commits an updated revision of `uri`'s parsed document: rehashes
+    /// the dirty subtrees incrementally (bounding the hashing work by
+    /// the batch's footprint), refreshes the served bytes from the new
+    /// DOM, and recomputes the content hash from those bytes so every
+    /// cache key for the old revision is structurally unreachable.
+    ///
+    /// The content hash stays **byte-derived** — the same scheme
+    /// [`Repository::put_document`] uses — so an updated document and a
+    /// fresh server loading the committed bytes agree on the content
+    /// identity (and therefore on entity tags: a client can revalidate
+    /// against a restarted or replicated instance). The incremental
+    /// tree hash is internal bookkeeping that decides *what* to rehash,
+    /// never the published identity.
+    ///
+    /// Returns the number of nodes rehashed, or `None` when `uri` has no
+    /// stored document or no parsed form (callers establish both first).
+    pub fn commit_update(
+        &mut self,
+        uri: &str,
+        doc: Document,
+        dirty: &[xmlsec_xml::NodeId],
+    ) -> Option<usize> {
+        if !self.documents.contains_key(uri) {
+            return None;
+        }
+        let parsed = self.parsed.get_mut(uri)?;
+        let rehashed = parsed.rehash_dirty(doc, dirty);
+        incremental_rehashes().add(rehashed as u64);
+        let xml =
+            xmlsec_xml::serialize(&parsed.doc, &xmlsec_xml::SerializeOptions::canonical());
+        let stored = self.documents.get_mut(uri).expect("checked above");
+        stored.content_hash = fnv1a64(xml.as_bytes());
+        stored.xml = xml;
+        Some(rehashed)
     }
 
     /// Fetches a document.
@@ -245,6 +438,86 @@ mod tests {
         hit.sort_unstable();
         assert_eq!(hit, vec!["a.xml", "b.xml"]);
         assert!(r.documents_with_dtd("other.dtd").is_empty());
+    }
+
+    #[test]
+    fn tree_hash_matches_full_recompute_after_incremental_rehash() {
+        let doc = xmlsec_xml::parse(r#"<doc><a x="1">t</a><b>u</b></doc>"#).unwrap();
+        let mut parsed = ParsedDocument::new(doc.clone());
+
+        // Mutate: change <a>'s text, add an attribute on <b>.
+        let mut updated = doc;
+        let a = updated.child_elements(updated.root()).next().unwrap();
+        let b = updated.child_elements(updated.root()).nth(1).unwrap();
+        let t = updated.children(a).iter().copied().find(|&c| updated.is_text(c)).unwrap();
+        updated.remove_subtree(t);
+        updated.append_text(a, "t2");
+        updated.set_attribute(b, "y", "2").unwrap();
+
+        let before = parsed.root_hash();
+        parsed.rehash_dirty(updated.clone(), &[a, b]);
+        assert_ne!(parsed.root_hash(), before, "content change must move the hash");
+        // Incremental result equals a from-scratch hash of the same DOM.
+        assert_eq!(parsed.root_hash(), ParsedDocument::new(updated).root_hash());
+    }
+
+    #[test]
+    fn tree_hash_skips_dead_dirty_ids() {
+        let doc = xmlsec_xml::parse("<doc><a>t</a></doc>").unwrap();
+        let mut parsed = ParsedDocument::new(doc.clone());
+        let mut updated = doc;
+        let a = updated.child_elements(updated.root()).next().unwrap();
+        updated.remove_subtree(a);
+        // Dirty list names the removed node and its parent — only the
+        // live one is rehashed.
+        let root = updated.root();
+        parsed.rehash_dirty(updated.clone(), &[a, root]);
+        assert_eq!(parsed.root_hash(), ParsedDocument::new(updated).root_hash());
+    }
+
+    #[test]
+    fn commit_update_repoints_bytes_and_hash() {
+        let mut r = Repository::new();
+        r.put_document("a.xml", "<doc><a>old</a></doc>", None);
+        let h0 = r.content_hash("a.xml").unwrap();
+        let doc = xmlsec_xml::parse(&r.document("a.xml").unwrap().xml).unwrap();
+        r.store_parsed("a.xml", ParsedDocument::new(doc.clone()));
+
+        let mut updated = doc;
+        let a = updated.child_elements(updated.root()).next().unwrap();
+        let t = updated.children(a)[0];
+        updated.remove_subtree(t);
+        updated.append_text(a, "new");
+        let rehashed = r.commit_update("a.xml", updated, &[a]).unwrap();
+        assert!(rehashed > 0);
+        assert_eq!(r.document("a.xml").unwrap().xml, "<doc><a>new</a></doc>");
+        assert_ne!(r.content_hash("a.xml").unwrap(), h0);
+        // The parsed form survives the commit for the next update.
+        assert!(r.parsed_document("a.xml").is_some());
+    }
+
+    #[test]
+    fn byte_level_puts_invalidate_the_parsed_form() {
+        let mut r = Repository::new();
+        r.put_dtd("d.dtd", "<!ELEMENT doc EMPTY>");
+        r.put_document("a.xml", "<doc/>", Some("d.dtd"));
+        r.put_document("b.xml", "<doc/>", None);
+        let pa = ParsedDocument::new(xmlsec_xml::parse("<doc/>").unwrap());
+        let pb = ParsedDocument::new(xmlsec_xml::parse("<doc/>").unwrap());
+        r.store_parsed("a.xml", pa);
+        r.store_parsed("b.xml", pb);
+
+        // put_document drops only that document's parsed form.
+        r.put_document("b.xml", "<doc>v2</doc>", None);
+        assert!(r.parsed_document("b.xml").is_none());
+        assert!(r.parsed_document("a.xml").is_some());
+        // put_dtd drops the parsed form of every instance document.
+        r.put_dtd("d.dtd", "<!ELEMENT doc (#PCDATA)>");
+        assert!(r.parsed_document("a.xml").is_none());
+        // commit_update without a parsed form is refused.
+        assert!(r
+            .commit_update("a.xml", xmlsec_xml::parse("<doc/>").unwrap(), &[])
+            .is_none());
     }
 
     #[test]

@@ -16,15 +16,16 @@
 
 use crate::audit::{AuditLog, AuditOutcome};
 use crate::cache::{fingerprint, CachedView, ViewCache, ViewKey};
-use crate::repo::{fnv1a64, Repository};
+use crate::repo::{fnv1a64, ParsedDocument, Repository};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use xmlsec_authz::{
     Authorization, AuthorizationBase, CompletenessPolicy, ConflictResolution, Finding,
     PolicyConfig, Severity,
 };
-use xmlsec_core::update::{apply_updates, label_for_write, UpdateOp};
+use xmlsec_core::update::{apply_updates, UpdateError, UpdateOp, WriteContext};
+use xmlsec_core::view::{label_document_incremental, prune_document, EngineOptions, Labeling};
 use xmlsec_core::{
     AccessRequest, CancelReason, CancelToken, CompiledCache, DecisionCache, DocumentSource,
     Parallelism, ResourceLimits, SecurityProcessor,
@@ -139,6 +140,27 @@ fn server_metrics() -> &'static ServerMetrics {
     })
 }
 
+struct PatchMetrics {
+    patched: Arc<telemetry::Counter>,
+    dropped: Arc<telemetry::Counter>,
+}
+
+fn patch_metrics() -> &'static PatchMetrics {
+    static METRICS: OnceLock<PatchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = telemetry::global();
+        let result = |r: &'static str| {
+            reg.counter(
+                "xmlsec_view_patches_total",
+                "Warm cached views handled after an update commit, by result: \
+                 patched in place, or dropped (no bookkeeping / labeling error).",
+                &[("result", r)],
+            )
+        };
+        PatchMetrics { patched: result("patched"), dropped: result("dropped") }
+    })
+}
+
 /// A client request: credentials plus connection endpoints.
 #[derive(Debug, Clone)]
 pub struct ClientRequest {
@@ -227,11 +249,28 @@ pub fn etag_matches(if_none_match: &str, etag: &str) -> bool {
     })
 }
 
+/// Per-cached-view bookkeeping for the incremental update path: enough
+/// to recompute the view against the post-update document without
+/// rerunning the full pipeline. `prev` is the labeling of the
+/// repository's parsed document from the last patch (or `None` before
+/// the first), fed to [`label_document_incremental`] so only the dirty
+/// subtree and its ancestor chain are relabeled.
+struct PatchEntry {
+    requester: Requester,
+    prev: Option<Arc<Labeling>>,
+}
+
 /// The secure server.
 pub struct SecureServer {
     directory: Directory,
     authorizations: AuthorizationBase,
-    repository: Repository,
+    /// Writers (update batches) take the write side; every read-path
+    /// stage holds the read side, so readers share and an update drains
+    /// in-flight computes before mutating the parsed document.
+    repository: RwLock<Repository>,
+    /// Patch bookkeeping keyed by cache key, pruned against the live
+    /// cache after every update so it cannot outgrow it.
+    patch_state: Mutex<HashMap<ViewKey, PatchEntry>>,
     credentials: HashMap<String, String>,
     policy: PolicyConfig,
     limits: ResourceLimits,
@@ -257,7 +296,8 @@ impl SecureServer {
         SecureServer {
             directory,
             authorizations,
-            repository: Repository::new(),
+            repository: RwLock::new(Repository::new()),
+            patch_state: Mutex::new(HashMap::new()),
             credentials: HashMap::new(),
             policy: PolicyConfig::paper_default(),
             limits: ResourceLimits::default(),
@@ -341,12 +381,35 @@ impl SecureServer {
 
     /// Mutable access to the repository for setup.
     pub fn repository_mut(&mut self) -> &mut Repository {
-        &mut self.repository
+        self.repository.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Read access to the repository.
-    pub fn repository(&self) -> &Repository {
-        &self.repository
+    /// Read access to the repository (a shared read guard; concurrent
+    /// readers coexist, an in-flight update briefly blocks).
+    pub fn repository(&self) -> RwLockReadGuard<'_, Repository> {
+        self.read_repo()
+    }
+
+    fn read_repo(&self) -> RwLockReadGuard<'_, Repository> {
+        self.repository.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_repo(&self) -> RwLockWriteGuard<'_, Repository> {
+        self.repository.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_patch_state(&self) -> std::sync::MutexGuard<'_, HashMap<ViewKey, PatchEntry>> {
+        self.patch_state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drops patch bookkeeping whose cache entry is gone (evicted,
+    /// invalidated, or never patched), bounding the map by cache size.
+    fn prune_patch_state(&self) {
+        let mut state = self.lock_patch_state();
+        match &self.cache {
+            Some(cache) => state.retain(|k, _| cache.contains_key(k)),
+            None => state.clear(),
+        }
     }
 
     /// Read access to the directory.
@@ -365,10 +428,11 @@ impl SecureServer {
     fn invalidate_for_object_uri(&self, uri: &str) {
         if let Some(c) = &self.cache {
             c.invalidate_uri(uri);
-            for doc in self.repository.documents_with_dtd(uri) {
+            for doc in self.read_repo().documents_with_dtd(uri) {
                 c.invalidate_uri(&doc);
             }
         }
+        self.prune_patch_state();
     }
 
     /// Adds an authorization at runtime, invalidating affected views —
@@ -409,24 +473,25 @@ impl SecureServer {
     /// change — operators see them through the returned list, the audit
     /// trail, and `/metrics`.
     fn policy_preflight(&self, action: &str, object_uri: &str) -> Vec<Finding> {
+        let repo = self.read_repo();
         // Resolve the schema scope of the changed object.
-        let dtd_uri = if self.repository.dtd(object_uri).is_some() {
+        let dtd_uri = if repo.dtd(object_uri).is_some() {
             Some(object_uri.to_string())
         } else {
-            self.repository.document(object_uri).and_then(|d| d.dtd_uri.clone())
+            repo.document(object_uri).and_then(|d| d.dtd_uri.clone())
         };
         let mut scope: std::collections::BTreeSet<String> =
             std::iter::once(object_uri.to_string()).collect();
         if let Some(du) = &dtd_uri {
             scope.insert(du.clone());
-            scope.extend(self.repository.documents_with_dtd(du));
+            scope.extend(repo.documents_with_dtd(du));
         }
         let auths: Vec<Authorization> =
             scope.iter().flat_map(|u| self.authorizations.for_uri(u)).cloned().collect();
 
         let mut findings = xmlsec_authz::lint_policy(&auths, &self.directory);
         if let Some(du) = &dtd_uri {
-            if let Some(dtd) = self.repository.dtd(du).and_then(|t| parse_dtd(t).ok()) {
+            if let Some(dtd) = repo.dtd(du).and_then(|t| parse_dtd(t).ok()) {
                 if let Some(root) = dtd.root_candidates().first().cloned() {
                     findings.extend(xmlsec_core::coverage_findings(&dtd, root, &auths));
                     let subjects = xmlsec_core::closure_subjects(&auths, &self.directory);
@@ -621,7 +686,8 @@ impl SecureServer {
             .map_err(|e| ServerError::BadRequest(e.to_string()))?;
         let requester_str = requester.to_string();
 
-        let Some(stored) = self.repository.document(&req.uri) else {
+        let repo = self.read_repo();
+        let Some(stored) = repo.document(&req.uri) else {
             self.audit.record(&requester_str, &req.uri, AuditOutcome::NotFound);
             return Err(ServerError::NotFound(req.uri.clone()));
         };
@@ -639,7 +705,7 @@ impl SecureServer {
             fingerprint: fingerprint(&instance, &schema, policy_tag(self.policy)),
             // Registration-time hashes combined — no document bytes are
             // rehashed on the request path.
-            content: self.repository.content_hash(&req.uri).unwrap_or(0),
+            content: repo.content_hash(&req.uri).unwrap_or(0),
         };
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.get(&key) {
@@ -676,7 +742,8 @@ impl SecureServer {
         probe: RequestProbe,
     ) -> Result<ConditionalOutcome, ServerError> {
         let RequestProbe { requester, requester_str, key, .. } = probe;
-        let Some(stored) = self.repository.document(&req.uri) else {
+        let repo = self.read_repo();
+        let Some(stored) = repo.document(&req.uri) else {
             return Err(ServerError::NotFound(req.uri.clone()));
         };
         let processor = SecurityProcessor {
@@ -695,10 +762,10 @@ impl SecureServer {
         };
         let source = DocumentSource {
             xml: &stored.xml,
-            dtd: stored.dtd_uri.as_deref().and_then(|u| self.repository.dtd(u)),
+            dtd: stored.dtd_uri.as_deref().and_then(|u| repo.dtd(u)),
             dtd_uri: stored.dtd_uri.as_deref(),
         };
-        let request = AccessRequest { requester, uri: req.uri.clone() };
+        let request = AccessRequest { requester: requester.clone(), uri: req.uri.clone() };
         let out = processor.process(&request, &source).map_err(|e| {
             self.audit.record(
                 &requester_str,
@@ -717,13 +784,16 @@ impl SecureServer {
         let etag = etag_for(&key, &out.xml, out.loosened_dtd.as_deref());
         if let Some(cache) = &self.cache {
             cache.put(
-                key,
+                key.clone(),
                 CachedView {
                     xml: out.xml.clone(),
                     loosened_dtd: out.loosened_dtd.clone(),
                     etag: etag.clone(),
                 },
             );
+            // Remember who this view was computed for so a later update
+            // can patch it in place instead of dropping it.
+            self.lock_patch_state().insert(key, PatchEntry { requester, prev: None });
         }
         self.audit.record(
             &requester_str,
@@ -818,32 +888,72 @@ impl SecureServer {
     /// Applies update operations on behalf of a requester (the paper's §8
     /// "support for write and update operations"), gated by the
     /// requester's **write** labeling. The updated document must remain
-    /// valid against its DTD. Committing rehashes the stored content, so
-    /// every cached view of the old bytes becomes structurally
-    /// unreachable; the explicit invalidation below only reclaims the
-    /// space early.
-    pub fn update(&mut self, req: &ClientRequest, ops: &[UpdateOp]) -> Result<usize, ServerError> {
+    /// valid against its DTD.
+    ///
+    /// The commit path is **incremental**: the repository keeps the
+    /// parsed, normalized document alongside the bytes, so steady-state
+    /// updates never reparse; only the dirty subtrees and their ancestor
+    /// chains are rehashed; and every warm cached view of the document is
+    /// **patched in place** (incremental relabel, re-prune, new ETag)
+    /// instead of being invalidated. Returns how many nodes the batch
+    /// touched.
+    pub fn update(&self, req: &ClientRequest, ops: &[UpdateOp]) -> Result<usize, ServerError> {
+        self.update_cancellable(req, ops, None)
+    }
+
+    /// [`SecureServer::update`] with a request-scoped cancellation
+    /// token. The token is polled between operations and inside the
+    /// write-labeling passes; when it trips, the batch unwinds with
+    /// [`ServerError::Cancelled`] and the stored document is untouched.
+    pub fn update_cancellable(
+        &self,
+        req: &ClientRequest,
+        ops: &[UpdateOp],
+        cancel: Option<&CancelToken>,
+    ) -> Result<usize, ServerError> {
         let user = self.authenticate(req)?;
         let requester = Requester::new(&user, &req.ip, &req.sym)
             .map_err(|e| ServerError::BadRequest(e.to_string()))?;
-        let Some(stored) = self.repository.document(&req.uri) else {
-            return Err(ServerError::NotFound(req.uri.clone()));
+
+        // Writers serialize here; in-flight read computes drain first.
+        let mut repo = self.write_repo();
+        let dtd_uri = match repo.document(&req.uri) {
+            Some(s) => s.dtd_uri.clone(),
+            None => return Err(ServerError::NotFound(req.uri.clone())),
         };
-        let mut doc =
-            xmlsec_xml::parse(&stored.xml).map_err(|e| ServerError::Processing(e.to_string()))?;
-        // Normalize defaulted attributes first, exactly as the read path
-        // does, so write authorizations conditioned on them match; the
-        // stored document materializes the defaults on the next write.
-        let dtd_parsed = stored
-            .dtd_uri
+        let dtd_parsed = dtd_uri
             .as_deref()
-            .and_then(|u| self.repository.dtd(u))
+            .and_then(|u| repo.dtd(u))
             .map(xmlsec_dtd::parse_dtd)
             .transpose()
             .map_err(|e| ServerError::Processing(e.to_string()))?;
-        if let Some(d) = &dtd_parsed {
-            xmlsec_dtd::normalize(d, &mut doc);
+
+        // Parse once per document lifetime: the repository keeps the
+        // parsed, normalized form, so only the first update (or the
+        // first after a byte-level `put_document`) pays a parse.
+        if repo.parsed_document(&req.uri).is_none() {
+            let xml_text = repo.document(&req.uri).map(|s| s.xml.clone()).unwrap_or_default();
+            let mut doc = xmlsec_xml::parse_cancellable(
+                &xml_text,
+                xmlsec_xml::ParseOptions::default(),
+                &self.limits.xml,
+                cancel,
+            )
+            .map_err(|e| match e.kind {
+                xmlsec_xml::XmlErrorKind::Cancelled(r) => ServerError::Cancelled(r),
+                _ => ServerError::Processing(e.to_string()),
+            })?;
+            // Normalize defaulted attributes exactly as the read path
+            // does, so write authorizations conditioned on them match.
+            if let Some(d) = &dtd_parsed {
+                xmlsec_dtd::normalize(d, &mut doc);
+            }
+            repo.store_parsed(&req.uri, ParsedDocument::new(doc));
         }
+        let mut doc = match repo.parsed_document(&req.uri) {
+            Some(p) => p.doc().clone(),
+            None => return Err(ServerError::Processing("parsed form missing".into())),
+        };
 
         let wxml = self.authorizations.applicable_for_action(
             &req.uri,
@@ -851,8 +961,7 @@ impl SecureServer {
             &self.directory,
             xmlsec_authz::Action::Write,
         );
-        let wdtd = stored
-            .dtd_uri
+        let wdtd = dtd_uri
             .as_deref()
             .map(|u| {
                 self.authorizations.applicable_for_action(
@@ -863,13 +972,30 @@ impl SecureServer {
                 )
             })
             .unwrap_or_default();
-        let labels = label_for_write(&doc, &wxml, &wdtd, &self.directory, self.policy);
-        let touched = apply_updates(&mut doc, ops, &labels)
-            .map_err(|e| ServerError::UpdateDenied(e.to_string()))?;
+        let mut opts = EngineOptions::sequential(self.limits.xpath);
+        opts.parallelism = self.parallelism;
+        if let Some(t) = cancel {
+            opts = opts.with_cancel(t);
+        }
+        let ctx = WriteContext {
+            axml: &wxml,
+            adtd: &wdtd,
+            dir: &self.directory,
+            policy: self.policy,
+            opts,
+        };
+        let outcome = apply_updates(&mut doc, ops, &ctx).map_err(|e| match e {
+            UpdateError::Cancelled(r) => ServerError::Cancelled(r),
+            UpdateError::Engine(err) => ServerError::LimitExceeded(err.to_string()),
+            other => ServerError::UpdateDenied(other.to_string()),
+        })?;
 
-        // The stored document must stay valid against its DTD.
-        let dtd_uri = stored.dtd_uri.clone();
         if let Some(dtd) = &dtd_parsed {
+            // Materialize DTD defaults on freshly inserted elements (the
+            // base document is already normalized, so this only touches
+            // nodes inside the dirty subtrees) and keep the stored
+            // document valid.
+            xmlsec_dtd::normalize(dtd, &mut doc);
             let errs = xmlsec_dtd::validate(dtd, &doc);
             if !errs.is_empty() {
                 return Err(ServerError::UpdateDenied(format!(
@@ -879,20 +1005,149 @@ impl SecureServer {
             }
         }
 
-        let xml = xmlsec_xml::serialize(&doc, &xmlsec_xml::SerializeOptions::canonical());
-        // Write-through: put_document rehashes, repointing every cache
-        // key for this URI; invalidate_uri then reclaims the dead
-        // entries' space immediately.
-        self.repository.put_document(&req.uri, &xml, dtd_uri.as_deref());
-        if let Some(c) = &self.cache {
-            c.invalidate_uri(&req.uri);
+        let touched = outcome.touched;
+        if repo.commit_update(&req.uri, doc, &outcome.dirty).is_none() {
+            return Err(ServerError::Processing("commit failed: document vanished".into()));
         }
+
+        // Patch every warm cached view of this document in place; views
+        // we cannot patch (no bookkeeping, labeling error) are dropped —
+        // content-addressed keys make the old entries unreachable either
+        // way, so this is never a correctness hinge.
+        if self.cache.is_some() {
+            self.patch_views(&repo, &req.uri, dtd_parsed.as_ref(), cancel);
+        }
+        drop(repo);
+        self.prune_patch_state();
+
         self.audit.record(
             &requester.to_string(),
             &req.uri,
-            AuditOutcome::Served { granted_nodes: touched, total_nodes: 0, cached: false },
+            AuditOutcome::Updated { ops: ops.len(), touched },
         );
         Ok(touched)
+    }
+
+    /// Rewrites each warm cached view of `uri` against the post-commit
+    /// document: incremental relabel from the entry's previous labeling,
+    /// re-prune, re-serialize, new content-addressed key and ETag — the
+    /// entry keeps its position in the eviction order. Called with the
+    /// repository write guard held, so no reader observes a half-patched
+    /// cache for the new content.
+    fn patch_views(
+        &self,
+        repo: &Repository,
+        uri: &str,
+        dtd: Option<&xmlsec_dtd::Dtd>,
+        cancel: Option<&CancelToken>,
+    ) {
+        let Some(cache) = &self.cache else { return };
+        let new_content = repo.content_hash(uri).unwrap_or(0);
+        let old_keys: Vec<ViewKey> =
+            cache.keys_for_uri(uri).into_iter().filter(|k| k.content != new_content).collect();
+        if old_keys.is_empty() {
+            return;
+        }
+        let Some(parsed) = repo.parsed_document(uri) else {
+            for k in &old_keys {
+                cache.remove(k);
+            }
+            return;
+        };
+        let doc = parsed.doc();
+        let dtd_uri = repo.document(uri).and_then(|s| s.dtd_uri.clone());
+        // Loosening is requester-independent: once per update, shared by
+        // every patched entry.
+        let loosened_text = dtd.map(|d| xmlsec_dtd::serialize_dtd(&xmlsec_dtd::loosen(d)));
+
+        let m = patch_metrics();
+        let mut state = self.lock_patch_state();
+        for old_key in old_keys {
+            let patched = state.remove(&old_key).and_then(|entry| {
+                self.patch_one(
+                    doc,
+                    uri,
+                    dtd_uri.as_deref(),
+                    &old_key,
+                    entry,
+                    new_content,
+                    loosened_text.as_deref(),
+                    cancel,
+                )
+            });
+            match patched {
+                Some((new_key, view, new_entry)) => {
+                    if cache.replace(&old_key, new_key.clone(), view) {
+                        state.insert(new_key, new_entry);
+                        m.patched.inc();
+                    }
+                }
+                None => {
+                    cache.remove(&old_key);
+                    m.dropped.inc();
+                }
+            }
+        }
+    }
+
+    /// Recomputes one cached view against the updated document. Returns
+    /// `None` when the view cannot be patched (labeling failed or was
+    /// cancelled) — the caller drops the stale entry instead.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_one(
+        &self,
+        doc: &xmlsec_xml::Document,
+        uri: &str,
+        dtd_uri: Option<&str>,
+        old_key: &ViewKey,
+        entry: PatchEntry,
+        new_content: u64,
+        loosened_text: Option<&str>,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(ViewKey, CachedView, PatchEntry)> {
+        let PatchEntry { requester, prev } = entry;
+        let axml = self.authorizations.applicable_for_action(
+            uri,
+            &requester,
+            &self.directory,
+            xmlsec_authz::Action::Read,
+        );
+        let adtd = dtd_uri
+            .map(|u| {
+                self.authorizations.applicable_for_action(
+                    u,
+                    &requester,
+                    &self.directory,
+                    xmlsec_authz::Action::Read,
+                )
+            })
+            .unwrap_or_default();
+        let mut opts = EngineOptions::sequential(self.limits.xpath);
+        opts.parallelism = self.parallelism;
+        if let Some(t) = cancel {
+            opts = opts.with_cancel(t);
+        }
+        let labeling = label_document_incremental(
+            doc,
+            &axml,
+            &adtd,
+            &self.directory,
+            self.policy,
+            &opts,
+            prev.as_deref(),
+        )
+        .ok()?;
+        let mut view = doc.clone();
+        prune_document(&mut view, &labeling, self.policy);
+        let xml = xmlsec_xml::serialize(&view, &xmlsec_xml::SerializeOptions::canonical());
+        let new_key =
+            ViewKey { uri: uri.to_string(), fingerprint: old_key.fingerprint, content: new_content };
+        let etag = etag_for(&new_key, &xml, loosened_text);
+        Some((
+            new_key,
+            CachedView { xml, loosened_dtd: loosened_text.map(str::to_string), etag },
+            PatchEntry { requester, prev: Some(Arc::new(labeling)) },
+        ))
     }
 
     fn applicable_auths(&self, uri: &str, requester: &Requester) -> Vec<&Authorization> {
@@ -1476,5 +1731,139 @@ mod revoke_tests {
         assert!(!after.cached, "revocation must invalidate the cache");
         assert_eq!(after.xml, "<d/>");
         assert_eq!(s.revoke(&grant), 0);
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+    use xmlsec_authz::{Action, AuthType, ObjectSpec, Sign};
+    use xmlsec_subjects::Subject;
+
+    fn writable_server() -> SecureServer {
+        let mut dir = Directory::new();
+        dir.add_user("ed").unwrap();
+        dir.add_user("ro").unwrap();
+        let mut base = AuthorizationBase::new();
+        base.add(Authorization::new(
+            Subject::new("ed", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        base.add(
+            Authorization::new(
+                Subject::new("ed", "*", "*").unwrap(),
+                ObjectSpec::with_path("d.xml", "/d").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            )
+            .with_action(Action::Write),
+        );
+        base.add(Authorization::new(
+            Subject::new("ro", "*", "*").unwrap(),
+            ObjectSpec::with_path("d.xml", "/d").unwrap(),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+        let mut s = SecureServer::new(dir, base);
+        s.register_credentials("ed", "pw");
+        s.register_credentials("ro", "pw");
+        s.repository_mut().put_document("d.xml", "<d><t>v1</t></d>", None);
+        s
+    }
+
+    fn rq(user: &str) -> ClientRequest {
+        ClientRequest {
+            user: Some((user.into(), "pw".into())),
+            ip: "1.2.3.4".into(),
+            sym: "h.x.org".into(),
+            uri: "d.xml".into(),
+        }
+    }
+
+    #[test]
+    fn committed_update_is_audited_as_updated() {
+        let s = writable_server();
+        let touched = s
+            .update(&rq("ed"), &[UpdateOp::SetText { target: "/d/t".into(), text: "v2".into() }])
+            .unwrap();
+        assert_eq!(touched, 1);
+        let records = s.audit.records();
+        let last = records.last().unwrap();
+        assert!(
+            matches!(last.outcome, AuditOutcome::Updated { ops: 1, touched: 1 }),
+            "an update is audited as Updated, not as a zero-node Served: {last:?}"
+        );
+        assert!(last.requester.starts_with("ed@"));
+    }
+
+    #[test]
+    fn cancelled_update_leaves_document_and_views_untouched() {
+        let s = writable_server();
+        let before = s.handle(&rq("ro")).unwrap();
+        assert!(s.handle(&rq("ro")).unwrap().cached, "reader view is warm");
+        let token = CancelToken::never();
+        token.cancel();
+        let e = s
+            .update_cancellable(
+                &rq("ed"),
+                &[UpdateOp::SetText { target: "/d/t".into(), text: "v2".into() }],
+                Some(&token),
+            )
+            .unwrap_err();
+        assert!(matches!(e, ServerError::Cancelled(_)), "{e:?}");
+        // Nothing committed: stored bytes, content hash, and the warm
+        // view are all exactly as before the interrupted batch.
+        {
+            let repo = s.repository();
+            assert_eq!(repo.document("d.xml").unwrap().xml, "<d><t>v1</t></d>");
+        }
+        let after = s.handle(&rq("ro")).unwrap();
+        assert!(after.cached, "the warm view survives the aborted batch");
+        assert_eq!(after.xml, before.xml);
+        assert_eq!(after.etag, before.etag);
+    }
+
+    #[test]
+    fn commit_patches_warm_views_and_counts_them() {
+        let patched = || {
+            telemetry::global()
+                .counter(
+                    "xmlsec_view_patches_total",
+                    "Warm cached views handled after an update commit, by result: \
+                     patched in place, or dropped (no bookkeeping / labeling error).",
+                    &[("result", "patched")],
+                )
+                .get()
+        };
+        let s = writable_server();
+        let before = s.handle(&rq("ro")).unwrap();
+        assert!(s.handle(&rq("ro")).unwrap().cached);
+        let count0 = patched();
+        s.update(&rq("ed"), &[UpdateOp::SetText { target: "/d/t".into(), text: "v2".into() }])
+            .unwrap();
+        assert!(patched() > count0, "the warm reader view is patched in place");
+        let after = s.handle(&rq("ro")).unwrap();
+        assert!(after.cached, "the patched view serves as a warm hit");
+        assert!(after.xml.contains("v2"), "{}", after.xml);
+        assert_ne!(after.etag, before.etag);
+        // Repeated updates keep patching the same (moving) entry.
+        s.update(&rq("ed"), &[UpdateOp::SetText { target: "/d/t".into(), text: "v3".into() }])
+            .unwrap();
+        let third = s.handle(&rq("ro")).unwrap();
+        assert!(third.cached);
+        assert!(third.xml.contains("v3"), "{}", third.xml);
+    }
+
+    #[test]
+    fn update_without_write_grant_is_denied_and_commits_nothing() {
+        let s = writable_server();
+        let e = s
+            .update(&rq("ro"), &[UpdateOp::SetText { target: "/d/t".into(), text: "x".into() }])
+            .unwrap_err();
+        assert!(matches!(e, ServerError::UpdateDenied(_)), "{e:?}");
+        let repo = s.repository();
+        assert_eq!(repo.document("d.xml").unwrap().xml, "<d><t>v1</t></d>");
     }
 }

@@ -286,7 +286,8 @@ mod tests {
         let (server, summary) = load_site(&site.dir).unwrap();
         assert_eq!(summary.documents, vec!["doc.xml"]);
         assert!(summary.dtds.is_empty());
-        let stored = server.repository().document("doc.xml").unwrap();
+        let repo = server.repository();
+        let stored = repo.document("doc.xml").unwrap();
         assert_eq!(stored.dtd_uri, None);
     }
 }

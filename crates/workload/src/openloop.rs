@@ -52,6 +52,17 @@ pub struct OpenLoopConfig {
     /// Probability an arrival is a slow client: half a request line,
     /// then a stall the server's read timeout must reap.
     pub slow: f64,
+    /// Probability an arrival is a write: `POST` the op batch in
+    /// [`update_body`](OpenLoopConfig::update_body) to
+    /// [`update_target`](OpenLoopConfig::update_target). Zero (the
+    /// default) keeps the mix read-only; a non-zero mix measures
+    /// readers queueing behind commits and in-place view patching.
+    pub update: f64,
+    /// `POST` target for update arrivals
+    /// (`/update?doc=…&user=…&pass=…&ip=…&host=…`).
+    pub update_target: String,
+    /// Line-oriented op batch sent as the update body.
+    pub update_body: String,
 }
 
 impl Default for OpenLoopConfig {
@@ -65,6 +76,9 @@ impl Default for OpenLoopConfig {
             query_path: "/d".to_string(),
             conditional: 0.25,
             slow: 0.05,
+            update: 0.0,
+            update_target: String::new(),
+            update_body: String::new(),
         }
     }
 }
@@ -78,6 +92,8 @@ pub struct OpenLoopReport {
     pub ok: usize,
     /// Not-modified revalidations (a subset of `ok`).
     pub not_modified: usize,
+    /// Committed update batches (a subset of `ok`).
+    pub updated: usize,
     /// Load-shed or cancelled responses (503).
     pub shed: usize,
     /// Client-fault responses (4xx).
@@ -132,6 +148,7 @@ enum Arrival {
     Query,
     Conditional,
     Slow,
+    Update,
 }
 
 /// Draws the whole mix up front so the schedule is fixed before the
@@ -147,6 +164,8 @@ fn draw_mix(cfg: &OpenLoopConfig) -> Vec<Arrival> {
                 Arrival::Conditional
             } else if roll < cfg.slow + cfg.conditional + cfg.query {
                 Arrival::Query
+            } else if roll < cfg.slow + cfg.conditional + cfg.query + cfg.update {
+                Arrival::Update
             } else {
                 Arrival::View
             }
@@ -209,6 +228,18 @@ fn run_arrival(
                 )
                 .ok()?;
             }
+            Arrival::Update => {
+                let t = &cfg.update_target;
+                let body = &cfg.update_body;
+                conn.write_all(
+                    format!(
+                        "POST {t} HTTP/1.0\r\nHost: ol\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .ok()?;
+            }
         }
         let mut buf = String::new();
         conn.read_to_string(&mut buf).ok()?;
@@ -225,7 +256,12 @@ fn run_arrival(
         return;
     };
     match status_of(&buf) {
-        Some(200) => r.ok += 1,
+        Some(200) => {
+            r.ok += 1;
+            if kind == Arrival::Update {
+                r.updated += 1;
+            }
+        }
         Some(304) => {
             r.ok += 1;
             r.not_modified += 1;

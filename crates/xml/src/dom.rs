@@ -1,11 +1,20 @@
 //! Arena-based DOM.
 //!
 //! The paper's security processor (its §7) represents documents as DOM
-//! Level 1 object trees. We use an index-based arena: a [`Document`] owns a
-//! `Vec` of [`Node`]s and all links are [`NodeId`] indices. This matches
-//! the paper's tree model exactly — elements are internal nodes, attributes
-//! and text values are leaves attached to their element — while keeping
+//! Level 1 object trees. We use a **generational-index arena**: a
+//! [`Document`] owns a single `Vec` of slots, every link is a [`NodeId`]
+//! carrying both the slot index and the slot's generation, and freed
+//! slots go on a free list for reuse. This matches the paper's tree
+//! model exactly — elements are internal nodes, attributes and text
+//! values are leaves attached to their element — while keeping
 //! traversals allocation-free and cache-friendly.
+//!
+//! The generation in each id is what makes in-place *updates* safe: when
+//! a subtree is removed ([`Document::remove_subtree`]) its slots are
+//! recycled with a bumped generation, so any id that survived from
+//! before the removal can never silently alias a new node occupying the
+//! same index (the classic ABA hazard of plain index arenas). Accessing
+//! a node through a stale id panics instead of reading the wrong node.
 //!
 //! Attributes are first-class nodes (the paper's Figure 1(b) draws them as
 //! squares in the tree) because the labeling algorithm assigns them their
@@ -15,21 +24,48 @@ use crate::error::{Pos, Result, XmlError, XmlErrorKind};
 use crate::name::is_valid_name;
 use std::fmt;
 
-/// Index of a node within its [`Document`] arena.
+/// Handle to a node within its [`Document`] arena: slot index plus the
+/// slot generation current when the node was allocated.
+///
+/// Ordering is index-major (generation is a tie-break that never fires
+/// for ids live in the same document), so for parser-built documents a
+/// plain sort of ids is still a document-order sort — the contract the
+/// XPath evaluator relies on via [`Document::ids_preordered`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub u32);
+pub struct NodeId {
+    idx: u32,
+    gen: u32,
+}
 
 impl NodeId {
-    /// The arena index as a `usize`.
+    /// Builds an id from raw parts. Normal code receives ids from the
+    /// [`Document`] mutation API; this is for tests and tools that
+    /// reconstruct ids (pair it with [`Document::node_id_at`]).
+    #[inline]
+    pub fn new(index: u32, generation: u32) -> Self {
+        NodeId { idx: index, gen: generation }
+    }
+
+    /// The arena slot index as a `usize`.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        self.idx as usize
+    }
+
+    /// The generation of the slot this id points into.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.gen
     }
 }
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#{}", self.0)
+        if self.gen == 0 {
+            write!(f, "#{}", self.idx)
+        } else {
+            write!(f, "#{}.g{}", self.idx, self.gen)
+        }
     }
 }
 
@@ -74,6 +110,15 @@ pub struct Node {
     pub data: NodeData,
 }
 
+/// One arena slot: the current generation plus the occupying node, if
+/// any. A vacant slot's index is on the free list; its generation has
+/// already been bumped past every id ever handed out for it.
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u32,
+    node: Option<Node>,
+}
+
 /// Captured `<!DOCTYPE ...>` information.
 ///
 /// The processor needs the DTD hook (name + external id + internal subset
@@ -92,20 +137,24 @@ pub struct Doctype {
     pub internal_subset: Option<String>,
 }
 
-/// An XML document as an arena of nodes.
+/// An XML document as a generational arena of nodes.
 ///
 /// Invariants maintained by the mutation API:
 /// - `root` is an `Element` with `parent == None`;
 /// - every other reachable node's `parent` is the node that lists it in
 ///   `attrs`/`children`;
-/// - attribute names are unique per element.
+/// - attribute names are unique per element;
+/// - a live [`NodeId`]'s generation matches its slot's generation, and a
+///   freed slot's generation exceeds every id ever issued for it.
 ///
-/// Detached nodes may linger in the arena after pruning; they are simply
-/// unreachable (the arena is not compacted — documents are short-lived in
-/// the processor pipeline, matching the paper's per-request usage).
+/// Detached nodes may linger in the arena after pruning (the processor's
+/// per-request documents are short-lived); long-lived documents mutated
+/// by the update path instead call [`Document::remove_subtree`], which
+/// recycles the slots through the free list.
 #[derive(Debug, Clone)]
 pub struct Document {
-    nodes: Vec<Node>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     root: NodeId,
     /// DOCTYPE declaration, if the source had one.
     pub doctype: Option<Doctype>,
@@ -116,6 +165,15 @@ pub struct Document {
     /// that mutate out of order flip it, and consumers (the XPath
     /// evaluator) fall back to a structural document-order sort.
     ids_preordered: bool,
+}
+
+#[cold]
+#[inline(never)]
+fn stale_node_id(id: NodeId, slot_gen: u32, vacant: bool) -> ! {
+    if vacant {
+        panic!("stale NodeId {id}: slot is vacant (generation now {slot_gen})");
+    }
+    panic!("stale NodeId {id}: slot was recycled (generation now {slot_gen})");
 }
 
 impl Document {
@@ -134,10 +192,11 @@ impl Document {
             },
         };
         Document {
-            nodes: vec![root],
-            root: NodeId(0),
+            slots: vec![Slot { gen: 0, node: Some(root) }],
+            free: Vec::new(),
+            root: NodeId::new(0, 0),
             doctype: None,
-            last_alloc: NodeId(0),
+            last_alloc: NodeId::new(0, 0),
             ids_preordered: true,
         }
     }
@@ -145,7 +204,8 @@ impl Document {
     /// `true` while arena ids enumerate the tree in document order
     /// (attributes of an element before its children). Guaranteed for
     /// parser-built documents; appending anywhere except "after
-    /// everything so far" clears it.
+    /// everything so far" — or allocating into a recycled slot — clears
+    /// it.
     #[inline]
     pub fn ids_preordered(&self) -> bool {
         self.ids_preordered
@@ -174,27 +234,84 @@ impl Document {
         self.root
     }
 
-    /// Total number of arena slots (including detached nodes).
+    /// Total number of arena slots (live, detached, and vacant).
     #[inline]
     pub fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
+    }
+
+    /// Number of vacant (recycled, reusable) slots.
+    #[inline]
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether `id` is live in this arena: its slot is occupied and the
+    /// generations match. Detached-but-not-freed nodes are live.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.slots
+            .get(id.index())
+            .is_some_and(|s| s.gen == id.generation() && s.node.is_some())
+    }
+
+    /// The live id occupying slot `index`, if any. The inverse of
+    /// [`NodeId::index`] for tools that enumerate the arena.
+    pub fn node_id_at(&self, index: usize) -> Option<NodeId> {
+        let slot = self.slots.get(index)?;
+        slot.node.as_ref()?;
+        Some(NodeId::new(index as u32, slot.gen))
+    }
+
+    /// The generation currently stored in slot `index` (whether or not
+    /// the slot is occupied); `None` past the end of the arena.
+    pub fn slot_generation(&self, index: usize) -> Option<u32> {
+        self.slots.get(index).map(|s| s.gen)
     }
 
     /// Immutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is stale: its slot was freed (and possibly
+    /// recycled) since the id was issued.
     #[inline]
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        let slot = &self.slots[id.index()];
+        match &slot.node {
+            Some(n) if slot.gen == id.generation() => n,
+            other => stale_node_id(id, slot.gen, other.is_none()),
+        }
     }
 
     /// Mutable access to a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is stale (see [`Document::node`]).
     #[inline]
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.index()]
+        let slot = &mut self.slots[id.index()];
+        if slot.gen != id.generation() || slot.node.is_none() {
+            let vacant = slot.node.is_none();
+            stale_node_id(id, slot.gen, vacant);
+        }
+        slot.node.as_mut().expect("occupancy checked above")
     }
 
     fn alloc(&mut self, node: Node) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
-        self.nodes.push(node);
+        let id = match self.free.pop() {
+            Some(idx) => {
+                // A recycled (low) index can never extend a preorder.
+                self.ids_preordered = false;
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.node.is_none(), "free list held an occupied slot");
+                slot.node = Some(node);
+                NodeId::new(idx, slot.gen)
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena overflow");
+                self.slots.push(Slot { gen: 0, node: Some(node) });
+                NodeId::new(idx, 0)
+            }
+        };
         self.last_alloc = id;
         id
     }
@@ -254,7 +371,7 @@ impl Document {
     pub fn set_attribute(&mut self, element: NodeId, name: &str, value: &str) -> Result<NodeId> {
         debug_assert!(is_valid_name(name), "invalid attribute name {name:?}");
         if let Some(existing) = self.attribute_node(element, name) {
-            if let NodeData::Attr { value: v, .. } = &mut self.nodes[existing.index()].data {
+            if let NodeData::Attr { value: v, .. } = &mut self.node_mut(existing).data {
                 *v = value.to_string();
             }
             return Ok(existing);
@@ -272,7 +389,7 @@ impl Document {
             parent: Some(element),
             data: NodeData::Attr { name: name.to_string(), value: value.to_string() },
         });
-        match &mut self.nodes[element.index()].data {
+        match &mut self.node_mut(element).data {
             NodeData::Element { attrs, .. } => {
                 attrs.push(id);
                 Ok(id)
@@ -282,7 +399,7 @@ impl Document {
     }
 
     fn children_mut(&mut self, id: NodeId) -> &mut Vec<NodeId> {
-        match &mut self.nodes[id.index()].data {
+        match &mut self.node_mut(id).data {
             NodeData::Element { children, .. } => children,
             other => panic!("cannot append children to non-element node: {other:?}"),
         }
@@ -509,16 +626,17 @@ impl Document {
     }
 
     // ------------------------------------------------------------------
-    // Mutation (pruning support)
+    // Mutation (pruning and update support)
     // ------------------------------------------------------------------
 
-    /// Detaches `id` from its parent (it stays in the arena, unreachable).
+    /// Detaches `id` from its parent (it stays in the arena, unreachable,
+    /// and its id remains valid).
     ///
     /// Detaching the root is not allowed and is a no-op returning `false`.
     pub fn detach(&mut self, id: NodeId) -> bool {
         let Some(p) = self.node(id).parent else { return false };
         let is_attr = self.is_attribute(id);
-        match &mut self.nodes[p.index()].data {
+        match &mut self.node_mut(p).data {
             NodeData::Element { attrs, children, .. } => {
                 if is_attr {
                     attrs.retain(|&a| a != id);
@@ -528,8 +646,55 @@ impl Document {
             }
             _ => return false,
         }
-        self.nodes[id.index()].parent = None;
+        self.node_mut(id).parent = None;
         true
+    }
+
+    /// Detaches `id` from its parent and frees its whole subtree
+    /// (including attribute nodes): the slots are vacated, their
+    /// generations bumped, and their indices recycled through the free
+    /// list. Every id into the subtree becomes stale. Returns the number
+    /// of nodes freed; removing the root is refused (returns 0).
+    ///
+    /// This is the update path's deletion primitive — unlike
+    /// [`Document::detach`], the arena does not grow monotonically under
+    /// churn.
+    pub fn remove_subtree(&mut self, id: NodeId) -> usize {
+        if id == self.root {
+            return 0;
+        }
+        self.detach(id);
+        let mut freed = 0usize;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if let NodeData::Element { attrs, children, .. } = &self.node(n).data {
+                stack.extend(attrs.iter().copied());
+                stack.extend(children.iter().copied());
+            }
+            self.free_slot(n);
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Vacates one slot: bumps its generation (staling every outstanding
+    /// id for it) and recycles the index.
+    fn free_slot(&mut self, id: NodeId) {
+        let slot = &mut self.slots[id.index()];
+        assert!(
+            slot.gen == id.generation() && slot.node.is_some(),
+            "freeing through a stale NodeId {id}"
+        );
+        slot.node = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.index() as u32);
+        // `last_alloc` must always be live (preorder bookkeeping walks
+        // its ancestor chain); fall back to the root, which is sound:
+        // after a free the free list is non-empty, so the next alloc
+        // recycles a slot and clears `ids_preordered` anyway.
+        if self.last_alloc == id {
+            self.last_alloc = self.root;
+        }
     }
 
     /// Deep-copies the subtree rooted at `src_id` in `src` into `self`,
@@ -564,6 +729,29 @@ impl Document {
             }
             NodeData::Attr { .. } => panic!("cannot import an attribute as a subtree"),
         }
+    }
+
+    /// Replaces the subtree rooted at `target` with a deep copy of
+    /// `src_id` from `src`, splicing the copy into `target`'s former
+    /// position among its parent's children. The old subtree's slots are
+    /// freed and recycled. Returns the id of the new subtree root, or
+    /// `None` if `target` is the document root (which cannot be
+    /// replaced).
+    pub fn replace_with_subtree(
+        &mut self,
+        target: NodeId,
+        src: &Document,
+        src_id: NodeId,
+    ) -> Option<NodeId> {
+        let parent = self.parent(target)?;
+        let pos = self.children(parent).iter().position(|&c| c == target)?;
+        self.remove_subtree(target);
+        let new_id = self.import_subtree(parent, src, src_id);
+        let children = self.children_mut(parent);
+        let last = children.pop().expect("import_subtree appended the new root");
+        debug_assert_eq!(last, new_id);
+        children.insert(pos, new_id);
+        Some(new_id)
     }
 
     /// Structural equality of two documents (names, attributes in order,
@@ -761,5 +949,108 @@ mod tests {
             .map(|id| d.element_name(id).unwrap().to_string())
             .collect();
         assert_eq!(names, vec!["project", "paper", "project"]);
+    }
+
+    // ---- generational-arena behaviors ------------------------------------
+
+    #[test]
+    fn remove_subtree_frees_and_recycles_slots() {
+        let mut d = sample();
+        let len_before = d.arena_len();
+        let p1 = d.child_elements(d.root()).next().unwrap();
+        // p1 subtree: project + @name + paper + text = 4 nodes
+        assert_eq!(d.remove_subtree(p1), 4);
+        assert_eq!(d.free_len(), 4);
+        assert!(!d.contains(p1));
+        // New allocations reuse the vacated slots instead of growing.
+        let e = d.append_element(d.root(), "fresh");
+        assert_eq!(d.arena_len(), len_before);
+        assert!(d.contains(e));
+        assert_eq!(d.free_len(), 3);
+    }
+
+    #[test]
+    fn recycled_slot_gets_new_generation() {
+        let mut d = sample();
+        let p1 = d.child_elements(d.root()).next().unwrap();
+        d.remove_subtree(p1);
+        // Allocate until p1's slot is reused.
+        let mut reused = None;
+        for k in 0..8 {
+            let e = d.append_element(d.root(), "n");
+            if e.index() == p1.index() {
+                reused = Some(e);
+                break;
+            }
+            let _ = k;
+        }
+        let e = reused.expect("free list must hand back the vacated slot");
+        assert_ne!(e, p1, "same index must carry a different generation");
+        assert_eq!(e.generation(), p1.generation() + 1);
+        // The live id works; the stale one is detectably dead.
+        assert_eq!(d.element_name(e), Some("n"));
+        assert!(!d.contains(p1));
+        assert_eq!(d.node_id_at(p1.index()), Some(e));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale NodeId")]
+    fn stale_id_access_panics() {
+        let mut d = sample();
+        let p1 = d.child_elements(d.root()).next().unwrap();
+        d.remove_subtree(p1);
+        let _ = d.node(p1); // ABA protection: must not read a recycled slot
+    }
+
+    #[test]
+    fn alloc_from_free_list_clears_preorder() {
+        let mut d = sample();
+        assert!(d.ids_preordered());
+        let p1 = d.child_elements(d.root()).next().unwrap();
+        d.remove_subtree(p1);
+        // Removal alone keeps the (subsequence) preorder…
+        assert!(d.ids_preordered());
+        // …but a recycled low index cannot extend it.
+        d.append_element(d.root(), "late");
+        assert!(!d.ids_preordered());
+    }
+
+    #[test]
+    fn remove_last_alloc_keeps_document_usable() {
+        let mut d = Document::new("a");
+        let b = d.append_element(d.root(), "b");
+        d.remove_subtree(b); // frees the tracked last_alloc
+        let c = d.append_element(d.root(), "c");
+        assert!(d.contains(c));
+        assert_eq!(d.child_elements(d.root()).count(), 1);
+    }
+
+    #[test]
+    fn replace_with_subtree_preserves_position() {
+        let mut d = sample();
+        let kids: Vec<_> = d.child_elements(d.root()).collect();
+        let (p1, p2) = (kids[0], kids[1]);
+        let mut src = Document::new("swap");
+        let repl = src.append_element(src.root(), "replacement");
+        src.set_attribute(repl, "name", "r").unwrap();
+        let new_id = d.replace_with_subtree(p1, &src, repl).unwrap();
+        let kids_after: Vec<_> = d.child_elements(d.root()).collect();
+        assert_eq!(kids_after, vec![new_id, p2], "splice keeps the sibling position");
+        assert_eq!(d.element_name(new_id), Some("replacement"));
+        assert!(!d.contains(p1));
+        // Replacing the root is refused.
+        let r = d.root();
+        assert!(d.replace_with_subtree(r, &src, repl).is_none());
+    }
+
+    #[test]
+    fn node_id_roundtrip_through_raw_parts() {
+        let d = sample();
+        for n in d.preorder(d.root()) {
+            let rebuilt = NodeId::new(n.index() as u32, n.generation());
+            assert_eq!(rebuilt, n);
+            assert_eq!(d.node_id_at(n.index()), Some(n));
+        }
+        assert_eq!(d.node_id_at(d.arena_len()), None);
     }
 }

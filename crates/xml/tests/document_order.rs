@@ -32,7 +32,7 @@ fn late_mutations_are_ordered_by_position_not_id() {
     let b = d.append_element(d.root(), "b");
     let c = d.append_element(d.root(), "c");
     let battr = d.set_attribute(b, "late", "1").unwrap();
-    assert!(battr.0 > c.0, "arena id really is later");
+    assert!(battr.index() > c.index(), "arena id really is later");
     assert_eq!(d.document_order(battr, c), Ordering::Less);
     assert_eq!(d.document_order(c, battr), Ordering::Greater);
     assert_eq!(d.document_order(b, battr), Ordering::Less, "element before its attribute");

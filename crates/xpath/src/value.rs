@@ -169,7 +169,7 @@ mod tests {
         assert!(!Value::Num(0.0).to_bool());
         assert!(!Value::Num(f64::NAN).to_bool());
         assert!(!Value::NodeSet(vec![]).to_bool());
-        assert!(Value::NodeSet(vec![NodeId(0)]).to_bool());
+        assert!(Value::NodeSet(vec![NodeId::new(0, 0)]).to_bool());
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "view" => cmd_view(&opts),
+        "update" => cmd_update(&opts),
         "validate" => cmd_validate(&opts),
         "loosen" => cmd_loosen(&opts),
         "tree" => cmd_tree(&opts),
@@ -73,6 +74,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [options]
   view:     --doc F --uri U --user NAME --ip IP --host H [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--open] [--pretty]
+  update:   --doc F --uri U --user NAME --ip IP --host H --ops F (or - for stdin)
+            [--dtd F --dtd-uri U] [--xacl F]... [--dir F] [--open]
+            ops file: one op per line, tab-separated fields —
+              settext <path>\\t<text> | setattr <path>\\t<name>\\t<value> | insert <path>\\t<name>
+              insertsub <path>\\t<xml> | replacesub <path>\\t<xml> | delete <path>
+            prints the committed document to stdout
   validate: --doc F --dtd F [--strict]
   loosen:   --dtd F
   tree:     --doc F | --dtd F [--root NAME]
@@ -237,6 +244,64 @@ fn cmd_view(o: &Opts) -> Result<(), String> {
     if let Some(l) = out.loosened_dtd {
         eprintln!("-- loosened DTD --\n{l}");
     }
+    Ok(())
+}
+
+/// `update` — the §8 write path from the shell: authorize a batch of
+/// update operations against the requester's write grants, apply it
+/// transactionally (all ops or none, DTD validity preserved), and print
+/// the committed document to stdout.
+fn cmd_update(o: &Opts) -> Result<(), String> {
+    let xml = read(o.one("doc")?)?;
+    let uri = o.one("uri")?;
+    let user = o.one("user")?;
+    let mut dir = load_directory(o.opt("dir"))?;
+    let _ = dir.add_user(user);
+    let mut base = AuthorizationBase::new();
+    for xacl_path in o.many("xacl") {
+        let auths = parse_xacl(&read(xacl_path)?).map_err(|e| e.to_string())?;
+        for a in &auths {
+            if dir.kind(&a.subject.user_group).is_none() {
+                let _ = dir.add_group(&a.subject.user_group);
+            }
+        }
+        base.extend(auths);
+    }
+    let mut server = SecureServer::new(dir, base).without_cache();
+    server.register_credentials(user, "-");
+    let dtd_uri = o.opt("dtd-uri");
+    if let Some(dtd_path) = o.opt("dtd") {
+        let duri = dtd_uri.ok_or("--dtd requires --dtd-uri")?;
+        server.repository_mut().put_dtd(duri, &read(dtd_path)?);
+    }
+    server.repository_mut().put_document(uri, &xml, dtd_uri);
+    if o.flag("open") {
+        server = server.with_policy(PolicyConfig {
+            completeness: CompletenessPolicy::Open,
+            ..Default::default()
+        });
+    }
+    let ops_path = o.one("ops")?;
+    let ops_text = if ops_path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        read(ops_path)?
+    };
+    let ops = xmlsec::server::parse_update_ops(&ops_text)?;
+    let request = ClientRequest {
+        user: Some((user.to_string(), "-".to_string())),
+        ip: o.one("ip")?.to_string(),
+        sym: o.one("host")?.to_string(),
+        uri: uri.to_string(),
+    };
+    let touched = server.update(&request, &ops).map_err(|e| e.to_string())?;
+    let repo = server.repository();
+    let committed = repo.document(uri).ok_or("document vanished after commit")?;
+    println!("{}", committed.xml);
+    eprintln!("updated {touched} node(s) in {} op(s)", ops.len());
     Ok(())
 }
 

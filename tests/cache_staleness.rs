@@ -137,13 +137,43 @@ fn committed_update_batch_is_immediately_visible_through_the_cached_path() {
     assert_eq!(touched, 2);
 
     let after = s.handle(&req("reader")).unwrap();
-    assert!(!after.cached, "the committed batch repoints the key");
+    assert!(after.cached, "the commit patched the reader's warm view in place");
     assert!(after.xml.contains("final"), "batch visible at once: {}", after.xml);
     assert!(!after.xml.contains("draft"));
-    assert_ne!(after.etag, before.etag);
-    // And the *new* view caches normally.
+    assert_ne!(after.etag, before.etag, "the entity tag tracks the content identity");
+    // The patched view keeps serving as a normal warm hit.
     let again = s.handle(&req("reader")).unwrap();
     assert!(again.cached);
     assert_eq!(again.xml, after.xml);
     assert_eq!(again.etag, after.etag);
+
+    // The patched bytes are identical to a cold recompute: a server
+    // with no cache, fed the committed bytes, renders the same view.
+    let mut cold = SecureServer::new(
+        {
+            let mut d = Directory::new();
+            d.add_user("editor").unwrap();
+            d.add_user("reader").unwrap();
+            d.add_group("Team").unwrap();
+            d.add_member("editor", "Team").unwrap();
+            d.add_member("reader", "Team").unwrap();
+            d
+        },
+        {
+            let mut b = AuthorizationBase::new();
+            b.add(Authorization::new(
+                Subject::new("Team", "*", "*").unwrap(),
+                ObjectSpec::with_path("notes.xml", "/notes").unwrap(),
+                Sign::Plus,
+                AuthType::Recursive,
+            ));
+            b
+        },
+    )
+    .without_cache();
+    cold.register_credentials("reader", "pw");
+    let committed = s.repository().document("notes.xml").unwrap().xml.clone();
+    cold.repository_mut().put_document("notes.xml", &committed, None);
+    let recomputed = cold.handle(&req("reader")).unwrap();
+    assert_eq!(recomputed.xml, after.xml, "patched view == full recompute, byte for byte");
 }

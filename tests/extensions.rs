@@ -107,7 +107,7 @@ fn bad_query_rejected() {
 
 #[test]
 fn editor_can_update_pages() {
-    let mut s = server();
+    let s = server();
     let touched = s
         .update(
             &req("editor"),
@@ -131,7 +131,7 @@ fn editor_can_update_pages() {
 
 #[test]
 fn reader_cannot_update_anything() {
-    let mut s = server();
+    let s = server();
     let e = s
         .update(
             &req("reader"),
@@ -145,7 +145,7 @@ fn reader_cannot_update_anything() {
 
 #[test]
 fn editor_cannot_update_outside_grant() {
-    let mut s = server();
+    let s = server();
     let e = s
         .update(
             &req("editor"),
@@ -156,8 +156,8 @@ fn editor_cannot_update_outside_grant() {
 }
 
 #[test]
-fn updates_invalidate_cached_views() {
-    let mut s = server();
+fn updates_patch_cached_views_in_place() {
+    let s = server();
     let r1 = s.handle(&req("reader")).unwrap();
     assert!(!r1.cached);
     let r2 = s.handle(&req("reader")).unwrap();
@@ -167,9 +167,13 @@ fn updates_invalidate_cached_views() {
         &[UpdateOp::SetText { target: r#"//pages/page[@title="Home"]"#.into(), text: "v2".into() }],
     )
     .unwrap();
+    // The commit patches the reader's warm view in place: the very next
+    // read is a cache hit that already carries the new content.
     let r3 = s.handle(&req("reader")).unwrap();
-    assert!(!r3.cached);
+    assert!(r3.cached);
     assert!(r3.xml.contains("v2"));
+    assert!(!r3.xml.contains("welcome"));
+    assert_ne!(r3.etag, r2.etag, "entity tag follows the content identity");
 }
 
 #[test]

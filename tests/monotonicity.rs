@@ -10,19 +10,19 @@ fn positive_only(auths: Vec<Authorization>) -> Vec<Authorization> {
 }
 
 /// Set of reachable node ids of a view (prune preserves NodeIds).
-fn visible_ids(view: &Document) -> std::collections::BTreeSet<u32> {
+fn visible_ids(view: &Document) -> std::collections::BTreeSet<xmlsec::xml::NodeId> {
     let mut out = std::collections::BTreeSet::new();
     let mut stack = vec![view.root()];
     while let Some(n) = stack.pop() {
-        out.insert(n.0);
+        out.insert(n);
         for &a in view.attributes(n) {
-            out.insert(a.0);
+            out.insert(a);
         }
         for &c in view.children(n) {
             if view.is_element(c) {
                 stack.push(c);
             } else {
-                out.insert(c.0);
+                out.insert(c);
             }
         }
     }
@@ -125,8 +125,7 @@ proptest! {
         // Every surviving arena id existed in the source with the same
         // name/value content (child lists legitimately shrink in views).
         use xmlsec::xml::NodeData;
-        for id in visible_ids(&view) {
-            let n = xmlsec::xml::NodeId(id);
+        for n in visible_ids(&view) {
             match (&view.node(n).data, &doc.node(n).data) {
                 (
                     NodeData::Element { name: a, .. },

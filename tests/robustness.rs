@@ -565,3 +565,125 @@ fn shutdown_drains_in_flight_requests() {
     let buf = client.join().expect("client thread");
     assert!(buf.starts_with("HTTP/1.0 200"), "{buf}");
 }
+
+#[test]
+fn concurrent_readers_and_writers_interleave_without_torn_views() {
+    // Readers hammer the view path while writers commit update batches
+    // over real sockets. Every reader must see a *committed* revision —
+    // the seed text or some writer's value, never a torn mix, never a
+    // 5xx — and every write must commit (the repository write lock
+    // serializes them; the transports queue, they do not fail).
+    let mut dir = Directory::new();
+    dir.add_user("tom").expect("add user");
+    dir.add_user("ed").expect("add user");
+    let mut base = AuthorizationBase::new();
+    for user in ["tom", "ed"] {
+        base.add(Authorization::new(
+            Subject::new(user, "*", "*").expect("subject"),
+            ObjectSpec::with_path("doc.xml", "/d").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+    }
+    base.add(
+        Authorization::new(
+            Subject::new("ed", "*", "*").expect("subject"),
+            ObjectSpec::with_path("doc.xml", "/d").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(xmlsec::authz::Action::Write),
+    );
+    let mut s = SecureServer::new(dir, base);
+    s.register_credentials("tom", "pw");
+    s.register_credentials("ed", "pw");
+    s.repository_mut().put_document("doc.xml", "<d><pub>seed</pub></d>", None);
+    // Generous shed target so the burst below is never load-shed; the
+    // test is about interleaving, not overload.
+    let cfg = HttpConfig { shed_target: Duration::from_secs(5), ..Default::default() };
+    let mut demo = HttpDemo::start_with(s, "127.0.0.1:0", cfg).expect("bind");
+    let addr = demo.addr();
+
+    const WRITERS: usize = 2;
+    const WRITES_EACH: usize = 8;
+    const READERS: usize = 4;
+    const READS_EACH: usize = 25;
+
+    let reader_bodies = std::thread::scope(|scope| {
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            writer_handles.push(scope.spawn(move || {
+                let mut answers = Vec::new();
+                for i in 0..WRITES_EACH {
+                    let body = format!("settext /d/pub\tw{w}-{i}\n");
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    write!(
+                        conn,
+                        "POST /update?doc=doc.xml&user=ed&pass=pw&ip=1.2.3.4&host=h.x.org \
+                         HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .expect("write");
+                    let mut buf = String::new();
+                    conn.read_to_string(&mut buf).expect("read");
+                    answers.push(buf);
+                }
+                answers
+            }));
+        }
+        let mut reader_handles = Vec::new();
+        for _ in 0..READERS {
+            reader_handles.push(scope.spawn(move || {
+                let mut bodies = Vec::new();
+                for _ in 0..READS_EACH {
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    write!(conn, "GET {OK_TARGET} HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+                    let mut buf = String::new();
+                    conn.read_to_string(&mut buf).expect("read");
+                    bodies.push(buf);
+                }
+                bodies
+            }));
+        }
+        for h in writer_handles {
+            for resp in h.join().expect("writer thread") {
+                assert!(resp.starts_with("HTTP/1.0 200"), "every write commits: {resp}");
+                assert!(resp.contains("updated 1"), "{resp}");
+            }
+        }
+        let mut all = Vec::new();
+        for h in reader_handles {
+            all.extend(h.join().expect("reader thread"));
+        }
+        all
+    });
+
+    for resp in &reader_bodies {
+        assert!(resp.starts_with("HTTP/1.0 200"), "readers never see an error: {resp}");
+        let body = resp.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        // A committed revision is exactly one <pub> holding the seed
+        // text or one writer value — anything else is a torn view.
+        let inner = body
+            .split_once("<pub>")
+            .and_then(|(_, rest)| rest.split_once("</pub>"))
+            .map(|(v, _)| v)
+            .unwrap_or_else(|| panic!("view shape: {body}"));
+        let committed = inner == "seed"
+            || (inner.starts_with('w') && inner.contains('-') && inner.len() <= 8);
+        assert!(committed, "torn or invented revision {inner:?} in {body}");
+    }
+
+    // The last committed revision is one of the writers' final values,
+    // and the server is still healthy afterwards.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(conn, "GET {OK_TARGET} HTTP/1.0\r\nHost: t\r\n\r\n").expect("write");
+    let mut last = String::new();
+    conn.read_to_string(&mut last).expect("read");
+    assert!(last.starts_with("HTTP/1.0 200"), "{last}");
+    let final_i = format!("-{}", WRITES_EACH - 1);
+    assert!(
+        last.contains(&final_i),
+        "the final revision is some writer's last value: {last}"
+    );
+    demo.shutdown();
+}
