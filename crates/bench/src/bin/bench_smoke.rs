@@ -13,9 +13,13 @@
 //! adds to the uncancelled hot path), B17 (serving-tier concurrency:
 //! slow-client connection capacity of the epoll event loop vs the
 //! blocking pool at equal worker count, plus open-loop p50/p99/p999
-//! latency per transport), and B18 (incremental secure updates:
-//! single-op commit latency, and the post-commit read as a patched warm
-//! hit vs a cache-less full recompute) — and writes them as flat JSON at
+//! latency per transport), B18 (incremental secure updates: single-op
+//! commit latency, the post-commit read as a patched warm hit vs a
+//! cache-less full recompute, and the commit-time patch cost at 1, 4,
+//! and 16 warm views), and B19 (the static write pre-flight: a
+//! guaranteed-denied batch refused from the compiled write table vs the
+//! same denial paid through dynamic write labeling) — and writes them as
+//! flat JSON at
 //! the repo root (`BENCH_<n+1>.json` by default, one past the highest
 //! checked-in point, so the series extends without workflow edits) —
 //! every PR leaves a perf record the next PR is judged against. The
@@ -48,7 +52,12 @@
 //!   concurrency ratio is the stable, gated signal;
 //! - B18's post-update warm read (the patched cached view) is less than
 //!   3x faster than the cache-less full recompute. B18's in-process
-//!   latency keys are folded into the 15% drift gate like B1/B13.
+//!   latency keys — including the commit latencies at 1/4/16 warm views,
+//!   which bound the per-view patch cost — are folded into the 15% drift
+//!   gate like B1/B13;
+//! - B19's guaranteed-deny rejection (answered from the compiled write
+//!   table, before any parsing or labeling) is less than 5x faster than
+//!   the same denial paid through full dynamic write labeling.
 //!
 //! Usage: `bench_smoke [--quick] [--out BENCH_3.json]`
 
@@ -69,7 +78,7 @@ use xmlsec_core::{
 };
 use xmlsec_dtd::parse_dtd;
 use xmlsec_server::{
-    AnyDemo, ClientRequest, ConditionalOutcome, HttpConfig, SecureServer, Transport,
+    AnyDemo, ClientRequest, ConditionalOutcome, HttpConfig, SecureServer, ServerError, Transport,
 };
 use xmlsec_workload::laboratory::{
     lab_authorization_base, lab_directory, tom, CSLAB_URI, LAB_DTD, LAB_DTD_URI,
@@ -95,6 +104,9 @@ const CONCURRENCY_RATIO_GATE: f64 = 4.0;
 /// Required speedup of the post-update warm read (patched cached view)
 /// over the cache-less full recompute (B18).
 const UPDATE_READ_SPEEDUP_GATE: f64 = 3.0;
+/// Required speedup of the static guaranteed-deny rejection over the
+/// dynamic write-labeling denial of the same batch (B19).
+const DENY_SPEEDUP_GATE: f64 = 5.0;
 
 struct Config {
     batches: usize,
@@ -254,6 +266,103 @@ fn b18_measure(server: &SecureServer, salt: usize, rounds: usize, cached: bool) 
         assert_eq!(view.cached, cached, "serving mode under test");
     }
     (median_ms(updates), median_ms(reads))
+}
+
+/// The B18 server plus `readers` extra users, each holding their own
+/// instance-level recursive read grant on the lab document. Distinct
+/// grants give each reader a distinct applicable-authorization
+/// fingerprint — i.e. a distinct warm cached view the commit-time
+/// patcher must update in place.
+fn b18_patch_server(projects: usize, readers: usize) -> SecureServer {
+    let mut dir = lab_directory();
+    let mut base = lab_authorization_base();
+    base.add(
+        Authorization::new(
+            Subject::new("Alice", "*", "*").expect("subject"),
+            ObjectSpec::with_path(CSLAB_URI, "/laboratory").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        )
+        .with_action(Action::Write),
+    );
+    for i in 0..readers {
+        let name = format!("r{i}");
+        dir.add_user(&name).expect("add reader");
+        base.add(Authorization::new(
+            Subject::new(&name, "*", "*").expect("subject"),
+            ObjectSpec::with_path(CSLAB_URI, "/laboratory").expect("object"),
+            Sign::Plus,
+            AuthType::Recursive,
+        ));
+    }
+    let mut server = SecureServer::new(dir, base);
+    server.register_credentials("Alice", "pw");
+    for i in 0..readers {
+        server.register_credentials(&format!("r{i}"), "pw");
+    }
+    server.repository_mut().put_dtd(LAB_DTD_URI, LAB_DTD);
+    let xml = serialize(
+        &xmlsec_workload::laboratory_scaled(projects, 11),
+        &SerializeOptions::canonical(),
+    );
+    server.repository_mut().put_document(CSLAB_URI, &xml, Some(LAB_DTD_URI));
+    server
+}
+
+/// Median single-op commit latency (ms) with `readers` distinct warm
+/// cached views; the commit patches every one of them in place, so the
+/// delta across reader counts bounds the per-view patch cost. Asserts
+/// the views really were patched (still warm), not evicted.
+fn b18_patch_ms(projects: usize, readers: usize, rounds: usize) -> f64 {
+    let server = b18_patch_server(projects, readers);
+    let editor = b18_client("Alice");
+    for i in 0..readers {
+        server.handle(&b18_client(&format!("r{i}"))).expect("warm a reader view");
+    }
+    let mut times = Vec::with_capacity(rounds);
+    for i in 0..rounds + 2 {
+        let ops = [UpdateOp::SetText {
+            target: "/laboratory/project[1]/fund/amount".to_string(),
+            text: format!("{}", 90_000 + readers * 1_000_000 + i),
+        }];
+        let t = Instant::now();
+        server.update(&editor, &ops).expect("commit");
+        if i >= 2 {
+            times.push(t.elapsed()); // first two rounds are warmup
+        }
+    }
+    for i in 0..readers {
+        let view = server.handle(&b18_client(&format!("r{i}"))).expect("post-commit read");
+        assert!(view.cached, "reader {i}'s view should have been patched in place");
+    }
+    median_ms(times)
+}
+
+/// Median latency (ms) of `rounds` denied single-op batches from a
+/// requester holding no write authorization. `expect_static` asserts
+/// which denial machinery actually answered, so the bench measures what
+/// it claims: the compiled-table pre-flight vs full dynamic labeling.
+fn b19_deny_ms(server: &SecureServer, rounds: usize, expect_static: bool) -> f64 {
+    let intruder = b18_client("Tom");
+    let ops = [UpdateOp::SetText {
+        target: "/laboratory/project[1]/fund/amount".to_string(),
+        text: "stolen".to_string(),
+    }];
+    let mut times = Vec::with_capacity(rounds);
+    for i in 0..rounds + 2 {
+        let t = Instant::now();
+        let err = server.update(&intruder, &ops).expect_err("Tom holds no write grant");
+        let elapsed = t.elapsed();
+        match (&err, expect_static) {
+            (ServerError::UpdateDeniedStatic { .. }, true) => {}
+            (ServerError::UpdateDenied(_), false) => {}
+            _ => panic!("unexpected denial path (expect_static={expect_static}): {err:?}"),
+        }
+        if i >= 2 {
+            times.push(elapsed); // first two rounds are warmup
+        }
+    }
+    median_ms(times)
 }
 
 /// Parses the flat one-level JSON this tool writes: string and numeric
@@ -604,6 +713,31 @@ fn main() {
         "  b18_update_ms = {b18_update_ms:.4}  warm read {b18_warm_read_ms:.4}ms vs recompute \
          {b18_recompute_read_ms:.4}ms ({b18_read_speedup:.1}x)"
     );
+    // Commit latency as the warm-view population grows: the commit
+    // patches every warm view for the URI in place, so these medians
+    // bound the per-view patch cost.
+    let b18_patch_1_ms = b18_patch_ms(cfg.projects, 1, b18_rounds);
+    let b18_patch_4_ms = b18_patch_ms(cfg.projects, 4, b18_rounds);
+    let b18_patch_16_ms = b18_patch_ms(cfg.projects, 16, b18_rounds);
+    eprintln!(
+        "  b18 patch cost: commit at 1 warm view {b18_patch_1_ms:.4}ms, 4 views \
+         {b18_patch_4_ms:.4}ms, 16 views {b18_patch_16_ms:.4}ms"
+    );
+
+    // B19 — static write pre-flight. Tom holds no write authorization,
+    // so his compiled write table is unwritable and the pre-flight
+    // refuses the batch in O(ops) before parsing or labeling anything;
+    // the same server with the pre-flight disabled pays full dynamic
+    // write labeling to reach the identical 403.
+    let b19_static_server = b18_server(cfg.projects, true);
+    let b19_static_deny_ms = b19_deny_ms(&b19_static_server, b18_rounds, true);
+    let b19_dynamic_server = b18_server(cfg.projects, true).without_static_preflight();
+    let b19_dynamic_deny_ms = b19_deny_ms(&b19_dynamic_server, b18_rounds, false);
+    let b19_deny_speedup = b19_dynamic_deny_ms / b19_static_deny_ms.max(1e-9);
+    eprintln!(
+        "  b19 guaranteed-deny: static {b19_static_deny_ms:.4}ms vs dynamic \
+         {b19_dynamic_deny_ms:.4}ms ({b19_deny_speedup:.1}x)"
+    );
 
     let regression_gated = !no_gate && baseline_path(&out).is_some();
 
@@ -641,6 +775,12 @@ fn main() {
          \"b18_warm_read_ms\": {b18_warm_read_ms:.5},\n  \
          \"b18_recompute_read_ms\": {b18_recompute_read_ms:.4},\n  \
          \"b18_read_speedup\": {b18_read_speedup:.4},\n  \
+         \"b18_patch_1_ms\": {b18_patch_1_ms:.4},\n  \
+         \"b18_patch_4_ms\": {b18_patch_4_ms:.4},\n  \
+         \"b18_patch_16_ms\": {b18_patch_16_ms:.4},\n  \
+         \"b19_static_deny_ms\": {b19_static_deny_ms:.5},\n  \
+         \"b19_dynamic_deny_ms\": {b19_dynamic_deny_ms:.4},\n  \
+         \"b19_deny_speedup\": {b19_deny_speedup:.4},\n  \
          \"regression_gated\": {}\n}}\n",
         if b12_gated { 1 } else { 0 },
         if regression_gated { 1 } else { 0 },
@@ -737,6 +877,14 @@ fn main() {
             "B18 post-update warm read is only {b18_read_speedup:.1}x faster than the full \
              recompute ({b18_warm_read_ms:.3}ms vs {b18_recompute_read_ms:.3}ms); the gate is \
              {UPDATE_READ_SPEEDUP_GATE}x"
+        ));
+    }
+
+    if !no_gate && b19_deny_speedup < DENY_SPEEDUP_GATE {
+        failures.push(format!(
+            "B19 static guaranteed-deny rejection is only {b19_deny_speedup:.1}x faster than \
+             the dynamic denial ({b19_static_deny_ms:.4}ms vs {b19_dynamic_deny_ms:.4}ms); the \
+             gate is {DENY_SPEEDUP_GATE}x"
         ));
     }
 

@@ -118,6 +118,10 @@ pub struct CompiledPolicy {
     pub attributes: BTreeMap<String, BTreeMap<String, CompiledCell>>,
     /// The instance checks left for the interpreted engine.
     pub residual: Vec<ResidualCheck>,
+    /// Write-effect verdicts for the update pre-flight, derived from the
+    /// `write`-action subset of the same applicable sets (the one place
+    /// the compiler filters by action itself).
+    pub writes: crate::static_analysis::write::WriteTable,
     /// `true` when **every** cell carries a plus-exact sign: labeling a
     /// conforming document is then one table lookup per node.
     pub fast_path: bool,
@@ -347,6 +351,7 @@ pub fn compile(
         elements,
         attributes,
         residual,
+        writes: crate::static_analysis::write::write_table(dtd, root_element, &auths, dir, policy),
         fast_path,
     };
     let m = compile_metrics();

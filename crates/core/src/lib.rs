@@ -61,12 +61,16 @@ pub use par::Parallelism;
 pub use processor::{
     AccessRequest, DocumentSource, ProcessError, ProcessOutput, ProcessorOptions, SecurityProcessor,
 };
+pub use static_analysis::write::{
+    analyze_policy_writes, classify_batch, BatchVerdict, SubjectWriteTable, WriteAttributeCell,
+    WriteCell, WriteElementCell, WriteOps, WriteReport, WriteTable,
+};
 pub use static_analysis::{
     analyze_policy, closure_subjects, Cell, PolicyReport, SubjectTable, Verdict,
 };
 pub use update::{
-    apply_updates, label_for_write, label_for_write_engine, UpdateError, UpdateOp, UpdateOutcome,
-    WriteContext,
+    apply_updates, apply_updates_preauthorized, label_for_write, label_for_write_engine,
+    UpdateError, UpdateOp, UpdateOutcome, WriteContext,
 };
 pub use view::{
     compute_view, compute_view_engine, compute_view_limited, label_document, label_document_engine,

@@ -31,6 +31,7 @@
 
 pub mod absdom;
 pub mod select;
+pub mod write;
 
 use crate::analysis::SchemaGraph;
 use crate::label::Sign3;

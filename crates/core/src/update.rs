@@ -242,9 +242,36 @@ pub fn apply_updates(
                 &work, ctx.axml, ctx.adtd, ctx.dir, ctx.policy, &ctx.opts,
             )?),
         };
-        if apply_one(&mut work, op, current, &mut outcome)? {
+        let granted = |n: NodeId| current.final_sign(n) == Sign3::Plus;
+        if apply_one(&mut work, op, &granted, &mut outcome)? {
             labels = None;
         }
+    }
+    *doc = work;
+    Ok(outcome)
+}
+
+/// Applies a batch that a static pre-flight has already proven
+/// authorized on every reachable document state (see
+/// [`crate::static_analysis::write`]): the same resolve/check/apply code
+/// as [`apply_updates`] with every grant check satisfied, so bad paths,
+/// missing targets, wrong node kinds and malformed fragments fail
+/// byte-identically to the dynamic path — only the per-op write-labeling
+/// is skipped. The caller carries the soundness obligation (a
+/// guaranteed-allow [`crate::static_analysis::write::BatchVerdict`]).
+pub fn apply_updates_preauthorized(
+    doc: &mut Document,
+    ops: &[UpdateOp],
+    cancel: Option<&xmlsec_xml::cancel::CancelToken>,
+) -> Result<UpdateOutcome, UpdateError> {
+    let mut work = doc.clone();
+    let mut outcome = UpdateOutcome { touched: 0, dirty: Vec::new() };
+    let granted = |_: NodeId| true;
+    for op in ops {
+        if let Some(t) = cancel {
+            t.check().map_err(|c| UpdateError::Cancelled(c.reason))?;
+        }
+        apply_one(&mut work, op, &granted, &mut outcome)?;
     }
     *doc = work;
     Ok(outcome)
@@ -255,10 +282,9 @@ pub fn apply_updates(
 fn apply_one(
     work: &mut Document,
     op: &UpdateOp,
-    labels: &Labeling,
+    granted: &impl Fn(NodeId) -> bool,
     outcome: &mut UpdateOutcome,
 ) -> Result<bool, UpdateError> {
-    let granted = |n: NodeId| labels.final_sign(n) == Sign3::Plus;
     let describe = |doc: &Document, n: NodeId| xmlsec_xpath::describe_node(doc, n);
 
     // Resolve and authorize every target of this op first, then apply:

@@ -291,6 +291,9 @@ mod imp {
         /// A parsed `POST /update` op batch; `None` for reads. Updates
         /// are handed off exactly like cache-miss compute.
         update: Option<Vec<xmlsec_core::update::UpdateOp>>,
+        /// 1-based source line of each op in `update`, so denials can
+        /// point back at the batch the client sent.
+        update_lines: Vec<u32>,
         if_none_match: Option<String>,
         cancel: CancelToken,
         keep_alive: bool,
@@ -815,6 +818,7 @@ mod imp {
                 client,
                 query,
                 update: None,
+                update_lines: Vec::new(),
                 if_none_match: head.if_none_match,
                 cancel: token.clone(),
                 keep_alive: ka,
@@ -854,22 +858,23 @@ mod imp {
                 conn.close_after_write = true;
                 return false;
             }
-            let ops = match http::parse_update_ops(&String::from_utf8_lossy(body)) {
-                Ok(ops) => ops,
-                Err(e) => {
-                    conn.push_out(&http::render_response(
-                        400,
-                        "Bad Request",
-                        "text/plain",
-                        &format!("{e}\n"),
-                        &[],
-                        false,
-                    ));
-                    conn.served += 1;
-                    conn.close_after_write = true;
-                    return false;
-                }
-            };
+            let (lines, ops): (Vec<u32>, Vec<_>) =
+                match http::parse_update_ops_with_lines(&String::from_utf8_lossy(body)) {
+                    Ok(ops) => ops.into_iter().unzip(),
+                    Err(e) => {
+                        conn.push_out(&http::render_response(
+                            400,
+                            "Bad Request",
+                            "text/plain",
+                            &format!("{e}\n"),
+                            &[],
+                            false,
+                        ));
+                        conn.served += 1;
+                        conn.close_after_write = true;
+                        return false;
+                    }
+                };
             let deadline =
                 match (self.cfg.request_deadline, head.deadline_ms.map(Duration::from_millis)) {
                     (Some(server_d), Some(client_d)) => Some(server_d.min(client_d)),
@@ -885,6 +890,7 @@ mod imp {
                 client,
                 query: None,
                 update: Some(ops),
+                update_lines: lines,
                 if_none_match: None,
                 cancel: token.clone(),
                 keep_alive: head.keep_alive,
@@ -1165,6 +1171,23 @@ mod imp {
                             "OK",
                             "text/plain",
                             &format!("updated {touched}\n"),
+                            &[],
+                            ka,
+                        ),
+                        ka,
+                    )
+                }
+                // A static denial points back at the op's source line in
+                // the batch the client actually sent.
+                Ok(Err(ServerError::UpdateDeniedStatic { op, reason })) => {
+                    let line = job.update_lines.get(op).copied().unwrap_or(0);
+                    respond(
+                        job,
+                        http::render_response(
+                            403,
+                            "Forbidden",
+                            "text/plain",
+                            &format!("update denied: line {line}: {reason}\n"),
                             &[],
                             ka,
                         ),

@@ -890,8 +890,8 @@ fn handle_update(
         return Err(e);
     }
     let body = String::from_utf8_lossy(&body).into_owned();
-    let ops = match parse_update_ops(&body) {
-        Ok(ops) => ops,
+    let (lines, ops): (Vec<u32>, Vec<UpdateOp>) = match parse_update_ops_with_lines(&body) {
+        Ok(ops) => ops.into_iter().unzip(),
         Err(e) => return respond(out, 400, "Bad Request", "text/plain", &format!("{e}\n")),
     };
 
@@ -919,6 +919,18 @@ fn handle_update(
                 return Ok(());
             }
             respond(out, 200, "OK", "text/plain", &format!("updated {touched}\n"))
+        }
+        // A static denial points back at the op's source line in the
+        // batch the client actually sent, not its post-parse index.
+        Ok(Err(ServerError::UpdateDeniedStatic { op, reason })) => {
+            let line = lines.get(op).copied().unwrap_or(0);
+            respond(
+                out,
+                403,
+                "Forbidden",
+                "text/plain",
+                &format!("update denied: line {line}: {reason}\n"),
+            )
         }
         Ok(Err(e)) => respond_err_cancellable(out, &e, admission),
         Err(_) => {
@@ -981,9 +993,23 @@ pub(crate) fn parse_update_request_line(line: &str, peer_ip: &str) -> Option<Cli
 /// delete <path>
 /// ```
 pub fn parse_update_ops(body: &str) -> Result<Vec<UpdateOp>, String> {
+    Ok(parse_update_ops_with_lines(body)?.into_iter().map(|(_, op)| op).collect())
+}
+
+/// [`parse_update_ops`], but each op carries its 1-based source line so
+/// transports can point denials and parse errors back at the batch.
+///
+/// Field arity is strict: ops whose grammar ends in a free-text field
+/// (`settext`, `insertsub`, `replacesub`) absorb the rest of the line,
+/// but every other field must be exactly one tab-separated token —
+/// `setattr a\tb\tc\textra`, `insert <path>\t<name>\tmore`, and
+/// `delete <path>\tmore` are rejected with the offending line number
+/// instead of silently folding the garbage into a value, name, or
+/// path.
+pub fn parse_update_ops_with_lines(body: &str) -> Result<Vec<(u32, UpdateOp)>, String> {
     let mut ops = Vec::new();
     for (i, raw) in body.lines().enumerate() {
-        let lineno = i + 1;
+        let lineno = (i + 1) as u32;
         let line = raw.trim_end_matches('\r');
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -999,11 +1025,19 @@ pub fn parse_update_ops(body: &str) -> Result<Vec<UpdateOp>, String> {
             "setattr" => {
                 let mut it = rest.splitn(3, '\t');
                 match (it.next(), it.next(), it.next()) {
-                    (Some(t), Some(n), Some(v)) if !t.is_empty() => UpdateOp::SetAttribute {
-                        target: t.to_string(),
-                        name: n.to_string(),
-                        value: v.to_string(),
-                    },
+                    (Some(t), Some(n), Some(v)) if !t.is_empty() && !n.is_empty() => {
+                        if v.contains('\t') {
+                            return Err(format!(
+                                "line {lineno}: setattr wants exactly \
+                                 <path>\\t<name>\\t<value>, got trailing fields"
+                            ));
+                        }
+                        UpdateOp::SetAttribute {
+                            target: t.to_string(),
+                            name: n.to_string(),
+                            value: v.to_string(),
+                        }
+                    }
                     _ => {
                         return Err(format!(
                             "line {lineno}: setattr wants <path>\\t<name>\\t<value>"
@@ -1015,6 +1049,11 @@ pub fn parse_update_ops(body: &str) -> Result<Vec<UpdateOp>, String> {
                 let (parent, name) = rest
                     .split_once('\t')
                     .ok_or_else(|| format!("line {lineno}: insert wants <path>\\t<name>"))?;
+                if name.contains('\t') {
+                    return Err(format!(
+                        "line {lineno}: insert wants exactly <path>\\t<name>, got trailing fields"
+                    ));
+                }
                 UpdateOp::InsertElement { parent: parent.to_string(), name: name.to_string() }
             }
             "insertsub" => {
@@ -1033,11 +1072,16 @@ pub fn parse_update_ops(body: &str) -> Result<Vec<UpdateOp>, String> {
                 if rest.is_empty() {
                     return Err(format!("line {lineno}: delete wants <path>"));
                 }
+                if rest.contains('\t') {
+                    return Err(format!(
+                        "line {lineno}: delete wants exactly <path>, got trailing fields"
+                    ));
+                }
                 UpdateOp::Delete { target: rest.to_string() }
             }
             other => return Err(format!("line {lineno}: unknown op {other:?}")),
         };
-        ops.push(op);
+        ops.push((lineno, op));
     }
     if ops.is_empty() {
         return Err("empty update batch".to_string());
@@ -1202,7 +1246,9 @@ pub(crate) fn render_err(e: &ServerError, keep_alive: bool) -> Vec<u8> {
         ServerError::AuthenticationFailed => (401, "Unauthorized"),
         ServerError::NotFound(_) => (404, "Not Found"),
         ServerError::BadRequest(_) | ServerError::BadQuery(_) => (400, "Bad Request"),
-        ServerError::UpdateDenied(_) => (403, "Forbidden"),
+        ServerError::UpdateDenied(_) | ServerError::UpdateDeniedStatic { .. } => {
+            (403, "Forbidden")
+        }
         ServerError::Processing(_) => (500, "Internal Server Error"),
         // The request was well-formed but asked for more resources than
         // the server allows — the client's document or query is at

@@ -31,7 +31,7 @@ pub mod site;
 pub use audit::{AuditLog, AuditOutcome, AuditRecord};
 pub use cache::{CachedView, ViewCache, ViewKey};
 pub use epoll::{AnyDemo, EpollDemo, Transport};
-pub use http::{parse_update_ops, HttpConfig, HttpDemo};
+pub use http::{parse_update_ops, parse_update_ops_with_lines, HttpConfig, HttpDemo};
 pub use repo::{fnv1a64, Repository, StoredDocument};
 pub use server::{
     etag_matches, ClientRequest, ConditionalOutcome, QueryResponse, SecureServer, ServerError,

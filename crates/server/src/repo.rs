@@ -86,13 +86,18 @@ pub struct ParsedDocument {
     /// Per arena slot: subtree hash of the node occupying it (stale for
     /// vacant slots; never read through them).
     hashes: Vec<u64>,
+    /// Memoized result of validating this revision against its DTD
+    /// (`None` = not checked yet). The update pre-flight trusts static
+    /// write verdicts only on valid documents; caching the check here
+    /// keeps it one validation per revision, not per request.
+    schema_valid: Option<bool>,
 }
 
 impl ParsedDocument {
     /// Wraps a freshly parsed (and normalized) document, hashing every
     /// subtree once.
     pub fn new(doc: Document) -> ParsedDocument {
-        let mut p = ParsedDocument { doc, hashes: Vec::new() };
+        let mut p = ParsedDocument { doc, hashes: Vec::new(), schema_valid: None };
         p.hashes = vec![0; p.doc.arena_len()];
         p.rehash_subtree(p.doc.root());
         p
@@ -101,6 +106,17 @@ impl ParsedDocument {
     /// The parsed document.
     pub fn doc(&self) -> &Document {
         &self.doc
+    }
+
+    /// The memoized DTD-validity of this revision, if known.
+    pub fn schema_valid(&self) -> Option<bool> {
+        self.schema_valid
+    }
+
+    /// Records the DTD-validity of this revision (set by the server
+    /// after validating, or after a commit whose post-validation passed).
+    pub fn set_schema_valid(&mut self, valid: bool) {
+        self.schema_valid = Some(valid);
     }
 
     /// The tree hash of the whole document.
@@ -116,6 +132,7 @@ impl ParsedDocument {
     /// `xmlsec_repo_rehash_total{kind="incremental"}` counter absorbs.
     pub fn rehash_dirty(&mut self, doc: Document, dirty: &[NodeId]) -> usize {
         self.doc = doc;
+        self.schema_valid = None;
         self.hashes.resize(self.doc.arena_len().max(self.hashes.len()), 0);
         let mut rehashed = 0usize;
         for &d in dirty {
@@ -246,6 +263,12 @@ impl Repository {
     /// update path via [`Repository::store_parsed`]).
     pub fn parsed_document(&self, uri: &str) -> Option<&ParsedDocument> {
         self.parsed.get(uri)
+    }
+
+    /// Mutable access to the parsed form of `uri` (for memoizing the
+    /// validity of the current revision).
+    pub fn parsed_document_mut(&mut self, uri: &str) -> Option<&mut ParsedDocument> {
+        self.parsed.get_mut(uri)
     }
 
     /// Caches the parsed (normalized) form of an already-stored

@@ -49,6 +49,16 @@ pub enum ServerError {
     BadQuery(String),
     /// An update was refused (unauthorized target, missing node, …).
     UpdateDenied(String),
+    /// An update batch rejected by the static write pre-flight: op `op`
+    /// (0-based) is guaranteed to fail on every valid document, so the
+    /// batch was refused before any parsing or labeling. Transports map
+    /// `op` back to the request line that carried it.
+    UpdateDeniedStatic {
+        /// Index of the guaranteed-failing op within the batch.
+        op: usize,
+        /// Why the op can never succeed.
+        reason: String,
+    },
     /// Serving the request would exceed a configured resource limit
     /// (document too deep/large, path evaluation over budget, …).
     LimitExceeded(String),
@@ -68,6 +78,9 @@ impl fmt::Display for ServerError {
             ServerError::BadRequest(e) => write!(f, "bad request: {e}"),
             ServerError::BadQuery(e) => write!(f, "bad query: {e}"),
             ServerError::UpdateDenied(e) => write!(f, "update denied: {e}"),
+            ServerError::UpdateDeniedStatic { op, reason } => {
+                write!(f, "update denied: op {}: {reason}", op + 1)
+            }
             ServerError::LimitExceeded(e) => write!(f, "resource limit exceeded: {e}"),
             ServerError::Cancelled(r) => write!(f, "request cancelled: {r}"),
         }
@@ -103,7 +116,8 @@ impl ServerMetrics {
             Err(
                 ServerError::BadRequest(_)
                 | ServerError::BadQuery(_)
-                | ServerError::UpdateDenied(_),
+                | ServerError::UpdateDenied(_)
+                | ServerError::UpdateDeniedStatic { .. },
             ) => &self.bad_request,
         }
     }
@@ -138,6 +152,16 @@ fn server_metrics() -> &'static ServerMetrics {
             ),
         }
     })
+}
+
+/// Counter for one static pre-flight verdict (`deny` / `allow` /
+/// `dynamic`); the registry caches per label set.
+fn static_verdicts(verdict: &'static str) -> Arc<telemetry::Counter> {
+    telemetry::global().counter(
+        "xmlsec_update_static_verdicts_total",
+        "Update batches classified by the compiled write-verdict pre-flight, by verdict.",
+        &[("verdict", verdict)],
+    )
 }
 
 struct PatchMetrics {
@@ -285,6 +309,9 @@ pub struct SecureServer {
     compiled: Arc<CompiledCache>,
     /// Whether requests consult compiled policies (default: on).
     compile: bool,
+    /// Whether `POST /update` consults the compiled write-verdict table
+    /// before labeling (default: on; off for the ablation bench).
+    static_preflight: bool,
     /// The audit log (public so operators can inspect it).
     pub audit: AuditLog,
 }
@@ -306,6 +333,7 @@ impl SecureServer {
             decisions: Arc::new(DecisionCache::new()),
             compiled: Arc::new(CompiledCache::new()),
             compile: true,
+            static_preflight: true,
             audit: AuditLog::new(),
         }
     }
@@ -313,6 +341,13 @@ impl SecureServer {
     /// Disables the view cache (used by the cache-ablation bench).
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Disables the static write pre-flight on updates (used by the
+    /// pre-flight ablation bench and the byte-identity differentials).
+    pub fn without_static_preflight(mut self) -> Self {
+        self.static_preflight = false;
         self
     }
 
@@ -505,6 +540,16 @@ impl SecureServer {
                         &subjects,
                     );
                     findings.extend(report.findings);
+                    let writes = xmlsec_core::analyze_policy_writes(
+                        &dtd,
+                        root,
+                        du,
+                        &auths,
+                        &self.directory,
+                        self.policy,
+                        &subjects,
+                    );
+                    findings.extend(writes.findings);
                 }
             }
         }
@@ -529,6 +574,21 @@ impl SecureServer {
             },
         );
         findings
+    }
+
+    /// The memoized DTD-validity of `uri`'s current parsed revision,
+    /// validating (once) when unknown. The static write pre-flight only
+    /// trusts non-blanket batch verdicts on valid documents.
+    fn schema_valid_memo(&self, repo: &mut Repository, uri: &str, dtd: &xmlsec_dtd::Dtd) -> bool {
+        let Some(parsed) = repo.parsed_document(uri) else { return false };
+        if let Some(v) = parsed.schema_valid() {
+            return v;
+        }
+        let v = xmlsec_dtd::validate(dtd, parsed.doc()).is_empty();
+        if let Some(p) = repo.parsed_document_mut(uri) {
+            p.set_schema_valid(v);
+        }
+        v
     }
 
     /// Cache statistics `(hits, misses)`; zeros when caching is off.
@@ -950,11 +1010,6 @@ impl SecureServer {
             }
             repo.store_parsed(&req.uri, ParsedDocument::new(doc));
         }
-        let mut doc = match repo.parsed_document(&req.uri) {
-            Some(p) => p.doc().clone(),
-            None => return Err(ServerError::Processing("parsed form missing".into())),
-        };
-
         let wxml = self.authorizations.applicable_for_action(
             &req.uri,
             &requester,
@@ -972,6 +1027,54 @@ impl SecureServer {
                 )
             })
             .unwrap_or_default();
+        // Static pre-flight: classify the batch against the compiled
+        // write-verdict table. Guaranteed-deny batches bounce here in
+        // O(ops) — before the working copy of the document is even
+        // cloned, with no labeling and no fragment parsing;
+        // guaranteed-allow batches skip the per-op write-labeling
+        // entirely (the apply code and every later stage — normalize,
+        // validate, commit, patch — are shared, keeping outcomes
+        // byte-identical).
+        let mut preauthorized = false;
+        if self.static_preflight {
+            let root = repo
+                .parsed_document(&req.uri)
+                .and_then(|p| p.doc().element_name(p.doc().root()))
+                .map(str::to_string);
+            if let (Some(dtd), Some(root)) = (&dtd_parsed, root) {
+                let verdict = self
+                    .compiled
+                    .get_or_compile(dtd, &root, &wxml, &wdtd, &self.directory, self.policy)
+                    .ok()
+                    .map(|cp| {
+                        if cp.writes.blanket_allow {
+                            // Holds on any tree; no validity gate needed.
+                            xmlsec_core::BatchVerdict::Allow
+                        } else if self.schema_valid_memo(&mut repo, &req.uri, dtd) {
+                            xmlsec_core::classify_batch(dtd, &cp.writes, ops)
+                        } else {
+                            xmlsec_core::BatchVerdict::Dynamic
+                        }
+                    })
+                    .unwrap_or(xmlsec_core::BatchVerdict::Dynamic);
+                static_verdicts(verdict.code()).inc();
+                match verdict {
+                    xmlsec_core::BatchVerdict::Deny { op, reason } => {
+                        // Dynamic denials are not audited either: the
+                        // trail stays identical with the pre-flight off.
+                        return Err(ServerError::UpdateDeniedStatic { op, reason });
+                    }
+                    xmlsec_core::BatchVerdict::Allow => preauthorized = true,
+                    xmlsec_core::BatchVerdict::Dynamic => {}
+                }
+            }
+        }
+
+        let mut doc = match repo.parsed_document(&req.uri) {
+            Some(p) => p.doc().clone(),
+            None => return Err(ServerError::Processing("parsed form missing".into())),
+        };
+
         let mut opts = EngineOptions::sequential(self.limits.xpath);
         opts.parallelism = self.parallelism;
         if let Some(t) = cancel {
@@ -984,7 +1087,12 @@ impl SecureServer {
             policy: self.policy,
             opts,
         };
-        let outcome = apply_updates(&mut doc, ops, &ctx).map_err(|e| match e {
+        let applied = if preauthorized {
+            xmlsec_core::apply_updates_preauthorized(&mut doc, ops, cancel)
+        } else {
+            apply_updates(&mut doc, ops, &ctx)
+        };
+        let outcome = applied.map_err(|e| match e {
             UpdateError::Cancelled(r) => ServerError::Cancelled(r),
             UpdateError::Engine(err) => ServerError::LimitExceeded(err.to_string()),
             other => ServerError::UpdateDenied(other.to_string()),
@@ -1008,6 +1116,14 @@ impl SecureServer {
         let touched = outcome.touched;
         if repo.commit_update(&req.uri, doc, &outcome.dirty).is_none() {
             return Err(ServerError::Processing("commit failed: document vanished".into()));
+        }
+        if dtd_parsed.is_some() {
+            // Post-validation passed above, and commit_update installed
+            // exactly the validated DOM: memoize validity for the next
+            // pre-flight instead of revalidating.
+            if let Some(p) = repo.parsed_document_mut(&req.uri) {
+                p.set_schema_valid(true);
+            }
         }
 
         // Patch every warm cached view of this document in place; views

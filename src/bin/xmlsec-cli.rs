@@ -101,6 +101,7 @@ const USAGE: &str = "usage: xmlsec-cli <view|validate|loosen|tree|xpath|xacl> [o
             [--root NAME] [--dtd-uri U] [--dir F] [--open]
             [--subjects closure|list] [--subject user[:ip[:host]]]...
             [--format human|json]
+            [--writes (write-effect tables: per-node update verdicts instead of read tables)]
   compile:  <dtd> <xacl> | --dtd F --xacl F
             --user NAME --ip IP --host H [--doc-uri U] [--dtd-uri U]
             [--root NAME] [--dir F] [--open] [--format human|json]
@@ -126,7 +127,9 @@ impl Opts {
                 continue;
             };
             match name {
-                "open" | "pretty" | "strict" | "prometheus" => flags.push(name.to_string()),
+                "open" | "pretty" | "strict" | "prometheus" | "writes" => {
+                    flags.push(name.to_string())
+                }
                 _ => {
                     let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     values.entry(name.to_string()).or_default().push(v.clone());
@@ -751,6 +754,10 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
         other => return Err(format!("--subjects must be closure or list, not {other:?}")),
     };
 
+    if o.flag("writes") {
+        return cmd_analyze_writes(o, &dtd, &auths, &dir, &root, &dtd_uri, policy, &subjects);
+    }
+
     let coverage = xmlsec::core::analyze_against_schema(&dtd, &root, &auths);
     let mut findings = xmlsec::authz::lint_policy(&auths, &dir);
     findings.extend(xmlsec::core::coverage_findings(&dtd, &root, &auths));
@@ -858,6 +865,150 @@ fn cmd_analyze(o: &Opts) -> Result<(), String> {
                     format!(
                         "    {{\"subject\": {}, \"cells\": [\n{}\n    ]}}",
                         json_str(&t.subject.to_string()),
+                        cells.join(",\n")
+                    )
+                })
+                .collect();
+            out.push_str(&subj_rows.join(",\n"));
+            out.push_str("\n  ],\n  \"findings\": [\n");
+            let finding_rows: Vec<String> = findings
+                .iter()
+                .map(|f| {
+                    format!(
+                        "    {{\"severity\": {}, \"kind\": {}, \"auth\": {}, \"other_auth\": {}, \"node\": {}, \"subject\": {}, \"message\": {}}}",
+                        json_str(f.severity.as_str()),
+                        json_str(&f.kind),
+                        json_opt_usize(f.span.auth),
+                        json_opt_usize(f.span.other_auth),
+                        json_opt_str(f.span.node.as_deref()),
+                        json_opt_str(f.span.subject.as_deref()),
+                        json_str(&f.message),
+                    )
+                })
+                .collect();
+            out.push_str(&finding_rows.join(",\n"));
+            out.push_str(&format!(
+                "\n  ],\n  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"infos\": {infos}}}\n}}"
+            ));
+            println!("{out}");
+        }
+        other => return Err(format!("--format must be human or json, not {other:?}")),
+    }
+    if errors > 0 {
+        Err(format!("{errors} error-class finding(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+/// `analyze --writes` — the write-effect half of the static analyzer:
+/// per-subject write decision tables over the DTD graph (node-level
+/// write verdict plus per-update-op verdicts) and whole-policy findings
+/// (write-only regions, unwritable documents, patch amplification).
+/// Exits nonzero when any error-class finding is present.
+#[allow(clippy::too_many_arguments)]
+fn cmd_analyze_writes(
+    o: &Opts,
+    dtd: &xmlsec::dtd::Dtd,
+    auths: &[xmlsec::authz::Authorization],
+    dir: &Directory,
+    root: &str,
+    dtd_uri: &str,
+    policy: PolicyConfig,
+    subjects: &[Subject],
+) -> Result<(), String> {
+    let report =
+        xmlsec::core::analyze_policy_writes(dtd, root, dtd_uri, auths, dir, policy, subjects);
+    let mut findings = report.findings.clone();
+    findings.sort_by(|a, b| a.severity.cmp(&b.severity).then_with(|| a.kind.cmp(&b.kind)));
+    let (errors, warnings, infos) = xmlsec::authz::severity_counts(&findings);
+
+    match o.opt("format").unwrap_or("human") {
+        "human" => {
+            println!(
+                "write-effect analysis: root <{root}>, dtd-uri {dtd_uri:?}, {} authorization(s)",
+                auths.len()
+            );
+            if report.skipped_non_write > 0 {
+                println!(
+                    "({} non-write authorization(s) excluded from write tables)",
+                    report.skipped_non_write
+                );
+            }
+            for t in &report.subjects {
+                println!("\nwrite table {}:", t.subject);
+                if t.blanket_allow {
+                    println!("    blanket allow: every batch is guaranteed-allow on any tree");
+                }
+                let width =
+                    t.cells.iter().map(|c| c.node.to_string().chars().count()).max().unwrap_or(0);
+                for c in &t.cells {
+                    let node = c.node.to_string();
+                    let pad = " ".repeat(width.saturating_sub(node.chars().count()));
+                    let ops: Vec<String> =
+                        c.ops.iter().map(|(op, v)| format!("{op}={}", v.code())).collect();
+                    match &c.write {
+                        xmlsec::core::Verdict::Instance { reason } => println!(
+                            "    {node}{pad}  {:6}  {}  [{}] ({reason})",
+                            c.signs,
+                            c.write.code(),
+                            ops.join(" "),
+                        ),
+                        v => println!(
+                            "    {node}{pad}  {:6}  {}  [{}]",
+                            c.signs,
+                            v.code(),
+                            ops.join(" "),
+                        ),
+                    }
+                }
+            }
+            if !findings.is_empty() {
+                println!("\nfindings:");
+                for f in &findings {
+                    println!("  {f}");
+                }
+            }
+            println!("\nsummary: {errors} error(s), {warnings} warning(s), {infos} info(s)");
+        }
+        "json" => {
+            let mut out = String::from("{\n");
+            out.push_str("  \"schema_version\": 1,\n");
+            out.push_str(&format!("  \"root\": {},\n", json_str(root)));
+            out.push_str(&format!("  \"dtd_uri\": {},\n", json_str(dtd_uri)));
+            out.push_str(&format!("  \"authorizations\": {},\n", auths.len()));
+            out.push_str(&format!("  \"skipped_non_write\": {},\n", report.skipped_non_write));
+            out.push_str("  \"subjects\": [\n");
+            let subj_rows: Vec<String> = report
+                .subjects
+                .iter()
+                .map(|t| {
+                    let cells: Vec<String> = t
+                        .cells
+                        .iter()
+                        .map(|c| {
+                            let reason = match &c.write {
+                                xmlsec::core::Verdict::Instance { reason } => json_str(reason),
+                                _ => "null".to_string(),
+                            };
+                            let ops: Vec<String> = c
+                                .ops
+                                .iter()
+                                .map(|(op, v)| format!("{}: {}", json_str(op), json_str(v.code())))
+                                .collect();
+                            format!(
+                                "      {{\"node\": {}, \"signs\": {}, \"write\": {}, \"reason\": {reason}, \"ops\": {{{}}}}}",
+                                json_str(&c.node.to_string()),
+                                json_str(&c.signs),
+                                json_str(c.write.code()),
+                                ops.join(", "),
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "    {{\"subject\": {}, \"blanket_allow\": {}, \"cells\": [\n{}\n    ]}}",
+                        json_str(&t.subject.to_string()),
+                        t.blanket_allow,
                         cells.join(",\n")
                     )
                 })

@@ -273,6 +273,61 @@ fn analyze_financial_corpus_matches_goldens() {
 }
 
 #[test]
+fn analyze_writes_hospital_corpus_matches_goldens() {
+    let args = |fmt: &'static str| {
+        vec![
+            "analyze".to_string(),
+            corpus("hospital.dtd"),
+            corpus("hospital.xacl"),
+            "--dir".to_string(),
+            corpus("hospital.dir"),
+            "--writes".to_string(),
+            "--format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+    let human = cli().args(args("human")).output().expect("binary runs");
+    assert!(human.status.success(), "{}", stderr(&human));
+    assert_eq!(stdout(&human), include_str!("golden/analyze_writes_hospital.txt"));
+
+    let json = cli().args(args("json")).output().expect("binary runs");
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(
+        stdout(&json),
+        include_str!("golden/analyze_writes_hospital.json"),
+        "the analyze --writes JSON schema is a contract; update the golden deliberately"
+    );
+}
+
+#[test]
+fn analyze_writes_financial_corpus_matches_goldens() {
+    let args = |fmt: &'static str| {
+        vec![
+            "analyze".to_string(),
+            corpus("financial.dtd"),
+            corpus("financial.xacl"),
+            "--dir".to_string(),
+            corpus("financial.dir"),
+            "--dtd-uri".to_string(),
+            "statements.dtd".to_string(),
+            "--writes".to_string(),
+            "--format".to_string(),
+            fmt.to_string(),
+        ]
+    };
+    // The tellers' transaction grant is write-only (they read only
+    // owners and balances), so the analyzer flags a write-only region —
+    // a warning, not an error: the command still exits zero.
+    let human = cli().args(args("human")).output().expect("binary runs");
+    assert!(human.status.success(), "{}", stderr(&human));
+    assert_eq!(stdout(&human), include_str!("golden/analyze_writes_financial.txt"));
+
+    let json = cli().args(args("json")).output().expect("binary runs");
+    assert!(json.status.success(), "{}", stderr(&json));
+    assert_eq!(stdout(&json), include_str!("golden/analyze_writes_financial.json"));
+}
+
+#[test]
 fn compile_hospital_corpus_matches_golden() {
     let args = |fmt: &'static str| {
         vec![

@@ -237,7 +237,9 @@ proptest! {
                 prop_assert_eq!(&again.xml, &after.xml);
                 prop_assert_eq!(&again.etag, &after.etag);
             }
-            Err(ServerError::UpdateDenied(_)) | Err(ServerError::LimitExceeded(_)) => {
+            Err(ServerError::UpdateDenied(_))
+            | Err(ServerError::UpdateDeniedStatic { .. })
+            | Err(ServerError::LimitExceeded(_)) => {
                 // Denied: document bytes, warm entry, and tag unchanged.
                 {
                     let repo = s.repository();
